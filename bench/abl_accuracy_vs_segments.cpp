@@ -1,0 +1,147 @@
+// abl_accuracy_vs_segments — ablation A2: numerical fidelity of the
+// P-DAC encoding, from the device level up to a transformer encoder
+// layer running end-to-end through the simulated photonic core.
+//
+//  1. device level: worst-case and average encode error for the
+//     1-segment Taylor program, the paper's 3-segment program, higher-
+//     order Taylor references and the ideal-DAC baseline;
+//  2. expected error under operand distributions (uniform vs the
+//     near-zero-concentrated Gaussians typical of LLM activations);
+//  3. GEMM level: relative Frobenius error of photonic products;
+//  4. model level: one tiny encoder layer, P-DAC vs ideal-DAC vs exact,
+//     reporting cosine similarity of the outputs — the quantitative
+//     backing for the paper's "LLMs tolerate the 8.5 % worst case".
+#include <cmath>
+#include <iostream>
+
+#include "common/math_utils.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "core/arccos_approx.hpp"
+#include "core/error_model.hpp"
+#include "core/multi_segment_approx.hpp"
+#include "core/modulator_driver.hpp"
+#include "nn/backend.hpp"
+#include "nn/encoder_layer.hpp"
+#include "nn/model_config.hpp"
+
+namespace {
+
+using namespace pdac;
+
+/// A driver using the 1-segment Taylor mapping (Eq. 15) for comparison.
+class TaylorDriver final : public core::ModulatorDriver {
+ public:
+  explicit TaylorDriver(int bits) : bits_(bits), quant_(bits) {}
+  [[nodiscard]] double encode(double r) const override {
+    const double rq = quant_.quantize(pdac::math::clamp_unit(r));
+    return std::cos(core::arccos_taylor1(rq));
+  }
+  [[nodiscard]] int bits() const override { return bits_; }
+  [[nodiscard]] std::string name() const override { return "taylor-1"; }
+  [[nodiscard]] units::Energy conversion_energy() const override { return units::Energy{}; }
+
+ private:
+  int bits_;
+  converters::Quantizer quant_;
+};
+
+stats::VectorError layer_error(nn::GemmBackend& test_backend) {
+  const auto cfg = nn::tiny_transformer(12, 48, 4, 1);
+  nn::EncoderLayer layer(cfg.d_model, cfg.heads, cfg.d_ff);
+  Rng rng(7);
+  layer.init_random(rng);
+  Rng in_rng(11);
+  const Matrix x = Matrix::random_gaussian(cfg.seq_len, cfg.d_model, in_rng, 0.0, 0.5);
+
+  nn::ReferenceBackend ref;
+  const Matrix exact = layer.forward(x, ref);
+  const Matrix approx = layer.forward(x, test_backend);
+  return stats::compare(approx.data(), exact.data());
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Ablation A2 — P-DAC numerical accuracy, device to model level\n\n";
+
+  // --- device-level sweep -----------------------------------------------------
+  Table dev({"encoder (8-bit)", "worst rel err", "mean abs err", "worst at r"});
+  {
+    const TaylorDriver taylor(8);
+    const auto pd = core::make_pdac_driver(8);
+    const auto ideal = core::make_ideal_dac_driver(8);
+    for (const core::ModulatorDriver* d :
+         {static_cast<const core::ModulatorDriver*>(&taylor),
+          static_cast<const core::ModulatorDriver*>(pd.get()),
+          static_cast<const core::ModulatorDriver*>(ideal.get())}) {
+      const auto rep = core::sweep_encode_error(*d);
+      dev.add_row({d->name(), Table::pct(rep.worst_rel, 2),
+                   Table::num(rep.abs_error.mean(), 5), Table::num(rep.worst_rel_at, 3)});
+    }
+  }
+  std::cout << dev.to_string() << "\n";
+
+  // --- expected error under operand distributions -----------------------------
+  Table dist({"operand distribution", "E|cos(f(r)) - r| (3-seg)", "E|...| (1-seg Taylor)"});
+  const auto paper = core::PiecewiseLinearArccos::paper();
+  // A 1-segment program is the same class with the breakpoint pushed to 1.
+  const auto taylor_only = core::PiecewiseLinearArccos::with_breakpoint(0.999999);
+  struct Density {
+    const char* name;
+    std::function<double(double)> pdf;
+  };
+  const Density densities[] = {
+      {"uniform[-1,1]", core::uniform_pdf},
+      {"gaussian std 0.5 (LLM-like)", core::gaussian_pdf(0.5)},
+      {"gaussian std 0.25 (LLM-like)", core::gaussian_pdf(0.25)},
+      {"gaussian std 0.1", core::gaussian_pdf(0.1)},
+  };
+  for (const auto& d : densities) {
+    dist.add_row({d.name, Table::num(core::expected_abs_error(paper, d.pdf), 5),
+                  Table::num(core::expected_abs_error(taylor_only, d.pdf), 5)});
+  }
+  std::cout << dist.to_string()
+            << "activations concentrated near zero see almost no approximation error —\n"
+            << "the middle segment is the exact first-order Taylor series.\n\n";
+
+  // --- segment-count scaling (beyond the paper's 3 segments) ------------------
+  Table seg({"segments/half", "nodes", "max err (uniform)", "max err (optimized)",
+             "weight banks", "comparators"});
+  for (std::size_t n : {1u, 2u, 3u, 4u, 6u, 8u}) {
+    const auto uni = core::MultiSegmentArccos::uniform(n);
+    const auto opt = core::MultiSegmentArccos::optimized(n);
+    std::string node_list;
+    for (double x : opt.nodes()) node_list += Table::num(x, 2) + " ";
+    seg.add_row({std::to_string(n), node_list, Table::pct(uni.max_decode_error(), 2),
+                 Table::pct(opt.max_decode_error(), 2), std::to_string(opt.weight_banks()),
+                 std::to_string(opt.comparators())});
+  }
+  std::cout << seg.to_string()
+            << "paper reference: the Eq. 18 program (2 pieces/half, tangent middle)\n"
+            << "achieves 8.5%; chord programs halve the error roughly every added\n"
+            << "segment at the cost of one comparator pair each.\n\n";
+
+  // --- GEMM + encoder-layer level ----------------------------------------------
+  Table model({"backend (vs fp64 reference)", "GEMM rel-Frobenius", "layer cosine sim",
+               "layer rel-Frobenius"});
+  for (int use_pdac = 1; use_pdac >= 0; --use_pdac) {
+    auto backend = use_pdac ? nn::make_photonic_pdac_backend(8)
+                            : nn::make_photonic_ideal_dac_backend(8);
+    // Standalone GEMM error.
+    Rng rng(3);
+    const Matrix a = Matrix::random_gaussian(24, 32, rng, 0.0, 1.0);
+    const Matrix b = Matrix::random_gaussian(32, 20, rng, 0.0, 1.0);
+    const Matrix exact = matmul_reference(a, b);
+    const Matrix got = backend->matmul(a, b);
+    const auto gemm_err = stats::compare(got.data(), exact.data());
+    const auto layer_err = layer_error(*backend);
+    model.add_row({backend->name(), Table::num(gemm_err.rel_frobenius, 4),
+                   Table::num(layer_err.cosine, 5), Table::num(layer_err.rel_frobenius, 4)});
+  }
+  std::cout << model.to_string()
+            << "\nThe P-DAC layer output stays within a few percent of the ideal-DAC\n"
+            << "output (cosine similarity ~1), supporting the paper's claim that the\n"
+            << "8.5% worst-case encode error is tolerable for transformer inference.\n";
+  return 0;
+}

@@ -1,0 +1,38 @@
+// abl_bitwidth_sweep — ablation A1: how the DAC bottleneck and the P-DAC
+// advantage scale with operand precision beyond the paper's 4/8-bit
+// points.  Sweeps b = 2…12 and prints system power, DAC share, and the
+// P-DAC saving — showing the crossover structure: at very low precision
+// the laser dominates and P-DAC gains little; at high precision the
+// electrical DAC's b·2^{b/2} law makes it the whole machine.
+#include <iostream>
+
+#include "arch/component_power.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace pdac;
+  const arch::LtConfig cfg = arch::lt_base();
+  const arch::PowerParams params = arch::lt_power_params();
+
+  std::cout << "Ablation A1 — precision sweep of the compute-bound power model\n\n";
+
+  Table t({"bits", "DAC system", "DAC share", "P-DAC system", "P-DAC share", "saving"});
+  for (int bits = 2; bits <= 12; ++bits) {
+    const auto base =
+        arch::compute_power_breakdown(cfg, params, bits, arch::SystemVariant::kDacBased);
+    const auto prop =
+        arch::compute_power_breakdown(cfg, params, bits, arch::SystemVariant::kPdacBased);
+    const double saving = 1.0 - prop.total() / base.total();
+    t.add_row({std::to_string(bits), Table::watts(base.total().watts()),
+               Table::pct(base.share(arch::Component::kDac)),
+               Table::watts(prop.total().watts()),
+               Table::pct(prop.share(arch::Component::kPdac)), Table::pct(saving)});
+  }
+  std::cout << t.to_string()
+            << "\npaper anchor points: saving 19.9% @4-bit, 47.7% @8-bit.\n"
+            << "The saving grows with precision because the electrical DAC scales as\n"
+            << "b*2^(b/2) while the P-DAC's dominant term is linear in b — until ~11\n"
+            << "bits, where the P-DAC's own binary-weighted TIA cost (c*(2^b-1))\n"
+            << "turns exponential and the advantage peaks and recedes slightly.\n";
+  return 0;
+}

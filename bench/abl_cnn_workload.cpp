@@ -1,0 +1,73 @@
+// abl_cnn_workload — ablation A13: the P-DAC on a CNN accelerator
+// (the Albireo context from the paper's §I–II).
+//
+// Convolutions have far more MACs per weight than transformer FFNs
+// (each filter is reused over every output pixel), so CNN inference is
+// deeply compute-bound and the P-DAC's conversion savings approach the
+// Fig. 11 ceiling without any of the transformer's movement dilution.
+#include <cstdio>
+
+#include "arch/energy_model.hpp"
+#include "common/table.hpp"
+#include "eval/report.hpp"
+#include "nn/cnn_trace.hpp"
+#include "nn/decode_trace.hpp"
+#include "nn/model_config.hpp"
+
+int main() {
+  using namespace pdac;
+  const arch::LtConfig cfg = arch::lt_base();
+  const arch::PowerParams params = arch::lt_power_params();
+
+  const auto cnn = nn::vgg11_like();
+  const auto cnn_trace = nn::trace_cnn_forward(cnn);
+  std::printf("Ablation A13 — CNN workload (%s, 224x224x3, %.1f GMACs)\n\n",
+              cnn.name.c_str(), static_cast<double>(cnn_trace.total_macs()) / 1e9);
+
+  // Per-layer inventory.
+  Table inv({"layer", "m", "k", "n", "MMACs", "weights (8b)"});
+  for (const auto& g : cnn_trace.gemms) {
+    inv.add_row({g.label, std::to_string(g.m), std::to_string(g.k), std::to_string(g.n),
+                 Table::num(static_cast<double>(g.macs()) / 1e6, 1),
+                 Table::num(static_cast<double>(g.weight_elements()) / 1e6, 2) + " MB"});
+  }
+  std::printf("%s\n", inv.to_string().c_str());
+
+  for (int bits : {4, 8}) {
+    const auto cmp = arch::compare_energy(cnn_trace, cfg, params, bits);
+    std::printf("%s", eval::render_energy_comparison("VGG11-like inference", cmp).c_str());
+    std::printf("\n");
+  }
+
+  // Cross-workload comparison at 8-bit (MACs per weight = reuse).
+  Table x({"workload", "MACs/weight", "saving 8-bit"});
+  struct W {
+    const char* name;
+    nn::WorkloadTrace trace;
+  };
+  const W ws[] = {
+      {"VGG11-like (conv)", cnn_trace},
+      {"BERT-base prefill", nn::trace_forward(nn::bert_base(128))},
+      {"BERT decode ctx=512", nn::trace_decode_step(nn::bert_base(128), 512)},
+  };
+  for (const auto& w : ws) {
+    std::size_t weights = 0;
+    for (const auto& g : w.trace.gemms) weights += g.weight_elements();
+    const auto cmp = arch::compare_energy(w.trace, cfg, params, 8);
+    x.add_row({w.name,
+               Table::num(static_cast<double>(w.trace.total_macs()) /
+                              static_cast<double>(std::max<std::size_t>(weights, 1)),
+                          1),
+               Table::pct(cmp.total_saving())});
+  }
+  std::printf("%s", x.to_string().c_str());
+  std::printf(
+      "\nConv filters are reused over every output pixel (~800 MACs/weight for\n"
+      "the conv stack), so the conv class is conversion-dominated and its\n"
+      "saving approaches the Fig. 11 regime — consistent with the paper's\n"
+      "framing that the P-DAC serves Albireo-class CNN accelerators too.\n"
+      "The VGG FC head is the opposite extreme (1 MAC/weight, decode-like):\n"
+      "pure weight streaming that the P-DAC cannot touch, which is what pulls\n"
+      "the network total below BERT prefill in the table above.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// abl_ddot_throughput — ablation A3 (google-benchmark): simulator
+// throughput of the DDot datapath and the photonic GEMM under the
+// different execution paths and drivers.  This measures the *simulator*,
+// not the hardware — it documents the cost of full-optics fidelity vs
+// the algebraically equivalent fast path and the overhead of each
+// modulator driver model.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+#include "core/modulator_driver.hpp"
+#include "ptc/ddot.hpp"
+#include "ptc/dot_engine.hpp"
+#include "ptc/gemm_engine.hpp"
+
+namespace {
+
+using namespace pdac;
+
+void BM_DdotFullOptics(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  const auto x = rng.uniform_vector(n, -1.0, 1.0);
+  const auto y = rng.uniform_vector(n, -1.0, 1.0);
+  ptc::Ddot ddot;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ddot.compute(x, y).value());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_DdotFullOptics)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_DotEngine(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const bool full_optics = state.range(1) != 0;
+  Rng rng(2);
+  const auto x = rng.uniform_vector(n, -1.0, 1.0);
+  const auto y = rng.uniform_vector(n, -1.0, 1.0);
+  const auto driver = core::make_pdac_driver(8);
+  ptc::DotEngineConfig cfg;
+  cfg.use_full_optics = full_optics;
+  const ptc::PhotonicDotEngine engine(*driver, cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.dot(x, y));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * n);
+  state.SetLabel(full_optics ? "full-optics" : "fast-path");
+}
+BENCHMARK(BM_DotEngine)->Args({512, 0})->Args({512, 1})->Args({4096, 0})->Args({4096, 1});
+
+void BM_PhotonicGemm(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  const bool pdac = state.range(1) != 0;
+  Rng rng(3);
+  const Matrix a = Matrix::random_gaussian(dim, dim, rng);
+  const Matrix b = Matrix::random_gaussian(dim, dim, rng);
+  const auto driver =
+      pdac ? core::make_pdac_driver(8) : core::make_ideal_dac_driver(8);
+  const ptc::PhotonicGemm gemm(*driver, ptc::GemmConfig{});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gemm.multiply(a, b).c.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * dim * dim * dim);
+  state.SetLabel(pdac ? "p-dac" : "ideal-dac");
+}
+BENCHMARK(BM_PhotonicGemm)->Args({32, 1})->Args({32, 0})->Args({64, 1})->Args({64, 0});
+
+}  // namespace
+
+BENCHMARK_MAIN();

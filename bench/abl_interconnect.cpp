@@ -1,0 +1,75 @@
+// abl_interconnect — ablation A16: electrical vs optical operand
+// distribution (the paper's §I motivation, quantified).
+//
+// Prices the SRAM→modulator link both ways across distance, shows the
+// energy crossover and the WDM bandwidth advantage, and totals the
+// distribution energy for one BERT-base inference — the traffic that
+// §III-B routes optically so the P-DAC can consume optical digital
+// words directly.
+#include <cstdio>
+
+#include "arch/interconnect.hpp"
+#include "common/table.hpp"
+#include "nn/model_config.hpp"
+#include "nn/workload_trace.hpp"
+
+int main() {
+  using namespace pdac;
+  using namespace pdac::arch;
+
+  std::printf("Ablation A16 — electrical vs optical operand distribution\n\n");
+
+  Table t({"distance", "electrical pJ/b", "optical pJ/b", "winner", "Gb/s per wire",
+           "Gb/s per waveguide"});
+  for (double mm : {0.5, 1.0, 2.8, 5.0, 10.0, 20.0, 50.0}) {
+    InterconnectConfig e;
+    e.kind = LinkKind::kElectrical;
+    e.distance_mm = mm;
+    InterconnectConfig o;
+    o.kind = LinkKind::kOptical;
+    o.distance_mm = mm;
+    const auto em = evaluate_link(e);
+    const auto om = evaluate_link(o);
+    t.add_row({Table::num(mm, 1) + " mm", Table::num(em.energy_per_bit.picojoules(), 2),
+               Table::num(om.energy_per_bit.picojoules(), 2),
+               em.energy_per_bit.joules() < om.energy_per_bit.joules() ? "electrical"
+                                                                       : "optical",
+               Table::num(em.bandwidth_gbps, 0), Table::num(om.bandwidth_gbps, 0)});
+  }
+  std::printf("%s", t.to_string().c_str());
+  std::printf("crossover at %.1f mm with these constants; chip-scale spans (~10-20 mm\n"
+              "between a shared M2 SRAM and the DPTC clusters) sit firmly on the\n"
+              "optical side, and one WDM waveguide carries ~%.0fx the bandwidth of a\n"
+              "wire — the paper's one-to-two-orders claim.\n\n",
+              optical_crossover_mm(InterconnectConfig{}),
+              evaluate_link([] {
+                InterconnectConfig o;
+                o.kind = LinkKind::kOptical;
+                return o;
+              }()).bandwidth_gbps /
+                  evaluate_link([] {
+                    InterconnectConfig e;
+                    e.kind = LinkKind::kElectrical;
+                    return e;
+                  }()).bandwidth_gbps);
+
+  // Whole-inference distribution energy, BERT-base at 8-bit.
+  const auto trace = nn::trace_forward(nn::bert_base(128));
+  const std::uint64_t bits = distribution_bits(trace, 8);
+  Table w({"link @10 mm", "distribution energy / inference"});
+  for (LinkKind kind : {LinkKind::kElectrical, LinkKind::kOptical}) {
+    InterconnectConfig cfg;
+    cfg.kind = kind;
+    cfg.distance_mm = 10.0;
+    const auto m = evaluate_link(cfg);
+    w.add_row({to_string(kind), Table::millijoules(m.transfer_energy(bits).joules())});
+  }
+  std::printf("BERT-base moves %.1f MB of operands per inference (8-bit):\n%s",
+              static_cast<double>(bits) / 8e6, w.to_string().c_str());
+  std::printf(
+      "\nAt 10 mm the optical link saves ~3.6x on distribution energy alone —\n"
+      "the \"pre-convert data from the memory side\" saving the paper cites in\n"
+      "SIII-B, and the reason the P-DAC's optical-digital input format costs\n"
+      "nothing extra: the words already arrive as light.\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// abl_kv_precision — ablation A17: KV-cache quantization in decode.
+//
+// A5/A7 showed single-stream decode is throttled by KV streaming.  The
+// standard serving countermeasure stores the cache at lower precision
+// than the compute path; this bench sweeps the cache width at fixed
+// 8-bit operands and reports footprint, energy per token, and how much
+// of the P-DAC saving the thinner cache releases.
+#include <cstdio>
+
+#include "arch/energy_model.hpp"
+#include "arch/memory_system.hpp"
+#include "common/table.hpp"
+#include "nn/decode_trace.hpp"
+#include "nn/model_config.hpp"
+
+int main() {
+  using namespace pdac;
+  const auto model = nn::bert_base(128);
+  const auto cfg = arch::lt_base();
+  const auto params = arch::lt_power_params();
+  const std::size_t ctx = 2048;
+
+  std::printf("Ablation A17 — KV-cache precision, decode ctx=%zu, 8-bit operands\n\n",
+              ctx);
+
+  Table t({"KV bits", "cache size", "HBM MB/token", "E/token DAC", "E/token P-DAC",
+           "saving"});
+  for (int kv_bits : {16, 8, 4, 2}) {
+    const auto trace = nn::trace_decode_step_quantized_kv(model, ctx, 8, kv_bits);
+    const auto cmp = arch::compare_energy(trace, cfg, params, 8);
+    const auto traffic = arch::summarize_traffic(trace, 8);
+    t.add_row({std::to_string(kv_bits),
+               Table::num(static_cast<double>(nn::kv_cache_bytes(model, ctx, kv_bits)) / 1e6,
+                          1) +
+                   " MB",
+               Table::num(static_cast<double>(traffic.hbm_bytes) / 1e6, 1),
+               Table::millijoules(cmp.baseline.total().total().joules(), 3),
+               Table::millijoules(cmp.pdac.total().total().joules(), 3),
+               Table::pct(cmp.total_saving())});
+  }
+  std::printf("%s", t.to_string().c_str());
+  std::printf(
+      "\nQuartering the cache width (8b -> 2b) removes most of the per-token\n"
+      "movement at long context, which both cuts absolute energy and raises\n"
+      "the P-DAC's relative saving — the conversion events it eliminates are\n"
+      "untouched by cache precision.  (Accuracy impact of KV quantization is\n"
+      "workload-dependent and outside this model's scope.)\n");
+  return 0;
+}

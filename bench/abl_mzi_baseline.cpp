@@ -1,0 +1,69 @@
+// abl_mzi_baseline — ablation A11: the SVD-programmed MZI mesh baseline
+// vs the dynamically-operated DDot + P-DAC.
+//
+// Reproduces the paper's §II motivation quantitatively: an MZI mesh
+// computes W·x at line rate once programmed, but every *new* operand
+// matrix costs a CPU-side SVD + phase decomposition (≈1.5 ms at 12×12,
+// O(n³)) plus thermal settling.  Static weights amortize that over a
+// whole inference; the transformer's dynamic attention operands (new Q,
+// K, V every pass) cannot — which is why LT abandoned meshes and why
+// the P-DAC's DAC-free dynamic modulation matters.
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "photonics/mzi_mesh.hpp"
+#include "nn/model_config.hpp"
+#include "nn/workload_trace.hpp"
+
+int main() {
+  using namespace pdac;
+  using photonics::MziSvdCore;
+
+  std::printf("Ablation A11 — MZI mesh (SVD mapping) vs dynamic DDot operation\n\n");
+
+  // Mapping cost vs mesh size (the paper's 1.5 ms anchor at n = 12).
+  Table t({"mesh size", "interferometers", "mapping latency", "cycles lost @5 GHz"});
+  for (std::size_t n : {4u, 8u, 12u, 16u, 32u, 64u}) {
+    const auto latency = MziSvdCore::mapping_latency(n);
+    t.add_row({std::to_string(n) + "x" + std::to_string(n),
+               std::to_string(2 * photonics::MziMesh::interferometers(n)),
+               Table::num(latency.milliseconds(), 3) + " ms",
+               Table::num(latency.seconds() * 5e9 / 1e6, 1) + " M"});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+
+  // Transformer inference: how often would a mesh need remapping?
+  const auto model = nn::bert_base(128);
+  const auto trace = nn::trace_forward(model);
+  std::size_t dynamic_ops = 0;
+  std::size_t static_ops = 0;
+  for (const auto& g : trace.gemms) {
+    (g.static_weights ? static_ops : dynamic_ops) += g.repeats;
+  }
+  const double remap_seconds =
+      static_cast<double>(dynamic_ops) * MziSvdCore::mapping_latency(12).seconds();
+  std::printf("BERT-base inference: %zu static GEMMs (mapped once, amortized) but\n"
+              "%zu dynamic operand matrices per pass; remapping them on a 12x12 mesh\n"
+              "would cost %.1f ms of SVD alone vs the ~273 us the whole inference\n"
+              "takes on LT-B — a %.0fx slowdown before any compute happens.\n\n",
+              static_ops, dynamic_ops, remap_seconds * 1e3,
+              remap_seconds / 273e-6);
+
+  // Functional sanity: our mesh really computes W·x (spot check).
+  Rng rng(5);
+  const Matrix w = Matrix::random_gaussian(12, 12, rng);
+  MziSvdCore core(12);
+  core.program(w);
+  const auto x = rng.uniform_vector(12, -1.0, 1.0);
+  const auto y = core.apply(x);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < 12; ++i) {
+    double expect = 0.0;
+    for (std::size_t j = 0; j < 12; ++j) expect += w(i, j) * x[j];
+    worst = std::max(worst, std::abs(y[i] - expect));
+  }
+  std::printf("mesh functional check: max |mesh(x) - W*x| = %.2e over a 12x12 matvec\n"
+              "(the mesh is exact; its cost is the *mapping*, not the optics).\n",
+              worst);
+  return 0;
+}

@@ -1,0 +1,62 @@
+// abl_pipeline — ablation A9: dependency-aware scheduling vs the
+// perfect-packing assumption.
+//
+// The Fig. 9/10 energy model charges static power over ideal occupancy
+// (tiles packed onto all arrays with no gaps).  The mapper schedules the
+// real dependency graph — Q/K/V parallel, scores→context→projection→FFN
+// serial, layers chained — and reports the pipeline-bubble slowdown and
+// per-stage timeline, quantifying how optimistic the ideal assumption is
+// for each workload shape.
+#include <cstdio>
+#include <map>
+
+#include "arch/mapper.hpp"
+#include "common/table.hpp"
+#include "nn/decode_trace.hpp"
+#include "nn/model_config.hpp"
+
+int main() {
+  using namespace pdac;
+  const arch::LtConfig cfg = arch::lt_base();
+
+  std::printf("Ablation A9 — pipeline schedule vs perfect packing (LT-B, %zu arrays)\n\n",
+              cfg.arrays());
+
+  Table t({"workload", "ideal cycles", "scheduled", "slowdown", "array util", "DDot util"});
+  struct Workload {
+    std::string name;
+    nn::WorkloadTrace trace;
+  };
+  const Workload workloads[] = {
+      {"BERT-base prefill s=128", nn::trace_forward(nn::bert_base(128))},
+      {"DeiT-base 197 tokens", nn::trace_forward(nn::deit_base())},
+      {"decode step ctx=512", nn::trace_decode_step(nn::bert_base(128), 512)},
+      {"decode step ctx=2048", nn::trace_decode_step(nn::bert_base(128), 2048)},
+  };
+  for (const auto& w : workloads) {
+    const arch::Schedule s = arch::schedule_trace(w.trace, cfg);
+    t.add_row({w.name, std::to_string(s.ideal_cycles()),
+               std::to_string(s.makespan_cycles), Table::num(s.slowdown(), 2) + "x",
+               Table::pct(s.utilization()), Table::pct(s.ddot_utilization())});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+
+  // Per-stage occupancy of one BERT layer (timeline view).
+  const arch::Schedule s = arch::schedule_trace(nn::trace_forward(nn::bert_base(128)), cfg);
+  std::printf("layer-0 timeline (cycles):\n");
+  Table tl({"op", "stage", "start", "end", "arrays", "work (array-cycles)"});
+  for (const auto& op : s.ops) {
+    if (op.label.rfind("L0.", 0) != 0) break;
+    tl.add_row({op.label, arch::to_string(op.stage), std::to_string(op.start_cycle),
+                std::to_string(op.end_cycle), std::to_string(op.arrays_assigned),
+                std::to_string(op.work_array_cycles)});
+  }
+  std::printf("%s", tl.to_string().c_str());
+  std::printf(
+      "\nPrefill keeps arrays AND DDots ~%.0f%% busy, so the Fig. 9 static-\n"
+      "energy charge is close to truth.  Decode occupies whole arrays but its\n"
+      "1-row GEMV tiles light up only 1/8 of each array's DDots — ~88%% of the\n"
+      "photonic fabric idles, compounding the movement wall from A5/A7.\n",
+      100.0 * s.ddot_utilization());
+  return 0;
+}

@@ -1,0 +1,55 @@
+// abl_roofline — ablation A7: bandwidth roofline for LT-B.
+//
+// The paper frames Fig. 11 as a fully compute-bound projection.  This
+// bench supplies the other axis: at what HBM bandwidth do prefill and
+// decode actually become compute-bound, and how does the P-DAC saving
+// behave once memory stalls (which burn laser/thermal power in both
+// variants) are charged?
+#include <cstdio>
+
+#include "arch/memory_system.hpp"
+#include "common/table.hpp"
+#include "nn/decode_trace.hpp"
+#include "nn/model_config.hpp"
+
+int main() {
+  using namespace pdac;
+  const arch::LtConfig cfg = arch::lt_base();
+  const arch::PowerParams params = arch::lt_power_params();
+  const auto model = nn::bert_base(128);
+
+  const auto prefill = nn::trace_forward(model);
+  const auto decode = nn::trace_decode_step(model, 512);
+
+  std::printf("Ablation A7 — bandwidth roofline, %s on LT-B (8-bit)\n\n",
+              model.name.c_str());
+
+  for (const auto& [name, trace] :
+       {std::pair{"prefill seq=128", &prefill}, std::pair{"decode ctx=512", &decode}}) {
+    const auto traffic = arch::summarize_traffic(*trace, 8);
+    std::printf("%s: %.1f MB HBM traffic, %.1f MB SRAM traffic per pass\n", name,
+                static_cast<double>(traffic.hbm_bytes) / 1e6,
+                static_cast<double>(traffic.sram_bytes) / 1e6);
+
+    Table t({"HBM GB/s", "runtime", "bound by", "compute util", "saving w/ stalls"});
+    for (double bw : {64.0, 128.0, 256.0, 512.0, 1024.0, 4096.0}) {
+      arch::MemorySystemConfig mem;
+      mem.hbm_bandwidth_gb_s = bw;
+      const auto roof = arch::roofline_runtime(*trace, cfg, mem, 8);
+      const auto energy = arch::stalled_energy(*trace, cfg, params, mem, 8);
+      t.add_row({Table::num(bw, 0),
+                 Table::num(roof.runtime().seconds() * 1e6, 1) + " us",
+                 roof.memory_bound() ? "memory" : "compute",
+                 Table::pct(roof.compute_utilization()),
+                 Table::pct(energy.saving())});
+    }
+    std::printf("%s\n", t.to_string().c_str());
+  }
+
+  std::printf(
+      "Prefill turns compute-bound at practical HBM bandwidths, recovering the\n"
+      "Fig. 9 saving; decode stays memory-bound even at 4 TB/s — its stalls add\n"
+      "identical static energy to both variants and squeeze the P-DAC's\n"
+      "relative advantage, matching the paper's compute-bound caveat.\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// abl_seqlen_sweep — ablation A10: P-DAC saving vs sequence length.
+//
+// The paper evaluates two fixed points (BERT at 128 tokens, DeiT at
+// 197).  Sequence length moves the workload composition: dynamic
+// Q·Kᵀ/A·V work grows quadratically while projection/FFN work grows
+// linearly, and weight traffic is constant per layer — so the
+// attention-vs-FFN savings gap and the total saving both drift with
+// context.  This bench sweeps the BERT-base shape from 32 to 2048
+// tokens at both precisions.
+#include <cstdio>
+
+#include "arch/energy_model.hpp"
+#include "common/table.hpp"
+#include "nn/model_config.hpp"
+#include "nn/workload_trace.hpp"
+
+int main() {
+  using namespace pdac;
+  const arch::LtConfig cfg = arch::lt_base();
+  const arch::PowerParams params = arch::lt_power_params();
+
+  std::printf("Ablation A10 — energy saving vs sequence length (BERT-base shape)\n\n");
+
+  Table t({"seq len", "dynamic MAC share", "saving 4b", "saving 8b", "attn 8b", "ffn 8b"});
+  for (std::size_t seq : {32u, 64u, 128u, 197u, 256u, 512u, 1024u, 2048u}) {
+    const auto trace = nn::trace_forward(nn::bert_base(seq));
+    std::size_t dynamic_macs = 0;
+    for (const auto& g : trace.gemms) {
+      if (!g.static_weights) dynamic_macs += g.macs();
+    }
+    const double dyn_share =
+        static_cast<double>(dynamic_macs) / static_cast<double>(trace.total_macs());
+    const auto cmp4 = arch::compare_energy(trace, cfg, params, 4);
+    const auto cmp8 = arch::compare_energy(trace, cfg, params, 8);
+    t.add_row({std::to_string(seq), Table::pct(dyn_share),
+               Table::pct(cmp4.total_saving()), Table::pct(cmp8.total_saving()),
+               Table::pct(cmp8.saving(nn::OpClass::kAttention)),
+               Table::pct(cmp8.saving(nn::OpClass::kFfn))});
+  }
+  std::printf("%s", t.to_string().c_str());
+  std::printf(
+      "\npaper anchors: seq 128 -> 32.3%% total (BERT), seq 197 -> 32.3%% (DeiT).\n"
+      "Longer sequences amortize weight traffic AND raise the dynamic-product\n"
+      "share, both of which favor the P-DAC.  Past ~512 tokens the saving even\n"
+      "exceeds the 47.7%% broadcast-rate ceiling of Fig. 11, because dynamic\n"
+      "Q*K^T/A*V operands cannot be broadcast-shared and convert at double\n"
+      "rate — every one of those conversions is a DAC the P-DAC eliminates.\n");
+  return 0;
+}

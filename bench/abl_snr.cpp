@@ -1,0 +1,67 @@
+// abl_snr — ablation A8: detector SNR vs laser power, and what it says
+// about the laser-precision scaling in the power model.
+//
+// Measures DDot readout ENOB as the carrier amplitude (∝ √laser power)
+// grows, for thermal-limited and shot-limited detection, then reports
+// the laser-power-per-added-bit rate each regime implies and compares
+// with the (milder) exponent the paper's own Fig. 11 numbers imply.
+#include <cmath>
+#include <cstdio>
+
+#include "arch/power_params.hpp"
+#include "common/table.hpp"
+#include "ptc/noise_analysis.hpp"
+
+int main() {
+  using namespace pdac;
+
+  std::printf("Ablation A8 — DDot readout SNR vs carrier power (8 wavelengths)\n\n");
+
+  ptc::SnrConfig thermal;
+  thermal.noise.enabled = true;
+  thermal.noise.thermal_noise_std = 0.02;
+  thermal.trials = 6000;
+
+  ptc::SnrConfig shot;
+  shot.noise.enabled = true;
+  shot.noise.shot_noise_scale = 0.02;
+  shot.trials = 6000;
+
+  Table t({"amplitude scale", "laser power", "ENOB (thermal)", "ENOB (shot)"});
+  for (double s : {0.5, 1.0, 2.0, 4.0, 8.0, 16.0}) {
+    ptc::SnrConfig a = thermal, b = shot;
+    a.amplitude_scale = b.amplitude_scale = s;
+    const auto ra = ptc::measure_ddot_snr(a);
+    const auto rb = ptc::measure_ddot_snr(b);
+    t.add_row({Table::num(s, 1), Table::num(s * s, 1) + "x",
+               Table::num(ra.effective_bits, 2), Table::num(rb.effective_bits, 2)});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+
+  // Required laser power for target precisions, thermal-limited.
+  Table req({"target ENOB", "required amplitude", "required laser power"});
+  double prev_power = 0.0;
+  for (double bits : {4.0, 6.0, 8.0}) {
+    const double s = ptc::required_amplitude_scale(bits, thermal);
+    const double power = s * s;
+    req.add_row({Table::num(bits, 0), Table::num(s, 2),
+                 Table::num(power, 2) + "x" +
+                     (prev_power > 0.0
+                          ? "  (" + Table::num(power / prev_power, 1) + "x per 2 bits)"
+                          : "")});
+    prev_power = power;
+  }
+  std::printf("%s", req.to_string().c_str());
+
+  const auto params = arch::lt_power_params();
+  std::printf(
+      "\nThermal-limited detection needs ~2x laser power per added bit (shot-\n"
+      "limited needs ~4x).  The paper's Fig. 11 numbers imply a much milder\n"
+      "2^%.3f per bit (x%.2f from 4-bit to 8-bit) — i.e. LT-B's laser budget\n"
+      "is set by insertion-loss/link margins, not by quantization SNR, and a\n"
+      "strictly SNR-sized laser would make high-precision operation MORE\n"
+      "expensive than the power model assumes.  This is a modeling tension in\n"
+      "the original evaluation that the reproduction makes explicit.\n",
+      params.laser_bit_exponent, std::exp2(params.laser_bit_exponent * 4.0));
+  return 0;
+}

@@ -1,0 +1,121 @@
+// abl_variation — ablation A6: Monte-Carlo robustness of the P-DAC
+// under device variation (TIA gain mismatch, bias drift, MZM imbalance,
+// Vπ drift).  The paper's 8.5 % bound assumes ideal components; this
+// bench shows how much variation budget a fabricated P-DAC has before
+// that bound degrades, and the parametric yield against error budgets.
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "core/trimming.hpp"
+#include "core/variation.hpp"
+
+int main() {
+  using namespace pdac;
+  core::PdacConfig nominal;
+  nominal.bits = 8;
+  constexpr int kTrials = 200;
+
+  std::printf("Ablation A6 — P-DAC Monte-Carlo variation analysis (8-bit, %d devices/row)\n\n",
+              kTrials);
+
+  Table t({"sigma (all sources)", "worst err mean", "worst err p95", "mean |err|",
+           "yield @10%", "yield @12%"});
+  for (double sigma : {0.0, 0.005, 0.01, 0.02, 0.04, 0.08}) {
+    core::VariationConfig var;
+    var.tia_gain_sigma = sigma;
+    var.bias_sigma = sigma * 0.1;  // bias drift is a fraction of a radian
+    var.mzm_imbalance_sigma = sigma;
+    var.vpi_drift_sigma = sigma * 0.5;
+    var.seed = 42;
+    const auto rep = core::monte_carlo_pdac(nominal, var, kTrials);
+    t.add_row({Table::num(sigma, 3), Table::pct(rep.worst_error.mean(), 2),
+               Table::pct(rep.worst_error_quantile(0.95), 2),
+               Table::num(rep.mean_abs_error.mean(), 5), Table::pct(rep.yield(0.10), 1),
+               Table::pct(rep.yield(0.12), 1)});
+  }
+  std::printf("%s", t.to_string().c_str());
+
+  // Which variation source hurts most at a fixed sigma?
+  std::printf("\nper-source sensitivity at sigma = 0.02:\n");
+  Table s({"source", "worst err mean", "worst err p95"});
+  struct Source {
+    const char* name;
+    core::VariationConfig var;
+  };
+  std::vector<Source> sources(4);
+  sources[0] = {"TIA gain mismatch", {}};
+  sources[0].var.tia_gain_sigma = 0.02;
+  sources[1] = {"bias drift (0.02 rad)", {}};
+  sources[1].var.bias_sigma = 0.02;
+  sources[2] = {"MZM imbalance", {}};
+  sources[2].var.mzm_imbalance_sigma = 0.02;
+  sources[3] = {"Vpi drift", {}};
+  sources[3].var.vpi_drift_sigma = 0.02;
+  for (auto& src : sources) {
+    src.var.seed = 7;
+    const auto rep = core::monte_carlo_pdac(nominal, src.var, kTrials);
+    s.add_row({src.name, Table::pct(rep.worst_error.mean(), 2),
+               Table::pct(rep.worst_error_quantile(0.95), 2)});
+  }
+  std::printf("%s", s.to_string().c_str());
+  // Encoding ablation: sign-magnitude removes the two's-complement
+  // bit-weight cancellation that amplifies gain mismatch.
+  std::printf("\nencoding comparison under TIA gain mismatch (%d devices/row):\n",
+              kTrials / 2);
+  Table enc({"gain sigma", "two's-complement worst", "sign-magnitude worst",
+             "2C yield @12%", "SM yield @12%"});
+  for (double sigma : {0.01, 0.02, 0.04}) {
+    core::VariationConfig var;
+    var.tia_gain_sigma = sigma;
+    var.seed = 77;
+    const auto twos = core::monte_carlo_pdac(nominal, var, kTrials / 2);
+    const auto sm = core::monte_carlo_sign_magnitude(nominal, var, kTrials / 2);
+    enc.add_row({Table::num(sigma, 2), Table::pct(twos.worst_error.mean(), 1),
+                 Table::pct(sm.worst_error.mean(), 1), Table::pct(twos.yield(0.12), 1),
+                 Table::pct(sm.yield(0.12), 1)});
+  }
+  std::printf("%s", enc.to_string().c_str());
+
+  // Gain trimming (production-test calibration) closes the gap.
+  std::printf("\nwith per-bank gain trimming (trimming.hpp), sigma = 0.02, %d devices:\n",
+              kTrials / 4);
+  Table tr({"metric", "before trim", "after trim"});
+  {
+    core::VariationConfig var;
+    var.tia_gain_sigma = 0.02;
+    var.bias_sigma = 0.002;
+    var.vpi_drift_sigma = 0.01;
+    var.seed = 99;
+    Rng rng(var.seed);
+    stats::Running before, after;
+    int yield_before = 0, yield_after = 0;
+    const int n = kTrials / 4;
+    for (int i = 0; i < n; ++i) {
+      core::PerturbedPdacModel device(nominal, var, rng);
+      const auto res = core::trim_pdac(device);
+      before.add(res.worst_error_before);
+      after.add(res.worst_error_after);
+      if (res.worst_error_before < 0.10) ++yield_before;
+      if (res.worst_error_after < 0.10) ++yield_after;
+    }
+    tr.add_row({"worst err mean", Table::pct(before.mean(), 2), Table::pct(after.mean(), 2)});
+    tr.add_row({"worst err max", Table::pct(before.max(), 2), Table::pct(after.max(), 2)});
+    tr.add_row({"yield @10%", Table::pct(static_cast<double>(yield_before) / n, 1),
+                Table::pct(static_cast<double>(yield_after) / n, 1)});
+  }
+  std::printf("%s", tr.to_string().c_str());
+
+  std::printf(
+      "\nFindings: (1) the *average* encode error barely moves below ~1%%\n"
+      "matching, but the worst single code degrades quickly — small negative\n"
+      "codes sum nearly cancelling two's-complement bit weights, amplifying\n"
+      "gain mismatch; (2) Vpi drift is the most damaging source because it\n"
+      "scales the pi/2 bias point and shifts *every* code including zero;\n"
+      "(3) MZM splitting imbalance is benign: under push-pull drive it lands\n"
+      "in quadrature and the detected real component is unaffected.  As the\n"
+      "trimming table shows, the same per-bank gain trimming binary-weighted\n"
+      "electrical DACs rely on restores the nominal 8.5%% bound and full\n"
+      "parametric yield from a handful of probe codes per bank.\n");
+  return 0;
+}

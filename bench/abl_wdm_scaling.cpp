@@ -1,0 +1,50 @@
+// abl_wdm_scaling — ablation A14: how far WDM parallelism scales.
+//
+// DDot throughput is linear in the wavelength count, but receiver rings
+// capture Lorentzian tails of neighbouring channels; the aggregate
+// interference is a signal-correlated error floor.  This bench sweeps
+// channel count × ring selectivity and reports isolation, the
+// crosstalk-limited effective bits, and the largest comb that supports
+// 8-bit operation — the physical bound on the "more wavelengths = more
+// parallelism" lever used throughout the paper.
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "photonics/crosstalk.hpp"
+
+int main() {
+  using namespace pdac;
+  using photonics::analyze_crosstalk;
+  using photonics::WdmBusConfig;
+
+  std::printf("Ablation A14 — WDM channel scaling vs crosstalk\n\n");
+
+  Table t({"channels", "ring HWHM", "pair isolation", "aggregate xtalk",
+           "xtalk-limited bits"});
+  for (double hwhm : {0.02, 0.05, 0.1}) {
+    for (std::size_t n : {8u, 16u, 32u, 64u}) {
+      WdmBusConfig cfg;
+      cfg.channels = n;
+      cfg.ring_hwhm_channels = hwhm;
+      const auto rep = analyze_crosstalk(cfg);
+      t.add_row({std::to_string(n), Table::num(hwhm, 2),
+                 Table::num(rep.worst_isolation_db, 1) + " dB",
+                 Table::pct(rep.worst_aggregate_ratio, 2),
+                 Table::num(rep.crosstalk_limited_bits(), 1)});
+    }
+  }
+  std::printf("%s\n", t.to_string().c_str());
+
+  Table m({"ring HWHM", "max channels (agg. isolation >= 24 dB ~ 8-bit)"});
+  for (double hwhm : {0.01, 0.02, 0.05, 0.1, 0.15}) {
+    m.add_row({Table::num(hwhm, 2),
+               std::to_string(photonics::max_channels_for_isolation(24.0, hwhm, 64))});
+  }
+  std::printf("%s", m.to_string().c_str());
+  std::printf(
+      "\nLT-B's 8 wavelengths with high-Q rings (HWHM ~0.02 of the channel\n"
+      "spacing) keep crosstalk beyond the 8-bit floor with margin; pushing to\n"
+      "32-64 channels demands proportionally sharper rings, whose higher Q in\n"
+      "turn tightens the thermal-tuning tolerance modeled in thermal_tuner.\n");
+  return 0;
+}

@@ -1,0 +1,34 @@
+// fig05_baseline_power_breakdown — reproduces paper Fig. 5: the power
+// breakdown of LT-B with traditional electrical DACs, showing the DAC
+// share of 21.8 % at 4-bit and 50.5 % at 8-bit precision that motivates
+// the P-DAC.
+#include <iostream>
+
+#include "arch/component_power.hpp"
+#include "eval/report.hpp"
+
+int main() {
+  using namespace pdac;
+  const arch::LtConfig cfg = arch::lt_base();
+  const arch::PowerParams params = arch::lt_power_params();
+
+  std::cout << "Fig. 5 — power breakdown of LT-B with traditional DACs\n\n";
+
+  std::vector<eval::Scored> scoreboard;
+  for (int bits : {4, 8}) {
+    const auto breakdown =
+        arch::compute_power_breakdown(cfg, params, bits, arch::SystemVariant::kDacBased);
+    std::cout << eval::render_power_breakdown(
+                     "Fig. 5(" + std::string(bits == 4 ? "a" : "b") + ") LT-B baseline",
+                     breakdown)
+              << "\n";
+    scoreboard.push_back({"DAC share of total power, " + std::to_string(bits) + "-bit",
+                          bits == 4 ? 21.8 : 50.5,
+                          100.0 * breakdown.share(arch::Component::kDac), "%"});
+  }
+
+  std::cout << eval::render_scoreboard(
+      "Fig. 5", scoreboard,
+      "note: component table calibrated per DESIGN.md §5; shares are model output.");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// fig11_compute_bound_power — reproduces paper Fig. 11: the power
+// breakdown of LT-B in a fully compute-bound scenario, all four panels:
+//   (a) DAC-based, 4-bit        (b) DAC-based, 8-bit
+//   (c) P-DAC,    4-bit, 11.81 W (d) P-DAC,    8-bit, 26.64 W
+// with power savings of 19.9 % (4-bit) and 47.7 % (8-bit).
+#include <iostream>
+
+#include "arch/component_power.hpp"
+#include "eval/report.hpp"
+
+int main() {
+  using namespace pdac;
+  const arch::LtConfig cfg = arch::lt_base();
+  const arch::PowerParams params = arch::lt_power_params();
+
+  std::cout << "Fig. 11 — compute-bound power breakdown of LT-B, DAC vs P-DAC\n\n";
+
+  struct Panel {
+    const char* tag;
+    int bits;
+    arch::SystemVariant variant;
+  };
+  const Panel panels[] = {
+      {"(a)", 4, arch::SystemVariant::kDacBased},
+      {"(b)", 8, arch::SystemVariant::kDacBased},
+      {"(c)", 4, arch::SystemVariant::kPdacBased},
+      {"(d)", 8, arch::SystemVariant::kPdacBased},
+  };
+  arch::PowerBreakdown by_panel[4];
+  for (int i = 0; i < 4; ++i) {
+    by_panel[i] =
+        arch::compute_power_breakdown(cfg, params, panels[i].bits, panels[i].variant);
+    std::cout << eval::render_power_breakdown(std::string("Fig. 11") + panels[i].tag,
+                                              by_panel[i])
+              << "\n";
+  }
+
+  const double save4 = 1.0 - by_panel[2].total() / by_panel[0].total();
+  const double save8 = 1.0 - by_panel[3].total() / by_panel[1].total();
+  std::cout << eval::render_scoreboard(
+      "Fig. 11",
+      {
+          {"P-DAC system total, 4-bit", 11.81, by_panel[2].total().watts(), " W"},
+          {"P-DAC system total, 8-bit", 26.64, by_panel[3].total().watts(), " W"},
+          {"power saving, 4-bit", 19.9, 100.0 * save4, "%"},
+          {"power saving, 8-bit", 47.7, 100.0 * save8, "%"},
+          {"ADC share of P-DAC system, 4-bit", 18.0,
+           100.0 * by_panel[2].share(arch::Component::kAdc), "%"},
+          {"ADC share of P-DAC system, 8-bit", 16.0,
+           100.0 * by_panel[3].share(arch::Component::kAdc), "%"},
+          {"P-DAC share of system, 8-bit", 20.1,
+           100.0 * by_panel[3].share(arch::Component::kPdac), "%"},
+          {"laser share of P-DAC system, 4-bit", 46.5,
+           100.0 * by_panel[2].share(arch::Component::kLaser), "%"},
+      },
+      "note: the laser dominates the 8-bit P-DAC system, matching the paper's\n"
+      "discussion that remaining power is constrained by the laser.");
+  return 0;
+}

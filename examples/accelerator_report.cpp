@@ -1,0 +1,81 @@
+// accelerator_report — the one-stop system evaluation a deployment study
+// runs: configure an accelerator instance, run a workload, read back
+// power, energy, runtime, utilization and traffic in one report.
+//
+// Usage:
+//   accelerator_report [bert|deit|vgg|decode] [bits] [hbm_gb_s] [config.ini]
+// When a config file is given it is loaded first (see
+// arch/config_parser.hpp for the format); explicit bits/hbm arguments
+// then override it.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "arch/accelerator.hpp"
+#include "arch/config_parser.hpp"
+#include "eval/report.hpp"
+#include "nn/cnn_trace.hpp"
+#include "nn/decode_trace.hpp"
+#include "nn/model_config.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pdac;
+
+  const std::string workload = argc > 1 ? argv[1] : "bert";
+  const int bits = argc > 2 ? std::atoi(argv[2]) : 8;
+  const double hbm = argc > 3 ? std::atof(argv[3]) : 512.0;
+
+  arch::AcceleratorConfig cfg;
+  if (argc > 4) {
+    std::ifstream file(argv[4]);
+    if (!file) {
+      std::fprintf(stderr, "cannot open config file %s\n", argv[4]);
+      return 1;
+    }
+    std::ostringstream text;
+    text << file.rdbuf();
+    cfg = arch::parse_accelerator_config(text.str());
+  }
+  cfg.bits = bits;
+  cfg.memory.hbm_bandwidth_gb_s = hbm;
+  const arch::Accelerator acc(cfg);
+
+  nn::WorkloadTrace trace;
+  if (workload == "deit") {
+    trace = nn::trace_forward(nn::deit_base());
+  } else if (workload == "vgg") {
+    trace = nn::trace_cnn_forward(nn::vgg11_like());
+  } else if (workload == "decode") {
+    trace = nn::trace_decode_step(nn::bert_base(128), 512);
+  } else {
+    trace = nn::trace_forward(nn::bert_base(128));
+  }
+
+  std::printf("=== accelerator report: %s workload, %d-bit, %.0f GB/s HBM ===\n\n",
+              workload.c_str(), bits, hbm);
+
+  std::cout << eval::render_power_breakdown(
+      "compute-bound power", acc.power(arch::SystemVariant::kPdacBased));
+
+  const arch::InferenceReport rep = acc.run(trace);
+  std::cout << "\n" << eval::render_energy_comparison("inference energy", rep.energy);
+
+  const auto& org = acc.config().organization;
+  std::printf("\nruntime: %.1f us (%s-bound), throughput %.0f inferences/s\n",
+              rep.runtime(org).seconds() * 1e6,
+              rep.roofline.memory_bound() ? "memory" : "compute",
+              rep.throughput(org));
+  std::printf("schedule: %.1f%% array utilization, %.1f%% DDot utilization, "
+              "%.2fx pipeline slowdown\n",
+              100.0 * rep.schedule.utilization(), 100.0 * rep.schedule.ddot_utilization(),
+              rep.schedule.slowdown());
+  std::printf("traffic: %.1f MB HBM, %.1f MB SRAM per inference\n",
+              static_cast<double>(rep.traffic.hbm_bytes) / 1e6,
+              static_cast<double>(rep.traffic.sram_bytes) / 1e6);
+  std::printf("P-DAC saving: %.1f%% (event model), %.1f%% including memory stalls\n",
+              100.0 * rep.energy.total_saving(), 100.0 * rep.effective_saving());
+  return 0;
+}

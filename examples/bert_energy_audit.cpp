@@ -1,0 +1,76 @@
+// bert_energy_audit — end-to-end inference energy audit for a
+// transformer workload on LT-B, DAC-based vs P-DAC.
+//
+// Usage:
+//   bert_energy_audit [bert|deit|tiny] [bits] [seq_len]
+// Defaults: bert 8 128.  Prints the per-op-class energy breakdown (the
+// Fig. 9/10 view), the per-term decomposition, per-layer GEMM detail for
+// the first layer, and the SRAM working-set check.
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "arch/energy_model.hpp"
+#include "arch/sram.hpp"
+#include "common/table.hpp"
+#include "eval/report.hpp"
+#include "nn/model_config.hpp"
+#include "nn/workload_trace.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pdac;
+
+  const std::string model_name = argc > 1 ? argv[1] : "bert";
+  const int bits = argc > 2 ? std::atoi(argv[2]) : 8;
+  const std::size_t seq = argc > 3 ? static_cast<std::size_t>(std::atoll(argv[3])) : 128;
+
+  nn::TransformerConfig model;
+  if (model_name == "deit") {
+    model = nn::deit_base();
+  } else if (model_name == "tiny") {
+    model = nn::tiny_transformer();
+  } else {
+    model = nn::bert_base(seq);
+  }
+
+  const arch::LtConfig cfg = arch::lt_base();
+  const arch::PowerParams params = arch::lt_power_params();
+  const nn::WorkloadTrace trace = nn::trace_forward(model);
+
+  std::printf("energy audit: %s, %d-bit, seq %zu — %zu GEMMs, %.1f MMACs/inference\n\n",
+              model.name.c_str(), bits, model.seq_len, trace.gemms.size(),
+              static_cast<double>(trace.total_macs()) / 1e6);
+
+  const auto cmp = arch::compare_energy(trace, cfg, params, bits);
+  std::cout << eval::render_energy_comparison(model.name + " inference energy", cmp);
+
+  std::printf("\nruntime (compute-bound): %.1f us/inference, %.1f inferences/s\n",
+              cmp.baseline.runtime.seconds() * 1e6, 1.0 / cmp.baseline.runtime.seconds());
+  std::printf("energy saving with P-DAC: %.1f%% total (attention %.1f%%, ffn %.1f%%)\n\n",
+              100.0 * cmp.total_saving(), 100.0 * cmp.saving(nn::OpClass::kAttention),
+              100.0 * cmp.saving(nn::OpClass::kFfn));
+
+  // First-layer GEMM detail.
+  Table t({"op", "class", "m", "k", "n", "x", "weights?", "MMACs"});
+  for (const auto& g : trace.gemms) {
+    if (g.label.rfind("L0.", 0) != 0) continue;
+    t.add_row({g.label, nn::to_string(g.op_class), std::to_string(g.m), std::to_string(g.k),
+               std::to_string(g.n), std::to_string(g.repeats),
+               g.static_weights ? "static" : "dynamic",
+               Table::num(static_cast<double>(g.macs()) / 1e6, 1)});
+  }
+  std::cout << "layer-0 GEMM inventory:\n" << t.to_string();
+
+  // Working-set sanity: per-layer weights must fit the shared M2 SRAM.
+  const arch::Sram sram{arch::SramConfig{}};
+  std::size_t layer_weight_bytes = 0;
+  for (const auto& g : trace.gemms) {
+    if (g.label.rfind("L0.", 0) == 0) layer_weight_bytes += g.weight_elements() * bits / 8;
+  }
+  std::printf("\nper-layer weight working set: %.2f MiB (%s %zu MiB M2 SRAM)\n",
+              static_cast<double>(layer_weight_bytes) / (1024.0 * 1024.0),
+              sram.fits(layer_weight_bytes) ? "fits in" : "EXCEEDS",
+              sram.config().capacity_bytes / (1024 * 1024));
+  return 0;
+}

@@ -1,0 +1,105 @@
+// design_space_explorer — architecture and device design-space sweeps a
+// hardware team would run before committing to a P-DAC integration:
+//
+//   A. accelerator organization: cores × array size × wavelengths, at
+//      constant peak MACs — where does the P-DAC saving move?
+//   B. P-DAC breakpoint k: energy is k-independent, but accuracy is not;
+//      shows the integrated/max error so the k* = 0.7236 choice is visible.
+//   C. clock scaling: conversion energy is per-event, static power is
+//      per-second; sweeping the clock shows the efficiency sweet spot.
+#include <cstdio>
+
+#include "arch/component_power.hpp"
+#include "arch/energy_model.hpp"
+#include "common/table.hpp"
+#include "core/arccos_approx.hpp"
+#include "nn/model_config.hpp"
+#include "nn/workload_trace.hpp"
+#include "photonics/waveguide.hpp"
+
+int main() {
+  using namespace pdac;
+  const arch::PowerParams params = arch::lt_power_params();
+  const auto trace = nn::trace_forward(nn::bert_base(128));
+
+  // --- A. organization sweep ---------------------------------------------------
+  std::printf("A) organization sweep (8-bit, BERT-base, constant 8192 MAC/cycle)\n");
+  Table ta({"organization", "modulators", "ADCs", "DAC system", "P-DAC system", "saving"});
+  struct Org {
+    const char* name;
+    std::size_t clusters, cores, rows, cols, lambdas;
+  };
+  const Org orgs[] = {
+      {"2x8 cores, 8x8 DDots, 8 lambda (LT-B)", 2, 8, 8, 8, 8},
+      {"2x4 cores, 8x8 DDots, 16 lambda", 2, 4, 8, 8, 16},
+      {"2x2 cores, 16x16 DDots, 8 lambda", 2, 2, 16, 16, 8},
+      {"2x16 cores, 8x8 DDots, 4 lambda", 2, 16, 8, 8, 4},
+      {"2x32 cores, 4x4 DDots, 8 lambda", 2, 32, 4, 4, 8},
+  };
+  for (const auto& o : orgs) {
+    arch::LtConfig cfg;
+    cfg.clusters = o.clusters;
+    cfg.cores_per_cluster = o.cores;
+    cfg.array_rows = o.rows;
+    cfg.array_cols = o.cols;
+    cfg.wavelengths = o.lambdas;
+    const auto base =
+        arch::compute_power_breakdown(cfg, params, 8, arch::SystemVariant::kDacBased);
+    const auto prop =
+        arch::compute_power_breakdown(cfg, params, 8, arch::SystemVariant::kPdacBased);
+    ta.add_row({o.name, std::to_string(cfg.modulator_channels()),
+                std::to_string(cfg.adc_channels()), Table::watts(base.total().watts()),
+                Table::watts(prop.total().watts()),
+                Table::pct(1.0 - prop.total() / base.total())});
+  }
+  std::printf("%s", ta.to_string().c_str());
+  std::printf("larger arrays amortize modulators over more DDots ((H+W) vs H*W), so\n"
+              "both systems gain — but the P-DAC saving is largest where modulator\n"
+              "count per MAC is highest (small arrays, many wavelengths).\n\n");
+
+  // --- B. breakpoint sweep --------------------------------------------------------
+  std::printf("B) P-DAC breakpoint sweep (accuracy only; energy is k-independent)\n");
+  Table tb({"k", "integrated err (Eq.17)", "max decode err"});
+  for (double k : {0.5, 0.6, 0.7, 0.7236, 0.75, 0.8, 0.9}) {
+    const auto a = core::PiecewiseLinearArccos::with_breakpoint(k);
+    tb.add_row({Table::num(k, 4), Table::num(a.integrated_error(), 5),
+                Table::pct(a.max_decode_error(), 2)});
+  }
+  std::printf("%s", tb.to_string().c_str());
+  std::printf("k = 0.7236 minimizes the integrated error, as derived in the paper.\n\n");
+
+  // --- C. clock sweep ------------------------------------------------------------
+  std::printf("C) clock sweep (8-bit, BERT-base)\n");
+  Table tc({"clock", "runtime/inf", "DAC energy/inf", "P-DAC energy/inf", "saving"});
+  for (double ghz : {1.0, 2.5, 5.0, 10.0}) {
+    arch::LtConfig cfg = arch::lt_base();
+    cfg.clock = units::gigahertz(ghz);
+    const auto cmp = arch::compare_energy(trace, cfg, params, 8);
+    tc.add_row({Table::num(ghz, 1) + " GHz",
+                Table::num(cmp.baseline.runtime.seconds() * 1e6, 1) + " us",
+                Table::millijoules(cmp.baseline.total().total().joules()),
+                Table::millijoules(cmp.pdac.total().total().joules()),
+                Table::pct(cmp.total_saving())});
+  }
+  std::printf("%s", tc.to_string().c_str());
+  std::printf("static power (laser/thermal) integrates over runtime, so faster clocks\n"
+              "reduce total energy; conversion counts — and the P-DAC's absolute\n"
+              "advantage per conversion — are clock-invariant.\n\n");
+
+  // --- D. optical link budget vs broadcast fan-out -----------------------------
+  std::printf("D) link budget: laser power needed to close the modulator->DDot link\n");
+  Table td({"broadcast ways", "total loss", "required laser (3 dB margin)"});
+  for (std::size_t ways : {1u, 4u, 8u, 16u, 32u, 64u}) {
+    photonics::LinkBudgetConfig link;
+    link.broadcast_ways = ways;
+    const auto rep = photonics::evaluate_link_budget(link);
+    td.add_row({std::to_string(ways), Table::num(rep.total_loss_db, 1) + " dB",
+                Table::num(photonics::required_laser_dbm(link), 1) + " dBm"});
+  }
+  std::printf("%s", td.to_string().c_str());
+  std::printf("every doubling of DDot fan-out costs ~3.2 dB of laser power — the\n"
+              "loss wall that bounds how far LT-style operand broadcast can scale\n"
+              "(and the real reason the laser budget in Fig. 11 exceeds the pure\n"
+              "SNR requirement; see bench/abl_snr).\n");
+  return 0;
+}

@@ -1,0 +1,40 @@
+#include "arch/accelerator.hpp"
+
+#include <algorithm>
+
+#include "common/require.hpp"
+
+namespace pdac::arch {
+
+units::Time InferenceReport::runtime(const LtConfig& cfg) const {
+  const double compute = schedule.runtime(cfg.clock).seconds();
+  const double memory =
+      std::max(roofline.hbm_time.seconds(), roofline.sram_time.seconds());
+  return units::seconds(std::max(compute, memory));
+}
+
+double InferenceReport::throughput(const LtConfig& cfg) const {
+  const double t = runtime(cfg).seconds();
+  return t > 0.0 ? 1.0 / t : 0.0;
+}
+
+Accelerator::Accelerator(AcceleratorConfig cfg) : cfg_(cfg) {
+  PDAC_REQUIRE(cfg_.bits >= 2 && cfg_.bits <= 16, "Accelerator: bits in [2, 16]");
+  PDAC_REQUIRE(cfg_.organization.arrays() >= 1, "Accelerator: needs at least one array");
+}
+
+InferenceReport Accelerator::run(const nn::WorkloadTrace& trace) const {
+  InferenceReport rep{
+      compare_energy(trace, cfg_.organization, cfg_.power, cfg_.bits),
+      schedule_trace(trace, cfg_.organization),
+      roofline_runtime(trace, cfg_.organization, cfg_.memory, cfg_.bits),
+      summarize_traffic(trace, cfg_.bits),
+      stalled_energy(trace, cfg_.organization, cfg_.power, cfg_.memory, cfg_.bits)};
+  return rep;
+}
+
+PowerBreakdown Accelerator::power(SystemVariant variant) const {
+  return compute_power_breakdown(cfg_.organization, cfg_.power, cfg_.bits, variant);
+}
+
+}  // namespace pdac::arch

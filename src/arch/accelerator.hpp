@@ -1,0 +1,60 @@
+// accelerator.hpp — the integrated system model: one object that ties
+// together the organization (lt_config), device power (power_params),
+// memory system, dependency-aware scheduling and the energy comparison.
+//
+// This is the top-level API a deployment study uses: configure once,
+// `run()` a workload trace, and read back energy (both modulator
+// variants), runtime with pipeline + memory effects, utilization and
+// traffic — everything the per-figure benches compute, in one report.
+#pragma once
+
+#include "arch/component_power.hpp"
+#include "arch/energy_model.hpp"
+#include "arch/lt_config.hpp"
+#include "arch/mapper.hpp"
+#include "arch/memory_system.hpp"
+#include "arch/power_params.hpp"
+#include "nn/workload_trace.hpp"
+
+namespace pdac::arch {
+
+struct AcceleratorConfig {
+  LtConfig organization{};
+  PowerParams power{};
+  MemorySystemConfig memory{};
+  int bits{8};
+};
+
+struct InferenceReport {
+  EnergyComparison energy;       ///< event-priced energy, DAC vs P-DAC
+  Schedule schedule;             ///< dependency-aware compute timeline
+  RooflineResult roofline;       ///< bandwidth limits
+  TrafficSummary traffic;        ///< bytes by memory level
+  StalledEnergy stalled_energy;  ///< energy including memory-stall burn
+
+  /// Wall-clock runtime: the scheduled compute timeline or the memory
+  /// pipe, whichever is longer.
+  [[nodiscard]] units::Time runtime(const LtConfig& cfg) const;
+  /// Inferences per second at that runtime.
+  [[nodiscard]] double throughput(const LtConfig& cfg) const;
+  /// Energy saving including pipeline and stall effects.
+  [[nodiscard]] double effective_saving() const { return stalled_energy.saving(); }
+};
+
+class Accelerator {
+ public:
+  explicit Accelerator(AcceleratorConfig cfg);
+
+  /// Evaluate one forward pass of the traced workload.
+  [[nodiscard]] InferenceReport run(const nn::WorkloadTrace& trace) const;
+
+  /// Compute-bound power breakdown of this instance (the Fig. 5/11 view).
+  [[nodiscard]] PowerBreakdown power(SystemVariant variant) const;
+
+  [[nodiscard]] const AcceleratorConfig& config() const { return cfg_; }
+
+ private:
+  AcceleratorConfig cfg_;
+};
+
+}  // namespace pdac::arch

@@ -1,0 +1,101 @@
+#include "arch/energy_model.hpp"
+
+#include <algorithm>
+
+#include "arch/op_events.hpp"
+#include "common/require.hpp"
+
+namespace pdac::arch {
+
+const EnergyBreakdown& WorkloadEnergy::of(nn::OpClass c) const {
+  switch (c) {
+    case nn::OpClass::kAttention: return attention;
+    case nn::OpClass::kFfn: return ffn;
+    case nn::OpClass::kConv: return conv;
+    case nn::OpClass::kOther: return other;
+  }
+  return other;
+}
+
+WorkloadEnergy evaluate_energy(const nn::WorkloadTrace& trace, const LtConfig& cfg,
+                               const PowerParams& params, int bits, SystemVariant variant) {
+  PDAC_REQUIRE(bits >= 2 && bits <= 16, "evaluate_energy: bits in [2, 16]");
+  WorkloadEnergy out;
+  out.variant = variant;
+  out.bits = bits;
+
+  const double f = cfg.clock.hertz();
+  const double n_mod = static_cast<double>(cfg.modulator_channels());
+
+  // Per-event energies, consistent with the compute-bound power model:
+  // at 100 % utilization, events/s × energy/event equals the component's
+  // Fig. 11 power by construction.
+  const double e_mod =
+      variant == SystemVariant::kDacBased
+          ? dac_unit_power(params, bits).watts() / f +
+                controller_power(params, bits).watts() / (n_mod * f)
+          : pdac_unit_power(params, bits).watts() / f;
+  const double e_adc = adc_unit_power(params, bits).watts() / f;
+  const units::Power p_static = laser_power(params, bits) + params.thermal_tuning +
+                                receiver_digital_power(params, bits);
+  const double e_sram_bit = params.sram_energy_per_bit.joules();
+  const double e_vec_bit = params.vector_energy_per_element_bit.joules();
+  const double arrays = static_cast<double>(cfg.arrays());
+
+  for (const auto& op : trace.gemms) {
+    const OpEvents ev = count_op_events(op, cfg);
+    EnergyBreakdown e;
+    e.modulation = units::joules(static_cast<double>(ev.modulations) * e_mod);
+    e.adc = units::joules(static_cast<double>(ev.adc_samples) * e_adc);
+    // Tiles are distributed over all arrays; occupancy is the wall time.
+    const double wall_seconds = static_cast<double>(ev.tile_cycles) / arrays / f;
+    e.static_power = units::joules(p_static.watts() * wall_seconds);
+    const std::uint64_t moved_elements = op.weight_elements() +
+                                         (op.static_weights ? op.activation_elements() : 0) +
+                                         op.total_extra_movement_elements();
+    e.movement = units::joules(static_cast<double>(moved_elements) *
+                               static_cast<double>(bits) * e_sram_bit);
+
+    out.wall_cycles += ev.tile_cycles / cfg.arrays();
+    switch (op.op_class) {
+      case nn::OpClass::kAttention: out.attention += e; break;
+      case nn::OpClass::kFfn: out.ffn += e; break;
+      case nn::OpClass::kConv: out.conv += e; break;
+      case nn::OpClass::kOther: out.other += e; break;
+    }
+  }
+
+  for (const auto& vop : trace.vector_ops) {
+    EnergyBreakdown e;
+    e.vector_unit = units::joules(static_cast<double>(vop.elements) *
+                                  static_cast<double>(bits) * e_vec_bit);
+    switch (vop.op_class) {
+      case nn::OpClass::kAttention: out.attention += e; break;
+      case nn::OpClass::kFfn: out.ffn += e; break;
+      case nn::OpClass::kConv: out.conv += e; break;
+      case nn::OpClass::kOther: out.other += e; break;
+    }
+  }
+
+  out.runtime = units::seconds(static_cast<double>(out.wall_cycles) / f);
+  return out;
+}
+
+double EnergyComparison::total_saving() const {
+  const double base = baseline.total().total().joules();
+  return base > 0.0 ? 1.0 - pdac.total().total().joules() / base : 0.0;
+}
+
+double EnergyComparison::saving(nn::OpClass c) const {
+  const double base = baseline.of(c).total().joules();
+  return base > 0.0 ? 1.0 - pdac.of(c).total().joules() / base : 0.0;
+}
+
+EnergyComparison compare_energy(const nn::WorkloadTrace& trace, const LtConfig& cfg,
+                                const PowerParams& params, int bits) {
+  return EnergyComparison{
+      evaluate_energy(trace, cfg, params, bits, SystemVariant::kDacBased),
+      evaluate_energy(trace, cfg, params, bits, SystemVariant::kPdacBased)};
+}
+
+}  // namespace pdac::arch

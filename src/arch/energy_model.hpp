@@ -1,0 +1,95 @@
+// energy_model.hpp — workload energy accounting (paper Figs. 9–10).
+//
+// Maps a transformer op trace onto the LT-B organization and charges
+// every energy-bearing event:
+//
+//   modulation — one conversion per operand value entering a modulator.
+//     Static-weight GEMMs benefit from LT's array broadcast: an H×W DDot
+//     tile consumes (H+W)·k conversions for H·W·k MACs.  Dynamic–dynamic
+//     products (Q·Kᵀ, A·V) are consumed in systolic order as they are
+//     produced and cannot be broadcast-shared, costing 2·H·W·k
+//     conversions per tile — this is why attention, whose dynamic ops
+//     carry no weight traffic but extra conversions, gains *more* from
+//     the P-DAC than the FFN does (paper §IV-B).
+//     Priced at DAC+controller (baseline) or P-DAC (proposed) rates.
+//   adc — one sample per DDot group per analog-accumulation window.
+//   static — laser + thermal tuning + receivers/digital, charged over
+//     the op's occupancy time on the array.
+//   movement — SRAM traffic: weight fetch plus activation staging for
+//     static GEMMs; dynamic products stay in PTC-local buffers.
+//   vector — the digital unit running softmax/LN/GELU ("other" class).
+//
+// The P-DAC affects only the modulation term, exactly as the paper
+// states ("P-DAC does not affect the energy consumption associated with
+// data movement").
+#pragma once
+
+#include <cstdint>
+
+#include "arch/component_power.hpp"
+#include "arch/lt_config.hpp"
+#include "arch/power_params.hpp"
+#include "common/units.hpp"
+#include "nn/workload_trace.hpp"
+
+namespace pdac::arch {
+
+struct EnergyBreakdown {
+  units::Energy modulation;
+  units::Energy adc;
+  units::Energy static_power;
+  units::Energy movement;
+  units::Energy vector_unit;
+
+  [[nodiscard]] units::Energy total() const {
+    return modulation + adc + static_power + movement + vector_unit;
+  }
+  EnergyBreakdown& operator+=(const EnergyBreakdown& o) {
+    modulation += o.modulation;
+    adc += o.adc;
+    static_power += o.static_power;
+    movement += o.movement;
+    vector_unit += o.vector_unit;
+    return *this;
+  }
+};
+
+struct WorkloadEnergy {
+  SystemVariant variant{SystemVariant::kDacBased};
+  int bits{8};
+  EnergyBreakdown attention;
+  EnergyBreakdown ffn;
+  EnergyBreakdown conv;
+  EnergyBreakdown other;
+  std::uint64_t wall_cycles{};
+  units::Time runtime;
+
+  [[nodiscard]] EnergyBreakdown total() const {
+    EnergyBreakdown t = attention;
+    t += ffn;
+    t += conv;
+    t += other;
+    return t;
+  }
+  [[nodiscard]] const EnergyBreakdown& of(nn::OpClass c) const;
+};
+
+/// Price one forward pass of `trace` on `cfg` under `variant`.
+WorkloadEnergy evaluate_energy(const nn::WorkloadTrace& trace, const LtConfig& cfg,
+                               const PowerParams& params, int bits, SystemVariant variant);
+
+/// Baseline-vs-P-DAC comparison with the savings the figures report.
+struct EnergyComparison {
+  WorkloadEnergy baseline;
+  WorkloadEnergy pdac;
+
+  /// 1 − E_pdac/E_baseline over the whole inference.
+  [[nodiscard]] double total_saving() const;
+  /// Savings within one op class (the per-category numbers of §IV-B1).
+  [[nodiscard]] double saving(nn::OpClass c) const;
+};
+
+EnergyComparison compare_energy(const nn::WorkloadTrace& trace, const LtConfig& cfg,
+                                const PowerParams& params, int bits);
+
+}  // namespace pdac::arch

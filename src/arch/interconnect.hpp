@@ -1,0 +1,78 @@
+// interconnect.hpp — electrical vs optical operand-distribution links.
+//
+// The paper's introduction rests on photonic interconnects (SPRINT,
+// SPACX, CAMON): the P-DAC's input data arrives as optical digital words
+// precisely because the M2-SRAM-to-modulator distribution already uses
+// WDM links (§III-B: "we can also utilize the WDM technique to
+// pre-convert data from the memory side … thereby saving some energy").
+// This module prices both link families:
+//
+//   electrical — energy grows linearly with distance (repeatered RC
+//     wires, pJ/bit/mm), latency ~ RC per mm, bandwidth per wire is
+//     pin/SerDes-limited;
+//   optical — pay fixed EO + OE conversion plus link laser per bit,
+//     distance-(almost)-free transport at light speed, and WDM stacks
+//     many lambdas per waveguide.
+//
+// The A16 bench sweeps distance to expose the crossover the paper's
+// motivation cites, and checks the calibrated SRAM-movement constant of
+// the energy model against an explicit link budget.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/units.hpp"
+#include "nn/workload_trace.hpp"
+
+namespace pdac::arch {
+
+enum class LinkKind { kElectrical, kOptical };
+
+struct InterconnectConfig {
+  LinkKind kind{LinkKind::kOptical};
+  double distance_mm{10.0};
+
+  // Electrical wire parameters.  Bandwidth is compared per physical
+  // medium: one repeatered wire vs one WDM waveguide.
+  double electrical_pj_per_bit_mm{0.25};  ///< repeatered on-chip wire
+  double electrical_gbps_per_wire{10.0};
+  std::size_t wires{1};
+  double electrical_latency_ps_per_mm{66.0};  ///< ~15 ps/mm signal + repeaters
+
+  // Optical link parameters.
+  double eo_pj_per_bit{0.25};   ///< serializer + ring modulator drive
+  double oe_pj_per_bit{0.25};   ///< PD + TIA + clocking
+  double laser_pj_per_bit{0.2}; ///< link laser, wall-plug amortized
+  double gbps_per_lambda{40.0};
+  std::size_t lambdas{16};
+  double group_index{4.2};
+};
+
+struct LinkMetrics {
+  units::Energy energy_per_bit;
+  double bandwidth_gbps{};
+  units::Time latency;
+
+  /// Energy to move `bits` across the link.
+  [[nodiscard]] units::Energy transfer_energy(std::uint64_t bits) const {
+    return units::joules(energy_per_bit.joules() * static_cast<double>(bits));
+  }
+  /// Time to stream `bits` (bandwidth-limited, plus one flight latency).
+  [[nodiscard]] units::Time transfer_time(std::uint64_t bits) const;
+};
+
+/// Price one link instance.
+LinkMetrics evaluate_link(const InterconnectConfig& cfg);
+
+/// Distance (mm) beyond which the optical link is cheaper per bit than
+/// the electrical one, holding everything else in `base` fixed.
+double optical_crossover_mm(const InterconnectConfig& base);
+
+/// Total operand-distribution traffic of a trace (the bits that must
+/// cross the SRAM→modulator link), at the given operand width.
+std::uint64_t distribution_bits(const nn::WorkloadTrace& trace, int bits);
+
+std::string to_string(LinkKind k);
+
+}  // namespace pdac::arch

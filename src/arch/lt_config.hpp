@@ -1,0 +1,48 @@
+// lt_config.hpp — the LT-B accelerator organization the paper evaluates
+// against (Lightening-Transformer base configuration, §IV).
+//
+// The organization is parameterized so ablations can sweep it; the
+// defaults are chosen so the derived unit counts match the calibration
+// in DESIGN.md §5:
+//   2 clusters × 8 cores, each core an 8×8 DDot array with 8 WDM
+//   wavelengths per DDot →
+//     modulator channels = 16 arrays · (8+8) operand lanes · 8 λ = 2048
+//     ADC channels       = 16 arrays · 8 columns              = 128
+//     peak MAC rate      = 16 · 64 DDots · 8 λ = 8192 MAC/cycle @ 5 GHz
+#pragma once
+
+#include <cstddef>
+
+#include "common/units.hpp"
+
+namespace pdac::arch {
+
+struct LtConfig {
+  std::size_t clusters{2};
+  std::size_t cores_per_cluster{8};
+  std::size_t array_rows{8};    ///< H: DDot rows per core
+  std::size_t array_cols{8};    ///< W: DDot columns per core
+  std::size_t wavelengths{8};   ///< WDM channels per DDot
+  units::Frequency clock{units::gigahertz(5.0).hertz()};
+  /// DDots time-sharing one output ADC (analog accumulation depth); with
+  /// the default 8, a k=64 reduction produces exactly one ADC sample.
+  std::size_t ddots_per_adc{8};
+
+  [[nodiscard]] std::size_t arrays() const { return clusters * cores_per_cluster; }
+  [[nodiscard]] std::size_t ddots() const { return arrays() * array_rows * array_cols; }
+  /// Operand modulator channels (MZM + driver per channel): each array
+  /// modulates H row-operands and W column-operands, one value per
+  /// wavelength each cycle.
+  [[nodiscard]] std::size_t modulator_channels() const {
+    return arrays() * (array_rows + array_cols) * wavelengths;
+  }
+  [[nodiscard]] std::size_t adc_channels() const {
+    return arrays() * array_rows * array_cols / ddots_per_adc;
+  }
+  [[nodiscard]] std::size_t macs_per_cycle() const { return ddots() * wavelengths; }
+};
+
+/// The paper's LT-B instance.
+inline LtConfig lt_base() { return LtConfig{}; }
+
+}  // namespace pdac::arch

@@ -1,0 +1,75 @@
+// mapper.hpp — dependency-aware scheduling of a transformer trace onto
+// the accelerator's core pool.
+//
+// The energy model charges occupancy assuming tiles pack perfectly onto
+// all arrays.  Real execution has structure: inside one encoder layer
+// the Q/K/V projections are independent, but Q·Kᵀ needs Q and K, A·V
+// needs the scores, the output projection needs A·V, and the FFN follows
+// — and layers chain sequentially.  The mapper schedules each dependency
+// stage across the core pool, yielding the makespan, the per-stage
+// timeline, and the array utilization — i.e. how much of the Fig. 11
+// compute-bound power is actually put to work on a given model, and how
+// much is pipeline bubble.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/lt_config.hpp"
+#include "common/units.hpp"
+#include "nn/workload_trace.hpp"
+
+namespace pdac::arch {
+
+/// Dependency stage of an op inside its layer (execution order).
+enum class Stage : int {
+  kQkvProjection = 0,  ///< Q/K/V projections — mutually independent
+  kScores = 1,         ///< Q·Kᵀ
+  kContext = 2,        ///< A·V
+  kOutputProjection = 3,
+  kFfnUp = 4,
+  kFfnDown = 5,
+};
+
+struct ScheduledOp {
+  std::string label;
+  nn::OpClass op_class{nn::OpClass::kAttention};
+  Stage stage{Stage::kQkvProjection};
+  std::uint64_t start_cycle{};
+  std::uint64_t end_cycle{};
+  std::size_t arrays_assigned{};
+  std::uint64_t work_array_cycles{};  ///< total array-cycles of the op
+};
+
+struct Schedule {
+  std::vector<ScheduledOp> ops;
+  std::uint64_t makespan_cycles{};
+  std::uint64_t busy_array_cycles{};
+  std::uint64_t busy_ddot_cycles{};
+  std::size_t arrays{};
+  std::size_t ddots_per_array{};
+
+  /// busy / (arrays × makespan): 1.0 means no pipeline bubbles.
+  [[nodiscard]] double utilization() const;
+  /// DDot-granular utilization: also counts intra-array waste from
+  /// ragged tiles (a 1-row GEMV tile keeps 1/H of an array busy).
+  [[nodiscard]] double ddot_utilization() const;
+  [[nodiscard]] units::Time runtime(units::Frequency clock) const;
+  /// Ideal (perfect-packing) cycle count the energy model assumes.
+  [[nodiscard]] std::uint64_t ideal_cycles() const;
+  /// makespan / ideal: the pipeline-bubble slowdown factor.
+  [[nodiscard]] double slowdown() const;
+};
+
+/// Classify an op's stage from its trace label.
+Stage stage_of(const nn::GemmOp& op);
+
+/// Schedule the trace on `cfg`'s core pool.  Ops of the same stage in the
+/// same layer run concurrently, splitting the arrays evenly; stages and
+/// layers execute in dependency order.
+Schedule schedule_trace(const nn::WorkloadTrace& trace, const LtConfig& cfg);
+
+std::string to_string(Stage s);
+
+}  // namespace pdac::arch

@@ -1,0 +1,68 @@
+// memory_system.hpp — bandwidth-aware runtime (roofline) model.
+//
+// The paper evaluates power in a "fully compute-bound scenario" (Fig. 11)
+// and explicitly defers memory-bound behaviour ("a projection of its
+// energy consumption under scenarios with sufficient memory bandwidth in
+// the future").  This module supplies the missing half: a two-level
+// memory system (off-chip HBM for weights and KV cache, on-chip M2 SRAM
+// for activations) and a roofline runtime
+//     t = max(t_compute, t_hbm, t_sram)
+// from which throughput, utilization, and the stall-extended energy of
+// both system variants follow.  Stalls burn laser/thermal/receiver power
+// without computing, so memory-bound deployments dilute the P-DAC's
+// relative saving — quantified by the A7 bench.
+#pragma once
+
+#include <cstdint>
+
+#include "arch/component_power.hpp"
+#include "arch/lt_config.hpp"
+#include "arch/power_params.hpp"
+#include "common/units.hpp"
+#include "nn/workload_trace.hpp"
+
+namespace pdac::arch {
+
+struct MemorySystemConfig {
+  double hbm_bandwidth_gb_s{256.0};    ///< off-chip: weights + KV cache
+  double sram_bandwidth_gb_s{4096.0};  ///< on-chip: activation staging
+};
+
+/// Byte traffic of a trace split by memory level.
+struct TrafficSummary {
+  std::uint64_t hbm_bytes{};   ///< weight + KV-cache streaming
+  std::uint64_t sram_bytes{};  ///< activation staging of static GEMMs
+};
+
+TrafficSummary summarize_traffic(const nn::WorkloadTrace& trace, int bits);
+
+struct RooflineResult {
+  units::Time compute_time;
+  units::Time hbm_time;
+  units::Time sram_time;
+
+  [[nodiscard]] units::Time runtime() const;
+  [[nodiscard]] bool memory_bound() const;
+  /// Fraction of the runtime the compute arrays are busy.
+  [[nodiscard]] double compute_utilization() const;
+};
+
+/// Roofline runtime of one trace execution on `cfg`.
+RooflineResult roofline_runtime(const nn::WorkloadTrace& trace, const LtConfig& cfg,
+                                const MemorySystemConfig& mem, int bits);
+
+/// Stall-extended energy: the Fig. 9-style event energy plus the static
+/// power (laser + thermal + receivers) burned during memory stalls.
+struct StalledEnergy {
+  units::Energy baseline;
+  units::Energy pdac;
+  [[nodiscard]] double saving() const {
+    return baseline.joules() > 0.0 ? 1.0 - pdac.joules() / baseline.joules() : 0.0;
+  }
+};
+
+StalledEnergy stalled_energy(const nn::WorkloadTrace& trace, const LtConfig& cfg,
+                             const PowerParams& params, const MemorySystemConfig& mem,
+                             int bits);
+
+}  // namespace pdac::arch

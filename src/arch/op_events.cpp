@@ -1,0 +1,29 @@
+#include "arch/op_events.hpp"
+
+#include <algorithm>
+
+namespace pdac::arch {
+
+OpEvents count_op_events(const nn::GemmOp& op, const LtConfig& cfg) {
+  OpEvents ev;
+  const std::size_t nl = cfg.wavelengths;
+  const std::size_t chunks = (op.k + nl - 1) / nl;
+  const std::size_t adc_windows = (chunks + cfg.ddots_per_adc - 1) / cfg.ddots_per_adc;
+  for (std::size_t i0 = 0; i0 < op.m; i0 += cfg.array_rows) {
+    const std::size_t h = std::min(cfg.array_rows, op.m - i0);
+    for (std::size_t j0 = 0; j0 < op.n; j0 += cfg.array_cols) {
+      const std::size_t w = std::min(cfg.array_cols, op.n - j0);
+      ev.modulations += op.static_weights ? (h + w) * op.k : 2 * h * w * op.k;
+      ev.adc_samples += h * w * adc_windows;
+      ev.tile_cycles += chunks;
+      ev.ddot_cycles += h * w * chunks;
+    }
+  }
+  ev.modulations *= op.repeats;
+  ev.adc_samples *= op.repeats;
+  ev.tile_cycles *= op.repeats;
+  ev.ddot_cycles *= op.repeats;
+  return ev;
+}
+
+}  // namespace pdac::arch

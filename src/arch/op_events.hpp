@@ -1,0 +1,31 @@
+// op_events.hpp — per-op hardware event counts on the LT organization.
+//
+// Shared between the energy model (which prices the events) and the
+// mapper (which schedules the occupancy cycles).  Counting follows the
+// DPTC tiling: static-weight GEMMs broadcast operands across an H×W tile
+// ((H+W)·k conversions per tile), dynamic–dynamic products convert both
+// operands per DDot (2·H·W·k), and ADC windows aggregate
+// `ddots_per_adc` reduction chunks.
+#pragma once
+
+#include <cstdint>
+
+#include "arch/lt_config.hpp"
+#include "nn/workload_trace.hpp"
+
+namespace pdac::arch {
+
+struct OpEvents {
+  std::uint64_t modulations{};
+  std::uint64_t adc_samples{};
+  std::uint64_t tile_cycles{};  ///< occupancy of ONE array processing all tiles
+  /// DDot-granular busy time: Σ h·w·chunks over tiles.  Ragged tiles
+  /// (h < H or w < W) occupy the array for full cycles but keep only a
+  /// fraction of its DDots busy — the intra-array utilization loss that
+  /// dominates GEMV-shaped decode work.
+  std::uint64_t ddot_cycles{};
+};
+
+OpEvents count_op_events(const nn::GemmOp& op, const LtConfig& cfg);
+
+}  // namespace pdac::arch

@@ -1,0 +1,61 @@
+// power_params.hpp — calibrated device power/energy constants.
+//
+// The paper publishes percentages plus two absolute totals; DESIGN.md §5
+// inverts those into a component table for LT-B (2048 modulator channels,
+// 128 ADC channels, 5 GHz).  The constants below are the bottom-up unit
+// values that reproduce that table:
+//
+//   component        4-bit (system)   8-bit (system)   law
+//   laser            5.492 W          12.81 W          P₀·2^{0.30553·(b−4)}
+//   DAC array        3.214 W          25.70 W          κ·b·2^{b/2} per DAC
+//   ADC array        2.126 W          4.252 W          per-bit · b per ADC
+//   P-DAC array      1.478 W          5.355 W          a·b + c·(2^b−1) per ch.
+//   controller       1.200 W          3.930 W          κc·b^{1.71} (eliminated by P-DAC)
+//   thermal tuning   1.200 W          1.200 W          constant
+//   receivers+digital 1.514 W         3.028 W          per-bit · b
+//
+// Laser scaling is the SNR-driven fit to the paper's implied values (the
+// detector must resolve 2^b levels, and the paper's own numbers give a
+// 2.33× power step from 4 to 8 bits).  The DAC law reproduces the 8.0×
+// step the paper's Fig. 5 + Fig. 11 imply, anchored at the Caragiulo [2]
+// switched-capacitor design.  SRAM/data-movement and digital vector-unit
+// energies are calibrated against the Fig. 9 headline totals.
+#pragma once
+
+#include "common/units.hpp"
+
+namespace pdac::arch {
+
+struct PowerParams {
+  // --- laser ---------------------------------------------------------------
+  units::Power laser_base{units::watts(5.492)};  ///< system laser power at 4-bit
+  double laser_bit_exponent{0.30553};            ///< 2^{exp·(b−4)} scaling
+
+  // --- electrical DAC (baseline) -------------------------------------------
+  double dac_kappa_watts{98.07e-6};  ///< κ in P = κ·b·2^{b/2} per DAC at f₀
+
+  // --- electrical ADC (both systems) ----------------------------------------
+  double adc_per_bit_watts{4.152e-3};  ///< per ADC, per bit at f₀
+
+  // --- P-DAC ------------------------------------------------------------------
+  units::Power pdac_pd_ring_per_bit{units::microwatts(160.9).watts()};
+  units::Power pdac_tia_gain_unit{units::microwatts(5.206).watts()};
+
+  // --- controller (baseline only; P-DAC removes it) -------------------------
+  double controller_kappa_watts{0.11187};   ///< system-wide, P = κc·b^{1.7117}
+  double controller_bit_exponent{1.7117};   ///< fit to 1.20 W @4b, 3.93 W @8b
+
+  // --- always-on analog/digital support --------------------------------------
+  units::Power thermal_tuning{units::watts(1.2)};       ///< ring heater budget
+  double receiver_digital_per_bit_watts{0.3785};        ///< system-wide, ·b
+
+  // --- memory & movement -------------------------------------------------------
+  units::Energy sram_energy_per_bit{units::picojoules(9.63).joules()};
+  /// Digital vector unit (softmax/LN/GELU), per element per bit.
+  units::Energy vector_energy_per_element_bit{units::picojoules(0.1).joules()};
+};
+
+/// The calibrated LT-B parameter set.
+inline PowerParams lt_power_params() { return PowerParams{}; }
+
+}  // namespace pdac::arch

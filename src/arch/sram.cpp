@@ -1,0 +1,29 @@
+#include "arch/sram.hpp"
+
+#include "common/require.hpp"
+
+namespace pdac::arch {
+
+Sram::Sram(SramConfig cfg) : cfg_(cfg) {
+  PDAC_REQUIRE(cfg_.capacity_bytes > 0, "Sram: capacity must be positive");
+  PDAC_REQUIRE(cfg_.energy_per_bit.joules() >= 0.0, "Sram: energy must be non-negative");
+}
+
+units::Energy Sram::read(std::uint64_t bits) {
+  bits_read_ += bits;
+  return units::joules(cfg_.energy_per_bit.joules() * static_cast<double>(bits));
+}
+
+units::Energy Sram::write(std::uint64_t bits) {
+  bits_written_ += bits;
+  return units::joules(cfg_.energy_per_bit.joules() * static_cast<double>(bits));
+}
+
+units::Energy Sram::total_energy() const {
+  return units::joules(cfg_.energy_per_bit.joules() *
+                       static_cast<double>(bits_read_ + bits_written_));
+}
+
+bool Sram::fits(std::uint64_t bytes) const { return bytes <= cfg_.capacity_bytes; }
+
+}  // namespace pdac::arch

@@ -1,0 +1,49 @@
+// sram.hpp — the shared M2 SRAM the accelerator streams operands from
+// (paper Fig. 6: "we leverage the high data rate of optical
+// interconnections to efficiently propagate data from the shared M2
+// SRAM").
+//
+// The energy model charges every weight element fetched and every
+// activation element staged through this memory.  Capacity bookkeeping
+// lets examples check that a workload's working set actually fits the
+// configured buffer, and the access counters feed the movement-energy
+// term of Figs. 9–10.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+
+namespace pdac::arch {
+
+struct SramConfig {
+  std::uint64_t capacity_bytes{8ull * 1024 * 1024};  ///< shared M2 buffer
+  units::Energy energy_per_bit{units::picojoules(9.63).joules()};
+  units::Power leakage{units::watts(0.0)};  ///< folded into receivers+digital
+};
+
+class Sram {
+ public:
+  explicit Sram(SramConfig cfg);
+
+  /// Charge a read of `bits` bits; returns the energy spent.
+  units::Energy read(std::uint64_t bits);
+  /// Charge a write of `bits` bits; returns the energy spent.
+  units::Energy write(std::uint64_t bits);
+
+  [[nodiscard]] std::uint64_t bits_read() const { return bits_read_; }
+  [[nodiscard]] std::uint64_t bits_written() const { return bits_written_; }
+  [[nodiscard]] units::Energy total_energy() const;
+
+  /// True when a working set of `bytes` fits the configured capacity.
+  [[nodiscard]] bool fits(std::uint64_t bytes) const;
+
+  [[nodiscard]] const SramConfig& config() const { return cfg_; }
+
+ private:
+  SramConfig cfg_;
+  std::uint64_t bits_read_{0};
+  std::uint64_t bits_written_{0};
+};
+
+}  // namespace pdac::arch

@@ -1,0 +1,162 @@
+#include "common/math_utils.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/require.hpp"
+
+namespace pdac::math {
+
+double relative_error(double measured, double reference, double floor) {
+  const double denom = std::max(std::abs(reference), floor);
+  return std::abs(measured - reference) / denom;
+}
+
+bool almost_equal(double a, double b, double rtol, double atol) {
+  return std::abs(a - b) <= atol + rtol * std::max(std::abs(a), std::abs(b));
+}
+
+std::vector<double> linspace(double lo, double hi, std::size_t n) {
+  PDAC_REQUIRE(n >= 2, "linspace needs at least two samples");
+  std::vector<double> out(n);
+  const double step = (hi - lo) / static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i) out[i] = lo + step * static_cast<double>(i);
+  out.back() = hi;  // exact endpoint regardless of rounding
+  return out;
+}
+
+namespace {
+
+double simpson(double a, double fa, double b, double fb, double fm) {
+  return (b - a) / 6.0 * (fa + 4.0 * fm + fb);
+}
+
+double adaptive(const std::function<double(double)>& f, double a, double fa, double b,
+                double fb, double m, double fm, double whole, double tol, int depth) {
+  const double lm = 0.5 * (a + m);
+  const double rm = 0.5 * (m + b);
+  const double flm = f(lm);
+  const double frm = f(rm);
+  const double left = simpson(a, fa, m, fm, flm);
+  const double right = simpson(m, fm, b, fb, frm);
+  const double delta = left + right - whole;
+  if (depth <= 0 || std::abs(delta) <= 15.0 * tol) {
+    return left + right + delta / 15.0;
+  }
+  return adaptive(f, a, fa, m, fm, lm, flm, left, 0.5 * tol, depth - 1) +
+         adaptive(f, m, fm, b, fb, rm, frm, right, 0.5 * tol, depth - 1);
+}
+
+}  // namespace
+
+double integrate(const std::function<double(double)>& f, double a, double b, double tol) {
+  if (a == b) return 0.0;
+  const double m = 0.5 * (a + b);
+  const double fa = f(a);
+  const double fb = f(b);
+  const double fm = f(m);
+  const double whole = simpson(a, fa, b, fb, fm);
+  return adaptive(f, a, fa, b, fb, m, fm, whole, tol, /*depth=*/48);
+}
+
+MinimizeResult golden_section_minimize(const std::function<double(double)>& f, double lo,
+                                       double hi, double xtol) {
+  PDAC_REQUIRE(lo < hi, "golden_section_minimize needs lo < hi");
+  constexpr double invphi = 0.6180339887498948482;  // 1/phi
+  double a = lo, b = hi;
+  double c = b - (b - a) * invphi;
+  double d = a + (b - a) * invphi;
+  double fc = f(c), fd = f(d);
+  int iters = 0;
+  while (std::abs(b - a) > xtol) {
+    ++iters;
+    if (fc < fd) {
+      b = d;
+      d = c;
+      fd = fc;
+      c = b - (b - a) * invphi;
+      fc = f(c);
+    } else {
+      a = c;
+      c = d;
+      fc = fd;
+      d = a + (b - a) * invphi;
+      fd = f(d);
+    }
+    if (iters > 10'000) break;  // xtol below double resolution
+  }
+  const double x = 0.5 * (a + b);
+  return MinimizeResult{x, f(x), iters};
+}
+
+MinimizeResult dense_maximize(const std::function<double(double)>& f, double lo, double hi,
+                              std::size_t samples) {
+  PDAC_REQUIRE(samples >= 3, "dense_maximize needs at least three samples");
+  const auto xs = linspace(lo, hi, samples);
+  std::size_t best = 0;
+  double best_val = f(xs[0]);
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    const double v = f(xs[i]);
+    if (v > best_val) {
+      best_val = v;
+      best = i;
+    }
+  }
+  const double a = xs[best == 0 ? 0 : best - 1];
+  const double b = xs[best + 1 >= xs.size() ? xs.size() - 1 : best + 1];
+  if (a == b) return MinimizeResult{xs[best], best_val, 0};
+  auto neg = [&f](double x) { return -f(x); };
+  auto r = golden_section_minimize(neg, a, b, 1e-12);
+  if (-r.value < best_val) return MinimizeResult{xs[best], best_val, r.iterations};
+  return MinimizeResult{r.x, -r.value, r.iterations};
+}
+
+std::vector<double> solve_least_squares(const std::vector<std::vector<double>>& a,
+                                        const std::vector<double>& b) {
+  PDAC_REQUIRE(!a.empty() && a.size() == b.size(), "solve_least_squares: shape mismatch");
+  const std::size_t m = a.size();
+  const std::size_t n = a.front().size();
+  PDAC_REQUIRE(m >= n && n >= 1, "solve_least_squares: need rows >= unknowns >= 1");
+  for (const auto& row : a) {
+    PDAC_REQUIRE(row.size() == n, "solve_least_squares: ragged matrix");
+  }
+
+  // Normal equations: (AᵀA)·x = Aᵀb.
+  std::vector<std::vector<double>> ata(n, std::vector<double>(n, 0.0));
+  std::vector<double> atb(n, 0.0);
+  for (std::size_t r = 0; r < m; ++r) {
+    for (std::size_t i = 0; i < n; ++i) {
+      atb[i] += a[r][i] * b[r];
+      for (std::size_t j = i; j < n; ++j) ata[i][j] += a[r][i] * a[r][j];
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < i; ++j) ata[i][j] = ata[j][i];
+  }
+
+  // Gaussian elimination with partial pivoting.
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::abs(ata[r][col]) > std::abs(ata[pivot][col])) pivot = r;
+    }
+    PDAC_REQUIRE(std::abs(ata[pivot][col]) > 1e-14, "solve_least_squares: singular system");
+    std::swap(ata[col], ata[pivot]);
+    std::swap(atb[col], atb[pivot]);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double f = ata[r][col] / ata[col][col];
+      for (std::size_t c = col; c < n; ++c) ata[r][c] -= f * ata[col][c];
+      atb[r] -= f * atb[col];
+    }
+  }
+  std::vector<double> x(n, 0.0);
+  for (std::size_t ri = n; ri-- > 0;) {
+    double sum = atb[ri];
+    for (std::size_t c = ri + 1; c < n; ++c) sum -= ata[ri][c] * x[c];
+    x[ri] = sum / ata[ri][ri];
+  }
+  return x;
+}
+
+}  // namespace pdac::math

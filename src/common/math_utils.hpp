@@ -1,0 +1,58 @@
+// math_utils.hpp — numerical helpers shared across the library.
+//
+// Provides the pieces the P-DAC derivation needs (adaptive quadrature for
+// the error integral of paper Eq. 17, golden-section minimization for the
+// breakpoint search) plus small generic utilities.
+#pragma once
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+namespace pdac::math {
+
+inline constexpr double kPi = 3.141592653589793238462643383279502884;
+
+/// Relative error |measured - reference| / |reference|; falls back to
+/// absolute error when |reference| is below `floor` to avoid division
+/// blow-up near zero (the paper's Eq. 17 integrand has this issue at r=0).
+double relative_error(double measured, double reference, double floor = 1e-12);
+
+/// True when |a-b| <= atol + rtol*max(|a|,|b|).
+bool almost_equal(double a, double b, double rtol = 1e-9, double atol = 1e-12);
+
+/// `n` evenly spaced samples covering [lo, hi] inclusive (n >= 2).
+std::vector<double> linspace(double lo, double hi, std::size_t n);
+
+/// Adaptive Simpson quadrature of `f` over [a, b] to tolerance `tol`.
+/// Recursion depth is bounded; worst case degrades to the composite rule.
+double integrate(const std::function<double(double)>& f, double a, double b,
+                 double tol = 1e-10);
+
+/// Result of a 1-D minimization.
+struct MinimizeResult {
+  double x{};     ///< argmin
+  double value{}; ///< f(argmin)
+  int iterations{};
+};
+
+/// Golden-section search for the minimum of a unimodal `f` on [lo, hi].
+MinimizeResult golden_section_minimize(const std::function<double(double)>& f,
+                                       double lo, double hi, double xtol = 1e-10);
+
+/// Max of f over [lo, hi] by dense sampling followed by golden-section
+/// refinement around the best sample.  Used for worst-case error scans.
+MinimizeResult dense_maximize(const std::function<double(double)>& f, double lo,
+                              double hi, std::size_t samples = 4096);
+
+/// Clamp to [-1, 1]; the analog encoding domain of the P-DAC.
+inline double clamp_unit(double x) { return x < -1.0 ? -1.0 : (x > 1.0 ? 1.0 : x); }
+
+/// Solve min ‖A·x − b‖₂ by normal equations with partially pivoted
+/// Gaussian elimination.  `a` is row-major with rows.size() ≥ unknowns;
+/// used by the P-DAC trimming routine to fit TIA weights from probe
+/// measurements.  Throws if the system is singular.
+std::vector<double> solve_least_squares(const std::vector<std::vector<double>>& a,
+                                        const std::vector<double>& b);
+
+}  // namespace pdac::math

@@ -1,0 +1,45 @@
+// require.hpp — precondition checking for the public API.
+//
+// Library entry points validate their arguments with PDAC_REQUIRE, which
+// throws std::invalid_argument with a message that names the violated
+// condition.  Internal invariants use PDAC_ASSERT, which is compiled out
+// in NDEBUG builds like the standard assert.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace pdac {
+
+/// Thrown when a public-API precondition is violated.
+class PreconditionError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+namespace detail {
+[[noreturn]] inline void throw_precondition(const char* cond, const char* file, int line,
+                                            const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition violated: " << cond << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw PreconditionError(os.str());
+}
+}  // namespace detail
+
+}  // namespace pdac
+
+#define PDAC_REQUIRE(cond, msg)                                            \
+  do {                                                                     \
+    if (!(cond)) ::pdac::detail::throw_precondition(#cond, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+#ifdef NDEBUG
+#define PDAC_ASSERT(cond) ((void)0)
+#else
+#define PDAC_ASSERT(cond)                                                  \
+  do {                                                                     \
+    if (!(cond)) ::pdac::detail::throw_precondition(#cond, __FILE__, __LINE__, "internal invariant"); \
+  } while (false)
+#endif

@@ -1,0 +1,97 @@
+#include "common/svd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/require.hpp"
+
+namespace pdac::math {
+
+Matrix SvdResult::reconstruct() const {
+  const std::size_t m = u.rows();
+  const std::size_t n = v.rows();
+  Matrix scaled(m, n);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) scaled(i, j) = u(i, j) * singular[j];
+  }
+  return matmul_reference(scaled, v.transposed());
+}
+
+SvdResult svd(const Matrix& a, double tol, int max_sweeps) {
+  PDAC_REQUIRE(a.rows() >= a.cols() && a.cols() >= 1, "svd: needs m >= n >= 1");
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+
+  Matrix b = a;          // columns rotate toward mutual orthogonality
+  Matrix v(n, n, 0.0);   // accumulated right rotations
+  for (std::size_t i = 0; i < n; ++i) v(i, i) = 1.0;
+
+  auto col_dot = [&b, m](std::size_t p, std::size_t q) {
+    double s = 0.0;
+    for (std::size_t r = 0; r < m; ++r) s += b(r, p) * b(r, q);
+    return s;
+  };
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    bool converged = true;
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double alpha = col_dot(p, p);
+        const double beta = col_dot(q, q);
+        const double gamma = col_dot(p, q);
+        if (std::abs(gamma) <= tol * std::sqrt(alpha * beta) + 1e-300) continue;
+        converged = false;
+        // Jacobi rotation zeroing the off-diagonal of the 2×2 Gram block.
+        const double zeta = (beta - alpha) / (2.0 * gamma);
+        const double t = std::copysign(1.0, zeta) /
+                         (std::abs(zeta) + std::sqrt(1.0 + zeta * zeta));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
+        for (std::size_t r = 0; r < m; ++r) {
+          const double bp = b(r, p);
+          const double bq = b(r, q);
+          b(r, p) = c * bp - s * bq;
+          b(r, q) = s * bp + c * bq;
+        }
+        for (std::size_t r = 0; r < n; ++r) {
+          const double vp = v(r, p);
+          const double vq = v(r, q);
+          v(r, p) = c * vp - s * vq;
+          v(r, q) = s * vp + c * vq;
+        }
+      }
+    }
+    if (converged) break;
+  }
+
+  // Singular values are the column norms of the rotated matrix; sort
+  // them (and the corresponding U/V columns) in non-increasing order.
+  SvdResult res;
+  res.singular.resize(n);
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> norms(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double s = 0.0;
+    for (std::size_t r = 0; r < m; ++r) s += b(r, j) * b(r, j);
+    norms[j] = std::sqrt(s);
+  }
+  std::sort(order.begin(), order.end(),
+            [&norms](std::size_t x, std::size_t y) { return norms[x] > norms[y]; });
+
+  res.u = Matrix(m, n);
+  res.v = Matrix(n, n);
+  for (std::size_t jj = 0; jj < n; ++jj) {
+    const std::size_t j = order[jj];
+    res.singular[jj] = norms[j];
+    // Zero singular value: keep a unit basis vector to stay orthonormal.
+    const double inv = norms[j] > 0.0 ? 1.0 / norms[j] : 0.0;
+    for (std::size_t r = 0; r < m; ++r) res.u(r, jj) = b(r, j) * inv;
+    if (norms[j] == 0.0) res.u(jj < m ? jj : 0, jj) = 1.0;
+    for (std::size_t r = 0; r < n; ++r) res.v(r, jj) = v(r, j);
+  }
+  return res;
+}
+
+}  // namespace pdac::math

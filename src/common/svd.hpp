@@ -1,0 +1,29 @@
+// svd.hpp — singular value decomposition for small dense matrices.
+//
+// The MZI-array baseline (paper §II: Shen et al.'s coherent mesh) maps a
+// weight matrix W as U·Σ·Vᵀ — two unitary meshes around a diagonal
+// attenuator column — so reproducing that baseline needs an SVD.  This
+// is a one-sided Jacobi implementation: numerically robust for the
+// small (≤ a few hundred) matrices photonic meshes can realize, with no
+// external dependency.
+#pragma once
+
+#include "common/matrix.hpp"
+
+namespace pdac::math {
+
+struct SvdResult {
+  Matrix u;                      ///< m×n, orthonormal columns
+  std::vector<double> singular;  ///< n values, non-increasing
+  Matrix v;                      ///< n×n orthogonal
+
+  /// Reconstruct U·Σ·Vᵀ (testing / residual checks).
+  [[nodiscard]] Matrix reconstruct() const;
+};
+
+/// One-sided Jacobi SVD of an m×n matrix with m ≥ n.
+/// Sweeps column-pair rotations until all pairs are orthogonal to
+/// `tol` relative accuracy.
+SvdResult svd(const Matrix& a, double tol = 1e-12, int max_sweeps = 60);
+
+}  // namespace pdac::math

@@ -1,0 +1,88 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/require.hpp"
+
+namespace pdac {
+
+namespace {
+constexpr const char* kRuleSentinel = "\x01rule";
+}
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  PDAC_REQUIRE(!header_.empty(), "Table: header must be non-empty");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  PDAC_REQUIRE(cells.size() == header_.size(), "Table: row width must match header");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::add_rule() { rows_.push_back({kRuleSentinel}); }
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    if (row.size() == 1 && row[0] == kRuleSentinel) continue;
+    for (std::size_t c = 0; c < row.size(); ++c) width[c] = std::max(width[c], row[c].size());
+  }
+
+  auto emit_rule = [&](std::ostringstream& os) {
+    os << '+';
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      os << std::string(width[c] + 2, '-') << '+';
+    }
+    os << '\n';
+  };
+  auto emit_row = [&](std::ostringstream& os, const std::vector<std::string>& row) {
+    os << '|';
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << ' ' << row[c] << std::string(width[c] - row[c].size(), ' ') << " |";
+    }
+    os << '\n';
+  };
+
+  std::ostringstream os;
+  emit_rule(os);
+  emit_row(os, header_);
+  emit_rule(os);
+  for (const auto& row : rows_) {
+    if (row.size() == 1 && row[0] == kRuleSentinel) {
+      emit_rule(os);
+    } else {
+      emit_row(os, row);
+    }
+  }
+  emit_rule(os);
+  return os.str();
+}
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << v;
+  return os.str();
+}
+
+std::string Table::pct(double fraction, int precision) {
+  return num(fraction * 100.0, precision) + "%";
+}
+
+std::string Table::watts(double w, int precision) { return num(w, precision) + " W"; }
+
+std::string Table::millijoules(double j, int precision) {
+  return num(j * 1e3, precision) + " mJ";
+}
+
+std::string ascii_bar(double share, std::size_t width) {
+  share = std::clamp(share, 0.0, 1.0);
+  const auto filled = static_cast<std::size_t>(std::lround(share * static_cast<double>(width)));
+  return std::string(filled, '#') + std::string(width - filled, ' ');
+}
+
+}  // namespace pdac

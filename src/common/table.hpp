@@ -1,0 +1,41 @@
+// table.hpp — aligned ASCII tables for the evaluation harness.
+//
+// Every bench binary prints the paper's figure as a table with `paper`
+// and `measured` columns; this tiny formatter keeps all of them readable
+// and consistent without dragging in a formatting library.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pdac {
+
+/// Builds an aligned, pipe-separated text table.  Cells are strings; use
+/// Table::num/pct/watts helpers for consistent numeric formatting.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  /// Insert a horizontal rule before the next row.
+  void add_rule();
+
+  [[nodiscard]] std::string to_string() const;
+
+  // Formatting helpers shared by the benches.
+  static std::string num(double v, int precision = 3);
+  static std::string pct(double fraction, int precision = 1);   ///< 0.218 -> "21.8%"
+  static std::string watts(double w, int precision = 2);        ///< 11.81 -> "11.81 W"
+  static std::string millijoules(double j, int precision = 3);  ///< J -> "x.xxx mJ"
+
+ private:
+  std::vector<std::string> header_;
+  // A row with the single sentinel cell "\x01rule" renders as a rule.
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Render a fraction as a fixed-width ASCII bar, e.g. share=0.5, width=20
+/// -> "##########          ".  Used for power-breakdown "pie" rendering.
+std::string ascii_bar(double share, std::size_t width = 32);
+
+}  // namespace pdac

@@ -1,0 +1,122 @@
+// units.hpp — lightweight dimensional types for the power/energy model.
+//
+// The architecture model mixes quantities that are easy to confuse
+// (mW vs W, pJ vs J, GHz vs Hz).  These thin strong types make the unit
+// part of the *type* at API boundaries while compiling down to a plain
+// double.  Arithmetic between dimensions follows physics:
+//   Power  * Time      -> Energy
+//   Energy / Time      -> Power
+//   Energy * Frequency -> Power
+//   1 / Frequency      -> Time
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <ostream>
+
+namespace pdac::units {
+
+namespace detail {
+
+/// CRTP base providing the arithmetic every scalar quantity supports.
+template <class Derived>
+struct QuantityBase {
+  double v{0.0};
+
+  constexpr QuantityBase() = default;
+  constexpr explicit QuantityBase(double value) : v(value) {}
+
+  [[nodiscard]] constexpr double value() const { return v; }
+
+  friend constexpr Derived operator+(Derived a, Derived b) { return Derived{a.v + b.v}; }
+  friend constexpr Derived operator-(Derived a, Derived b) { return Derived{a.v - b.v}; }
+  friend constexpr Derived operator-(Derived a) { return Derived{-a.v}; }
+  friend constexpr Derived operator*(Derived a, double s) { return Derived{a.v * s}; }
+  friend constexpr Derived operator*(double s, Derived a) { return Derived{a.v * s}; }
+  friend constexpr Derived operator/(Derived a, double s) { return Derived{a.v / s}; }
+  /// Ratio of two like quantities is dimensionless.
+  friend constexpr double operator/(Derived a, Derived b) { return a.v / b.v; }
+
+  constexpr Derived& operator+=(Derived o) {
+    v += o.v;
+    return static_cast<Derived&>(*this);
+  }
+  constexpr Derived& operator-=(Derived o) {
+    v -= o.v;
+    return static_cast<Derived&>(*this);
+  }
+  constexpr Derived& operator*=(double s) {
+    v *= s;
+    return static_cast<Derived&>(*this);
+  }
+
+  friend constexpr auto operator<=>(Derived a, Derived b) { return a.v <=> b.v; }
+  friend constexpr bool operator==(Derived a, Derived b) { return a.v == b.v; }
+};
+
+}  // namespace detail
+
+/// Electrical/optical power in watts.
+struct Power : detail::QuantityBase<Power> {
+  using QuantityBase::QuantityBase;
+  [[nodiscard]] constexpr double watts() const { return v; }
+  [[nodiscard]] constexpr double milliwatts() const { return v * 1e3; }
+  [[nodiscard]] constexpr double microwatts() const { return v * 1e6; }
+};
+
+/// Energy in joules.
+struct Energy : detail::QuantityBase<Energy> {
+  using QuantityBase::QuantityBase;
+  [[nodiscard]] constexpr double joules() const { return v; }
+  [[nodiscard]] constexpr double millijoules() const { return v * 1e3; }
+  [[nodiscard]] constexpr double microjoules() const { return v * 1e6; }
+  [[nodiscard]] constexpr double picojoules() const { return v * 1e12; }
+};
+
+/// Time in seconds.
+struct Time : detail::QuantityBase<Time> {
+  using QuantityBase::QuantityBase;
+  [[nodiscard]] constexpr double seconds() const { return v; }
+  [[nodiscard]] constexpr double milliseconds() const { return v * 1e3; }
+  [[nodiscard]] constexpr double nanoseconds() const { return v * 1e9; }
+};
+
+/// Rate in hertz.
+struct Frequency : detail::QuantityBase<Frequency> {
+  using QuantityBase::QuantityBase;
+  [[nodiscard]] constexpr double hertz() const { return v; }
+  [[nodiscard]] constexpr double gigahertz() const { return v * 1e-9; }
+};
+
+// --- cross-dimension arithmetic ------------------------------------------
+constexpr Energy operator*(Power p, Time t) { return Energy{p.value() * t.value()}; }
+constexpr Energy operator*(Time t, Power p) { return p * t; }
+constexpr Power operator/(Energy e, Time t) { return Power{e.value() / t.value()}; }
+constexpr Time operator/(Energy e, Power p) { return Time{e.value() / p.value()}; }
+constexpr Power operator*(Energy e, Frequency f) { return Power{e.value() * f.value()}; }
+constexpr Power operator*(Frequency f, Energy e) { return e * f; }
+constexpr Energy operator/(Power p, Frequency f) { return Energy{p.value() / f.value()}; }
+constexpr Time period(Frequency f) { return Time{1.0 / f.value()}; }
+
+// --- constructor helpers ---------------------------------------------------
+constexpr Power watts(double x) { return Power{x}; }
+constexpr Power milliwatts(double x) { return Power{x * 1e-3}; }
+constexpr Power microwatts(double x) { return Power{x * 1e-6}; }
+constexpr Energy joules(double x) { return Energy{x}; }
+constexpr Energy millijoules(double x) { return Energy{x * 1e-3}; }
+constexpr Energy microjoules(double x) { return Energy{x * 1e-6}; }
+constexpr Energy nanojoules(double x) { return Energy{x * 1e-9}; }
+constexpr Energy picojoules(double x) { return Energy{x * 1e-12}; }
+constexpr Energy femtojoules(double x) { return Energy{x * 1e-15}; }
+constexpr Time seconds(double x) { return Time{x}; }
+constexpr Time nanoseconds(double x) { return Time{x * 1e-9}; }
+constexpr Frequency hertz(double x) { return Frequency{x}; }
+constexpr Frequency gigahertz(double x) { return Frequency{x * 1e9}; }
+constexpr Frequency megahertz(double x) { return Frequency{x * 1e6}; }
+
+inline std::ostream& operator<<(std::ostream& os, Power p) { return os << p.watts() << " W"; }
+inline std::ostream& operator<<(std::ostream& os, Energy e) { return os << e.joules() << " J"; }
+inline std::ostream& operator<<(std::ostream& os, Time t) { return os << t.seconds() << " s"; }
+inline std::ostream& operator<<(std::ostream& os, Frequency f) { return os << f.hertz() << " Hz"; }
+
+}  // namespace pdac::units

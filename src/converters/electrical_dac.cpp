@@ -1,0 +1,39 @@
+#include "converters/electrical_dac.hpp"
+
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace pdac::converters {
+
+ElectricalDac::ElectricalDac(ElectricalDacConfig cfg) : cfg_(cfg), quant_(cfg.bits) {
+  PDAC_REQUIRE(cfg_.v_ref > 0.0, "ElectricalDac: V_ref must be positive");
+  PDAC_REQUIRE(cfg_.sample_rate.hertz() > 0.0, "ElectricalDac: sample rate must be positive");
+  PDAC_REQUIRE(cfg_.power_kappa_watts > 0.0, "ElectricalDac: power κ must be positive");
+}
+
+double ElectricalDac::convert(std::int32_t code) const {
+  return quant_.decode(code) * cfg_.v_ref;
+}
+
+double ElectricalDac::convert_normalized(double r) const {
+  return quant_.quantize(r) * cfg_.v_ref;
+}
+
+units::Power ElectricalDac::power() const {
+  return power_model(cfg_.bits, cfg_.sample_rate, cfg_.power_kappa_watts, cfg_.reference_rate);
+}
+
+units::Energy ElectricalDac::energy_per_conversion() const {
+  return power() / cfg_.sample_rate;
+}
+
+units::Power ElectricalDac::power_model(int bits, units::Frequency rate, double kappa_watts,
+                                        units::Frequency reference_rate) {
+  PDAC_REQUIRE(bits >= 1, "ElectricalDac: bits must be positive");
+  const double b = static_cast<double>(bits);
+  const double f_scale = rate.hertz() / reference_rate.hertz();
+  return units::watts(kappa_watts * b * std::exp2(b / 2.0) * f_scale);
+}
+
+}  // namespace pdac::converters

@@ -1,0 +1,56 @@
+// electrical_dac.hpp — the traditional electrical DAC the P-DAC replaces.
+//
+// Functional model: a b-bit code maps linearly onto [−V_ref, +V_ref].
+// Power model: anchored to the switched-capacitor DAC of Caragiulo et
+// al. [2] and scaled as  P(b, f) = κ · b · 2^{b/2} · f / f₀ , the scaling
+// law that reproduces the paper's own implied 4-bit→8-bit DAC power ratio
+// of 8.0× (Fig. 5 + Fig. 11; see DESIGN.md §5).  κ is calibrated in
+// src/arch/power_params.hpp.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+#include "converters/quantizer.hpp"
+
+namespace pdac::converters {
+
+struct ElectricalDacConfig {
+  int bits{8};
+  double v_ref{1.0};  ///< full-scale output voltage
+  units::Frequency sample_rate{units::gigahertz(5.0).hertz()};
+  /// κ in the scaling law, in watts at (b=1, f=f₀); see power_params.hpp.
+  double power_kappa_watts{98.07e-6};
+  units::Frequency reference_rate{units::gigahertz(5.0).hertz()};  ///< f₀
+};
+
+class ElectricalDac {
+ public:
+  explicit ElectricalDac(ElectricalDacConfig cfg);
+
+  /// Output voltage for a signed code (two's-complement value range
+  /// [−(2^{b−1}−1), 2^{b−1}−1]); linear, zero-code → 0 V.
+  [[nodiscard]] double convert(std::int32_t code) const;
+
+  /// Voltage for a normalized value r ∈ [−1, 1] after b-bit quantization —
+  /// what the MZM driver sees when the controller requests r.
+  [[nodiscard]] double convert_normalized(double r) const;
+
+  /// Static power while clocking at the configured sample rate.
+  [[nodiscard]] units::Power power() const;
+  /// Energy charged per conversion event: P / f.
+  [[nodiscard]] units::Energy energy_per_conversion() const;
+
+  [[nodiscard]] const ElectricalDacConfig& config() const { return cfg_; }
+  [[nodiscard]] const Quantizer& quantizer() const { return quant_; }
+
+  /// The scaling law itself, usable without an instance (bench sweeps).
+  static units::Power power_model(int bits, units::Frequency rate, double kappa_watts,
+                                  units::Frequency reference_rate);
+
+ private:
+  ElectricalDacConfig cfg_;
+  Quantizer quant_;
+};
+
+}  // namespace pdac::converters

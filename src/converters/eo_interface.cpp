@@ -1,0 +1,62 @@
+#include "converters/eo_interface.hpp"
+
+#include "common/require.hpp"
+
+namespace pdac::converters {
+
+MultiBitEoInterface::MultiBitEoInterface(EoInterfaceConfig cfg) : cfg_(cfg) {
+  PDAC_REQUIRE(cfg_.bits >= 2 && cfg_.bits <= 16, "EoInterface: bits in [2, 16]");
+  PDAC_REQUIRE(cfg_.on_amplitude > 0.0, "EoInterface: on amplitude must be positive");
+  PDAC_REQUIRE(cfg_.clock.hertz() > 0.0, "EoInterface: clock must be positive");
+}
+
+OpticalDigitalWord MultiBitEoInterface::encode(std::int32_t code) const {
+  const int b = cfg_.bits;
+  const std::int32_t lo = -(1 << (b - 1));
+  const std::int32_t hi = (1 << (b - 1)) - 1;
+  PDAC_REQUIRE(code >= lo && code <= hi, "EoInterface: code out of range for bit width");
+
+  // Two's-complement bit pattern of the signed code.
+  const auto pattern = static_cast<std::uint32_t>(code) & ((1u << b) - 1u);
+
+  OpticalDigitalWord word;
+  word.slots.resize(static_cast<std::size_t>(b));
+  for (int i = 0; i < b; ++i) {
+    const bool on = ((pattern >> i) & 1u) != 0u;
+    word.slots[static_cast<std::size_t>(i)].amplitude =
+        photonics::Complex{on ? cfg_.on_amplitude : 0.0, 0.0};
+  }
+  return word;
+}
+
+std::int32_t MultiBitEoInterface::decode(const OpticalDigitalWord& word) const {
+  PDAC_REQUIRE(word.bits() == static_cast<std::size_t>(cfg_.bits),
+               "EoInterface: word width mismatch");
+  const double threshold = 0.25 * 0.5 * cfg_.on_amplitude * cfg_.on_amplitude;
+  std::uint32_t pattern = 0;
+  for (std::size_t i = 0; i < word.bits(); ++i) {
+    if (word.bit(i, threshold)) pattern |= (1u << i);
+  }
+  // Sign-extend from bit b-1.
+  const std::uint32_t sign_bit = 1u << (cfg_.bits - 1);
+  if ((pattern & sign_bit) != 0u) {
+    pattern |= ~((sign_bit << 1) - 1u);
+  }
+  return static_cast<std::int32_t>(pattern);
+}
+
+std::vector<OpticalDigitalWord> MultiBitEoInterface::encode_vector(
+    const std::vector<std::int32_t>& codes) const {
+  std::vector<OpticalDigitalWord> words;
+  words.reserve(codes.size());
+  for (auto c : codes) words.push_back(encode(c));
+  return words;
+}
+
+units::Power MultiBitEoInterface::streaming_power(std::size_t lanes) const {
+  const double bits_per_second =
+      static_cast<double>(cfg_.bits) * cfg_.clock.hertz() * static_cast<double>(lanes);
+  return units::watts(cfg_.energy_per_bit.joules() * bits_per_second);
+}
+
+}  // namespace pdac::converters

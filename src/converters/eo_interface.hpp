@@ -1,0 +1,67 @@
+// eo_interface.hpp — CAMON-style multi-bit electrical→optical interface
+// (paper Fig. 2).
+//
+// One clock cycle is divided into b time slots; a transmitter modulates
+// an MRR on/off in each slot so that a single laser wavelength carries a
+// full b-bit word per cycle.  The resulting *optical digital* word is
+// what travels over WDM from the M2 SRAM to the P-DACs.
+//
+// Bit convention: two's complement, slot i carries bit i (LSB first);
+// the MSB slot carries the sign bit with weight −2^{b−1}.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hpp"
+#include "photonics/optical_field.hpp"
+
+namespace pdac::converters {
+
+/// A b-bit word expressed as optical on/off field samples, one per time
+/// slot, all on one wavelength.
+struct OpticalDigitalWord {
+  std::vector<photonics::FieldSample> slots;  ///< index i = bit i (LSB first)
+
+  [[nodiscard]] std::size_t bits() const { return slots.size(); }
+
+  /// Threshold-decode slot i back to a logic level (receiver view).
+  [[nodiscard]] bool bit(std::size_t i, double on_intensity_threshold) const {
+    return slots.at(i).intensity() > on_intensity_threshold;
+  }
+};
+
+struct EoInterfaceConfig {
+  int bits{8};
+  double on_amplitude{1.0};  ///< carrier amplitude of a logic-1 slot
+  units::Frequency clock{units::gigahertz(5.0).hertz()};
+  units::Energy energy_per_bit{units::femtojoules(50.0).joules()};  ///< serializer + ring drive
+};
+
+class MultiBitEoInterface {
+ public:
+  explicit MultiBitEoInterface(EoInterfaceConfig cfg);
+
+  /// Encode a signed code (range [−2^{b−1}, 2^{b−1}−1]) into its optical
+  /// digital word, two's complement.
+  [[nodiscard]] OpticalDigitalWord encode(std::int32_t code) const;
+
+  /// Recover the signed code from a word (ideal threshold receiver) —
+  /// used by tests and by the loopback datapath checks.
+  [[nodiscard]] std::int32_t decode(const OpticalDigitalWord& word) const;
+
+  /// Encode a vector of codes, one word per WDM wavelength.
+  [[nodiscard]] std::vector<OpticalDigitalWord> encode_vector(
+      const std::vector<std::int32_t>& codes) const;
+
+  /// Average power when streaming words continuously at the clock rate,
+  /// for `lanes` parallel wavelengths.
+  [[nodiscard]] units::Power streaming_power(std::size_t lanes) const;
+
+  [[nodiscard]] const EoInterfaceConfig& config() const { return cfg_; }
+
+ private:
+  EoInterfaceConfig cfg_;
+};
+
+}  // namespace pdac::converters

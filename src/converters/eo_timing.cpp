@@ -1,0 +1,83 @@
+#include "converters/eo_timing.hpp"
+
+#include <cmath>
+
+#include "common/math_utils.hpp"
+#include "common/require.hpp"
+
+namespace pdac::converters {
+
+EoTimingAnalyzer::EoTimingAnalyzer(EoTimingConfig cfg) : cfg_(cfg) {
+  PDAC_REQUIRE(cfg_.modulator_bandwidth_ghz > 0.0, "EoTiming: bandwidth must be positive");
+  PDAC_REQUIRE(cfg_.clock.hertz() > 0.0, "EoTiming: clock must be positive");
+  PDAC_REQUIRE(cfg_.bits_per_cycle >= 1, "EoTiming: at least one bit per cycle");
+}
+
+double EoTimingAnalyzer::slot_seconds() const {
+  return 1.0 / (cfg_.clock.hertz() * static_cast<double>(cfg_.bits_per_cycle));
+}
+
+double EoTimingAnalyzer::tau_seconds() const {
+  return 1.0 / (2.0 * math::kPi * cfg_.modulator_bandwidth_ghz * 1e9);
+}
+
+double EoTimingAnalyzer::settled_fraction() const {
+  return 1.0 - std::exp(-slot_seconds() / tau_seconds());
+}
+
+double EoTimingAnalyzer::eye_opening() const {
+  // Worst "1": rising from 0 reaches s; worst "0": falling from 1
+  // leaves 1 − s.  Eye = s − (1 − s).
+  return 2.0 * settled_fraction() - 1.0;
+}
+
+std::vector<double> EoTimingAnalyzer::waveform(const OpticalDigitalWord& word,
+                                               int samples_per_slot) const {
+  PDAC_REQUIRE(samples_per_slot >= 1, "EoTiming: at least one sample per slot");
+  const double tau = tau_seconds();
+  const double dt = slot_seconds() / static_cast<double>(samples_per_slot);
+  const double decay = std::exp(-dt / tau);
+
+  std::vector<double> out;
+  out.reserve(word.bits() * static_cast<std::size_t>(samples_per_slot));
+  // Normalized intensity targets per slot (1 = full on).
+  double level = 0.0;  // modulator starts dark
+  for (std::size_t slot = 0; slot < word.bits(); ++slot) {
+    const double target = word.slots[slot].intensity() > 0.0 ? 1.0 : 0.0;
+    for (int s = 0; s < samples_per_slot; ++s) {
+      level = target + (level - target) * decay;
+      out.push_back(level);
+    }
+  }
+  return out;
+}
+
+bool EoTimingAnalyzer::slots_recoverable(const OpticalDigitalWord& word) const {
+  constexpr int kSamples = 32;
+  const auto wave = waveform(word, kSamples);
+  for (std::size_t slot = 0; slot < word.bits(); ++slot) {
+    const double sampled = wave[(slot + 1) * kSamples - 1];  // end of slot
+    const bool bit = word.slots[slot].intensity() > 0.0;
+    if ((sampled > 0.5) != bit) return false;
+  }
+  return true;
+}
+
+int EoTimingAnalyzer::max_bits_per_cycle(double modulator_bandwidth_ghz,
+                                         units::Frequency clock, double min_eye) {
+  int best = 0;
+  for (int b = 1; b <= 64; ++b) {
+    EoTimingConfig cfg;
+    cfg.modulator_bandwidth_ghz = modulator_bandwidth_ghz;
+    cfg.clock = clock;
+    cfg.bits_per_cycle = b;
+    if (EoTimingAnalyzer(cfg).eye_opening() >= min_eye) {
+      best = b;
+    } else {
+      break;  // eye shrinks monotonically with b
+    }
+  }
+  return best;
+}
+
+}  // namespace pdac::converters

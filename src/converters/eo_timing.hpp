@@ -1,0 +1,63 @@
+// eo_timing.hpp — timing/eye analysis of the multi-bit EO interface.
+//
+// The CAMON-style interface (paper Fig. 2) squeezes b bit-slots into one
+// clock cycle, so each slot lasts 1/(b·f_clk) — 25 ps for 8 bits at
+// 5 GHz.  A ring modulator with finite electro-optic bandwidth cannot
+// switch instantaneously: modeled as a first-order response with
+// τ = 1/(2π·BW), each slot's level settles only partially, and residual
+// inter-symbol interference closes the eye.  This module computes the
+// worst-case eye opening, the waveform of a word, and the largest bit
+// count per cycle that keeps the eye above a detection margin — i.e.
+// how far the paper's "n bits per wavelength per cycle" trick can be
+// pushed for a given device.
+#pragma once
+
+#include <vector>
+
+#include "common/units.hpp"
+#include "converters/eo_interface.hpp"
+
+namespace pdac::converters {
+
+struct EoTimingConfig {
+  double modulator_bandwidth_ghz{20.0};  ///< 3-dB EO bandwidth of the ring
+  units::Frequency clock{units::gigahertz(5.0).hertz()};
+  int bits_per_cycle{8};
+};
+
+class EoTimingAnalyzer {
+ public:
+  explicit EoTimingAnalyzer(EoTimingConfig cfg);
+
+  [[nodiscard]] double slot_seconds() const;
+  /// First-order settling time constant τ = 1/(2π·BW).
+  [[nodiscard]] double tau_seconds() const;
+  /// Fraction of a level transition completed after one slot.
+  [[nodiscard]] double settled_fraction() const;
+
+  /// Worst-case eye opening at the end-of-slot sampling instant, as a
+  /// fraction of the full swing: 2·(1 − e^{−T/τ}) − 1.  ≤ 0 means the
+  /// eye is closed (undetectable).
+  [[nodiscard]] double eye_opening() const;
+
+  /// Normalized intensity waveform of a word: `samples_per_slot` points
+  /// per bit slot, with first-order transitions between slot targets.
+  [[nodiscard]] std::vector<double> waveform(const OpticalDigitalWord& word,
+                                             int samples_per_slot = 16) const;
+
+  /// Threshold-sample the waveform at each slot end and recover the bit
+  /// pattern (LSB first) — true when the full word survives the link.
+  [[nodiscard]] bool slots_recoverable(const OpticalDigitalWord& word) const;
+
+  /// Largest bits-per-cycle keeping the eye ≥ `min_eye` at this clock
+  /// and bandwidth (0 if even one bit per cycle fails).
+  [[nodiscard]] static int max_bits_per_cycle(double modulator_bandwidth_ghz,
+                                              units::Frequency clock, double min_eye);
+
+  [[nodiscard]] const EoTimingConfig& config() const { return cfg_; }
+
+ private:
+  EoTimingConfig cfg_;
+};
+
+}  // namespace pdac::converters

@@ -1,0 +1,66 @@
+#include "converters/oe_interface.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/require.hpp"
+
+namespace pdac::converters {
+
+MultiBitOeInterface::MultiBitOeInterface(OeInterfaceConfig cfg) : cfg_(std::move(cfg)) {
+  PDAC_REQUIRE(!cfg_.weights.empty(), "OeInterface: needs at least one bit weight");
+  PDAC_REQUIRE(cfg_.on_intensity > 0.0, "OeInterface: on intensity must be positive");
+}
+
+double MultiBitOeInterface::convert(const OpticalDigitalWord& word) const {
+  PDAC_REQUIRE(word.bits() == cfg_.weights.size(), "OeInterface: word width mismatch");
+  double v = cfg_.bias;
+  const double threshold = 0.5 * cfg_.on_intensity;
+  for (std::size_t i = 0; i < word.bits(); ++i) {
+    if (word.slots[i].intensity() > threshold) v += cfg_.weights[i];
+  }
+  return v;
+}
+
+double MultiBitOeInterface::convert_analog(const OpticalDigitalWord& word) const {
+  PDAC_REQUIRE(word.bits() == cfg_.weights.size(), "OeInterface: word width mismatch");
+  double v = cfg_.bias;
+  for (std::size_t i = 0; i < word.bits(); ++i) {
+    v += cfg_.weights[i] * (word.slots[i].intensity() / cfg_.on_intensity);
+  }
+  return v;
+}
+
+units::Power MultiBitOeInterface::power() const {
+  const double b = static_cast<double>(cfg_.weights.size());
+  // The weighted TIA's bias current scales with its gain; express each
+  // gain relative to the smallest non-zero weight so a binary-weighted
+  // bank costs Σ 2^i = 2^b − 1 gain units.
+  double min_w = std::numeric_limits<double>::infinity();
+  for (double w : cfg_.weights) {
+    const double a = std::abs(w);
+    if (a > 0.0) min_w = std::min(min_w, a);
+  }
+  double gain_units = 0.0;
+  if (std::isfinite(min_w)) {
+    for (double w : cfg_.weights) gain_units += std::abs(w) / min_w;
+  }
+  return units::watts(cfg_.pd_ring_power_per_bit.watts() * b +
+                      cfg_.tia_power_unit.watts() * gain_units);
+}
+
+OeInterfaceConfig MultiBitOeInterface::binary_weighted(int bits, double v_scale) {
+  PDAC_REQUIRE(bits >= 2 && bits <= 16, "OeInterface: bits in [2, 16]");
+  OeInterfaceConfig cfg;
+  const double denom = static_cast<double>((1 << (bits - 1)) - 1);
+  cfg.weights.resize(static_cast<std::size_t>(bits));
+  for (int i = 0; i < bits; ++i) {
+    double w = std::exp2(i) / denom * v_scale;
+    if (i == bits - 1) w = -w;  // two's-complement sign bit
+    cfg.weights[static_cast<std::size_t>(i)] = w;
+  }
+  return cfg;
+}
+
+}  // namespace pdac::converters

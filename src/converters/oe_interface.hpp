@@ -1,0 +1,67 @@
+// oe_interface.hpp — multi-bit optical→electrical interface with
+// per-bit weighted TIAs (paper Fig. 7, left half).
+//
+// Each bit slot of an optical digital word lands on its own
+// photodetector; each photocurrent is amplified by a TIA whose gain
+// (weight) is programmed per bit; the TIA outputs superimpose into one
+// voltage plus a bias:
+//   V_out = bias + Σ_i w_i · [slot i is on]
+// With binary weights w_i ∝ ±2^i this is a photonic binary-weighted DAC;
+// with the P-DAC's arccos-approximation weights it produces the MZM
+// drive phase directly.  Weights are expressed in *output-voltage units
+// per logic-1 slot*: the constructor folds responsivity, R_f and the
+// slot's on-intensity into the weight so the algebra in src/core stays
+// exactly the paper's.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/units.hpp"
+#include "converters/eo_interface.hpp"
+#include "photonics/photodetector.hpp"
+
+namespace pdac::converters {
+
+struct OeInterfaceConfig {
+  /// Voltage contributed by a logic-1 in slot i (signed; MSB weight is
+  /// negative for two's-complement inputs).
+  std::vector<double> weights;
+  double bias{0.0};              ///< constant added to the summed voltage
+  double on_intensity{0.5};      ///< intensity of a logic-1 slot (½·amp²)
+  /// Per-receiver static power: one PD+ring per bit plus the weighted TIA
+  /// whose cost grows with its gain (see power_params.hpp derivation).
+  units::Power pd_ring_power_per_bit{units::microwatts(160.5).watts()};
+  units::Power tia_power_unit{units::microwatts(5.2).watts()};
+};
+
+class MultiBitOeInterface {
+ public:
+  explicit MultiBitOeInterface(OeInterfaceConfig cfg);
+
+  [[nodiscard]] std::size_t bits() const { return cfg_.weights.size(); }
+
+  /// Convert an optical digital word to the summed analog voltage.
+  /// Slot intensities are compared against half the on-intensity, so the
+  /// conversion tolerates amplitude noise on the optical link.
+  [[nodiscard]] double convert(const OpticalDigitalWord& word) const;
+
+  /// Same conversion but *analog-faithful*: each TIA contributes
+  /// weight · (slot intensity / on intensity), i.e. no regeneration.
+  /// Used to study sensitivity to link loss and crosstalk.
+  [[nodiscard]] double convert_analog(const OpticalDigitalWord& word) const;
+
+  /// Static power of this receiver (b PD/rings + b weighted TIAs).
+  [[nodiscard]] units::Power power() const;
+
+  [[nodiscard]] const OeInterfaceConfig& config() const { return cfg_; }
+
+  /// Binary-weighted configuration for b-bit two's-complement codes:
+  /// V_out = code / (2^{b−1} − 1) · v_scale  (a plain photonic DAC).
+  static OeInterfaceConfig binary_weighted(int bits, double v_scale = 1.0);
+
+ private:
+  OeInterfaceConfig cfg_;
+};
+
+}  // namespace pdac::converters

@@ -1,0 +1,57 @@
+#include "core/breakpoint_optimizer.hpp"
+
+#include "common/math_utils.hpp"
+#include "common/require.hpp"
+#include "core/arccos_approx.hpp"
+
+namespace pdac::core {
+
+double BreakpointOptimizer::objective(double k) const {
+  return PiecewiseLinearArccos::with_breakpoint(k).integrated_error();
+}
+
+BreakpointSearchResult BreakpointOptimizer::optimize(double lo, double hi) const {
+  PDAC_REQUIRE(lo > 0.0 && hi < 1.0 && lo < hi, "BreakpointOptimizer: range inside (0, 1)");
+  int evals = 0;
+  auto f = [this, &evals](double k) {
+    ++evals;
+    return objective(k);
+  };
+
+  // Dense scan first so a non-unimodal landscape cannot trap the
+  // golden-section refinement in a local valley.
+  constexpr std::size_t kScan = 181;
+  double best_k = lo;
+  double best_v = f(lo);
+  for (auto k : math::linspace(lo, hi, kScan)) {
+    const double v = f(k);
+    if (v < best_v) {
+      best_v = v;
+      best_k = k;
+    }
+  }
+  const double step = (hi - lo) / static_cast<double>(kScan - 1);
+  const double a = std::max(lo, best_k - step);
+  const double b = std::min(hi, best_k + step);
+  const auto refined = math::golden_section_minimize(f, a, b, 1e-10);
+
+  BreakpointSearchResult r;
+  r.k_star = refined.x;
+  r.objective = refined.value;
+  r.max_decode_error = PiecewiseLinearArccos::with_breakpoint(refined.x).max_decode_error();
+  r.evaluations = evals;
+  return r;
+}
+
+std::vector<BreakpointSample> BreakpointOptimizer::sweep(double lo, double hi,
+                                                         std::size_t n) const {
+  std::vector<BreakpointSample> out;
+  out.reserve(n);
+  for (auto k : math::linspace(lo, hi, n)) {
+    const auto approx = PiecewiseLinearArccos::with_breakpoint(k);
+    out.push_back(BreakpointSample{k, approx.integrated_error(), approx.max_decode_error()});
+  }
+  return out;
+}
+
+}  // namespace pdac::core

@@ -1,0 +1,41 @@
+// breakpoint_optimizer.hpp — numerical search for the optimal segment
+// breakpoint k (paper Eq. 17, "after running the program to find the
+// optimal k value … k ≈ 0.7236").
+//
+// This module *is* that program: it evaluates the integrated relative
+// decode error of the 3-segment approximation as a function of k and
+// minimizes it (dense scan + golden-section refinement).  The Fig. 8
+// bench prints the resulting k*, the paper value, and the error curve.
+#pragma once
+
+#include <vector>
+
+namespace pdac::core {
+
+struct BreakpointSearchResult {
+  double k_star{};            ///< argmin of the Eq. 17 objective
+  double objective{};         ///< integrated relative error at k*
+  double max_decode_error{};  ///< worst-case decode error at k* (paper: 8.5 %)
+  int evaluations{};          ///< number of objective evaluations
+};
+
+/// One sample of the objective landscape (for plotting / the bench table).
+struct BreakpointSample {
+  double k{};
+  double objective{};
+  double max_decode_error{};
+};
+
+class BreakpointOptimizer {
+ public:
+  /// Search k ∈ [lo, hi] (defaults cover the whole open interval).
+  BreakpointSearchResult optimize(double lo = 0.05, double hi = 0.95) const;
+
+  /// Evaluate the Eq. 17 objective at a single k.
+  double objective(double k) const;
+
+  /// Sample the landscape at `n` evenly spaced breakpoints.
+  std::vector<BreakpointSample> sweep(double lo, double hi, std::size_t n) const;
+};
+
+}  // namespace pdac::core

@@ -1,0 +1,49 @@
+#include "core/error_model.hpp"
+
+#include <cmath>
+
+#include "common/math_utils.hpp"
+#include "common/require.hpp"
+
+namespace pdac::core {
+
+EncodeErrorReport sweep_encode_error(const ModulatorDriver& driver, std::size_t n,
+                                     double rel_floor) {
+  PDAC_REQUIRE(n >= 3, "sweep_encode_error: at least three samples");
+  EncodeErrorReport rep;
+  for (double r : math::linspace(-1.0, 1.0, n)) {
+    const double v = driver.encode(r);
+    const double abs_err = std::abs(v - r);
+    const double rel_err = math::relative_error(v, r, rel_floor);
+    rep.abs_error.add(abs_err);
+    rep.rel_error.add(rel_err);
+    if (abs_err > rep.worst_abs) rep.worst_abs = abs_err;
+    if (rel_err > rep.worst_rel) {
+      rep.worst_rel = rel_err;
+      rep.worst_rel_at = r;
+    }
+  }
+  return rep;
+}
+
+double expected_abs_error(const PiecewiseLinearArccos& approx,
+                          const std::function<double(double)>& pdf) {
+  auto integrand = [&](double r) { return std::abs(approx.decoded(r) - r) * pdf(r); };
+  const double num = math::integrate(integrand, -1.0, 1.0, 1e-10);
+  const double mass = math::integrate(pdf, -1.0, 1.0, 1e-10);
+  PDAC_REQUIRE(mass > 0.0, "expected_abs_error: density has zero mass on [-1, 1]");
+  return num / mass;
+}
+
+double uniform_pdf(double r) { return (r >= -1.0 && r <= 1.0) ? 0.5 : 0.0; }
+
+std::function<double(double)> gaussian_pdf(double stddev) {
+  PDAC_REQUIRE(stddev > 0.0, "gaussian_pdf: stddev must be positive");
+  const double inv = 1.0 / (stddev * std::sqrt(2.0 * math::kPi));
+  return [inv, stddev](double r) {
+    if (r < -1.0 || r > 1.0) return 0.0;
+    return inv * std::exp(-0.5 * r * r / (stddev * stddev));
+  };
+}
+
+}  // namespace pdac::core

@@ -1,0 +1,44 @@
+// error_model.hpp — analytic and empirical error characterization of the
+// P-DAC encoding (supports the paper's feasibility argument in §III-C
+// and our accuracy ablations).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "common/stats.hpp"
+#include "core/arccos_approx.hpp"
+#include "core/modulator_driver.hpp"
+
+namespace pdac::core {
+
+/// Summary of an encode-error sweep over the operand domain.
+struct EncodeErrorReport {
+  stats::Running abs_error;     ///< |encode(r) − r|
+  stats::Running rel_error;     ///< |encode(r) − r| / max(|r|, floor)
+  double worst_abs{};
+  double worst_rel{};
+  double worst_rel_at{};        ///< the r achieving worst_rel
+};
+
+/// Sweep a driver over `n` evenly spaced operands in [−1, 1].  The
+/// relative-error denominator is floored at `rel_floor` (5 % of full
+/// scale by default) so half-LSB quantization noise near r = 0 does not
+/// masquerade as huge relative error and hide the approximation's true
+/// worst case at r = ±k.
+EncodeErrorReport sweep_encode_error(const ModulatorDriver& driver, std::size_t n = 4001,
+                                     double rel_floor = 5e-2);
+
+/// Expected |cos(f(r)) − r| under an operand density `pdf` on [−1, 1]
+/// (numerical integration).  LLM activations concentrate near zero,
+/// where the middle Taylor segment is nearly exact — this quantifies the
+/// paper's "inherent tolerance" argument.
+double expected_abs_error(const PiecewiseLinearArccos& approx,
+                          const std::function<double(double)>& pdf);
+
+/// Convenience densities for the expected-error analysis.
+double uniform_pdf(double r);
+/// Truncated normal on [−1, 1] with the given std (mean 0).
+std::function<double(double)> gaussian_pdf(double stddev);
+
+}  // namespace pdac::core

@@ -1,0 +1,108 @@
+#include "core/error_propagation.hpp"
+
+#include <cmath>
+
+#include "common/math_utils.hpp"
+#include "common/require.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace pdac::core {
+
+EncodeDecomposition decompose_encoder(const ModulatorDriver& driver,
+                                      const std::function<double(double)>& pdf,
+                                      std::size_t samples) {
+  PDAC_REQUIRE(samples >= 3, "decompose_encoder: at least three samples");
+  double mass = 0.0, num = 0.0, den = 0.0;
+  const auto grid = math::linspace(-1.0, 1.0, samples);
+  std::vector<double> enc(grid.size());
+  std::vector<double> weight(grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    enc[i] = driver.encode(grid[i]);
+    weight[i] = pdf(grid[i]);
+    mass += weight[i];
+    num += weight[i] * grid[i] * enc[i];
+    den += weight[i] * grid[i] * grid[i];
+  }
+  PDAC_REQUIRE(mass > 0.0, "decompose_encoder: density has zero mass");
+  PDAC_REQUIRE(den > 0.0, "decompose_encoder: degenerate operand distribution");
+
+  EncodeDecomposition d;
+  d.gain = num / den;
+  d.operand_var = den / mass;
+  double rvar = 0.0;
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const double e = enc[i] - d.gain * grid[i];
+    rvar += weight[i] * e * e;
+  }
+  d.residual_var = rvar / mass;
+  return d;
+}
+
+DotErrorPrediction predict_dot_error(const EncodeDecomposition& x,
+                                     const EncodeDecomposition& w, std::size_t k) {
+  PDAC_REQUIRE(k >= 1, "predict_dot_error: at least one element");
+  DotErrorPrediction p;
+  p.combined_gain = x.gain * w.gain;
+  const double kd = static_cast<double>(k);
+  const double noise_var =
+      kd * (x.gain * x.gain * x.operand_var * w.residual_var +
+            w.gain * w.gain * w.operand_var * x.residual_var +
+            x.residual_var * w.residual_var);
+  p.noise_rms = std::sqrt(noise_var);
+  const double signal_rms = std::sqrt(kd * x.operand_var * w.operand_var);
+  p.rel_noise_rms = signal_rms > 0.0 ? p.noise_rms / signal_rms : 0.0;
+  return p;
+}
+
+DotErrorPrediction measure_dot_error(const ModulatorDriver& driver,
+                                     const std::function<double(double)>& pdf,
+                                     std::size_t k, int trials, std::uint64_t seed) {
+  PDAC_REQUIRE(k >= 1 && trials >= 10, "measure_dot_error: k >= 1, trials >= 10");
+  Rng rng(seed);
+  // Rejection sampler over [−1, 1] with envelope max(pdf) from a scan.
+  double pdf_max = 0.0;
+  for (double r : math::linspace(-1.0, 1.0, 512)) pdf_max = std::max(pdf_max, pdf(r));
+  PDAC_REQUIRE(pdf_max > 0.0, "measure_dot_error: density has zero mass");
+  auto draw = [&]() {
+    for (;;) {
+      const double r = rng.uniform(-1.0, 1.0);
+      if (rng.uniform(0.0, pdf_max) <= pdf(r)) return r;
+    }
+  };
+
+  stats::Running exact_sq, cross, noise_sq;
+  std::vector<double> xs(k), ws(k);
+  double gain_num = 0.0, gain_den = 0.0;
+  std::vector<double> exact_vals, encoded_vals;
+  exact_vals.reserve(static_cast<std::size_t>(trials));
+  encoded_vals.reserve(static_cast<std::size_t>(trials));
+  for (int t = 0; t < trials; ++t) {
+    double y = 0.0, y_enc = 0.0;
+    for (std::size_t i = 0; i < k; ++i) {
+      xs[i] = draw();
+      ws[i] = draw();
+      y += xs[i] * ws[i];
+      y_enc += driver.encode(xs[i]) * driver.encode(ws[i]);
+    }
+    exact_vals.push_back(y);
+    encoded_vals.push_back(y_enc);
+    gain_num += y * y_enc;
+    gain_den += y * y;
+  }
+
+  DotErrorPrediction p;
+  p.combined_gain = gain_den > 0.0 ? gain_num / gain_den : 1.0;
+  double nvar = 0.0, svar = 0.0;
+  for (std::size_t i = 0; i < exact_vals.size(); ++i) {
+    const double n = encoded_vals[i] - p.combined_gain * exact_vals[i];
+    nvar += n * n;
+    svar += exact_vals[i] * exact_vals[i];
+  }
+  p.noise_rms = std::sqrt(nvar / static_cast<double>(exact_vals.size()));
+  const double signal_rms = std::sqrt(svar / static_cast<double>(exact_vals.size()));
+  p.rel_noise_rms = signal_rms > 0.0 ? p.noise_rms / signal_rms : 0.0;
+  return p;
+}
+
+}  // namespace pdac::core

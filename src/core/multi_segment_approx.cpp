@@ -1,0 +1,90 @@
+#include "core/multi_segment_approx.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_utils.hpp"
+#include "common/require.hpp"
+
+namespace pdac::core {
+
+MultiSegmentArccos::MultiSegmentArccos(std::vector<double> nodes)
+    : nodes_(std::move(nodes)) {
+  PDAC_REQUIRE(nodes_.size() >= 2, "MultiSegmentArccos: need at least two nodes");
+  PDAC_REQUIRE(nodes_.front() == 0.0 && nodes_.back() == 1.0,
+               "MultiSegmentArccos: nodes must span [0, 1]");
+  for (std::size_t i = 1; i < nodes_.size(); ++i) {
+    PDAC_REQUIRE(nodes_[i] > nodes_[i - 1], "MultiSegmentArccos: nodes must increase");
+  }
+  pieces_.reserve(nodes_.size() - 1);
+  for (std::size_t i = 0; i + 1 < nodes_.size(); ++i) {
+    const double x0 = nodes_[i];
+    const double x1 = nodes_[i + 1];
+    const double y0 = std::acos(x0);
+    const double y1 = std::acos(x1);
+    const double slope = (y1 - y0) / (x1 - x0);
+    pieces_.push_back(LinearPiece{x0, x1, slope, y0 - slope * x0});
+  }
+}
+
+MultiSegmentArccos MultiSegmentArccos::from_nodes(std::vector<double> nodes) {
+  return MultiSegmentArccos(std::move(nodes));
+}
+
+MultiSegmentArccos MultiSegmentArccos::uniform(std::size_t segments) {
+  PDAC_REQUIRE(segments >= 1, "MultiSegmentArccos: at least one segment");
+  return MultiSegmentArccos(
+      math::linspace(0.0, 1.0, segments + 1));
+}
+
+MultiSegmentArccos MultiSegmentArccos::optimized(std::size_t segments, int rounds) {
+  PDAC_REQUIRE(segments >= 1, "MultiSegmentArccos: at least one segment");
+  std::vector<double> nodes = math::linspace(0.0, 1.0, segments + 1);
+  if (segments == 1) return MultiSegmentArccos(std::move(nodes));
+
+  auto objective = [](const std::vector<double>& ns) {
+    return MultiSegmentArccos(std::vector<double>(ns)).max_decode_error();
+  };
+  // Coordinate descent: refine one interior node at a time with a
+  // golden-section search between its neighbours.
+  for (int round = 0; round < rounds; ++round) {
+    for (std::size_t i = 1; i + 1 < nodes.size(); ++i) {
+      const double lo = nodes[i - 1] + 1e-4;
+      const double hi = nodes[i + 1] - 1e-4;
+      auto slice = [&](double x) {
+        std::vector<double> trial = nodes;
+        trial[i] = x;
+        return objective(trial);
+      };
+      nodes[i] = math::golden_section_minimize(slice, lo, hi, 1e-6).x;
+    }
+  }
+  return MultiSegmentArccos(std::move(nodes));
+}
+
+double MultiSegmentArccos::eval(double r) const {
+  r = math::clamp_unit(r);
+  const double a = std::abs(r);
+  // Binary search for the piece containing |r|.
+  const auto it = std::upper_bound(nodes_.begin(), nodes_.end(), a);
+  const std::size_t idx =
+      std::min<std::size_t>(pieces_.size() - 1,
+                            static_cast<std::size_t>(
+                                std::max<std::ptrdiff_t>(0, it - nodes_.begin() - 1)));
+  const double phase = pieces_[idx].eval(a);
+  // arccos(−r) = π − arccos(r); same identity holds for the chords.
+  return r >= 0.0 ? phase : math::kPi - phase;
+}
+
+double MultiSegmentArccos::decoded(double r) const { return std::cos(eval(r)); }
+
+double MultiSegmentArccos::decode_error(double r, double floor) const {
+  return math::relative_error(decoded(r), math::clamp_unit(r), floor);
+}
+
+double MultiSegmentArccos::max_decode_error(double lo) const {
+  auto err = [this](double r) { return decode_error(r); };
+  return math::dense_maximize(err, lo, 1.0, 2048).value;
+}
+
+}  // namespace pdac::core

@@ -1,0 +1,64 @@
+// multi_segment_approx.hpp — generalization of the paper's 3-segment
+// arccos program to N linear segments per half-domain.
+//
+// The paper stops at three segments (one comparator pair); a natural
+// design question is how decode error trades against comparator/weight-
+// bank count.  This module builds chord interpolants of arccos over
+// node sets on [0, 1], extends them to [−1, 0) via the arccos symmetry
+// f(−r) = π − f(r), and optimizes node placement to minimize the
+// worst-case decode error.  Every piece is linear in r, so the same TIA
+// weight compiler (tia_weights.hpp) can realize any member of this
+// family in hardware; the added cost is one magnitude comparator per
+// extra node.
+//
+// Relation to the paper's instance: Eq. 18 uses the *tangent* at r = 0
+// for the middle piece and a chord to (1, 0) outside; a 2-segment chord
+// program with an optimized interior node lands at a very similar error
+// (the A2 bench prints both).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/arccos_approx.hpp"
+
+namespace pdac::core {
+
+class MultiSegmentArccos {
+ public:
+  /// Chord interpolant through (n_i, arccos(n_i)) for the given nodes.
+  /// Nodes must be strictly increasing, start at 0 and end at 1.
+  static MultiSegmentArccos from_nodes(std::vector<double> nodes);
+
+  /// `segments` equal-width pieces on [0, 1].
+  static MultiSegmentArccos uniform(std::size_t segments);
+
+  /// Interior nodes placed by coordinate descent to minimize the
+  /// worst-case decode error |cos(f(r)) − r| / |r|.
+  static MultiSegmentArccos optimized(std::size_t segments, int rounds = 24);
+
+  /// Phase for r ∈ [−1, 1] (clamped outside).
+  [[nodiscard]] double eval(double r) const;
+  /// cos(f(r)): the value the optics produce.
+  [[nodiscard]] double decoded(double r) const;
+  [[nodiscard]] double decode_error(double r, double floor = 1e-9) const;
+  [[nodiscard]] double max_decode_error(double lo = 1e-3) const;
+
+  /// Pieces on the positive half (the negative half is the symmetric
+  /// image and shares hardware up to a sign/bias swap).
+  [[nodiscard]] const std::vector<LinearPiece>& pieces() const { return pieces_; }
+  [[nodiscard]] std::size_t segments() const { return pieces_.size(); }
+  [[nodiscard]] const std::vector<double>& nodes() const { return nodes_; }
+
+  /// Hardware cost proxies for the A2 ablation table.
+  [[nodiscard]] std::size_t weight_banks() const { return 2 * segments() - 1; }
+  [[nodiscard]] std::size_t comparators() const { return 2 * (segments() - 1); }
+
+ private:
+  explicit MultiSegmentArccos(std::vector<double> nodes);
+
+  std::vector<double> nodes_;        ///< 0 = n₀ < … < n_k = 1
+  std::vector<LinearPiece> pieces_;  ///< chord i covers [n_i, n_{i+1}]
+};
+
+}  // namespace pdac::core

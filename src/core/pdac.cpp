@@ -1,0 +1,87 @@
+#include "core/pdac.hpp"
+
+#include <cmath>
+
+#include "common/math_utils.hpp"
+#include "common/require.hpp"
+
+namespace pdac::core {
+
+Pdac::Pdac(PdacConfig cfg)
+    : cfg_(cfg),
+      approx_(PiecewiseLinearArccos::with_breakpoint(cfg.breakpoint)),
+      program_(approx_, cfg.bits),
+      sm_program_(approx_, cfg.bits),
+      quant_(cfg.bits),
+      mzm_(cfg.mzm) {
+  PDAC_REQUIRE(cfg_.eo_on_amplitude > 0.0, "Pdac: on amplitude must be positive");
+}
+
+double Pdac::drive_phase(const converters::OpticalDigitalWord& word) const {
+  PDAC_REQUIRE(word.bits() == static_cast<std::size_t>(cfg_.bits),
+               "Pdac: word width mismatch");
+  // Per-bit photodetection with threshold regeneration, then the
+  // comparator logic selects a bank from the recovered code.
+  const double threshold = 0.25 * 0.5 * cfg_.eo_on_amplitude * cfg_.eo_on_amplitude;
+  std::uint32_t pattern = 0;
+  for (std::size_t i = 0; i < word.bits(); ++i) {
+    if (word.bit(i, threshold)) pattern |= (1u << i);
+  }
+  const std::uint32_t sign_bit = 1u << (cfg_.bits - 1);
+  std::int32_t code;
+  if ((pattern & sign_bit) != 0u) {
+    code = static_cast<std::int32_t>(pattern | ~((sign_bit << 1) - 1u));
+  } else {
+    code = static_cast<std::int32_t>(pattern);
+  }
+  return drive_phase(code);
+}
+
+double Pdac::drive_phase(std::int32_t code) const {
+  // Both programs realize the identical nominal f(r); the encoding only
+  // changes which physical bank topology computes it (and its variation
+  // robustness — see the A6 bench).
+  return cfg_.encoding == BitEncoding::kSignMagnitude ? sm_program_.drive_phase(code)
+                                                      : program_.drive_phase(code);
+}
+
+photonics::Complex Pdac::convert(double r, photonics::Complex carrier) const {
+  const std::int32_t code = quant_.encode(r);
+  return mzm_.modulate_pushpull(carrier, drive_phase(code));
+}
+
+double Pdac::convert_value(double r) const {
+  const photonics::Complex out = convert(r, photonics::Complex{1.0, 0.0});
+  return out.real();
+}
+
+double Pdac::convert_code(std::int32_t code) const {
+  const photonics::Complex out =
+      mzm_.modulate_pushpull(photonics::Complex{1.0, 0.0}, drive_phase(code));
+  return out.real();
+}
+
+double Pdac::worst_case_error() const {
+  double worst = 0.0;
+  for (std::int32_t c = -quant_.max_code(); c <= quant_.max_code(); ++c) {
+    if (c == 0) continue;
+    const double r = quant_.decode(c);
+    worst = std::max(worst, math::relative_error(convert_code(c), r));
+  }
+  return worst;
+}
+
+units::Power Pdac::power() const {
+  return power_model(cfg_.bits, cfg_.pd_ring_power_per_bit, cfg_.tia_gain_power_unit,
+                     cfg_.mzm_bias_power);
+}
+
+units::Power Pdac::power_model(int bits, units::Power pd_ring_per_bit,
+                               units::Power tia_gain_unit, units::Power mzm_bias) {
+  PDAC_REQUIRE(bits >= 1 && bits <= 24, "Pdac: bits in [1, 24]");
+  const double gain_units = std::exp2(bits) - 1.0;  // Σ_i 2^i over the active bank
+  return units::watts(pd_ring_per_bit.watts() * static_cast<double>(bits) +
+                      tia_gain_unit.watts() * gain_units + mzm_bias.watts());
+}
+
+}  // namespace pdac::core

@@ -1,0 +1,97 @@
+// pdac.hpp — the Photonic Digital-to-Analog Converter (paper §III,
+// Fig. 7): the contribution this repository reproduces.
+//
+// Datapath per modulator channel:
+//
+//   optical digital word (b bit-slots, from the EO interface over WDM)
+//     → per-bit photodetectors
+//     → one of three TIA weight banks (selected by "leq" comparators on
+//       the code magnitude, implementing the 3-segment Eq. 18 program)
+//     → summed voltage  V′₁ = f(r)  drives the integrated MZM push–pull
+//     → E_out = E_in·cos(V′₁) ≈ r·E_in
+//
+// compared to the traditional chain it replaces:
+//   controller computes arccos(r) → electrical DAC synthesizes V₁ → MZM.
+//
+// Power model (per modulator channel, calibrated in DESIGN.md §5):
+//   P = a·b + c·(2^b − 1) + P_mzm_bias
+// where a covers the per-bit PD + receive ring, and c the binary-weighted
+// TIA whose bias current scales with its gain (Σ_i 2^i = 2^b − 1).  Only
+// the selected bank draws gain current, so the three banks do not triple
+// the cost.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+#include "converters/eo_interface.hpp"
+#include "converters/quantizer.hpp"
+#include "core/arccos_approx.hpp"
+#include "core/tia_weights.hpp"
+#include "photonics/mzm.hpp"
+
+namespace pdac::core {
+
+/// Bit encoding of the optical digital words driving the P-DAC.
+enum class BitEncoding {
+  kTwosComplement,  ///< the default; MSB carries weight −2^{b−1}
+  kSignMagnitude,   ///< sign bit selects a mirrored bank (variation-robust)
+};
+
+struct PdacConfig {
+  int bits{8};
+  double breakpoint{0.7236};  ///< Eq. 18 segment breakpoint
+  BitEncoding encoding{BitEncoding::kTwosComplement};
+  photonics::MzmConfig mzm{};
+  double eo_on_amplitude{1.0};  ///< logic-1 amplitude of incoming words
+  // Per-modulator power constants (defaults match the LT-B calibration).
+  units::Power pd_ring_power_per_bit{units::microwatts(160.5).watts()};
+  units::Power tia_gain_power_unit{units::microwatts(5.2).watts()};
+  units::Power mzm_bias_power{units::watts(0.0)};
+};
+
+class Pdac {
+ public:
+  explicit Pdac(PdacConfig cfg);
+
+  // --- optical digital front end -----------------------------------------
+  /// Drive phase produced for an incoming optical digital word: the
+  /// comparators select a bank, the weighted TIAs sum the bit currents.
+  [[nodiscard]] double drive_phase(const converters::OpticalDigitalWord& word) const;
+  /// Same, starting from the electrical code (bypasses the EO link).
+  [[nodiscard]] double drive_phase(std::int32_t code) const;
+
+  // --- end-to-end conversion ----------------------------------------------
+  /// Desired analog value r ∈ [−1, 1] → quantize → word → phase → MZM:
+  /// returns the modulated field for the given carrier.
+  [[nodiscard]] photonics::Complex convert(double r, photonics::Complex carrier) const;
+  /// E_out/E_in for a unit carrier — the value the optics encode.  The
+  /// real part carries the signal (phase 0 or π encodes the sign).
+  [[nodiscard]] double convert_value(double r) const;
+  /// Conversion of an exact code, skipping quantization.
+  [[nodiscard]] double convert_code(std::int32_t code) const;
+
+  /// Worst-case |convert_value(r) − r|/|r| over the code range — device-
+  /// level validation of the paper's 8.5 % bound (plus quantization).
+  [[nodiscard]] double worst_case_error() const;
+
+  // --- power ----------------------------------------------------------------
+  [[nodiscard]] units::Power power() const;
+  static units::Power power_model(int bits, units::Power pd_ring_per_bit,
+                                  units::Power tia_gain_unit, units::Power mzm_bias);
+
+  [[nodiscard]] const PdacConfig& config() const { return cfg_; }
+  [[nodiscard]] const SegmentedTiaProgram& program() const { return program_; }
+  [[nodiscard]] const PiecewiseLinearArccos& approximation() const { return approx_; }
+  [[nodiscard]] const converters::Quantizer& quantizer() const { return quant_; }
+
+ private:
+  PdacConfig cfg_;
+  PiecewiseLinearArccos approx_;
+  SegmentedTiaProgram program_;            ///< two's-complement banks
+  SignMagnitudeTiaProgram sm_program_;     ///< sign-magnitude banks
+  converters::Quantizer quant_;
+  photonics::Mzm mzm_;
+};
+
+}  // namespace pdac::core

@@ -1,0 +1,123 @@
+#include "core/tia_weights.hpp"
+
+#include <cmath>
+
+#include "common/math_utils.hpp"
+#include "common/require.hpp"
+
+namespace pdac::core {
+
+TiaWeightBank compile_linear_piece(const LinearPiece& piece, Segment seg, int bits) {
+  PDAC_REQUIRE(bits >= 2 && bits <= 16, "compile_linear_piece: bits in [2, 16]");
+  TiaWeightBank bank;
+  bank.segment = seg;
+  bank.bias = piece.intercept;
+  const double denom = static_cast<double>((1 << (bits - 1)) - 1);
+  bank.weights.resize(static_cast<std::size_t>(bits));
+  for (int i = 0; i < bits; ++i) {
+    double w = piece.slope * std::exp2(i) / denom;
+    if (i == bits - 1) w = -w;  // two's-complement sign bit carries −2^{b−1}
+    bank.weights[static_cast<std::size_t>(i)] = w;
+  }
+  return bank;
+}
+
+SegmentedTiaProgram::SegmentedTiaProgram(const PiecewiseLinearArccos& approx, int bits)
+    : bits_(bits) {
+  PDAC_REQUIRE(bits >= 2 && bits <= 16, "SegmentedTiaProgram: bits in [2, 16]");
+  max_code_ = static_cast<std::int32_t>((1 << (bits - 1)) - 1);
+  // The comparator threshold is the quantized breakpoint.  Codes strictly
+  // above it select the outer banks, mirroring f(r)'s open interval.
+  k_code_ = static_cast<std::int32_t>(std::lround(approx.breakpoint() * max_code_));
+  negative_ = compile_linear_piece(approx.piece(Segment::kNegativeOuter),
+                                   Segment::kNegativeOuter, bits);
+  middle_ = compile_linear_piece(approx.piece(Segment::kMiddle), Segment::kMiddle, bits);
+  positive_ = compile_linear_piece(approx.piece(Segment::kPositiveOuter),
+                                   Segment::kPositiveOuter, bits);
+}
+
+Segment SegmentedTiaProgram::select(std::int32_t code) const {
+  if (code > k_code_) return Segment::kPositiveOuter;
+  if (code < -k_code_) return Segment::kNegativeOuter;
+  return Segment::kMiddle;
+}
+
+const TiaWeightBank& SegmentedTiaProgram::bank(Segment s) const {
+  switch (s) {
+    case Segment::kNegativeOuter: return negative_;
+    case Segment::kPositiveOuter: return positive_;
+    case Segment::kMiddle: break;
+  }
+  return middle_;
+}
+
+double SegmentedTiaProgram::drive_phase(std::int32_t code) const {
+  PDAC_REQUIRE(code >= -max_code_ - 1 && code <= max_code_,
+               "SegmentedTiaProgram: code out of range");
+  const TiaWeightBank& b = bank(select(code));
+  const auto pattern = static_cast<std::uint32_t>(code) & ((1u << bits_) - 1u);
+  double v = b.bias;
+  for (int i = 0; i < bits_; ++i) {
+    if (((pattern >> i) & 1u) != 0u) v += b.weights[static_cast<std::size_t>(i)];
+  }
+  return v;
+}
+
+SignMagnitudeTiaProgram::SignMagnitudeTiaProgram(const PiecewiseLinearArccos& approx,
+                                                 int bits)
+    : bits_(bits) {
+  PDAC_REQUIRE(bits >= 2 && bits <= 16, "SignMagnitudeTiaProgram: bits in [2, 16]");
+  max_code_ = static_cast<std::int32_t>((1 << (bits - 1)) - 1);
+  k_code_ = static_cast<std::int32_t>(std::lround(approx.breakpoint() * max_code_));
+
+  // Positive-half pieces; the negative banks are their π-mirrors.
+  const LinearPiece& mid = approx.piece(Segment::kMiddle);
+  const LinearPiece& out = approx.piece(Segment::kPositiveOuter);
+  const double denom = static_cast<double>(max_code_);
+  for (int outer = 0; outer < 2; ++outer) {
+    const LinearPiece& piece = outer ? out : mid;
+    for (int negative = 0; negative < 2; ++negative) {
+      Bank& b = banks_[outer][negative];
+      const double sign = negative ? -1.0 : 1.0;  // f(−r) = π − f(r)
+      b.bias = negative ? math::kPi - piece.intercept : piece.intercept;
+      b.weights.resize(static_cast<std::size_t>(bits_ - 1));
+      for (int i = 0; i < bits_ - 1; ++i) {
+        b.weights[static_cast<std::size_t>(i)] = sign * piece.slope * std::exp2(i) / denom;
+      }
+    }
+  }
+}
+
+double SignMagnitudeTiaProgram::drive_phase(std::int32_t code) const {
+  PDAC_REQUIRE(code >= -max_code_ && code <= max_code_,
+               "SignMagnitudeTiaProgram: code out of range");
+  const bool negative = code < 0;
+  const auto magnitude = static_cast<std::uint32_t>(negative ? -code : code);
+  const bool outer = static_cast<std::int32_t>(magnitude) > k_code_;
+  const Bank& b = banks_[outer ? 1 : 0][negative ? 1 : 0];
+  double phase = b.bias;
+  for (int i = 0; i < bits_ - 1; ++i) {
+    if ((magnitude >> i) & 1u) phase += b.weights[static_cast<std::size_t>(i)];
+  }
+  return phase;
+}
+
+const SignMagnitudeTiaProgram::Bank& SignMagnitudeTiaProgram::bank(bool outer,
+                                                                   bool negative) const {
+  return banks_[outer ? 1 : 0][negative ? 1 : 0];
+}
+
+SignMagnitudeTiaProgram::Bank& SignMagnitudeTiaProgram::bank_mutable(bool outer,
+                                                                     bool negative) {
+  return banks_[outer ? 1 : 0][negative ? 1 : 0];
+}
+
+converters::OeInterfaceConfig SegmentedTiaProgram::oe_config(Segment s) const {
+  const TiaWeightBank& b = bank(s);
+  converters::OeInterfaceConfig cfg;
+  cfg.weights = b.weights;
+  cfg.bias = b.bias;
+  return cfg;
+}
+
+}  // namespace pdac::core

@@ -1,0 +1,105 @@
+// tia_weights.hpp — compiling a linear phase function into TIA weights
+// (paper §III-C closing remark: "the function in (18) is now linear,
+// allowing us to easily assign the TIAs' weights").
+//
+// A b-bit two's-complement code c represents r = c / (2^{b−1} − 1).  For
+// a linear segment f(r) = a·r + c₀ the MZM drive voltage decomposes over
+// the code bits:
+//   V′₁ = a·(Σ_i ±2^i·bit_i) / (2^{b−1} − 1) + c₀
+//       = Σ_i w_i·bit_i + bias,   w_i = ±a·2^i/(2^{b−1}−1),  bias = c₀
+// so each TIA's gain is w_i and the bias is realized by the reference
+// voltage.  The 3-segment program holds one weight bank per segment and
+// a pair of magnitude comparators ("leq" logic in the paper) that pick
+// the active bank from the code's top bits.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "converters/oe_interface.hpp"
+#include "core/arccos_approx.hpp"
+
+namespace pdac::core {
+
+/// TIA weights + bias realizing one linear piece at a given bit width.
+struct TiaWeightBank {
+  std::vector<double> weights;  ///< per bit, LSB first, MSB negative
+  double bias{};
+  Segment segment{Segment::kMiddle};
+};
+
+/// Build the weight bank for an arbitrary linear piece.
+TiaWeightBank compile_linear_piece(const LinearPiece& piece, Segment seg, int bits);
+
+/// The complete 3-bank program for a piecewise approximation.
+class SegmentedTiaProgram {
+ public:
+  SegmentedTiaProgram(const PiecewiseLinearArccos& approx, int bits);
+
+  [[nodiscard]] int bits() const { return bits_; }
+  /// Code threshold equivalent to the breakpoint: |code| > threshold
+  /// selects an outer bank.
+  [[nodiscard]] std::int32_t breakpoint_code() const { return k_code_; }
+
+  /// Which bank a signed code selects (the comparator logic).
+  [[nodiscard]] Segment select(std::int32_t code) const;
+
+  [[nodiscard]] const TiaWeightBank& bank(Segment s) const;
+
+  /// Drive phase for a code: bias + Σ w_i·bit_i of the selected bank —
+  /// evaluated exactly as the analog hardware would sum it.
+  [[nodiscard]] double drive_phase(std::int32_t code) const;
+
+  /// OE-interface configuration implementing one bank (for wiring the
+  /// program into the photonic receive path).
+  [[nodiscard]] converters::OeInterfaceConfig oe_config(Segment s) const;
+
+ private:
+  int bits_;
+  std::int32_t max_code_;
+  std::int32_t k_code_;
+  TiaWeightBank negative_;
+  TiaWeightBank middle_;
+  TiaWeightBank positive_;
+};
+
+/// Alternative bit encoding: sign-magnitude instead of two's complement.
+///
+/// Motivation (see the A6 variation study): in two's complement a small
+/// negative code sets *many* bits whose large weights nearly cancel, so
+/// TIA gain mismatch is amplified by the cancellation ratio.  In
+/// sign-magnitude the b−1 magnitude bits sum proportionally to |r| (no
+/// cancellation) and the sign bit selects a mirrored bank realizing
+/// f(r) = π − f(|r|) (the arccos symmetry).  Both programs compute the
+/// identical nominal function; they differ only in variation robustness
+/// and in needing a sign-select mux instead of an MSB weight.
+class SignMagnitudeTiaProgram {
+ public:
+  /// One bank: weights over the b−1 magnitude bits plus a bias.
+  struct Bank {
+    std::vector<double> weights;
+    double bias{};
+  };
+
+  SignMagnitudeTiaProgram(const PiecewiseLinearArccos& approx, int bits);
+
+  [[nodiscard]] int bits() const { return bits_; }
+  [[nodiscard]] std::int32_t breakpoint_code() const { return k_code_; }
+
+  /// Drive phase for a signed code, evaluated as the hardware would:
+  /// the |code| comparator picks middle/outer, the sign bit picks the
+  /// mirrored bank, the magnitude bits sum through the weights.
+  [[nodiscard]] double drive_phase(std::int32_t code) const;
+
+  /// Bank accessor: (outer?, negative?) → the four programmed banks.
+  [[nodiscard]] const Bank& bank(bool outer, bool negative) const;
+  Bank& bank_mutable(bool outer, bool negative);
+
+ private:
+  int bits_;
+  std::int32_t max_code_;
+  std::int32_t k_code_;
+  Bank banks_[2][2];  ///< [outer][negative]
+};
+
+}  // namespace pdac::core

@@ -1,0 +1,137 @@
+#include "core/trimming.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/math_utils.hpp"
+#include "common/require.hpp"
+
+namespace pdac::core {
+
+namespace {
+
+/// Codes whose comparator selection lands in `seg`, excluding codes whose
+/// nominal phase sits within `guard` of the [0, π] boundary (there the
+/// arccos inversion of a drifted phase can wrap and corrupt the fit).
+std::vector<std::int32_t> segment_codes(const SegmentedTiaProgram& prog, Segment seg,
+                                        double guard) {
+  std::vector<std::int32_t> codes;
+  const auto max_code = static_cast<std::int32_t>((1 << (prog.bits() - 1)) - 1);
+  for (std::int32_t c = -max_code; c <= max_code; ++c) {
+    if (prog.select(c) != seg) continue;
+    const double nominal_phase = prog.drive_phase(c);
+    if (nominal_phase < guard || nominal_phase > math::kPi - guard) continue;
+    codes.push_back(c);
+  }
+  return codes;
+}
+
+/// Evenly thin a code list down to `want` probes (keep all if fewer).
+std::vector<std::int32_t> choose_probes(const std::vector<std::int32_t>& codes,
+                                        std::size_t want) {
+  if (codes.size() <= want) return codes;
+  std::vector<std::int32_t> out;
+  out.reserve(want);
+  for (std::size_t i = 0; i < want; ++i) {
+    const std::size_t idx = i * (codes.size() - 1) / (want - 1);
+    out.push_back(codes[idx]);
+  }
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+struct SegmentFit {
+  std::vector<double> delta_weights;  ///< per bit (0 where unobservable)
+  double delta_bias{};
+  int probes{};
+};
+
+/// Fit the effective linear map of one bank from probe measurements and
+/// return the correction that restores the nominal map.
+SegmentFit fit_segment(const PerturbedPdacModel& device, Segment seg, std::size_t want) {
+  const auto& prog = device.nominal_program();
+  const int bits = device.bits();
+  const auto codes = choose_probes(segment_codes(prog, seg, /*guard=*/0.08), want);
+  SegmentFit fit;
+  fit.delta_weights.assign(static_cast<std::size_t>(bits), 0.0);
+  if (codes.size() < 2) return fit;  // nothing identifiable
+
+  // Which bits actually vary across the probe set?  Constant bits are
+  // indistinguishable from the bias and are folded into it.
+  const auto mask_of = [bits](std::int32_t c) {
+    return static_cast<std::uint32_t>(c) & ((1u << bits) - 1u);
+  };
+  std::uint32_t all_and = ~0u, all_or = 0u;
+  for (auto c : codes) {
+    all_and &= mask_of(c);
+    all_or |= mask_of(c);
+  }
+  std::vector<int> varying;
+  for (int i = 0; i < bits; ++i) {
+    const std::uint32_t bit = 1u << i;
+    if ((all_or & bit) != 0u && (all_and & bit) == 0u) varying.push_back(i);
+  }
+  const std::size_t unknowns = varying.size() + 1;
+  if (codes.size() < unknowns) return fit;
+
+  // Design matrix rows: [bit_{v0}, bit_{v1}, …, 1]; targets: measured and
+  // nominal phases.  Fitting the nominal phases with the same design
+  // keeps constant-bit contributions consistently inside the offset.
+  std::vector<std::vector<double>> a;
+  std::vector<double> measured, nominal;
+  a.reserve(codes.size());
+  for (auto c : codes) {
+    std::vector<double> row(unknowns, 0.0);
+    const std::uint32_t pattern = mask_of(c);
+    for (std::size_t v = 0; v < varying.size(); ++v) {
+      row[v] = ((pattern >> varying[v]) & 1u) != 0u ? 1.0 : 0.0;
+    }
+    row.back() = 1.0;
+    a.push_back(std::move(row));
+    measured.push_back(std::acos(math::clamp_unit(device.encode_code(c))));
+    nominal.push_back(prog.drive_phase(c));
+  }
+  std::vector<double> est, ref;
+  try {
+    est = math::solve_least_squares(a, measured);
+    ref = math::solve_least_squares(a, nominal);
+  } catch (const PreconditionError&) {
+    // Evenly strided probes can leave two bit columns collinear (their
+    // patterns repeat with the same period).  Densify to every usable
+    // code in the segment, which breaks the degeneracy whenever the
+    // segment exercises those bits independently at all.
+    const auto all = segment_codes(prog, seg, /*guard=*/0.08);
+    if (all.size() <= codes.size()) return fit;
+    return fit_segment(device, seg, all.size());
+  }
+
+  for (std::size_t v = 0; v < varying.size(); ++v) {
+    fit.delta_weights[static_cast<std::size_t>(varying[v])] = ref[v] - est[v];
+  }
+  fit.delta_bias = ref.back() - est.back();
+  fit.probes = static_cast<int>(codes.size());
+  return fit;
+}
+
+}  // namespace
+
+TrimResult trim_pdac(PerturbedPdacModel& device, const TrimmingConfig& cfg) {
+  const std::size_t want =
+      cfg.probes_per_bank > 0 ? static_cast<std::size_t>(cfg.probes_per_bank)
+                              : 2 * (static_cast<std::size_t>(device.bits()) + 1);
+  TrimResult result;
+  result.worst_error_before = device.worst_error();
+  result.mean_abs_error_before = device.mean_abs_error();
+  for (Segment seg :
+       {Segment::kNegativeOuter, Segment::kMiddle, Segment::kPositiveOuter}) {
+    const SegmentFit fit = fit_segment(device, seg, want);
+    device.apply_correction(seg, fit.delta_weights, fit.delta_bias);
+    result.probes_used += fit.probes;
+  }
+  result.worst_error_after = device.worst_error();
+  result.mean_abs_error_after = device.mean_abs_error();
+  return result;
+}
+
+}  // namespace pdac::core

@@ -1,0 +1,41 @@
+// trimming.hpp — post-fabrication calibration of a perturbed P-DAC.
+//
+// The A6 Monte-Carlo analysis (variation.hpp) shows that untrimmed gain
+// mismatch and Vπ drift quickly erode the 8.5 % approximation bound.
+// Binary-weighted electrical DACs solve the same problem with gain
+// trimming; this module does the photonic equivalent *using only the
+// device's observable output*:
+//
+//   1. probe: drive a set of codes per segment and measure E_out/E_in;
+//   2. invert: phase = arccos(measured) — unique because the drive phase
+//      lives in [0, π];
+//   3. fit: the phase is linear in the code bits, so least squares over
+//      the probes recovers the *effective* weights and bias of each bank
+//      (Vπ drift folds into the estimate as a common scale and is
+//      corrected for free; MZM imbalance is quadrature and invisible,
+//      which is fine because it never affected the encoding);
+//   4. correct: apply (nominal − estimated) to the bank gains.
+#pragma once
+
+#include "core/variation.hpp"
+
+namespace pdac::core {
+
+struct TrimmingConfig {
+  /// Probe codes per weight bank; must be ≥ bits + 1 (the unknown count).
+  /// More probes average measurement noise; the default gives 2× cover.
+  int probes_per_bank{0};  ///< 0 = auto (2·(bits + 1))
+};
+
+struct TrimResult {
+  int probes_used{};
+  double worst_error_before{};
+  double worst_error_after{};
+  double mean_abs_error_before{};
+  double mean_abs_error_after{};
+};
+
+/// Calibrate `device` in place; returns before/after error metrics.
+TrimResult trim_pdac(PerturbedPdacModel& device, const TrimmingConfig& cfg = {});
+
+}  // namespace pdac::core

@@ -1,0 +1,100 @@
+#include "eval/report.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/table.hpp"
+
+namespace pdac::eval {
+
+std::string render_power_breakdown(const std::string& title,
+                                   const arch::PowerBreakdown& breakdown) {
+  Table t({"component", "power", "share", ""});
+  const double total = breakdown.total().watts();
+  for (const auto& part : breakdown.parts) {
+    const double share = total > 0.0 ? part.power.watts() / total : 0.0;
+    t.add_row({arch::to_string(part.component), Table::watts(part.power.watts()),
+               Table::pct(share), ascii_bar(share, 24)});
+  }
+  t.add_rule();
+  t.add_row({"total", Table::watts(total), Table::pct(1.0), ascii_bar(1.0, 24)});
+
+  std::ostringstream os;
+  os << "== " << title << " (" << arch::to_string(breakdown.variant) << ", "
+     << breakdown.bits << "-bit) ==\n"
+     << t.to_string();
+  return os.str();
+}
+
+namespace {
+
+void add_energy_rows(Table& t, const std::string& label, const arch::EnergyBreakdown& base,
+                     const arch::EnergyBreakdown& pdac) {
+  const double b = base.total().joules();
+  const double p = pdac.total().joules();
+  const double saving = b > 0.0 ? 1.0 - p / b : 0.0;
+  t.add_row({label, Table::millijoules(b), Table::millijoules(p), Table::pct(saving)});
+}
+
+}  // namespace
+
+std::string render_energy_comparison(const std::string& title,
+                                     const arch::EnergyComparison& cmp) {
+  Table t({"operation", "DAC-based", "P-DAC", "energy saving"});
+  add_energy_rows(t, "attention", cmp.baseline.attention, cmp.pdac.attention);
+  add_energy_rows(t, "ffn", cmp.baseline.ffn, cmp.pdac.ffn);
+  if (cmp.baseline.conv.total().joules() > 0.0) {
+    add_energy_rows(t, "conv", cmp.baseline.conv, cmp.pdac.conv);
+  }
+  add_energy_rows(t, "other", cmp.baseline.other, cmp.pdac.other);
+  t.add_rule();
+  add_energy_rows(t, "total", cmp.baseline.total(), cmp.pdac.total());
+
+  Table parts({"term", "DAC-based", "P-DAC"});
+  const auto& b = cmp.baseline;
+  const auto& p = cmp.pdac;
+  auto row = [&parts](const std::string& name, units::Energy eb, units::Energy ep) {
+    parts.add_row({name, Table::millijoules(eb.joules()), Table::millijoules(ep.joules())});
+  };
+  row("modulation (DAC/ctrl vs P-DAC)", b.total().modulation, p.total().modulation);
+  row("ADC readout", b.total().adc, p.total().adc);
+  row("laser+thermal+receivers", b.total().static_power, p.total().static_power);
+  row("SRAM data movement", b.total().movement, p.total().movement);
+  row("digital vector unit", b.total().vector_unit, p.total().vector_unit);
+
+  std::ostringstream os;
+  os << "== " << title << " (" << cmp.baseline.bits << "-bit) ==\n"
+     << t.to_string() << "per-term breakdown:\n"
+     << parts.to_string();
+  return os.str();
+}
+
+std::string render_scoreboard(const std::string& title, const std::vector<Scored>& rows,
+                              const std::string& tolerance_note) {
+  Table t({"metric", "paper", "measured", "delta"});
+  for (const auto& r : rows) {
+    const double delta = r.measured - r.paper;
+    t.add_row({r.metric, Table::num(r.paper, 2) + r.unit, Table::num(r.measured, 2) + r.unit,
+               (delta >= 0 ? "+" : "") + Table::num(delta, 2) + r.unit});
+  }
+  std::ostringstream os;
+  os << "-- paper vs measured: " << title << " --\n" << t.to_string();
+  if (!tolerance_note.empty()) os << tolerance_note << "\n";
+  return os.str();
+}
+
+std::string to_csv(const std::vector<std::string>& header,
+                   const std::vector<std::vector<double>>& rows) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    os << header[i] << (i + 1 < header.size() ? "," : "\n");
+  }
+  for (const auto& row : rows) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      os << row[i] << (i + 1 < row.size() ? "," : "\n");
+    }
+  }
+  return os.str();
+}
+
+}  // namespace pdac::eval

@@ -1,0 +1,42 @@
+// report.hpp — shared rendering for the per-figure bench binaries.
+//
+// Every bench prints (a) the reproduced figure as an aligned table and
+// (b) a paper-vs-measured scoreboard so EXPERIMENTS.md can be filled in
+// directly from bench output.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "arch/component_power.hpp"
+#include "arch/energy_model.hpp"
+
+namespace pdac::eval {
+
+/// Render a Fig. 5 / Fig. 11 style component breakdown with ASCII bars.
+std::string render_power_breakdown(const std::string& title,
+                                   const arch::PowerBreakdown& breakdown);
+
+/// Render a Fig. 9 / Fig. 10 style per-class energy table for a
+/// baseline/P-DAC pair.
+std::string render_energy_comparison(const std::string& title,
+                                     const arch::EnergyComparison& cmp);
+
+/// One paper-vs-measured scoreboard line.
+struct Scored {
+  std::string metric;
+  double paper;     ///< value the paper reports
+  double measured;  ///< value this reproduction computes
+  std::string unit; ///< "%", "W", …
+};
+
+/// Render the scoreboard; `tolerance_note` is appended as a footer.
+std::string render_scoreboard(const std::string& title, const std::vector<Scored>& rows,
+                              const std::string& tolerance_note = {});
+
+/// Simple CSV emission (one row per line) for downstream plotting.
+std::string to_csv(const std::vector<std::string>& header,
+                   const std::vector<std::vector<double>>& rows);
+
+}  // namespace pdac::eval

@@ -1,0 +1,64 @@
+#include "nn/attention.hpp"
+
+#include <cmath>
+
+#include "common/require.hpp"
+#include "nn/ops.hpp"
+
+namespace pdac::nn {
+
+MultiHeadAttention::MultiHeadAttention(std::size_t d_model, std::size_t heads)
+    : d_model_(d_model),
+      heads_(heads),
+      q_(d_model, d_model),
+      k_(d_model, d_model),
+      v_(d_model, d_model),
+      o_(d_model, d_model) {
+  PDAC_REQUIRE(heads >= 1 && d_model % heads == 0,
+               "MultiHeadAttention: d_model must be divisible by heads");
+}
+
+void MultiHeadAttention::init_random(Rng& rng) {
+  q_.init_random(rng);
+  k_.init_random(rng);
+  v_.init_random(rng);
+  o_.init_random(rng);
+}
+
+Matrix MultiHeadAttention::head_slice(const Matrix& m, std::size_t h) const {
+  const std::size_t dh = d_head();
+  Matrix s(m.rows(), dh);
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t c = 0; c < dh; ++c) s(r, c) = m(r, h * dh + c);
+  }
+  return s;
+}
+
+Matrix MultiHeadAttention::forward(const Matrix& x, GemmBackend& backend) const {
+  PDAC_REQUIRE(x.cols() == d_model_, "MultiHeadAttention: input width mismatch");
+  const Matrix q = q_.forward(x, backend);
+  const Matrix k = k_.forward(x, backend);
+  const Matrix v = v_.forward(x, backend);
+
+  const std::size_t seq = x.rows();
+  const std::size_t dh = d_head();
+  Matrix context(seq, d_model_);
+  for (std::size_t h = 0; h < heads_; ++h) {
+    const Matrix qh = head_slice(q, h);
+    const Matrix kh = head_slice(k, h);
+    const Matrix vh = head_slice(v, h);
+
+    // Dynamic–dynamic products: scores = Qh·Khᵀ / sqrt(dh), then A·Vh.
+    Matrix scores = backend.matmul(qh, kh.transposed());
+    scale_inplace(scores, 1.0 / std::sqrt(static_cast<double>(dh)));
+    softmax_rows(scores);
+    const Matrix ctx_h = backend.matmul(scores, vh);
+
+    for (std::size_t r = 0; r < seq; ++r) {
+      for (std::size_t c = 0; c < dh; ++c) context(r, h * dh + c) = ctx_h(r, c);
+    }
+  }
+  return o_.forward(context, backend);
+}
+
+}  // namespace pdac::nn

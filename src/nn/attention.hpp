@@ -1,0 +1,45 @@
+// attention.hpp — multi-head self-attention executed on a GemmBackend.
+//
+// All five GEMM families of the attention block (Q/K/V projections, the
+// dynamic–dynamic Q·Kᵀ and A·V products, and the output projection) run
+// through the backend, so on the photonic backends every score and every
+// context vector passes through simulated modulators and DDots.
+#pragma once
+
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+#include "nn/backend.hpp"
+#include "nn/linear.hpp"
+
+namespace pdac::nn {
+
+class MultiHeadAttention {
+ public:
+  MultiHeadAttention(std::size_t d_model, std::size_t heads);
+
+  void init_random(Rng& rng);
+
+  /// x: (seq × d_model) → (seq × d_model).
+  [[nodiscard]] Matrix forward(const Matrix& x, GemmBackend& backend) const;
+
+  [[nodiscard]] std::size_t d_model() const { return d_model_; }
+  [[nodiscard]] std::size_t heads() const { return heads_; }
+  [[nodiscard]] std::size_t d_head() const { return d_model_ / heads_; }
+
+  Linear& q_proj() { return q_; }
+  Linear& k_proj() { return k_; }
+  Linear& v_proj() { return v_; }
+  Linear& o_proj() { return o_; }
+
+ private:
+  /// Slice head h (columns [h·d_head, (h+1)·d_head)) out of a projection.
+  [[nodiscard]] Matrix head_slice(const Matrix& m, std::size_t h) const;
+
+  std::size_t d_model_;
+  std::size_t heads_;
+  Linear q_, k_, v_, o_;
+};
+
+}  // namespace pdac::nn

@@ -1,0 +1,34 @@
+#include "nn/backend.hpp"
+
+namespace pdac::nn {
+
+Matrix ReferenceBackend::matmul(const Matrix& a, const Matrix& b) {
+  events_.macs += a.rows() * a.cols() * b.cols();
+  return matmul_reference(a, b);
+}
+
+PhotonicBackend::PhotonicBackend(std::unique_ptr<core::ModulatorDriver> driver,
+                                 ptc::GemmConfig cfg)
+    : driver_(std::move(driver)), gemm_(*driver_, cfg) {}
+
+Matrix PhotonicBackend::matmul(const Matrix& a, const Matrix& b) {
+  ptc::GemmResult r = gemm_.multiply(a, b);
+  events_ += r.events;
+  return std::move(r.c);
+}
+
+std::string PhotonicBackend::name() const { return "photonic/" + driver_->name(); }
+
+std::unique_ptr<GemmBackend> make_reference_backend() {
+  return std::make_unique<ReferenceBackend>();
+}
+
+std::unique_ptr<GemmBackend> make_photonic_pdac_backend(int bits, ptc::GemmConfig cfg) {
+  return std::make_unique<PhotonicBackend>(core::make_pdac_driver(bits), cfg);
+}
+
+std::unique_ptr<GemmBackend> make_photonic_ideal_dac_backend(int bits, ptc::GemmConfig cfg) {
+  return std::make_unique<PhotonicBackend>(core::make_ideal_dac_driver(bits), cfg);
+}
+
+}  // namespace pdac::nn

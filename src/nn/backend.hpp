@@ -1,0 +1,64 @@
+// backend.hpp — pluggable GEMM execution for the transformer stack.
+//
+// Layers call an abstract backend so the same model can run on the
+// double-precision reference, the photonic core with ideal-DAC drivers,
+// or the photonic core with P-DACs — which is exactly the comparison the
+// accuracy ablations make.  Backends accumulate hardware event counts
+// across every product they perform.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/matrix.hpp"
+#include "core/modulator_driver.hpp"
+#include "ptc/event_counter.hpp"
+#include "ptc/gemm_engine.hpp"
+
+namespace pdac::nn {
+
+class GemmBackend {
+ public:
+  virtual ~GemmBackend() = default;
+
+  [[nodiscard]] virtual Matrix matmul(const Matrix& a, const Matrix& b) = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  [[nodiscard]] const ptc::EventCounter& events() const { return events_; }
+  void reset_events() { events_ = {}; }
+
+ protected:
+  ptc::EventCounter events_;
+};
+
+/// Exact double-precision execution (ground truth).
+class ReferenceBackend final : public GemmBackend {
+ public:
+  [[nodiscard]] Matrix matmul(const Matrix& a, const Matrix& b) override;
+  [[nodiscard]] std::string name() const override { return "reference"; }
+};
+
+/// Execution through the simulated photonic tensor core; owns its
+/// modulator driver.
+class PhotonicBackend final : public GemmBackend {
+ public:
+  PhotonicBackend(std::unique_ptr<core::ModulatorDriver> driver, ptc::GemmConfig cfg);
+
+  [[nodiscard]] Matrix matmul(const Matrix& a, const Matrix& b) override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] const core::ModulatorDriver& driver() const { return *driver_; }
+
+ private:
+  std::unique_ptr<core::ModulatorDriver> driver_;
+  ptc::PhotonicGemm gemm_;
+};
+
+/// Convenience factories for the three standard configurations.
+std::unique_ptr<GemmBackend> make_reference_backend();
+std::unique_ptr<GemmBackend> make_photonic_pdac_backend(int bits,
+                                                        ptc::GemmConfig cfg = {});
+std::unique_ptr<GemmBackend> make_photonic_ideal_dac_backend(int bits,
+                                                             ptc::GemmConfig cfg = {});
+
+}  // namespace pdac::nn

@@ -1,0 +1,73 @@
+#include "nn/cnn_trace.hpp"
+
+#include <algorithm>
+
+#include "common/require.hpp"
+
+namespace pdac::nn {
+
+std::size_t CnnConfig::total_macs() const {
+  return trace_cnn_forward(*this).total_macs();
+}
+
+WorkloadTrace trace_cnn_forward(const CnnConfig& cfg) {
+  PDAC_REQUIRE(!cfg.convs.empty() || !cfg.fc.empty(), "trace_cnn_forward: empty network");
+  WorkloadTrace t;
+  t.config.name = cfg.name;
+
+  std::size_t size = cfg.input_size;
+  std::size_t channels = cfg.input_channels;
+  for (std::size_t i = 0; i < cfg.convs.size(); ++i) {
+    const ConvLayer& layer = cfg.convs[i];
+    PDAC_REQUIRE(layer.in_channels == channels,
+                 "trace_cnn_forward: channel mismatch at " + layer.name);
+    const std::size_t out = layer.out_size(size);
+    const std::size_t m = out * out;                               // output pixels
+    const std::size_t k = layer.in_channels * layer.kernel * layer.kernel;
+    const std::size_t n = layer.out_channels;
+    t.gemms.push_back({layer.name, OpClass::kConv, m, k, n, /*static_weights=*/true, 1, 0});
+    t.vector_ops.push_back({layer.name + ".relu", OpClass::kOther, m * n});
+
+    size = out;
+    channels = layer.out_channels;
+    if (std::find(cfg.pool_after.begin(), cfg.pool_after.end(), i) !=
+        cfg.pool_after.end()) {
+      t.vector_ops.push_back({layer.name + ".pool", OpClass::kOther, m * n});
+      size /= 2;
+    }
+  }
+
+  for (std::size_t i = 0; i < cfg.fc.size(); ++i) {
+    const auto& [in, out] = cfg.fc[i];
+    t.gemms.push_back({"fc" + std::to_string(i), OpClass::kFfn, 1, in, out, true, 1, 0});
+    t.vector_ops.push_back({"fc" + std::to_string(i) + ".act", OpClass::kOther, out});
+  }
+  return t;
+}
+
+CnnConfig vgg11_like() {
+  CnnConfig cfg;
+  cfg.name = "VGG11-like";
+  cfg.input_size = 224;
+  cfg.input_channels = 3;
+  cfg.convs = {
+      {"conv1", 3, 64}, {"conv2", 64, 128},   {"conv3", 128, 256}, {"conv4", 256, 256},
+      {"conv5", 256, 512}, {"conv6", 512, 512}, {"conv7", 512, 512}, {"conv8", 512, 512},
+  };
+  cfg.pool_after = {0, 1, 3, 5, 7};
+  cfg.fc = {{512 * 7 * 7, 4096}, {4096, 4096}, {4096, 1000}};
+  return cfg;
+}
+
+CnnConfig tiny_cnn(std::size_t input_size) {
+  CnnConfig cfg;
+  cfg.name = "tiny-cnn";
+  cfg.input_size = input_size;
+  cfg.input_channels = 3;
+  cfg.convs = {{"conv1", 3, 8}, {"conv2", 8, 16}};
+  cfg.pool_after = {1};
+  cfg.fc = {{16 * (input_size / 2) * (input_size / 2), 10}};
+  return cfg;
+}
+
+}  // namespace pdac::nn

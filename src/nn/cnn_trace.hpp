@@ -1,0 +1,57 @@
+// cnn_trace.hpp — convolutional workloads for the photonic accelerator.
+//
+// The paper's lineage runs through CNN accelerators (Albireo integrates
+// analog photonic dot products with CNNs, §I–II), and the P-DAC replaces
+// DACs in any of them.  Convolutions lower to GEMMs by im2col:
+//   m = out_h·out_w,  k = in_ch·kernel²,  n = out_ch
+// with static weights, so the existing energy model prices them
+// directly.  This module describes conv layers, lowers a network to a
+// WorkloadTrace, and provides a VGG-style reference CNN at ImageNet
+// scale for the A13 bench.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "nn/workload_trace.hpp"
+
+namespace pdac::nn {
+
+struct ConvLayer {
+  std::string name;
+  std::size_t in_channels{};
+  std::size_t out_channels{};
+  std::size_t kernel{3};
+  std::size_t stride{1};
+  std::size_t padding{1};
+
+  /// Output spatial size for a square input of `in_size`.
+  [[nodiscard]] std::size_t out_size(std::size_t in_size) const {
+    return (in_size + 2 * padding - kernel) / stride + 1;
+  }
+};
+
+struct CnnConfig {
+  std::string name{"cnn"};
+  std::size_t input_size{224};  ///< square input
+  std::size_t input_channels{3};
+  std::vector<ConvLayer> convs;
+  /// 2× max-pool after these conv indices (0-based).
+  std::vector<std::size_t> pool_after;
+  /// Fully-connected head: (in, out) pairs appended after flattening.
+  std::vector<std::pair<std::size_t, std::size_t>> fc;
+
+  [[nodiscard]] std::size_t total_macs() const;
+};
+
+/// im2col-lower the network into GEMM ops (conv → kConv, head → kFfn).
+WorkloadTrace trace_cnn_forward(const CnnConfig& cfg);
+
+/// VGG-11-like reference network on 224×224×3 (the scale of the DeiT
+/// comparison workload).
+CnnConfig vgg11_like();
+/// Small CNN for functional tests.
+CnnConfig tiny_cnn(std::size_t input_size = 16);
+
+}  // namespace pdac::nn

@@ -1,0 +1,36 @@
+#include "nn/encoder_layer.hpp"
+
+#include "nn/ops.hpp"
+
+namespace pdac::nn {
+
+EncoderLayer::EncoderLayer(std::size_t d_model, std::size_t heads, std::size_t d_ff)
+    : mha_(d_model, heads),
+      ffn_up_(d_model, d_ff),
+      ffn_down_(d_ff, d_model),
+      ln1_gamma_(d_model, 1.0),
+      ln1_beta_(d_model, 0.0),
+      ln2_gamma_(d_model, 1.0),
+      ln2_beta_(d_model, 0.0) {}
+
+void EncoderLayer::init_random(Rng& rng) {
+  mha_.init_random(rng);
+  ffn_up_.init_random(rng);
+  ffn_down_.init_random(rng);
+}
+
+Matrix EncoderLayer::forward(const Matrix& x, GemmBackend& backend) const {
+  Matrix normed = x;
+  layer_norm(normed, ln1_gamma_, ln1_beta_);
+  Matrix out = x;
+  add_inplace(out, mha_.forward(normed, backend));
+
+  Matrix normed2 = out;
+  layer_norm(normed2, ln2_gamma_, ln2_beta_);
+  Matrix hidden = ffn_up_.forward(normed2, backend);
+  gelu(hidden);
+  add_inplace(out, ffn_down_.forward(hidden, backend));
+  return out;
+}
+
+}  // namespace pdac::nn

@@ -1,0 +1,35 @@
+// encoder_layer.hpp — one pre-norm transformer encoder block:
+//   x = x + MHA(LN(x));  x = x + FFN(LN(x)),  FFN = GELU(x·W₁)·W₂.
+#pragma once
+
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+#include "nn/attention.hpp"
+#include "nn/backend.hpp"
+#include "nn/linear.hpp"
+
+namespace pdac::nn {
+
+class EncoderLayer {
+ public:
+  EncoderLayer(std::size_t d_model, std::size_t heads, std::size_t d_ff);
+
+  void init_random(Rng& rng);
+
+  [[nodiscard]] Matrix forward(const Matrix& x, GemmBackend& backend) const;
+
+  MultiHeadAttention& attention() { return mha_; }
+  Linear& ffn_up() { return ffn_up_; }
+  Linear& ffn_down() { return ffn_down_; }
+
+ private:
+  MultiHeadAttention mha_;
+  Linear ffn_up_;
+  Linear ffn_down_;
+  std::vector<double> ln1_gamma_, ln1_beta_;
+  std::vector<double> ln2_gamma_, ln2_beta_;
+};
+
+}  // namespace pdac::nn

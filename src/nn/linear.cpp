@@ -1,0 +1,28 @@
+#include "nn/linear.hpp"
+
+#include <cmath>
+
+#include "common/require.hpp"
+#include "nn/ops.hpp"
+
+namespace pdac::nn {
+
+Linear::Linear(std::size_t in_features, std::size_t out_features)
+    : weight_(in_features, out_features), bias_(out_features, 0.0) {
+  PDAC_REQUIRE(in_features >= 1 && out_features >= 1, "Linear: features must be positive");
+}
+
+void Linear::init_random(Rng& rng) {
+  const double bound = std::sqrt(6.0 / static_cast<double>(weight_.rows() + weight_.cols()));
+  for (auto& w : weight_.data()) w = rng.uniform(-bound, bound);
+  for (auto& b : bias_) b = rng.uniform(-0.01, 0.01);
+}
+
+Matrix Linear::forward(const Matrix& x, GemmBackend& backend) const {
+  PDAC_REQUIRE(x.cols() == weight_.rows(), "Linear: input width mismatch");
+  Matrix y = backend.matmul(x, weight_);
+  add_bias(y, bias_);
+  return y;
+}
+
+}  // namespace pdac::nn

@@ -1,0 +1,37 @@
+// linear.hpp — fully-connected layer executed on a GemmBackend.
+#pragma once
+
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+#include "nn/backend.hpp"
+
+namespace pdac::nn {
+
+/// y = x·W + b, with W ∈ (in × out).  Weights are owned by the layer;
+/// execution is delegated to the backend so the same layer runs on the
+/// reference or photonic cores.
+class Linear {
+ public:
+  Linear(std::size_t in_features, std::size_t out_features);
+
+  /// Xavier-style random initialization (synthetic pre-trained weights).
+  void init_random(Rng& rng);
+
+  [[nodiscard]] Matrix forward(const Matrix& x, GemmBackend& backend) const;
+
+  [[nodiscard]] std::size_t in_features() const { return weight_.rows(); }
+  [[nodiscard]] std::size_t out_features() const { return weight_.cols(); }
+
+  Matrix& weight() { return weight_; }
+  [[nodiscard]] const Matrix& weight() const { return weight_; }
+  std::vector<double>& bias() { return bias_; }
+  [[nodiscard]] const std::vector<double>& bias() const { return bias_; }
+
+ private:
+  Matrix weight_;
+  std::vector<double> bias_;
+};
+
+}  // namespace pdac::nn

@@ -1,0 +1,53 @@
+#include "nn/model_config.hpp"
+
+namespace pdac::nn {
+
+std::size_t TransformerConfig::attention_macs() const {
+  const std::size_t qkv = 3 * seq_len * d_model * d_model;
+  const std::size_t scores = heads * seq_len * d_head() * seq_len;  // Q·Kᵀ
+  const std::size_t weighted = heads * seq_len * seq_len * d_head();  // A·V
+  const std::size_t proj = seq_len * d_model * d_model;
+  return layers * (qkv + scores + weighted + proj);
+}
+
+std::size_t TransformerConfig::ffn_macs() const {
+  return layers * (seq_len * d_model * d_ff + seq_len * d_ff * d_model);
+}
+
+std::size_t TransformerConfig::total_macs() const { return attention_macs() + ffn_macs(); }
+
+TransformerConfig bert_base(std::size_t seq_len) {
+  TransformerConfig c;
+  c.name = "BERT-base";
+  c.layers = 12;
+  c.d_model = 768;
+  c.heads = 12;
+  c.d_ff = 3072;
+  c.seq_len = seq_len;
+  return c;
+}
+
+TransformerConfig deit_base() {
+  TransformerConfig c;
+  c.name = "DeiT-base";
+  c.layers = 12;
+  c.d_model = 768;
+  c.heads = 12;
+  c.d_ff = 3072;
+  c.seq_len = 197;  // 196 patches of a 224×224 image + class token
+  return c;
+}
+
+TransformerConfig tiny_transformer(std::size_t seq_len, std::size_t d_model, std::size_t heads,
+                                   std::size_t layers) {
+  TransformerConfig c;
+  c.name = "tiny";
+  c.layers = layers;
+  c.d_model = d_model;
+  c.heads = heads;
+  c.d_ff = 4 * d_model;
+  c.seq_len = seq_len;
+  return c;
+}
+
+}  // namespace pdac::nn

@@ -1,0 +1,42 @@
+// model_config.hpp — transformer model shapes for the paper's workloads.
+//
+// The energy evaluation (paper Figs. 9–10) depends only on layer
+// *dimensions*, so configs carry exactly those: BERT-base with sequence
+// length 128 and DeiT-base on ImageNet-1K 224×224 (196 patch tokens +
+// 1 class token = 197).  Reduced "tiny" shapes support the functional
+// accuracy experiments, which run real numerics through the simulated
+// photonic core.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace pdac::nn {
+
+struct TransformerConfig {
+  std::string name{"transformer"};
+  std::size_t layers{12};
+  std::size_t d_model{768};
+  std::size_t heads{12};
+  std::size_t d_ff{3072};
+  std::size_t seq_len{128};
+
+  [[nodiscard]] std::size_t d_head() const { return d_model / heads; }
+
+  /// MACs of one full forward pass (all GEMMs; element-wise ops excluded).
+  [[nodiscard]] std::size_t total_macs() const;
+  /// MACs in the attention block (QKV + scores + A·V + output projection).
+  [[nodiscard]] std::size_t attention_macs() const;
+  /// MACs in the feed-forward block.
+  [[nodiscard]] std::size_t ffn_macs() const;
+};
+
+/// BERT-base, sequence length 128 (paper Fig. 9).
+TransformerConfig bert_base(std::size_t seq_len = 128);
+/// DeiT-base, 197 tokens (paper Fig. 10).
+TransformerConfig deit_base();
+/// Small shape for functional (numerics-through-optics) experiments.
+TransformerConfig tiny_transformer(std::size_t seq_len = 16, std::size_t d_model = 64,
+                                   std::size_t heads = 4, std::size_t layers = 2);
+
+}  // namespace pdac::nn

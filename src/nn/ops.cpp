@@ -1,0 +1,67 @@
+#include "nn/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_utils.hpp"
+#include "common/require.hpp"
+
+namespace pdac::nn {
+
+void softmax_rows(Matrix& m) {
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    auto row = m.row(r);
+    const double mx = *std::max_element(row.begin(), row.end());
+    double sum = 0.0;
+    for (auto& x : row) {
+      x = std::exp(x - mx);
+      sum += x;
+    }
+    for (auto& x : row) x /= sum;
+  }
+}
+
+void gelu(Matrix& m) {
+  constexpr double kC = 0.7978845608028654;  // sqrt(2/π)
+  for (auto& x : m.data()) {
+    x = 0.5 * x * (1.0 + std::tanh(kC * (x + 0.044715 * x * x * x)));
+  }
+}
+
+void layer_norm(Matrix& m, std::span<const double> gamma, std::span<const double> beta,
+                double eps) {
+  PDAC_REQUIRE(gamma.size() == m.cols() && beta.size() == m.cols(),
+               "layer_norm: gamma/beta must match column count");
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    auto row = m.row(r);
+    double mean = 0.0;
+    for (double x : row) mean += x;
+    mean /= static_cast<double>(row.size());
+    double var = 0.0;
+    for (double x : row) var += (x - mean) * (x - mean);
+    var /= static_cast<double>(row.size());
+    const double inv = 1.0 / std::sqrt(var + eps);
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      row[c] = (row[c] - mean) * inv * gamma[c] + beta[c];
+    }
+  }
+}
+
+void add_inplace(Matrix& a, const Matrix& b) {
+  PDAC_REQUIRE(a.rows() == b.rows() && a.cols() == b.cols(), "add_inplace: shape mismatch");
+  for (std::size_t i = 0; i < a.size(); ++i) a.data()[i] += b.data()[i];
+}
+
+void add_bias(Matrix& m, std::span<const double> bias) {
+  PDAC_REQUIRE(bias.size() == m.cols(), "add_bias: bias must match column count");
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    auto row = m.row(r);
+    for (std::size_t c = 0; c < row.size(); ++c) row[c] += bias[c];
+  }
+}
+
+void scale_inplace(Matrix& m, double s) {
+  for (auto& x : m.data()) x *= s;
+}
+
+}  // namespace pdac::nn

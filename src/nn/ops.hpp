@@ -1,0 +1,35 @@
+// ops.hpp — element-wise / normalization operators of the transformer.
+//
+// These run on the accelerator's digital vector unit (not the photonic
+// core), matching the paper's system split: GEMMs go to the DDot arrays,
+// everything else stays electrical.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/matrix.hpp"
+
+namespace pdac::nn {
+
+/// Numerically stable row-wise softmax, in place.
+void softmax_rows(Matrix& m);
+
+/// GELU activation (tanh approximation), in place.
+void gelu(Matrix& m);
+
+/// Layer normalization over each row with learned scale/shift, in place.
+/// gamma/beta must have m.cols() entries.
+void layer_norm(Matrix& m, std::span<const double> gamma, std::span<const double> beta,
+                double eps = 1e-5);
+
+/// a += b (residual connection); shapes must match.
+void add_inplace(Matrix& a, const Matrix& b);
+
+/// Add a bias row vector to every row of m, in place.
+void add_bias(Matrix& m, std::span<const double> bias);
+
+/// Scale every element, in place (e.g. 1/sqrt(d_head) attention scaling).
+void scale_inplace(Matrix& m, double s);
+
+}  // namespace pdac::nn

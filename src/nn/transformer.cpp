@@ -1,0 +1,32 @@
+#include "nn/transformer.hpp"
+
+#include "nn/ops.hpp"
+
+namespace pdac::nn {
+
+Transformer::Transformer(TransformerConfig cfg)
+    : cfg_(cfg), final_gamma_(cfg.d_model, 1.0), final_beta_(cfg.d_model, 0.0) {
+  layers_.reserve(cfg_.layers);
+  for (std::size_t i = 0; i < cfg_.layers; ++i) {
+    layers_.emplace_back(cfg_.d_model, cfg_.heads, cfg_.d_ff);
+  }
+}
+
+void Transformer::init_random(std::uint64_t seed) {
+  Rng rng(seed);
+  for (auto& layer : layers_) layer.init_random(rng);
+}
+
+Matrix Transformer::forward(const Matrix& x, GemmBackend& backend) const {
+  Matrix h = x;
+  for (const auto& layer : layers_) h = layer.forward(h, backend);
+  layer_norm(h, final_gamma_, final_beta_);
+  return h;
+}
+
+Matrix Transformer::random_input(std::uint64_t seed) const {
+  Rng rng(seed);
+  return Matrix::random_gaussian(cfg_.seq_len, cfg_.d_model, rng, 0.0, 1.0);
+}
+
+}  // namespace pdac::nn

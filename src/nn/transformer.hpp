@@ -1,0 +1,39 @@
+// transformer.hpp — an encoder stack with a final layer norm; the model
+// object the functional accuracy experiments run end to end through the
+// simulated photonic hardware.
+#pragma once
+
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+#include "nn/backend.hpp"
+#include "nn/encoder_layer.hpp"
+#include "nn/model_config.hpp"
+
+namespace pdac::nn {
+
+class Transformer {
+ public:
+  explicit Transformer(TransformerConfig cfg);
+
+  /// Deterministic synthetic "pre-trained" weights.
+  void init_random(std::uint64_t seed);
+
+  /// x: (seq × d_model) embedding matrix → final hidden states.
+  [[nodiscard]] Matrix forward(const Matrix& x, GemmBackend& backend) const;
+
+  /// Seeded synthetic input embeddings matching this config's shape.
+  [[nodiscard]] Matrix random_input(std::uint64_t seed) const;
+
+  [[nodiscard]] const TransformerConfig& config() const { return cfg_; }
+  [[nodiscard]] std::size_t layer_count() const { return layers_.size(); }
+  EncoderLayer& layer(std::size_t i) { return layers_.at(i); }
+
+ private:
+  TransformerConfig cfg_;
+  std::vector<EncoderLayer> layers_;
+  std::vector<double> final_gamma_, final_beta_;
+};
+
+}  // namespace pdac::nn

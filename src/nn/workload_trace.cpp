@@ -1,0 +1,79 @@
+#include "nn/workload_trace.hpp"
+
+namespace pdac::nn {
+
+std::size_t WorkloadTrace::total_macs() const {
+  std::size_t sum = 0;
+  for (const auto& g : gemms) sum += g.macs();
+  return sum;
+}
+
+std::size_t WorkloadTrace::macs(OpClass c) const {
+  std::size_t sum = 0;
+  for (const auto& g : gemms) {
+    if (g.op_class == c) sum += g.macs();
+  }
+  return sum;
+}
+
+std::size_t WorkloadTrace::weight_elements(OpClass c) const {
+  std::size_t sum = 0;
+  for (const auto& g : gemms) {
+    if (g.op_class == c) sum += g.weight_elements();
+  }
+  return sum;
+}
+
+std::size_t WorkloadTrace::activation_elements(OpClass c) const {
+  std::size_t sum = 0;
+  for (const auto& g : gemms) {
+    if (g.op_class == c) sum += g.activation_elements();
+  }
+  return sum;
+}
+
+WorkloadTrace trace_forward(const TransformerConfig& cfg) {
+  WorkloadTrace t;
+  t.config = cfg;
+  const std::size_t s = cfg.seq_len;
+  const std::size_t d = cfg.d_model;
+  const std::size_t h = cfg.heads;
+  const std::size_t dh = cfg.d_head();
+  const std::size_t ff = cfg.d_ff;
+
+  for (std::size_t layer = 0; layer < cfg.layers; ++layer) {
+    const std::string p = "L" + std::to_string(layer) + ".";
+    // Attention: three projections with static weights…
+    t.gemms.push_back({p + "Q-proj", OpClass::kAttention, s, d, d, true, 1});
+    t.gemms.push_back({p + "K-proj", OpClass::kAttention, s, d, d, true, 1});
+    t.gemms.push_back({p + "V-proj", OpClass::kAttention, s, d, d, true, 1});
+    // …two dynamic–dynamic products per head (no weight fetch)…
+    t.gemms.push_back({p + "QK^T", OpClass::kAttention, s, dh, s, false, h});
+    t.gemms.push_back({p + "AV", OpClass::kAttention, s, s, dh, false, h});
+    // …and the output projection.
+    t.gemms.push_back({p + "O-proj", OpClass::kAttention, s, d, d, true, 1});
+
+    // Feed-forward block.
+    t.gemms.push_back({p + "FFN-up", OpClass::kFfn, s, d, ff, true, 1});
+    t.gemms.push_back({p + "FFN-down", OpClass::kFfn, s, ff, d, true, 1});
+
+    // Digital vector work (softmax, GELU, two layernorms, residuals).
+    t.vector_ops.push_back({p + "softmax", OpClass::kOther, h * s * s});
+    t.vector_ops.push_back({p + "gelu", OpClass::kOther, s * ff});
+    t.vector_ops.push_back({p + "layernorm×2", OpClass::kOther, 2 * s * d});
+    t.vector_ops.push_back({p + "residual×2", OpClass::kOther, 2 * s * d});
+  }
+  return t;
+}
+
+std::string to_string(OpClass c) {
+  switch (c) {
+    case OpClass::kAttention: return "attention";
+    case OpClass::kFfn: return "ffn";
+    case OpClass::kConv: return "conv";
+    case OpClass::kOther: return "other";
+  }
+  return "?";
+}
+
+}  // namespace pdac::nn

@@ -1,0 +1,76 @@
+#include "photonics/crosstalk.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace pdac::photonics {
+
+double CrosstalkReport::crosstalk_limited_bits() const {
+  if (worst_aggregate_ratio <= 0.0) return 24.0;  // effectively unlimited here
+  return std::log2(1.0 / worst_aggregate_ratio);
+}
+
+CrosstalkReport analyze_crosstalk(const WdmBusConfig& cfg) {
+  const WdmBus bus(cfg);
+  const std::size_t n = cfg.channels;
+  CrosstalkReport rep;
+  rep.matrix = Matrix(n, n);
+
+  for (std::size_t j = 0; j < n; ++j) {
+    // Light channel j alone and demultiplex; the receiver bank splits the
+    // power among all drop ports (receivers ahead on the bus shadow the
+    // ones behind, exactly as in hardware).
+    WdmField source(n);
+    source.set_amplitude(j, Complex{1.0, 0.0});
+    const double input_power = source.total_intensity();
+    const auto dropped = bus.demux(source);
+    for (std::size_t i = 0; i < n; ++i) {
+      rep.matrix(i, j) = dropped[i].total_intensity() / input_power;
+    }
+  }
+
+  rep.worst_pair_ratio = 0.0;
+  rep.worst_aggregate_ratio = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double diag = rep.matrix(i, i);
+    double aggregate = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const double ratio = diag > 0.0 ? rep.matrix(i, j) / diag : 0.0;
+      rep.worst_pair_ratio = std::max(rep.worst_pair_ratio, ratio);
+      aggregate += ratio;
+    }
+    rep.worst_aggregate_ratio = std::max(rep.worst_aggregate_ratio, aggregate);
+  }
+  rep.worst_isolation_db =
+      rep.worst_pair_ratio > 0.0 ? -10.0 * std::log10(rep.worst_pair_ratio) : 200.0;
+  return rep;
+}
+
+std::size_t max_channels_for_isolation(double min_isolation_db, double ring_hwhm_channels,
+                                       std::size_t limit) {
+  PDAC_REQUIRE(min_isolation_db > 0.0, "max_channels_for_isolation: need positive target");
+  PDAC_REQUIRE(limit >= 2, "max_channels_for_isolation: limit >= 2");
+  // Aggregate interference is the quantity that grows with channel
+  // count (nearest-neighbour isolation is set by the linewidth alone).
+  std::size_t best = 0;
+  for (std::size_t n = 2; n <= limit; ++n) {
+    WdmBusConfig cfg;
+    cfg.channels = n;
+    cfg.ring_hwhm_channels = ring_hwhm_channels;
+    const auto rep = analyze_crosstalk(cfg);
+    const double aggregate_isolation_db =
+        rep.worst_aggregate_ratio > 0.0 ? -10.0 * std::log10(rep.worst_aggregate_ratio)
+                                        : 200.0;
+    if (aggregate_isolation_db >= min_isolation_db) {
+      best = n;
+    } else {
+      break;  // aggregate interference only grows as channels are added
+    }
+  }
+  return best;
+}
+
+}  // namespace pdac::photonics

@@ -1,0 +1,40 @@
+// crosstalk.hpp — inter-channel crosstalk analysis of the WDM bus.
+//
+// DDot parallelism scales with the number of WDM wavelengths per
+// waveguide, but every receiver ring captures a Lorentzian tail of its
+// neighbours' light; as channels pack closer (or rings get broader) the
+// aggregate interference floors the analog precision.  This module
+// builds the full crosstalk matrix of a WdmBus by direct simulation,
+// summarizes isolation, and answers the design question: how many
+// channels fit a target isolation at a given ring selectivity?
+#pragma once
+
+#include "common/matrix.hpp"
+#include "photonics/wdm_bus.hpp"
+
+namespace pdac::photonics {
+
+struct CrosstalkReport {
+  /// X(i, j) = optical power captured by receiver i from a unit-power
+  /// transmission on channel j (diagonal = through efficiency).
+  Matrix matrix;
+  double worst_pair_ratio{};   ///< max off-diagonal / its diagonal
+  double worst_isolation_db{}; ///< −10·log10(worst_pair_ratio)
+  /// Worst aggregate interference into one receiver, as a fraction of
+  /// its signal — the analog noise floor WDM crowding imposes.
+  double worst_aggregate_ratio{};
+
+  /// Crosstalk-limited effective bits: the aggregate interference acts
+  /// as a signal-correlated error floor, ENOB ≈ log2(1/aggregate)/1.
+  [[nodiscard]] double crosstalk_limited_bits() const;
+};
+
+/// Simulate the bus channel-by-channel and assemble the report.
+CrosstalkReport analyze_crosstalk(const WdmBusConfig& cfg);
+
+/// Largest channel count whose worst-pair isolation stays ≥
+/// `min_isolation_db` for rings of the given linewidth (≤ `limit`).
+std::size_t max_channels_for_isolation(double min_isolation_db, double ring_hwhm_channels,
+                                       std::size_t limit = 64);
+
+}  // namespace pdac::photonics

@@ -1,0 +1,57 @@
+// directional_coupler.hpp — 2×2 evanescent coupler (paper Eq. 5).
+//
+// Transfer matrix for transmission coefficient t:
+//     [ t              j·sqrt(1-t²) ]
+//     [ j·sqrt(1-t²)   t            ]
+// which is unitary for 0 ≤ t ≤ 1 (energy conserving — verified by a
+// property test).  The DDot uses the 50:50 case t = 1/√2.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <complex>
+
+#include "common/require.hpp"
+#include "photonics/optical_field.hpp"
+
+namespace pdac::photonics {
+
+class DirectionalCoupler {
+ public:
+  explicit DirectionalCoupler(double transmission) : t_(transmission) {
+    PDAC_REQUIRE(transmission >= 0.0 && transmission <= 1.0,
+                 "DirectionalCoupler: transmission coefficient in [0, 1]");
+    kappa_ = std::sqrt(1.0 - t_ * t_);
+  }
+
+  /// The 50:50 splitter used by DDot (t = 1/√2).
+  static DirectionalCoupler fifty_fifty() { return DirectionalCoupler(0.70710678118654752); }
+
+  /// Couple a single-wavelength pair (upper, lower) -> (upper', lower').
+  [[nodiscard]] std::array<Complex, 2> couple(Complex upper, Complex lower) const {
+    const Complex j{0.0, 1.0};
+    return {t_ * upper + j * kappa_ * lower, j * kappa_ * upper + t_ * lower};
+  }
+
+  /// Couple all WDM channels of a dual-rail signal.
+  [[nodiscard]] DualRail couple(const DualRail& in) const {
+    PDAC_REQUIRE(in.upper.channels() == in.lower.channels(),
+                 "DirectionalCoupler: rails must carry the same channels");
+    DualRail out{WdmField(in.upper.channels()), WdmField(in.lower.channels())};
+    for (std::size_t ch = 0; ch < in.upper.channels(); ++ch) {
+      const auto [u, l] = couple(in.upper.amplitude(ch), in.lower.amplitude(ch));
+      out.upper.set_amplitude(ch, u);
+      out.lower.set_amplitude(ch, l);
+    }
+    return out;
+  }
+
+  [[nodiscard]] double transmission() const { return t_; }
+  [[nodiscard]] double coupling() const { return kappa_; }
+
+ private:
+  double t_;
+  double kappa_;
+};
+
+}  // namespace pdac::photonics

@@ -1,0 +1,43 @@
+#include "photonics/mzm.hpp"
+
+#include <cmath>
+
+#include "common/math_utils.hpp"
+#include "common/require.hpp"
+
+namespace pdac::photonics {
+
+Mzm::Mzm(MzmConfig cfg) : cfg_(cfg) {
+  PDAC_REQUIRE(cfg_.v_pi > 0.0, "Mzm: Vπ must be positive");
+  PDAC_REQUIRE(cfg_.imbalance_k > -1.0 && cfg_.imbalance_k < 1.0,
+               "Mzm: imbalance k in (-1, 1)");
+  PDAC_REQUIRE(cfg_.insertion_loss > 0.0 && cfg_.insertion_loss <= 1.0,
+               "Mzm: insertion loss factor in (0, 1]");
+}
+
+Complex Mzm::modulate(Complex e_in, double v1, double v2) const {
+  const double p1 = math::kPi * v1 / (2.0 * cfg_.v_pi);
+  const double p2 = math::kPi * v2 / (2.0 * cfg_.v_pi);
+  const Complex arm1 = (1.0 + cfg_.imbalance_k) * std::polar(1.0, p1);
+  const Complex arm2 = (1.0 - cfg_.imbalance_k) * std::polar(1.0, p2);
+  return cfg_.insertion_loss * 0.5 * e_in * (arm1 + arm2);
+}
+
+Complex Mzm::modulate_pushpull(Complex e_in, double v1_prime) const {
+  const double v1 = arm_voltage(v1_prime);
+  return modulate(e_in, v1, -v1);
+}
+
+double Mzm::normalized_phase(double volts) const {
+  return math::kPi * volts / (2.0 * cfg_.v_pi);
+}
+
+double Mzm::arm_voltage(double v_prime) const {
+  return 2.0 * cfg_.v_pi * v_prime / math::kPi;
+}
+
+void Mzm::modulate_channel(WdmField& field, std::size_t channel, double v1_prime) const {
+  field.set_amplitude(channel, modulate_pushpull(field.amplitude(channel), v1_prime));
+}
+
+}  // namespace pdac::photonics

@@ -1,0 +1,51 @@
+// mzm.hpp — Mach-Zehnder Modulator (paper Eq. 3 / Eq. 9).
+//
+// Full two-arm model:
+//   E_out = E_in/2 · ( (1+k)·e^{jπV₁/2Vπ} + (1−k)·e^{jπV₂/2Vπ} )
+// where k is the splitting imbalance.  Driven push–pull (V₂ = −V₁) with a
+// balanced splitter (k = 0) this collapses to the paper's Eq. 9:
+//   E_out = E_in · cos(V′₁),   V′₁ = πV₁ / 2Vπ
+// which is the relation both the ideal-DAC driver and the P-DAC exploit
+// to imprint a full-range (−1, 1) value on the carrier.
+#pragma once
+
+#include <complex>
+
+#include "common/units.hpp"
+#include "photonics/optical_field.hpp"
+
+namespace pdac::photonics {
+
+struct MzmConfig {
+  double v_pi{2.0};           ///< half-wave voltage Vπ [V]
+  double imbalance_k{0.0};    ///< splitting imbalance (0 = balanced)
+  double insertion_loss{1.0}; ///< amplitude transmission factor (1 = lossless)
+};
+
+class Mzm {
+ public:
+  Mzm() : Mzm(MzmConfig{}) {}
+  explicit Mzm(MzmConfig cfg);
+
+  /// Apply the full Eq. 3 transfer for arm voltages (v1, v2) in volts.
+  [[nodiscard]] Complex modulate(Complex e_in, double v1, double v2) const;
+
+  /// Push–pull drive by *normalized* phase V′₁ = πV₁/2Vπ (radians):
+  /// sets V₂ = −V₁, so with k = 0 the output is E_in·cos(V′₁)·loss.
+  [[nodiscard]] Complex modulate_pushpull(Complex e_in, double v1_prime) const;
+
+  /// Normalized phase for a given arm voltage: V′ = πV / 2Vπ.
+  [[nodiscard]] double normalized_phase(double volts) const;
+  /// Arm voltage realizing a normalized phase: V = 2Vπ·V′/π.
+  [[nodiscard]] double arm_voltage(double v_prime) const;
+
+  /// Modulate one channel of a WDM field in place (push–pull).
+  void modulate_channel(WdmField& field, std::size_t channel, double v1_prime) const;
+
+  [[nodiscard]] const MzmConfig& config() const { return cfg_; }
+
+ private:
+  MzmConfig cfg_;
+};
+
+}  // namespace pdac::photonics

@@ -1,0 +1,88 @@
+// optical_field.hpp — representation of light in the simulator.
+//
+// The paper's devices operate on the *optical field*: a complex amplitude
+// per wavelength channel.  Intensity (what a photodetector sees) is
+// I ∝ ½|E|².  A WDM waveguide carries one complex amplitude per channel;
+// devices are per-channel linear maps (PS, MZM) or 2-port couplers (DC).
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+#include "common/require.hpp"
+
+namespace pdac::photonics {
+
+using Complex = std::complex<double>;
+
+/// Index of a WDM wavelength channel (λ_0 … λ_{n-1}).
+struct Channel {
+  std::size_t index{};
+};
+
+/// Field amplitude of a single wavelength on a single waveguide.
+struct FieldSample {
+  Complex amplitude{0.0, 0.0};
+
+  /// Optical intensity I = ½|E|² (detector-facing quantity; the ½ matches
+  /// the paper's I ∝ ½|E|² convention).
+  [[nodiscard]] double intensity() const { return 0.5 * std::norm(amplitude); }
+};
+
+/// A multi-wavelength optical field on one waveguide: one complex
+/// amplitude per WDM channel.  Value-semantic; devices return transformed
+/// copies so signal graphs stay easy to reason about.
+class WdmField {
+ public:
+  WdmField() = default;
+  explicit WdmField(std::size_t channels) : amps_(channels, Complex{0.0, 0.0}) {}
+  explicit WdmField(std::vector<Complex> amplitudes) : amps_(std::move(amplitudes)) {}
+
+  [[nodiscard]] std::size_t channels() const { return amps_.size(); }
+
+  [[nodiscard]] Complex amplitude(std::size_t ch) const {
+    PDAC_REQUIRE(ch < amps_.size(), "WdmField: channel out of range");
+    return amps_[ch];
+  }
+  void set_amplitude(std::size_t ch, Complex a) {
+    PDAC_REQUIRE(ch < amps_.size(), "WdmField: channel out of range");
+    amps_[ch] = a;
+  }
+
+  /// Per-channel intensity ½|E|².
+  [[nodiscard]] double intensity(std::size_t ch) const {
+    PDAC_REQUIRE(ch < amps_.size(), "WdmField: channel out of range");
+    return 0.5 * std::norm(amps_[ch]);
+  }
+
+  /// Total intensity summed over channels — what a broadband
+  /// photodetector integrates (paper: "the photodetector can detect light
+  /// intensity resulting from the superposition of multiple optical
+  /// frequencies").
+  [[nodiscard]] double total_intensity() const {
+    double sum = 0.0;
+    for (const auto& a : amps_) sum += 0.5 * std::norm(a);
+    return sum;
+  }
+
+  [[nodiscard]] const std::vector<Complex>& amplitudes() const { return amps_; }
+  std::vector<Complex>& amplitudes() { return amps_; }
+
+ private:
+  std::vector<Complex> amps_;
+};
+
+/// A pair of waveguides carrying the same WDM channels — the natural
+/// operand of a 2×2 directional coupler and of the DDot unit.
+struct DualRail {
+  WdmField upper;
+  WdmField lower;
+
+  [[nodiscard]] std::size_t channels() const {
+    PDAC_ASSERT(upper.channels() == lower.channels());
+    return upper.channels();
+  }
+};
+
+}  // namespace pdac::photonics

@@ -1,0 +1,39 @@
+// phase_shifter.hpp — optical phase shifter (paper Eq. 4: x' = e^{jφ} x).
+//
+// In the DDot unit a fixed −90° shifter is applied to the y-operand rail
+// before the 50:50 coupler; being fully passive it draws no power, which
+// is one of the reasons the DDot datapath itself is energy-free in the
+// paper's accounting.
+#pragma once
+
+#include <complex>
+
+#include "photonics/optical_field.hpp"
+
+namespace pdac::photonics {
+
+/// Fixed phase shifter applying x' = e^{jφ}·x to every channel.
+class PhaseShifter {
+ public:
+  explicit PhaseShifter(double phase_rad) : factor_(std::polar(1.0, phase_rad)) {}
+
+  [[nodiscard]] Complex apply(Complex x) const { return factor_ * x; }
+
+  [[nodiscard]] WdmField apply(const WdmField& in) const {
+    WdmField out(in.channels());
+    for (std::size_t ch = 0; ch < in.channels(); ++ch) {
+      out.set_amplitude(ch, factor_ * in.amplitude(ch));
+    }
+    return out;
+  }
+
+  /// The −90° shifter used on the y-rail of a DDot (e^{-jπ/2} = −j).
+  static PhaseShifter minus_90() { return PhaseShifter(-1.5707963267948966); }
+
+  [[nodiscard]] Complex factor() const { return factor_; }
+
+ private:
+  Complex factor_;
+};
+
+}  // namespace pdac::photonics

@@ -1,0 +1,50 @@
+#include "photonics/thermal_tuner.hpp"
+
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace pdac::photonics {
+
+ThermalTuner::ThermalTuner(ThermalTunerConfig cfg) : cfg_(cfg) {
+  PDAC_REQUIRE(cfg_.drift_per_kelvin >= 0.0, "ThermalTuner: drift must be non-negative");
+  PDAC_REQUIRE(cfg_.loop_gain > 0.0, "ThermalTuner: loop gain must be positive");
+  PDAC_REQUIRE(cfg_.max_iterations >= 1, "ThermalTuner: at least one iteration");
+  PDAC_REQUIRE(cfg_.tolerance_channels > 0.0, "ThermalTuner: tolerance must be positive");
+}
+
+double ThermalTuner::drift(double delta_kelvin) const {
+  return cfg_.drift_per_kelvin * delta_kelvin;
+}
+
+TuneResult ThermalTuner::stabilize(Microring& ring, double target_channel,
+                                   double delta_kelvin) const {
+  // Ambient drift displaces the resonance before the loop engages.
+  ring.tune_to(target_channel + drift(delta_kelvin));
+
+  TuneResult result;
+  for (result.iterations = 0; result.iterations < cfg_.max_iterations;
+       ++result.iterations) {
+    const double detuning = ring.resonance() - target_channel;
+    if (std::abs(detuning) <= cfg_.tolerance_channels) {
+      result.converged = true;
+      break;
+    }
+    // Proportional control: each step removes loop_gain of the error.
+    // (Gain ≥ 2 overshoots into oscillation — pinned by a test.)
+    ring.tune_to(ring.resonance() - cfg_.loop_gain * detuning);
+  }
+  result.residual_detuning = ring.resonance() - target_channel;
+  // Heater must hold the cumulative correction (= the ambient drift).
+  result.heater_power = ring.tuning_power(target_channel + drift(delta_kelvin));
+  return result;
+}
+
+units::Power ThermalTuner::fleet_power(std::size_t rings, double worst_delta_kelvin,
+                                       const MicroringConfig& ring_cfg) const {
+  const double shift = std::abs(drift(worst_delta_kelvin));
+  return units::watts(static_cast<double>(rings) *
+                      ring_cfg.heater_power_per_channel_shift.watts() * shift);
+}
+
+}  // namespace pdac::photonics

@@ -1,0 +1,58 @@
+// thermal_tuner.hpp — closed-loop thermal stabilization of microrings.
+//
+// Every MRR in the EO/OE interfaces must sit exactly on its WDM channel;
+// the paper notes resonance is "achieved through temperature
+// adjustments".  Ambient temperature drifts the resonance
+// (drift_per_kelvin, in channel-spacing units), and a feedback loop —
+// monitor the drop-port power of a pilot tone, step the heater —
+// re-centers it.  This module models that loop: convergence behaviour
+// vs loop gain, residual detuning (which becomes channel crosstalk; see
+// wdm_bus tests), and the heater power that the architecture model's
+// thermal-tuning budget pays for.
+#pragma once
+
+#include "common/units.hpp"
+#include "photonics/microring.hpp"
+
+namespace pdac::photonics {
+
+struct ThermalTunerConfig {
+  double drift_per_kelvin{0.01};  ///< resonance shift per K, channel units
+  double loop_gain{0.8};          ///< fraction of detuning corrected per step
+  int max_iterations{100};
+  double tolerance_channels{1e-4};  ///< residual detuning target
+};
+
+struct TuneResult {
+  bool converged{};
+  int iterations{};
+  double residual_detuning{};   ///< channels, signed
+  units::Power heater_power;    ///< steady-state heater drive
+};
+
+class ThermalTuner {
+ public:
+  explicit ThermalTuner(ThermalTunerConfig cfg);
+
+  /// Resonance drift caused by an ambient excursion of `delta_kelvin`.
+  [[nodiscard]] double drift(double delta_kelvin) const;
+
+  /// Run the control loop: the ring sits at `target_channel` nominally,
+  /// ambient drift has pushed it off; iterate heater corrections until
+  /// the residual detuning is inside tolerance.  The ring is mutated to
+  /// its stabilized state.
+  TuneResult stabilize(Microring& ring, double target_channel, double delta_kelvin) const;
+
+  /// Steady-state heater power for a worst-case ambient excursion across
+  /// `rings` devices — the bottom-up check against the architecture
+  /// model's thermal budget.
+  [[nodiscard]] units::Power fleet_power(std::size_t rings, double worst_delta_kelvin,
+                                         const MicroringConfig& ring_cfg) const;
+
+  [[nodiscard]] const ThermalTunerConfig& config() const { return cfg_; }
+
+ private:
+  ThermalTunerConfig cfg_;
+};
+
+}  // namespace pdac::photonics

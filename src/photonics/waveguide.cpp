@@ -1,0 +1,61 @@
+#include "photonics/waveguide.hpp"
+
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace pdac::photonics {
+
+namespace {
+constexpr double kSpeedOfLightCmPerS = 2.99792458e10;
+}
+
+Waveguide::Waveguide(WaveguideConfig cfg, double length_cm)
+    : cfg_(cfg), length_cm_(length_cm) {
+  PDAC_REQUIRE(cfg_.loss_db_per_cm >= 0.0, "Waveguide: loss must be non-negative");
+  PDAC_REQUIRE(cfg_.group_index >= 1.0, "Waveguide: group index must be >= 1");
+  PDAC_REQUIRE(length_cm >= 0.0, "Waveguide: length must be non-negative");
+}
+
+double Waveguide::loss_db() const { return cfg_.loss_db_per_cm * length_cm_; }
+
+double Waveguide::amplitude_transmission() const {
+  return std::pow(10.0, -loss_db() / 20.0);
+}
+
+double Waveguide::power_transmission() const { return std::pow(10.0, -loss_db() / 10.0); }
+
+units::Time Waveguide::propagation_delay() const {
+  return units::seconds(length_cm_ * cfg_.group_index / kSpeedOfLightCmPerS);
+}
+
+WdmField Waveguide::propagate(const WdmField& in) const {
+  const double t = amplitude_transmission();
+  WdmField out(in.channels());
+  for (std::size_t ch = 0; ch < in.channels(); ++ch) {
+    out.set_amplitude(ch, t * in.amplitude(ch));
+  }
+  return out;
+}
+
+LinkBudgetReport evaluate_link_budget(const LinkBudgetConfig& cfg) {
+  PDAC_REQUIRE(cfg.broadcast_ways >= 1, "LinkBudget: at least one broadcast way");
+  // Ideal 1:N split costs 10·log10(N) dB; each 1:2 stage adds its excess.
+  const double stages = std::ceil(std::log2(static_cast<double>(cfg.broadcast_ways)));
+  const double split_db = 10.0 * std::log10(static_cast<double>(cfg.broadcast_ways)) +
+                          stages * cfg.splitter_excess_db;
+  LinkBudgetReport rep;
+  rep.total_loss_db = cfg.mux_loss_db + cfg.waveguide_cm * cfg.waveguide_loss_db_per_cm +
+                      cfg.modulator_loss_db + split_db;
+  rep.received_dbm = cfg.laser_power_dbm - rep.total_loss_db;
+  rep.margin_db = rep.received_dbm - cfg.detector_sensitivity_dbm;
+  return rep;
+}
+
+double required_laser_dbm(const LinkBudgetConfig& cfg, double margin_db) {
+  const LinkBudgetReport at_zero = evaluate_link_budget(cfg);
+  // Loss is independent of launch power, so solve directly.
+  return cfg.detector_sensitivity_dbm + margin_db + at_zero.total_loss_db;
+}
+
+}  // namespace pdac::photonics

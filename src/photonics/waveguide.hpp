@@ -1,0 +1,68 @@
+// waveguide.hpp — on-chip waveguide propagation and link-budget math.
+//
+// The P-DAC architecture moves optical digital words from the M2 SRAM's
+// EO interface across the chip to every modulator site (paper Fig. 6),
+// and the DPTC broadcasts modulated operands across DDot columns.  Both
+// paths lose light to propagation and splitting; this module models the
+// loss/delay of a waveguide segment and closes the end-to-end link
+// budget from laser to photodetector — the constraint that actually
+// sizes the laser in power_params.hpp (see the A8 bench discussion).
+#pragma once
+
+#include "common/units.hpp"
+#include "photonics/optical_field.hpp"
+
+namespace pdac::photonics {
+
+struct WaveguideConfig {
+  double loss_db_per_cm{0.3};  ///< silicon strip waveguide propagation loss
+  double group_index{4.2};     ///< for propagation delay
+};
+
+class Waveguide {
+ public:
+  Waveguide(WaveguideConfig cfg, double length_cm);
+
+  [[nodiscard]] double length_cm() const { return length_cm_; }
+  [[nodiscard]] double loss_db() const;
+  /// Field-amplitude transmission 10^(−loss_dB/20).
+  [[nodiscard]] double amplitude_transmission() const;
+  /// Optical-power transmission 10^(−loss_dB/10).
+  [[nodiscard]] double power_transmission() const;
+  [[nodiscard]] units::Time propagation_delay() const;
+
+  /// Attenuate every channel of a field.
+  [[nodiscard]] WdmField propagate(const WdmField& in) const;
+
+ private:
+  WaveguideConfig cfg_;
+  double length_cm_;
+};
+
+/// End-to-end optical link: laser → mux → waveguide → modulator →
+/// 1:N broadcast splitter → waveguide → detector.
+struct LinkBudgetConfig {
+  double laser_power_dbm{10.0};          ///< per wavelength
+  double mux_loss_db{0.5};               ///< MRR add/drop insertion loss
+  double waveguide_cm{2.0};
+  double waveguide_loss_db_per_cm{0.3};
+  double modulator_loss_db{4.0};         ///< MZM insertion loss
+  std::size_t broadcast_ways{8};         ///< DDot-column fan-out
+  double splitter_excess_db{0.2};        ///< per 1:2 stage, on top of 3 dB
+  double detector_sensitivity_dbm{-20.0};
+};
+
+struct LinkBudgetReport {
+  double total_loss_db{};
+  double received_dbm{};
+  double margin_db{};  ///< received − sensitivity
+  [[nodiscard]] bool closes() const { return margin_db >= 0.0; }
+};
+
+LinkBudgetReport evaluate_link_budget(const LinkBudgetConfig& cfg);
+
+/// Smallest per-wavelength laser power (dBm) that closes the link with
+/// the requested margin.
+double required_laser_dbm(const LinkBudgetConfig& cfg, double margin_db = 3.0);
+
+}  // namespace pdac::photonics

@@ -1,0 +1,54 @@
+#include "photonics/wdm_bus.hpp"
+
+#include "common/require.hpp"
+
+namespace pdac::photonics {
+
+WdmBus::WdmBus(WdmBusConfig cfg) : cfg_(cfg) {
+  PDAC_REQUIRE(cfg_.channels >= 1, "WdmBus: at least one channel");
+  tx_rings_.reserve(cfg_.channels);
+  rx_rings_.reserve(cfg_.channels);
+  for (std::size_t ch = 0; ch < cfg_.channels; ++ch) {
+    MicroringConfig rc;
+    rc.resonance_channel = static_cast<double>(ch);
+    rc.hwhm_channels = cfg_.ring_hwhm_channels;
+    tx_rings_.emplace_back(rc);
+    rx_rings_.emplace_back(rc);
+  }
+}
+
+WdmField WdmBus::mux(const std::vector<WdmField>& sources) const {
+  PDAC_REQUIRE(sources.size() <= cfg_.channels, "WdmBus: more sources than channels");
+  WdmField bus(cfg_.channels);
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    PDAC_REQUIRE(sources[i].channels() == cfg_.channels,
+                 "WdmBus: source field channel count mismatch");
+    bus = tx_rings_[i].add_to_bus(bus, sources[i]);
+  }
+  return bus;
+}
+
+std::vector<WdmField> WdmBus::demux(const WdmField& bus, WdmField* residual) const {
+  PDAC_REQUIRE(bus.channels() == cfg_.channels, "WdmBus: bus channel count mismatch");
+  std::vector<WdmField> dropped;
+  dropped.reserve(cfg_.channels);
+  WdmField remaining = bus;
+  for (std::size_t ch = 0; ch < cfg_.channels; ++ch) {
+    MrrPorts ports = rx_rings_[ch].route(remaining);
+    dropped.push_back(std::move(ports.drop));
+    remaining = std::move(ports.through);
+  }
+  if (residual != nullptr) *residual = remaining;
+  return dropped;
+}
+
+WdmField WdmBus::encode_amplitudes(const std::vector<double>& values) const {
+  PDAC_REQUIRE(values.size() <= cfg_.channels, "WdmBus: more values than channels");
+  WdmField f(cfg_.channels);
+  for (std::size_t ch = 0; ch < values.size(); ++ch) {
+    f.set_amplitude(ch, Complex{values[ch], 0.0});
+  }
+  return f;
+}
+
+}  // namespace pdac::photonics

@@ -1,0 +1,42 @@
+#include "ptc/ddot.hpp"
+
+#include "common/require.hpp"
+
+namespace pdac::ptc {
+
+Ddot::Ddot()
+    : ps_(photonics::PhaseShifter::minus_90()),
+      dc_(photonics::DirectionalCoupler::fifty_fifty()),
+      pd_plus_(),
+      pd_minus_() {}
+
+Ddot::Ddot(photonics::PhaseShifter ps, photonics::DirectionalCoupler dc,
+           photonics::Photodetector pd_plus, photonics::Photodetector pd_minus)
+    : ps_(ps), dc_(dc), pd_plus_(pd_plus), pd_minus_(pd_minus) {}
+
+DdotReading Ddot::compute(const photonics::DualRail& rails) const {
+  PDAC_REQUIRE(rails.upper.channels() == rails.lower.channels(),
+               "Ddot: rails must carry the same channel count");
+  photonics::DualRail staged{rails.upper, ps_.apply(rails.lower)};
+  const photonics::DualRail coupled = dc_.couple(staged);
+  return DdotReading{pd_plus_.detect(coupled.upper), pd_minus_.detect(coupled.lower)};
+}
+
+DdotReading Ddot::compute(std::span<const double> x, std::span<const double> y) const {
+  PDAC_REQUIRE(x.size() == y.size(), "Ddot: operand length mismatch");
+  photonics::DualRail rails{photonics::WdmField(x.size()), photonics::WdmField(y.size())};
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    rails.upper.set_amplitude(i, photonics::Complex{x[i], 0.0});
+    rails.lower.set_amplitude(i, photonics::Complex{y[i], 0.0});
+  }
+  return compute(rails);
+}
+
+DdotReading Ddot::compute_noisy(const photonics::DualRail& rails, Rng& rng) const {
+  photonics::DualRail staged{rails.upper, ps_.apply(rails.lower)};
+  const photonics::DualRail coupled = dc_.couple(staged);
+  return DdotReading{pd_plus_.detect_noisy(coupled.upper, rng),
+                     pd_minus_.detect_noisy(coupled.lower, rng)};
+}
+
+}  // namespace pdac::ptc

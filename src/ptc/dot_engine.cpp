@@ -1,0 +1,99 @@
+#include "ptc/dot_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_utils.hpp"
+#include "common/require.hpp"
+
+namespace pdac::ptc {
+
+PhotonicDotEngine::PhotonicDotEngine(const core::ModulatorDriver& driver, DotEngineConfig cfg)
+    : driver_(driver),
+      cfg_(cfg),
+      ddot_([&cfg] {
+        photonics::PhotodetectorConfig pd;
+        pd.noise = cfg.pd_noise;
+        return Ddot(photonics::PhaseShifter::minus_90(),
+                    photonics::DirectionalCoupler::fifty_fifty(),
+                    photonics::Photodetector(pd), photonics::Photodetector(pd));
+      }()),
+      quant_(driver.bits()) {
+  PDAC_REQUIRE(cfg_.wavelengths >= 1, "PhotonicDotEngine: at least one wavelength");
+  // Drivers are deterministic functions of the quantized code, so the
+  // whole encoder transfer curve fits in a (2^b − 1)-entry table.
+  const std::int32_t mc = quant_.max_code();
+  encode_lut_.resize(static_cast<std::size_t>(2 * mc + 1));
+  for (std::int32_t c = -mc; c <= mc; ++c) {
+    encode_lut_[static_cast<std::size_t>(c + mc)] = driver_.encode(quant_.decode(c));
+  }
+}
+
+double PhotonicDotEngine::encode(double r) const {
+  const std::int32_t code = quant_.encode(math::clamp_unit(r));
+  return encode_lut_[static_cast<std::size_t>(code + quant_.max_code())];
+}
+
+double PhotonicDotEngine::dot(std::span<const double> x, std::span<const double> y,
+                              EventCounter* ev) const {
+  PDAC_REQUIRE(x.size() == y.size(), "PhotonicDotEngine: operand length mismatch");
+  const std::size_t n = x.size();
+  const std::size_t nl = cfg_.wavelengths;
+
+  double acc = 0.0;
+  std::size_t chunks = 0;
+  for (std::size_t base = 0; base < n; base += nl, ++chunks) {
+    const std::size_t len = std::min(nl, n - base);
+    if (cfg_.use_full_optics) {
+      photonics::DualRail rails{photonics::WdmField(len), photonics::WdmField(len)};
+      for (std::size_t i = 0; i < len; ++i) {
+        rails.upper.set_amplitude(i, photonics::Complex{encode(x[base + i]), 0.0});
+        rails.lower.set_amplitude(i, photonics::Complex{encode(y[base + i]), 0.0});
+      }
+      acc += ddot_.compute(rails).value();
+    } else {
+      for (std::size_t i = 0; i < len; ++i) {
+        acc += encode(x[base + i]) * encode(y[base + i]);
+      }
+    }
+    if (ev != nullptr) {
+      ev->modulation_events += 2 * len;
+      ev->detection_events += 1;
+      ev->ddot_ops += 1;
+      ev->macs += len;
+    }
+  }
+
+  if (cfg_.adc_readout) {
+    const double fs =
+        cfg_.adc_full_scale > 0.0 ? cfg_.adc_full_scale : static_cast<double>(std::max<std::size_t>(n, 1));
+    converters::ElectricalAdcConfig ac;
+    ac.bits = cfg_.adc_bits;
+    ac.v_ref = fs;
+    const converters::ElectricalAdc adc(ac);
+    acc = adc.sample_to_voltage(acc);
+    if (ev != nullptr) ev->adc_events += 1;
+  }
+  if (ev != nullptr) ev->cycles += chunks;
+  return acc;
+}
+
+double PhotonicDotEngine::dot_noisy(std::span<const double> x, std::span<const double> y,
+                                    Rng& rng) const {
+  PDAC_REQUIRE(x.size() == y.size(), "PhotonicDotEngine: operand length mismatch");
+  const std::size_t n = x.size();
+  const std::size_t nl = cfg_.wavelengths;
+  double acc = 0.0;
+  for (std::size_t base = 0; base < n; base += nl) {
+    const std::size_t len = std::min(nl, n - base);
+    photonics::DualRail rails{photonics::WdmField(len), photonics::WdmField(len)};
+    for (std::size_t i = 0; i < len; ++i) {
+      rails.upper.set_amplitude(i, photonics::Complex{encode(x[base + i]), 0.0});
+      rails.lower.set_amplitude(i, photonics::Complex{encode(y[base + i]), 0.0});
+    }
+    acc += ddot_.compute_noisy(rails, rng).value();
+  }
+  return acc;
+}
+
+}  // namespace pdac::ptc

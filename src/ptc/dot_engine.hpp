@@ -1,0 +1,67 @@
+// dot_engine.hpp — one photonic dot-product lane: modulator drivers on
+// both operand rails, WDM chunking, DDot detection, optional ADC readout.
+//
+// Two execution paths compute identical results (a property test pins
+// them together):
+//   * full-optics: build WdmField rails, run the Ddot device — the
+//     physically faithful path;
+//   * fast: use the driver's encoded amplitudes directly and accumulate
+//     Σ x′_i·y′_i — valid because the DDot datapath is exact (Eq. 6),
+//     so the only deviations from math come from the *encoders*.
+// The fast path makes layer-scale experiments tractable; encode results
+// are memoized per quantized code (the driver is deterministic).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "converters/electrical_adc.hpp"
+#include "core/modulator_driver.hpp"
+#include "ptc/ddot.hpp"
+#include "ptc/event_counter.hpp"
+
+namespace pdac::ptc {
+
+struct DotEngineConfig {
+  std::size_t wavelengths{8};  ///< WDM channels per DDot operation
+  bool use_full_optics{false}; ///< run every chunk through the Ddot device
+  bool adc_readout{false};     ///< digitize the accumulated result
+  int adc_bits{8};
+  double adc_full_scale{0.0};  ///< 0 = auto (vector length)
+  /// Photodetector noise for dot_noisy() (ignored by the deterministic
+  /// dot() path).
+  photonics::NoiseConfig pd_noise{};
+};
+
+class PhotonicDotEngine {
+ public:
+  /// The driver must outlive the engine (it is the modulator bank).
+  PhotonicDotEngine(const core::ModulatorDriver& driver, DotEngineConfig cfg);
+
+  /// Inner product of normalized operands (|x_i|, |y_i| ≤ 1).  Events are
+  /// accumulated into `ev` when non-null.
+  [[nodiscard]] double dot(std::span<const double> x, std::span<const double> y,
+                           EventCounter* ev = nullptr) const;
+
+  /// Same product through the full optical path with the configured
+  /// photodetector noise drawn from `rng` — the functional companion of
+  /// the SNR analysis (noise_analysis.hpp).
+  [[nodiscard]] double dot_noisy(std::span<const double> x, std::span<const double> y,
+                                 Rng& rng) const;
+
+  /// Encoded amplitude for a normalized value (memoized driver output).
+  [[nodiscard]] double encode(double r) const;
+
+  [[nodiscard]] const DotEngineConfig& config() const { return cfg_; }
+  [[nodiscard]] const core::ModulatorDriver& driver() const { return driver_; }
+
+ private:
+  const core::ModulatorDriver& driver_;
+  DotEngineConfig cfg_;
+  Ddot ddot_;
+  converters::Quantizer quant_;
+  std::vector<double> encode_lut_;  ///< index = code + max_code
+};
+
+}  // namespace pdac::ptc

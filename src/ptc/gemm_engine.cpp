@@ -1,0 +1,63 @@
+#include "ptc/gemm_engine.hpp"
+
+#include <algorithm>
+
+#include "common/require.hpp"
+#include "converters/quantizer.hpp"
+
+namespace pdac::ptc {
+
+PhotonicGemm::PhotonicGemm(const core::ModulatorDriver& driver, GemmConfig cfg)
+    : cfg_(cfg), engine_(driver, cfg.dot) {
+  PDAC_REQUIRE(cfg_.array_rows >= 1 && cfg_.array_cols >= 1,
+               "PhotonicGemm: array dimensions must be positive");
+}
+
+GemmResult PhotonicGemm::multiply(const Matrix& a, const Matrix& b) const {
+  PDAC_REQUIRE(a.cols() == b.rows(), "PhotonicGemm: inner dimensions must agree");
+  const double a_scale = converters::max_abs_scale(a.data());
+  const double b_scale = converters::max_abs_scale(b.data());
+
+  // Normalize operands into the modulators' (−1, 1) domain.
+  Matrix an(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.size(); ++i) an.data()[i] = a.data()[i] / a_scale;
+  // Keep B column-major-friendly by transposing once.
+  Matrix bt = b.transposed();
+  for (auto& v : bt.data()) v /= b_scale;
+
+  GemmResult res;
+  res.a_scale = a_scale;
+  res.b_scale = b_scale;
+  res.c = Matrix(a.rows(), b.cols());
+  const double rescale = a_scale * b_scale;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      res.c(i, j) = engine_.dot(an.row(i), bt.row(j)) * rescale;
+    }
+  }
+  res.events = count_events(a.rows(), a.cols(), b.cols());
+  return res;
+}
+
+EventCounter PhotonicGemm::count_events(std::size_t m, std::size_t k, std::size_t n) const {
+  EventCounter ev;
+  const std::size_t nl = cfg_.dot.wavelengths;
+  const std::size_t chunks = (k + nl - 1) / nl;
+  for (std::size_t i0 = 0; i0 < m; i0 += cfg_.array_rows) {
+    const std::size_t h = std::min(cfg_.array_rows, m - i0);
+    for (std::size_t j0 = 0; j0 < n; j0 += cfg_.array_cols) {
+      const std::size_t w = std::min(cfg_.array_cols, n - j0);
+      // One tile step: h A-rows and w B-columns are modulated once each
+      // and broadcast across the tile; every DDot reduces k elements.
+      ev.modulation_events += (h + w) * k;
+      ev.ddot_ops += h * w * chunks;
+      ev.detection_events += h * w * chunks;
+      ev.macs += h * w * k;
+      ev.adc_events += h * w;
+      ev.cycles += chunks;
+    }
+  }
+  return ev;
+}
+
+}  // namespace pdac::ptc

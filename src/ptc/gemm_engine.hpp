@@ -1,0 +1,55 @@
+// gemm_engine.hpp — blocked matrix multiplication on the photonic core.
+//
+// C = A·B with both operands max-abs-scaled into [−1, 1], quantized to
+// the driver's bit width, encoded by the modulators (DAC or P-DAC) and
+// reduced through DDot units.
+//
+// Event accounting models Lightening-Transformer's dynamically-operated
+// 2-D DPTC array: an H×W tile of DDots consumes H A-rows broadcast along
+// one axis and W B-columns along the other, so a tile step costs
+// (H + W)·k modulations while performing H·W·k MACs — the operand-sharing
+// that makes large arrays efficient.  Numerics are tiling-invariant, so
+// the functional product and the event counts are computed separately
+// but from the same configuration.
+#pragma once
+
+#include "common/matrix.hpp"
+#include "ptc/dot_engine.hpp"
+#include "ptc/event_counter.hpp"
+
+namespace pdac::ptc {
+
+struct GemmConfig {
+  DotEngineConfig dot{};
+  std::size_t array_rows{8};  ///< H: DDot rows sharing B-side operands
+  std::size_t array_cols{8};  ///< W: DDot columns sharing A-side operands
+};
+
+struct GemmResult {
+  Matrix c;
+  EventCounter events;
+  double a_scale{1.0};
+  double b_scale{1.0};
+};
+
+class PhotonicGemm {
+ public:
+  PhotonicGemm(const core::ModulatorDriver& driver, GemmConfig cfg);
+
+  /// Full photonic product: quantize, encode, DDot-reduce, rescale.
+  [[nodiscard]] GemmResult multiply(const Matrix& a, const Matrix& b) const;
+
+  /// Event counts for an (m×k)·(k×n) product on the configured array,
+  /// without running numerics — the workload tracer uses this for
+  /// full-size model shapes.
+  [[nodiscard]] EventCounter count_events(std::size_t m, std::size_t k, std::size_t n) const;
+
+  [[nodiscard]] const GemmConfig& config() const { return cfg_; }
+  [[nodiscard]] const PhotonicDotEngine& engine() const { return engine_; }
+
+ private:
+  GemmConfig cfg_;
+  PhotonicDotEngine engine_;
+};
+
+}  // namespace pdac::ptc

@@ -1,0 +1,52 @@
+// noise_analysis.hpp — detection SNR and effective resolution (ENOB) of
+// the DDot readout under photodetector noise.
+//
+// The architecture model scales laser power with operand precision
+// (power_params.hpp); this module supplies the physics behind that knob:
+// for a given carrier amplitude (∝ √laser power per channel) and PD
+// noise processes, Monte-Carlo-measure the SNR of the balanced DDot
+// readout and convert it to effective bits, ENOB = (SNR_dB − 1.76)/6.02.
+// Scaling laws this makes visible:
+//   thermal-noise-limited: value noise ∝ 1/s² → +1 ENOB per laser-power
+//     doubling,
+//   shot-noise-limited:    value noise ∝ 1/s  → +1 ENOB per laser-power
+//     *quadrupling*.
+// The A8 bench compares these against the (milder) laser scaling the
+// paper's own Fig. 11 numbers imply.
+#pragma once
+
+#include <cstdint>
+
+#include "photonics/photodetector.hpp"
+
+namespace pdac::ptc {
+
+struct SnrConfig {
+  std::size_t wavelengths{8};
+  /// Field-amplitude scale applied to both operand rails; laser power per
+  /// channel scales as the square of this.
+  double amplitude_scale{1.0};
+  photonics::NoiseConfig noise{};
+  int trials{4000};
+  std::uint64_t seed{1};
+};
+
+struct SnrReport {
+  double signal_rms{};      ///< RMS of the noiseless dot-product values
+  double noise_rms{};       ///< RMS of (noisy − noiseless) readouts
+  double snr_db{};          ///< 20·log10(signal_rms / noise_rms)
+  double effective_bits{};  ///< ENOB
+};
+
+/// Monte-Carlo SNR of the DDot readout: random operand vectors in
+/// [−1, 1]^λ, fields scaled by `amplitude_scale`, detected with the
+/// configured noise, then normalized back to value units.
+SnrReport measure_ddot_snr(const SnrConfig& cfg);
+
+/// Smallest amplitude scale whose measured ENOB reaches `target_bits`
+/// (bisection over measure_ddot_snr; returns 0 if unreachable within
+/// `max_scale`).
+double required_amplitude_scale(double target_bits, const SnrConfig& base,
+                                double max_scale = 1024.0);
+
+}  // namespace pdac::ptc

@@ -1,0 +1,84 @@
+// Tests for the integrated Accelerator facade.
+#include <gtest/gtest.h>
+
+#include "arch/accelerator.hpp"
+#include "common/require.hpp"
+#include "nn/cnn_trace.hpp"
+#include "nn/decode_trace.hpp"
+#include "nn/model_config.hpp"
+
+namespace {
+
+using namespace pdac;
+using namespace pdac::arch;
+
+class AcceleratorTest : public ::testing::Test {
+ protected:
+  Accelerator acc{AcceleratorConfig{}};
+  nn::WorkloadTrace bert = nn::trace_forward(nn::bert_base(128));
+};
+
+TEST_F(AcceleratorTest, ReportAgreesWithUnderlyingModels) {
+  const InferenceReport rep = acc.run(bert);
+  const auto cfg = acc.config();
+  const auto direct = compare_energy(bert, cfg.organization, cfg.power, cfg.bits);
+  EXPECT_DOUBLE_EQ(rep.energy.total_saving(), direct.total_saving());
+  const auto sched = schedule_trace(bert, cfg.organization);
+  EXPECT_EQ(rep.schedule.makespan_cycles, sched.makespan_cycles);
+}
+
+TEST_F(AcceleratorTest, RuntimeIsMaxOfComputeAndMemory) {
+  const InferenceReport rep = acc.run(bert);
+  const auto cfg = acc.config();
+  const double rt = rep.runtime(cfg.organization).seconds();
+  EXPECT_GE(rt, rep.schedule.runtime(cfg.organization.clock).seconds() - 1e-15);
+  EXPECT_GE(rt, rep.roofline.hbm_time.seconds() - 1e-15);
+  EXPECT_GT(rep.throughput(cfg.organization), 0.0);
+  EXPECT_NEAR(rep.throughput(cfg.organization) * rt, 1.0, 1e-9);
+}
+
+TEST_F(AcceleratorTest, EffectiveSavingBelowIdealSaving) {
+  // Stalls burn equal static power in both variants, so the effective
+  // saving can only be ≤ the event-model saving.
+  const InferenceReport rep = acc.run(bert);
+  EXPECT_LE(rep.effective_saving(), rep.energy.total_saving() + 1e-12);
+  EXPECT_GT(rep.effective_saving(), 0.0);
+}
+
+TEST_F(AcceleratorTest, PowerMatchesComponentModel) {
+  const auto p = acc.power(SystemVariant::kPdacBased);
+  EXPECT_NEAR(p.total().watts(), 26.64, 0.05);
+}
+
+TEST_F(AcceleratorTest, WorksAcrossWorkloadFamilies) {
+  for (const auto& trace :
+       {nn::trace_forward(nn::deit_base()), nn::trace_decode_step(nn::bert_base(128), 256),
+        nn::trace_cnn_forward(nn::tiny_cnn(16))}) {
+    const InferenceReport rep = acc.run(trace);
+    EXPECT_GT(rep.energy.baseline.total().total().joules(), 0.0);
+    EXPECT_GT(rep.schedule.makespan_cycles, 0u);
+    EXPECT_GT(rep.traffic.hbm_bytes, 0u);
+  }
+}
+
+TEST_F(AcceleratorTest, BitsForwardedEverywhere) {
+  AcceleratorConfig cfg;
+  cfg.bits = 4;
+  const Accelerator acc4(cfg);
+  const auto rep4 = acc4.run(bert);
+  const auto rep8 = acc.run(bert);
+  // 4-bit traffic is half of 8-bit.
+  EXPECT_EQ(rep8.traffic.hbm_bytes, 2 * rep4.traffic.hbm_bytes);
+  EXPECT_LT(rep4.energy.total_saving(), rep8.energy.total_saving());
+}
+
+TEST_F(AcceleratorTest, RejectsBadConfig) {
+  AcceleratorConfig bad;
+  bad.bits = 1;
+  EXPECT_THROW(Accelerator{bad}, PreconditionError);
+  bad = AcceleratorConfig{};
+  bad.organization.clusters = 0;
+  EXPECT_THROW(Accelerator{bad}, PreconditionError);
+}
+
+}  // namespace

@@ -1,0 +1,166 @@
+// Calibration tests: the architecture power model must reproduce every
+// number the paper reports in Fig. 5 and Fig. 11 (see DESIGN.md §5).
+#include <gtest/gtest.h>
+
+#include "arch/component_power.hpp"
+#include "arch/lt_config.hpp"
+#include "arch/power_params.hpp"
+#include "common/require.hpp"
+
+namespace {
+
+using namespace pdac;
+using namespace pdac::arch;
+
+class ArchPower : public ::testing::Test {
+ protected:
+  LtConfig cfg = lt_base();
+  PowerParams params = lt_power_params();
+};
+
+TEST_F(ArchPower, LtBaseUnitCounts) {
+  EXPECT_EQ(cfg.arrays(), 16u);
+  EXPECT_EQ(cfg.ddots(), 1024u);
+  EXPECT_EQ(cfg.modulator_channels(), 2048u);
+  EXPECT_EQ(cfg.adc_channels(), 128u);
+  EXPECT_EQ(cfg.macs_per_cycle(), 8192u);
+}
+
+TEST_F(ArchPower, Fig5DacShare4Bit) {
+  const auto b = compute_power_breakdown(cfg, params, 4, SystemVariant::kDacBased);
+  EXPECT_NEAR(b.share(Component::kDac), 0.218, 0.002);
+}
+
+TEST_F(ArchPower, Fig5DacShare8Bit) {
+  const auto b = compute_power_breakdown(cfg, params, 8, SystemVariant::kDacBased);
+  EXPECT_NEAR(b.share(Component::kDac), 0.505, 0.002);
+}
+
+TEST_F(ArchPower, Fig11PdacSystemTotals) {
+  const auto p4 = compute_power_breakdown(cfg, params, 4, SystemVariant::kPdacBased);
+  const auto p8 = compute_power_breakdown(cfg, params, 8, SystemVariant::kPdacBased);
+  EXPECT_NEAR(p4.total().watts(), 11.81, 0.03);  // paper: 11.81 W
+  EXPECT_NEAR(p8.total().watts(), 26.64, 0.05);  // paper: 26.64 W
+}
+
+TEST_F(ArchPower, Fig11PowerSavings) {
+  for (const auto& [bits, expect] : {std::pair{4, 0.199}, std::pair{8, 0.477}}) {
+    const auto base = compute_power_breakdown(cfg, params, bits, SystemVariant::kDacBased);
+    const auto prop = compute_power_breakdown(cfg, params, bits, SystemVariant::kPdacBased);
+    EXPECT_NEAR(1.0 - prop.total() / base.total(), expect, 0.003) << bits << "-bit";
+  }
+}
+
+TEST_F(ArchPower, Fig11ComponentShares) {
+  const auto p4 = compute_power_breakdown(cfg, params, 4, SystemVariant::kPdacBased);
+  const auto p8 = compute_power_breakdown(cfg, params, 8, SystemVariant::kPdacBased);
+  EXPECT_NEAR(p4.share(Component::kAdc), 0.180, 0.003);
+  EXPECT_NEAR(p8.share(Component::kAdc), 0.160, 0.003);
+  EXPECT_NEAR(p8.share(Component::kPdac), 0.201, 0.003);
+  EXPECT_NEAR(p4.share(Component::kLaser), 0.465, 0.003);
+}
+
+TEST_F(ArchPower, LaserDominates8BitPdacSystem) {
+  // Paper: "the majority of the energy consumption remains constrained
+  // by the laser" in the 8-bit P-DAC system.
+  const auto p8 = compute_power_breakdown(cfg, params, 8, SystemVariant::kPdacBased);
+  for (const auto& part : p8.parts) {
+    if (part.component == Component::kLaser) continue;
+    EXPECT_LT(part.power.watts(), p8.power(Component::kLaser).watts())
+        << to_string(part.component);
+  }
+}
+
+TEST_F(ArchPower, PdacVariantHasNoDacOrController) {
+  const auto p = compute_power_breakdown(cfg, params, 8, SystemVariant::kPdacBased);
+  EXPECT_DOUBLE_EQ(p.power(Component::kDac).watts(), 0.0);
+  EXPECT_DOUBLE_EQ(p.power(Component::kController).watts(), 0.0);
+  EXPECT_GT(p.power(Component::kPdac).watts(), 0.0);
+}
+
+TEST_F(ArchPower, DacVariantHasNoPdac) {
+  const auto p = compute_power_breakdown(cfg, params, 8, SystemVariant::kDacBased);
+  EXPECT_DOUBLE_EQ(p.power(Component::kPdac).watts(), 0.0);
+  EXPECT_GT(p.power(Component::kController).watts(), 0.0);
+}
+
+TEST_F(ArchPower, SharedComponentsIdenticalAcrossVariants) {
+  // The P-DAC only replaces the modulator drive chain.
+  for (int bits : {4, 8}) {
+    const auto base = compute_power_breakdown(cfg, params, bits, SystemVariant::kDacBased);
+    const auto prop = compute_power_breakdown(cfg, params, bits, SystemVariant::kPdacBased);
+    for (Component c : {Component::kLaser, Component::kAdc, Component::kThermal,
+                        Component::kReceiverDigital}) {
+      EXPECT_DOUBLE_EQ(base.power(c).watts(), prop.power(c).watts()) << to_string(c);
+    }
+  }
+}
+
+TEST_F(ArchPower, DacPowerRatioIs8x) {
+  EXPECT_NEAR(dac_unit_power(params, 8) / dac_unit_power(params, 4), 8.0, 1e-9);
+}
+
+TEST_F(ArchPower, AdcPowerRatioIs2x) {
+  EXPECT_NEAR(adc_unit_power(params, 8) / adc_unit_power(params, 4), 2.0, 1e-9);
+}
+
+TEST_F(ArchPower, ControllerPowerCalibration) {
+  EXPECT_NEAR(controller_power(params, 4).watts(), 1.20, 0.01);
+  EXPECT_NEAR(controller_power(params, 8).watts(), 3.93, 0.01);
+}
+
+TEST_F(ArchPower, LaserScalingCalibration) {
+  EXPECT_NEAR(laser_power(params, 4).watts(), 5.492, 0.001);
+  EXPECT_NEAR(laser_power(params, 8).watts(), 12.80, 0.05);
+}
+
+TEST_F(ArchPower, SavingGrowsWithPrecisionUpTo10Bits) {
+  double prev = 0.0;
+  for (int bits = 3; bits <= 10; ++bits) {
+    const auto base = compute_power_breakdown(cfg, params, bits, SystemVariant::kDacBased);
+    const auto prop = compute_power_breakdown(cfg, params, bits, SystemVariant::kPdacBased);
+    const double saving = 1.0 - prop.total() / base.total();
+    EXPECT_GT(saving, prev) << bits << "-bit";
+    prev = saving;
+  }
+}
+
+TEST_F(ArchPower, SavingPeaksAtVeryHighPrecision) {
+  // Beyond ~11 bits the P-DAC's own binary-weighted TIA term (∝ 2^b − 1)
+  // turns exponential and the relative advantage starts to recede — a
+  // design limit the paper's 4/8-bit evaluation never reaches.
+  auto saving = [&](int bits) {
+    const auto base = compute_power_breakdown(cfg, params, bits, SystemVariant::kDacBased);
+    const auto prop = compute_power_breakdown(cfg, params, bits, SystemVariant::kPdacBased);
+    return 1.0 - prop.total() / base.total();
+  };
+  EXPECT_GT(saving(11), saving(12));
+  EXPECT_GT(saving(12), 0.5);  // still a large win
+}
+
+TEST_F(ArchPower, BreakdownSharesSumToOne) {
+  for (int bits : {4, 8}) {
+    for (auto variant : {SystemVariant::kDacBased, SystemVariant::kPdacBased}) {
+      const auto b = compute_power_breakdown(cfg, params, bits, variant);
+      double sum = 0.0;
+      for (const auto& part : b.parts) sum += b.share(part.component);
+      EXPECT_NEAR(sum, 1.0, 1e-12);
+    }
+  }
+}
+
+TEST_F(ArchPower, RejectsBadBitWidths) {
+  EXPECT_THROW(compute_power_breakdown(cfg, params, 1, SystemVariant::kDacBased),
+               PreconditionError);
+  EXPECT_THROW(compute_power_breakdown(cfg, params, 17, SystemVariant::kPdacBased),
+               PreconditionError);
+}
+
+TEST_F(ArchPower, ComponentNames) {
+  EXPECT_EQ(to_string(Component::kLaser), "laser");
+  EXPECT_EQ(to_string(Component::kPdac), "P-DAC");
+  EXPECT_EQ(to_string(SystemVariant::kDacBased), "DAC-based");
+  EXPECT_EQ(to_string(SystemVariant::kPdacBased), "P-DAC-based");
+}
+
+}  // namespace

@@ -1,0 +1,63 @@
+// Tests for the Eq. 17 breakpoint search ("running the program to find
+// the optimal k value" — paper §III-C).
+#include <gtest/gtest.h>
+
+#include "common/require.hpp"
+#include "core/breakpoint_optimizer.hpp"
+
+namespace {
+
+using namespace pdac::core;
+
+TEST(BreakpointOptimizer, FindsPaperK) {
+  const BreakpointOptimizer opt;
+  const auto r = opt.optimize();
+  EXPECT_NEAR(r.k_star, 0.7236, 5e-4);
+}
+
+TEST(BreakpointOptimizer, OptimumHasPaperMaxError) {
+  const BreakpointOptimizer opt;
+  const auto r = opt.optimize();
+  EXPECT_NEAR(r.max_decode_error, 0.085, 0.002);
+}
+
+TEST(BreakpointOptimizer, ObjectiveIsLowerAtOptimumThanNeighbors) {
+  const BreakpointOptimizer opt;
+  const auto r = opt.optimize();
+  EXPECT_LT(r.objective, opt.objective(r.k_star - 0.05));
+  EXPECT_LT(r.objective, opt.objective(r.k_star + 0.05));
+  EXPECT_LT(r.objective, opt.objective(0.3));
+  EXPECT_LT(r.objective, opt.objective(0.95));
+}
+
+TEST(BreakpointOptimizer, SweepIsOrderedAndConsistent) {
+  const BreakpointOptimizer opt;
+  const auto sweep = opt.sweep(0.4, 0.9, 11);
+  ASSERT_EQ(sweep.size(), 11u);
+  for (std::size_t i = 1; i < sweep.size(); ++i) EXPECT_GT(sweep[i].k, sweep[i - 1].k);
+  for (const auto& s : sweep) {
+    EXPECT_NEAR(s.objective, opt.objective(s.k), 1e-12);
+    EXPECT_GT(s.max_decode_error, 0.0);
+  }
+}
+
+TEST(BreakpointOptimizer, SearchStaysInsideRequestedRange) {
+  const BreakpointOptimizer opt;
+  const auto r = opt.optimize(0.8, 0.95);
+  EXPECT_GE(r.k_star, 0.8);
+  EXPECT_LE(r.k_star, 0.95);
+}
+
+TEST(BreakpointOptimizer, RejectsBadRange) {
+  const BreakpointOptimizer opt;
+  EXPECT_THROW(opt.optimize(0.9, 0.1), pdac::PreconditionError);
+  EXPECT_THROW(opt.optimize(0.0, 0.5), pdac::PreconditionError);
+}
+
+TEST(BreakpointOptimizer, CountsEvaluations) {
+  const BreakpointOptimizer opt;
+  const auto r = opt.optimize();
+  EXPECT_GT(r.evaluations, 100);  // dense scan plus refinement
+}
+
+}  // namespace

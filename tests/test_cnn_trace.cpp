@@ -1,0 +1,113 @@
+// Tests for the CNN (im2col) workload tracer.
+#include <gtest/gtest.h>
+
+#include "arch/energy_model.hpp"
+#include "common/require.hpp"
+#include "nn/cnn_trace.hpp"
+#include "nn/model_config.hpp"
+
+namespace {
+
+using namespace pdac;
+using namespace pdac::nn;
+
+TEST(ConvLayer, OutputSizeFormula) {
+  ConvLayer l{"c", 3, 64, 3, 1, 1};
+  EXPECT_EQ(l.out_size(224), 224u);  // same-padding 3×3 stride 1
+  l.stride = 2;
+  EXPECT_EQ(l.out_size(224), 112u);
+  l.kernel = 7;
+  l.padding = 3;
+  l.stride = 2;
+  EXPECT_EQ(l.out_size(224), 112u);
+}
+
+TEST(CnnTrace, Im2colDimensions) {
+  const auto cfg = tiny_cnn(16);
+  const auto t = trace_cnn_forward(cfg);
+  ASSERT_GE(t.gemms.size(), 3u);
+  // conv1: 3→8 on 16²: m=256, k=3·9=27, n=8.
+  EXPECT_EQ(t.gemms[0].m, 256u);
+  EXPECT_EQ(t.gemms[0].k, 27u);
+  EXPECT_EQ(t.gemms[0].n, 8u);
+  EXPECT_EQ(t.gemms[0].op_class, OpClass::kConv);
+  EXPECT_TRUE(t.gemms[0].static_weights);
+}
+
+TEST(CnnTrace, PoolingHalvesSpatialSize) {
+  const auto cfg = tiny_cnn(16);
+  const auto t = trace_cnn_forward(cfg);
+  // conv2 runs at 16² (pool after conv2), fc input is 16·8·8.
+  EXPECT_EQ(t.gemms[1].m, 256u);
+  EXPECT_EQ(t.gemms[2].k, 16u * 8u * 8u);
+  EXPECT_EQ(t.gemms[2].op_class, OpClass::kFfn);
+}
+
+TEST(CnnTrace, Vgg11MacCountIsImageNetScale) {
+  const auto cfg = vgg11_like();
+  const double gmacs = static_cast<double>(cfg.total_macs()) / 1e9;
+  // VGG-11 is ~7.6 GMACs; our -like variant must be the same order.
+  EXPECT_GT(gmacs, 4.0);
+  EXPECT_LT(gmacs, 12.0);
+}
+
+TEST(CnnTrace, ChannelMismatchRejected) {
+  CnnConfig bad;
+  bad.convs = {{"c1", 3, 8}, {"c2", 16, 8}};  // 8 != 16
+  EXPECT_THROW(trace_cnn_forward(bad), PreconditionError);
+}
+
+TEST(CnnTrace, EmptyNetworkRejected) {
+  EXPECT_THROW(trace_cnn_forward(CnnConfig{}), PreconditionError);
+}
+
+TEST(CnnTrace, ConvLayersReuseWeightsFarMoreThanTransformer) {
+  // Filter reuse applies to the *conv* layers; the VGG FC head is the
+  // opposite extreme (each weight used once, like decode GEMVs).
+  const auto cnn = trace_cnn_forward(vgg11_like());
+  const auto bert = trace_forward(bert_base(128));
+  auto class_reuse = [](const WorkloadTrace& t, OpClass cls) {
+    std::size_t w = 0, macs = 0;
+    for (const auto& g : t.gemms) {
+      if (g.op_class != cls) continue;
+      w += g.weight_elements();
+      macs += g.macs();
+    }
+    return static_cast<double>(macs) / static_cast<double>(std::max<std::size_t>(w, 1));
+  };
+  const double conv_reuse = class_reuse(cnn, OpClass::kConv);
+  const double bert_static_reuse = class_reuse(bert, OpClass::kFfn);
+  EXPECT_GT(conv_reuse, 4.0 * bert_static_reuse);
+  // …while the FC head reuses each weight exactly once.
+  EXPECT_NEAR(class_reuse(cnn, OpClass::kFfn), 1.0, 1e-9);
+}
+
+TEST(CnnTrace, EnergyModelBucketsConvSeparately) {
+  const auto t = trace_cnn_forward(tiny_cnn(16));
+  const auto cfg = arch::lt_base();
+  const auto params = arch::lt_power_params();
+  const auto we = arch::evaluate_energy(t, cfg, params, 8, arch::SystemVariant::kDacBased);
+  EXPECT_GT(we.conv.total().joules(), 0.0);
+  EXPECT_GT(we.ffn.total().joules(), 0.0);   // the fc head
+  EXPECT_DOUBLE_EQ(we.attention.total().joules(), 0.0);
+  EXPECT_DOUBLE_EQ(we.of(OpClass::kConv).total().joules(), we.conv.total().joules());
+}
+
+TEST(CnnTrace, ConvClassSavingApproachesComputeBoundCeiling) {
+  const auto t = trace_cnn_forward(vgg11_like());
+  const auto cfg = arch::lt_base();
+  const auto params = arch::lt_power_params();
+  const auto cmp = arch::compare_energy(t, cfg, params, 8);
+  // Dense filter reuse → the conv class is conversion-dominated and
+  // lands near Fig. 11's regime, while the single-use-weight FC head is
+  // movement-dominated and dilutes the network total.
+  EXPECT_GT(cmp.saving(OpClass::kConv), 0.35);
+  EXPECT_GT(cmp.saving(OpClass::kConv), 3.0 * cmp.saving(OpClass::kFfn));
+  EXPECT_GT(cmp.total_saving(), 0.15);
+}
+
+TEST(CnnTrace, OpClassToStringCoversConv) {
+  EXPECT_EQ(to_string(OpClass::kConv), "conv");
+}
+
+}  // namespace

@@ -1,0 +1,82 @@
+// Tests for the WDM crosstalk analysis.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/require.hpp"
+#include "photonics/crosstalk.hpp"
+
+namespace {
+
+using namespace pdac;
+using namespace pdac::photonics;
+
+WdmBusConfig cfg_of(std::size_t channels, double hwhm) {
+  WdmBusConfig cfg;
+  cfg.channels = channels;
+  cfg.ring_hwhm_channels = hwhm;
+  return cfg;
+}
+
+TEST(Crosstalk, DiagonalDominantForSharpRings) {
+  const auto rep = analyze_crosstalk(cfg_of(8, 0.02));
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_GT(rep.matrix(i, i), 0.95) << "receiver " << i;
+    for (std::size_t j = 0; j < 8; ++j) {
+      if (i != j) {
+        EXPECT_LT(rep.matrix(i, j), 0.01);
+      }
+    }
+  }
+}
+
+TEST(Crosstalk, MatrixColumnsConservePower) {
+  // All of a channel's light ends up in some drop port or the residual;
+  // drop-port sums can never exceed unity.
+  const auto rep = analyze_crosstalk(cfg_of(6, 0.1));
+  for (std::size_t j = 0; j < 6; ++j) {
+    double col = 0.0;
+    for (std::size_t i = 0; i < 6; ++i) col += rep.matrix(i, j);
+    EXPECT_LE(col, 1.0 + 1e-9) << "channel " << j;
+    EXPECT_GT(col, 0.5) << "channel " << j;
+  }
+}
+
+TEST(Crosstalk, BroaderRingsLeakMore) {
+  const auto sharp = analyze_crosstalk(cfg_of(8, 0.02));
+  const auto broad = analyze_crosstalk(cfg_of(8, 0.2));
+  EXPECT_GT(broad.worst_pair_ratio, sharp.worst_pair_ratio);
+  EXPECT_LT(broad.worst_isolation_db, sharp.worst_isolation_db);
+  EXPECT_GT(broad.worst_aggregate_ratio, sharp.worst_aggregate_ratio);
+}
+
+TEST(Crosstalk, AggregateGrowsWithChannelCount) {
+  const auto few = analyze_crosstalk(cfg_of(4, 0.05));
+  const auto many = analyze_crosstalk(cfg_of(32, 0.05));
+  EXPECT_GT(many.worst_aggregate_ratio, few.worst_aggregate_ratio);
+}
+
+TEST(Crosstalk, EffectiveBitsTrackAggregate) {
+  const auto sharp = analyze_crosstalk(cfg_of(8, 0.01));
+  const auto broad = analyze_crosstalk(cfg_of(8, 0.3));
+  EXPECT_GT(sharp.crosstalk_limited_bits(), broad.crosstalk_limited_bits());
+  EXPECT_GT(sharp.crosstalk_limited_bits(), 8.0);  // LT-B's 8λ at high Q is fine
+}
+
+TEST(Crosstalk, MaxChannelsMonotoneInSelectivity) {
+  const std::size_t sharp = max_channels_for_isolation(20.0, 0.02, 48);
+  const std::size_t broad = max_channels_for_isolation(20.0, 0.15, 48);
+  EXPECT_GE(sharp, broad);
+  EXPECT_GT(sharp, 0u);
+}
+
+TEST(Crosstalk, MaxChannelsZeroWhenHopeless) {
+  EXPECT_EQ(max_channels_for_isolation(40.0, 0.45, 16), 0u);
+}
+
+TEST(Crosstalk, RejectsBadArguments) {
+  EXPECT_THROW(max_channels_for_isolation(0.0, 0.05), PreconditionError);
+  EXPECT_THROW(max_channels_for_isolation(20.0, 0.05, 1), PreconditionError);
+}
+
+}  // namespace

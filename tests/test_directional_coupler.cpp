@@ -1,0 +1,91 @@
+// Unit and property tests for the 2×2 directional coupler (paper Eq. 5).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/require.hpp"
+#include "common/rng.hpp"
+#include "photonics/directional_coupler.hpp"
+
+namespace {
+
+using namespace pdac;
+using namespace pdac::photonics;
+
+TEST(DirectionalCoupler, FullTransmissionIsPassThrough) {
+  const DirectionalCoupler dc(1.0);
+  const auto [u, l] = dc.couple(Complex{0.6, 0.0}, Complex{0.0, 0.3});
+  EXPECT_NEAR(u.real(), 0.6, 1e-15);
+  EXPECT_NEAR(l.imag(), 0.3, 1e-15);
+}
+
+TEST(DirectionalCoupler, ZeroTransmissionCrossCouplesWithJ) {
+  const DirectionalCoupler dc(0.0);
+  const auto [u, l] = dc.couple(Complex{1.0, 0.0}, Complex{0.0, 0.0});
+  // Upper input fully crosses to lower with a j factor.
+  EXPECT_NEAR(std::abs(u), 0.0, 1e-15);
+  EXPECT_NEAR(l.real(), 0.0, 1e-15);
+  EXPECT_NEAR(l.imag(), 1.0, 1e-15);
+}
+
+TEST(DirectionalCoupler, FiftyFiftySplitsEvenly) {
+  const auto dc = DirectionalCoupler::fifty_fifty();
+  const auto [u, l] = dc.couple(Complex{1.0, 0.0}, Complex{0.0, 0.0});
+  EXPECT_NEAR(std::norm(u), 0.5, 1e-12);
+  EXPECT_NEAR(std::norm(l), 0.5, 1e-12);
+}
+
+TEST(DirectionalCoupler, DDotInputStage) {
+  // The DDot algebra: inputs (x, −j·y) → ((x+y)/√2, j(x−y)/√2).
+  const auto dc = DirectionalCoupler::fifty_fifty();
+  const double x = 0.8, y = -0.35;
+  const auto [u, l] = dc.couple(Complex{x, 0.0}, Complex{0.0, -y});
+  EXPECT_NEAR(u.real(), (x + y) / std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(u.imag(), 0.0, 1e-12);
+  EXPECT_NEAR(l.real(), 0.0, 1e-12);
+  EXPECT_NEAR(l.imag(), (x - y) / std::sqrt(2.0), 1e-12);
+}
+
+TEST(DirectionalCoupler, RejectsOutOfRangeTransmission) {
+  EXPECT_THROW(DirectionalCoupler(-0.1), PreconditionError);
+  EXPECT_THROW(DirectionalCoupler(1.1), PreconditionError);
+}
+
+TEST(DirectionalCoupler, CouplesWdmChannelsIndependently) {
+  const auto dc = DirectionalCoupler::fifty_fifty();
+  DualRail rails{WdmField(2), WdmField(2)};
+  rails.upper.set_amplitude(0, Complex{1.0, 0.0});
+  rails.lower.set_amplitude(1, Complex{1.0, 0.0});
+  const DualRail out = dc.couple(rails);
+  // Channel 0 came from upper only; channel 1 from lower only.
+  EXPECT_NEAR(std::norm(out.upper.amplitude(0)), 0.5, 1e-12);
+  EXPECT_NEAR(std::norm(out.lower.amplitude(0)), 0.5, 1e-12);
+  EXPECT_NEAR(std::norm(out.upper.amplitude(1)), 0.5, 1e-12);
+  EXPECT_NEAR(std::norm(out.lower.amplitude(1)), 0.5, 1e-12);
+}
+
+// --- property: the Eq. 5 transfer matrix is unitary (energy conserving) ----
+class CouplerUnitarity : public ::testing::TestWithParam<double> {};
+
+TEST_P(CouplerUnitarity, EnergyIsConserved) {
+  const DirectionalCoupler dc(GetParam());
+  Rng rng(17);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Complex a{rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+    const Complex b{rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+    const auto [u, l] = dc.couple(a, b);
+    EXPECT_NEAR(std::norm(u) + std::norm(l), std::norm(a) + std::norm(b), 1e-12);
+  }
+}
+
+TEST_P(CouplerUnitarity, TransmissionPlusCouplingIsUnit) {
+  const DirectionalCoupler dc(GetParam());
+  EXPECT_NEAR(dc.transmission() * dc.transmission() + dc.coupling() * dc.coupling(), 1.0,
+              1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(TransmissionSweep, CouplerUnitarity,
+                         ::testing::Values(0.0, 0.1, 0.25, 0.5, 0.70710678118654752, 0.9,
+                                           1.0));
+
+}  // namespace

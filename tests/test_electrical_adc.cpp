@@ -1,0 +1,80 @@
+// Unit tests for the electrical ADC (shared by both system variants).
+#include <gtest/gtest.h>
+
+#include "common/require.hpp"
+#include "converters/electrical_adc.hpp"
+
+namespace {
+
+using namespace pdac;
+using namespace pdac::converters;
+
+ElectricalAdcConfig cfg_bits(int bits, double v_ref = 1.0) {
+  ElectricalAdcConfig cfg;
+  cfg.bits = bits;
+  cfg.v_ref = v_ref;
+  return cfg;
+}
+
+TEST(ElectricalAdc, SamplesLinearly) {
+  const ElectricalAdc adc(cfg_bits(8));
+  EXPECT_EQ(adc.sample(0.0), 0);
+  EXPECT_EQ(adc.sample(1.0), 127);
+  EXPECT_EQ(adc.sample(-1.0), -127);
+  EXPECT_EQ(adc.sample(0.5), 64);  // round(63.5)
+}
+
+TEST(ElectricalAdc, ClampsBeyondFullScale) {
+  const ElectricalAdc adc(cfg_bits(8));
+  EXPECT_EQ(adc.sample(3.0), 127);
+  EXPECT_EQ(adc.sample(-3.0), -127);
+}
+
+TEST(ElectricalAdc, VrefSetsFullScale) {
+  const ElectricalAdc adc(cfg_bits(8, 4.0));
+  EXPECT_EQ(adc.sample(4.0), 127);
+  EXPECT_EQ(adc.sample(2.0), 64);
+}
+
+TEST(ElectricalAdc, RoundTripWithinHalfLsb) {
+  const ElectricalAdc adc(cfg_bits(8, 2.0));
+  const double lsb = 2.0 / 127.0;
+  for (double v = -2.0; v <= 2.0; v += 0.137) {
+    EXPECT_NEAR(adc.sample_to_voltage(v), v, 0.5 * lsb + 1e-12) << "v=" << v;
+  }
+}
+
+TEST(ElectricalAdc, PowerLinearInBits) {
+  const ElectricalAdc adc4(cfg_bits(4));
+  const ElectricalAdc adc8(cfg_bits(8));
+  EXPECT_NEAR(adc8.power() / adc4.power(), 2.0, 1e-12);
+}
+
+TEST(ElectricalAdc, CalibratedAbsolutePower) {
+  // DESIGN.md §5: per-ADC 16.6 mW at 4-bit, 33.2 mW at 8-bit.
+  EXPECT_NEAR(ElectricalAdc(cfg_bits(4)).power().milliwatts(), 16.6, 0.1);
+  EXPECT_NEAR(ElectricalAdc(cfg_bits(8)).power().milliwatts(), 33.2, 0.2);
+}
+
+TEST(ElectricalAdc, EnergyPerConversion) {
+  const ElectricalAdc adc(cfg_bits(8));
+  EXPECT_NEAR(adc.energy_per_conversion().picojoules(),
+              adc.power().watts() / 5e9 * 1e12, 1e-9);
+}
+
+TEST(ElectricalAdc, PowerScalesWithRate) {
+  ElectricalAdcConfig fast = cfg_bits(8);
+  fast.sample_rate = units::gigahertz(10.0);
+  EXPECT_NEAR(ElectricalAdc(fast).power() / ElectricalAdc(cfg_bits(8)).power(), 2.0, 1e-12);
+}
+
+TEST(ElectricalAdc, RejectsInvalidConfig) {
+  ElectricalAdcConfig bad = cfg_bits(8);
+  bad.v_ref = -1.0;
+  EXPECT_THROW(ElectricalAdc{bad}, PreconditionError);
+  bad = cfg_bits(8);
+  bad.power_per_bit_watts = 0.0;
+  EXPECT_THROW(ElectricalAdc{bad}, PreconditionError);
+}
+
+}  // namespace

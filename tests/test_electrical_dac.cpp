@@ -1,0 +1,96 @@
+// Unit tests for the electrical DAC model the P-DAC replaces.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/require.hpp"
+#include "converters/electrical_dac.hpp"
+
+namespace {
+
+using namespace pdac;
+using namespace pdac::converters;
+
+ElectricalDacConfig cfg_bits(int bits) {
+  ElectricalDacConfig cfg;
+  cfg.bits = bits;
+  return cfg;
+}
+
+TEST(ElectricalDac, LinearConversion) {
+  const ElectricalDac dac(cfg_bits(8));
+  EXPECT_DOUBLE_EQ(dac.convert(0), 0.0);
+  EXPECT_NEAR(dac.convert(127), 1.0, 1e-12);
+  EXPECT_NEAR(dac.convert(-127), -1.0, 1e-12);
+  EXPECT_NEAR(dac.convert(64), 64.0 / 127.0, 1e-12);
+}
+
+TEST(ElectricalDac, VrefScalesOutput) {
+  ElectricalDacConfig cfg = cfg_bits(8);
+  cfg.v_ref = 2.5;
+  const ElectricalDac dac(cfg);
+  EXPECT_NEAR(dac.convert(127), 2.5, 1e-12);
+}
+
+TEST(ElectricalDac, NormalizedConversionQuantizes) {
+  const ElectricalDac dac(cfg_bits(4));  // step 1/7
+  const double v = dac.convert_normalized(0.5);
+  // 0.5·7 = 3.5 → rounds to 4 → 4/7.
+  EXPECT_NEAR(v, 4.0 / 7.0, 1e-12);
+}
+
+TEST(ElectricalDac, PowerScalingLawMatchesPaperRatio) {
+  // The paper's implied 4-bit→8-bit DAC power ratio is 8.0×
+  // (P ∝ b·2^{b/2}: (8·16)/(4·4) = 8).
+  const ElectricalDac dac4(cfg_bits(4));
+  const ElectricalDac dac8(cfg_bits(8));
+  EXPECT_NEAR(dac8.power() / dac4.power(), 8.0, 1e-12);
+}
+
+TEST(ElectricalDac, PowerScalesLinearlyWithSampleRate) {
+  ElectricalDacConfig slow = cfg_bits(8);
+  slow.sample_rate = units::gigahertz(2.5);
+  const ElectricalDac half(slow);
+  const ElectricalDac full(cfg_bits(8));
+  EXPECT_NEAR(full.power() / half.power(), 2.0, 1e-12);
+}
+
+TEST(ElectricalDac, EnergyPerConversionIsPowerOverRate) {
+  const ElectricalDac dac(cfg_bits(8));
+  EXPECT_NEAR(dac.energy_per_conversion().joules(),
+              dac.power().watts() / dac.config().sample_rate.hertz(), 1e-20);
+}
+
+TEST(ElectricalDac, PowerMonotonicInBits) {
+  units::Power prev{};
+  for (int b = 2; b <= 12; ++b) {
+    const units::Power p = ElectricalDac::power_model(b, units::gigahertz(5.0), 98.07e-6,
+                                                      units::gigahertz(5.0));
+    EXPECT_GT(p.watts(), prev.watts()) << "bits " << b;
+    prev = p;
+  }
+}
+
+TEST(ElectricalDac, CalibratedAbsolutePower) {
+  // DESIGN.md §5: per-DAC 1.569 mW at 4-bit, 12.55 mW at 8-bit.
+  const ElectricalDac dac4(cfg_bits(4));
+  const ElectricalDac dac8(cfg_bits(8));
+  EXPECT_NEAR(dac4.power().milliwatts(), 1.569, 0.01);
+  EXPECT_NEAR(dac8.power().milliwatts(), 12.55, 0.05);
+}
+
+TEST(ElectricalDac, RejectsInvalidConfig) {
+  ElectricalDacConfig bad = cfg_bits(8);
+  bad.v_ref = 0.0;
+  EXPECT_THROW((void)ElectricalDac{bad}, PreconditionError);
+  bad = cfg_bits(8);
+  bad.power_kappa_watts = 0.0;
+  EXPECT_THROW((void)ElectricalDac{bad}, PreconditionError);
+}
+
+TEST(ElectricalDac, ConvertRejectsOutOfRangeCode) {
+  const ElectricalDac dac(cfg_bits(4));
+  EXPECT_THROW((void)dac.convert(8), PreconditionError);
+}
+
+}  // namespace

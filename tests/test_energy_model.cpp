@@ -1,0 +1,194 @@
+// Tests for the workload energy model (paper Figs. 9–10 reproduction).
+#include <gtest/gtest.h>
+
+#include "arch/energy_model.hpp"
+#include "common/require.hpp"
+#include "nn/model_config.hpp"
+#include "nn/workload_trace.hpp"
+
+namespace {
+
+using namespace pdac;
+using namespace pdac::arch;
+
+class EnergyModel : public ::testing::Test {
+ protected:
+  LtConfig cfg = lt_base();
+  PowerParams params = lt_power_params();
+  nn::WorkloadTrace bert = nn::trace_forward(nn::bert_base(128));
+  nn::WorkloadTrace deit = nn::trace_forward(nn::deit_base());
+};
+
+TEST_F(EnergyModel, Fig9BertHeadlineSavings) {
+  // Paper: −11.2 % @4-bit, −32.3 % @8-bit (we land within ~1.5 points).
+  EXPECT_NEAR(compare_energy(bert, cfg, params, 4).total_saving(), 0.112, 0.015);
+  EXPECT_NEAR(compare_energy(bert, cfg, params, 8).total_saving(), 0.323, 0.02);
+}
+
+TEST_F(EnergyModel, Fig10DeitHeadlineSavings) {
+  // Paper: −11.2 % @4-bit, −32.3 % @8-bit; our DeiT model runs slightly
+  // hotter on attention (longer sequence), so tolerances are wider.
+  EXPECT_NEAR(compare_energy(deit, cfg, params, 4).total_saving(), 0.112, 0.04);
+  EXPECT_NEAR(compare_energy(deit, cfg, params, 8).total_saving(), 0.323, 0.07);
+}
+
+TEST_F(EnergyModel, AttentionSavesMoreThanFfn) {
+  // The paper's qualitative result, both workloads, both precisions.
+  for (const auto* trace : {&bert, &deit}) {
+    for (int bits : {4, 8}) {
+      const auto cmp = compare_energy(*trace, cfg, params, bits);
+      EXPECT_GT(cmp.saving(nn::OpClass::kAttention), cmp.saving(nn::OpClass::kFfn))
+          << trace->config.name << " " << bits << "-bit";
+    }
+  }
+}
+
+TEST_F(EnergyModel, EightBitSavesMoreThanFourBit) {
+  for (const auto* trace : {&bert, &deit}) {
+    const auto cmp4 = compare_energy(*trace, cfg, params, 4);
+    const auto cmp8 = compare_energy(*trace, cfg, params, 8);
+    EXPECT_GT(cmp8.total_saving(), cmp4.total_saving()) << trace->config.name;
+  }
+}
+
+TEST_F(EnergyModel, MovementEnergyUnaffectedByPdac) {
+  // Paper: "P-DAC does not affect the energy consumption associated with
+  // data movement."
+  const auto cmp = compare_energy(bert, cfg, params, 8);
+  EXPECT_DOUBLE_EQ(cmp.baseline.total().movement.joules(),
+                   cmp.pdac.total().movement.joules());
+  EXPECT_DOUBLE_EQ(cmp.baseline.total().adc.joules(), cmp.pdac.total().adc.joules());
+  EXPECT_DOUBLE_EQ(cmp.baseline.total().static_power.joules(),
+                   cmp.pdac.total().static_power.joules());
+}
+
+TEST_F(EnergyModel, OnlyModulationTermChanges) {
+  const auto cmp = compare_energy(bert, cfg, params, 8);
+  EXPECT_GT(cmp.baseline.total().modulation.joules(),
+            5.0 * cmp.pdac.total().modulation.joules());
+}
+
+TEST_F(EnergyModel, RuntimeIdenticalAcrossVariants) {
+  const auto cmp = compare_energy(bert, cfg, params, 8);
+  EXPECT_EQ(cmp.baseline.wall_cycles, cmp.pdac.wall_cycles);
+  EXPECT_DOUBLE_EQ(cmp.baseline.runtime.seconds(), cmp.pdac.runtime.seconds());
+  EXPECT_GT(cmp.baseline.runtime.seconds(), 0.0);
+}
+
+TEST_F(EnergyModel, ComputeBoundConsistencyWithPowerModel) {
+  // With data movement and vector work zeroed, average power over the
+  // run must approach the Fig. 11 compute-bound breakdown (modulators,
+  // being fully busy in our tiling, hit their calibrated utilization).
+  PowerParams cb = params;
+  cb.sram_energy_per_bit = units::joules(0.0);
+  cb.vector_energy_per_element_bit = units::joules(0.0);
+  const auto we = evaluate_energy(bert, cfg, cb, 8, SystemVariant::kDacBased);
+  const double avg_power = we.total().total().joules() / we.runtime.seconds();
+  const auto breakdown = compute_power_breakdown(cfg, cb, 8, SystemVariant::kDacBased);
+  // Dynamic products double-modulate, so average power can exceed the
+  // nominal broadcast-rate figure slightly; static GEMM portions match.
+  EXPECT_NEAR(avg_power / breakdown.total().watts(), 1.0, 0.15);
+}
+
+TEST_F(EnergyModel, DynamicOpsChargeNoMovement) {
+  const auto we = evaluate_energy(bert, cfg, params, 8, SystemVariant::kDacBased);
+  // Attention movement must equal exactly the static-weight ops' traffic.
+  std::uint64_t expected_elements = 0;
+  for (const auto& g : bert.gemms) {
+    if (g.op_class == nn::OpClass::kAttention && g.static_weights) {
+      expected_elements += g.weight_elements() + g.activation_elements();
+    }
+  }
+  const double expect_j = static_cast<double>(expected_elements) * 8.0 *
+                          params.sram_energy_per_bit.joules();
+  EXPECT_NEAR(we.attention.movement.joules(), expect_j, 1e-12);
+}
+
+TEST_F(EnergyModel, VectorWorkLandsInOtherBucketOnly) {
+  const auto we = evaluate_energy(bert, cfg, params, 8, SystemVariant::kDacBased);
+  // The tracer tags all element-wise work kOther, so the GEMM classes
+  // carry no vector-unit energy.
+  EXPECT_DOUBLE_EQ(we.attention.vector_unit.joules() + we.ffn.vector_unit.joules(), 0.0);
+  EXPECT_GT(we.other.vector_unit.joules(), 0.0);
+}
+
+TEST_F(EnergyModel, EnergyScalesWithLayers) {
+  auto one = nn::bert_base(128);
+  one.layers = 1;
+  auto twelve = nn::bert_base(128);
+  const auto e1 =
+      evaluate_energy(nn::trace_forward(one), cfg, params, 8, SystemVariant::kDacBased);
+  const auto e12 =
+      evaluate_energy(nn::trace_forward(twelve), cfg, params, 8, SystemVariant::kDacBased);
+  EXPECT_NEAR(e12.total().total().joules() / e1.total().total().joules(), 12.0, 1e-6);
+}
+
+TEST_F(EnergyModel, RejectsBadBits) {
+  EXPECT_THROW(evaluate_energy(bert, cfg, params, 1, SystemVariant::kDacBased),
+               PreconditionError);
+}
+
+TEST_F(EnergyModel, BreakdownTotalSumsTerms) {
+  const auto we = evaluate_energy(bert, cfg, params, 8, SystemVariant::kPdacBased);
+  const auto t = we.total();
+  EXPECT_NEAR(t.total().joules(),
+              t.modulation.joules() + t.adc.joules() + t.static_power.joules() +
+                  t.movement.joules() + t.vector_unit.joules(),
+              1e-15);
+}
+
+TEST_F(EnergyModel, OfSelectorReturnsMatchingClass) {
+  const auto we = evaluate_energy(bert, cfg, params, 8, SystemVariant::kDacBased);
+  EXPECT_DOUBLE_EQ(we.of(nn::OpClass::kAttention).total().joules(),
+                   we.attention.total().joules());
+  EXPECT_DOUBLE_EQ(we.of(nn::OpClass::kFfn).total().joules(), we.ffn.total().joules());
+  EXPECT_DOUBLE_EQ(we.of(nn::OpClass::kOther).total().joules(), we.other.total().joules());
+}
+
+}  // namespace
+
+namespace {
+
+using namespace pdac;
+using namespace pdac::arch;
+
+// Regression pins: the measured values this reproduction reports in
+// EXPERIMENTS.md.  Tight tolerances so refactors cannot silently move
+// the published numbers (paper deltas are discussed there).
+class FigureRegression : public ::testing::Test {
+ protected:
+  LtConfig cfg = lt_base();
+  PowerParams params = lt_power_params();
+};
+
+TEST_F(FigureRegression, Fig9BertMeasuredValues) {
+  const auto trace = nn::trace_forward(nn::bert_base(128));
+  const auto cmp4 = compare_energy(trace, cfg, params, 4);
+  const auto cmp8 = compare_energy(trace, cfg, params, 8);
+  EXPECT_NEAR(cmp4.total_saving(), 0.114, 0.005);
+  EXPECT_NEAR(cmp4.saving(nn::OpClass::kAttention), 0.140, 0.005);
+  EXPECT_NEAR(cmp4.saving(nn::OpClass::kFfn), 0.099, 0.005);
+  EXPECT_NEAR(cmp8.total_saving(), 0.334, 0.005);
+  EXPECT_NEAR(cmp8.saving(nn::OpClass::kAttention), 0.384, 0.005);
+  EXPECT_NEAR(cmp8.saving(nn::OpClass::kFfn), 0.301, 0.005);
+}
+
+TEST_F(FigureRegression, Fig10DeitMeasuredValues) {
+  const auto trace = nn::trace_forward(nn::deit_base());
+  const auto cmp4 = compare_energy(trace, cfg, params, 4);
+  const auto cmp8 = compare_energy(trace, cfg, params, 8);
+  EXPECT_NEAR(cmp4.total_saving(), 0.142, 0.005);
+  EXPECT_NEAR(cmp8.total_saving(), 0.387, 0.005);
+  EXPECT_NEAR(cmp8.saving(nn::OpClass::kAttention), 0.453, 0.005);
+  EXPECT_NEAR(cmp8.saving(nn::OpClass::kFfn), 0.337, 0.005);
+}
+
+TEST_F(FigureRegression, Fig9AbsoluteEnergies) {
+  const auto trace = nn::trace_forward(nn::bert_base(128));
+  const auto cmp8 = compare_energy(trace, cfg, params, 8);
+  EXPECT_NEAR(cmp8.baseline.total().total().millijoules(), 23.61, 0.1);
+  EXPECT_NEAR(cmp8.pdac.total().total().millijoules(), 15.73, 0.1);
+  EXPECT_NEAR(cmp8.baseline.runtime.seconds() * 1e6, 272.8, 0.5);
+}
+
+}  // namespace

@@ -1,0 +1,108 @@
+// Unit and property tests for the multi-bit EO interface (paper Fig. 2).
+#include <gtest/gtest.h>
+
+#include "common/require.hpp"
+#include "converters/eo_interface.hpp"
+
+namespace {
+
+using namespace pdac;
+using namespace pdac::converters;
+
+EoInterfaceConfig cfg_bits(int bits) {
+  EoInterfaceConfig cfg;
+  cfg.bits = bits;
+  return cfg;
+}
+
+TEST(EoInterface, EncodesPositiveCodeBits) {
+  const MultiBitEoInterface eo(cfg_bits(8));
+  const auto word = eo.encode(0x40);  // bit 6 only
+  ASSERT_EQ(word.bits(), 8u);
+  for (std::size_t i = 0; i < 8; ++i) {
+    const double expect = (i == 6) ? 0.5 : 0.0;  // ½·1² for the on slot
+    EXPECT_DOUBLE_EQ(word.slots[i].intensity(), expect) << "bit " << i;
+  }
+}
+
+TEST(EoInterface, EncodesNegativeCodeTwosComplement) {
+  const MultiBitEoInterface eo(cfg_bits(4));
+  const auto word = eo.encode(-3);  // 1101 in 4-bit two's complement
+  EXPECT_GT(word.slots[0].intensity(), 0.0);
+  EXPECT_DOUBLE_EQ(word.slots[1].intensity(), 0.0);
+  EXPECT_GT(word.slots[2].intensity(), 0.0);
+  EXPECT_GT(word.slots[3].intensity(), 0.0);
+}
+
+TEST(EoInterface, ZeroCodeIsAllDark) {
+  const MultiBitEoInterface eo(cfg_bits(8));
+  const auto word = eo.encode(0);
+  for (std::size_t i = 0; i < word.bits(); ++i) {
+    EXPECT_DOUBLE_EQ(word.slots[i].intensity(), 0.0);
+  }
+}
+
+TEST(EoInterface, RejectsOutOfRangeCodes) {
+  const MultiBitEoInterface eo(cfg_bits(4));
+  EXPECT_NO_THROW(eo.encode(7));
+  EXPECT_NO_THROW(eo.encode(-8));
+  EXPECT_THROW((void)eo.encode(8), PreconditionError);
+  EXPECT_THROW((void)eo.encode(-9), PreconditionError);
+}
+
+TEST(EoInterface, OnAmplitudeConfigurable) {
+  EoInterfaceConfig cfg = cfg_bits(4);
+  cfg.on_amplitude = 2.0;
+  const MultiBitEoInterface eo(cfg);
+  const auto word = eo.encode(1);
+  EXPECT_DOUBLE_EQ(word.slots[0].intensity(), 2.0);  // ½·2²
+}
+
+TEST(EoInterface, EncodeVectorPreservesOrder) {
+  const MultiBitEoInterface eo(cfg_bits(8));
+  const auto words = eo.encode_vector({1, -1, 100});
+  ASSERT_EQ(words.size(), 3u);
+  EXPECT_EQ(eo.decode(words[0]), 1);
+  EXPECT_EQ(eo.decode(words[1]), -1);
+  EXPECT_EQ(eo.decode(words[2]), 100);
+}
+
+TEST(EoInterface, StreamingPowerScalesWithBitsAndLanes) {
+  EoInterfaceConfig cfg = cfg_bits(8);
+  cfg.energy_per_bit = units::femtojoules(50.0);
+  cfg.clock = units::gigahertz(5.0);
+  const MultiBitEoInterface eo(cfg);
+  // 8 bits × 5 GHz × 50 fJ = 2 mW per lane.
+  EXPECT_NEAR(eo.streaming_power(1).milliwatts(), 2.0, 1e-9);
+  EXPECT_NEAR(eo.streaming_power(2048).watts(), 4.096, 1e-6);
+}
+
+TEST(EoInterface, DecodeRejectsWidthMismatch) {
+  const MultiBitEoInterface eo4(cfg_bits(4));
+  const MultiBitEoInterface eo8(cfg_bits(8));
+  EXPECT_THROW((void)eo4.decode(eo8.encode(0)), PreconditionError);
+}
+
+TEST(EoInterface, RejectsBadConfig) {
+  EXPECT_THROW((void)MultiBitEoInterface{cfg_bits(1)}, PreconditionError);
+  EoInterfaceConfig bad = cfg_bits(8);
+  bad.on_amplitude = 0.0;
+  EXPECT_THROW((void)MultiBitEoInterface{bad}, PreconditionError);
+}
+
+// --- property: every representable code round-trips optically ---------------
+class EoRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(EoRoundTrip, AllCodesRoundTrip) {
+  const int bits = GetParam();
+  const MultiBitEoInterface eo(cfg_bits(bits));
+  const std::int32_t lo = -(1 << (bits - 1));
+  const std::int32_t hi = (1 << (bits - 1)) - 1;
+  for (std::int32_t c = lo; c <= hi; ++c) {
+    EXPECT_EQ(eo.decode(eo.encode(c)), c) << "code " << c;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BitWidths, EoRoundTrip, ::testing::Values(2, 4, 6, 8, 10));
+
+}  // namespace

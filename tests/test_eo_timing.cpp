@@ -1,0 +1,109 @@
+// Tests for the EO-interface timing / eye-diagram analysis.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/require.hpp"
+#include "converters/eo_timing.hpp"
+
+namespace {
+
+using namespace pdac;
+using namespace pdac::converters;
+
+EoTimingConfig cfg_of(double bw_ghz, int bits, double clk_ghz = 5.0) {
+  EoTimingConfig cfg;
+  cfg.modulator_bandwidth_ghz = bw_ghz;
+  cfg.bits_per_cycle = bits;
+  cfg.clock = units::gigahertz(clk_ghz);
+  return cfg;
+}
+
+TEST(EoTiming, SlotDurationFormula) {
+  const EoTimingAnalyzer a(cfg_of(20.0, 8));
+  EXPECT_NEAR(a.slot_seconds(), 25e-12, 1e-15);  // 1/(5 GHz · 8)
+}
+
+TEST(EoTiming, TauFromBandwidth) {
+  const EoTimingAnalyzer a(cfg_of(20.0, 8));
+  EXPECT_NEAR(a.tau_seconds(), 1.0 / (2.0 * 3.14159265 * 20e9), 1e-14);
+}
+
+TEST(EoTiming, FastModulatorOpensEye) {
+  const EoTimingAnalyzer a(cfg_of(100.0, 4));
+  EXPECT_GT(a.eye_opening(), 0.99);
+}
+
+TEST(EoTiming, SlowModulatorClosesEye) {
+  const EoTimingAnalyzer a(cfg_of(1.0, 16));  // 12.5 ps slots, τ ≈ 159 ps
+  EXPECT_LT(a.eye_opening(), 0.0);
+}
+
+TEST(EoTiming, EyeShrinksWithBitsPerCycle) {
+  double prev = 1.0;
+  for (int b : {1, 2, 4, 8, 16}) {
+    const double eye = EoTimingAnalyzer(cfg_of(20.0, b)).eye_opening();
+    EXPECT_LT(eye, prev) << b << " bits";
+    prev = eye;
+  }
+}
+
+TEST(EoTiming, WaveformSettlesTowardTargets) {
+  const EoTimingAnalyzer a(cfg_of(40.0, 4));
+  OpticalDigitalWord word;
+  word.slots.resize(4);
+  word.slots[1].amplitude = photonics::Complex{1.0, 0.0};  // 0 1 0 0
+  const auto wave = a.waveform(word, 8);
+  ASSERT_EQ(wave.size(), 32u);
+  EXPECT_LT(wave[7], 0.05);   // end of slot 0: still dark
+  EXPECT_GT(wave[15], 0.9);   // end of slot 1: nearly on
+  EXPECT_LT(wave[23], 0.1);   // end of slot 2: fell back off
+  for (double v : wave) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(EoTiming, AlternatingPatternRecoverableAtDesignPoint) {
+  // 8 bits/cycle at 5 GHz with a 20 GHz ring: the CAMON-style operating
+  // point must survive the worst (alternating) pattern.
+  const EoTimingAnalyzer a(cfg_of(20.0, 8));
+  OpticalDigitalWord word;
+  word.slots.resize(8);
+  for (std::size_t i = 0; i < 8; i += 2) {
+    word.slots[i].amplitude = photonics::Complex{1.0, 0.0};
+  }
+  EXPECT_TRUE(a.slots_recoverable(word));
+}
+
+TEST(EoTiming, PatternLostWhenOverclocked) {
+  const EoTimingAnalyzer a(cfg_of(2.0, 32));
+  OpticalDigitalWord word;
+  word.slots.resize(32);
+  for (std::size_t i = 0; i < 32; i += 2) {
+    word.slots[i].amplitude = photonics::Complex{1.0, 0.0};
+  }
+  EXPECT_FALSE(a.slots_recoverable(word));
+}
+
+TEST(EoTiming, MaxBitsMonotoneInBandwidth) {
+  const auto clk = units::gigahertz(5.0);
+  int prev = 0;
+  for (double bw : {5.0, 10.0, 20.0, 40.0, 80.0}) {
+    const int b = EoTimingAnalyzer::max_bits_per_cycle(bw, clk, 0.6);
+    EXPECT_GE(b, prev) << bw << " GHz";
+    prev = b;
+  }
+  EXPECT_GT(prev, 8);  // 80 GHz rings go beyond 8 bits/cycle
+}
+
+TEST(EoTiming, MaxBitsZeroWhenHopeless) {
+  EXPECT_EQ(EoTimingAnalyzer::max_bits_per_cycle(0.1, units::gigahertz(5.0), 0.6), 0);
+}
+
+TEST(EoTiming, RejectsBadConfig) {
+  EXPECT_THROW(EoTimingAnalyzer(cfg_of(0.0, 8)), PreconditionError);
+  EXPECT_THROW(EoTimingAnalyzer(cfg_of(20.0, 0)), PreconditionError);
+}
+
+}  // namespace

@@ -1,0 +1,75 @@
+// Tests for the encode-error characterization utilities.
+#include <gtest/gtest.h>
+
+#include "common/require.hpp"
+#include "core/error_model.hpp"
+
+namespace {
+
+using namespace pdac;
+using namespace pdac::core;
+
+TEST(SweepEncodeError, PdacWorstRelAtBreakpoint) {
+  const auto drv = make_pdac_driver(8);
+  const auto rep = sweep_encode_error(*drv);
+  EXPECT_NEAR(std::abs(rep.worst_rel_at), 0.7236, 0.03);
+  EXPECT_GT(rep.worst_rel, 0.07);
+  EXPECT_LT(rep.worst_rel, 0.10);
+}
+
+TEST(SweepEncodeError, IdealDacMeanErrorBelowPdac) {
+  const auto ideal = sweep_encode_error(*make_ideal_dac_driver(8));
+  const auto pd = sweep_encode_error(*make_pdac_driver(8));
+  EXPECT_LT(ideal.abs_error.mean(), pd.abs_error.mean());
+}
+
+TEST(SweepEncodeError, CountsAllSamples) {
+  const auto drv = make_pdac_driver(4);
+  const auto rep = sweep_encode_error(*drv, 101);
+  EXPECT_EQ(rep.abs_error.count(), 101u);
+  EXPECT_EQ(rep.rel_error.count(), 101u);
+}
+
+TEST(SweepEncodeError, RejectsTooFewSamples) {
+  const auto drv = make_pdac_driver(4);
+  EXPECT_THROW(sweep_encode_error(*drv, 2), PreconditionError);
+}
+
+TEST(ExpectedAbsError, UniformMatchesDirectIntegral) {
+  const auto paper = PiecewiseLinearArccos::paper();
+  const double e = expected_abs_error(paper, uniform_pdf);
+  EXPECT_GT(e, 0.015);
+  EXPECT_LT(e, 0.03);
+}
+
+TEST(ExpectedAbsError, ShrinksForConcentratedActivations) {
+  // The paper's LLM-tolerance argument: activations near zero see almost
+  // no approximation error.
+  const auto paper = PiecewiseLinearArccos::paper();
+  const double wide = expected_abs_error(paper, gaussian_pdf(0.5));
+  const double narrow = expected_abs_error(paper, gaussian_pdf(0.1));
+  EXPECT_LT(narrow, 0.1 * wide);
+}
+
+TEST(ExpectedAbsError, ThreeSegmentsBeatOneSegmentUniform) {
+  const auto paper = PiecewiseLinearArccos::paper();
+  const auto taylor = PiecewiseLinearArccos::with_breakpoint(0.999999);
+  EXPECT_LT(expected_abs_error(paper, uniform_pdf),
+            expected_abs_error(taylor, uniform_pdf));
+}
+
+TEST(Densities, UniformPdfNormalization) {
+  EXPECT_DOUBLE_EQ(uniform_pdf(0.0), 0.5);
+  EXPECT_DOUBLE_EQ(uniform_pdf(2.0), 0.0);
+  EXPECT_DOUBLE_EQ(uniform_pdf(-2.0), 0.0);
+}
+
+TEST(Densities, GaussianPdfShape) {
+  const auto pdf = gaussian_pdf(0.5);
+  EXPECT_GT(pdf(0.0), pdf(0.5));
+  EXPECT_GT(pdf(0.5), pdf(1.0));
+  EXPECT_DOUBLE_EQ(pdf(1.5), 0.0);  // truncated outside [−1, 1]
+  EXPECT_THROW(gaussian_pdf(0.0), PreconditionError);
+}
+
+}  // namespace

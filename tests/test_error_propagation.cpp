@@ -1,0 +1,96 @@
+// Tests for the analytic error-propagation model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/require.hpp"
+#include "core/error_model.hpp"
+#include "core/error_propagation.hpp"
+
+namespace {
+
+using namespace pdac;
+using namespace pdac::core;
+
+TEST(ErrorPropagation, IdealDacGainNearUnity) {
+  const auto drv = make_ideal_dac_driver(10);
+  const auto d = decompose_encoder(*drv, uniform_pdf);
+  EXPECT_NEAR(d.gain, 1.0, 0.01);
+  EXPECT_LT(std::sqrt(d.residual_var), 0.01);
+}
+
+TEST(ErrorPropagation, GainStructureOfThreeSegmentProgram) {
+  // The middle segment encodes sin(r) < r (a shrink), but the outer
+  // chords overshoot (cos of the chord exceeds r mid-segment), so under
+  // uniform operands the two nearly cancel and the least-squares gain
+  // sits just under 1 — the k* = 0.7236 design is gain-balanced.
+  const auto drv = make_pdac_driver(8);
+  const auto uniform = decompose_encoder(*drv, uniform_pdf);
+  EXPECT_NEAR(uniform.gain, 1.0, 0.01);
+  // Concentrated activations see only the middle segment, exposing the
+  // pure Taylor shrink g ≈ 1 − E[r⁴]/(6·E[r²]).
+  const auto narrow = decompose_encoder(*drv, gaussian_pdf(0.4));
+  EXPECT_LT(narrow.gain, uniform.gain);
+  EXPECT_GT(narrow.gain, 0.90);
+}
+
+TEST(ErrorPropagation, OperandVarianceMatchesDistribution) {
+  const auto drv = make_ideal_dac_driver(8);
+  const auto uni = decompose_encoder(*drv, uniform_pdf);
+  EXPECT_NEAR(uni.operand_var, 1.0 / 3.0, 0.01);  // Var of U(−1,1)
+  const auto gauss = decompose_encoder(*drv, gaussian_pdf(0.25));
+  EXPECT_NEAR(gauss.operand_var, 0.0625, 0.005);
+}
+
+TEST(ErrorPropagation, ConcentratedActivationsShrinkResidual) {
+  const auto drv = make_pdac_driver(8);
+  const auto wide = decompose_encoder(*drv, uniform_pdf);
+  const auto narrow = decompose_encoder(*drv, gaussian_pdf(0.15));
+  EXPECT_LT(narrow.residual_var, 0.2 * wide.residual_var);
+}
+
+TEST(ErrorPropagation, RelativeNoiseIndependentOfK) {
+  const auto drv = make_pdac_driver(8);
+  const auto d = decompose_encoder(*drv, uniform_pdf);
+  const auto p64 = predict_dot_error(d, d, 64);
+  const auto p4096 = predict_dot_error(d, d, 4096);
+  EXPECT_NEAR(p64.rel_noise_rms, p4096.rel_noise_rms, 1e-12);
+  // Absolute noise grows as sqrt(K).
+  EXPECT_NEAR(p4096.noise_rms / p64.noise_rms, 8.0, 1e-9);
+}
+
+TEST(ErrorPropagation, PredictionMatchesMonteCarloUniform) {
+  const auto drv = make_pdac_driver(8);
+  const auto d = decompose_encoder(*drv, uniform_pdf);
+  const auto pred = predict_dot_error(d, d, 128);
+  const auto meas = measure_dot_error(*drv, uniform_pdf, 128, 400, 7);
+  EXPECT_NEAR(meas.combined_gain, pred.combined_gain, 0.02);
+  EXPECT_NEAR(meas.rel_noise_rms, pred.rel_noise_rms, 0.3 * pred.rel_noise_rms);
+}
+
+TEST(ErrorPropagation, PredictionMatchesMonteCarloGaussian) {
+  const auto drv = make_pdac_driver(8);
+  const auto pdf = gaussian_pdf(0.4);
+  const auto d = decompose_encoder(*drv, pdf);
+  const auto pred = predict_dot_error(d, d, 256);
+  const auto meas = measure_dot_error(*drv, pdf, 256, 300, 11);
+  EXPECT_NEAR(meas.combined_gain, pred.combined_gain, 0.03);
+  EXPECT_NEAR(meas.rel_noise_rms, pred.rel_noise_rms, 0.35 * pred.rel_noise_rms);
+}
+
+TEST(ErrorPropagation, PdacNoisierThanIdealDac) {
+  const auto pd = decompose_encoder(*make_pdac_driver(8), uniform_pdf);
+  const auto ideal = decompose_encoder(*make_ideal_dac_driver(8), uniform_pdf);
+  EXPECT_GT(predict_dot_error(pd, pd, 64).rel_noise_rms,
+            predict_dot_error(ideal, ideal, 64).rel_noise_rms);
+}
+
+TEST(ErrorPropagation, RejectsDegenerateInputs) {
+  const auto drv = make_pdac_driver(8);
+  EXPECT_THROW(decompose_encoder(*drv, [](double) { return 0.0; }), PreconditionError);
+  const auto d = decompose_encoder(*drv, uniform_pdf);
+  EXPECT_THROW(predict_dot_error(d, d, 0), PreconditionError);
+  EXPECT_THROW(measure_dot_error(*drv, uniform_pdf, 8, 5, 1), PreconditionError);
+}
+
+}  // namespace

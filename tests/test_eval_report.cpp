@@ -1,0 +1,49 @@
+// Tests for the evaluation/report rendering helpers.
+#include <gtest/gtest.h>
+
+#include "arch/energy_model.hpp"
+#include "eval/report.hpp"
+#include "nn/model_config.hpp"
+#include "nn/workload_trace.hpp"
+
+namespace {
+
+using namespace pdac;
+
+TEST(Report, PowerBreakdownContainsComponentsAndTotal) {
+  const auto b = arch::compute_power_breakdown(arch::lt_base(), arch::lt_power_params(), 8,
+                                               arch::SystemVariant::kDacBased);
+  const std::string s = eval::render_power_breakdown("t", b);
+  EXPECT_NE(s.find("laser"), std::string::npos);
+  EXPECT_NE(s.find("DAC"), std::string::npos);
+  EXPECT_NE(s.find("total"), std::string::npos);
+  EXPECT_NE(s.find("8-bit"), std::string::npos);
+  EXPECT_NE(s.find("#"), std::string::npos);  // ascii bars present
+}
+
+TEST(Report, EnergyComparisonListsClassesAndTerms) {
+  const auto cmp = arch::compare_energy(nn::trace_forward(nn::tiny_transformer()),
+                                        arch::lt_base(), arch::lt_power_params(), 8);
+  const std::string s = eval::render_energy_comparison("t", cmp);
+  for (const char* needle : {"attention", "ffn", "other", "total", "modulation",
+                             "SRAM data movement", "energy saving"}) {
+    EXPECT_NE(s.find(needle), std::string::npos) << needle;
+  }
+}
+
+TEST(Report, ScoreboardShowsDeltas) {
+  const std::string s = eval::render_scoreboard(
+      "x", {{"metric-a", 10.0, 11.5, "%"}, {"metric-b", 5.0, 4.0, " W"}}, "footer-note");
+  EXPECT_NE(s.find("metric-a"), std::string::npos);
+  EXPECT_NE(s.find("+1.50%"), std::string::npos);
+  EXPECT_NE(s.find("-1.00 W"), std::string::npos);
+  EXPECT_NE(s.find("footer-note"), std::string::npos);
+}
+
+TEST(Report, CsvEmission) {
+  const std::string csv =
+      eval::to_csv({"a", "b"}, {{1.0, 2.0}, {3.5, 4.5}});
+  EXPECT_EQ(csv, "a,b\n1,2\n3.5,4.5\n");
+}
+
+}  // namespace

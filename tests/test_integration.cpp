@@ -1,0 +1,137 @@
+// Integration tests: full chains across subsystems.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arch/energy_model.hpp"
+#include "common/stats.hpp"
+#include "converters/eo_interface.hpp"
+#include "core/pdac.hpp"
+#include "nn/backend.hpp"
+#include "nn/model_config.hpp"
+#include "nn/transformer.hpp"
+#include "photonics/laser.hpp"
+#include "photonics/wdm_bus.hpp"
+#include "ptc/ddot.hpp"
+
+namespace {
+
+using namespace pdac;
+
+// --- chain 1: SRAM word → EO → WDM link → P-DAC → MZM → DDot ----------------
+TEST(Integration, FullOpticalDatapathComputesDotProduct) {
+  const int bits = 8;
+  converters::EoInterfaceConfig ecfg;
+  ecfg.bits = bits;
+  const converters::MultiBitEoInterface eo(ecfg);
+  core::PdacConfig pcfg;
+  pcfg.bits = bits;
+  const core::Pdac pdac_dev(pcfg);
+  const converters::Quantizer q(bits);
+  const ptc::Ddot ddot;
+
+  const std::vector<double> x{0.5, -0.3, 0.9, 0.1};
+  const std::vector<double> y{-0.2, 0.8, 0.4, -0.6};
+
+  // Modulate each operand channel through the complete chain:
+  // value → code → optical digital word → P-DAC phase → MZM on carrier.
+  photonics::LaserConfig lcfg;
+  lcfg.channels = 4;
+  const photonics::Laser laser(lcfg);
+  photonics::DualRail rails{laser.emit(), laser.emit()};
+  photonics::Mzm mzm;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    rails.upper.set_amplitude(
+        i, mzm.modulate_pushpull(rails.upper.amplitude(i),
+                                 pdac_dev.drive_phase(eo.encode(q.encode(x[i])))));
+    rails.lower.set_amplitude(
+        i, mzm.modulate_pushpull(rails.lower.amplitude(i),
+                                 pdac_dev.drive_phase(eo.encode(q.encode(y[i])))));
+  }
+  const double optical = ddot.compute(rails).value();
+
+  double exact = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) exact += x[i] * y[i];
+  // Bounded by the compounded P-DAC encode errors of both operands.
+  EXPECT_NEAR(optical, exact, 0.18 * static_cast<double>(x.size()));
+  EXPECT_LT(std::abs(optical - exact) / std::max(std::abs(exact), 0.1), 0.35);
+}
+
+// --- chain 2: WDM transport of optical digital words ------------------------
+TEST(Integration, WdmBusCarriesDigitalWordsBetweenInterfaces) {
+  // Four 8-bit words on four wavelengths, one bit-slot at a time, with
+  // threshold regeneration at the P-DAC comparator.
+  converters::EoInterfaceConfig ecfg;
+  const converters::MultiBitEoInterface eo(ecfg);
+  photonics::WdmBusConfig bcfg;
+  bcfg.channels = 4;
+  const photonics::WdmBus bus(bcfg);
+  const std::vector<std::int32_t> codes{13, -77, 127, 0};
+  const auto words = eo.encode_vector(codes);
+
+  std::vector<converters::OpticalDigitalWord> received(4);
+  for (auto& w : received) w.slots.resize(8);
+  for (std::size_t slot = 0; slot < 8; ++slot) {
+    std::vector<photonics::WdmField> sources;
+    for (std::size_t lane = 0; lane < 4; ++lane) {
+      photonics::WdmField f(4);
+      f.set_amplitude(lane, words[lane].slots[slot].amplitude);
+      sources.push_back(f);
+    }
+    const auto dropped = bus.demux(bus.mux(sources));
+    for (std::size_t lane = 0; lane < 4; ++lane) {
+      received[lane].slots[slot].amplitude = dropped[lane].amplitude(lane);
+    }
+  }
+  for (std::size_t lane = 0; lane < 4; ++lane) {
+    EXPECT_EQ(eo.decode(received[lane]), codes[lane]) << "lane " << lane;
+  }
+}
+
+// --- chain 3: transformer inference through the photonic core ---------------
+TEST(Integration, TinyTransformerThroughPdacBackend) {
+  const auto cfg = nn::tiny_transformer(8, 32, 4, 2);
+  nn::Transformer model(cfg);
+  model.init_random(3);
+  const Matrix input = model.random_input(4);
+
+  auto ref = nn::make_reference_backend();
+  auto pd = nn::make_photonic_pdac_backend(8);
+  const Matrix exact = model.forward(input, *ref);
+  const Matrix approx = model.forward(input, *pd);
+  const auto err = stats::compare(approx.data(), exact.data());
+  EXPECT_GT(err.cosine, 0.98);
+  EXPECT_LT(err.rel_frobenius, 0.25);
+  EXPECT_GT(pd->events().modulation_events, 0u);
+  EXPECT_EQ(pd->events().macs, ref->events().macs);
+}
+
+// --- chain 4: trace-driven energy agrees with backend-observed events -------
+TEST(Integration, TraceEventsMatchFunctionalBackendEvents) {
+  const auto cfg = nn::tiny_transformer(8, 32, 4, 1);
+  nn::Transformer model(cfg);
+  model.init_random(5);
+  auto backend = nn::make_photonic_pdac_backend(8);
+  (void)model.forward(model.random_input(6), *backend);
+
+  // The tracer predicts the same MAC count the functional run performed.
+  const auto trace = nn::trace_forward(cfg);
+  EXPECT_EQ(backend->events().macs, trace.total_macs());
+}
+
+// --- chain 5: the paper's two headline numbers, end to end ------------------
+TEST(Integration, HeadlinePowerAndEnergyNumbers) {
+  const auto lt = arch::lt_base();
+  const auto params = arch::lt_power_params();
+  const auto base8 =
+      arch::compute_power_breakdown(lt, params, 8, arch::SystemVariant::kDacBased);
+  const auto prop8 =
+      arch::compute_power_breakdown(lt, params, 8, arch::SystemVariant::kPdacBased);
+  EXPECT_NEAR(1.0 - prop8.total() / base8.total(), 0.477, 0.005);  // Fig. 11
+
+  const auto cmp =
+      arch::compare_energy(nn::trace_forward(nn::bert_base(128)), lt, params, 8);
+  EXPECT_NEAR(cmp.total_saving(), 0.323, 0.02);  // Fig. 9
+}
+
+}  // namespace

@@ -1,0 +1,104 @@
+// Tests for the electrical-vs-optical interconnect model.
+#include <gtest/gtest.h>
+
+#include "arch/interconnect.hpp"
+#include "common/require.hpp"
+#include "nn/decode_trace.hpp"
+#include "nn/model_config.hpp"
+
+namespace {
+
+using namespace pdac;
+using namespace pdac::arch;
+
+InterconnectConfig electrical(double mm) {
+  InterconnectConfig cfg;
+  cfg.kind = LinkKind::kElectrical;
+  cfg.distance_mm = mm;
+  return cfg;
+}
+
+InterconnectConfig optical(double mm) {
+  InterconnectConfig cfg;
+  cfg.kind = LinkKind::kOptical;
+  cfg.distance_mm = mm;
+  return cfg;
+}
+
+TEST(Interconnect, ElectricalEnergyScalesWithDistance) {
+  const auto near = evaluate_link(electrical(1.0));
+  const auto far = evaluate_link(electrical(10.0));
+  EXPECT_NEAR(far.energy_per_bit.joules() / near.energy_per_bit.joules(), 10.0, 1e-9);
+}
+
+TEST(Interconnect, OpticalEnergyDistanceIndependent) {
+  const auto near = evaluate_link(optical(1.0));
+  const auto far = evaluate_link(optical(50.0));
+  EXPECT_DOUBLE_EQ(near.energy_per_bit.joules(), far.energy_per_bit.joules());
+}
+
+TEST(Interconnect, OpticalBandwidthFromWdm) {
+  InterconnectConfig cfg = optical(10.0);
+  cfg.gbps_per_lambda = 40.0;
+  cfg.lambdas = 16;
+  EXPECT_DOUBLE_EQ(evaluate_link(cfg).bandwidth_gbps, 640.0);
+  // The paper's claim: one-to-two orders more than electrical pins.
+  const auto e = evaluate_link(electrical(10.0));
+  EXPECT_GT(evaluate_link(cfg).bandwidth_gbps, e.bandwidth_gbps);
+}
+
+TEST(Interconnect, OpticalLatencyIsTimeOfFlight) {
+  const auto m = evaluate_link(optical(10.0));
+  // 10 mm at n_g = 4.2: ~140 ps.
+  EXPECT_NEAR(m.latency.seconds() * 1e12, 140.0, 2.0);
+  // Electrical repeatered wire is slower over the same span.
+  EXPECT_GT(evaluate_link(electrical(10.0)).latency.seconds(), m.latency.seconds());
+}
+
+TEST(Interconnect, CrossoverFormula) {
+  InterconnectConfig cfg;
+  const double d = optical_crossover_mm(cfg);
+  // (0.25+0.25+0.2)/0.25 = 2.8 mm with the defaults.
+  EXPECT_NEAR(d, 2.8, 1e-9);
+  // At the crossover the two per-bit energies match.
+  const auto e = evaluate_link(electrical(d));
+  const auto o = evaluate_link(optical(d));
+  EXPECT_NEAR(e.energy_per_bit.joules(), o.energy_per_bit.joules(), 1e-18);
+}
+
+TEST(Interconnect, TransferCostComposition) {
+  const auto m = evaluate_link(optical(10.0));
+  const std::uint64_t bits = 8ull * 1024 * 1024;
+  EXPECT_NEAR(m.transfer_energy(bits).joules(),
+              m.energy_per_bit.joules() * static_cast<double>(bits), 1e-18);
+  EXPECT_GT(m.transfer_time(bits).seconds(), m.latency.seconds());
+}
+
+TEST(Interconnect, DistributionBitsMatchMovementAccounting) {
+  const auto trace = nn::trace_decode_step(nn::bert_base(128), 256);
+  std::uint64_t elements = 0;
+  for (const auto& g : trace.gemms) {
+    elements += g.weight_elements() + (g.static_weights ? g.activation_elements() : 0) +
+                g.total_extra_movement_elements();
+  }
+  EXPECT_EQ(distribution_bits(trace, 8), elements * 8);
+  EXPECT_EQ(distribution_bits(trace, 4), elements * 4);
+}
+
+TEST(Interconnect, RejectsBadConfig) {
+  InterconnectConfig bad = electrical(-1.0);
+  EXPECT_THROW(evaluate_link(bad), PreconditionError);
+  bad = electrical(1.0);
+  bad.wires = 0;
+  EXPECT_THROW(evaluate_link(bad), PreconditionError);
+  bad = optical(1.0);
+  bad.lambdas = 0;
+  EXPECT_THROW(evaluate_link(bad), PreconditionError);
+}
+
+TEST(Interconnect, KindNames) {
+  EXPECT_EQ(to_string(LinkKind::kElectrical), "electrical");
+  EXPECT_EQ(to_string(LinkKind::kOptical), "optical");
+}
+
+}  // namespace

@@ -1,0 +1,109 @@
+// Unit tests for common/math_utils.hpp: quadrature, golden-section
+// minimization, and the small helpers the P-DAC derivation relies on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/math_utils.hpp"
+#include "common/require.hpp"
+
+namespace {
+
+using namespace pdac;
+
+TEST(RelativeError, Basic) {
+  EXPECT_NEAR(math::relative_error(1.1, 1.0), 0.1, 1e-12);
+  EXPECT_NEAR(math::relative_error(0.9, 1.0), 0.1, 1e-12);
+  EXPECT_NEAR(math::relative_error(-1.1, -1.0), 0.1, 1e-12);
+}
+
+TEST(RelativeError, FlooredDenominatorNearZero) {
+  // Without the floor this would be 1e6; with floor 1e-3 it is 1.0.
+  EXPECT_DOUBLE_EQ(math::relative_error(1e-3, 0.0, 1e-3), 1.0);
+}
+
+TEST(AlmostEqual, Tolerances) {
+  EXPECT_TRUE(math::almost_equal(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(math::almost_equal(1.0, 1.001));
+  EXPECT_TRUE(math::almost_equal(1.0, 1.001, 1e-2));
+  EXPECT_TRUE(math::almost_equal(0.0, 1e-13));
+}
+
+TEST(Linspace, EndpointsExactAndEvenlySpaced) {
+  const auto v = math::linspace(-1.0, 1.0, 5);
+  ASSERT_EQ(v.size(), 5u);
+  EXPECT_DOUBLE_EQ(v.front(), -1.0);
+  EXPECT_DOUBLE_EQ(v.back(), 1.0);
+  EXPECT_DOUBLE_EQ(v[2], 0.0);
+  for (std::size_t i = 1; i < v.size(); ++i) EXPECT_NEAR(v[i] - v[i - 1], 0.5, 1e-12);
+}
+
+TEST(Linspace, RejectsDegenerateCount) {
+  EXPECT_THROW(math::linspace(0.0, 1.0, 1), PreconditionError);
+}
+
+TEST(Integrate, Polynomial) {
+  // ∫₀¹ 3x² dx = 1.
+  const double v = math::integrate([](double x) { return 3.0 * x * x; }, 0.0, 1.0);
+  EXPECT_NEAR(v, 1.0, 1e-10);
+}
+
+TEST(Integrate, Trigonometric) {
+  // ∫₀^π sin x dx = 2.
+  const double v = math::integrate([](double x) { return std::sin(x); }, 0.0, math::kPi);
+  EXPECT_NEAR(v, 2.0, 1e-9);
+}
+
+TEST(Integrate, EmptyIntervalIsZero) {
+  EXPECT_DOUBLE_EQ(math::integrate([](double) { return 42.0; }, 2.0, 2.0), 0.0);
+}
+
+TEST(Integrate, ReversedIntervalIsNegative) {
+  const double fwd = math::integrate([](double x) { return x; }, 0.0, 1.0);
+  const double rev = math::integrate([](double x) { return x; }, 1.0, 0.0);
+  EXPECT_NEAR(fwd, -rev, 1e-12);
+}
+
+TEST(Integrate, HandlesAbsoluteValueKink) {
+  // ∫_{-1}^{1} |x| dx = 1 — the Eq. 17 objective has the same kink shape.
+  const double v = math::integrate([](double x) { return std::abs(x); }, -1.0, 1.0);
+  EXPECT_NEAR(v, 1.0, 1e-8);
+}
+
+TEST(GoldenSection, FindsParabolaMinimum) {
+  const auto r = math::golden_section_minimize(
+      [](double x) { return (x - 0.3) * (x - 0.3) + 2.0; }, -1.0, 1.0);
+  EXPECT_NEAR(r.x, 0.3, 1e-6);
+  EXPECT_NEAR(r.value, 2.0, 1e-12);
+}
+
+TEST(GoldenSection, FindsCosineMinimum) {
+  const auto r =
+      math::golden_section_minimize([](double x) { return std::cos(x); }, 2.0, 4.5);
+  EXPECT_NEAR(r.x, math::kPi, 1e-6);
+}
+
+TEST(GoldenSection, RejectsInvertedBounds) {
+  EXPECT_THROW(math::golden_section_minimize([](double x) { return x; }, 1.0, 0.0),
+               PreconditionError);
+}
+
+TEST(DenseMaximize, FindsGlobalMaximumOfMultimodal) {
+  // sin(5x) on [0, 2]: global max 1 at x = π/10 (also near x = π/2 + ...).
+  const auto r = math::dense_maximize([](double x) { return std::sin(5.0 * x); }, 0.0, 2.0);
+  EXPECT_NEAR(r.value, 1.0, 1e-9);
+}
+
+TEST(DenseMaximize, EndpointMaximum) {
+  const auto r = math::dense_maximize([](double x) { return x; }, 0.0, 1.0);
+  EXPECT_NEAR(r.x, 1.0, 1e-6);
+  EXPECT_NEAR(r.value, 1.0, 1e-9);
+}
+
+TEST(ClampUnit, ClampsToUnitInterval) {
+  EXPECT_DOUBLE_EQ(math::clamp_unit(0.5), 0.5);
+  EXPECT_DOUBLE_EQ(math::clamp_unit(1.5), 1.0);
+  EXPECT_DOUBLE_EQ(math::clamp_unit(-2.0), -1.0);
+}
+
+}  // namespace

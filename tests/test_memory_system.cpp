@@ -1,0 +1,120 @@
+// Tests for the bandwidth roofline model.
+#include <gtest/gtest.h>
+
+#include "arch/energy_model.hpp"
+#include "arch/memory_system.hpp"
+#include "common/require.hpp"
+#include "nn/decode_trace.hpp"
+#include "nn/model_config.hpp"
+
+namespace {
+
+using namespace pdac;
+using namespace pdac::arch;
+
+class Roofline : public ::testing::Test {
+ protected:
+  LtConfig cfg = lt_base();
+  PowerParams params = lt_power_params();
+  nn::WorkloadTrace prefill = nn::trace_forward(nn::bert_base(128));
+  nn::WorkloadTrace decode = nn::trace_decode_step(nn::bert_base(128), 512);
+};
+
+TEST_F(Roofline, TrafficSummaryMatchesTraceAccounting) {
+  const auto t = summarize_traffic(prefill, 8);
+  std::uint64_t hbm = 0, sram = 0;
+  for (const auto& g : prefill.gemms) {
+    hbm += g.weight_elements() + g.extra_movement_elements;
+    if (g.static_weights) sram += g.activation_elements();
+  }
+  EXPECT_EQ(t.hbm_bytes, hbm);  // 8-bit: 1 byte per element
+  EXPECT_EQ(t.sram_bytes, sram);
+}
+
+TEST_F(Roofline, TrafficScalesWithBits) {
+  const auto t4 = summarize_traffic(prefill, 4);
+  const auto t8 = summarize_traffic(prefill, 8);
+  EXPECT_EQ(t8.hbm_bytes, 2 * t4.hbm_bytes);
+}
+
+TEST_F(Roofline, DecodeKvReadsGoToHbm) {
+  const auto t = summarize_traffic(decode, 8);
+  std::uint64_t kv = 0;
+  for (const auto& g : decode.gemms) kv += g.extra_movement_elements * 1;  // bytes at 8-bit
+  EXPECT_GT(kv, 0u);
+  EXPECT_GE(t.hbm_bytes, kv);
+}
+
+TEST_F(Roofline, RuntimeIsMaxOfComponents) {
+  MemorySystemConfig mem;
+  const auto r = roofline_runtime(prefill, cfg, mem, 8);
+  EXPECT_GE(r.runtime().seconds(), r.compute_time.seconds());
+  EXPECT_GE(r.runtime().seconds(), r.hbm_time.seconds());
+  EXPECT_GE(r.runtime().seconds(), r.sram_time.seconds());
+  const double expect = std::max(
+      {r.compute_time.seconds(), r.hbm_time.seconds(), r.sram_time.seconds()});
+  EXPECT_DOUBLE_EQ(r.runtime().seconds(), expect);
+}
+
+TEST_F(Roofline, PrefillBecomesComputeBoundAtHighBandwidth) {
+  MemorySystemConfig slow, fast;
+  slow.hbm_bandwidth_gb_s = 16.0;
+  fast.hbm_bandwidth_gb_s = 8192.0;
+  EXPECT_TRUE(roofline_runtime(prefill, cfg, slow, 8).memory_bound());
+  EXPECT_FALSE(roofline_runtime(prefill, cfg, fast, 8).memory_bound());
+}
+
+TEST_F(Roofline, DecodeIsMemoryBoundAtRealisticBandwidth) {
+  MemorySystemConfig mem;  // 256 GB/s
+  const auto r = roofline_runtime(decode, cfg, mem, 8);
+  EXPECT_TRUE(r.memory_bound());
+  EXPECT_LT(r.compute_utilization(), 0.3);
+}
+
+TEST_F(Roofline, UtilizationInUnitInterval) {
+  for (double bw : {32.0, 256.0, 2048.0}) {
+    MemorySystemConfig mem;
+    mem.hbm_bandwidth_gb_s = bw;
+    const auto r = roofline_runtime(prefill, cfg, mem, 8);
+    EXPECT_GT(r.compute_utilization(), 0.0);
+    EXPECT_LE(r.compute_utilization(), 1.0);
+  }
+}
+
+TEST_F(Roofline, MoreBandwidthNeverSlower) {
+  double prev = 1e9;
+  for (double bw : {32.0, 64.0, 128.0, 256.0, 1024.0}) {
+    MemorySystemConfig mem;
+    mem.hbm_bandwidth_gb_s = bw;
+    const double rt = roofline_runtime(prefill, cfg, mem, 8).runtime().seconds();
+    EXPECT_LE(rt, prev + 1e-15);
+    prev = rt;
+  }
+}
+
+TEST_F(Roofline, StallsDiluteSaving) {
+  MemorySystemConfig fast, slow;
+  fast.hbm_bandwidth_gb_s = 8192.0;
+  slow.hbm_bandwidth_gb_s = 32.0;
+  const double s_fast = stalled_energy(prefill, cfg, params, fast, 8).saving();
+  const double s_slow = stalled_energy(prefill, cfg, params, slow, 8).saving();
+  EXPECT_GT(s_fast, s_slow);
+  EXPECT_GT(s_slow, 0.0);
+}
+
+TEST_F(Roofline, NoStallMatchesEnergyModelSaving) {
+  MemorySystemConfig infinite;
+  infinite.hbm_bandwidth_gb_s = 1e9;
+  infinite.sram_bandwidth_gb_s = 1e9;
+  const double s = stalled_energy(prefill, cfg, params, infinite, 8).saving();
+  const double ref = compare_energy(prefill, cfg, params, 8).total_saving();
+  EXPECT_NEAR(s, ref, 1e-9);
+}
+
+TEST_F(Roofline, RejectsNonPositiveBandwidth) {
+  MemorySystemConfig bad;
+  bad.hbm_bandwidth_gb_s = 0.0;
+  EXPECT_THROW(roofline_runtime(prefill, cfg, bad, 8), PreconditionError);
+}
+
+}  // namespace

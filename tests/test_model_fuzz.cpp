@@ -1,0 +1,118 @@
+// Randomized property tests: invariants that must hold for arbitrary
+// workload shapes, not just the curated model configs.
+#include <gtest/gtest.h>
+
+#include "arch/energy_model.hpp"
+#include "arch/mapper.hpp"
+#include "arch/op_events.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "ptc/gemm_engine.hpp"
+
+namespace {
+
+using namespace pdac;
+
+nn::GemmOp random_op(Rng& rng, int idx) {
+  nn::GemmOp op;
+  op.label = "fuzz" + std::to_string(idx);
+  op.op_class = rng.integer(0, 1) ? nn::OpClass::kAttention : nn::OpClass::kFfn;
+  op.m = static_cast<std::size_t>(rng.integer(1, 300));
+  op.k = static_cast<std::size_t>(rng.integer(1, 900));
+  op.n = static_cast<std::size_t>(rng.integer(1, 300));
+  op.static_weights = rng.integer(0, 1) != 0;
+  op.repeats = static_cast<std::size_t>(rng.integer(1, 6));
+  op.extra_movement_elements =
+      op.static_weights ? 0 : static_cast<std::size_t>(rng.integer(0, 5000));
+  return op;
+}
+
+TEST(ModelFuzz, OpEventInvariantsHoldForRandomShapes) {
+  const arch::LtConfig cfg = arch::lt_base();
+  Rng rng(101);
+  for (int trial = 0; trial < 200; ++trial) {
+    const nn::GemmOp op = random_op(rng, trial);
+    const arch::OpEvents ev = arch::count_op_events(op, cfg);
+
+    // Enough DDot-cycles to cover every MAC at the wavelength width.
+    EXPECT_GE(ev.ddot_cycles * cfg.wavelengths, op.macs()) << op.label;
+    // DDot occupancy can never exceed full-array occupancy.
+    EXPECT_LE(ev.ddot_cycles, ev.tile_cycles * cfg.array_rows * cfg.array_cols) << op.label;
+    // At least one conversion per reduction element per tile row/col.
+    EXPECT_GE(ev.modulations, op.k * op.repeats) << op.label;
+    // Dynamic ops convert strictly more than broadcast-shared static ops
+    // of the same shape (for multi-row-and-column tiles).
+    if (!op.static_weights && op.m > 1 && op.n > 1) {
+      nn::GemmOp twin = op;
+      twin.static_weights = true;
+      EXPECT_GT(ev.modulations, arch::count_op_events(twin, cfg).modulations) << op.label;
+    }
+    // One ADC window per DDot per k-pass at least.
+    EXPECT_GE(ev.adc_samples, op.m * op.n * op.repeats / cfg.ddots_per_adc) << op.label;
+  }
+}
+
+TEST(ModelFuzz, EnergyModelInvariantsOnRandomTraces) {
+  const arch::LtConfig cfg = arch::lt_base();
+  const arch::PowerParams params = arch::lt_power_params();
+  Rng rng(202);
+  for (int trial = 0; trial < 25; ++trial) {
+    nn::WorkloadTrace trace;
+    trace.config.name = "fuzz";
+    const int ops = static_cast<int>(rng.integer(1, 12));
+    for (int i = 0; i < ops; ++i) trace.gemms.push_back(random_op(rng, i));
+
+    for (int bits : {4, 8}) {
+      const auto cmp = arch::compare_energy(trace, cfg, params, bits);
+      const double saving = cmp.total_saving();
+      EXPECT_GT(saving, 0.0) << "trial " << trial;
+      EXPECT_LT(saving, 1.0) << "trial " << trial;
+      // Non-modulation terms must match exactly across variants.
+      EXPECT_DOUBLE_EQ(cmp.baseline.total().movement.joules(),
+                       cmp.pdac.total().movement.joules());
+      EXPECT_DOUBLE_EQ(cmp.baseline.total().adc.joules(), cmp.pdac.total().adc.joules());
+      // Class totals partition the whole.
+      const double whole = cmp.baseline.total().total().joules();
+      const double parts = cmp.baseline.attention.total().joules() +
+                           cmp.baseline.ffn.total().joules() +
+                           cmp.baseline.conv.total().joules() +
+                           cmp.baseline.other.total().joules();
+      EXPECT_NEAR(parts, whole, 1e-12 * whole);
+    }
+  }
+}
+
+TEST(ModelFuzz, ScheduleInvariantsOnRandomTraces) {
+  const arch::LtConfig cfg = arch::lt_base();
+  Rng rng(303);
+  for (int trial = 0; trial < 25; ++trial) {
+    nn::WorkloadTrace trace;
+    const int ops = static_cast<int>(rng.integer(1, 10));
+    for (int i = 0; i < ops; ++i) trace.gemms.push_back(random_op(rng, i));
+    const arch::Schedule s = arch::schedule_trace(trace, cfg);
+    EXPECT_EQ(s.ops.size(), trace.gemms.size());
+    EXPECT_GE(s.makespan_cycles, s.ideal_cycles());
+    EXPECT_LE(s.utilization(), 1.0 + 1e-12);
+    EXPECT_LE(s.ddot_utilization(), s.utilization() + 1e-12);
+  }
+}
+
+TEST(ModelFuzz, PhotonicGemmTracksReferenceOnRandomShapes) {
+  const auto drv = core::make_ideal_dac_driver(10);
+  const ptc::PhotonicGemm gemm(*drv, ptc::GemmConfig{});
+  Rng rng(404);
+  for (int trial = 0; trial < 12; ++trial) {
+    const auto m = static_cast<std::size_t>(rng.integer(1, 24));
+    const auto k = static_cast<std::size_t>(rng.integer(1, 48));
+    const auto n = static_cast<std::size_t>(rng.integer(1, 24));
+    const Matrix a = Matrix::random_gaussian(m, k, rng);
+    const Matrix b = Matrix::random_gaussian(k, n, rng);
+    const auto res = gemm.multiply(a, b);
+    const Matrix exact = matmul_reference(a, b);
+    const auto err = stats::compare(res.c.data(), exact.data());
+    EXPECT_LT(err.rel_frobenius, 0.05) << m << "x" << k << "x" << n;
+    EXPECT_EQ(res.events.macs, m * k * n);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,93 @@
+// Tests for the modulator-driver abstraction (ideal-DAC vs P-DAC).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/modulator_driver.hpp"
+
+namespace {
+
+using namespace pdac;
+using namespace pdac::core;
+
+TEST(IdealDacDriver, EncodesWithinQuantizationError) {
+  const auto drv = make_ideal_dac_driver(8);
+  for (double r : {-1.0, -0.7, -0.2, 0.0, 0.3, 0.5, 0.99, 1.0}) {
+    // Operand quantization (1/127) plus phase quantization through the
+    // DAC; the worst case is ~π/254 of phase ≈ 0.012 in value.
+    EXPECT_NEAR(drv->encode(r), r, 0.02) << "r=" << r;
+  }
+}
+
+TEST(IdealDacDriver, SynthesizedPhaseIsArccosQuantized) {
+  IdealDacDriverConfig cfg;
+  cfg.bits = 8;
+  const IdealDacDriver drv(cfg);
+  EXPECT_NEAR(drv.synthesized_phase(1.0), 0.0, 0.02);
+  EXPECT_NEAR(drv.synthesized_phase(0.0), std::acos(0.0), 0.02);
+  EXPECT_NEAR(drv.synthesized_phase(-1.0), std::acos(-1.0), 0.02);
+}
+
+TEST(IdealDacDriver, ConversionEnergyIncludesControllerAndDac) {
+  IdealDacDriverConfig cfg;
+  cfg.bits = 8;
+  cfg.controller_energy = units::picojoules(0.384);
+  const IdealDacDriver drv(cfg);
+  // DAC at 8-bit/5 GHz ≈ 2.51 pJ; plus 0.384 pJ controller.
+  EXPECT_NEAR(drv.conversion_energy().picojoules(), 2.51 + 0.384, 0.05);
+}
+
+TEST(IdealDacDriver, NameAndBits) {
+  const auto drv = make_ideal_dac_driver(6);
+  EXPECT_EQ(drv->name(), "ideal-dac");
+  EXPECT_EQ(drv->bits(), 6);
+}
+
+TEST(PdacDriver, EncodeMatchesDeviceConvertValue) {
+  PdacDriverConfig cfg;
+  cfg.pdac.bits = 8;
+  const PdacDriver drv(cfg);
+  for (double r : {-0.9, -0.5, 0.0, 0.3, 0.7236, 1.0}) {
+    EXPECT_DOUBLE_EQ(drv.encode(r), drv.device().convert_value(r)) << "r=" << r;
+  }
+}
+
+TEST(PdacDriver, ConversionEnergyIsPowerOverClock) {
+  PdacDriverConfig cfg;
+  cfg.pdac.bits = 8;
+  cfg.clock = units::gigahertz(5.0);
+  const PdacDriver drv(cfg);
+  EXPECT_NEAR(drv.conversion_energy().picojoules(),
+              drv.device().power().watts() / 5e9 * 1e12, 1e-9);
+}
+
+TEST(PdacDriver, CheaperPerConversionThanIdealDac) {
+  const auto pd = make_pdac_driver(8);
+  const auto ideal = make_ideal_dac_driver(8);
+  EXPECT_LT(pd->conversion_energy().joules(), 0.3 * ideal->conversion_energy().joules());
+}
+
+TEST(PdacDriver, EncodeClampsOutOfDomain) {
+  const auto drv = make_pdac_driver(8);
+  EXPECT_DOUBLE_EQ(drv->encode(3.0), drv->encode(1.0));
+}
+
+TEST(Drivers, FactoryBreakpointIsForwarded) {
+  const auto drv = make_pdac_driver(8, 0.6);
+  const auto* pd = dynamic_cast<const PdacDriver*>(drv.get());
+  ASSERT_NE(pd, nullptr);
+  EXPECT_DOUBLE_EQ(pd->device().approximation().breakpoint(), 0.6);
+}
+
+TEST(Drivers, PdacWorseMidRangeButGoodNearZeroAndOne) {
+  const auto pd = make_pdac_driver(8);
+  const auto ideal = make_ideal_dac_driver(8);
+  // Near the breakpoint the P-DAC bears the full 8.5 % approximation…
+  EXPECT_GT(std::abs(pd->encode(0.7236) - 0.7236),
+            std::abs(ideal->encode(0.7236) - 0.7236));
+  // …but at the exact-fit points both are tight.
+  EXPECT_NEAR(pd->encode(1.0), 1.0, 1e-6);
+  EXPECT_NEAR(pd->encode(0.0), 0.0, 1e-6);
+}
+
+}  // namespace

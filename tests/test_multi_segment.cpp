@@ -1,0 +1,107 @@
+// Tests for the N-segment arccos generalization.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/math_utils.hpp"
+#include "common/require.hpp"
+#include "core/multi_segment_approx.hpp"
+
+namespace {
+
+using namespace pdac;
+using namespace pdac::core;
+
+TEST(MultiSegment, ChordsInterpolateArccosAtNodes) {
+  const auto a = MultiSegmentArccos::from_nodes({0.0, 0.4, 0.8, 1.0});
+  for (double node : {0.0, 0.4, 0.8, 1.0}) {
+    EXPECT_NEAR(a.eval(node), std::acos(node), 1e-12) << "node " << node;
+  }
+}
+
+TEST(MultiSegment, SymmetryIdentity) {
+  const auto a = MultiSegmentArccos::uniform(4);
+  for (double r : {0.1, 0.33, 0.77, 0.95}) {
+    EXPECT_NEAR(a.eval(-r), math::kPi - a.eval(r), 1e-12) << "r=" << r;
+    EXPECT_NEAR(a.decoded(-r), -a.decoded(r), 1e-12) << "r=" << r;
+  }
+}
+
+TEST(MultiSegment, SingleSegmentIsTheFullChord) {
+  // One chord from (0, π/2) to (1, 0): f(r) = π/2·(1 − r).
+  const auto a = MultiSegmentArccos::uniform(1);
+  EXPECT_NEAR(a.eval(0.5), math::kPi / 4.0, 1e-12);
+  EXPECT_EQ(a.segments(), 1u);
+}
+
+TEST(MultiSegment, MoreSegmentsNeverWorse) {
+  double prev = 1.0;
+  for (std::size_t segs : {1u, 2u, 4u, 8u, 16u}) {
+    const double err = MultiSegmentArccos::uniform(segs).max_decode_error();
+    EXPECT_LE(err, prev + 1e-9) << segs << " segments";
+    prev = err;
+  }
+}
+
+TEST(MultiSegment, OptimizedBeatsUniform) {
+  for (std::size_t segs : {2u, 3u, 4u}) {
+    const double uni = MultiSegmentArccos::uniform(segs).max_decode_error();
+    const double opt = MultiSegmentArccos::optimized(segs).max_decode_error();
+    EXPECT_LE(opt, uni + 1e-9) << segs << " segments";
+  }
+}
+
+TEST(MultiSegment, TwoOptimizedSegmentsNearPaperError) {
+  // The paper's 3-piece program (2 pieces per half with a tangent middle)
+  // achieves 8.5 %; a 2-chord-per-half program with an optimized interior
+  // node must land in the same regime.
+  const auto a = MultiSegmentArccos::optimized(2);
+  EXPECT_LT(a.max_decode_error(), 0.10);
+  EXPECT_GT(a.max_decode_error(), 0.02);
+}
+
+TEST(MultiSegment, EightSegmentsNearOnePercent) {
+  // Eight chords per half reach ~1 % worst-case decode error — an 8×
+  // improvement over the paper's 8.5 % for 7× the comparator count.
+  EXPECT_LT(MultiSegmentArccos::optimized(8).max_decode_error(), 0.015);
+}
+
+TEST(MultiSegment, HardwareCostProxies) {
+  const auto a = MultiSegmentArccos::uniform(3);
+  EXPECT_EQ(a.weight_banks(), 5u);   // 2·3 − 1 (middle shared across signs)
+  EXPECT_EQ(a.comparators(), 4u);
+}
+
+TEST(MultiSegment, DecodedMonotone) {
+  const auto a = MultiSegmentArccos::optimized(3);
+  double prev = a.decoded(-1.0);
+  for (double r : math::linspace(-1.0, 1.0, 801)) {
+    const double v = a.decoded(r);
+    EXPECT_GE(v, prev - 1e-9) << "r=" << r;
+    prev = v;
+  }
+}
+
+TEST(MultiSegment, ClampsOutOfDomain) {
+  const auto a = MultiSegmentArccos::uniform(2);
+  EXPECT_DOUBLE_EQ(a.eval(2.0), a.eval(1.0));
+  EXPECT_DOUBLE_EQ(a.eval(-2.0), a.eval(-1.0));
+}
+
+TEST(MultiSegment, RejectsBadNodeSets) {
+  EXPECT_THROW(MultiSegmentArccos::from_nodes({0.0}), PreconditionError);
+  EXPECT_THROW(MultiSegmentArccos::from_nodes({0.0, 0.5}), PreconditionError);   // no 1
+  EXPECT_THROW(MultiSegmentArccos::from_nodes({0.1, 1.0}), PreconditionError);   // no 0
+  EXPECT_THROW(MultiSegmentArccos::from_nodes({0.0, 0.5, 0.5, 1.0}), PreconditionError);
+  EXPECT_THROW(MultiSegmentArccos::uniform(0), PreconditionError);
+}
+
+TEST(MultiSegment, OptimizedNodesStaySorted) {
+  const auto a = MultiSegmentArccos::optimized(4);
+  const auto& nodes = a.nodes();
+  for (std::size_t i = 1; i < nodes.size(); ++i) EXPECT_GT(nodes[i], nodes[i - 1]);
+  EXPECT_DOUBLE_EQ(nodes.front(), 0.0);
+  EXPECT_DOUBLE_EQ(nodes.back(), 1.0);
+}
+
+}  // namespace

@@ -1,0 +1,130 @@
+// Tests for the MZI mesh baseline (SVD-programmed photonic core).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/require.hpp"
+#include "common/stats.hpp"
+#include "common/svd.hpp"
+#include "photonics/mzi_mesh.hpp"
+
+namespace {
+
+using namespace pdac;
+using namespace pdac::photonics;
+
+Matrix random_orthogonal(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  const Matrix a = Matrix::random_gaussian(n, n, rng);
+  return math::svd(a).u;  // orthonormal columns of a full-rank square matrix
+}
+
+TEST(MziMesh, IdentityNeedsNoRotations) {
+  MziMesh mesh(4);
+  Matrix eye(4, 4, 0.0);
+  for (std::size_t i = 0; i < 4; ++i) eye(i, i) = 1.0;
+  EXPECT_EQ(mesh.program(eye), 0u);
+  const std::vector<double> x{1.0, -2.0, 0.5, 0.0};
+  const auto y = mesh.apply(x);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR(y[i], x[i], 1e-12);
+}
+
+TEST(MziMesh, Rotation2x2) {
+  MziMesh mesh(2);
+  const double th = 0.6;
+  Matrix q(2, 2, std::vector<double>{std::cos(th), -std::sin(th), std::sin(th), std::cos(th)});
+  mesh.program(q);
+  const std::vector<double> x{0.8, -0.4};
+  const auto y = mesh.apply(x);
+  EXPECT_NEAR(y[0], q(0, 0) * x[0] + q(0, 1) * x[1], 1e-12);
+  EXPECT_NEAR(y[1], q(1, 0) * x[0] + q(1, 1) * x[1], 1e-12);
+}
+
+TEST(MziMesh, RejectsNonOrthogonal) {
+  MziMesh mesh(3);
+  Rng rng(3);
+  const Matrix a = Matrix::random_gaussian(3, 3, rng);  // not orthogonal
+  EXPECT_THROW(mesh.program(a), PreconditionError);
+}
+
+TEST(MziMesh, InterferometerCountFormula) {
+  EXPECT_EQ(MziMesh::interferometers(12), 66u);
+  EXPECT_EQ(MziMesh::interferometers(2), 1u);
+}
+
+TEST(MziMesh, EnergyConservation) {
+  // An orthogonal mesh preserves the optical power of any input.
+  MziMesh mesh(6);
+  mesh.program(random_orthogonal(6, 7));
+  Rng rng(8);
+  const auto x = rng.uniform_vector(6, -1.0, 1.0);
+  const auto y = mesh.apply(x);
+  double px = 0.0, py = 0.0;
+  for (std::size_t i = 0; i < 6; ++i) {
+    px += x[i] * x[i];
+    py += y[i] * y[i];
+  }
+  EXPECT_NEAR(px, py, 1e-10);
+}
+
+// --- property: mesh reproduces Q·x for random orthogonals -------------------
+class MeshProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MeshProperty, MatchesMatrixVectorProduct) {
+  const std::size_t n = GetParam();
+  const Matrix q = random_orthogonal(n, 10 + n);
+  MziMesh mesh(n);
+  const std::size_t count = mesh.program(q);
+  EXPECT_LE(count, MziMesh::interferometers(n));
+  Rng rng(20 + n);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto x = rng.uniform_vector(n, -1.0, 1.0);
+    const auto y = mesh.apply(x);
+    for (std::size_t i = 0; i < n; ++i) {
+      double expect = 0.0;
+      for (std::size_t j = 0; j < n; ++j) expect += q(i, j) * x[j];
+      EXPECT_NEAR(y[i], expect, 1e-9) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MeshProperty, ::testing::Values(2, 3, 4, 8, 12, 16));
+
+TEST(MziSvdCore, MatvecMatchesWeightMatrix) {
+  const std::size_t n = 8;
+  Rng rng(31);
+  const Matrix w = Matrix::random_gaussian(n, n, rng);
+  MziSvdCore core(n);
+  core.program(w);
+  const auto x = rng.uniform_vector(n, -1.0, 1.0);
+  const auto y = core.apply(x);
+  for (std::size_t i = 0; i < n; ++i) {
+    double expect = 0.0;
+    for (std::size_t j = 0; j < n; ++j) expect += w(i, j) * x[j];
+    EXPECT_NEAR(y[i], expect, 1e-8) << "i=" << i;
+  }
+}
+
+TEST(MziSvdCore, AttenuatorsOnlyAttenuate) {
+  const std::size_t n = 6;
+  Rng rng(33);
+  MziSvdCore core(n);
+  core.program(Matrix::random_gaussian(n, n, rng, 0.0, 5.0));
+  EXPECT_GE(core.optical_scale(), 1e-6);  // gain restored electronically
+}
+
+TEST(MziSvdCore, MappingLatencyCalibratedToPaperQuote) {
+  // "mapping a 12×12 matrix takes approximately 1.5 ms"
+  EXPECT_NEAR(MziSvdCore::mapping_latency(12).milliseconds(), 1.5, 1e-9);
+  // O(n³): 24×24 costs 8×.
+  EXPECT_NEAR(MziSvdCore::mapping_latency(24).milliseconds(), 12.0, 1e-9);
+}
+
+TEST(MziSvdCore, MappingDwarfsModulationCycle) {
+  // The motivating gap: ≥ 6 orders of magnitude vs a 0.2 ns cycle.
+  const double cycles_lost =
+      MziSvdCore::mapping_latency(12).seconds() / 0.2e-9;
+  EXPECT_GT(cycles_lost, 1e6);
+}
+
+}  // namespace

@@ -1,0 +1,141 @@
+// Unit and property tests for the Mach-Zehnder Modulator (paper Eq. 3,
+// Eq. 7–9).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/math_utils.hpp"
+#include "common/require.hpp"
+#include "photonics/mzm.hpp"
+
+namespace {
+
+using namespace pdac;
+using namespace pdac::photonics;
+
+TEST(Mzm, ZeroVoltagePassesCarrierUnchanged) {
+  const Mzm mzm;
+  const Complex out = mzm.modulate(Complex{1.0, 0.0}, 0.0, 0.0);
+  EXPECT_NEAR(out.real(), 1.0, 1e-15);
+  EXPECT_NEAR(out.imag(), 0.0, 1e-15);
+}
+
+TEST(Mzm, PushPullEqualsCosine) {
+  // Paper Eq. 9: with V₂ = −V₁ and k = 0, E_out = E_in·cos(V′₁).
+  const Mzm mzm;
+  for (double vp : {0.0, 0.3, 1.0, math::kPi / 2.0, 2.5, math::kPi}) {
+    const Complex out = mzm.modulate_pushpull(Complex{1.0, 0.0}, vp);
+    EXPECT_NEAR(out.real(), std::cos(vp), 1e-12) << "V'=" << vp;
+    EXPECT_NEAR(out.imag(), 0.0, 1e-12) << "V'=" << vp;
+  }
+}
+
+TEST(Mzm, FullRangeEncodingViaPhase) {
+  // cos(V′₁) spans (−1, 1): negative values come out with π phase.
+  const Mzm mzm;
+  const Complex neg = mzm.modulate_pushpull(Complex{1.0, 0.0}, 2.5);
+  EXPECT_LT(neg.real(), 0.0);
+  EXPECT_NEAR(std::abs(neg), std::abs(std::cos(2.5)), 1e-12);
+}
+
+TEST(Mzm, NormalizedPhaseMatchesDefinition) {
+  MzmConfig cfg;
+  cfg.v_pi = 2.0;
+  const Mzm mzm(cfg);
+  // V′ = πV / 2Vπ: at V = Vπ, V′ = π/2.
+  EXPECT_NEAR(mzm.normalized_phase(2.0), math::kPi / 2.0, 1e-15);
+  EXPECT_NEAR(mzm.arm_voltage(math::kPi / 2.0), 2.0, 1e-12);
+}
+
+TEST(Mzm, PhaseVoltageRoundTrip) {
+  const Mzm mzm;
+  for (double v : {-1.7, 0.0, 0.4, 3.3}) {
+    EXPECT_NEAR(mzm.arm_voltage(mzm.normalized_phase(v)), v, 1e-12);
+  }
+}
+
+TEST(Mzm, NeverAmplifies) {
+  const Mzm mzm;
+  for (double v1 = -4.0; v1 <= 4.0; v1 += 0.37) {
+    for (double v2 = -4.0; v2 <= 4.0; v2 += 0.41) {
+      const Complex out = mzm.modulate(Complex{1.0, 0.0}, v1, v2);
+      EXPECT_LE(std::abs(out), 1.0 + 1e-12);
+    }
+  }
+}
+
+TEST(Mzm, InsertionLossScalesOutput) {
+  MzmConfig cfg;
+  cfg.insertion_loss = 0.8;
+  const Mzm mzm(cfg);
+  const Complex out = mzm.modulate_pushpull(Complex{1.0, 0.0}, 0.0);
+  EXPECT_NEAR(out.real(), 0.8, 1e-12);
+}
+
+TEST(Mzm, ImbalanceBreaksPerfectExtinction) {
+  // With k = 0, V′ = π/2 gives full extinction; with k ≠ 0 light leaks.
+  MzmConfig balanced;
+  MzmConfig imbalanced;
+  imbalanced.imbalance_k = 0.1;
+  const Complex out_b = Mzm(balanced).modulate_pushpull(Complex{1.0, 0.0}, math::kPi / 2.0);
+  const Complex out_i = Mzm(imbalanced).modulate_pushpull(Complex{1.0, 0.0}, math::kPi / 2.0);
+  EXPECT_NEAR(std::abs(out_b), 0.0, 1e-12);
+  EXPECT_GT(std::abs(out_i), 1e-3);
+}
+
+TEST(Mzm, Eq3MatchesManualEvaluation) {
+  MzmConfig cfg;
+  cfg.v_pi = 1.7;
+  cfg.imbalance_k = 0.05;
+  const Mzm mzm(cfg);
+  const double v1 = 0.9, v2 = -0.4;
+  const Complex e_in{0.8, 0.1};
+  const double p1 = math::kPi * v1 / (2.0 * cfg.v_pi);
+  const double p2 = math::kPi * v2 / (2.0 * cfg.v_pi);
+  const Complex expect =
+      0.5 * e_in * ((1.0 + cfg.imbalance_k) * std::polar(1.0, p1) +
+                    (1.0 - cfg.imbalance_k) * std::polar(1.0, p2));
+  const Complex got = mzm.modulate(e_in, v1, v2);
+  EXPECT_NEAR(got.real(), expect.real(), 1e-14);
+  EXPECT_NEAR(got.imag(), expect.imag(), 1e-14);
+}
+
+TEST(Mzm, ModulateChannelTouchesOnlyThatChannel) {
+  const Mzm mzm;
+  WdmField f(3);
+  for (std::size_t ch = 0; ch < 3; ++ch) f.set_amplitude(ch, Complex{1.0, 0.0});
+  mzm.modulate_channel(f, 1, math::kPi / 3.0);
+  EXPECT_NEAR(f.amplitude(0).real(), 1.0, 1e-15);
+  EXPECT_NEAR(f.amplitude(1).real(), 0.5, 1e-12);
+  EXPECT_NEAR(f.amplitude(2).real(), 1.0, 1e-15);
+}
+
+TEST(Mzm, RejectsInvalidConfig) {
+  MzmConfig bad;
+  bad.v_pi = 0.0;
+  EXPECT_THROW(Mzm{bad}, PreconditionError);
+  bad = MzmConfig{};
+  bad.imbalance_k = 1.0;
+  EXPECT_THROW(Mzm{bad}, PreconditionError);
+  bad = MzmConfig{};
+  bad.insertion_loss = 0.0;
+  EXPECT_THROW(Mzm{bad}, PreconditionError);
+}
+
+// --- property: arccos drive reproduces any target value ---------------------
+class MzmArccosDrive : public ::testing::TestWithParam<double> {};
+
+TEST_P(MzmArccosDrive, ArccosPhaseEncodesExactValue) {
+  // The ideal controller computes V′₁ = arccos(r); the MZM must then
+  // output exactly r·E_in (paper Eq. 10–13).
+  const Mzm mzm;
+  const double r = GetParam();
+  const Complex out = mzm.modulate_pushpull(Complex{1.0, 0.0}, std::acos(r));
+  EXPECT_NEAR(out.real(), r, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(TargetValues, MzmArccosDrive,
+                         ::testing::Values(-1.0, -0.7236, -0.5, -0.1, 0.0, 0.1, 0.5,
+                                           0.7236, 0.9, 1.0));
+
+}  // namespace

@@ -1,0 +1,175 @@
+// Tests for the transformer layers over pluggable GEMM backends.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/require.hpp"
+#include "common/stats.hpp"
+#include "nn/attention.hpp"
+#include "nn/backend.hpp"
+#include "nn/encoder_layer.hpp"
+#include "nn/linear.hpp"
+#include "nn/transformer.hpp"
+
+namespace {
+
+using namespace pdac;
+using namespace pdac::nn;
+
+TEST(Linear, ForwardMatchesManualProduct) {
+  Linear lin(3, 2);
+  lin.weight()(0, 0) = 1.0;
+  lin.weight()(1, 1) = 2.0;
+  lin.weight()(2, 0) = -1.0;
+  lin.bias() = {0.5, -0.5};
+  Matrix x(1, 3, std::vector<double>{1.0, 2.0, 3.0});
+  ReferenceBackend ref;
+  const Matrix y = lin.forward(x, ref);
+  EXPECT_DOUBLE_EQ(y(0, 0), 1.0 - 3.0 + 0.5);
+  EXPECT_DOUBLE_EQ(y(0, 1), 4.0 - 0.5);
+}
+
+TEST(Linear, RejectsWidthMismatch) {
+  Linear lin(3, 2);
+  Matrix x(1, 4);
+  ReferenceBackend ref;
+  EXPECT_THROW(lin.forward(x, ref), PreconditionError);
+}
+
+TEST(Linear, InitRandomIsBoundedXavier) {
+  Linear lin(100, 100);
+  Rng rng(3);
+  lin.init_random(rng);
+  const double bound = std::sqrt(6.0 / 200.0);
+  for (double w : lin.weight().data()) {
+    EXPECT_GE(w, -bound);
+    EXPECT_LE(w, bound);
+  }
+}
+
+TEST(Attention, OutputShapeMatchesInput) {
+  MultiHeadAttention mha(32, 4);
+  Rng rng(4);
+  mha.init_random(rng);
+  Matrix x = Matrix::random_gaussian(6, 32, rng);
+  ReferenceBackend ref;
+  const Matrix y = mha.forward(x, ref);
+  EXPECT_EQ(y.rows(), 6u);
+  EXPECT_EQ(y.cols(), 32u);
+}
+
+TEST(Attention, RejectsIndivisibleHeads) {
+  EXPECT_THROW(MultiHeadAttention(30, 4), PreconditionError);
+}
+
+TEST(Attention, UniformValueRowsPassThroughSoftmax) {
+  // If V projection makes all rows identical, attention-weighted output
+  // equals that row regardless of the scores: checks the softmax·V path.
+  MultiHeadAttention mha(8, 1);
+  Rng rng(5);
+  mha.init_random(rng);
+  // Force V = identity-ish and equal inputs.
+  Matrix x(4, 8, 0.0);
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 8; ++c) x(r, c) = static_cast<double>(c) * 0.1;
+  }
+  ReferenceBackend ref;
+  const Matrix y = mha.forward(x, ref);
+  // All token outputs identical because all inputs are identical.
+  for (std::size_t r = 1; r < 4; ++r) {
+    for (std::size_t c = 0; c < 8; ++c) EXPECT_NEAR(y(r, c), y(0, c), 1e-10);
+  }
+}
+
+TEST(Attention, PhotonicBackendTracksReference) {
+  MultiHeadAttention mha(16, 2);
+  Rng rng(6);
+  mha.init_random(rng);
+  Matrix x = Matrix::random_gaussian(5, 16, rng, 0.0, 0.5);
+  ReferenceBackend ref;
+  auto photonic = make_photonic_pdac_backend(8);
+  const Matrix exact = mha.forward(x, ref);
+  const Matrix approx = mha.forward(x, *photonic);
+  const auto err = stats::compare(approx.data(), exact.data());
+  EXPECT_GT(err.cosine, 0.97);
+}
+
+TEST(EncoderLayer, ShapePreservedAndFinite) {
+  EncoderLayer layer(32, 4, 64);
+  Rng rng(7);
+  layer.init_random(rng);
+  Matrix x = Matrix::random_gaussian(6, 32, rng);
+  ReferenceBackend ref;
+  const Matrix y = layer.forward(x, ref);
+  EXPECT_EQ(y.rows(), 6u);
+  EXPECT_EQ(y.cols(), 32u);
+  for (double v : y.data()) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(EncoderLayer, ResidualPathDominatesForZeroWeights) {
+  // With all-zero weights the block reduces to x + biases ≈ x.
+  EncoderLayer layer(8, 2, 16);
+  Matrix x(2, 8, std::vector<double>(16, 1.0));
+  ReferenceBackend ref;
+  const Matrix y = layer.forward(x, ref);
+  for (std::size_t i = 0; i < y.size(); ++i) EXPECT_NEAR(y.data()[i], 1.0, 1e-9);
+}
+
+TEST(Transformer, DeterministicForSameSeed) {
+  const auto cfg = tiny_transformer(4, 16, 2, 2);
+  Transformer a(cfg), b(cfg);
+  a.init_random(9);
+  b.init_random(9);
+  const Matrix in = a.random_input(1);
+  ReferenceBackend ra, rb;
+  const Matrix ya = a.forward(in, ra);
+  const Matrix yb = b.forward(in, rb);
+  for (std::size_t i = 0; i < ya.size(); ++i) EXPECT_DOUBLE_EQ(ya.data()[i], yb.data()[i]);
+}
+
+TEST(Transformer, DifferentSeedsDiffer) {
+  const auto cfg = tiny_transformer(4, 16, 2, 1);
+  Transformer a(cfg), b(cfg);
+  a.init_random(1);
+  b.init_random(2);
+  const Matrix in = a.random_input(1);
+  ReferenceBackend ra, rb;
+  const Matrix ya = a.forward(in, ra);
+  const Matrix yb = b.forward(in, rb);
+  double diff = 0.0;
+  for (std::size_t i = 0; i < ya.size(); ++i) diff += std::abs(ya.data()[i] - yb.data()[i]);
+  EXPECT_GT(diff, 1e-3);
+}
+
+TEST(Transformer, LayerCountMatchesConfig) {
+  const auto cfg = tiny_transformer(4, 16, 2, 3);
+  Transformer t(cfg);
+  EXPECT_EQ(t.layer_count(), 3u);
+}
+
+TEST(Backends, ReferenceCountsMacs) {
+  ReferenceBackend ref;
+  (void)ref.matmul(Matrix(2, 3), Matrix(3, 4));
+  EXPECT_EQ(ref.events().macs, 24u);
+  ref.reset_events();
+  EXPECT_EQ(ref.events().macs, 0u);
+}
+
+TEST(Backends, PhotonicAccumulatesEventsAcrossCalls) {
+  auto backend = make_photonic_pdac_backend(8);
+  Rng rng(8);
+  const Matrix a = Matrix::random_gaussian(4, 8, rng);
+  const Matrix b = Matrix::random_gaussian(8, 4, rng);
+  (void)backend->matmul(a, b);
+  const auto first = backend->events().modulation_events;
+  (void)backend->matmul(a, b);
+  EXPECT_EQ(backend->events().modulation_events, 2 * first);
+}
+
+TEST(Backends, NamesIdentifyDriver) {
+  EXPECT_EQ(make_reference_backend()->name(), "reference");
+  EXPECT_EQ(make_photonic_pdac_backend(8)->name(), "photonic/p-dac");
+  EXPECT_EQ(make_photonic_ideal_dac_backend(8)->name(), "photonic/ideal-dac");
+}
+
+}  // namespace

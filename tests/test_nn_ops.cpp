@@ -1,0 +1,140 @@
+// Tests for the digital vector-unit operators (softmax, GELU, layernorm).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/require.hpp"
+#include "common/rng.hpp"
+#include "nn/ops.hpp"
+
+namespace {
+
+using namespace pdac;
+using namespace pdac::nn;
+
+TEST(Softmax, RowsSumToOne) {
+  Rng rng(1);
+  Matrix m = Matrix::random_gaussian(5, 7, rng, 0.0, 3.0);
+  softmax_rows(m);
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    double sum = 0.0;
+    for (double v : m.row(r)) {
+      sum += v;
+      EXPECT_GE(v, 0.0);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST(Softmax, UniformInputGivesUniformOutput) {
+  Matrix m(1, 4, 2.5);
+  softmax_rows(m);
+  for (double v : m.row(0)) EXPECT_NEAR(v, 0.25, 1e-12);
+}
+
+TEST(Softmax, InvariantToRowShift) {
+  Matrix a(1, 3, std::vector<double>{1.0, 2.0, 3.0});
+  Matrix b(1, 3, std::vector<double>{101.0, 102.0, 103.0});
+  softmax_rows(a);
+  softmax_rows(b);
+  for (std::size_t c = 0; c < 3; ++c) EXPECT_NEAR(a(0, c), b(0, c), 1e-12);
+}
+
+TEST(Softmax, StableForLargeLogits) {
+  Matrix m(1, 2, std::vector<double>{1000.0, 999.0});
+  softmax_rows(m);
+  EXPECT_TRUE(std::isfinite(m(0, 0)));
+  EXPECT_NEAR(m(0, 0) + m(0, 1), 1.0, 1e-12);
+  EXPECT_GT(m(0, 0), m(0, 1));
+}
+
+TEST(Gelu, KnownValues) {
+  Matrix m(1, 3, std::vector<double>{0.0, 10.0, -10.0});
+  gelu(m);
+  EXPECT_NEAR(m(0, 0), 0.0, 1e-12);
+  EXPECT_NEAR(m(0, 1), 10.0, 1e-6);   // ≈identity for large positive
+  EXPECT_NEAR(m(0, 2), 0.0, 1e-6);    // ≈0 for large negative
+}
+
+TEST(Gelu, MidpointMatchesTanhApproximation) {
+  Matrix m(1, 1, std::vector<double>{1.0});
+  gelu(m);
+  EXPECT_NEAR(m(0, 0), 0.8412, 1e-3);
+}
+
+TEST(Gelu, MonotoneOnPositiveAxis) {
+  Matrix m(1, 50);
+  for (std::size_t i = 0; i < 50; ++i) m(0, i) = 0.1 * static_cast<double>(i);
+  gelu(m);
+  for (std::size_t i = 1; i < 50; ++i) EXPECT_GT(m(0, i), m(0, i - 1));
+}
+
+TEST(LayerNorm, NormalizesRows) {
+  Rng rng(2);
+  Matrix m = Matrix::random_gaussian(4, 64, rng, 5.0, 3.0);
+  const std::vector<double> gamma(64, 1.0), beta(64, 0.0);
+  layer_norm(m, gamma, beta);
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    double mean = 0.0, var = 0.0;
+    for (double v : m.row(r)) mean += v;
+    mean /= 64.0;
+    for (double v : m.row(r)) var += (v - mean) * (v - mean);
+    var /= 64.0;
+    EXPECT_NEAR(mean, 0.0, 1e-9);
+    EXPECT_NEAR(var, 1.0, 1e-3);
+  }
+}
+
+TEST(LayerNorm, GammaBetaApplied) {
+  Matrix m(1, 2, std::vector<double>{-1.0, 1.0});
+  const std::vector<double> gamma{2.0, 2.0};
+  const std::vector<double> beta{0.5, 0.5};
+  layer_norm(m, gamma, beta);
+  EXPECT_NEAR(m(0, 0), -2.0 + 0.5, 1e-4);
+  EXPECT_NEAR(m(0, 1), 2.0 + 0.5, 1e-4);
+}
+
+TEST(LayerNorm, RejectsMismatchedParams) {
+  Matrix m(1, 4);
+  const std::vector<double> short_vec(3, 1.0);
+  const std::vector<double> ok(4, 1.0);
+  EXPECT_THROW(layer_norm(m, short_vec, ok), PreconditionError);
+}
+
+TEST(AddInplace, ElementwiseSum) {
+  Matrix a(2, 2, 1.0);
+  Matrix b(2, 2, std::vector<double>{1, 2, 3, 4});
+  add_inplace(a, b);
+  EXPECT_DOUBLE_EQ(a(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(a(1, 1), 5.0);
+}
+
+TEST(AddInplace, RejectsShapeMismatch) {
+  Matrix a(2, 2);
+  Matrix b(2, 3);
+  EXPECT_THROW(add_inplace(a, b), PreconditionError);
+}
+
+TEST(AddBias, BroadcastsOverRows) {
+  Matrix m(2, 3, 0.0);
+  const std::vector<double> bias{1.0, 2.0, 3.0};
+  add_bias(m, bias);
+  for (std::size_t r = 0; r < 2; ++r) {
+    EXPECT_DOUBLE_EQ(m(r, 0), 1.0);
+    EXPECT_DOUBLE_EQ(m(r, 2), 3.0);
+  }
+}
+
+TEST(AddBias, RejectsWrongWidth) {
+  Matrix m(1, 3);
+  const std::vector<double> bias{1.0};
+  EXPECT_THROW(add_bias(m, bias), PreconditionError);
+}
+
+TEST(ScaleInplace, MultipliesEveryElement) {
+  Matrix m(2, 2, 3.0);
+  scale_inplace(m, -2.0);
+  for (double v : m.data()) EXPECT_DOUBLE_EQ(v, -6.0);
+}
+
+}  // namespace

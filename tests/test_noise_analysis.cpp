@@ -1,0 +1,94 @@
+// Tests for the DDot SNR / effective-resolution analysis.
+#include <gtest/gtest.h>
+
+#include "common/require.hpp"
+#include "ptc/noise_analysis.hpp"
+
+namespace {
+
+using namespace pdac;
+using namespace pdac::ptc;
+
+SnrConfig thermal(double std_dev, double scale = 1.0) {
+  SnrConfig cfg;
+  cfg.noise.enabled = true;
+  cfg.noise.thermal_noise_std = std_dev;
+  cfg.amplitude_scale = scale;
+  cfg.trials = 3000;
+  cfg.seed = 7;
+  return cfg;
+}
+
+TEST(SnrAnalysis, NoiselessIsEffectivelyInfiniteSnr) {
+  SnrConfig cfg;
+  cfg.trials = 500;
+  const auto rep = measure_ddot_snr(cfg);
+  EXPECT_GT(rep.snr_db, 150.0);
+  EXPECT_GT(rep.effective_bits, 20.0);
+}
+
+TEST(SnrAnalysis, MoreNoiseLowersSnr) {
+  const auto low = measure_ddot_snr(thermal(0.005));
+  const auto high = measure_ddot_snr(thermal(0.05));
+  EXPECT_GT(low.snr_db, high.snr_db);
+  EXPECT_GT(low.effective_bits, high.effective_bits);
+}
+
+TEST(SnrAnalysis, ThermalLimitedGainsOneBitPerPowerDoubling) {
+  // Thermal noise is fixed at the detector, so value noise ∝ 1/s² and
+  // each laser-power doubling (s ×√2) adds ~1 effective bit.
+  const auto a = measure_ddot_snr(thermal(0.02, 1.0));
+  const auto b = measure_ddot_snr(thermal(0.02, std::sqrt(2.0)));
+  EXPECT_NEAR(b.effective_bits - a.effective_bits, 1.0, 0.25);
+}
+
+TEST(SnrAnalysis, ShotLimitedGainsHalfBitPerPowerDoubling) {
+  SnrConfig base;
+  base.noise.enabled = true;
+  base.noise.shot_noise_scale = 0.02;
+  base.trials = 6000;
+  base.seed = 11;
+  SnrConfig doubled = base;
+  doubled.amplitude_scale = std::sqrt(2.0);
+  const auto a = measure_ddot_snr(base);
+  const auto b = measure_ddot_snr(doubled);
+  EXPECT_NEAR(b.effective_bits - a.effective_bits, 0.5, 0.25);
+}
+
+TEST(SnrAnalysis, SeedDeterminism) {
+  const auto a = measure_ddot_snr(thermal(0.02));
+  const auto b = measure_ddot_snr(thermal(0.02));
+  EXPECT_DOUBLE_EQ(a.snr_db, b.snr_db);
+}
+
+TEST(SnrAnalysis, SignalRmsMatchesUniformOperandTheory) {
+  // Σ x·y over 8 channels of U(−1,1): variance = 8·(1/3)² = 8/9.
+  const auto rep = measure_ddot_snr(thermal(1e-9));
+  EXPECT_NEAR(rep.signal_rms, std::sqrt(8.0 / 9.0), 0.05);
+}
+
+TEST(SnrAnalysis, RequiredScaleMonotoneInTarget) {
+  const auto base = thermal(0.02);
+  const double s6 = required_amplitude_scale(6.0, base);
+  const double s8 = required_amplitude_scale(8.0, base);
+  ASSERT_GT(s6, 0.0);
+  ASSERT_GT(s8, 0.0);
+  EXPECT_GT(s8, s6);
+}
+
+TEST(SnrAnalysis, RequiredScaleReturnsZeroWhenUnreachable) {
+  const auto noisy = thermal(10.0);
+  EXPECT_DOUBLE_EQ(required_amplitude_scale(16.0, noisy, /*max_scale=*/2.0), 0.0);
+}
+
+TEST(SnrAnalysis, RejectsBadConfig) {
+  SnrConfig bad;
+  bad.amplitude_scale = 0.0;
+  EXPECT_THROW(measure_ddot_snr(bad), PreconditionError);
+  bad = SnrConfig{};
+  bad.trials = 5;
+  EXPECT_THROW(measure_ddot_snr(bad), PreconditionError);
+  EXPECT_THROW(required_amplitude_scale(0.0, SnrConfig{}), PreconditionError);
+}
+
+}  // namespace

@@ -1,0 +1,107 @@
+// Unit and property tests for the weighted multi-bit OE interface
+// (paper Fig. 7): the receive stage the P-DAC programs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/require.hpp"
+#include "converters/eo_interface.hpp"
+#include "converters/oe_interface.hpp"
+
+namespace {
+
+using namespace pdac;
+using namespace pdac::converters;
+
+TEST(OeInterface, BinaryWeightsReconstructValue) {
+  const MultiBitEoInterface eo(EoInterfaceConfig{});
+  const MultiBitOeInterface oe(MultiBitOeInterface::binary_weighted(8));
+  for (std::int32_t code : {0, 1, 5, 64, 127, -1, -64, -127}) {
+    const double v = oe.convert(eo.encode(code));
+    EXPECT_NEAR(v, static_cast<double>(code) / 127.0, 1e-12) << "code " << code;
+  }
+}
+
+TEST(OeInterface, BiasAddsConstantOffset) {
+  OeInterfaceConfig cfg = MultiBitOeInterface::binary_weighted(8);
+  cfg.bias = 0.75;
+  const MultiBitOeInterface oe(cfg);
+  const MultiBitEoInterface eo(EoInterfaceConfig{});
+  EXPECT_NEAR(oe.convert(eo.encode(0)), 0.75, 1e-15);
+}
+
+TEST(OeInterface, VScaleMultipliesWeights) {
+  const MultiBitEoInterface eo(EoInterfaceConfig{});
+  const MultiBitOeInterface oe(MultiBitOeInterface::binary_weighted(8, 3.0));
+  EXPECT_NEAR(oe.convert(eo.encode(127)), 3.0, 1e-12);
+}
+
+TEST(OeInterface, ThresholdRegenerationToleratesAmplitudeNoise) {
+  const MultiBitOeInterface oe(MultiBitOeInterface::binary_weighted(4));
+  OpticalDigitalWord word;
+  word.slots.resize(4);
+  // A degraded logic-1 (80 % amplitude) and a noisy logic-0 (10 %).
+  word.slots[0].amplitude = photonics::Complex{0.8, 0.0};
+  word.slots[1].amplitude = photonics::Complex{0.1, 0.0};
+  const double v = oe.convert(word);
+  EXPECT_NEAR(v, 1.0 / 7.0, 1e-12);  // only bit 0 reads as 1
+}
+
+TEST(OeInterface, AnalogModeScalesWithIntensity) {
+  const MultiBitOeInterface oe(MultiBitOeInterface::binary_weighted(4));
+  OpticalDigitalWord word;
+  word.slots.resize(4);
+  word.slots[0].amplitude = photonics::Complex{1.0, 0.0};  // full on: I = 0.5
+  const double full = oe.convert_analog(word);
+  word.slots[0].amplitude = photonics::Complex{std::sqrt(0.5), 0.0};  // half intensity
+  const double half = oe.convert_analog(word);
+  EXPECT_NEAR(half, 0.5 * full, 1e-12);
+}
+
+TEST(OeInterface, PowerCountsPerBitAndGainUnits) {
+  OeInterfaceConfig cfg = MultiBitOeInterface::binary_weighted(8);
+  cfg.pd_ring_power_per_bit = units::microwatts(160.9);
+  cfg.tia_power_unit = units::microwatts(5.206);
+  const MultiBitOeInterface oe(cfg);
+  // 8 bits of PD/ring + (2^8 − 1) gain units — the P-DAC power law.
+  const double expect_mw = (160.9e-3 * 8.0) + (5.206e-3 * 255.0);
+  EXPECT_NEAR(oe.power().milliwatts(), expect_mw, 1e-9);
+}
+
+TEST(OeInterface, ConvertRejectsWidthMismatch) {
+  const MultiBitOeInterface oe(MultiBitOeInterface::binary_weighted(8));
+  OpticalDigitalWord narrow;
+  narrow.slots.resize(4);
+  EXPECT_THROW((void)oe.convert(narrow), PreconditionError);
+  EXPECT_THROW((void)oe.convert_analog(narrow), PreconditionError);
+}
+
+TEST(OeInterface, RejectsEmptyWeights) {
+  OeInterfaceConfig empty;
+  EXPECT_THROW((void)MultiBitOeInterface{empty}, PreconditionError);
+}
+
+TEST(OeInterface, BinaryWeightedRejectsBadBits) {
+  EXPECT_THROW((void)MultiBitOeInterface::binary_weighted(1), PreconditionError);
+  EXPECT_THROW((void)MultiBitOeInterface::binary_weighted(17), PreconditionError);
+}
+
+// --- property: EO→OE loopback is exact for every code at every width -------
+class EoOeLoopback : public ::testing::TestWithParam<int> {};
+
+TEST_P(EoOeLoopback, ReconstructsAllCodes) {
+  const int bits = GetParam();
+  EoInterfaceConfig ecfg;
+  ecfg.bits = bits;
+  const MultiBitEoInterface eo(ecfg);
+  const MultiBitOeInterface oe(MultiBitOeInterface::binary_weighted(bits));
+  const std::int32_t mc = (1 << (bits - 1)) - 1;
+  for (std::int32_t c = -mc; c <= mc; ++c) {
+    EXPECT_NEAR(oe.convert(eo.encode(c)), static_cast<double>(c) / mc, 1e-12)
+        << "code " << c;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BitWidths, EoOeLoopback, ::testing::Values(2, 4, 6, 8, 10));
+
+}  // namespace

@@ -1,0 +1,67 @@
+// Unit tests for the optical-field representation.
+#include <gtest/gtest.h>
+
+#include "common/require.hpp"
+#include "photonics/optical_field.hpp"
+
+namespace {
+
+using namespace pdac::photonics;
+
+TEST(FieldSample, IntensityIsHalfNormSquared) {
+  FieldSample s{Complex{3.0, 4.0}};  // |E|² = 25
+  EXPECT_DOUBLE_EQ(s.intensity(), 12.5);
+}
+
+TEST(FieldSample, ZeroFieldHasZeroIntensity) {
+  EXPECT_DOUBLE_EQ(FieldSample{}.intensity(), 0.0);
+}
+
+TEST(FieldSample, IntensityIsPhaseInvariant) {
+  FieldSample a{Complex{1.0, 0.0}};
+  FieldSample b{std::polar(1.0, 2.1)};
+  EXPECT_NEAR(a.intensity(), b.intensity(), 1e-15);
+}
+
+TEST(WdmField, ConstructionAndAccess) {
+  WdmField f(4);
+  EXPECT_EQ(f.channels(), 4u);
+  for (std::size_t ch = 0; ch < 4; ++ch) EXPECT_EQ(f.amplitude(ch), (Complex{0.0, 0.0}));
+  f.set_amplitude(2, Complex{1.0, -1.0});
+  EXPECT_EQ(f.amplitude(2), (Complex{1.0, -1.0}));
+}
+
+TEST(WdmField, FromAmplitudeVector) {
+  WdmField f(std::vector<Complex>{{1.0, 0.0}, {0.0, 2.0}});
+  EXPECT_EQ(f.channels(), 2u);
+  EXPECT_DOUBLE_EQ(f.intensity(0), 0.5);
+  EXPECT_DOUBLE_EQ(f.intensity(1), 2.0);
+}
+
+TEST(WdmField, TotalIntensitySumsChannels) {
+  WdmField f(3);
+  f.set_amplitude(0, Complex{1.0, 0.0});  // I = 0.5
+  f.set_amplitude(1, Complex{0.0, 2.0});  // I = 2.0
+  f.set_amplitude(2, Complex{1.0, 1.0});  // I = 1.0
+  EXPECT_DOUBLE_EQ(f.total_intensity(), 3.5);
+}
+
+TEST(WdmField, ChannelBoundsChecked) {
+  WdmField f(2);
+  EXPECT_THROW((void)f.amplitude(2), pdac::PreconditionError);
+  EXPECT_THROW((void)f.set_amplitude(5, Complex{}), pdac::PreconditionError);
+  EXPECT_THROW((void)f.intensity(2), pdac::PreconditionError);
+}
+
+TEST(WdmField, EmptyFieldTotalIntensityZero) {
+  WdmField f;
+  EXPECT_EQ(f.channels(), 0u);
+  EXPECT_DOUBLE_EQ(f.total_intensity(), 0.0);
+}
+
+TEST(DualRail, ChannelCountConsistency) {
+  DualRail rails{WdmField(3), WdmField(3)};
+  EXPECT_EQ(rails.channels(), 3u);
+}
+
+}  // namespace

@@ -1,0 +1,199 @@
+// Tests for the P-DAC device: the full optical-digital → optical-analog
+// conversion chain (paper Fig. 7).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/math_utils.hpp"
+#include "common/require.hpp"
+#include "converters/eo_interface.hpp"
+#include "core/pdac.hpp"
+
+namespace {
+
+using namespace pdac;
+using namespace pdac::core;
+
+PdacConfig cfg_bits(int bits) {
+  PdacConfig cfg;
+  cfg.bits = bits;
+  return cfg;
+}
+
+TEST(Pdac, ConvertCodeEqualsCosOfPiecewisePhase) {
+  const Pdac dev(cfg_bits(8));
+  for (std::int32_t code : {0, 1, 32, 64, 92, 127, -5, -64, -92, -127}) {
+    const double r = dev.quantizer().decode(code);
+    EXPECT_NEAR(dev.convert_code(code), dev.approximation().decoded(r), 3e-2)
+        << "code " << code;
+  }
+}
+
+TEST(Pdac, PaperExample0x40) {
+  // Paper: digital 0x40 → analog 0.5; the P-DAC encodes cos(f(0.5)).
+  const Pdac dev(cfg_bits(8));
+  const double r = dev.quantizer().decode(0x40);
+  const double out = dev.convert_code(0x40);
+  EXPECT_NEAR(out, std::cos(math::kPi / 2.0 - r), 1e-9);  // middle segment
+  EXPECT_NEAR(out, 0.483, 0.002);  // ≈3.5 % below 0.5: the documented approx error
+}
+
+TEST(Pdac, WorstCaseErrorMatchesPaperBound) {
+  const Pdac dev(cfg_bits(8));
+  const double worst = dev.worst_case_error();
+  EXPECT_GT(worst, 0.080);
+  EXPECT_LT(worst, 0.088);  // 8.5 % + quantization residue
+}
+
+TEST(Pdac, EndpointsAreExact) {
+  const Pdac dev(cfg_bits(8));
+  EXPECT_NEAR(dev.convert_code(127), 1.0, 1e-9);
+  EXPECT_NEAR(dev.convert_code(-127), -1.0, 1e-6);
+  EXPECT_NEAR(dev.convert_code(0), 0.0, 1e-12);
+}
+
+TEST(Pdac, SignEncodedInOpticalPhase) {
+  const Pdac dev(cfg_bits(8));
+  const photonics::Complex out = dev.convert(-0.5, photonics::Complex{1.0, 0.0});
+  EXPECT_LT(out.real(), 0.0);                 // π phase = negative field
+  EXPECT_NEAR(out.imag(), 0.0, 1e-12);
+}
+
+TEST(Pdac, OpticalWordPathMatchesCodePath) {
+  const Pdac dev(cfg_bits(8));
+  converters::EoInterfaceConfig ecfg;
+  ecfg.bits = 8;
+  const converters::MultiBitEoInterface eo(ecfg);
+  for (std::int32_t code : {0, 7, 64, 127, -3, -90, -127}) {
+    EXPECT_DOUBLE_EQ(dev.drive_phase(eo.encode(code)), dev.drive_phase(code))
+        << "code " << code;
+  }
+}
+
+TEST(Pdac, WordPathToleratesLinkLoss) {
+  const Pdac dev(cfg_bits(8));
+  converters::EoInterfaceConfig ecfg;
+  ecfg.bits = 8;
+  const converters::MultiBitEoInterface eo(ecfg);
+  auto word = eo.encode(0x40);
+  for (auto& slot : word.slots) slot.amplitude *= 0.8;  // 36 % intensity loss
+  EXPECT_DOUBLE_EQ(dev.drive_phase(word), dev.drive_phase(0x40));
+}
+
+TEST(Pdac, ConvertQuantizesInput) {
+  const Pdac dev(cfg_bits(4));
+  // 0.50 and 0.52 quantize to the same 4-bit code → identical output.
+  EXPECT_DOUBLE_EQ(dev.convert_value(0.50), dev.convert_value(0.52));
+}
+
+TEST(Pdac, ConvertValueClampsDomain) {
+  const Pdac dev(cfg_bits(8));
+  EXPECT_DOUBLE_EQ(dev.convert_value(5.0), dev.convert_value(1.0));
+  EXPECT_DOUBLE_EQ(dev.convert_value(-5.0), dev.convert_value(-1.0));
+}
+
+TEST(Pdac, PowerModelMatchesCalibration) {
+  // a·b + c·(2^b − 1): 0.722 mW at 4-bit, 2.615 mW at 8-bit.
+  const auto p4 = Pdac::power_model(4, units::microwatts(160.9), units::microwatts(5.206),
+                                    units::watts(0.0));
+  const auto p8 = Pdac::power_model(8, units::microwatts(160.9), units::microwatts(5.206),
+                                    units::watts(0.0));
+  EXPECT_NEAR(p4.milliwatts(), 0.7217, 1e-3);
+  EXPECT_NEAR(p8.milliwatts(), 2.6147, 1e-3);
+}
+
+TEST(Pdac, PowerFarBelowElectricalDac) {
+  // The headline: ~4.8× less than the 12.55 mW electrical DAC at 8-bit.
+  const Pdac dev(cfg_bits(8));
+  EXPECT_LT(dev.power().milliwatts(), 3.0);
+}
+
+TEST(Pdac, MzmBiasAddsToPower) {
+  PdacConfig cfg = cfg_bits(8);
+  const double base = Pdac(cfg).power().milliwatts();
+  cfg.mzm_bias_power = units::milliwatts(1.0);
+  EXPECT_NEAR(Pdac(cfg).power().milliwatts(), base + 1.0, 1e-9);
+}
+
+TEST(Pdac, RespectsCustomBreakpoint) {
+  PdacConfig cfg = cfg_bits(8);
+  cfg.breakpoint = 0.5;
+  const Pdac dev(cfg);
+  EXPECT_DOUBLE_EQ(dev.approximation().breakpoint(), 0.5);
+  // A mid-range value now falls in the outer segment.
+  EXPECT_EQ(dev.program().select(dev.quantizer().encode(0.7)),
+            Segment::kPositiveOuter);
+}
+
+TEST(Pdac, WordWidthMismatchRejected) {
+  const Pdac dev(cfg_bits(8));
+  converters::EoInterfaceConfig ecfg;
+  ecfg.bits = 4;
+  const converters::MultiBitEoInterface eo(ecfg);
+  EXPECT_THROW((void)dev.drive_phase(eo.encode(3)), PreconditionError);
+}
+
+// --- property: device error bounded over the whole code space ---------------
+class PdacBitWidths : public ::testing::TestWithParam<int> {};
+
+TEST_P(PdacBitWidths, ErrorBoundedByApproxPlusQuantization) {
+  const Pdac dev(cfg_bits(GetParam()));
+  const double bound = 0.0851 + 0.6 * dev.quantizer().step();
+  for (std::int32_t c = -dev.quantizer().max_code(); c <= dev.quantizer().max_code(); ++c) {
+    if (c == 0) continue;
+    const double r = dev.quantizer().decode(c);
+    const double err = math::relative_error(dev.convert_code(c), r);
+    EXPECT_LE(err, bound) << "bits=" << GetParam() << " code=" << c;
+  }
+}
+
+TEST_P(PdacBitWidths, MonotoneOverCodes) {
+  const Pdac dev(cfg_bits(GetParam()));
+  double prev = dev.convert_code(-dev.quantizer().max_code());
+  for (std::int32_t c = -dev.quantizer().max_code() + 1; c <= dev.quantizer().max_code();
+       ++c) {
+    const double v = dev.convert_code(c);
+    EXPECT_GE(v, prev - 1e-9) << "code " << c;
+    prev = v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BitWidths, PdacBitWidths, ::testing::Values(4, 6, 8, 10));
+
+}  // namespace
+
+namespace {
+
+using namespace pdac;
+using namespace pdac::core;
+
+TEST(PdacEncoding, SignMagnitudeDeviceMatchesTwosComplement) {
+  PdacConfig twos = PdacConfig{};
+  PdacConfig sm = PdacConfig{};
+  sm.encoding = BitEncoding::kSignMagnitude;
+  const Pdac a(twos);
+  const Pdac b(sm);
+  for (std::int32_t c = -a.quantizer().max_code(); c <= a.quantizer().max_code(); ++c) {
+    EXPECT_NEAR(a.convert_code(c), b.convert_code(c), 1e-12) << "code " << c;
+  }
+}
+
+TEST(PdacEncoding, SignMagnitudeWorstCaseErrorIdentical) {
+  PdacConfig sm = PdacConfig{};
+  sm.encoding = BitEncoding::kSignMagnitude;
+  const Pdac dev(sm);
+  EXPECT_NEAR(dev.worst_case_error(), Pdac(PdacConfig{}).worst_case_error(), 1e-9);
+}
+
+TEST(PdacEncoding, WordPathHonorsEncoding) {
+  PdacConfig sm = PdacConfig{};
+  sm.encoding = BitEncoding::kSignMagnitude;
+  const Pdac dev(sm);
+  converters::EoInterfaceConfig ecfg;
+  const converters::MultiBitEoInterface eo(ecfg);
+  for (std::int32_t code : {64, -64, 127}) {
+    EXPECT_DOUBLE_EQ(dev.drive_phase(eo.encode(code)), dev.drive_phase(code));
+  }
+}
+
+}  // namespace

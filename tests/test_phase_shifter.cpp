@@ -1,0 +1,73 @@
+// Unit tests for the phase shifter (paper Eq. 4).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/math_utils.hpp"
+#include "photonics/phase_shifter.hpp"
+
+namespace {
+
+using namespace pdac;
+using namespace pdac::photonics;
+
+TEST(PhaseShifter, ZeroPhaseIsIdentity) {
+  const PhaseShifter ps(0.0);
+  const Complex x{0.7, -0.2};
+  const Complex y = ps.apply(x);
+  EXPECT_NEAR(y.real(), x.real(), 1e-15);
+  EXPECT_NEAR(y.imag(), x.imag(), 1e-15);
+}
+
+TEST(PhaseShifter, Minus90DegreesIsMinusJ) {
+  const PhaseShifter ps = PhaseShifter::minus_90();
+  const Complex y = ps.apply(Complex{1.0, 0.0});
+  EXPECT_NEAR(y.real(), 0.0, 1e-15);
+  EXPECT_NEAR(y.imag(), -1.0, 1e-15);
+}
+
+TEST(PhaseShifter, PiFlipsSign) {
+  const PhaseShifter ps(math::kPi);
+  const Complex y = ps.apply(Complex{2.0, 1.0});
+  EXPECT_NEAR(y.real(), -2.0, 1e-12);
+  EXPECT_NEAR(y.imag(), -1.0, 1e-12);
+}
+
+TEST(PhaseShifter, PreservesIntensity) {
+  for (double phi : {0.1, 0.9, 2.3, -1.7}) {
+    const PhaseShifter ps(phi);
+    const Complex x{0.3, 0.8};
+    EXPECT_NEAR(std::norm(ps.apply(x)), std::norm(x), 1e-14) << "phi=" << phi;
+  }
+}
+
+TEST(PhaseShifter, ComposesAdditively) {
+  const PhaseShifter a(0.4);
+  const PhaseShifter b(1.1);
+  const PhaseShifter ab(1.5);
+  const Complex x{1.0, 0.5};
+  const Complex via_two = b.apply(a.apply(x));
+  const Complex direct = ab.apply(x);
+  EXPECT_NEAR(via_two.real(), direct.real(), 1e-14);
+  EXPECT_NEAR(via_two.imag(), direct.imag(), 1e-14);
+}
+
+TEST(PhaseShifter, AppliesToAllWdmChannels) {
+  const PhaseShifter ps(math::kPi / 2.0);
+  WdmField in(3);
+  in.set_amplitude(0, Complex{1.0, 0.0});
+  in.set_amplitude(2, Complex{0.0, 1.0});
+  const WdmField out = ps.apply(in);
+  EXPECT_NEAR(out.amplitude(0).imag(), 1.0, 1e-15);  // j·1
+  EXPECT_NEAR(out.amplitude(2).real(), -1.0, 1e-15); // j·j = −1
+  EXPECT_NEAR(out.amplitude(1).real(), 0.0, 1e-15);
+}
+
+TEST(PhaseShifter, FactorMatchesEulerFormula) {
+  const double phi = 0.77;
+  const PhaseShifter ps(phi);
+  EXPECT_NEAR(ps.factor().real(), std::cos(phi), 1e-15);
+  EXPECT_NEAR(ps.factor().imag(), std::sin(phi), 1e-15);
+}
+
+}  // namespace

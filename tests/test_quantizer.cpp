@@ -1,0 +1,123 @@
+// Unit and property tests for the symmetric fixed-point quantizer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/require.hpp"
+#include "common/rng.hpp"
+#include "converters/quantizer.hpp"
+
+namespace {
+
+using namespace pdac;
+using namespace pdac::converters;
+
+TEST(Quantizer, PaperExample0x40) {
+  // Paper §III-C: "0x40 in an 8-bit system … 0x40/(2⁷−1) = 0.5".
+  const Quantizer q(8);
+  EXPECT_NEAR(q.decode(0x40), 64.0 / 127.0, 1e-15);
+  EXPECT_NEAR(q.decode(0x40), 0.5, 0.004);
+}
+
+TEST(Quantizer, MaxCodeMatchesBitWidth) {
+  EXPECT_EQ(Quantizer(4).max_code(), 7);
+  EXPECT_EQ(Quantizer(8).max_code(), 127);
+  EXPECT_EQ(Quantizer(12).max_code(), 2047);
+}
+
+TEST(Quantizer, EncodeEndpoints) {
+  const Quantizer q(8);
+  EXPECT_EQ(q.encode(1.0), 127);
+  EXPECT_EQ(q.encode(-1.0), -127);
+  EXPECT_EQ(q.encode(0.0), 0);
+}
+
+TEST(Quantizer, EncodeSaturatesOutOfRange) {
+  const Quantizer q(8);
+  EXPECT_EQ(q.encode(2.5), 127);
+  EXPECT_EQ(q.encode(-7.0), -127);
+}
+
+TEST(Quantizer, EncodeRoundsToNearest) {
+  const Quantizer q(4);  // max code 7, step 1/7
+  EXPECT_EQ(q.encode(0.49 / 7.0), 0);
+  EXPECT_EQ(q.encode(0.51 / 7.0), 1);
+}
+
+TEST(Quantizer, DecodeRejectsOutOfRangeCode) {
+  const Quantizer q(4);
+  EXPECT_THROW((void)q.decode(8), PreconditionError);
+  EXPECT_THROW((void)q.decode(-8), PreconditionError);
+}
+
+TEST(Quantizer, RejectsBadBitWidths) {
+  EXPECT_THROW((void)Quantizer(1), PreconditionError);
+  EXPECT_THROW((void)Quantizer(17), PreconditionError);
+}
+
+TEST(Quantizer, QuantizeIsIdempotent) {
+  const Quantizer q(6);
+  Rng rng(4);
+  for (int i = 0; i < 200; ++i) {
+    const double r = rng.uniform(-1.0, 1.0);
+    const double once = q.quantize(r);
+    EXPECT_DOUBLE_EQ(q.quantize(once), once);
+  }
+}
+
+TEST(Quantizer, SymmetricAroundZero) {
+  const Quantizer q(8);
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const double r = rng.uniform(0.0, 1.0);
+    EXPECT_DOUBLE_EQ(q.quantize(-r), -q.quantize(r));
+  }
+}
+
+TEST(MaxAbsScale, FindsLargestMagnitude) {
+  const std::vector<double> v{0.1, -2.5, 1.0};
+  EXPECT_DOUBLE_EQ(max_abs_scale(v), 2.5);
+}
+
+TEST(MaxAbsScale, AllZeroFallsBackToOne) {
+  const std::vector<double> v{0.0, 0.0};
+  EXPECT_DOUBLE_EQ(max_abs_scale(v), 1.0);
+  EXPECT_DOUBLE_EQ(max_abs_scale({}), 1.0);
+}
+
+TEST(QuantizeVector, RoundTripWithinHalfStep) {
+  Rng rng(6);
+  const Quantizer q(8);
+  const auto values = rng.uniform_vector(100, -3.0, 3.0);
+  double scale = 0.0;
+  const auto codes = quantize_vector(values, q, &scale);
+  const auto back = dequantize_vector(codes, q, scale);
+  const double half_step = 0.5 * scale / static_cast<double>(q.max_code());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_NEAR(back[i], values[i], half_step + 1e-12) << "i=" << i;
+  }
+}
+
+// --- property sweep over bit widths -----------------------------------------
+class QuantizerRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuantizerRoundTrip, EveryCodeSurvivesDecodeEncode) {
+  const Quantizer q(GetParam());
+  for (std::int32_t c = -q.max_code(); c <= q.max_code(); ++c) {
+    EXPECT_EQ(q.encode(q.decode(c)), c) << "code " << c;
+  }
+}
+
+TEST_P(QuantizerRoundTrip, QuantizationErrorBoundedByHalfStep) {
+  const Quantizer q(GetParam());
+  Rng rng(77);
+  for (int i = 0; i < 500; ++i) {
+    const double r = rng.uniform(-1.0, 1.0);
+    EXPECT_LE(std::abs(q.quantize(r) - r), 0.5 * q.step() + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BitWidths, QuantizerRoundTrip,
+                         ::testing::Values(2, 3, 4, 6, 8, 10, 12, 16));
+
+}  // namespace

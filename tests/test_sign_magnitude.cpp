@@ -1,0 +1,99 @@
+// Tests for the sign-magnitude TIA program (encoding ablation).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/require.hpp"
+#include "common/rng.hpp"
+#include "converters/quantizer.hpp"
+#include "core/tia_weights.hpp"
+#include "core/variation.hpp"
+
+namespace {
+
+using namespace pdac;
+using namespace pdac::core;
+
+TEST(SignMagnitude, NominalFunctionIdenticalToTwosComplement) {
+  // Both encodings must realize exactly the same f(r) on every code.
+  const auto approx = PiecewiseLinearArccos::paper();
+  for (int bits : {4, 6, 8}) {
+    const SegmentedTiaProgram twos(approx, bits);
+    const SignMagnitudeTiaProgram sm(approx, bits);
+    const converters::Quantizer q(bits);
+    for (std::int32_t c = -q.max_code(); c <= q.max_code(); ++c) {
+      EXPECT_NEAR(sm.drive_phase(c), twos.drive_phase(c), 1e-12)
+          << "bits " << bits << " code " << c;
+    }
+  }
+}
+
+TEST(SignMagnitude, MagnitudeBitsHaveUniformSign) {
+  // The robustness property: no cancellation inside a bank.
+  const SignMagnitudeTiaProgram sm(PiecewiseLinearArccos::paper(), 8);
+  for (int outer = 0; outer < 2; ++outer) {
+    for (int negative = 0; negative < 2; ++negative) {
+      const auto& bank = sm.bank(outer != 0, negative != 0);
+      const double first = bank.weights.front();
+      for (double w : bank.weights) {
+        EXPECT_EQ(w > 0.0, first > 0.0) << "mixed-sign weights in bank";
+      }
+    }
+  }
+}
+
+TEST(SignMagnitude, NegativeBankIsPiMirror) {
+  const SignMagnitudeTiaProgram sm(PiecewiseLinearArccos::paper(), 8);
+  for (int outer = 0; outer < 2; ++outer) {
+    const auto& pos = sm.bank(outer != 0, false);
+    const auto& neg = sm.bank(outer != 0, true);
+    EXPECT_NEAR(pos.bias + neg.bias, 3.141592653589793, 1e-12);
+    for (std::size_t i = 0; i < pos.weights.size(); ++i) {
+      EXPECT_NEAR(pos.weights[i], -neg.weights[i], 1e-15);
+    }
+  }
+}
+
+TEST(SignMagnitude, RejectsOutOfRangeCode) {
+  const SignMagnitudeTiaProgram sm(PiecewiseLinearArccos::paper(), 8);
+  EXPECT_THROW((void)sm.drive_phase(128), PreconditionError);
+  EXPECT_THROW((void)sm.drive_phase(-128), PreconditionError);
+}
+
+TEST(SignMagnitude, RobustToGainMismatchWhereTwosComplementIsNot) {
+  // The headline ablation: identical variation, drastically different
+  // worst-code behaviour.
+  PdacConfig cfg;
+  cfg.bits = 8;
+  VariationConfig var;
+  var.tia_gain_sigma = 0.02;
+  var.seed = 41;
+  const auto twos = monte_carlo_pdac(cfg, var, 40);
+  const auto sm = monte_carlo_sign_magnitude(cfg, var, 40);
+  EXPECT_LT(sm.worst_error.mean(), 0.4 * twos.worst_error.mean());
+  EXPECT_GT(sm.yield(0.12), twos.yield(0.12));
+}
+
+TEST(SignMagnitude, ZeroVariationMatchesNominal) {
+  PdacConfig cfg;
+  cfg.bits = 8;
+  const auto rep = monte_carlo_sign_magnitude(cfg, VariationConfig{}, 3);
+  const Pdac nominal(cfg);
+  for (const auto& s : rep.samples) {
+    EXPECT_NEAR(s.worst_error, nominal.worst_case_error(), 1e-9);
+  }
+}
+
+TEST(SignMagnitude, StillSensitiveToVpiDrift) {
+  // Vπ drift scales the π/2 bias point in either encoding — the sign-
+  // magnitude form fixes cancellation, not global phase drift.
+  PdacConfig cfg;
+  cfg.bits = 8;
+  VariationConfig var;
+  var.vpi_drift_sigma = 0.02;
+  var.seed = 43;
+  const auto rep = monte_carlo_sign_magnitude(cfg, var, 40);
+  EXPECT_GT(rep.worst_error.mean(), 0.15);
+}
+
+}  // namespace

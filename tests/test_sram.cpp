@@ -1,0 +1,69 @@
+// Tests for the shared M2 SRAM model.
+#include <gtest/gtest.h>
+
+#include "arch/sram.hpp"
+#include "common/require.hpp"
+
+namespace {
+
+using namespace pdac;
+using namespace pdac::arch;
+
+TEST(Sram, ChargesEnergyPerBit) {
+  SramConfig cfg;
+  cfg.energy_per_bit = units::picojoules(10.0);
+  Sram sram(cfg);
+  const auto e = sram.read(100);
+  EXPECT_NEAR(e.picojoules(), 1000.0, 1e-9);
+}
+
+TEST(Sram, TracksReadAndWriteCounters) {
+  Sram sram{SramConfig{}};
+  sram.read(64);
+  sram.read(64);
+  sram.write(128);
+  EXPECT_EQ(sram.bits_read(), 128u);
+  EXPECT_EQ(sram.bits_written(), 128u);
+}
+
+TEST(Sram, TotalEnergyCoversBothDirections) {
+  SramConfig cfg;
+  cfg.energy_per_bit = units::picojoules(1.0);
+  Sram sram(cfg);
+  sram.read(10);
+  sram.write(5);
+  EXPECT_NEAR(sram.total_energy().picojoules(), 15.0, 1e-12);
+}
+
+TEST(Sram, CapacityCheck) {
+  SramConfig cfg;
+  cfg.capacity_bytes = 1024;
+  const Sram sram(cfg);
+  EXPECT_TRUE(sram.fits(1024));
+  EXPECT_FALSE(sram.fits(1025));
+  EXPECT_TRUE(sram.fits(0));
+}
+
+TEST(Sram, DefaultHoldsOneBertLayerAt8Bit) {
+  // One BERT-base layer: (4·768² + 2·768·3072) bytes ≈ 6.75 MiB < 8 MiB.
+  const Sram sram{SramConfig{}};
+  const std::uint64_t layer_bytes = 4ull * 768 * 768 + 2ull * 768 * 3072;
+  EXPECT_TRUE(sram.fits(layer_bytes));
+}
+
+TEST(Sram, RejectsInvalidConfig) {
+  SramConfig bad;
+  bad.capacity_bytes = 0;
+  EXPECT_THROW(Sram{bad}, PreconditionError);
+  bad = SramConfig{};
+  bad.energy_per_bit = units::joules(-1.0);
+  EXPECT_THROW(Sram{bad}, PreconditionError);
+}
+
+TEST(Sram, ZeroBitAccessesAreFree) {
+  Sram sram{SramConfig{}};
+  EXPECT_DOUBLE_EQ(sram.read(0).joules(), 0.0);
+  EXPECT_EQ(sram.bits_read(), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,100 @@
+// Tests for the one-sided Jacobi SVD.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/require.hpp"
+#include "common/stats.hpp"
+#include "common/svd.hpp"
+
+namespace {
+
+using namespace pdac;
+using namespace pdac::math;
+
+TEST(Svd, DiagonalMatrix) {
+  Matrix d(3, 3, 0.0);
+  d(0, 0) = 3.0;
+  d(1, 1) = 1.0;
+  d(2, 2) = 2.0;
+  const SvdResult r = svd(d);
+  EXPECT_NEAR(r.singular[0], 3.0, 1e-12);
+  EXPECT_NEAR(r.singular[1], 2.0, 1e-12);
+  EXPECT_NEAR(r.singular[2], 1.0, 1e-12);
+}
+
+TEST(Svd, SingularValuesSortedNonIncreasing) {
+  Rng rng(1);
+  const Matrix a = Matrix::random_gaussian(6, 6, rng);
+  const SvdResult r = svd(a);
+  for (std::size_t i = 1; i < r.singular.size(); ++i) {
+    EXPECT_GE(r.singular[i - 1], r.singular[i]);
+    EXPECT_GE(r.singular[i], 0.0);
+  }
+}
+
+TEST(Svd, KnownRotationMatrix) {
+  // A pure rotation has all singular values 1.
+  const double th = 0.7;
+  Matrix q(2, 2, std::vector<double>{std::cos(th), -std::sin(th), std::sin(th), std::cos(th)});
+  const SvdResult r = svd(q);
+  EXPECT_NEAR(r.singular[0], 1.0, 1e-12);
+  EXPECT_NEAR(r.singular[1], 1.0, 1e-12);
+}
+
+TEST(Svd, RejectsWideMatrix) {
+  EXPECT_THROW(svd(Matrix(2, 3)), PreconditionError);
+}
+
+TEST(Svd, TallMatrixSupported) {
+  Rng rng(2);
+  const Matrix a = Matrix::random_gaussian(8, 3, rng);
+  const SvdResult r = svd(a);
+  const Matrix back = r.reconstruct();
+  const auto err = stats::compare(back.data(), a.data());
+  EXPECT_LT(err.rel_frobenius, 1e-10);
+}
+
+// --- property sweep: reconstruction and orthogonality -----------------------
+class SvdProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SvdProperty, ReconstructsOriginal) {
+  Rng rng(GetParam());
+  const auto n = GetParam();
+  const Matrix a = Matrix::random_gaussian(n, n, rng);
+  const SvdResult r = svd(a);
+  const Matrix back = r.reconstruct();
+  const auto err = stats::compare(back.data(), a.data());
+  EXPECT_LT(err.rel_frobenius, 1e-9) << "n=" << n;
+}
+
+TEST_P(SvdProperty, FactorsAreOrthogonal) {
+  Rng rng(GetParam() + 100);
+  const auto n = GetParam();
+  const Matrix a = Matrix::random_gaussian(n, n, rng);
+  const SvdResult r = svd(a);
+  const Matrix utu = matmul_reference(r.u.transposed(), r.u);
+  const Matrix vtv = matmul_reference(r.v.transposed(), r.v);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const double expect = i == j ? 1.0 : 0.0;
+      EXPECT_NEAR(utu(i, j), expect, 1e-9);
+      EXPECT_NEAR(vtv(i, j), expect, 1e-9);
+    }
+  }
+}
+
+TEST_P(SvdProperty, FrobeniusNormPreserved) {
+  Rng rng(GetParam() + 200);
+  const auto n = GetParam();
+  const Matrix a = Matrix::random_gaussian(n, n, rng);
+  const SvdResult r = svd(a);
+  double fro = 0.0, ssq = 0.0;
+  for (double v : a.data()) fro += v * v;
+  for (double s : r.singular) ssq += s * s;
+  EXPECT_NEAR(std::sqrt(fro), std::sqrt(ssq), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SvdProperty, ::testing::Values(1, 2, 3, 5, 8, 12, 24));
+
+}  // namespace

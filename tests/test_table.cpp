@@ -1,0 +1,82 @@
+// Unit tests for the ASCII table/report formatter.
+#include <gtest/gtest.h>
+
+#include "common/require.hpp"
+#include "common/table.hpp"
+
+namespace {
+
+using namespace pdac;
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| a"), std::string::npos);
+  EXPECT_NE(s.find("| 1"), std::string::npos);
+  EXPECT_NE(s.find("+---"), std::string::npos);
+}
+
+TEST(Table, ColumnsAlignToWidestCell) {
+  Table t({"x", "y"});
+  t.add_row({"longvalue", "1"});
+  const std::string s = t.to_string();
+  // Every line must have equal length (alignment).
+  std::size_t first_len = s.find('\n');
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    const std::size_t nl = s.find('\n', pos);
+    if (nl == std::string::npos) break;
+    EXPECT_EQ(nl - pos, first_len);
+    pos = nl + 1;
+  }
+}
+
+TEST(Table, RuleInsertsSeparator) {
+  Table t({"c"});
+  t.add_row({"1"});
+  t.add_rule();
+  t.add_row({"2"});
+  const std::string s = t.to_string();
+  // Header rule + top + bottom + inserted = 4 rules.
+  std::size_t rules = 0;
+  for (std::size_t pos = s.find("+-"); pos != std::string::npos; pos = s.find("+-", pos + 1)) {
+    ++rules;
+  }
+  EXPECT_EQ(rules, 4u);
+}
+
+TEST(Table, RejectsMismatchedRowWidth) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), PreconditionError);
+}
+
+TEST(Table, RejectsEmptyHeader) { EXPECT_THROW(Table({}), PreconditionError); }
+
+TEST(TableFormat, Num) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(-1.0, 0), "-1");
+}
+
+TEST(TableFormat, Pct) {
+  EXPECT_EQ(Table::pct(0.218), "21.8%");
+  EXPECT_EQ(Table::pct(0.505, 2), "50.50%");
+  EXPECT_EQ(Table::pct(1.0, 0), "100%");
+}
+
+TEST(TableFormat, Watts) { EXPECT_EQ(Table::watts(11.81), "11.81 W"); }
+
+TEST(TableFormat, Millijoules) { EXPECT_EQ(Table::millijoules(0.001), "1.000 mJ"); }
+
+TEST(AsciiBar, ProportionalFill) {
+  EXPECT_EQ(ascii_bar(0.0, 10), "          ");
+  EXPECT_EQ(ascii_bar(1.0, 10), "##########");
+  EXPECT_EQ(ascii_bar(0.5, 10), "#####     ");
+}
+
+TEST(AsciiBar, ClampsOutOfRange) {
+  EXPECT_EQ(ascii_bar(2.0, 4), "####");
+  EXPECT_EQ(ascii_bar(-1.0, 4), "    ");
+}
+
+}  // namespace

@@ -1,0 +1,111 @@
+// Tests for the closed-loop MRR thermal tuner.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/require.hpp"
+#include "photonics/thermal_tuner.hpp"
+
+namespace {
+
+using namespace pdac;
+using namespace pdac::photonics;
+
+Microring ring_at(double ch) {
+  MicroringConfig cfg;
+  cfg.resonance_channel = ch;
+  return Microring(cfg);
+}
+
+TEST(ThermalTuner, DriftProportionalToTemperature) {
+  ThermalTunerConfig cfg;
+  cfg.drift_per_kelvin = 0.02;
+  const ThermalTuner tuner(cfg);
+  EXPECT_DOUBLE_EQ(tuner.drift(5.0), 0.1);
+  EXPECT_DOUBLE_EQ(tuner.drift(-3.0), -0.06);
+}
+
+TEST(ThermalTuner, StabilizesAfterDrift) {
+  const ThermalTuner tuner(ThermalTunerConfig{});
+  Microring ring = ring_at(3.0);
+  const TuneResult r = tuner.stabilize(ring, 3.0, /*delta_kelvin=*/20.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LT(std::abs(r.residual_detuning), 1e-4);
+  EXPECT_NEAR(ring.resonance(), 3.0, 1e-4);
+}
+
+TEST(ThermalTuner, NoDriftConvergesImmediately) {
+  const ThermalTuner tuner(ThermalTunerConfig{});
+  Microring ring = ring_at(1.0);
+  const TuneResult r = tuner.stabilize(ring, 1.0, 0.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.iterations, 0);
+  EXPECT_DOUBLE_EQ(r.heater_power.watts(), 0.0);
+}
+
+TEST(ThermalTuner, HigherGainConvergesFaster) {
+  ThermalTunerConfig slow_cfg;
+  slow_cfg.loop_gain = 0.2;
+  ThermalTunerConfig fast_cfg;
+  fast_cfg.loop_gain = 0.9;
+  Microring a = ring_at(0.0), b = ring_at(0.0);
+  const auto rs = ThermalTuner(slow_cfg).stabilize(a, 0.0, 10.0);
+  const auto rf = ThermalTuner(fast_cfg).stabilize(b, 0.0, 10.0);
+  EXPECT_TRUE(rs.converged);
+  EXPECT_TRUE(rf.converged);
+  EXPECT_LT(rf.iterations, rs.iterations);
+}
+
+TEST(ThermalTuner, OverdrivenLoopOscillates) {
+  ThermalTunerConfig cfg;
+  cfg.loop_gain = 2.5;  // each step overshoots by 1.5× — divergent
+  cfg.max_iterations = 30;
+  const ThermalTuner tuner(cfg);
+  Microring ring = ring_at(0.0);
+  const TuneResult r = tuner.stabilize(ring, 0.0, 5.0);
+  EXPECT_FALSE(r.converged);
+  EXPECT_GT(std::abs(r.residual_detuning), 0.05);
+}
+
+TEST(ThermalTuner, HeaterPowerMatchesDriftMagnitude) {
+  ThermalTunerConfig cfg;
+  cfg.drift_per_kelvin = 0.01;
+  const ThermalTuner tuner(cfg);
+  Microring ring = ring_at(2.0);
+  const TuneResult r = tuner.stabilize(ring, 2.0, 10.0);  // 0.1 channel shift
+  // Default ring: 0.5 mW per channel shift → 0.05 mW for 0.1 channels.
+  EXPECT_NEAR(r.heater_power.milliwatts(), 0.05, 1e-4);  // within loop tolerance
+}
+
+TEST(ThermalTuner, FleetPowerScalesWithRingsAndDrift) {
+  const ThermalTuner tuner(ThermalTunerConfig{});
+  MicroringConfig ring_cfg;
+  ring_cfg.heater_power_per_channel_shift = units::milliwatts(0.5);
+  const auto p = tuner.fleet_power(4096, 20.0, ring_cfg);  // 0.2-channel shift each
+  EXPECT_NEAR(p.watts(), 4096 * 0.5e-3 * 0.2, 1e-9);
+  // The LT-B thermal budget (1.2 W) corresponds to ~12 K worst-case
+  // ambient excursion across its ring population at these constants.
+  EXPECT_LT(p.watts(), 1.2);
+}
+
+TEST(ThermalTuner, StabilizedRingRestoresWdmSelectivity) {
+  // End-to-end: after drift the ring mis-drops its channel; after
+  // stabilization the drop fraction is back to ~1.
+  const ThermalTuner tuner(ThermalTunerConfig{});
+  Microring ring = ring_at(1.0);
+  ring.tune_to(1.0 + 0.2);  // drifted
+  EXPECT_LT(ring.drop_fraction(1.0), 0.1);
+  (void)tuner.stabilize(ring, 1.0, 20.0);
+  EXPECT_GT(ring.drop_fraction(1.0), 0.999);
+}
+
+TEST(ThermalTuner, RejectsBadConfig) {
+  ThermalTunerConfig bad;
+  bad.loop_gain = 0.0;
+  EXPECT_THROW(ThermalTuner{bad}, PreconditionError);
+  bad = ThermalTunerConfig{};
+  bad.tolerance_channels = 0.0;
+  EXPECT_THROW(ThermalTuner{bad}, PreconditionError);
+}
+
+}  // namespace

@@ -1,0 +1,113 @@
+// Tests for the TIA weight compiler: linear segments → per-bit gains.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/require.hpp"
+#include "converters/quantizer.hpp"
+#include "core/tia_weights.hpp"
+
+namespace {
+
+using namespace pdac;
+using namespace pdac::core;
+
+TEST(CompileLinearPiece, WeightsAreBinaryScaledSlope) {
+  const LinearPiece piece{-1.0, 1.0, 2.0, 0.5};
+  const auto bank = compile_linear_piece(piece, Segment::kMiddle, 4);
+  ASSERT_EQ(bank.weights.size(), 4u);
+  EXPECT_DOUBLE_EQ(bank.bias, 0.5);
+  const double denom = 7.0;
+  EXPECT_DOUBLE_EQ(bank.weights[0], 2.0 * 1.0 / denom);
+  EXPECT_DOUBLE_EQ(bank.weights[1], 2.0 * 2.0 / denom);
+  EXPECT_DOUBLE_EQ(bank.weights[2], 2.0 * 4.0 / denom);
+  EXPECT_DOUBLE_EQ(bank.weights[3], -2.0 * 8.0 / denom);  // sign bit
+}
+
+TEST(CompileLinearPiece, RejectsBadBits) {
+  const LinearPiece piece{};
+  EXPECT_THROW((void)compile_linear_piece(piece, Segment::kMiddle, 1), PreconditionError);
+}
+
+TEST(SegmentedProgram, BreakpointCodeIsQuantizedK) {
+  const auto approx = PiecewiseLinearArccos::paper();
+  const SegmentedTiaProgram prog(approx, 8);
+  EXPECT_EQ(prog.breakpoint_code(), static_cast<std::int32_t>(std::lround(0.7236 * 127)));
+}
+
+TEST(SegmentedProgram, ComparatorSelectsCorrectBank) {
+  const SegmentedTiaProgram prog(PiecewiseLinearArccos::paper(), 8);
+  const std::int32_t kc = prog.breakpoint_code();
+  EXPECT_EQ(prog.select(0), Segment::kMiddle);
+  EXPECT_EQ(prog.select(kc), Segment::kMiddle);
+  EXPECT_EQ(prog.select(kc + 1), Segment::kPositiveOuter);
+  EXPECT_EQ(prog.select(-kc), Segment::kMiddle);
+  EXPECT_EQ(prog.select(-kc - 1), Segment::kNegativeOuter);
+  EXPECT_EQ(prog.select(127), Segment::kPositiveOuter);
+  EXPECT_EQ(prog.select(-127), Segment::kNegativeOuter);
+}
+
+TEST(SegmentedProgram, OeConfigMirrorsBank) {
+  const SegmentedTiaProgram prog(PiecewiseLinearArccos::paper(), 8);
+  for (Segment s :
+       {Segment::kNegativeOuter, Segment::kMiddle, Segment::kPositiveOuter}) {
+    const auto cfg = prog.oe_config(s);
+    const auto& bank = prog.bank(s);
+    EXPECT_EQ(cfg.weights, bank.weights);
+    EXPECT_DOUBLE_EQ(cfg.bias, bank.bias);
+  }
+}
+
+TEST(SegmentedProgram, DriveRejectsOutOfRangeCode) {
+  const SegmentedTiaProgram prog(PiecewiseLinearArccos::paper(), 8);
+  EXPECT_THROW((void)prog.drive_phase(200), PreconditionError);
+  EXPECT_THROW((void)prog.drive_phase(-200), PreconditionError);
+}
+
+// --- the central property: the analog bit-weight summation equals the
+// --- mathematical f(r) for every representable code ------------------------
+class ProgramExactness : public ::testing::TestWithParam<int> {};
+
+TEST_P(ProgramExactness, DrivePhaseEqualsPiecewiseFunction) {
+  const int bits = GetParam();
+  const auto approx = PiecewiseLinearArccos::paper();
+  const SegmentedTiaProgram prog(approx, bits);
+  const converters::Quantizer q(bits);
+  for (std::int32_t c = -q.max_code(); c <= q.max_code(); ++c) {
+    const double r = q.decode(c);
+    // The hardware sums bank weights over set bits; the math evaluates
+    // slope·r + intercept of the segment the *comparator* picked (which
+    // can differ from the real-valued segment only exactly at the
+    // quantized breakpoint, where both pieces agree by continuity).
+    const auto& piece = prog.bank(prog.select(c));
+    double expect = piece.bias;
+    const auto pattern = static_cast<std::uint32_t>(c) & ((1u << bits) - 1u);
+    for (int i = 0; i < bits; ++i) {
+      if ((pattern >> i) & 1u) expect += piece.weights[static_cast<std::size_t>(i)];
+    }
+    EXPECT_NEAR(prog.drive_phase(c), expect, 1e-12) << "code " << c;
+    // And the weight-sum must equal slope·r + intercept analytically.
+    const auto seg = prog.select(c);
+    const auto& lp = approx.piece(seg);
+    EXPECT_NEAR(prog.drive_phase(c), lp.eval(r), 1e-9) << "code " << c;
+  }
+}
+
+TEST_P(ProgramExactness, DrivePhaseTracksApproxWithinQuantization) {
+  const int bits = GetParam();
+  const auto approx = PiecewiseLinearArccos::paper();
+  const SegmentedTiaProgram prog(approx, bits);
+  const converters::Quantizer q(bits);
+  for (std::int32_t c = -q.max_code(); c <= q.max_code(); ++c) {
+    const double r = q.decode(c);
+    // approx.eval uses the real-valued breakpoint; the program uses the
+    // quantized comparator threshold.  They agree everywhere except in a
+    // half-LSB sliver around ±k where the two linear pieces are within
+    // their continuity gap of each other.
+    EXPECT_NEAR(prog.drive_phase(c), approx.eval(r), 3.1 * q.step()) << "code " << c;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BitWidths, ProgramExactness, ::testing::Values(4, 6, 8, 10));
+
+}  // namespace

@@ -1,0 +1,120 @@
+// Unit tests for the dimensional types in common/units.hpp.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/units.hpp"
+
+namespace {
+
+using namespace pdac::units;
+
+TEST(Units, PowerConstructionAndConversions) {
+  const Power p = milliwatts(250.0);
+  EXPECT_DOUBLE_EQ(p.watts(), 0.25);
+  EXPECT_DOUBLE_EQ(p.milliwatts(), 250.0);
+  EXPECT_DOUBLE_EQ(p.microwatts(), 250'000.0);
+}
+
+TEST(Units, EnergyConstructionAndConversions) {
+  const Energy e = picojoules(2.0);
+  EXPECT_DOUBLE_EQ(e.joules(), 2e-12);
+  EXPECT_DOUBLE_EQ(e.picojoules(), 2.0);
+  EXPECT_DOUBLE_EQ(femtojoules(1000.0).picojoules(), 1.0);
+}
+
+TEST(Units, TimeAndFrequency) {
+  const Frequency f = gigahertz(5.0);
+  EXPECT_DOUBLE_EQ(f.hertz(), 5e9);
+  EXPECT_DOUBLE_EQ(f.gigahertz(), 5.0);
+  EXPECT_DOUBLE_EQ(period(f).nanoseconds(), 0.2);
+  EXPECT_DOUBLE_EQ(megahertz(1.0).hertz(), 1e6);
+}
+
+TEST(Units, AdditionAndSubtraction) {
+  const Power a = watts(1.5);
+  const Power b = watts(0.5);
+  EXPECT_DOUBLE_EQ((a + b).watts(), 2.0);
+  EXPECT_DOUBLE_EQ((a - b).watts(), 1.0);
+  EXPECT_DOUBLE_EQ((-b).watts(), -0.5);
+}
+
+TEST(Units, ScalarMultiplication) {
+  const Energy e = joules(2.0);
+  EXPECT_DOUBLE_EQ((e * 3.0).joules(), 6.0);
+  EXPECT_DOUBLE_EQ((3.0 * e).joules(), 6.0);
+  EXPECT_DOUBLE_EQ((e / 4.0).joules(), 0.5);
+}
+
+TEST(Units, CompoundAssignment) {
+  Power p = watts(1.0);
+  p += watts(2.0);
+  EXPECT_DOUBLE_EQ(p.watts(), 3.0);
+  p -= watts(0.5);
+  EXPECT_DOUBLE_EQ(p.watts(), 2.5);
+  p *= 2.0;
+  EXPECT_DOUBLE_EQ(p.watts(), 5.0);
+}
+
+TEST(Units, RatioOfLikeQuantitiesIsDimensionless) {
+  EXPECT_DOUBLE_EQ(watts(10.0) / watts(4.0), 2.5);
+  EXPECT_DOUBLE_EQ(joules(1.0) / joules(8.0), 0.125);
+}
+
+TEST(Units, PowerTimesTimeIsEnergy) {
+  const Energy e = watts(2.0) * seconds(3.0);
+  EXPECT_DOUBLE_EQ(e.joules(), 6.0);
+  EXPECT_DOUBLE_EQ((seconds(3.0) * watts(2.0)).joules(), 6.0);
+}
+
+TEST(Units, EnergyOverTimeIsPower) {
+  EXPECT_DOUBLE_EQ((joules(6.0) / seconds(3.0)).watts(), 2.0);
+}
+
+TEST(Units, EnergyOverPowerIsTime) {
+  EXPECT_DOUBLE_EQ((joules(6.0) / watts(2.0)).seconds(), 3.0);
+}
+
+TEST(Units, EnergyTimesFrequencyIsPower) {
+  // 2 pJ per event at 5 GHz = 10 mW.
+  const Power p = picojoules(2.0) * gigahertz(5.0);
+  EXPECT_NEAR(p.milliwatts(), 10.0, 1e-12);
+  EXPECT_NEAR((gigahertz(5.0) * picojoules(2.0)).milliwatts(), 10.0, 1e-12);
+}
+
+TEST(Units, PowerOverFrequencyIsEnergyPerEvent) {
+  const Energy e = milliwatts(10.0) / gigahertz(5.0);
+  EXPECT_NEAR(e.picojoules(), 2.0, 1e-12);
+}
+
+TEST(Units, Comparisons) {
+  EXPECT_LT(watts(1.0), watts(2.0));
+  EXPECT_GT(joules(3.0), joules(2.0));
+  EXPECT_EQ(watts(1.0), watts(1.0));
+  EXPECT_GE(seconds(2.0), seconds(2.0));
+}
+
+TEST(Units, DefaultConstructionIsZero) {
+  EXPECT_DOUBLE_EQ(Power{}.watts(), 0.0);
+  EXPECT_DOUBLE_EQ(Energy{}.joules(), 0.0);
+  EXPECT_DOUBLE_EQ(Time{}.seconds(), 0.0);
+}
+
+TEST(Units, StreamOutput) {
+  std::ostringstream os;
+  os << watts(1.5);
+  EXPECT_EQ(os.str(), "1.5 W");
+  std::ostringstream os2;
+  os2 << seconds(2.0);
+  EXPECT_EQ(os2.str(), "2 s");
+}
+
+TEST(Units, EnergyAccumulationOverEvents) {
+  // Typical accounting pattern: N events at e_per_event.
+  Energy total{};
+  const Energy per_event = picojoules(2.5);
+  for (int i = 0; i < 1000; ++i) total += per_event;
+  EXPECT_NEAR(total.picojoules(), 2500.0, 1e-9);
+}
+
+}  // namespace

@@ -1,0 +1,119 @@
+// Tests for waveguide propagation and the optical link budget.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/require.hpp"
+#include "photonics/waveguide.hpp"
+
+namespace {
+
+using namespace pdac;
+using namespace pdac::photonics;
+
+TEST(Waveguide, LossAccumulatesWithLength) {
+  WaveguideConfig cfg;
+  cfg.loss_db_per_cm = 0.5;
+  const Waveguide wg(cfg, 4.0);
+  EXPECT_DOUBLE_EQ(wg.loss_db(), 2.0);
+}
+
+TEST(Waveguide, AmplitudeAndPowerTransmissionConsistent) {
+  WaveguideConfig cfg;
+  cfg.loss_db_per_cm = 3.0;
+  const Waveguide wg(cfg, 1.0);  // 3 dB: power halves
+  EXPECT_NEAR(wg.power_transmission(), 0.5, 2e-3);  // 3 dB is 0.501, not exactly half
+  EXPECT_NEAR(wg.amplitude_transmission() * wg.amplitude_transmission(),
+              wg.power_transmission(), 1e-12);
+}
+
+TEST(Waveguide, ZeroLengthIsLossless) {
+  const Waveguide wg(WaveguideConfig{}, 0.0);
+  EXPECT_DOUBLE_EQ(wg.power_transmission(), 1.0);
+  EXPECT_DOUBLE_EQ(wg.propagation_delay().seconds(), 0.0);
+}
+
+TEST(Waveguide, PropagationDelayMatchesGroupIndex) {
+  WaveguideConfig cfg;
+  cfg.group_index = 4.2;
+  const Waveguide wg(cfg, 1.0);  // 1 cm
+  // t = L·n_g/c = 1 cm · 4.2 / 3e10 cm/s ≈ 140 ps.
+  EXPECT_NEAR(wg.propagation_delay().nanoseconds(), 0.140, 0.002);
+}
+
+TEST(Waveguide, PropagateAttenuatesAllChannels) {
+  WaveguideConfig cfg;
+  cfg.loss_db_per_cm = 3.0;
+  const Waveguide wg(cfg, 1.0);
+  WdmField in(2);
+  in.set_amplitude(0, Complex{1.0, 0.0});
+  in.set_amplitude(1, Complex{0.0, 2.0});
+  const WdmField out = wg.propagate(in);
+  EXPECT_NEAR(out.intensity(0) / in.intensity(0), 0.5, 2e-3);
+  EXPECT_NEAR(out.intensity(1) / in.intensity(1), 0.5, 2e-3);
+}
+
+TEST(Waveguide, RejectsInvalidConfig) {
+  WaveguideConfig bad;
+  bad.loss_db_per_cm = -1.0;
+  EXPECT_THROW(Waveguide(bad, 1.0), PreconditionError);
+  EXPECT_THROW(Waveguide(WaveguideConfig{}, -1.0), PreconditionError);
+}
+
+TEST(LinkBudget, LossTermsAddUp) {
+  LinkBudgetConfig cfg;
+  cfg.laser_power_dbm = 10.0;
+  cfg.mux_loss_db = 0.5;
+  cfg.waveguide_cm = 2.0;
+  cfg.waveguide_loss_db_per_cm = 0.3;
+  cfg.modulator_loss_db = 4.0;
+  cfg.broadcast_ways = 8;      // 9.03 dB ideal + 3 stages × 0.2 dB
+  cfg.splitter_excess_db = 0.2;
+  const auto rep = evaluate_link_budget(cfg);
+  EXPECT_NEAR(rep.total_loss_db, 0.5 + 0.6 + 4.0 + 9.0309 + 0.6, 1e-3);
+  EXPECT_NEAR(rep.received_dbm, 10.0 - rep.total_loss_db, 1e-12);
+}
+
+TEST(LinkBudget, ClosesWithMarginWhenPowerSufficient) {
+  LinkBudgetConfig cfg;
+  cfg.laser_power_dbm = 10.0;
+  cfg.detector_sensitivity_dbm = -20.0;
+  const auto rep = evaluate_link_budget(cfg);
+  EXPECT_TRUE(rep.closes());
+  EXPECT_GT(rep.margin_db, 0.0);
+}
+
+TEST(LinkBudget, WiderBroadcastNeedsMorePower) {
+  LinkBudgetConfig narrow, wide;
+  narrow.broadcast_ways = 2;
+  wide.broadcast_ways = 64;
+  EXPECT_GT(required_laser_dbm(wide), required_laser_dbm(narrow));
+  // 32× more fan-out ≈ 15 dB ideal + 5 extra stage excesses.
+  EXPECT_NEAR(required_laser_dbm(wide) - required_laser_dbm(narrow),
+              10.0 * std::log10(32.0) + 5 * 0.2, 1e-6);
+}
+
+TEST(LinkBudget, RequiredPowerClosesExactly) {
+  LinkBudgetConfig cfg;
+  cfg.laser_power_dbm = required_laser_dbm(cfg, /*margin_db=*/3.0);
+  const auto rep = evaluate_link_budget(cfg);
+  EXPECT_NEAR(rep.margin_db, 3.0, 1e-9);
+}
+
+TEST(LinkBudget, SingleWayBroadcastHasNoSplitLoss) {
+  LinkBudgetConfig cfg;
+  cfg.broadcast_ways = 1;
+  cfg.mux_loss_db = 0.0;
+  cfg.waveguide_cm = 0.0;
+  cfg.modulator_loss_db = 0.0;
+  const auto rep = evaluate_link_budget(cfg);
+  EXPECT_NEAR(rep.total_loss_db, 0.0, 1e-12);
+}
+
+TEST(LinkBudget, RejectsZeroWays) {
+  LinkBudgetConfig bad;
+  bad.broadcast_ways = 0;
+  EXPECT_THROW(evaluate_link_budget(bad), PreconditionError);
+}
+
+}  // namespace

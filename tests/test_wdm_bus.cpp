@@ -1,0 +1,98 @@
+// Unit tests for the WDM bus with MRR mux/demux banks (paper Fig. 1).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/require.hpp"
+#include "photonics/wdm_bus.hpp"
+
+namespace {
+
+using namespace pdac;
+using namespace pdac::photonics;
+
+WdmBusConfig bus_cfg(std::size_t channels, double hwhm = 0.05) {
+  WdmBusConfig cfg;
+  cfg.channels = channels;
+  cfg.ring_hwhm_channels = hwhm;
+  return cfg;
+}
+
+TEST(WdmBus, EncodeAmplitudesPlacesValuesOnChannels) {
+  const WdmBus bus(bus_cfg(4));
+  const WdmField f = bus.encode_amplitudes({0.5, -0.25, 0.0});
+  EXPECT_DOUBLE_EQ(f.amplitude(0).real(), 0.5);
+  EXPECT_DOUBLE_EQ(f.amplitude(1).real(), -0.25);
+  EXPECT_DOUBLE_EQ(f.amplitude(2).real(), 0.0);
+  EXPECT_DOUBLE_EQ(f.amplitude(3).real(), 0.0);
+}
+
+TEST(WdmBus, MuxDemuxRoundTripRecoversChannels) {
+  const WdmBus bus(bus_cfg(4));
+  std::vector<WdmField> sources;
+  for (std::size_t i = 0; i < 4; ++i) {
+    WdmField s(4);
+    s.set_amplitude(i, Complex{0.5 + 0.1 * static_cast<double>(i), 0.0});
+    sources.push_back(s);
+  }
+  const WdmField muxed = bus.mux(sources);
+  const auto dropped = bus.demux(muxed);
+  ASSERT_EQ(dropped.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    const double expect = 0.5 + 0.1 * static_cast<double>(i);
+    EXPECT_NEAR(dropped[i].amplitude(i).real(), expect, 0.02) << "channel " << i;
+  }
+}
+
+TEST(WdmBus, CrosstalkIsBoundedBySelectivity) {
+  const WdmBus sharp(bus_cfg(2, 0.01));
+  WdmField s(2);
+  s.set_amplitude(0, Complex{1.0, 0.0});
+  const WdmField muxed = sharp.mux({s});
+  const auto dropped = sharp.demux(muxed);
+  // Receiver ring 1 should capture almost nothing of channel 0's light.
+  EXPECT_LT(dropped[1].intensity(0), 1e-3);
+  EXPECT_GT(dropped[0].intensity(0), 0.49);
+}
+
+TEST(WdmBus, WiderRingsLeakMoreCrosstalk) {
+  // Light a channel-1 signal and measure how much of it the channel-0
+  // receiver ring (which sits first on the bus) erroneously captures.
+  WdmField s(2);
+  s.set_amplitude(1, Complex{1.0, 0.0});
+  auto leak = [&](double hwhm) {
+    const WdmBus bus(bus_cfg(2, hwhm));
+    const auto dropped = bus.demux(s);
+    return dropped[0].intensity(1);
+  };
+  EXPECT_LT(leak(0.02), leak(0.2));
+  EXPECT_GT(leak(0.2), 1e-3);
+}
+
+TEST(WdmBus, DemuxResidualIsSmall) {
+  const WdmBus bus(bus_cfg(3));
+  WdmField full(3);
+  for (std::size_t i = 0; i < 3; ++i) full.set_amplitude(i, Complex{1.0, 0.0});
+  WdmField residual;
+  (void)bus.demux(full, &residual);
+  EXPECT_LT(residual.total_intensity(), 0.01 * full.total_intensity());
+}
+
+TEST(WdmBus, RejectsTooManySources) {
+  const WdmBus bus(bus_cfg(2));
+  std::vector<WdmField> three(3, WdmField(2));
+  EXPECT_THROW(bus.mux(three), PreconditionError);
+}
+
+TEST(WdmBus, RejectsChannelMismatch) {
+  const WdmBus bus(bus_cfg(2));
+  EXPECT_THROW(bus.mux({WdmField(3)}), PreconditionError);
+  EXPECT_THROW(bus.demux(WdmField(3)), PreconditionError);
+  EXPECT_THROW(bus.encode_amplitudes({1.0, 1.0, 1.0}), PreconditionError);
+}
+
+TEST(WdmBus, RejectsZeroChannels) {
+  EXPECT_THROW(WdmBus{bus_cfg(0)}, PreconditionError);
+}
+
+}  // namespace

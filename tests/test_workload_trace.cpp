@@ -1,0 +1,107 @@
+// Tests for the transformer op tracer feeding the energy model.
+#include <gtest/gtest.h>
+
+#include "nn/model_config.hpp"
+#include "nn/workload_trace.hpp"
+
+namespace {
+
+using namespace pdac::nn;
+
+TEST(ModelConfig, BertBaseShape) {
+  const auto c = bert_base(128);
+  EXPECT_EQ(c.layers, 12u);
+  EXPECT_EQ(c.d_model, 768u);
+  EXPECT_EQ(c.heads, 12u);
+  EXPECT_EQ(c.d_ff, 3072u);
+  EXPECT_EQ(c.seq_len, 128u);
+  EXPECT_EQ(c.d_head(), 64u);
+}
+
+TEST(ModelConfig, DeitBaseTokens) {
+  const auto c = deit_base();
+  EXPECT_EQ(c.seq_len, 197u);  // 196 patches + class token
+  EXPECT_EQ(c.d_model, 768u);
+}
+
+TEST(ModelConfig, MacFormulas) {
+  const auto c = bert_base(128);
+  // Per layer: QKV 3·s·d² + scores 2·h·s²·dh + O-proj s·d².
+  const std::size_t per_layer_attn = 3ull * 128 * 768 * 768 +
+                                     2ull * 12 * 128 * 128 * 64 +
+                                     1ull * 128 * 768 * 768;
+  EXPECT_EQ(c.attention_macs(), 12 * per_layer_attn);
+  EXPECT_EQ(c.ffn_macs(), 12ull * 2ull * 128ull * 768ull * 3072ull);
+  EXPECT_EQ(c.total_macs(), c.attention_macs() + c.ffn_macs());
+}
+
+TEST(Trace, MacsMatchConfigFormulas) {
+  for (const auto& cfg : {bert_base(128), deit_base(), tiny_transformer()}) {
+    const auto t = trace_forward(cfg);
+    EXPECT_EQ(t.macs(OpClass::kAttention), cfg.attention_macs()) << cfg.name;
+    EXPECT_EQ(t.macs(OpClass::kFfn), cfg.ffn_macs()) << cfg.name;
+    EXPECT_EQ(t.total_macs(), cfg.total_macs()) << cfg.name;
+  }
+}
+
+TEST(Trace, GemmCountPerLayer) {
+  const auto t = trace_forward(bert_base(128));
+  // 8 GEMM records per layer (QKV ×3, QKᵀ, AV, O-proj, FFN ×2).
+  EXPECT_EQ(t.gemms.size(), 12u * 8u);
+  EXPECT_EQ(t.vector_ops.size(), 12u * 4u);
+}
+
+TEST(Trace, DynamicOpsCarryNoWeights) {
+  const auto t = trace_forward(bert_base(128));
+  for (const auto& g : t.gemms) {
+    const bool is_dynamic =
+        g.label.find("QK^T") != std::string::npos || g.label.find("AV") != std::string::npos;
+    EXPECT_EQ(!g.static_weights, is_dynamic) << g.label;
+    if (is_dynamic) {
+      EXPECT_EQ(g.weight_elements(), 0u) << g.label;
+      EXPECT_EQ(g.repeats, 12u) << g.label;  // per-head
+    }
+  }
+}
+
+TEST(Trace, StaticWeightElementCounts) {
+  const auto t = trace_forward(bert_base(128));
+  std::size_t attn_w = t.weight_elements(OpClass::kAttention);
+  std::size_t ffn_w = t.weight_elements(OpClass::kFfn);
+  EXPECT_EQ(attn_w, 12u * 4u * 768u * 768u);
+  EXPECT_EQ(ffn_w, 12u * 2u * 768u * 3072u);
+}
+
+TEST(Trace, ActivationElementsArePerOpInPlusOut) {
+  GemmOp op{"t", OpClass::kFfn, 10, 20, 30, true, 2};
+  EXPECT_EQ(op.activation_elements(), 2u * (10 * 20 + 10 * 30));
+  EXPECT_EQ(op.weight_elements(), 2u * 20u * 30u);
+  EXPECT_EQ(op.macs(), 2u * 10u * 20u * 30u);
+}
+
+TEST(Trace, FfnMovesMoreWeightPerMacThanAttention) {
+  // The structural fact behind the paper's attention-vs-FFN savings gap.
+  const auto t = trace_forward(bert_base(128));
+  const double attn_ratio =
+      static_cast<double>(t.weight_elements(OpClass::kAttention)) /
+      static_cast<double>(t.macs(OpClass::kAttention));
+  const double ffn_ratio = static_cast<double>(t.weight_elements(OpClass::kFfn)) /
+                           static_cast<double>(t.macs(OpClass::kFfn));
+  EXPECT_LT(attn_ratio, ffn_ratio);
+}
+
+TEST(Trace, OpClassToString) {
+  EXPECT_EQ(to_string(OpClass::kAttention), "attention");
+  EXPECT_EQ(to_string(OpClass::kFfn), "ffn");
+  EXPECT_EQ(to_string(OpClass::kOther), "other");
+}
+
+TEST(Trace, TinyTransformerScalesDown) {
+  const auto cfg = tiny_transformer(8, 32, 2, 1);
+  const auto t = trace_forward(cfg);
+  EXPECT_EQ(t.gemms.size(), 8u);
+  EXPECT_GT(t.total_macs(), 0u);
+  EXPECT_LT(t.total_macs(), bert_base(128).total_macs() / 1000);
+}
+
+}  // namespace
