@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_accuracy_vs_segments.dir/abl_accuracy_vs_segments.cpp.o"
+  "CMakeFiles/abl_accuracy_vs_segments.dir/abl_accuracy_vs_segments.cpp.o.d"
+  "abl_accuracy_vs_segments"
+  "abl_accuracy_vs_segments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_accuracy_vs_segments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for abl_accuracy_vs_segments.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_batch_decode.dir/abl_batch_decode.cpp.o"
+  "CMakeFiles/abl_batch_decode.dir/abl_batch_decode.cpp.o.d"
+  "abl_batch_decode"
+  "abl_batch_decode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_batch_decode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_bitwidth_sweep.dir/abl_bitwidth_sweep.cpp.o"
+  "CMakeFiles/abl_bitwidth_sweep.dir/abl_bitwidth_sweep.cpp.o.d"
+  "abl_bitwidth_sweep"
+  "abl_bitwidth_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_bitwidth_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_cnn_workload.dir/abl_cnn_workload.cpp.o"
+  "CMakeFiles/abl_cnn_workload.dir/abl_cnn_workload.cpp.o.d"
+  "abl_cnn_workload"
+  "abl_cnn_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_cnn_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_ddot_throughput.dir/abl_ddot_throughput.cpp.o"
+  "CMakeFiles/abl_ddot_throughput.dir/abl_ddot_throughput.cpp.o.d"
+  "abl_ddot_throughput"
+  "abl_ddot_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_ddot_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

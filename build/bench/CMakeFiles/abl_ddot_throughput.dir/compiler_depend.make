@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for abl_ddot_throughput.
+# This may be replaced when dependencies are built.

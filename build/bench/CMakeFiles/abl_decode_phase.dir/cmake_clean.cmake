@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_decode_phase.dir/abl_decode_phase.cpp.o"
+  "CMakeFiles/abl_decode_phase.dir/abl_decode_phase.cpp.o.d"
+  "abl_decode_phase"
+  "abl_decode_phase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_decode_phase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

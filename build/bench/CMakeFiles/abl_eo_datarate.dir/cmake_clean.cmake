@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_eo_datarate.dir/abl_eo_datarate.cpp.o"
+  "CMakeFiles/abl_eo_datarate.dir/abl_eo_datarate.cpp.o.d"
+  "abl_eo_datarate"
+  "abl_eo_datarate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_eo_datarate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

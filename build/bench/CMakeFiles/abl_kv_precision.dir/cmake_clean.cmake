@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_kv_precision.dir/abl_kv_precision.cpp.o"
+  "CMakeFiles/abl_kv_precision.dir/abl_kv_precision.cpp.o.d"
+  "abl_kv_precision"
+  "abl_kv_precision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_kv_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

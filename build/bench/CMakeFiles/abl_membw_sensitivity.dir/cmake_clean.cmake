@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_membw_sensitivity.dir/abl_membw_sensitivity.cpp.o"
+  "CMakeFiles/abl_membw_sensitivity.dir/abl_membw_sensitivity.cpp.o.d"
+  "abl_membw_sensitivity"
+  "abl_membw_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_membw_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_mzi_baseline.dir/abl_mzi_baseline.cpp.o"
+  "CMakeFiles/abl_mzi_baseline.dir/abl_mzi_baseline.cpp.o.d"
+  "abl_mzi_baseline"
+  "abl_mzi_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_mzi_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

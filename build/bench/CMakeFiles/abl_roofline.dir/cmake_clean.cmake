@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_roofline.dir/abl_roofline.cpp.o"
+  "CMakeFiles/abl_roofline.dir/abl_roofline.cpp.o.d"
+  "abl_roofline"
+  "abl_roofline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_roofline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_seqlen_sweep.dir/abl_seqlen_sweep.cpp.o"
+  "CMakeFiles/abl_seqlen_sweep.dir/abl_seqlen_sweep.cpp.o.d"
+  "abl_seqlen_sweep"
+  "abl_seqlen_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_seqlen_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

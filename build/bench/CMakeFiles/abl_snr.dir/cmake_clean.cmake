@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_snr.dir/abl_snr.cpp.o"
+  "CMakeFiles/abl_snr.dir/abl_snr.cpp.o.d"
+  "abl_snr"
+  "abl_snr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_snr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

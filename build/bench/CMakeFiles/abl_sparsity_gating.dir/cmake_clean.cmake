@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_sparsity_gating.dir/abl_sparsity_gating.cpp.o"
+  "CMakeFiles/abl_sparsity_gating.dir/abl_sparsity_gating.cpp.o.d"
+  "abl_sparsity_gating"
+  "abl_sparsity_gating.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_sparsity_gating.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/abl_variation.cpp" "bench/CMakeFiles/abl_variation.dir/abl_variation.cpp.o" "gcc" "bench/CMakeFiles/abl_variation.dir/abl_variation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/pdac_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/pdac_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/pdac_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/ptc/CMakeFiles/pdac_ptc.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pdac_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/converters/CMakeFiles/pdac_converters.dir/DependInfo.cmake"
+  "/root/repo/build/src/photonics/CMakeFiles/pdac_photonics.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pdac_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

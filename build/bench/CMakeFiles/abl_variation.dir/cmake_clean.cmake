@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_variation.dir/abl_variation.cpp.o"
+  "CMakeFiles/abl_variation.dir/abl_variation.cpp.o.d"
+  "abl_variation"
+  "abl_variation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_variation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_wdm_scaling.dir/abl_wdm_scaling.cpp.o"
+  "CMakeFiles/abl_wdm_scaling.dir/abl_wdm_scaling.cpp.o.d"
+  "abl_wdm_scaling"
+  "abl_wdm_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_wdm_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

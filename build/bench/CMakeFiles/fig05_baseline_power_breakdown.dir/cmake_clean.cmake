@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_baseline_power_breakdown.dir/fig05_baseline_power_breakdown.cpp.o"
+  "CMakeFiles/fig05_baseline_power_breakdown.dir/fig05_baseline_power_breakdown.cpp.o.d"
+  "fig05_baseline_power_breakdown"
+  "fig05_baseline_power_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_baseline_power_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_arccos_approximation.dir/fig08_arccos_approximation.cpp.o"
+  "CMakeFiles/fig08_arccos_approximation.dir/fig08_arccos_approximation.cpp.o.d"
+  "fig08_arccos_approximation"
+  "fig08_arccos_approximation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_arccos_approximation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

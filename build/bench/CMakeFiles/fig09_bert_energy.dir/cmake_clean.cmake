@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_bert_energy.dir/fig09_bert_energy.cpp.o"
+  "CMakeFiles/fig09_bert_energy.dir/fig09_bert_energy.cpp.o.d"
+  "fig09_bert_energy"
+  "fig09_bert_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_bert_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

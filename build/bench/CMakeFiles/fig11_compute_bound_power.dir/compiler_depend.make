@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig11_compute_bound_power.
+# This may be replaced when dependencies are built.

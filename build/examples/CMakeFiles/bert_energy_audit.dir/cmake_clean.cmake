@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bert_energy_audit.dir/bert_energy_audit.cpp.o"
+  "CMakeFiles/bert_energy_audit.dir/bert_energy_audit.cpp.o.d"
+  "bert_energy_audit"
+  "bert_energy_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bert_energy_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

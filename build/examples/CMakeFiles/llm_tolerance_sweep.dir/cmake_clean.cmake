@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llm_tolerance_sweep.dir/llm_tolerance_sweep.cpp.o"
+  "CMakeFiles/llm_tolerance_sweep.dir/llm_tolerance_sweep.cpp.o.d"
+  "llm_tolerance_sweep"
+  "llm_tolerance_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llm_tolerance_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pareto_sweep.dir/pareto_sweep.cpp.o"
+  "CMakeFiles/pareto_sweep.dir/pareto_sweep.cpp.o.d"
+  "pareto_sweep"
+  "pareto_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pareto_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

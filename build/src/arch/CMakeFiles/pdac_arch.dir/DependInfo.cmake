@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/accelerator.cpp" "src/arch/CMakeFiles/pdac_arch.dir/accelerator.cpp.o" "gcc" "src/arch/CMakeFiles/pdac_arch.dir/accelerator.cpp.o.d"
+  "/root/repo/src/arch/component_power.cpp" "src/arch/CMakeFiles/pdac_arch.dir/component_power.cpp.o" "gcc" "src/arch/CMakeFiles/pdac_arch.dir/component_power.cpp.o.d"
+  "/root/repo/src/arch/config_parser.cpp" "src/arch/CMakeFiles/pdac_arch.dir/config_parser.cpp.o" "gcc" "src/arch/CMakeFiles/pdac_arch.dir/config_parser.cpp.o.d"
+  "/root/repo/src/arch/energy_model.cpp" "src/arch/CMakeFiles/pdac_arch.dir/energy_model.cpp.o" "gcc" "src/arch/CMakeFiles/pdac_arch.dir/energy_model.cpp.o.d"
+  "/root/repo/src/arch/interconnect.cpp" "src/arch/CMakeFiles/pdac_arch.dir/interconnect.cpp.o" "gcc" "src/arch/CMakeFiles/pdac_arch.dir/interconnect.cpp.o.d"
+  "/root/repo/src/arch/mapper.cpp" "src/arch/CMakeFiles/pdac_arch.dir/mapper.cpp.o" "gcc" "src/arch/CMakeFiles/pdac_arch.dir/mapper.cpp.o.d"
+  "/root/repo/src/arch/memory_system.cpp" "src/arch/CMakeFiles/pdac_arch.dir/memory_system.cpp.o" "gcc" "src/arch/CMakeFiles/pdac_arch.dir/memory_system.cpp.o.d"
+  "/root/repo/src/arch/op_events.cpp" "src/arch/CMakeFiles/pdac_arch.dir/op_events.cpp.o" "gcc" "src/arch/CMakeFiles/pdac_arch.dir/op_events.cpp.o.d"
+  "/root/repo/src/arch/sram.cpp" "src/arch/CMakeFiles/pdac_arch.dir/sram.cpp.o" "gcc" "src/arch/CMakeFiles/pdac_arch.dir/sram.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pdac_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/converters/CMakeFiles/pdac_converters.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pdac_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/pdac_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/ptc/CMakeFiles/pdac_ptc.dir/DependInfo.cmake"
+  "/root/repo/build/src/photonics/CMakeFiles/pdac_photonics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

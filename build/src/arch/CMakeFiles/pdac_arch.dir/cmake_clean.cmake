@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdac_arch.dir/accelerator.cpp.o"
+  "CMakeFiles/pdac_arch.dir/accelerator.cpp.o.d"
+  "CMakeFiles/pdac_arch.dir/component_power.cpp.o"
+  "CMakeFiles/pdac_arch.dir/component_power.cpp.o.d"
+  "CMakeFiles/pdac_arch.dir/config_parser.cpp.o"
+  "CMakeFiles/pdac_arch.dir/config_parser.cpp.o.d"
+  "CMakeFiles/pdac_arch.dir/energy_model.cpp.o"
+  "CMakeFiles/pdac_arch.dir/energy_model.cpp.o.d"
+  "CMakeFiles/pdac_arch.dir/interconnect.cpp.o"
+  "CMakeFiles/pdac_arch.dir/interconnect.cpp.o.d"
+  "CMakeFiles/pdac_arch.dir/mapper.cpp.o"
+  "CMakeFiles/pdac_arch.dir/mapper.cpp.o.d"
+  "CMakeFiles/pdac_arch.dir/memory_system.cpp.o"
+  "CMakeFiles/pdac_arch.dir/memory_system.cpp.o.d"
+  "CMakeFiles/pdac_arch.dir/op_events.cpp.o"
+  "CMakeFiles/pdac_arch.dir/op_events.cpp.o.d"
+  "CMakeFiles/pdac_arch.dir/sram.cpp.o"
+  "CMakeFiles/pdac_arch.dir/sram.cpp.o.d"
+  "libpdac_arch.a"
+  "libpdac_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdac_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

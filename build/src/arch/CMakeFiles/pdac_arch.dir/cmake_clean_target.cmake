@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpdac_arch.a"
+)

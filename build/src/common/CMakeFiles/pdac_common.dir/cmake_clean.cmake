@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdac_common.dir/math_utils.cpp.o"
+  "CMakeFiles/pdac_common.dir/math_utils.cpp.o.d"
+  "CMakeFiles/pdac_common.dir/stats.cpp.o"
+  "CMakeFiles/pdac_common.dir/stats.cpp.o.d"
+  "CMakeFiles/pdac_common.dir/svd.cpp.o"
+  "CMakeFiles/pdac_common.dir/svd.cpp.o.d"
+  "CMakeFiles/pdac_common.dir/table.cpp.o"
+  "CMakeFiles/pdac_common.dir/table.cpp.o.d"
+  "libpdac_common.a"
+  "libpdac_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdac_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/converters/electrical_adc.cpp" "src/converters/CMakeFiles/pdac_converters.dir/electrical_adc.cpp.o" "gcc" "src/converters/CMakeFiles/pdac_converters.dir/electrical_adc.cpp.o.d"
+  "/root/repo/src/converters/electrical_dac.cpp" "src/converters/CMakeFiles/pdac_converters.dir/electrical_dac.cpp.o" "gcc" "src/converters/CMakeFiles/pdac_converters.dir/electrical_dac.cpp.o.d"
+  "/root/repo/src/converters/eo_interface.cpp" "src/converters/CMakeFiles/pdac_converters.dir/eo_interface.cpp.o" "gcc" "src/converters/CMakeFiles/pdac_converters.dir/eo_interface.cpp.o.d"
+  "/root/repo/src/converters/eo_timing.cpp" "src/converters/CMakeFiles/pdac_converters.dir/eo_timing.cpp.o" "gcc" "src/converters/CMakeFiles/pdac_converters.dir/eo_timing.cpp.o.d"
+  "/root/repo/src/converters/oe_interface.cpp" "src/converters/CMakeFiles/pdac_converters.dir/oe_interface.cpp.o" "gcc" "src/converters/CMakeFiles/pdac_converters.dir/oe_interface.cpp.o.d"
+  "/root/repo/src/converters/quantizer.cpp" "src/converters/CMakeFiles/pdac_converters.dir/quantizer.cpp.o" "gcc" "src/converters/CMakeFiles/pdac_converters.dir/quantizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pdac_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/photonics/CMakeFiles/pdac_photonics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdac_converters.dir/electrical_adc.cpp.o"
+  "CMakeFiles/pdac_converters.dir/electrical_adc.cpp.o.d"
+  "CMakeFiles/pdac_converters.dir/electrical_dac.cpp.o"
+  "CMakeFiles/pdac_converters.dir/electrical_dac.cpp.o.d"
+  "CMakeFiles/pdac_converters.dir/eo_interface.cpp.o"
+  "CMakeFiles/pdac_converters.dir/eo_interface.cpp.o.d"
+  "CMakeFiles/pdac_converters.dir/eo_timing.cpp.o"
+  "CMakeFiles/pdac_converters.dir/eo_timing.cpp.o.d"
+  "CMakeFiles/pdac_converters.dir/oe_interface.cpp.o"
+  "CMakeFiles/pdac_converters.dir/oe_interface.cpp.o.d"
+  "CMakeFiles/pdac_converters.dir/quantizer.cpp.o"
+  "CMakeFiles/pdac_converters.dir/quantizer.cpp.o.d"
+  "libpdac_converters.a"
+  "libpdac_converters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdac_converters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

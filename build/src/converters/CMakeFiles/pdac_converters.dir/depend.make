@@ -1,0 +1,2 @@
+# Empty dependencies file for pdac_converters.
+# This may be replaced when dependencies are built.

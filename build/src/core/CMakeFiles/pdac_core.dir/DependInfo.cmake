@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/arccos_approx.cpp" "src/core/CMakeFiles/pdac_core.dir/arccos_approx.cpp.o" "gcc" "src/core/CMakeFiles/pdac_core.dir/arccos_approx.cpp.o.d"
+  "/root/repo/src/core/breakpoint_optimizer.cpp" "src/core/CMakeFiles/pdac_core.dir/breakpoint_optimizer.cpp.o" "gcc" "src/core/CMakeFiles/pdac_core.dir/breakpoint_optimizer.cpp.o.d"
+  "/root/repo/src/core/error_model.cpp" "src/core/CMakeFiles/pdac_core.dir/error_model.cpp.o" "gcc" "src/core/CMakeFiles/pdac_core.dir/error_model.cpp.o.d"
+  "/root/repo/src/core/error_propagation.cpp" "src/core/CMakeFiles/pdac_core.dir/error_propagation.cpp.o" "gcc" "src/core/CMakeFiles/pdac_core.dir/error_propagation.cpp.o.d"
+  "/root/repo/src/core/modulator_driver.cpp" "src/core/CMakeFiles/pdac_core.dir/modulator_driver.cpp.o" "gcc" "src/core/CMakeFiles/pdac_core.dir/modulator_driver.cpp.o.d"
+  "/root/repo/src/core/multi_segment_approx.cpp" "src/core/CMakeFiles/pdac_core.dir/multi_segment_approx.cpp.o" "gcc" "src/core/CMakeFiles/pdac_core.dir/multi_segment_approx.cpp.o.d"
+  "/root/repo/src/core/pdac.cpp" "src/core/CMakeFiles/pdac_core.dir/pdac.cpp.o" "gcc" "src/core/CMakeFiles/pdac_core.dir/pdac.cpp.o.d"
+  "/root/repo/src/core/tia_weights.cpp" "src/core/CMakeFiles/pdac_core.dir/tia_weights.cpp.o" "gcc" "src/core/CMakeFiles/pdac_core.dir/tia_weights.cpp.o.d"
+  "/root/repo/src/core/trimming.cpp" "src/core/CMakeFiles/pdac_core.dir/trimming.cpp.o" "gcc" "src/core/CMakeFiles/pdac_core.dir/trimming.cpp.o.d"
+  "/root/repo/src/core/variation.cpp" "src/core/CMakeFiles/pdac_core.dir/variation.cpp.o" "gcc" "src/core/CMakeFiles/pdac_core.dir/variation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pdac_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/photonics/CMakeFiles/pdac_photonics.dir/DependInfo.cmake"
+  "/root/repo/build/src/converters/CMakeFiles/pdac_converters.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdac_core.dir/arccos_approx.cpp.o"
+  "CMakeFiles/pdac_core.dir/arccos_approx.cpp.o.d"
+  "CMakeFiles/pdac_core.dir/breakpoint_optimizer.cpp.o"
+  "CMakeFiles/pdac_core.dir/breakpoint_optimizer.cpp.o.d"
+  "CMakeFiles/pdac_core.dir/error_model.cpp.o"
+  "CMakeFiles/pdac_core.dir/error_model.cpp.o.d"
+  "CMakeFiles/pdac_core.dir/error_propagation.cpp.o"
+  "CMakeFiles/pdac_core.dir/error_propagation.cpp.o.d"
+  "CMakeFiles/pdac_core.dir/modulator_driver.cpp.o"
+  "CMakeFiles/pdac_core.dir/modulator_driver.cpp.o.d"
+  "CMakeFiles/pdac_core.dir/multi_segment_approx.cpp.o"
+  "CMakeFiles/pdac_core.dir/multi_segment_approx.cpp.o.d"
+  "CMakeFiles/pdac_core.dir/pdac.cpp.o"
+  "CMakeFiles/pdac_core.dir/pdac.cpp.o.d"
+  "CMakeFiles/pdac_core.dir/tia_weights.cpp.o"
+  "CMakeFiles/pdac_core.dir/tia_weights.cpp.o.d"
+  "CMakeFiles/pdac_core.dir/trimming.cpp.o"
+  "CMakeFiles/pdac_core.dir/trimming.cpp.o.d"
+  "CMakeFiles/pdac_core.dir/variation.cpp.o"
+  "CMakeFiles/pdac_core.dir/variation.cpp.o.d"
+  "libpdac_core.a"
+  "libpdac_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdac_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

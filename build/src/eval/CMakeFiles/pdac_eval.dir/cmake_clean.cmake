@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdac_eval.dir/report.cpp.o"
+  "CMakeFiles/pdac_eval.dir/report.cpp.o.d"
+  "libpdac_eval.a"
+  "libpdac_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdac_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpdac_eval.a"
+)

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/attention.cpp" "src/nn/CMakeFiles/pdac_nn.dir/attention.cpp.o" "gcc" "src/nn/CMakeFiles/pdac_nn.dir/attention.cpp.o.d"
+  "/root/repo/src/nn/backend.cpp" "src/nn/CMakeFiles/pdac_nn.dir/backend.cpp.o" "gcc" "src/nn/CMakeFiles/pdac_nn.dir/backend.cpp.o.d"
+  "/root/repo/src/nn/cnn_trace.cpp" "src/nn/CMakeFiles/pdac_nn.dir/cnn_trace.cpp.o" "gcc" "src/nn/CMakeFiles/pdac_nn.dir/cnn_trace.cpp.o.d"
+  "/root/repo/src/nn/decode_trace.cpp" "src/nn/CMakeFiles/pdac_nn.dir/decode_trace.cpp.o" "gcc" "src/nn/CMakeFiles/pdac_nn.dir/decode_trace.cpp.o.d"
+  "/root/repo/src/nn/encoder_layer.cpp" "src/nn/CMakeFiles/pdac_nn.dir/encoder_layer.cpp.o" "gcc" "src/nn/CMakeFiles/pdac_nn.dir/encoder_layer.cpp.o.d"
+  "/root/repo/src/nn/linear.cpp" "src/nn/CMakeFiles/pdac_nn.dir/linear.cpp.o" "gcc" "src/nn/CMakeFiles/pdac_nn.dir/linear.cpp.o.d"
+  "/root/repo/src/nn/model_config.cpp" "src/nn/CMakeFiles/pdac_nn.dir/model_config.cpp.o" "gcc" "src/nn/CMakeFiles/pdac_nn.dir/model_config.cpp.o.d"
+  "/root/repo/src/nn/ops.cpp" "src/nn/CMakeFiles/pdac_nn.dir/ops.cpp.o" "gcc" "src/nn/CMakeFiles/pdac_nn.dir/ops.cpp.o.d"
+  "/root/repo/src/nn/transformer.cpp" "src/nn/CMakeFiles/pdac_nn.dir/transformer.cpp.o" "gcc" "src/nn/CMakeFiles/pdac_nn.dir/transformer.cpp.o.d"
+  "/root/repo/src/nn/workload_trace.cpp" "src/nn/CMakeFiles/pdac_nn.dir/workload_trace.cpp.o" "gcc" "src/nn/CMakeFiles/pdac_nn.dir/workload_trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pdac_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ptc/CMakeFiles/pdac_ptc.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pdac_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/converters/CMakeFiles/pdac_converters.dir/DependInfo.cmake"
+  "/root/repo/build/src/photonics/CMakeFiles/pdac_photonics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdac_nn.dir/attention.cpp.o"
+  "CMakeFiles/pdac_nn.dir/attention.cpp.o.d"
+  "CMakeFiles/pdac_nn.dir/backend.cpp.o"
+  "CMakeFiles/pdac_nn.dir/backend.cpp.o.d"
+  "CMakeFiles/pdac_nn.dir/cnn_trace.cpp.o"
+  "CMakeFiles/pdac_nn.dir/cnn_trace.cpp.o.d"
+  "CMakeFiles/pdac_nn.dir/decode_trace.cpp.o"
+  "CMakeFiles/pdac_nn.dir/decode_trace.cpp.o.d"
+  "CMakeFiles/pdac_nn.dir/encoder_layer.cpp.o"
+  "CMakeFiles/pdac_nn.dir/encoder_layer.cpp.o.d"
+  "CMakeFiles/pdac_nn.dir/linear.cpp.o"
+  "CMakeFiles/pdac_nn.dir/linear.cpp.o.d"
+  "CMakeFiles/pdac_nn.dir/model_config.cpp.o"
+  "CMakeFiles/pdac_nn.dir/model_config.cpp.o.d"
+  "CMakeFiles/pdac_nn.dir/ops.cpp.o"
+  "CMakeFiles/pdac_nn.dir/ops.cpp.o.d"
+  "CMakeFiles/pdac_nn.dir/transformer.cpp.o"
+  "CMakeFiles/pdac_nn.dir/transformer.cpp.o.d"
+  "CMakeFiles/pdac_nn.dir/workload_trace.cpp.o"
+  "CMakeFiles/pdac_nn.dir/workload_trace.cpp.o.d"
+  "libpdac_nn.a"
+  "libpdac_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdac_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/photonics/crosstalk.cpp" "src/photonics/CMakeFiles/pdac_photonics.dir/crosstalk.cpp.o" "gcc" "src/photonics/CMakeFiles/pdac_photonics.dir/crosstalk.cpp.o.d"
+  "/root/repo/src/photonics/laser.cpp" "src/photonics/CMakeFiles/pdac_photonics.dir/laser.cpp.o" "gcc" "src/photonics/CMakeFiles/pdac_photonics.dir/laser.cpp.o.d"
+  "/root/repo/src/photonics/microring.cpp" "src/photonics/CMakeFiles/pdac_photonics.dir/microring.cpp.o" "gcc" "src/photonics/CMakeFiles/pdac_photonics.dir/microring.cpp.o.d"
+  "/root/repo/src/photonics/mzi_mesh.cpp" "src/photonics/CMakeFiles/pdac_photonics.dir/mzi_mesh.cpp.o" "gcc" "src/photonics/CMakeFiles/pdac_photonics.dir/mzi_mesh.cpp.o.d"
+  "/root/repo/src/photonics/mzm.cpp" "src/photonics/CMakeFiles/pdac_photonics.dir/mzm.cpp.o" "gcc" "src/photonics/CMakeFiles/pdac_photonics.dir/mzm.cpp.o.d"
+  "/root/repo/src/photonics/photodetector.cpp" "src/photonics/CMakeFiles/pdac_photonics.dir/photodetector.cpp.o" "gcc" "src/photonics/CMakeFiles/pdac_photonics.dir/photodetector.cpp.o.d"
+  "/root/repo/src/photonics/thermal_tuner.cpp" "src/photonics/CMakeFiles/pdac_photonics.dir/thermal_tuner.cpp.o" "gcc" "src/photonics/CMakeFiles/pdac_photonics.dir/thermal_tuner.cpp.o.d"
+  "/root/repo/src/photonics/waveguide.cpp" "src/photonics/CMakeFiles/pdac_photonics.dir/waveguide.cpp.o" "gcc" "src/photonics/CMakeFiles/pdac_photonics.dir/waveguide.cpp.o.d"
+  "/root/repo/src/photonics/wdm_bus.cpp" "src/photonics/CMakeFiles/pdac_photonics.dir/wdm_bus.cpp.o" "gcc" "src/photonics/CMakeFiles/pdac_photonics.dir/wdm_bus.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pdac_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdac_photonics.dir/crosstalk.cpp.o"
+  "CMakeFiles/pdac_photonics.dir/crosstalk.cpp.o.d"
+  "CMakeFiles/pdac_photonics.dir/laser.cpp.o"
+  "CMakeFiles/pdac_photonics.dir/laser.cpp.o.d"
+  "CMakeFiles/pdac_photonics.dir/microring.cpp.o"
+  "CMakeFiles/pdac_photonics.dir/microring.cpp.o.d"
+  "CMakeFiles/pdac_photonics.dir/mzi_mesh.cpp.o"
+  "CMakeFiles/pdac_photonics.dir/mzi_mesh.cpp.o.d"
+  "CMakeFiles/pdac_photonics.dir/mzm.cpp.o"
+  "CMakeFiles/pdac_photonics.dir/mzm.cpp.o.d"
+  "CMakeFiles/pdac_photonics.dir/photodetector.cpp.o"
+  "CMakeFiles/pdac_photonics.dir/photodetector.cpp.o.d"
+  "CMakeFiles/pdac_photonics.dir/thermal_tuner.cpp.o"
+  "CMakeFiles/pdac_photonics.dir/thermal_tuner.cpp.o.d"
+  "CMakeFiles/pdac_photonics.dir/waveguide.cpp.o"
+  "CMakeFiles/pdac_photonics.dir/waveguide.cpp.o.d"
+  "CMakeFiles/pdac_photonics.dir/wdm_bus.cpp.o"
+  "CMakeFiles/pdac_photonics.dir/wdm_bus.cpp.o.d"
+  "libpdac_photonics.a"
+  "libpdac_photonics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdac_photonics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

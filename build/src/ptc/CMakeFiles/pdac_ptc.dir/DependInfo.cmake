@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ptc/ddot.cpp" "src/ptc/CMakeFiles/pdac_ptc.dir/ddot.cpp.o" "gcc" "src/ptc/CMakeFiles/pdac_ptc.dir/ddot.cpp.o.d"
+  "/root/repo/src/ptc/dot_engine.cpp" "src/ptc/CMakeFiles/pdac_ptc.dir/dot_engine.cpp.o" "gcc" "src/ptc/CMakeFiles/pdac_ptc.dir/dot_engine.cpp.o.d"
+  "/root/repo/src/ptc/gemm_engine.cpp" "src/ptc/CMakeFiles/pdac_ptc.dir/gemm_engine.cpp.o" "gcc" "src/ptc/CMakeFiles/pdac_ptc.dir/gemm_engine.cpp.o.d"
+  "/root/repo/src/ptc/noise_analysis.cpp" "src/ptc/CMakeFiles/pdac_ptc.dir/noise_analysis.cpp.o" "gcc" "src/ptc/CMakeFiles/pdac_ptc.dir/noise_analysis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pdac_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/photonics/CMakeFiles/pdac_photonics.dir/DependInfo.cmake"
+  "/root/repo/build/src/converters/CMakeFiles/pdac_converters.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pdac_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

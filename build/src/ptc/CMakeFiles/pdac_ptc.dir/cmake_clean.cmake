@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdac_ptc.dir/ddot.cpp.o"
+  "CMakeFiles/pdac_ptc.dir/ddot.cpp.o.d"
+  "CMakeFiles/pdac_ptc.dir/dot_engine.cpp.o"
+  "CMakeFiles/pdac_ptc.dir/dot_engine.cpp.o.d"
+  "CMakeFiles/pdac_ptc.dir/gemm_engine.cpp.o"
+  "CMakeFiles/pdac_ptc.dir/gemm_engine.cpp.o.d"
+  "CMakeFiles/pdac_ptc.dir/noise_analysis.cpp.o"
+  "CMakeFiles/pdac_ptc.dir/noise_analysis.cpp.o.d"
+  "libpdac_ptc.a"
+  "libpdac_ptc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdac_ptc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

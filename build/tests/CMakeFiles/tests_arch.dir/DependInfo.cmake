@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_accelerator.cpp" "tests/CMakeFiles/tests_arch.dir/test_accelerator.cpp.o" "gcc" "tests/CMakeFiles/tests_arch.dir/test_accelerator.cpp.o.d"
+  "/root/repo/tests/test_arch_power.cpp" "tests/CMakeFiles/tests_arch.dir/test_arch_power.cpp.o" "gcc" "tests/CMakeFiles/tests_arch.dir/test_arch_power.cpp.o.d"
+  "/root/repo/tests/test_arch_properties.cpp" "tests/CMakeFiles/tests_arch.dir/test_arch_properties.cpp.o" "gcc" "tests/CMakeFiles/tests_arch.dir/test_arch_properties.cpp.o.d"
+  "/root/repo/tests/test_config_parser.cpp" "tests/CMakeFiles/tests_arch.dir/test_config_parser.cpp.o" "gcc" "tests/CMakeFiles/tests_arch.dir/test_config_parser.cpp.o.d"
+  "/root/repo/tests/test_energy_model.cpp" "tests/CMakeFiles/tests_arch.dir/test_energy_model.cpp.o" "gcc" "tests/CMakeFiles/tests_arch.dir/test_energy_model.cpp.o.d"
+  "/root/repo/tests/test_interconnect.cpp" "tests/CMakeFiles/tests_arch.dir/test_interconnect.cpp.o" "gcc" "tests/CMakeFiles/tests_arch.dir/test_interconnect.cpp.o.d"
+  "/root/repo/tests/test_mapper.cpp" "tests/CMakeFiles/tests_arch.dir/test_mapper.cpp.o" "gcc" "tests/CMakeFiles/tests_arch.dir/test_mapper.cpp.o.d"
+  "/root/repo/tests/test_memory_system.cpp" "tests/CMakeFiles/tests_arch.dir/test_memory_system.cpp.o" "gcc" "tests/CMakeFiles/tests_arch.dir/test_memory_system.cpp.o.d"
+  "/root/repo/tests/test_model_fuzz.cpp" "tests/CMakeFiles/tests_arch.dir/test_model_fuzz.cpp.o" "gcc" "tests/CMakeFiles/tests_arch.dir/test_model_fuzz.cpp.o.d"
+  "/root/repo/tests/test_sram.cpp" "tests/CMakeFiles/tests_arch.dir/test_sram.cpp.o" "gcc" "tests/CMakeFiles/tests_arch.dir/test_sram.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/pdac_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/pdac_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/pdac_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/ptc/CMakeFiles/pdac_ptc.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pdac_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/converters/CMakeFiles/pdac_converters.dir/DependInfo.cmake"
+  "/root/repo/build/src/photonics/CMakeFiles/pdac_photonics.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pdac_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

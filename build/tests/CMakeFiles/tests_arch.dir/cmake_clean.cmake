@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_arch.dir/test_accelerator.cpp.o"
+  "CMakeFiles/tests_arch.dir/test_accelerator.cpp.o.d"
+  "CMakeFiles/tests_arch.dir/test_arch_power.cpp.o"
+  "CMakeFiles/tests_arch.dir/test_arch_power.cpp.o.d"
+  "CMakeFiles/tests_arch.dir/test_arch_properties.cpp.o"
+  "CMakeFiles/tests_arch.dir/test_arch_properties.cpp.o.d"
+  "CMakeFiles/tests_arch.dir/test_config_parser.cpp.o"
+  "CMakeFiles/tests_arch.dir/test_config_parser.cpp.o.d"
+  "CMakeFiles/tests_arch.dir/test_energy_model.cpp.o"
+  "CMakeFiles/tests_arch.dir/test_energy_model.cpp.o.d"
+  "CMakeFiles/tests_arch.dir/test_interconnect.cpp.o"
+  "CMakeFiles/tests_arch.dir/test_interconnect.cpp.o.d"
+  "CMakeFiles/tests_arch.dir/test_mapper.cpp.o"
+  "CMakeFiles/tests_arch.dir/test_mapper.cpp.o.d"
+  "CMakeFiles/tests_arch.dir/test_memory_system.cpp.o"
+  "CMakeFiles/tests_arch.dir/test_memory_system.cpp.o.d"
+  "CMakeFiles/tests_arch.dir/test_model_fuzz.cpp.o"
+  "CMakeFiles/tests_arch.dir/test_model_fuzz.cpp.o.d"
+  "CMakeFiles/tests_arch.dir/test_sram.cpp.o"
+  "CMakeFiles/tests_arch.dir/test_sram.cpp.o.d"
+  "tests_arch"
+  "tests_arch.pdb"
+  "tests_arch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_math_utils.cpp" "tests/CMakeFiles/tests_common.dir/test_math_utils.cpp.o" "gcc" "tests/CMakeFiles/tests_common.dir/test_math_utils.cpp.o.d"
+  "/root/repo/tests/test_matrix.cpp" "tests/CMakeFiles/tests_common.dir/test_matrix.cpp.o" "gcc" "tests/CMakeFiles/tests_common.dir/test_matrix.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/tests_common.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/tests_common.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_svd.cpp" "tests/CMakeFiles/tests_common.dir/test_svd.cpp.o" "gcc" "tests/CMakeFiles/tests_common.dir/test_svd.cpp.o.d"
+  "/root/repo/tests/test_table.cpp" "tests/CMakeFiles/tests_common.dir/test_table.cpp.o" "gcc" "tests/CMakeFiles/tests_common.dir/test_table.cpp.o.d"
+  "/root/repo/tests/test_units.cpp" "tests/CMakeFiles/tests_common.dir/test_units.cpp.o" "gcc" "tests/CMakeFiles/tests_common.dir/test_units.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/pdac_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/pdac_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/pdac_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/ptc/CMakeFiles/pdac_ptc.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pdac_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/converters/CMakeFiles/pdac_converters.dir/DependInfo.cmake"
+  "/root/repo/build/src/photonics/CMakeFiles/pdac_photonics.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pdac_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_common.dir/test_math_utils.cpp.o"
+  "CMakeFiles/tests_common.dir/test_math_utils.cpp.o.d"
+  "CMakeFiles/tests_common.dir/test_matrix.cpp.o"
+  "CMakeFiles/tests_common.dir/test_matrix.cpp.o.d"
+  "CMakeFiles/tests_common.dir/test_stats.cpp.o"
+  "CMakeFiles/tests_common.dir/test_stats.cpp.o.d"
+  "CMakeFiles/tests_common.dir/test_svd.cpp.o"
+  "CMakeFiles/tests_common.dir/test_svd.cpp.o.d"
+  "CMakeFiles/tests_common.dir/test_table.cpp.o"
+  "CMakeFiles/tests_common.dir/test_table.cpp.o.d"
+  "CMakeFiles/tests_common.dir/test_units.cpp.o"
+  "CMakeFiles/tests_common.dir/test_units.cpp.o.d"
+  "tests_common"
+  "tests_common.pdb"
+  "tests_common[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

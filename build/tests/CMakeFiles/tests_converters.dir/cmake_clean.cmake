@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_converters.dir/test_electrical_adc.cpp.o"
+  "CMakeFiles/tests_converters.dir/test_electrical_adc.cpp.o.d"
+  "CMakeFiles/tests_converters.dir/test_electrical_dac.cpp.o"
+  "CMakeFiles/tests_converters.dir/test_electrical_dac.cpp.o.d"
+  "CMakeFiles/tests_converters.dir/test_eo_interface.cpp.o"
+  "CMakeFiles/tests_converters.dir/test_eo_interface.cpp.o.d"
+  "CMakeFiles/tests_converters.dir/test_eo_timing.cpp.o"
+  "CMakeFiles/tests_converters.dir/test_eo_timing.cpp.o.d"
+  "CMakeFiles/tests_converters.dir/test_oe_interface.cpp.o"
+  "CMakeFiles/tests_converters.dir/test_oe_interface.cpp.o.d"
+  "CMakeFiles/tests_converters.dir/test_quantizer.cpp.o"
+  "CMakeFiles/tests_converters.dir/test_quantizer.cpp.o.d"
+  "tests_converters"
+  "tests_converters.pdb"
+  "tests_converters[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_converters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_arccos_approx.cpp" "tests/CMakeFiles/tests_core.dir/test_arccos_approx.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/test_arccos_approx.cpp.o.d"
+  "/root/repo/tests/test_breakpoint_optimizer.cpp" "tests/CMakeFiles/tests_core.dir/test_breakpoint_optimizer.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/test_breakpoint_optimizer.cpp.o.d"
+  "/root/repo/tests/test_error_model.cpp" "tests/CMakeFiles/tests_core.dir/test_error_model.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/test_error_model.cpp.o.d"
+  "/root/repo/tests/test_error_propagation.cpp" "tests/CMakeFiles/tests_core.dir/test_error_propagation.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/test_error_propagation.cpp.o.d"
+  "/root/repo/tests/test_modulator_driver.cpp" "tests/CMakeFiles/tests_core.dir/test_modulator_driver.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/test_modulator_driver.cpp.o.d"
+  "/root/repo/tests/test_multi_segment.cpp" "tests/CMakeFiles/tests_core.dir/test_multi_segment.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/test_multi_segment.cpp.o.d"
+  "/root/repo/tests/test_pdac.cpp" "tests/CMakeFiles/tests_core.dir/test_pdac.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/test_pdac.cpp.o.d"
+  "/root/repo/tests/test_sign_magnitude.cpp" "tests/CMakeFiles/tests_core.dir/test_sign_magnitude.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/test_sign_magnitude.cpp.o.d"
+  "/root/repo/tests/test_tia_weights.cpp" "tests/CMakeFiles/tests_core.dir/test_tia_weights.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/test_tia_weights.cpp.o.d"
+  "/root/repo/tests/test_trimming.cpp" "tests/CMakeFiles/tests_core.dir/test_trimming.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/test_trimming.cpp.o.d"
+  "/root/repo/tests/test_variation.cpp" "tests/CMakeFiles/tests_core.dir/test_variation.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/test_variation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/pdac_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/pdac_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/pdac_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/ptc/CMakeFiles/pdac_ptc.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pdac_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/converters/CMakeFiles/pdac_converters.dir/DependInfo.cmake"
+  "/root/repo/build/src/photonics/CMakeFiles/pdac_photonics.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pdac_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_core.dir/test_arccos_approx.cpp.o"
+  "CMakeFiles/tests_core.dir/test_arccos_approx.cpp.o.d"
+  "CMakeFiles/tests_core.dir/test_breakpoint_optimizer.cpp.o"
+  "CMakeFiles/tests_core.dir/test_breakpoint_optimizer.cpp.o.d"
+  "CMakeFiles/tests_core.dir/test_error_model.cpp.o"
+  "CMakeFiles/tests_core.dir/test_error_model.cpp.o.d"
+  "CMakeFiles/tests_core.dir/test_error_propagation.cpp.o"
+  "CMakeFiles/tests_core.dir/test_error_propagation.cpp.o.d"
+  "CMakeFiles/tests_core.dir/test_modulator_driver.cpp.o"
+  "CMakeFiles/tests_core.dir/test_modulator_driver.cpp.o.d"
+  "CMakeFiles/tests_core.dir/test_multi_segment.cpp.o"
+  "CMakeFiles/tests_core.dir/test_multi_segment.cpp.o.d"
+  "CMakeFiles/tests_core.dir/test_pdac.cpp.o"
+  "CMakeFiles/tests_core.dir/test_pdac.cpp.o.d"
+  "CMakeFiles/tests_core.dir/test_sign_magnitude.cpp.o"
+  "CMakeFiles/tests_core.dir/test_sign_magnitude.cpp.o.d"
+  "CMakeFiles/tests_core.dir/test_tia_weights.cpp.o"
+  "CMakeFiles/tests_core.dir/test_tia_weights.cpp.o.d"
+  "CMakeFiles/tests_core.dir/test_trimming.cpp.o"
+  "CMakeFiles/tests_core.dir/test_trimming.cpp.o.d"
+  "CMakeFiles/tests_core.dir/test_variation.cpp.o"
+  "CMakeFiles/tests_core.dir/test_variation.cpp.o.d"
+  "tests_core"
+  "tests_core.pdb"
+  "tests_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

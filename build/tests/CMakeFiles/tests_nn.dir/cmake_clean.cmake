@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_nn.dir/test_cnn_trace.cpp.o"
+  "CMakeFiles/tests_nn.dir/test_cnn_trace.cpp.o.d"
+  "CMakeFiles/tests_nn.dir/test_decode_trace.cpp.o"
+  "CMakeFiles/tests_nn.dir/test_decode_trace.cpp.o.d"
+  "CMakeFiles/tests_nn.dir/test_nn_layers.cpp.o"
+  "CMakeFiles/tests_nn.dir/test_nn_layers.cpp.o.d"
+  "CMakeFiles/tests_nn.dir/test_nn_ops.cpp.o"
+  "CMakeFiles/tests_nn.dir/test_nn_ops.cpp.o.d"
+  "CMakeFiles/tests_nn.dir/test_workload_trace.cpp.o"
+  "CMakeFiles/tests_nn.dir/test_workload_trace.cpp.o.d"
+  "tests_nn"
+  "tests_nn.pdb"
+  "tests_nn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_crosstalk.cpp" "tests/CMakeFiles/tests_photonics.dir/test_crosstalk.cpp.o" "gcc" "tests/CMakeFiles/tests_photonics.dir/test_crosstalk.cpp.o.d"
+  "/root/repo/tests/test_directional_coupler.cpp" "tests/CMakeFiles/tests_photonics.dir/test_directional_coupler.cpp.o" "gcc" "tests/CMakeFiles/tests_photonics.dir/test_directional_coupler.cpp.o.d"
+  "/root/repo/tests/test_laser.cpp" "tests/CMakeFiles/tests_photonics.dir/test_laser.cpp.o" "gcc" "tests/CMakeFiles/tests_photonics.dir/test_laser.cpp.o.d"
+  "/root/repo/tests/test_microring.cpp" "tests/CMakeFiles/tests_photonics.dir/test_microring.cpp.o" "gcc" "tests/CMakeFiles/tests_photonics.dir/test_microring.cpp.o.d"
+  "/root/repo/tests/test_mzi_mesh.cpp" "tests/CMakeFiles/tests_photonics.dir/test_mzi_mesh.cpp.o" "gcc" "tests/CMakeFiles/tests_photonics.dir/test_mzi_mesh.cpp.o.d"
+  "/root/repo/tests/test_mzm.cpp" "tests/CMakeFiles/tests_photonics.dir/test_mzm.cpp.o" "gcc" "tests/CMakeFiles/tests_photonics.dir/test_mzm.cpp.o.d"
+  "/root/repo/tests/test_optical_field.cpp" "tests/CMakeFiles/tests_photonics.dir/test_optical_field.cpp.o" "gcc" "tests/CMakeFiles/tests_photonics.dir/test_optical_field.cpp.o.d"
+  "/root/repo/tests/test_phase_shifter.cpp" "tests/CMakeFiles/tests_photonics.dir/test_phase_shifter.cpp.o" "gcc" "tests/CMakeFiles/tests_photonics.dir/test_phase_shifter.cpp.o.d"
+  "/root/repo/tests/test_photodetector.cpp" "tests/CMakeFiles/tests_photonics.dir/test_photodetector.cpp.o" "gcc" "tests/CMakeFiles/tests_photonics.dir/test_photodetector.cpp.o.d"
+  "/root/repo/tests/test_thermal_tuner.cpp" "tests/CMakeFiles/tests_photonics.dir/test_thermal_tuner.cpp.o" "gcc" "tests/CMakeFiles/tests_photonics.dir/test_thermal_tuner.cpp.o.d"
+  "/root/repo/tests/test_waveguide.cpp" "tests/CMakeFiles/tests_photonics.dir/test_waveguide.cpp.o" "gcc" "tests/CMakeFiles/tests_photonics.dir/test_waveguide.cpp.o.d"
+  "/root/repo/tests/test_wdm_bus.cpp" "tests/CMakeFiles/tests_photonics.dir/test_wdm_bus.cpp.o" "gcc" "tests/CMakeFiles/tests_photonics.dir/test_wdm_bus.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/pdac_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/pdac_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/pdac_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/ptc/CMakeFiles/pdac_ptc.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pdac_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/converters/CMakeFiles/pdac_converters.dir/DependInfo.cmake"
+  "/root/repo/build/src/photonics/CMakeFiles/pdac_photonics.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pdac_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

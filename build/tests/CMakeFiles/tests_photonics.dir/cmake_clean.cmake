@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_photonics.dir/test_crosstalk.cpp.o"
+  "CMakeFiles/tests_photonics.dir/test_crosstalk.cpp.o.d"
+  "CMakeFiles/tests_photonics.dir/test_directional_coupler.cpp.o"
+  "CMakeFiles/tests_photonics.dir/test_directional_coupler.cpp.o.d"
+  "CMakeFiles/tests_photonics.dir/test_laser.cpp.o"
+  "CMakeFiles/tests_photonics.dir/test_laser.cpp.o.d"
+  "CMakeFiles/tests_photonics.dir/test_microring.cpp.o"
+  "CMakeFiles/tests_photonics.dir/test_microring.cpp.o.d"
+  "CMakeFiles/tests_photonics.dir/test_mzi_mesh.cpp.o"
+  "CMakeFiles/tests_photonics.dir/test_mzi_mesh.cpp.o.d"
+  "CMakeFiles/tests_photonics.dir/test_mzm.cpp.o"
+  "CMakeFiles/tests_photonics.dir/test_mzm.cpp.o.d"
+  "CMakeFiles/tests_photonics.dir/test_optical_field.cpp.o"
+  "CMakeFiles/tests_photonics.dir/test_optical_field.cpp.o.d"
+  "CMakeFiles/tests_photonics.dir/test_phase_shifter.cpp.o"
+  "CMakeFiles/tests_photonics.dir/test_phase_shifter.cpp.o.d"
+  "CMakeFiles/tests_photonics.dir/test_photodetector.cpp.o"
+  "CMakeFiles/tests_photonics.dir/test_photodetector.cpp.o.d"
+  "CMakeFiles/tests_photonics.dir/test_thermal_tuner.cpp.o"
+  "CMakeFiles/tests_photonics.dir/test_thermal_tuner.cpp.o.d"
+  "CMakeFiles/tests_photonics.dir/test_waveguide.cpp.o"
+  "CMakeFiles/tests_photonics.dir/test_waveguide.cpp.o.d"
+  "CMakeFiles/tests_photonics.dir/test_wdm_bus.cpp.o"
+  "CMakeFiles/tests_photonics.dir/test_wdm_bus.cpp.o.d"
+  "tests_photonics"
+  "tests_photonics.pdb"
+  "tests_photonics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_photonics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_ptc.dir/test_ddot.cpp.o"
+  "CMakeFiles/tests_ptc.dir/test_ddot.cpp.o.d"
+  "CMakeFiles/tests_ptc.dir/test_dot_engine.cpp.o"
+  "CMakeFiles/tests_ptc.dir/test_dot_engine.cpp.o.d"
+  "CMakeFiles/tests_ptc.dir/test_gemm_engine.cpp.o"
+  "CMakeFiles/tests_ptc.dir/test_gemm_engine.cpp.o.d"
+  "CMakeFiles/tests_ptc.dir/test_noise_analysis.cpp.o"
+  "CMakeFiles/tests_ptc.dir/test_noise_analysis.cpp.o.d"
+  "tests_ptc"
+  "tests_ptc.pdb"
+  "tests_ptc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_ptc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
