@@ -91,6 +91,39 @@ double EnergyComparison::saving(nn::OpClass c) const {
   return base > 0.0 ? 1.0 - pdac.of(c).total().joules() / base : 0.0;
 }
 
+units::Energy recalibration_energy(const RecalibrationCost& cost, const LtConfig& cfg,
+                                   const PowerParams& params, int bits,
+                                   SystemVariant variant) {
+  PDAC_REQUIRE(bits >= 2 && bits <= 16, "recalibration_energy: bits in [2, 16]");
+  const double f = cfg.clock.hertz();
+  const double n_mod = static_cast<double>(cfg.modulator_channels());
+  const double e_mod =
+      variant == SystemVariant::kDacBased
+          ? dac_unit_power(params, bits).watts() / f +
+                controller_power(params, bits).watts() / (n_mod * f)
+          : pdac_unit_power(params, bits).watts() / f;
+  const double e_adc = adc_unit_power(params, bits).watts() / f;
+
+  // Probe: one code driven through the modulator, one sample read back.
+  const double probes = static_cast<double>(cost.probe_events) * (e_mod + e_adc);
+
+  // Re-trim fit: three banks of least squares over ~2(b+1) probe rows of
+  // b+2 terms each, executed on the digital vector unit.
+  const double b = static_cast<double>(bits);
+  const double fit_elements = 3.0 * 2.0 * (b + 1.0) * (b + 2.0);
+  const double retrims = static_cast<double>(cost.retrims) * fit_elements * b *
+                         params.vector_energy_per_element_bit.joules();
+
+  // Remap: a displaced tile re-stages its H row and W column operand
+  // vectors (one value per wavelength) from SRAM onto the new array.
+  const double tile_bits = static_cast<double>(cfg.array_rows + cfg.array_cols) *
+                           static_cast<double>(cfg.wavelengths) * b;
+  const double remaps = static_cast<double>(cost.remapped_tiles) * tile_bits *
+                        params.sram_energy_per_bit.joules();
+
+  return units::joules(probes + retrims + remaps);
+}
+
 EnergyComparison compare_energy(const nn::WorkloadTrace& trace, const LtConfig& cfg,
                                 const PowerParams& params, int bits) {
   return EnergyComparison{

@@ -92,4 +92,19 @@ struct EnergyComparison {
 EnergyComparison compare_energy(const nn::WorkloadTrace& trace, const LtConfig& cfg,
                                 const PowerParams& params, int bits);
 
+/// Overhead of the fault detection/recovery loop (faults/self_test.hpp
+/// plus the degraded mapper): nothing is free — probing a calibration
+/// code costs a modulation and an ADC sample, a re-trim runs its
+/// least-squares fit on the digital vector unit, and every tile remapped
+/// off a fenced array re-stages its operands from SRAM.
+struct RecalibrationCost {
+  std::uint64_t probe_events{};    ///< SelfTestReport::probe_events
+  std::uint64_t retrims{};         ///< SelfTestReport::retrims
+  std::uint64_t remapped_tiles{};  ///< Schedule::remapped_tiles
+};
+
+units::Energy recalibration_energy(const RecalibrationCost& cost, const LtConfig& cfg,
+                                   const PowerParams& params, int bits,
+                                   SystemVariant variant);
+
 }  // namespace pdac::arch

@@ -1,6 +1,7 @@
 #include "arch/mapper.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 
 #include "arch/op_events.hpp"
@@ -60,10 +61,12 @@ std::string layer_key(const std::string& label) {
 
 }  // namespace
 
-Schedule schedule_trace(const nn::WorkloadTrace& trace, const LtConfig& cfg) {
-  PDAC_REQUIRE(cfg.arrays() >= 1, "schedule_trace: need at least one array");
+namespace {
+
+Schedule schedule_on_pool(const nn::WorkloadTrace& trace, const LtConfig& cfg,
+                          std::size_t pool_arrays, double wavelength_availability) {
   Schedule sched;
-  sched.arrays = cfg.arrays();
+  sched.arrays = pool_arrays;
   sched.ddots_per_array = cfg.array_rows * cfg.array_cols;
 
   // Group consecutive ops by (layer, stage) preserving trace order —
@@ -97,7 +100,17 @@ Schedule schedule_trace(const nn::WorkloadTrace& trace, const LtConfig& cfg) {
       std::uint64_t wave_span = 0;
       for (std::size_t i = 0; i < wave; ++i) {
         const nn::GemmOp* op = group.ops[idx + i];
-        const OpEvents ev = count_op_events(*op, cfg);
+        OpEvents ev = count_op_events(*op, cfg);
+        if (wavelength_availability < 1.0) {
+          // Dead wavelengths shrink every reduction chunk, stretching the
+          // same work over proportionally more cycles.
+          const auto stretch = [wavelength_availability](std::uint64_t c) {
+            return static_cast<std::uint64_t>(
+                std::ceil(static_cast<double>(c) / wavelength_availability));
+          };
+          ev.tile_cycles = stretch(ev.tile_cycles);
+          ev.ddot_cycles = stretch(ev.ddot_cycles);
+        }
         const std::uint64_t span = (ev.tile_cycles + per_op - 1) / per_op;
         ScheduledOp s;
         s.label = op->label;
@@ -117,6 +130,40 @@ Schedule schedule_trace(const nn::WorkloadTrace& trace, const LtConfig& cfg) {
     }
   }
   sched.makespan_cycles = clock_cycle;
+  return sched;
+}
+
+}  // namespace
+
+Schedule schedule_trace(const nn::WorkloadTrace& trace, const LtConfig& cfg) {
+  PDAC_REQUIRE(cfg.arrays() >= 1, "schedule_trace: need at least one array");
+  return schedule_on_pool(trace, cfg, cfg.arrays(), 1.0);
+}
+
+Schedule schedule_trace(const nn::WorkloadTrace& trace, const LtConfig& cfg,
+                        const DegradedCapacity& degraded) {
+  PDAC_REQUIRE(degraded.healthy_arrays >= 1 && degraded.healthy_arrays <= cfg.arrays(),
+               "schedule_trace: healthy arrays must be in [1, pool size]");
+  PDAC_REQUIRE(degraded.wavelength_availability > 0.0 &&
+                   degraded.wavelength_availability <= 1.0,
+               "schedule_trace: wavelength availability in (0, 1]");
+  Schedule sched = schedule_on_pool(trace, cfg, degraded.healthy_arrays,
+                                    degraded.wavelength_availability);
+  // Tiles the full pool would have placed on now-fenced arrays; each one
+  // re-stages its operands on a survivor (priced by the energy model).
+  const double dead_fraction =
+      1.0 - static_cast<double>(degraded.healthy_arrays) /
+                static_cast<double>(cfg.arrays());
+  if (dead_fraction > 0.0) {
+    std::uint64_t total_tiles = 0;
+    for (const auto& op : trace.gemms) {
+      const std::uint64_t tiles_m = (op.m + cfg.array_rows - 1) / cfg.array_rows;
+      const std::uint64_t tiles_n = (op.n + cfg.array_cols - 1) / cfg.array_cols;
+      total_tiles += tiles_m * tiles_n * op.repeats;
+    }
+    sched.remapped_tiles = static_cast<std::uint64_t>(
+        std::ceil(static_cast<double>(total_tiles) * dead_fraction));
+  }
   return sched;
 }
 

@@ -49,6 +49,10 @@ struct Schedule {
   std::uint64_t busy_ddot_cycles{};
   std::size_t arrays{};
   std::size_t ddots_per_array{};
+  /// Tiles displaced off fenced arrays onto survivors (0 when scheduling
+  /// the full pool).  The energy model charges their operand re-staging
+  /// (arch::recalibration_energy).
+  std::uint64_t remapped_tiles{};
 
   /// busy / (arrays × makespan): 1.0 means no pipeline bubbles.
   [[nodiscard]] double utilization() const;
@@ -69,6 +73,21 @@ Stage stage_of(const nn::GemmOp& op);
 /// same layer run concurrently, splitting the arrays evenly; stages and
 /// layers execute in dependency order.
 Schedule schedule_trace(const nn::WorkloadTrace& trace, const LtConfig& cfg);
+
+/// Capacity surviving a fault event, as reported by the self-test: whole
+/// arrays fenced off, and the surviving arrays running on a reduced set
+/// of WDM channels.
+struct DegradedCapacity {
+  std::size_t healthy_arrays{};          ///< 0 < healthy ≤ cfg.arrays()
+  double wavelength_availability{1.0};   ///< usable/total channels, (0, 1]
+};
+
+/// Schedule onto the degraded pool: tiles that would have landed on
+/// fenced arrays are remapped to survivors, and every reduction stretches
+/// by 1/availability because dead wavelengths shrink the chunk size.
+/// Identical to the two-argument overload when nothing is degraded.
+Schedule schedule_trace(const nn::WorkloadTrace& trace, const LtConfig& cfg,
+                        const DegradedCapacity& degraded);
 
 std::string to_string(Stage s);
 

@@ -123,14 +123,32 @@ TrimResult trim_pdac(PerturbedPdacModel& device, const TrimmingConfig& cfg) {
   TrimResult result;
   result.worst_error_before = device.worst_error();
   result.mean_abs_error_before = device.mean_abs_error();
-  for (Segment seg :
-       {Segment::kNegativeOuter, Segment::kMiddle, Segment::kPositiveOuter}) {
-    const SegmentFit fit = fit_segment(device, seg, want);
+  constexpr Segment kSegments[] = {Segment::kNegativeOuter, Segment::kMiddle,
+                                   Segment::kPositiveOuter};
+  std::vector<SegmentFit> fits;
+  for (Segment seg : kSegments) {
+    SegmentFit fit = fit_segment(device, seg, want);
     device.apply_correction(seg, fit.delta_weights, fit.delta_bias);
     result.probes_used += fit.probes;
+    fits.push_back(std::move(fit));
   }
   result.worst_error_after = device.worst_error();
   result.mean_abs_error_after = device.mean_abs_error();
+  // A trim must never make the device worse; when it does, the probe
+  // observable was not the linear-in-bits map the fit assumes (stuck or
+  // dead hardware) and the corrections are garbage.  The tolerance keeps
+  // a nominal device — where before == after up to rounding — a fixed
+  // point rather than a spurious failure.
+  result.fit_failed = result.worst_error_after > result.worst_error_before + 1e-9;
+  if (result.fit_failed && cfg.revert_on_failure) {
+    for (std::size_t s = 0; s < fits.size(); ++s) {
+      auto undo = fits[s].delta_weights;
+      for (auto& w : undo) w = -w;
+      device.apply_correction(kSegments[s], undo, -fits[s].delta_bias);
+    }
+    result.worst_error_after = device.worst_error();
+    result.mean_abs_error_after = device.mean_abs_error();
+  }
   return result;
 }
 

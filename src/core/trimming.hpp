@@ -25,6 +25,11 @@ struct TrimmingConfig {
   /// Probe codes per weight bank; must be ≥ bits + 1 (the unknown count).
   /// More probes average measurement noise; the default gives 2× cover.
   int probes_per_bank{0};  ///< 0 = auto (2·(bits + 1))
+  /// Roll the corrections back when the fit fails (see TrimResult::
+  /// fit_failed), leaving the device in its pre-trim state instead of a
+  /// corrupted one.  The fault-recovery self-test enables this so an
+  /// unrecoverable lane is left no worse than it was found.
+  bool revert_on_failure{false};
 };
 
 struct TrimResult {
@@ -33,6 +38,12 @@ struct TrimResult {
   double worst_error_after{};
   double mean_abs_error_before{};
   double mean_abs_error_after{};
+  /// True when the post-trim worst error exceeds the pre-trim worst
+  /// error: the least-squares fit was corrupted because the observable no
+  /// longer responds linearly to the code (e.g. a stuck MRR or dead
+  /// receive PD).  Such a lane is not recoverable by gain trimming; the
+  /// self-test loop (faults/self_test.hpp) treats this as "lane dead".
+  bool fit_failed{false};
 };
 
 /// Calibrate `device` in place; returns before/after error metrics.

@@ -56,13 +56,22 @@ TiaWeightBank& PerturbedPdacModel::bank_mutable(Segment seg) {
 }
 
 double PerturbedPdacModel::encode_code(std::int32_t code) const {
+  // A stuck MRR modulator ignores the drive entirely: the lane emits the
+  // pinned amplitude whatever the code (fault_hook.hpp).
+  if (fault_hook_.stuck_output.has_value()) return *fault_hook_.stuck_output;
   const TiaWeightBank& b = bank(nominal_program_.select(code));
   const auto pattern = static_cast<std::uint32_t>(code) & ((1u << bits_) - 1u);
+  // The bias is the reference voltage, not PD-derived, so PD faults touch
+  // only the per-bit terms.  A healthy hook multiplies by exactly 1.0, so
+  // this is bit-identical to the hook-free evaluation.
   double phase = b.bias;
   for (int i = 0; i < bits_; ++i) {
-    if ((pattern >> i) & 1u) phase += b.weights[static_cast<std::size_t>(i)];
+    const std::uint32_t bit = 1u << i;
+    if ((pattern & bit) == 0u || (fault_hook_.dead_pd_bits & bit) != 0u) continue;
+    phase += fault_hook_.pd_responsivity_scale * b.weights[static_cast<std::size_t>(i)];
   }
-  return mzm_.modulate_pushpull(photonics::Complex{1.0, 0.0}, phase * phase_scale_).real();
+  return fault_hook_.carrier_scale *
+         mzm_.modulate_pushpull(photonics::Complex{1.0, 0.0}, phase * phase_scale_).real();
 }
 
 double PerturbedPdacModel::worst_error() const {

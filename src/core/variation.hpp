@@ -21,6 +21,7 @@
 
 #include "common/rng.hpp"
 #include "common/stats.hpp"
+#include "core/fault_hook.hpp"
 #include "core/pdac.hpp"
 #include "core/tia_weights.hpp"
 #include "photonics/mzm.hpp"
@@ -78,6 +79,13 @@ class PerturbedPdacModel {
   void apply_correction(Segment seg, const std::vector<double>& delta_weights,
                         double delta_bias);
 
+  /// Runtime-fault overlay (fault_hook.hpp).  The default hook is the
+  /// identity; encode_code() consults it on every evaluation, so the
+  /// fault injector can impose/clear faults without forking the model.
+  void set_fault_hook(const PdacFaultHook& hook) { fault_hook_ = hook; }
+  void clear_fault_hook() { fault_hook_ = PdacFaultHook{}; }
+  [[nodiscard]] const PdacFaultHook& fault_hook() const { return fault_hook_; }
+
   [[nodiscard]] int bits() const { return bits_; }
   [[nodiscard]] const SegmentedTiaProgram& nominal_program() const {
     return nominal_program_;
@@ -90,6 +98,7 @@ class PerturbedPdacModel {
   SegmentedTiaProgram nominal_program_;
   std::array<TiaWeightBank, 3> banks_;  ///< negative, middle, positive
   photonics::Mzm mzm_;
+  PdacFaultHook fault_hook_{};
   double phase_scale_{1.0};
   int bits_;
   converters::Quantizer quant_;

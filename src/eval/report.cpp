@@ -1,5 +1,6 @@
 #include "eval/report.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 
@@ -80,6 +81,21 @@ std::string render_scoreboard(const std::string& title, const std::vector<Scored
   std::ostringstream os;
   os << "-- paper vs measured: " << title << " --\n" << t.to_string();
   if (!tolerance_note.empty()) os << tolerance_note << "\n";
+  return os.str();
+}
+
+std::string render_fault_tolerance(const std::string& title,
+                                   const std::vector<FaultRateRow>& rows) {
+  Table t({"fault rate", "dead", "recovered", "throughput", "cosine", "", "recal energy"});
+  for (const auto& r : rows) {
+    t.add_row({Table::pct(r.fault_rate), std::to_string(r.lanes_dead),
+               std::to_string(r.lanes_recovered), Table::pct(r.throughput_scale),
+               Table::num(r.cosine_accuracy, 4),
+               ascii_bar(std::max(0.0, r.cosine_accuracy), 24),
+               Table::num(r.recal_energy_uj, 3) + " uJ"});
+  }
+  std::ostringstream os;
+  os << "== " << title << " ==\n" << t.to_string();
   return os.str();
 }
 

@@ -39,4 +39,21 @@ std::string render_scoreboard(const std::string& title, const std::vector<Scored
 std::string to_csv(const std::vector<std::string>& header,
                    const std::vector<std::vector<double>>& rows);
 
+/// One operating point of the fault-tolerance ablation
+/// (bench/abl_fault_tolerance): plain data so eval stays independent of
+/// the faults library.
+struct FaultRateRow {
+  double fault_rate{};         ///< per-lane hard-fault probability
+  std::size_t lanes_dead{};    ///< fenced by the self-test
+  std::size_t lanes_recovered{};
+  double throughput_scale{};   ///< degraded vs healthy effective throughput
+  double cosine_accuracy{};    ///< encoder-layer output vs fp64 reference
+  double recal_energy_uj{};    ///< detection + recovery + remap energy [µJ]
+};
+
+/// Render the accuracy-vs-fault-rate table for one detection/recovery
+/// mode, with an ASCII bar over the cosine accuracy column.
+std::string render_fault_tolerance(const std::string& title,
+                                   const std::vector<FaultRateRow>& rows);
+
 }  // namespace pdac::eval

@@ -1,0 +1,78 @@
+#include "faults/degraded_backend.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/require.hpp"
+#include "converters/quantizer.hpp"
+
+namespace pdac::faults {
+
+DegradedBackend::DegradedBackend(const LaneBank& bank, DegradedBackendConfig cfg)
+    : bank_(bank), cfg_(cfg) {
+  PDAC_REQUIRE(cfg_.array_rows >= 1 && cfg_.array_cols >= 1,
+               "DegradedBackend: array dimensions must be positive");
+}
+
+Matrix DegradedBackend::matmul(const Matrix& a, const Matrix& b) {
+  PDAC_REQUIRE(a.cols() == b.rows(), "DegradedBackend: inner dimensions must agree");
+  // Snapshot the usable channels once per product: the self-test fences
+  // lanes between matmuls, not inside one.
+  std::vector<std::size_t> channels;
+  for (std::size_t ch = 0; ch < bank_.wavelengths(); ++ch) {
+    if (!bank_.lane(0, ch).fenced && !bank_.lane(1, ch).fenced) channels.push_back(ch);
+  }
+  if (channels.empty()) return Matrix(a.rows(), b.cols());
+
+  const double a_scale = converters::max_abs_scale(a.data());
+  const double b_scale = converters::max_abs_scale(b.data());
+  Matrix an(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.size(); ++i) an.data()[i] = a.data()[i] / a_scale;
+  Matrix bt = b.transposed();
+  for (auto& v : bt.data()) v /= b_scale;
+
+  Matrix c(a.rows(), b.cols());
+  const double rescale = a_scale * b_scale;
+  const std::size_t k = a.cols();
+  const std::size_t nl = channels.size();
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const auto x = an.row(i);
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      const auto y = bt.row(j);
+      double acc = 0.0;
+      for (std::size_t base = 0; base < k; base += nl) {
+        const std::size_t len = std::min(nl, k - base);
+        for (std::size_t t = 0; t < len; ++t) {
+          // Balanced-PD product on channel `channels[t]`: each element
+          // rides the lane device that physically carries it.
+          acc += bank_.encode(0, channels[t], x[base + t]) *
+                 bank_.encode(1, channels[t], y[base + t]);
+        }
+      }
+      c(i, j) = acc * rescale;
+    }
+  }
+  count_events(a.rows(), k, b.cols(), nl);
+  return c;
+}
+
+void DegradedBackend::count_events(std::size_t m, std::size_t k, std::size_t n,
+                                   std::size_t usable_channels) {
+  // Mirrors PhotonicGemm::count_events with the reduction chunked over
+  // the surviving wavelengths.
+  const std::size_t chunks = (k + usable_channels - 1) / usable_channels;
+  for (std::size_t i0 = 0; i0 < m; i0 += cfg_.array_rows) {
+    const std::size_t h = std::min(cfg_.array_rows, m - i0);
+    for (std::size_t j0 = 0; j0 < n; j0 += cfg_.array_cols) {
+      const std::size_t w = std::min(cfg_.array_cols, n - j0);
+      events_.modulation_events += (h + w) * k;
+      events_.ddot_ops += h * w * chunks;
+      events_.detection_events += h * w * chunks;
+      events_.macs += h * w * k;
+      events_.adc_events += h * w;
+      events_.cycles += chunks;
+    }
+  }
+}
+
+}  // namespace pdac::faults

@@ -1,0 +1,52 @@
+// degraded_backend.hpp — GEMM execution through a faulty lane bank.
+//
+// PhotonicBackend (nn/backend.hpp) drives one representative P-DAC for
+// every modulator; that is the right abstraction for accuracy ablations
+// where all lanes are statistically identical.  Fault studies break that
+// symmetry: each lane is its own fabricated instance carrying its own
+// fault overlay, and some lanes are fenced entirely.  This backend
+// encodes every operand element through the specific lane device that
+// would carry it — x-rail lane for A elements, y-rail lane for B
+// elements — packing reductions onto the surviving WDM channels only.
+// Fewer survivors mean more chunks per reduction, which the event
+// counter reports as honest throughput loss.
+//
+// The bank is referenced, not owned: the injector keeps mutating it
+// between matmuls, so the degradation the model sees tracks the fault
+// timeline with no copying.
+#pragma once
+
+#include <cstddef>
+
+#include "faults/lane_bank.hpp"
+#include "nn/backend.hpp"
+
+namespace pdac::faults {
+
+struct DegradedBackendConfig {
+  /// Tile geometry used for event accounting (matches ptc::GemmConfig).
+  std::size_t array_rows{8};
+  std::size_t array_cols{8};
+};
+
+class DegradedBackend final : public nn::GemmBackend {
+ public:
+  explicit DegradedBackend(const LaneBank& bank, DegradedBackendConfig cfg = {});
+
+  /// Multiply through the surviving lanes.  With every channel fenced
+  /// the accelerator is offline: the result is all zeros and no events
+  /// are counted — callers see the outage in both accuracy and cycles.
+  [[nodiscard]] Matrix matmul(const Matrix& a, const Matrix& b) override;
+  [[nodiscard]] std::string name() const override { return "photonic-degraded"; }
+
+  [[nodiscard]] const LaneBank& bank() const { return bank_; }
+
+ private:
+  void count_events(std::size_t m, std::size_t k, std::size_t n,
+                    std::size_t usable_channels);
+
+  const LaneBank& bank_;
+  DegradedBackendConfig cfg_;
+};
+
+}  // namespace pdac::faults

@@ -1,0 +1,98 @@
+#include "faults/fault_injector.hpp"
+
+#include <vector>
+
+#include "common/require.hpp"
+
+namespace pdac::faults {
+
+namespace {
+
+core::Segment segment_of(int index) {
+  switch (index) {
+    case 0: return core::Segment::kNegativeOuter;
+    case 2: return core::Segment::kPositiveOuter;
+    default: return core::Segment::kMiddle;
+  }
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(LaneBank& bank, FaultSchedule schedule)
+    : bank_(bank),
+      schedule_(std::move(schedule)),
+      // Decorrelated from the schedule draw so editing rates does not
+      // silently reshape the drift history.
+      walk_rng_(schedule_.cfg.seed ^ 0x9e3779b97f4a7c15ull) {
+  PDAC_REQUIRE(schedule_.cfg.lanes == bank_.lanes(),
+               "FaultInjector: schedule was generated for a different lane count");
+  PDAC_REQUIRE(schedule_.cfg.bits == bank_.bits(),
+               "FaultInjector: schedule was generated for a different bit width");
+}
+
+void FaultInjector::advance_to(std::uint64_t step) {
+  PDAC_REQUIRE(step >= now_, "FaultInjector: the schedule clock cannot rewind");
+  const double walk_sigma = schedule_.cfg.bias_walk_sigma_per_step;
+  const double droop = schedule_.cfg.laser_droop_per_step;
+  const std::vector<double> no_weight_delta(static_cast<std::size_t>(bank_.bits()), 0.0);
+
+  for (std::uint64_t s = now_ + 1; s <= step; ++s) {
+    while (next_event_ < schedule_.events.size() &&
+           schedule_.events[next_event_].step <= s) {
+      apply(schedule_.events[next_event_]);
+      ++next_event_;
+    }
+    if (walk_sigma > 0.0) {
+      for (std::size_t i = 0; i < bank_.lanes(); ++i) {
+        for (int seg = 0; seg < 3; ++seg) {
+          bank_.lane(i).model.apply_correction(segment_of(seg), no_weight_delta,
+                                               walk_rng_.gaussian(0.0, walk_sigma));
+        }
+      }
+    }
+    if (droop > 0.0) {
+      laser_scale_ *= 1.0 - droop;
+      for (std::size_t i = 0; i < bank_.lanes(); ++i) {
+        Lane& ln = bank_.lane(i);
+        ln.hook.carrier_scale = laser_scale_;
+        ln.model.set_fault_hook(ln.hook);
+      }
+    }
+  }
+  now_ = step;
+}
+
+void FaultInjector::apply(const FaultEvent& ev) {
+  Lane& ln = bank_.lane(ev.lane);
+  switch (ev.kind) {
+    case FaultKind::kStuckMrr:
+      ln.hook.stuck_output = ev.magnitude;
+      ln.model.set_fault_hook(ln.hook);
+      break;
+    case FaultKind::kDeadPd:
+      ln.hook.dead_pd_bits |= 1u << static_cast<unsigned>(ev.bit);
+      ln.model.set_fault_hook(ln.hook);
+      break;
+    case FaultKind::kDegradedPd:
+      ln.hook.pd_responsivity_scale *= ev.magnitude;
+      ln.model.set_fault_hook(ln.hook);
+      break;
+    case FaultKind::kTiaGainStep: {
+      // A gain step lands in the TIA feedback network, so it is written
+      // into the bank weights where a re-trim can calibrate it out.
+      const core::Segment seg = segment_of(ev.segment);
+      std::vector<double> delta(static_cast<std::size_t>(bank_.bits()), 0.0);
+      const auto bit = static_cast<std::size_t>(ev.bit);
+      delta[bit] = ln.model.bank(seg).weights[bit] * (ev.magnitude - 1.0);
+      ln.model.apply_correction(seg, delta, 0.0);
+      break;
+    }
+    case FaultKind::kBiasStep:
+      ln.model.apply_correction(segment_of(ev.segment),
+                                std::vector<double>(static_cast<std::size_t>(bank_.bits()), 0.0),
+                                ev.magnitude);
+      break;
+  }
+}
+
+}  // namespace pdac::faults

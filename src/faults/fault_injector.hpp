@@ -1,0 +1,54 @@
+// fault_injector.hpp — replays a FaultSchedule onto a LaneBank.
+//
+// The injector is the only writer of runtime fault state.  Discrete
+// events flow into the device models through their fault hooks: hard
+// faults set the lane's PdacFaultHook (stuck output, dead PD bits),
+// drift-class faults are written into the TIA banks through
+// apply_correction() — the same port the trimming loop uses, which is
+// precisely why a re-trim can undo them.  Between events the injector
+// integrates two continuous processes: a per-bank bias random walk
+// (thermal drift) and multiplicative laser power droop applied to every
+// lane's carrier.
+//
+// Determinism: the walk draws from its own Rng (derived from the
+// schedule seed, decorrelated from the schedule generator), and the
+// number of draws per step is a pure function of the schedule config —
+// so two injectors replaying the same schedule onto identically seeded
+// banks see bit-identical lane states at identical steps.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "faults/fault_schedule.hpp"
+#include "faults/lane_bank.hpp"
+
+namespace pdac::faults {
+
+class FaultInjector {
+ public:
+  FaultInjector(LaneBank& bank, FaultSchedule schedule);
+
+  /// Apply every event with step in (current, step] plus `step − current`
+  /// iterations of the continuous drift processes.  Monotonic: the
+  /// schedule clock never rewinds.
+  void advance_to(std::uint64_t step);
+
+  [[nodiscard]] std::uint64_t step() const { return now_; }
+  [[nodiscard]] std::size_t events_applied() const { return next_event_; }
+  /// Accumulated laser power scale (1 = nominal, falls with droop).
+  [[nodiscard]] double laser_power_scale() const { return laser_scale_; }
+  [[nodiscard]] const FaultSchedule& schedule() const { return schedule_; }
+
+ private:
+  void apply(const FaultEvent& ev);
+
+  LaneBank& bank_;
+  FaultSchedule schedule_;
+  Rng walk_rng_;
+  std::size_t next_event_{0};
+  std::uint64_t now_{0};
+  double laser_scale_{1.0};
+};
+
+}  // namespace pdac::faults

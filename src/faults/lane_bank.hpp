@@ -1,0 +1,82 @@
+// lane_bank.hpp — the pool of P-DAC modulator lanes faults act on.
+//
+// A DDot channel needs two modulators — one on the x rail, one on the y
+// rail — so a core with W wavelengths carries 2·W lanes.  Each lane is
+// its own fabricated device instance (a PerturbedPdacModel drawn from
+// the static-variation distribution) plus a runtime fault overlay
+// (core/fault_hook.hpp) and a fence bit the self-test sets when it gives
+// a lane up for dead.  A WDM channel is usable only when *both* of its
+// rail lanes are un-fenced.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "converters/quantizer.hpp"
+#include "core/variation.hpp"
+
+namespace pdac::faults {
+
+struct LaneBankConfig {
+  core::PdacConfig pdac{};
+  /// Static fabrication spread of the lane devices (seed included);
+  /// all-zero sigmas give nominal lanes.
+  core::VariationConfig variation{};
+  std::size_t wavelengths{8};
+};
+
+struct Lane {
+  core::PerturbedPdacModel model;
+  core::PdacFaultHook hook{};  ///< injector-owned copy, mirrored into the model
+  bool fenced{false};          ///< self-test verdict: lane is dead, do not use
+
+  explicit Lane(core::PerturbedPdacModel m) : model(std::move(m)) {}
+};
+
+class LaneBank;
+
+/// Factory calibration: gain-trim every lane (core::trim_pdac) the way
+/// production test would, so fabrication variation starts inside the
+/// error budget.  Runtime faults injected afterwards land on a trimmed
+/// device — exactly the state the self-test's re-trim tries to restore.
+void production_trim(LaneBank& bank);
+
+class LaneBank {
+ public:
+  static constexpr std::size_t kRails = 2;  ///< x rail and y rail
+
+  explicit LaneBank(const LaneBankConfig& cfg);
+
+  [[nodiscard]] std::size_t wavelengths() const { return cfg_.wavelengths; }
+  [[nodiscard]] std::size_t lanes() const { return lanes_.size(); }
+  [[nodiscard]] int bits() const { return cfg_.pdac.bits; }
+
+  [[nodiscard]] Lane& lane(std::size_t flat) { return lanes_.at(flat); }
+  [[nodiscard]] const Lane& lane(std::size_t flat) const { return lanes_.at(flat); }
+  [[nodiscard]] Lane& lane(std::size_t rail, std::size_t channel) {
+    return lanes_.at(rail * cfg_.wavelengths + channel);
+  }
+  [[nodiscard]] const Lane& lane(std::size_t rail, std::size_t channel) const {
+    return lanes_.at(rail * cfg_.wavelengths + channel);
+  }
+
+  /// Encode a normalized value through one lane: quantize to the lane's
+  /// bit width, then run the (possibly faulty) device.
+  [[nodiscard]] double encode(std::size_t rail, std::size_t channel, double r) const;
+
+  /// Channel usability mask: channel ch is usable iff neither rail lane
+  /// is fenced.  Shape matches ptc::DotEngineConfig::lane_mask.
+  [[nodiscard]] std::vector<std::uint8_t> channel_mask() const;
+  [[nodiscard]] std::size_t usable_channels() const;
+  [[nodiscard]] std::size_t fenced_lanes() const;
+
+  [[nodiscard]] const LaneBankConfig& config() const { return cfg_; }
+  [[nodiscard]] const converters::Quantizer& quantizer() const { return quant_; }
+
+ private:
+  LaneBankConfig cfg_;
+  converters::Quantizer quant_;
+  std::vector<Lane> lanes_;
+};
+
+}  // namespace pdac::faults

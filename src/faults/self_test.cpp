@@ -1,0 +1,95 @@
+#include "faults/self_test.hpp"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/math_utils.hpp"
+#include "common/require.hpp"
+
+namespace pdac::faults {
+
+namespace {
+
+/// Worst floored-relative error over a sparse, evenly strided sweep of
+/// the signed code space — the screening observable.  Uses the same 5 %
+/// full-scale floor as PerturbedPdacModel::worst_error so budgets are
+/// comparable between screening and the full characterization.
+double screen_lane(const Lane& lane, const converters::Quantizer& quant,
+                   std::size_t probes) {
+  const auto max_code = quant.max_code();
+  const auto span = static_cast<std::int64_t>(max_code) * 2;
+  const auto n = std::max<std::size_t>(probes, 2);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto c = static_cast<std::int32_t>(
+        -static_cast<std::int64_t>(max_code) +
+        span * static_cast<std::int64_t>(i) / static_cast<std::int64_t>(n - 1));
+    if (c == 0) continue;
+    worst = std::max(
+        worst, math::relative_error(lane.model.encode_code(c), quant.decode(c), 5e-2));
+  }
+  return worst;
+}
+
+}  // namespace
+
+SelfTestReport run_self_test(LaneBank& bank, const SelfTestConfig& cfg) {
+  PDAC_REQUIRE(cfg.error_budget > 0.0, "run_self_test: error budget must be positive");
+  PDAC_REQUIRE(cfg.screen_probes >= 2, "run_self_test: need at least 2 screen probes");
+  SelfTestReport report;
+  report.lanes.reserve(bank.lanes());
+
+  for (std::size_t i = 0; i < bank.lanes(); ++i) {
+    Lane& lane = bank.lane(i);
+    LaneOutcome out;
+    out.lane = i;
+    if (lane.fenced) {
+      out.verdict = LaneVerdict::kDead;
+      ++report.dead;
+      report.lanes.push_back(out);
+      continue;
+    }
+
+    out.screen_error_before = screen_lane(lane, bank.quantizer(), cfg.screen_probes);
+    out.screen_error_after = out.screen_error_before;
+    report.probe_events += cfg.screen_probes;
+
+    if (out.screen_error_before <= cfg.error_budget) {
+      out.verdict = LaneVerdict::kHealthy;
+      ++report.healthy;
+    } else if (!cfg.attempt_recovery) {
+      lane.fenced = true;
+      out.verdict = LaneVerdict::kDead;
+      ++report.dead;
+    } else {
+      const core::TrimResult trim = core::trim_pdac(lane.model, cfg.trim);
+      ++report.retrims;
+      report.probe_events += static_cast<std::size_t>(trim.probes_used);
+      out.retrimmed = true;
+      out.fit_failed = trim.fit_failed;
+      out.screen_error_after = screen_lane(lane, bank.quantizer(), cfg.screen_probes);
+      report.probe_events += cfg.screen_probes;
+      if (!trim.fit_failed && out.screen_error_after <= cfg.error_budget) {
+        out.verdict = LaneVerdict::kRecovered;
+        ++report.recovered;
+      } else {
+        lane.fenced = true;
+        out.verdict = LaneVerdict::kDead;
+        ++report.dead;
+      }
+    }
+    report.lanes.push_back(out);
+  }
+  return report;
+}
+
+std::string to_string(LaneVerdict verdict) {
+  switch (verdict) {
+    case LaneVerdict::kHealthy: return "healthy";
+    case LaneVerdict::kRecovered: return "recovered";
+    case LaneVerdict::kDead: return "dead";
+  }
+  return "?";
+}
+
+}  // namespace pdac::faults

@@ -1,0 +1,73 @@
+// self_test.hpp — built-in self-test and recovery for a LaneBank.
+//
+// Production photonic parts ship with a calibration-probe path (the same
+// one trimming uses); this module turns it into a runtime BIST.  Per
+// lane:
+//   1. screen: drive a sparse set of calibration codes and measure the
+//      floored-relative error against the ideal transfer;
+//   2. recover: a lane over budget is re-trimmed through core::trim_pdac
+//      — drift-class faults (bias walk, TIA gain steps) live in the bank
+//      weights and calibrate out; stuck MRRs and dead PDs do not respond
+//      to TIA corrections, so the trim either fails its fit or leaves the
+//      error over budget;
+//   3. fence: unrecoverable lanes are marked dead so the mapper can mask
+//      their wavelength instead of silently computing garbage.
+//
+// The report counts every probe measurement so the energy model can
+// charge the self-test honestly (arch::recalibration_energy).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/trimming.hpp"
+#include "faults/lane_bank.hpp"
+
+namespace pdac::faults {
+
+enum class LaneVerdict {
+  kHealthy,    ///< screen error within budget, untouched
+  kRecovered,  ///< was over budget, re-trim brought it back
+  kDead,       ///< unrecoverable; lane fenced
+};
+
+struct SelfTestConfig {
+  /// Worst floored-relative encode error a lane may show and still be
+  /// trusted (default: the paper's 8.5 % approximation bound).
+  double error_budget{0.085};
+  /// Calibration codes probed per lane in the screening pass.
+  std::size_t screen_probes{16};
+  /// Attempt re-trim on over-budget lanes; false = detect-only, every
+  /// over-budget lane is fenced immediately.
+  bool attempt_recovery{true};
+  core::TrimmingConfig trim{.probes_per_bank = 0, .revert_on_failure = true};
+};
+
+struct LaneOutcome {
+  std::size_t lane{};
+  LaneVerdict verdict{LaneVerdict::kHealthy};
+  double screen_error_before{};
+  double screen_error_after{};  ///< == before unless a re-trim ran
+  bool retrimmed{false};
+  bool fit_failed{false};  ///< trim declared the observable non-linear
+};
+
+struct SelfTestReport {
+  std::vector<LaneOutcome> lanes;
+  std::size_t healthy{};
+  std::size_t recovered{};
+  std::size_t dead{};
+  /// Every calibration-code measurement made (screens + trim probes);
+  /// feed to arch::recalibration_energy.
+  std::size_t probe_events{};
+  std::size_t retrims{};
+};
+
+/// Run the BIST over every lane, re-trimming and fencing in place.
+/// Already-fenced lanes are reported dead without burning probes.
+SelfTestReport run_self_test(LaneBank& bank, const SelfTestConfig& cfg = {});
+
+std::string to_string(LaneVerdict verdict);
+
+}  // namespace pdac::faults

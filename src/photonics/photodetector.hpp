@@ -39,10 +39,18 @@ class Photodetector {
   /// Detection with the configured noise processes, drawn from `rng`.
   [[nodiscard]] double detect_noisy(const WdmField& field, Rng& rng) const;
 
+  /// Fault hook: derate the effective responsivity (radiation damage,
+  /// delamination).  scale = 1 is healthy, 0 is a dead detector that
+  /// reports only its dark current.
+  void derate(double responsivity_scale);
+  [[nodiscard]] double responsivity_scale() const { return responsivity_scale_; }
+  [[nodiscard]] bool dead() const { return responsivity_scale_ == 0.0; }
+
   [[nodiscard]] const PhotodetectorConfig& config() const { return cfg_; }
 
  private:
   PhotodetectorConfig cfg_;
+  double responsivity_scale_{1.0};
 };
 
 /// Transimpedance amplifier: V_out = R_f · I_in (paper Eq. 1), with an
@@ -53,6 +61,10 @@ class Tia {
 
   [[nodiscard]] double amplify(double current) const;
   [[nodiscard]] double feedback() const { return rf_; }
+
+  /// Fault hook: a step change of the feedback gain (resistor drift or a
+  /// latched trim bit).  Multiplicative so repeated steps compose.
+  void impose_gain_step(double factor);
 
  private:
   double rf_;

@@ -22,6 +22,20 @@ DdotReading Ddot::compute(const photonics::DualRail& rails) const {
   return DdotReading{pd_plus_.detect(coupled.upper), pd_minus_.detect(coupled.lower)};
 }
 
+DdotReading Ddot::compute_masked(const photonics::DualRail& rails,
+                                 std::span<const std::uint8_t> mask) const {
+  PDAC_REQUIRE(mask.size() >= rails.upper.channels(),
+               "Ddot: mask must cover every rail channel");
+  photonics::DualRail fenced{photonics::WdmField(rails.upper.channels()),
+                             photonics::WdmField(rails.lower.channels())};
+  for (std::size_t ch = 0; ch < rails.upper.channels(); ++ch) {
+    if (mask[ch] == 0u) continue;
+    fenced.upper.set_amplitude(ch, rails.upper.amplitude(ch));
+    fenced.lower.set_amplitude(ch, rails.lower.amplitude(ch));
+  }
+  return compute(fenced);
+}
+
 DdotReading Ddot::compute(std::span<const double> x, std::span<const double> y) const {
   PDAC_REQUIRE(x.size() == y.size(), "Ddot: operand length mismatch");
   photonics::DualRail rails{photonics::WdmField(x.size()), photonics::WdmField(y.size())};

@@ -16,6 +16,7 @@
 // counter records.
 #pragma once
 
+#include <cstdint>
 #include <span>
 
 #include "photonics/directional_coupler.hpp"
@@ -43,6 +44,13 @@ class Ddot {
 
   /// Run the optical datapath on already-modulated operand rails.
   [[nodiscard]] DdotReading compute(const photonics::DualRail& rails) const;
+
+  /// Masked variant for graceful degradation: channels whose mask entry
+  /// is zero are not driven (their modulators are dead or fenced off) and
+  /// contribute nothing to either photocurrent.  `mask` must cover the
+  /// rail channel count.
+  [[nodiscard]] DdotReading compute_masked(const photonics::DualRail& rails,
+                                           std::span<const std::uint8_t> mask) const;
 
   /// Convenience: build rails from real per-channel amplitudes (ideal
   /// modulators) and compute.  Spans must have equal length ≤ channels.

@@ -20,6 +20,13 @@ PhotonicDotEngine::PhotonicDotEngine(const core::ModulatorDriver& driver, DotEng
       }()),
       quant_(driver.bits()) {
   PDAC_REQUIRE(cfg_.wavelengths >= 1, "PhotonicDotEngine: at least one wavelength");
+  PDAC_REQUIRE(cfg_.lane_mask.empty() || cfg_.lane_mask.size() == cfg_.wavelengths,
+               "PhotonicDotEngine: lane mask must cover every wavelength");
+  for (std::size_t ch = 0; ch < cfg_.wavelengths; ++ch) {
+    if (cfg_.lane_mask.empty() || cfg_.lane_mask[ch] != 0u) active_lanes_.push_back(ch);
+  }
+  PDAC_REQUIRE(!active_lanes_.empty(),
+               "PhotonicDotEngine: lane mask leaves no usable wavelength");
   // Drivers are deterministic functions of the quantized code, so the
   // whole encoder transfer curve fits in a (2^b − 1)-entry table.
   const std::int32_t mc = quant_.max_code();
@@ -38,17 +45,21 @@ double PhotonicDotEngine::dot(std::span<const double> x, std::span<const double>
                               EventCounter* ev) const {
   PDAC_REQUIRE(x.size() == y.size(), "PhotonicDotEngine: operand length mismatch");
   const std::size_t n = x.size();
-  const std::size_t nl = cfg_.wavelengths;
+  // Operands pack onto the surviving wavelengths only; with dead lanes a
+  // chunk reduces fewer elements, so the same vector takes more chunks.
+  const std::size_t nl = active_lanes_.size();
 
   double acc = 0.0;
   std::size_t chunks = 0;
   for (std::size_t base = 0; base < n; base += nl, ++chunks) {
     const std::size_t len = std::min(nl, n - base);
     if (cfg_.use_full_optics) {
-      photonics::DualRail rails{photonics::WdmField(len), photonics::WdmField(len)};
+      photonics::DualRail rails{photonics::WdmField(cfg_.wavelengths),
+                                photonics::WdmField(cfg_.wavelengths)};
       for (std::size_t i = 0; i < len; ++i) {
-        rails.upper.set_amplitude(i, photonics::Complex{encode(x[base + i]), 0.0});
-        rails.lower.set_amplitude(i, photonics::Complex{encode(y[base + i]), 0.0});
+        const std::size_t ch = active_lanes_[i];
+        rails.upper.set_amplitude(ch, photonics::Complex{encode(x[base + i]), 0.0});
+        rails.lower.set_amplitude(ch, photonics::Complex{encode(y[base + i]), 0.0});
       }
       acc += ddot_.compute(rails).value();
     } else {
@@ -82,14 +93,16 @@ double PhotonicDotEngine::dot_noisy(std::span<const double> x, std::span<const d
                                     Rng& rng) const {
   PDAC_REQUIRE(x.size() == y.size(), "PhotonicDotEngine: operand length mismatch");
   const std::size_t n = x.size();
-  const std::size_t nl = cfg_.wavelengths;
+  const std::size_t nl = active_lanes_.size();
   double acc = 0.0;
   for (std::size_t base = 0; base < n; base += nl) {
     const std::size_t len = std::min(nl, n - base);
-    photonics::DualRail rails{photonics::WdmField(len), photonics::WdmField(len)};
+    photonics::DualRail rails{photonics::WdmField(cfg_.wavelengths),
+                              photonics::WdmField(cfg_.wavelengths)};
     for (std::size_t i = 0; i < len; ++i) {
-      rails.upper.set_amplitude(i, photonics::Complex{encode(x[base + i]), 0.0});
-      rails.lower.set_amplitude(i, photonics::Complex{encode(y[base + i]), 0.0});
+      const std::size_t ch = active_lanes_[i];
+      rails.upper.set_amplitude(ch, photonics::Complex{encode(x[base + i]), 0.0});
+      rails.lower.set_amplitude(ch, photonics::Complex{encode(y[base + i]), 0.0});
     }
     acc += ddot_.compute_noisy(rails, rng).value();
   }

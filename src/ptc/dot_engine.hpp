@@ -32,6 +32,12 @@ struct DotEngineConfig {
   /// Photodetector noise for dot_noisy() (ignored by the deterministic
   /// dot() path).
   photonics::NoiseConfig pd_noise{};
+  /// Graceful degradation: per-wavelength health mask (non-zero = usable).
+  /// Empty means all lanes healthy.  Dead lanes are skipped — operands
+  /// pack onto the surviving wavelengths only, so a chunk reduces fewer
+  /// elements and the same vector costs more cycles (throughput loss the
+  /// event counts report honestly).
+  std::vector<std::uint8_t> lane_mask{};
 };
 
 class PhotonicDotEngine {
@@ -53,6 +59,9 @@ class PhotonicDotEngine {
   /// Encoded amplitude for a normalized value (memoized driver output).
   [[nodiscard]] double encode(double r) const;
 
+  /// Usable wavelengths after the lane mask (== wavelengths when healthy).
+  [[nodiscard]] std::size_t active_wavelengths() const { return active_lanes_.size(); }
+
   [[nodiscard]] const DotEngineConfig& config() const { return cfg_; }
   [[nodiscard]] const core::ModulatorDriver& driver() const { return driver_; }
 
@@ -61,7 +70,8 @@ class PhotonicDotEngine {
   DotEngineConfig cfg_;
   Ddot ddot_;
   converters::Quantizer quant_;
-  std::vector<double> encode_lut_;  ///< index = code + max_code
+  std::vector<double> encode_lut_;       ///< index = code + max_code
+  std::vector<std::size_t> active_lanes_; ///< channel indices operands pack onto
 };
 
 }  // namespace pdac::ptc

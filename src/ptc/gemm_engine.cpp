@@ -41,7 +41,9 @@ GemmResult PhotonicGemm::multiply(const Matrix& a, const Matrix& b) const {
 
 EventCounter PhotonicGemm::count_events(std::size_t m, std::size_t k, std::size_t n) const {
   EventCounter ev;
-  const std::size_t nl = cfg_.dot.wavelengths;
+  // Chunking follows the *usable* wavelengths: dead lanes fenced off by
+  // the lane mask stretch every reduction over more cycles.
+  const std::size_t nl = engine_.active_wavelengths();
   const std::size_t chunks = (k + nl - 1) / nl;
   for (std::size_t i0 = 0; i0 < m; i0 += cfg_.array_rows) {
     const std::size_t h = std::min(cfg_.array_rows, m - i0);

@@ -191,4 +191,38 @@ TEST_F(FigureRegression, Fig9AbsoluteEnergies) {
   EXPECT_NEAR(cmp8.baseline.runtime.seconds() * 1e6, 272.8, 0.5);
 }
 
+TEST_F(EnergyModel, RecalibrationCostsNothingWhenNothingHappened) {
+  const RecalibrationCost none;
+  EXPECT_DOUBLE_EQ(
+      recalibration_energy(none, cfg, params, 8, SystemVariant::kPdacBased).joules(),
+      0.0);
+}
+
+TEST_F(EnergyModel, RecalibrationChargesEveryTerm) {
+  RecalibrationCost probes_only;
+  probes_only.probe_events = 1000;
+  RecalibrationCost with_retrims = probes_only;
+  with_retrims.retrims = 16;
+  RecalibrationCost with_remaps = with_retrims;
+  with_remaps.remapped_tiles = 64;
+  const auto e = [&](const RecalibrationCost& c) {
+    return recalibration_energy(c, cfg, params, 8, SystemVariant::kPdacBased).joules();
+  };
+  EXPECT_GT(e(probes_only), 0.0);
+  EXPECT_GT(e(with_retrims), e(probes_only));
+  EXPECT_GT(e(with_remaps), e(with_retrims));
+}
+
+TEST_F(EnergyModel, RecalibrationProbesCostMoreOnDacBaseline) {
+  // Baseline probes pay the DAC + controller conversion rate, the whole
+  // reason the P-DAC self-test is cheap enough to run often.
+  RecalibrationCost c;
+  c.probe_events = 100000;
+  const double dac =
+      recalibration_energy(c, cfg, params, 8, SystemVariant::kDacBased).joules();
+  const double pdac =
+      recalibration_energy(c, cfg, params, 8, SystemVariant::kPdacBased).joules();
+  EXPECT_GT(dac, pdac);
+}
+
 }  // namespace

@@ -3,6 +3,7 @@
 
 #include "arch/mapper.hpp"
 #include "arch/op_events.hpp"
+#include "common/require.hpp"
 #include "nn/decode_trace.hpp"
 #include "nn/model_config.hpp"
 
@@ -128,6 +129,55 @@ TEST_F(MapperTest, DdotUtilizationNeverExceedsArrayUtilization) {
 TEST_F(MapperTest, StageNames) {
   EXPECT_EQ(to_string(Stage::kScores), "scores");
   EXPECT_EQ(to_string(Stage::kFfnUp), "ffn-up");
+}
+
+TEST_F(MapperTest, FullCapacityDegradedScheduleMatchesBaseline) {
+  const Schedule base = schedule_trace(bert, cfg);
+  DegradedCapacity cap;
+  cap.healthy_arrays = cfg.arrays();
+  cap.wavelength_availability = 1.0;
+  const Schedule same = schedule_trace(bert, cfg, cap);
+  EXPECT_EQ(same.makespan_cycles, base.makespan_cycles);
+  EXPECT_EQ(same.busy_array_cycles, base.busy_array_cycles);
+  EXPECT_EQ(same.remapped_tiles, 0u);
+}
+
+TEST_F(MapperTest, FencedArraysStretchMakespanAndRemapTiles) {
+  const Schedule base = schedule_trace(bert, cfg);
+  DegradedCapacity cap;
+  cap.healthy_arrays = cfg.arrays() / 2;
+  cap.wavelength_availability = 1.0;
+  const Schedule degraded = schedule_trace(bert, cfg, cap);
+  EXPECT_GT(degraded.makespan_cycles, base.makespan_cycles);
+  EXPECT_GT(degraded.remapped_tiles, 0u);
+  EXPECT_EQ(degraded.arrays, cfg.arrays() / 2);
+}
+
+TEST_F(MapperTest, DeadWavelengthsStretchEveryReduction) {
+  const Schedule base = schedule_trace(bert, cfg);
+  DegradedCapacity cap;
+  cap.healthy_arrays = cfg.arrays();
+  cap.wavelength_availability = 0.5;
+  const Schedule degraded = schedule_trace(bert, cfg, cap);
+  // Halved chunk width ≈ doubled occupancy; per-op ceil rounding keeps
+  // the global ratio only approximately 2×.
+  const double ratio = static_cast<double>(degraded.makespan_cycles) /
+                       static_cast<double>(base.makespan_cycles);
+  EXPECT_NEAR(ratio, 2.0, 0.05);
+  EXPECT_EQ(degraded.remapped_tiles, 0u);  // no whole array was lost
+}
+
+TEST_F(MapperTest, DegradedCapacityIsValidated) {
+  DegradedCapacity cap;
+  cap.healthy_arrays = 0;
+  EXPECT_THROW(schedule_trace(bert, cfg, cap), PreconditionError);
+  cap.healthy_arrays = cfg.arrays() + 1;
+  EXPECT_THROW(schedule_trace(bert, cfg, cap), PreconditionError);
+  cap.healthy_arrays = 1;
+  cap.wavelength_availability = 0.0;
+  EXPECT_THROW(schedule_trace(bert, cfg, cap), PreconditionError);
+  cap.wavelength_availability = 1.5;
+  EXPECT_THROW(schedule_trace(bert, cfg, cap), PreconditionError);
 }
 
 }  // namespace

@@ -110,4 +110,40 @@ TEST(PerturbedModel, ManualBiasCorrectionRoundTrips) {
   EXPECT_NEAR(device.encode_code(10), before, 1e-12);
 }
 
+TEST(Trimming, FlagsFailedFitWhenObservableWraps) {
+  // A bias excursion of a full radian pushes middle-segment phases past
+  // the [0, π] boundary; the arccos inversion folds them back and the
+  // least-squares fit is garbage.  The trim must admit it made the
+  // device worse instead of reporting success.
+  auto device = make_device(0.0, 0.0, 0.0, 1);
+  device.apply_correction(Segment::kMiddle, std::vector<double>(8, 0.0), 1.0);
+  const TrimResult r = trim_pdac(device);
+  EXPECT_TRUE(r.fit_failed);
+  EXPECT_GT(r.worst_error_after, r.worst_error_before);
+}
+
+TEST(Trimming, RevertOnFailureLeavesDeviceNoWorse) {
+  auto corrupted = make_device(0.0, 0.0, 0.0, 1);
+  corrupted.apply_correction(Segment::kMiddle, std::vector<double>(8, 0.0), 1.0);
+  const double before_trim = corrupted.worst_error();
+
+  TrimmingConfig cfg;
+  cfg.revert_on_failure = true;
+  const TrimResult r = trim_pdac(corrupted, cfg);
+  EXPECT_TRUE(r.fit_failed);
+  // Rolled back: the reported after-metrics and the live device both
+  // match the pre-trim state.
+  EXPECT_NEAR(r.worst_error_after, before_trim, 1e-9);
+  EXPECT_NEAR(corrupted.worst_error(), before_trim, 1e-9);
+}
+
+TEST(Trimming, SuccessfulTrimDoesNotSetFailureFlag) {
+  auto device = make_device(0.02, 0.002, 0.01, 9);
+  TrimmingConfig cfg;
+  cfg.revert_on_failure = true;  // must not interfere with a good fit
+  const TrimResult r = trim_pdac(device, cfg);
+  EXPECT_FALSE(r.fit_failed);
+  EXPECT_LT(r.worst_error_after, r.worst_error_before);
+}
+
 }  // namespace
