@@ -1,0 +1,140 @@
+// perf_gemm_scaling — wall-clock scaling of the tile-parallel GEMM
+// execution engine (DESIGN.md §9), the start of the perf trajectory.
+//
+// Runs the full-optics photonic GEMM at a sweep of thread counts and
+// matrix shapes, verifies every parallel result is BIT-identical to the
+// serial baseline, and writes machine-readable BENCH_gemm.json
+// (threads × shape × wall-time × speedup) next to the working directory
+// so CI can archive a perf point per build.
+//
+// Usage:
+//   perf_gemm_scaling            # full shapes (256³ and 768³)
+//   perf_gemm_scaling --smoke    # tiny shapes for CI smoke coverage
+//   perf_gemm_scaling --out FILE # JSON destination (default BENCH_gemm.json)
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "ptc/gemm_engine.hpp"
+
+namespace {
+
+struct Shape {
+  std::size_t m, k, n;
+};
+
+struct Sample {
+  Shape shape;
+  std::size_t threads;
+  double wall_ms;
+  double speedup;
+  bool bit_identical;
+};
+
+double time_multiply(const pdac::ptc::PhotonicGemm& gemm, const pdac::Matrix& a,
+                     const pdac::Matrix& b, pdac::ptc::GemmResult* out) {
+  const auto t0 = std::chrono::steady_clock::now();
+  *out = gemm.multiply(a, b);
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+bool bit_identical(const pdac::Matrix& a, const pdac::Matrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  return std::memcmp(a.data().data(), b.data().data(), a.size() * sizeof(double)) == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pdac;
+
+  bool smoke = false;
+  std::string out_path = "BENCH_gemm.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) out_path = argv[++i];
+  }
+
+  const std::vector<Shape> shapes = smoke
+                                        ? std::vector<Shape>{{24, 32, 24}, {33, 40, 17}}
+                                        : std::vector<Shape>{{256, 256, 256}, {768, 768, 768}};
+  const std::vector<std::size_t> thread_counts{1, 2, 4, 8};
+
+  std::printf("perf_gemm_scaling — tile-parallel GEMM engine, %s mode\n", smoke ? "smoke" : "full");
+  std::printf("hardware concurrency: %u\n\n", std::thread::hardware_concurrency());
+
+  const auto drv = core::make_pdac_driver(8);
+  std::vector<Sample> samples;
+  bool all_identical = true;
+
+  for (const Shape& s : shapes) {
+    Rng rng(42);
+    const Matrix a = Matrix::random_gaussian(s.m, s.k, rng);
+    const Matrix b = Matrix::random_gaussian(s.k, s.n, rng);
+
+    ptc::GemmResult baseline;
+    double base_ms = 0.0;
+    Table t({"threads", "wall ms", "speedup", "bit-identical"});
+    for (std::size_t threads : thread_counts) {
+      ptc::GemmConfig cfg;
+      cfg.dot.use_full_optics = true;
+      cfg.threads = threads;
+      const ptc::PhotonicGemm gemm(*drv, cfg);
+      ptc::GemmResult res;
+      // Best of two runs cancels scheduler warm-up noise without costing
+      // much wall clock at the full shapes.
+      double ms = time_multiply(gemm, a, b, &res);
+      if (smoke || s.m < 512) {
+        ptc::GemmResult res2;
+        ms = std::min(ms, time_multiply(gemm, a, b, &res2));
+      }
+      bool identical = true;
+      if (threads == 1) {
+        baseline = std::move(res);
+        base_ms = ms;
+      } else {
+        identical = bit_identical(res.c, baseline.c);
+        all_identical = all_identical && identical;
+      }
+      samples.push_back(Sample{s, threads, ms, base_ms / ms, identical});
+      t.add_row({std::to_string(threads), Table::num(ms, 2), Table::num(base_ms / ms, 2) + "x",
+                 identical ? "yes" : "NO"});
+    }
+    std::printf("GEMM %zux%zux%zu (full optics, 8-bit P-DAC)\n%s\n", s.m, s.k, s.n,
+                t.to_string().c_str());
+  }
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"gemm_scaling\",\n  \"mode\": \"%s\",\n",
+               smoke ? "smoke" : "full");
+  std::fprintf(f, "  \"hardware_concurrency\": %u,\n  \"results\": [\n",
+               std::thread::hardware_concurrency());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const Sample& smp = samples[i];
+    std::fprintf(f,
+                 "    {\"m\": %zu, \"k\": %zu, \"n\": %zu, \"threads\": %zu, "
+                 "\"wall_ms\": %.3f, \"speedup\": %.3f, \"bit_identical\": %s}%s\n",
+                 smp.shape.m, smp.shape.k, smp.shape.n, smp.threads, smp.wall_ms, smp.speedup,
+                 smp.bit_identical ? "true" : "false", i + 1 < samples.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (!all_identical) {
+    std::fprintf(stderr, "FAIL: a parallel result diverged from the serial baseline\n");
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,104 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace pdac {
+
+std::size_t ThreadPool::default_threads() {
+  if (const char* env = std::getenv("PDAC_GEMM_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<std::size_t>(hw) : 1;
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) threads = default_threads();
+  workers_.reserve(threads - 1);
+  for (std::size_t w = 1; w < threads; ++w) {
+    workers_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::run_range(const RangeBody& body, std::size_t n, std::size_t parts,
+                           std::size_t part) {
+  const std::size_t begin = part * n / parts;
+  const std::size_t end = (part + 1) * n / parts;
+  if (begin < end) body(begin, end, part);
+}
+
+void ThreadPool::worker_loop(std::size_t worker) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const RangeBody* body = nullptr;
+    std::size_t n = 0;
+    std::size_t parts = 0;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_work_.wait(lk, [&] { return stop_ || epoch_ != seen; });
+      if (stop_) return;
+      seen = epoch_;
+      body = job_;
+      n = job_n_;
+      parts = job_parts_;
+    }
+    if (worker >= parts) continue;  // narrow job: this worker sat out
+    try {
+      run_range(*body, n, parts, worker);
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (!error_) error_ = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (--pending_ == 0) cv_done_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n, const RangeBody& body) {
+  if (n == 0) return;
+  const std::size_t parts = std::min(size(), n);
+  if (parts <= 1) {
+    body(0, n, 0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    job_ = &body;
+    job_n_ = n;
+    job_parts_ = parts;
+    pending_ = parts - 1;  // workers 1 … parts−1; the caller runs part 0
+    ++epoch_;
+  }
+  cv_work_.notify_all();
+
+  std::exception_ptr caller_error;
+  try {
+    run_range(body, n, parts, 0);
+  } catch (...) {
+    caller_error = std::current_exception();
+  }
+
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_done_.wait(lk, [&] { return pending_ == 0; });
+  job_ = nullptr;
+  std::exception_ptr worker_error = error_;
+  error_ = nullptr;
+  lk.unlock();
+  if (caller_error) std::rethrow_exception(caller_error);
+  if (worker_error) std::rethrow_exception(worker_error);
+}
+
+}  // namespace pdac

@@ -1,0 +1,71 @@
+// thread_pool.hpp — a small reusable worker pool for tile-parallel
+// simulation (ptc/tile_scheduler.hpp is the primary client).
+//
+// The pool exposes exactly one primitive, parallel_for: a *static*,
+// deterministic partition of [0, n) into at most size() contiguous
+// ranges, one per participating worker.  Static partitioning (rather
+// than work stealing) is deliberate: every index lands on a fixed
+// worker for a given (n, size()) pair, so callers can hand each worker
+// its own device state and per-index output slots and get bit-identical
+// results at any thread count.  The calling thread participates as
+// worker 0, so a pool of size 1 runs everything inline with zero
+// synchronization.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pdac {
+
+class ThreadPool {
+ public:
+  /// Body of one parallel_for partition: half-open index range
+  /// [begin, end) plus the worker slot that runs it (0 = caller).
+  using RangeBody = std::function<void(std::size_t begin, std::size_t end, std::size_t worker)>;
+
+  /// threads = total workers including the caller; 0 means
+  /// default_threads().  A pool of size 1 spawns no threads at all.
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total worker count, caller included.
+  [[nodiscard]] std::size_t size() const { return workers_.size() + 1; }
+
+  /// Run `body` over [0, n) split into min(size(), n) contiguous ranges.
+  /// Blocks until every range finished; the first exception thrown by any
+  /// range is rethrown here after all workers drained.  Not reentrant:
+  /// one parallel_for at a time per pool.
+  void parallel_for(std::size_t n, const RangeBody& body);
+
+  /// Pool width used for threads == 0: the PDAC_GEMM_THREADS environment
+  /// variable when set to a positive integer, else hardware concurrency.
+  [[nodiscard]] static std::size_t default_threads();
+
+ private:
+  void worker_loop(std::size_t worker);
+  void run_range(const RangeBody& body, std::size_t n, std::size_t parts, std::size_t part);
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  const RangeBody* job_{nullptr};
+  std::size_t job_n_{0};
+  std::size_t job_parts_{0};
+  std::size_t pending_{0};
+  std::uint64_t epoch_{0};
+  bool stop_{false};
+  std::exception_ptr error_;
+};
+
+}  // namespace pdac

@@ -32,7 +32,7 @@ OpticalDigitalWord MultiBitEoInterface::encode(std::int32_t code) const {
 std::int32_t MultiBitEoInterface::decode(const OpticalDigitalWord& word) const {
   PDAC_REQUIRE(word.bits() == static_cast<std::size_t>(cfg_.bits),
                "EoInterface: word width mismatch");
-  const double threshold = 0.25 * 0.5 * cfg_.on_amplitude * cfg_.on_amplitude;
+  const double threshold = on_off_threshold_for_amplitude(cfg_.on_amplitude);
   std::uint32_t pattern = 0;
   for (std::size_t i = 0; i < word.bits(); ++i) {
     if (word.bit(i, threshold)) pattern |= (1u << i);

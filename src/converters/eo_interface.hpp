@@ -18,6 +18,23 @@
 
 namespace pdac::converters {
 
+/// The single on/off decision threshold every receiver in the datapath
+/// uses to regenerate an optical digital word: halfway between the off
+/// (0) and on slot intensities, the maximum-margin slicing level for
+/// symmetric amplitude noise.  Both the EO loopback decoder and the
+/// multi-bit OE interface slice here, so a word always reads the same at
+/// every receiver — including under laser-droop faults, where a drooped
+/// slot either survives at both receivers or drops at both.
+[[nodiscard]] constexpr double on_off_intensity_threshold(double on_intensity) {
+  return 0.5 * on_intensity;
+}
+
+/// Same threshold expressed from the logic-1 carrier amplitude
+/// (on intensity = ½·amplitude², the I ∝ ½|E|² convention).
+[[nodiscard]] constexpr double on_off_threshold_for_amplitude(double on_amplitude) {
+  return on_off_intensity_threshold(0.5 * on_amplitude * on_amplitude);
+}
+
 /// A b-bit word expressed as optical on/off field samples, one per time
 /// slot, all on one wavelength.
 struct OpticalDigitalWord {

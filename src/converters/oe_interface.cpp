@@ -16,7 +16,7 @@ MultiBitOeInterface::MultiBitOeInterface(OeInterfaceConfig cfg) : cfg_(std::move
 double MultiBitOeInterface::convert(const OpticalDigitalWord& word) const {
   PDAC_REQUIRE(word.bits() == cfg_.weights.size(), "OeInterface: word width mismatch");
   double v = cfg_.bias;
-  const double threshold = 0.5 * cfg_.on_intensity;
+  const double threshold = on_off_intensity_threshold(cfg_.on_intensity);
   for (std::size_t i = 0; i < word.bits(); ++i) {
     if (word.slots[i].intensity() > threshold) v += cfg_.weights[i];
   }

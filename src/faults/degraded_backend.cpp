@@ -5,11 +5,12 @@
 
 #include "common/require.hpp"
 #include "converters/quantizer.hpp"
+#include "ptc/tile_scheduler.hpp"
 
 namespace pdac::faults {
 
 DegradedBackend::DegradedBackend(const LaneBank& bank, DegradedBackendConfig cfg)
-    : bank_(bank), cfg_(cfg) {
+    : bank_(bank), cfg_(cfg), pool_(std::make_unique<ThreadPool>(cfg.threads)) {
   PDAC_REQUIRE(cfg_.array_rows >= 1 && cfg_.array_cols >= 1,
                "DegradedBackend: array dimensions must be positive");
 }
@@ -31,27 +32,47 @@ Matrix DegradedBackend::matmul(const Matrix& a, const Matrix& b) {
   Matrix bt = b.transposed();
   for (auto& v : bt.data()) v /= b_scale;
 
-  Matrix c(a.rows(), b.cols());
-  const double rescale = a_scale * b_scale;
   const std::size_t k = a.cols();
   const std::size_t nl = channels.size();
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    const auto x = an.row(i);
-    for (std::size_t j = 0; j < b.cols(); ++j) {
-      const auto y = bt.row(j);
-      double acc = 0.0;
-      for (std::size_t base = 0; base < k; base += nl) {
-        const std::size_t len = std::min(nl, k - base);
-        for (std::size_t t = 0; t < len; ++t) {
-          // Balanced-PD product on channel `channels[t]`: each element
-          // rides the lane device that physically carries it.
-          acc += bank_.encode(0, channels[t], x[base + t]) *
-                 bank_.encode(1, channels[t], y[base + t]);
-        }
+
+  // Amortized encoding through the *specific lane devices* that carry
+  // each element: position p in a reduction rides channel p mod nl, on
+  // the x rail for A elements and the y rail for B elements.  Each row /
+  // column is encoded once and broadcast across every tile that uses it
+  // (the serial path encoded it once per output element).
+  Matrix ae(an.rows(), k);
+  Matrix be(bt.rows(), k);
+  pool_->parallel_for(an.rows() + bt.rows(),
+                      [&](std::size_t begin, std::size_t end, std::size_t) {
+                        for (std::size_t r = begin; r < end; ++r) {
+                          const bool a_side = r < an.rows();
+                          const std::size_t row = a_side ? r : r - an.rows();
+                          const auto src = a_side ? an.row(row) : bt.row(row);
+                          auto dst = a_side ? ae.row(row) : be.row(row);
+                          for (std::size_t p = 0; p < k; ++p) {
+                            dst[p] = bank_.encode(a_side ? 0 : 1, channels[p % nl], src[p]);
+                          }
+                        }
+                      });
+
+  Matrix c(a.rows(), b.cols());
+  const double rescale = a_scale * b_scale;
+  const std::vector<ptc::Tile> tiles =
+      ptc::partition_tiles(a.rows(), b.cols(), cfg_.array_rows, cfg_.array_cols);
+  ptc::for_each_tile(*pool_, tiles, [&](std::size_t t, std::size_t) {
+    const ptc::Tile& tile = tiles[t];
+    for (std::size_t i = tile.row0; i < tile.row0 + tile.rows; ++i) {
+      const auto x = ae.row(i);
+      for (std::size_t j = tile.col0; j < tile.col0 + tile.cols; ++j) {
+        const auto y = be.row(j);
+        // Ascending p is the serial chunk order (base, then in-chunk
+        // lane), so the accumulation is bit-identical to the serial path.
+        double acc = 0.0;
+        for (std::size_t p = 0; p < k; ++p) acc += x[p] * y[p];
+        c(i, j) = acc * rescale;
       }
-      c(i, j) = acc * rescale;
     }
-  }
+  });
   count_events(a.rows(), k, b.cols(), nl);
   return c;
 }

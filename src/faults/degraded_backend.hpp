@@ -17,7 +17,9 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 
+#include "common/thread_pool.hpp"
 #include "faults/lane_bank.hpp"
 #include "nn/backend.hpp"
 
@@ -27,6 +29,12 @@ struct DegradedBackendConfig {
   /// Tile geometry used for event accounting (matches ptc::GemmConfig).
   std::size_t array_rows{8};
   std::size_t array_cols{8};
+  /// Simulation workers for the tile dispatch (same semantics as
+  /// ptc::GemmConfig::threads): 1 = serial, 0 = auto.  Lane devices are
+  /// only read during a matmul (the injector mutates them *between*
+  /// products), so workers share the bank safely; results are
+  /// bit-identical at any thread count.
+  std::size_t threads{1};
 };
 
 class DegradedBackend final : public nn::GemmBackend {
@@ -47,6 +55,7 @@ class DegradedBackend final : public nn::GemmBackend {
 
   const LaneBank& bank_;
   DegradedBackendConfig cfg_;
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace pdac::faults

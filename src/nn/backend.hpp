@@ -1,10 +1,16 @@
 // backend.hpp — pluggable GEMM execution for the transformer stack.
 //
-// Layers call an abstract backend so the same model can run on the
-// double-precision reference, the photonic core with ideal-DAC drivers,
-// or the photonic core with P-DACs — which is exactly the comparison the
-// accuracy ablations make.  Backends accumulate hardware event counts
-// across every product they perform.
+// Layers (linear, attention, encoder_layer) call an abstract backend so
+// the same model can run on the double-precision reference, the photonic
+// core with ideal-DAC drivers, or the photonic core with P-DACs — which
+// is exactly the comparison the accuracy ablations make.  Backends
+// accumulate hardware event counts across every product they perform.
+//
+// Every photonic backend routes through the tile-parallel GEMM engine
+// (gemm_engine.hpp): pass a GemmConfig with `threads != 1` (e.g. via
+// parallel_gemm_config) to spread tile simulation across cores — results
+// are bit-identical at any thread count, so accuracy experiments can
+// always run wide.
 #pragma once
 
 #include <memory>
@@ -60,5 +66,14 @@ std::unique_ptr<GemmBackend> make_photonic_pdac_backend(int bits,
                                                         ptc::GemmConfig cfg = {});
 std::unique_ptr<GemmBackend> make_photonic_ideal_dac_backend(int bits,
                                                              ptc::GemmConfig cfg = {});
+
+/// GemmConfig with the tile dispatch widened to `threads` simulation
+/// workers (0 = auto-detect); hand the result to the photonic factories
+/// to run layer-scale traces tile-parallel.
+[[nodiscard]] inline ptc::GemmConfig parallel_gemm_config(std::size_t threads,
+                                                          ptc::GemmConfig cfg = {}) {
+  cfg.threads = threads;
+  return cfg;
+}
 
 }  // namespace pdac::nn

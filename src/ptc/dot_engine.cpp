@@ -8,16 +8,22 @@
 
 namespace pdac::ptc {
 
+namespace {
+
+Ddot build_ddot(const DotEngineConfig& cfg) {
+  photonics::PhotodetectorConfig pd;
+  pd.noise = cfg.pd_noise;
+  return Ddot(photonics::PhaseShifter::minus_90(),
+              photonics::DirectionalCoupler::fifty_fifty(),
+              photonics::Photodetector(pd), photonics::Photodetector(pd));
+}
+
+}  // namespace
+
 PhotonicDotEngine::PhotonicDotEngine(const core::ModulatorDriver& driver, DotEngineConfig cfg)
     : driver_(driver),
       cfg_(cfg),
-      ddot_([&cfg] {
-        photonics::PhotodetectorConfig pd;
-        pd.noise = cfg.pd_noise;
-        return Ddot(photonics::PhaseShifter::minus_90(),
-                    photonics::DirectionalCoupler::fifty_fifty(),
-                    photonics::Photodetector(pd), photonics::Photodetector(pd));
-      }()),
+      ddot_(build_ddot(cfg)),
       quant_(driver.bits()) {
   PDAC_REQUIRE(cfg_.wavelengths >= 1, "PhotonicDotEngine: at least one wavelength");
   PDAC_REQUIRE(cfg_.lane_mask.empty() || cfg_.lane_mask.size() == cfg_.wavelengths,
@@ -36,9 +42,28 @@ PhotonicDotEngine::PhotonicDotEngine(const core::ModulatorDriver& driver, DotEng
   }
 }
 
+Ddot PhotonicDotEngine::make_worker_ddot() const { return build_ddot(cfg_); }
+
 double PhotonicDotEngine::encode(double r) const {
   const std::int32_t code = quant_.encode(math::clamp_unit(r));
   return encode_lut_[static_cast<std::size_t>(code + quant_.max_code())];
+}
+
+void PhotonicDotEngine::encode_span(std::span<const double> in, std::span<double> out) const {
+  PDAC_REQUIRE(in.size() == out.size(), "PhotonicDotEngine: encode_span size mismatch");
+  for (std::size_t i = 0; i < in.size(); ++i) out[i] = encode(in[i]);
+}
+
+double PhotonicDotEngine::apply_adc(double acc, std::size_t n, EventCounter* ev) const {
+  if (!cfg_.adc_readout) return acc;
+  const double fs =
+      cfg_.adc_full_scale > 0.0 ? cfg_.adc_full_scale : static_cast<double>(std::max<std::size_t>(n, 1));
+  converters::ElectricalAdcConfig ac;
+  ac.bits = cfg_.adc_bits;
+  ac.v_ref = fs;
+  const converters::ElectricalAdc adc(ac);
+  if (ev != nullptr) ev->adc_events += 1;
+  return adc.sample_to_voltage(acc);
 }
 
 double PhotonicDotEngine::dot(std::span<const double> x, std::span<const double> y,
@@ -75,27 +100,54 @@ double PhotonicDotEngine::dot(std::span<const double> x, std::span<const double>
     }
   }
 
-  if (cfg_.adc_readout) {
-    const double fs =
-        cfg_.adc_full_scale > 0.0 ? cfg_.adc_full_scale : static_cast<double>(std::max<std::size_t>(n, 1));
-    converters::ElectricalAdcConfig ac;
-    ac.bits = cfg_.adc_bits;
-    ac.v_ref = fs;
-    const converters::ElectricalAdc adc(ac);
-    acc = adc.sample_to_voltage(acc);
-    if (ev != nullptr) ev->adc_events += 1;
-  }
+  acc = apply_adc(acc, n, ev);
   if (ev != nullptr) ev->cycles += chunks;
   return acc;
 }
 
+double PhotonicDotEngine::dot_preencoded(std::span<const double> xe, std::span<const double> ye,
+                                         EventCounter* ev, const Ddot* ddot) const {
+  PDAC_REQUIRE(xe.size() == ye.size(), "PhotonicDotEngine: operand length mismatch");
+  const std::size_t n = xe.size();
+  const std::size_t nl = active_lanes_.size();
+  const Ddot& dev = ddot != nullptr ? *ddot : ddot_;
+
+  double acc = 0.0;
+  for (std::size_t base = 0; base < n; base += nl) {
+    const std::size_t len = std::min(nl, n - base);
+    if (cfg_.use_full_optics) {
+      photonics::DualRail rails{photonics::WdmField(cfg_.wavelengths),
+                                photonics::WdmField(cfg_.wavelengths)};
+      for (std::size_t i = 0; i < len; ++i) {
+        const std::size_t ch = active_lanes_[i];
+        rails.upper.set_amplitude(ch, photonics::Complex{xe[base + i], 0.0});
+        rails.lower.set_amplitude(ch, photonics::Complex{ye[base + i], 0.0});
+      }
+      acc += dev.compute(rails).value();
+    } else {
+      for (std::size_t i = 0; i < len; ++i) {
+        acc += xe[base + i] * ye[base + i];
+      }
+    }
+    if (ev != nullptr) {
+      ev->detection_events += 1;
+      ev->ddot_ops += 1;
+      ev->macs += len;
+    }
+  }
+  // ADC quantization is applied for numeric fidelity, but the sample is
+  // charged by the caller (tile-level accounting), never here.
+  return apply_adc(acc, n, nullptr);
+}
+
 double PhotonicDotEngine::dot_noisy(std::span<const double> x, std::span<const double> y,
-                                    Rng& rng) const {
+                                    Rng& rng, EventCounter* ev) const {
   PDAC_REQUIRE(x.size() == y.size(), "PhotonicDotEngine: operand length mismatch");
   const std::size_t n = x.size();
   const std::size_t nl = active_lanes_.size();
   double acc = 0.0;
-  for (std::size_t base = 0; base < n; base += nl) {
+  std::size_t chunks = 0;
+  for (std::size_t base = 0; base < n; base += nl, ++chunks) {
     const std::size_t len = std::min(nl, n - base);
     photonics::DualRail rails{photonics::WdmField(cfg_.wavelengths),
                               photonics::WdmField(cfg_.wavelengths)};
@@ -105,7 +157,15 @@ double PhotonicDotEngine::dot_noisy(std::span<const double> x, std::span<const d
       rails.lower.set_amplitude(ch, photonics::Complex{encode(y[base + i]), 0.0});
     }
     acc += ddot_.compute_noisy(rails, rng).value();
+    if (ev != nullptr) {
+      ev->modulation_events += 2 * len;
+      ev->detection_events += 1;
+      ev->ddot_ops += 1;
+      ev->macs += len;
+    }
   }
+  acc = apply_adc(acc, n, ev);
+  if (ev != nullptr) ev->cycles += chunks;
   return acc;
 }
 

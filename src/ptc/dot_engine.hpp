@@ -46,15 +46,44 @@ class PhotonicDotEngine {
   PhotonicDotEngine(const core::ModulatorDriver& driver, DotEngineConfig cfg);
 
   /// Inner product of normalized operands (|x_i|, |y_i| ≤ 1).  Events are
-  /// accumulated into `ev` when non-null.
+  /// accumulated into `ev` when non-null using the *standalone* dot
+  /// convention: a lone dot product modulates both operands afresh, so
+  /// each chunk charges 2·len modulation events.  (The GEMM engine
+  /// instead charges modulations per tile — broadcast amortized — see
+  /// gemm_engine.hpp for the reconciliation contract.)
   [[nodiscard]] double dot(std::span<const double> x, std::span<const double> y,
                            EventCounter* ev = nullptr) const;
 
   /// Same product through the full optical path with the configured
   /// photodetector noise drawn from `rng` — the functional companion of
-  /// the SNR analysis (noise_analysis.hpp).
+  /// the SNR analysis (noise_analysis.hpp).  Applies the same ADC
+  /// readout and event accounting as dot(): apart from the detector
+  /// noise draw the two paths run the identical pipeline, so noise
+  /// ablations compare like against like.
   [[nodiscard]] double dot_noisy(std::span<const double> x, std::span<const double> y,
-                                 Rng& rng) const;
+                                 Rng& rng, EventCounter* ev = nullptr) const;
+
+  /// Inner product of operands that are ALREADY encoded amplitudes (the
+  /// output of encode()/encode_span()).  This is the tile-parallel GEMM
+  /// engine's hot path: rows and columns are encoded once per tile
+  /// stripe and broadcast, so the reduction itself performs no encoding.
+  /// Counts only the reduction's own events (detection, DDot ops, MACs);
+  /// modulation, ADC samples and cycle occupancy are charged by the
+  /// caller, which knows the broadcast geometry.  The optional `ddot`
+  /// lets each worker thread reduce through its own device instance;
+  /// numerics are identical to dot() on the pre-image operands.
+  [[nodiscard]] double dot_preencoded(std::span<const double> xe, std::span<const double> ye,
+                                      EventCounter* ev = nullptr,
+                                      const Ddot* ddot = nullptr) const;
+
+  /// Encode a span of normalized values through the memoized driver LUT
+  /// (out.size() must equal in.size()).  Pure and safe to call from
+  /// multiple threads: the LUT is immutable after construction.
+  void encode_span(std::span<const double> in, std::span<double> out) const;
+
+  /// A fresh Ddot configured like this engine's own — worker threads use
+  /// one each so device objects are never shared mutably.
+  [[nodiscard]] Ddot make_worker_ddot() const;
 
   /// Encoded amplitude for a normalized value (memoized driver output).
   [[nodiscard]] double encode(double r) const;
@@ -66,6 +95,10 @@ class PhotonicDotEngine {
   [[nodiscard]] const core::ModulatorDriver& driver() const { return driver_; }
 
  private:
+  /// Digitize an accumulated readout when cfg_.adc_readout is on; `ev`
+  /// (when non-null) is charged one ADC sample.
+  [[nodiscard]] double apply_adc(double acc, std::size_t n, EventCounter* ev) const;
+
   const core::ModulatorDriver& driver_;
   DotEngineConfig cfg_;
   Ddot ddot_;

@@ -1,14 +1,18 @@
 #include "ptc/gemm_engine.hpp"
 
 #include <algorithm>
+#include <vector>
 
 #include "common/require.hpp"
 #include "converters/quantizer.hpp"
+#include "ptc/tile_scheduler.hpp"
 
 namespace pdac::ptc {
 
 PhotonicGemm::PhotonicGemm(const core::ModulatorDriver& driver, GemmConfig cfg)
-    : cfg_(cfg), engine_(driver, cfg.dot) {
+    : cfg_(cfg),
+      engine_(driver, cfg.dot),
+      pool_(std::make_unique<ThreadPool>(cfg.threads)) {
   PDAC_REQUIRE(cfg_.array_rows >= 1 && cfg_.array_cols >= 1,
                "PhotonicGemm: array dimensions must be positive");
 }
@@ -17,6 +21,7 @@ GemmResult PhotonicGemm::multiply(const Matrix& a, const Matrix& b) const {
   PDAC_REQUIRE(a.cols() == b.rows(), "PhotonicGemm: inner dimensions must agree");
   const double a_scale = converters::max_abs_scale(a.data());
   const double b_scale = converters::max_abs_scale(b.data());
+  const std::size_t k = a.cols();
 
   // Normalize operands into the modulators' (−1, 1) domain.
   Matrix an(a.rows(), a.cols());
@@ -25,17 +30,61 @@ GemmResult PhotonicGemm::multiply(const Matrix& a, const Matrix& b) const {
   Matrix bt = b.transposed();
   for (auto& v : bt.data()) v /= b_scale;
 
+  // Amortized encoding: every A row and B column goes through the shared
+  // encode LUT exactly once, the software mirror of the hardware
+  // broadcasting one modulated operand across a whole tile.  Rows are
+  // disjoint, so the encode sweep itself is tile-parallel too.
+  Matrix ae(an.rows(), k);
+  Matrix be(bt.rows(), k);
+  pool_->parallel_for(an.rows() + bt.rows(),
+                      [&](std::size_t begin, std::size_t end, std::size_t) {
+                        for (std::size_t r = begin; r < end; ++r) {
+                          if (r < an.rows()) {
+                            engine_.encode_span(an.row(r), ae.row(r));
+                          } else {
+                            engine_.encode_span(bt.row(r - an.rows()), be.row(r - an.rows()));
+                          }
+                        }
+                      });
+
   GemmResult res;
   res.a_scale = a_scale;
   res.b_scale = b_scale;
   res.c = Matrix(a.rows(), b.cols());
   const double rescale = a_scale * b_scale;
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    for (std::size_t j = 0; j < b.cols(); ++j) {
-      res.c(i, j) = engine_.dot(an.row(i), bt.row(j)) * rescale;
+
+  const std::vector<Tile> tiles =
+      partition_tiles(a.rows(), b.cols(), cfg_.array_rows, cfg_.array_cols);
+  const std::size_t chunks = (k + engine_.active_wavelengths() - 1) / engine_.active_wavelengths();
+
+  // One Ddot per worker slot: device objects are never shared mutably.
+  std::vector<Ddot> worker_ddots;
+  worker_ddots.reserve(pool_->size());
+  for (std::size_t w = 0; w < pool_->size(); ++w) worker_ddots.push_back(engine_.make_worker_ddot());
+
+  // Per-tile counters land in tile-index slots and are folded in index
+  // order after the join, so accounting is deterministic at any thread
+  // count (the numerics are deterministic element-wise anyway).
+  std::vector<EventCounter> tile_events(tiles.size());
+
+  for_each_tile(*pool_, tiles, [&](std::size_t t, std::size_t worker) {
+    const Tile& tile = tiles[t];
+    const Ddot& ddot = worker_ddots[worker];
+    EventCounter reduction;  // detection / ddot_ops / macs from the dots run
+    for (std::size_t i = tile.row0; i < tile.row0 + tile.rows; ++i) {
+      for (std::size_t j = tile.col0; j < tile.col0 + tile.cols; ++j) {
+        res.c(i, j) = engine_.dot_preencoded(ae.row(i), be.row(j), &reduction, &ddot) * rescale;
+      }
     }
-  }
-  res.events = count_events(a.rows(), a.cols(), b.cols());
+    // Broadcast-amortization contract (see header): modulation, ADC and
+    // cycle occupancy are tile-step quantities, not per-dot ones.
+    reduction.modulation_events = (tile.rows + tile.cols) * k;
+    reduction.adc_events = tile.rows * tile.cols;
+    reduction.cycles = chunks;
+    tile_events[t] = reduction;
+  });
+
+  for (const EventCounter& ev : tile_events) res.events += ev;
   return res;
 }
 

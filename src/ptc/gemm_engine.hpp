@@ -1,19 +1,41 @@
-// gemm_engine.hpp — blocked matrix multiplication on the photonic core.
+// gemm_engine.hpp — tiled, tile-parallel matrix multiplication on the
+// photonic core.
 //
 // C = A·B with both operands max-abs-scaled into [−1, 1], quantized to
 // the driver's bit width, encoded by the modulators (DAC or P-DAC) and
 // reduced through DDot units.
 //
-// Event accounting models Lightening-Transformer's dynamically-operated
-// 2-D DPTC array: an H×W tile of DDots consumes H A-rows broadcast along
-// one axis and W B-columns along the other, so a tile step costs
-// (H + W)·k modulations while performing H·W·k MACs — the operand-sharing
-// that makes large arrays efficient.  Numerics are tiling-invariant, so
-// the functional product and the event counts are computed separately
-// but from the same configuration.
+// Execution model (DESIGN.md §9): the output is partitioned into
+// array_rows × array_cols tiles (tile_scheduler.hpp) and the tiles are
+// dispatched across a thread pool.  Each worker reduces through its own
+// Ddot instance (device objects are never shared mutably); operand
+// encoding is amortized — every A row and B column is pushed through the
+// shared encode LUT exactly once per product, mirroring the hardware's
+// broadcast of one modulated row/column across a whole tile.  Results
+// are bit-identical to serial execution at any thread count: every
+// output element belongs to exactly one tile, its reduction order is
+// fixed inside its dot product, and per-tile event counters are folded
+// in tile-index order after the workers join.
+//
+// Event accounting contract (broadcast amortization): the counts model
+// Lightening-Transformer's dynamically-operated 2-D DPTC array.  An
+// H×W tile step modulates its H A-rows and W B-columns once each —
+// (H + W)·k modulation events per tile, NOT the 2·k-per-dot that a
+// standalone PhotonicDotEngine::dot charges — digitizes all H·W outputs
+// (adc_events counts every output sample even when the functional
+// adc_readout shortcut is off), and occupies the array for
+// ⌈k/active_wavelengths⌉ cycles because the H·W DDots run concurrently.
+// Detection, DDot-op and MAC counts come from the dots actually
+// executed, so multiply()'s events and the analytic count_events() are
+// equal field-for-field — a property the tests pin.  With a 1×1 array
+// the tile contract degenerates to exactly the standalone per-dot
+// convention ((1+1)·k = 2·k).
 #pragma once
 
+#include <memory>
+
 #include "common/matrix.hpp"
+#include "common/thread_pool.hpp"
 #include "ptc/dot_engine.hpp"
 #include "ptc/event_counter.hpp"
 
@@ -23,6 +45,10 @@ struct GemmConfig {
   DotEngineConfig dot{};
   std::size_t array_rows{8};  ///< H: DDot rows sharing B-side operands
   std::size_t array_cols{8};  ///< W: DDot columns sharing A-side operands
+  /// Simulation workers for the tile dispatch: 1 = serial (default),
+  /// 0 = auto (PDAC_GEMM_THREADS env var or hardware concurrency).
+  /// Results are bit-identical at any value.
+  std::size_t threads{1};
 };
 
 struct GemmResult {
@@ -36,13 +62,20 @@ class PhotonicGemm {
  public:
   PhotonicGemm(const core::ModulatorDriver& driver, GemmConfig cfg);
 
-  /// Full photonic product: quantize, encode, DDot-reduce, rescale.
+  /// Full photonic product: quantize, encode once per operand element,
+  /// DDot-reduce tile-parallel, rescale.  Attaches the executed event
+  /// counts (== count_events for the same shape).  Not reentrant: call
+  /// from one thread at a time per engine (the engine parallelizes
+  /// internally).
   [[nodiscard]] GemmResult multiply(const Matrix& a, const Matrix& b) const;
 
-  /// Event counts for an (m×k)·(k×n) product on the configured array,
-  /// without running numerics — the workload tracer uses this for
-  /// full-size model shapes.
+  /// Analytic event counts for an (m×k)·(k×n) product on the configured
+  /// array, without running numerics — the workload tracer uses this for
+  /// full-size model shapes.  Equal to the counts multiply() attaches.
   [[nodiscard]] EventCounter count_events(std::size_t m, std::size_t k, std::size_t n) const;
+
+  /// Resolved worker count (threads == 0 resolved at construction).
+  [[nodiscard]] std::size_t threads() const { return pool_->size(); }
 
   [[nodiscard]] const GemmConfig& config() const { return cfg_; }
   [[nodiscard]] const PhotonicDotEngine& engine() const { return engine_; }
@@ -50,6 +83,7 @@ class PhotonicGemm {
  private:
   GemmConfig cfg_;
   PhotonicDotEngine engine_;
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace pdac::ptc

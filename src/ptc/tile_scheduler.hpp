@@ -1,0 +1,47 @@
+// tile_scheduler.hpp — output-stationary tile partition for the GEMM
+// execution engine.
+//
+// An (m × n) output matrix maps onto the H × W DDot array as a grid of
+// tiles, row-major: the i-axis is cut into ⌈m/H⌉ stripes of height ≤ H,
+// the j-axis into ⌈n/W⌉ stripes of width ≤ W.  One tile is one
+// hardware "tile step": its H rows of A and W columns of B are each
+// modulated once and broadcast across the array, so tiles are also the
+// unit of event accounting ((h + w)·k modulations per step).
+//
+// Tiles are independent — every output element belongs to exactly one
+// tile — which is what makes the engine embarrassingly parallel while
+// staying bit-identical to serial execution: each element's reduction
+// order is fixed inside its dot product, and the tile *index* fixes the
+// order in which per-tile event counters are folded together after the
+// workers join.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+
+namespace pdac::ptc {
+
+/// One output tile: rows [row0, row0+rows) × cols [col0, col0+cols).
+struct Tile {
+  std::size_t row0{};
+  std::size_t col0{};
+  std::size_t rows{};
+  std::size_t cols{};
+};
+
+/// Row-major tile grid covering an (m × n) output with tiles of at most
+/// (tile_rows × tile_cols) — edge tiles are ragged.  The returned order
+/// matches PhotonicGemm::count_events' loop order exactly.
+[[nodiscard]] std::vector<Tile> partition_tiles(std::size_t m, std::size_t n,
+                                                std::size_t tile_rows, std::size_t tile_cols);
+
+/// Dispatch `body(tile_index, worker)` over every tile on the pool.
+/// Workers receive disjoint contiguous runs of the tile list (static
+/// partition), so per-worker device state needs no locking; per-tile
+/// outputs indexed by tile_index are written exactly once.
+void for_each_tile(ThreadPool& pool, const std::vector<Tile>& tiles,
+                   const std::function<void(std::size_t tile_index, std::size_t worker)>& body);
+
+}  // namespace pdac::ptc

@@ -155,6 +155,48 @@ TEST(DotEngineNoise, NoiselessConfigMatchesDeterministicPath) {
   EXPECT_NEAR(engine.dot_noisy(x, y, noise_rng), engine.dot(x, y), 1e-10);
 }
 
+TEST(DotEngineNoise, NoisyPathAppliesAdcReadout) {
+  // Regression: dot_noisy used to skip the ADC stage entirely, so noise
+  // ablations compared a no-ADC noisy pipeline against an ADC-quantized
+  // clean one.  With noise disabled the two paths must now agree exactly,
+  // ADC quantization included.
+  const auto drv = core::make_ideal_dac_driver(8);
+  DotEngineConfig cfg;
+  cfg.adc_readout = true;
+  cfg.adc_bits = 4;
+  cfg.adc_full_scale = 1.0;
+  const PhotonicDotEngine engine(*drv, cfg);
+  const std::vector<double> x{0.9};
+  const std::vector<double> y{0.9};
+  Rng noise_rng(9);
+  const double noisy = engine.dot_noisy(x, y, noise_rng);
+  EXPECT_NEAR(noisy, engine.dot(x, y), 1e-12);
+  // The readout sits on a 4-bit grid (steps of 1/7 over ±1).
+  const double code = noisy * 7.0;
+  EXPECT_NEAR(code, std::round(code), 1e-9);
+}
+
+TEST(DotEngineNoise, NoisyPathCountsSameEventsAsClean) {
+  const auto drv = core::make_ideal_dac_driver(8);
+  DotEngineConfig cfg;
+  cfg.wavelengths = 8;
+  cfg.adc_readout = true;
+  const PhotonicDotEngine engine(*drv, cfg);
+  Rng rng(10);
+  const auto x = rng.uniform_vector(20, -1.0, 1.0);  // 3 chunks
+  const auto y = rng.uniform_vector(20, -1.0, 1.0);
+  EventCounter clean_ev, noisy_ev;
+  (void)engine.dot(x, y, &clean_ev);
+  Rng noise_rng(11);
+  (void)engine.dot_noisy(x, y, noise_rng, &noisy_ev);
+  EXPECT_EQ(noisy_ev.modulation_events, clean_ev.modulation_events);
+  EXPECT_EQ(noisy_ev.detection_events, clean_ev.detection_events);
+  EXPECT_EQ(noisy_ev.ddot_ops, clean_ev.ddot_ops);
+  EXPECT_EQ(noisy_ev.macs, clean_ev.macs);
+  EXPECT_EQ(noisy_ev.adc_events, clean_ev.adc_events);
+  EXPECT_EQ(noisy_ev.cycles, clean_ev.cycles);
+}
+
 TEST(DotEngineNoise, ThermalNoiseCentersOnCleanValue) {
   const auto drv = core::make_ideal_dac_driver(10);
   DotEngineConfig cfg;

@@ -119,6 +119,73 @@ TEST(PhotonicGemm, MultiplyAttachesEventCounts) {
   EXPECT_EQ(res.events.modulation_events, expect.modulation_events);
 }
 
+void expect_events_equal(const EventCounter& a, const EventCounter& b) {
+  EXPECT_EQ(a.modulation_events, b.modulation_events);
+  EXPECT_EQ(a.detection_events, b.detection_events);
+  EXPECT_EQ(a.adc_events, b.adc_events);
+  EXPECT_EQ(a.ddot_ops, b.ddot_ops);
+  EXPECT_EQ(a.macs, b.macs);
+  EXPECT_EQ(a.cycles, b.cycles);
+}
+
+TEST(PhotonicGemm, ExecutedEventsEqualAnalyticCountsAllFields) {
+  // The reconciliation contract: multiply() accumulates detection, DDot
+  // and MAC events from the dots it actually runs, plus tile-level
+  // modulation/ADC/cycle charges — and that total equals count_events()
+  // field-for-field, ragged tiles and fenced lanes included.
+  const auto drv = core::make_pdac_driver(8);
+  GemmConfig cfg;
+  cfg.array_rows = 8;
+  cfg.array_cols = 4;
+  cfg.dot.wavelengths = 8;
+  cfg.dot.lane_mask = {1, 1, 0, 1, 1, 1, 0, 1};
+  const PhotonicGemm gemm(*drv, cfg);
+  Rng rng(11);
+  const Matrix a = Matrix::random_gaussian(13, 22, rng);
+  const Matrix b = Matrix::random_gaussian(22, 9, rng);
+  const GemmResult res = gemm.multiply(a, b);
+  expect_events_equal(res.events, gemm.count_events(13, 22, 9));
+}
+
+TEST(PhotonicGemm, UnitArrayDegeneratesToStandaloneDotConvention) {
+  // With a 1×1 array there is no broadcast to amortize: the tile
+  // contract's (h+w)·k modulations collapse to the standalone dot's 2·k,
+  // so GEMM events must equal the per-dot counters summed over every
+  // output element.  This is the documented relationship between the two
+  // accounting conventions.
+  const auto drv = core::make_pdac_driver(8);
+  GemmConfig cfg;
+  cfg.array_rows = 1;
+  cfg.array_cols = 1;
+  cfg.dot.adc_readout = true;  // dot() only charges ADC when it digitizes
+  const PhotonicGemm gemm(*drv, cfg);
+  Rng rng(12);
+  const Matrix a = Matrix::random_gaussian(5, 17, rng);
+  const Matrix b = Matrix::random_gaussian(17, 4, rng);
+  const GemmResult res = gemm.multiply(a, b);
+
+  // Sum standalone per-dot counters over every output element (event
+  // counts depend only on operand lengths, not values).
+  EventCounter per_dot;
+  Matrix bt = b.transposed();
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      (void)gemm.engine().dot(a.row(i), bt.row(j), &per_dot);
+    }
+  }
+  expect_events_equal(res.events, per_dot);
+}
+
+TEST(PhotonicGemm, BroadcastAmortizationRatioVsPerDot) {
+  // On an H×W array the tile contract charges (H+W)/(2·H·W) of the
+  // modulations a per-dot accounting would: 8×8 tiles amortize 8×.
+  const auto drv = core::make_pdac_driver(8);
+  const PhotonicGemm gemm(*drv, GemmConfig{});  // 8×8 array
+  const EventCounter ev = gemm.count_events(64, 32, 64);
+  const std::uint64_t per_dot_convention = 2ull * 32ull * 64ull * 64ull;  // 2k per output
+  EXPECT_EQ(ev.modulation_events, per_dot_convention / 8u);
+}
+
 TEST(PhotonicGemm, RejectsDegenerateArray) {
   const auto drv = core::make_pdac_driver(8);
   GemmConfig cfg;

@@ -86,6 +86,43 @@ TEST(OeInterface, BinaryWeightedRejectsBadBits) {
   EXPECT_THROW((void)MultiBitOeInterface::binary_weighted(17), PreconditionError);
 }
 
+// --- unified on/off threshold across receivers -----------------------------
+
+TEST(ReceiverThresholds, SharedHelperIsHalfOnIntensity) {
+  EXPECT_DOUBLE_EQ(on_off_intensity_threshold(0.5), 0.25);
+  // Amplitude form agrees with the intensity form through I = ½·amp².
+  EXPECT_DOUBLE_EQ(on_off_threshold_for_amplitude(1.0), on_off_intensity_threshold(0.5));
+  EXPECT_DOUBLE_EQ(on_off_threshold_for_amplitude(2.0), on_off_intensity_threshold(2.0));
+}
+
+TEST(ReceiverThresholds, LaserDroopDecodesIdenticallyAtBothReceivers) {
+  // Regression: the EO loopback decoder used to slice at ¼ of the on
+  // intensity while the OE interface sliced at ½, so a laser-droop fault
+  // scaling slot amplitudes by d ∈ (0.5, 1/√2) made the same word read
+  // differently at the two receivers.  Both now slice at half the on
+  // intensity: a drooped slot survives at both or drops at both.
+  const int bits = 4;
+  EoInterfaceConfig ecfg;
+  ecfg.bits = bits;
+  const MultiBitEoInterface eo(ecfg);
+  const MultiBitOeInterface oe(MultiBitOeInterface::binary_weighted(bits));
+  const double mc = static_cast<double>((1 << (bits - 1)) - 1);
+
+  const std::int32_t code = 5;  // 0101: bits 0 and 2 on
+  for (double droop : {1.0, 0.9, 0.75, 0.708, 0.706, 0.6, 0.51, 0.4}) {
+    OpticalDigitalWord word = eo.encode(code);
+    for (auto& slot : word.slots) slot.amplitude *= droop;
+
+    // Survival is a single shared predicate of the drooped intensity.
+    const bool survives =
+        0.5 * droop * droop > on_off_threshold_for_amplitude(ecfg.on_amplitude);
+    const std::int32_t expect_code = survives ? code : 0;
+    EXPECT_EQ(eo.decode(word), expect_code) << "droop " << droop;
+    EXPECT_NEAR(oe.convert(word), static_cast<double>(expect_code) / mc, 1e-12)
+        << "droop " << droop;
+  }
+}
+
 // --- property: EO→OE loopback is exact for every code at every width -------
 class EoOeLoopback : public ::testing::TestWithParam<int> {};
 

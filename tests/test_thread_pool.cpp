@@ -1,0 +1,94 @@
+// Tests for the tile-dispatch thread pool: coverage, determinism of the
+// static partition, and exception propagation.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+
+namespace {
+
+using pdac::ThreadPool;
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  for (std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{3}, std::size_t{4},
+                        std::size_t{17}, std::size_t{1000}}) {
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallel_for(n, [&](std::size_t begin, std::size_t end, std::size_t) {
+      for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+    });
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, StaticPartitionIsDeterministic) {
+  // The same (n, size) pair must produce the same ranges every call —
+  // this is what lets callers bind per-worker device state to indices.
+  ThreadPool pool(3);
+  auto record = [&] {
+    std::vector<std::size_t> owner(10, 99);
+    pool.parallel_for(10, [&](std::size_t begin, std::size_t end, std::size_t worker) {
+      for (std::size_t i = begin; i < end; ++i) owner[i] = worker;
+    });
+    return owner;
+  };
+  const auto first = record();
+  for (int rep = 0; rep < 5; ++rep) EXPECT_EQ(record(), first);
+  // Ranges are contiguous and ascending by worker.
+  for (std::size_t i = 1; i < first.size(); ++i) EXPECT_GE(first[i], first[i - 1]);
+}
+
+TEST(ThreadPool, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1u);
+  std::size_t covered = 0;
+  pool.parallel_for(7, [&](std::size_t begin, std::size_t end, std::size_t worker) {
+    EXPECT_EQ(worker, 0u);
+    covered += end - begin;
+  });
+  EXPECT_EQ(covered, 7u);
+}
+
+TEST(ThreadPool, NarrowJobUsesFewerWorkersThanPool) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  pool.parallel_for(3, [&](std::size_t begin, std::size_t end, std::size_t worker) {
+    EXPECT_LT(worker, 3u);
+    for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, PropagatesWorkerException) {
+  ThreadPool pool(4);
+  auto boom = [&] {
+    pool.parallel_for(100, [&](std::size_t begin, std::size_t, std::size_t) {
+      if (begin >= 25) throw std::runtime_error("tile failed");
+    });
+  };
+  EXPECT_THROW(boom(), std::runtime_error);
+  // The pool must stay usable after an exceptional job.
+  std::atomic<int> ran{0};
+  pool.parallel_for(8, [&](std::size_t begin, std::size_t end, std::size_t) {
+    ran.fetch_add(static_cast<int>(end - begin));
+  });
+  EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(ThreadPool, ReusableAcrossManyJobs) {
+  ThreadPool pool(4);
+  std::atomic<long> total{0};
+  for (int job = 0; job < 50; ++job) {
+    pool.parallel_for(64, [&](std::size_t begin, std::size_t end, std::size_t) {
+      total.fetch_add(static_cast<long>(end - begin));
+    });
+  }
+  EXPECT_EQ(total.load(), 50L * 64L);
+}
+
+TEST(ThreadPool, DefaultThreadsPositive) { EXPECT_GE(ThreadPool::default_threads(), 1u); }
+
+}  // namespace
