@@ -10,7 +10,9 @@
 // Usage:
 //   perf_gemm_scaling            # full shapes (256³ and 768³)
 //   perf_gemm_scaling --smoke    # tiny shapes for CI smoke coverage
-//   perf_gemm_scaling --out FILE # JSON destination (default BENCH_gemm.json)
+//   perf_gemm_scaling --out FILE # JSON destination (default:
+//                                # BENCH_gemm.json in the repository root,
+//                                # so the perf trajectory is tracked)
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -22,6 +24,10 @@
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "ptc/gemm_engine.hpp"
+
+#ifndef PDAC_REPO_ROOT
+#define PDAC_REPO_ROOT "."
+#endif
 
 namespace {
 
@@ -56,7 +62,7 @@ int main(int argc, char** argv) {
   using namespace pdac;
 
   bool smoke = false;
-  std::string out_path = "BENCH_gemm.json";
+  std::string out_path = std::string(PDAC_REPO_ROOT) + "/BENCH_gemm.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
     if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) out_path = argv[++i];

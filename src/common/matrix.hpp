@@ -54,6 +54,16 @@ class Matrix {
   [[nodiscard]] const std::vector<double>& data() const { return data_; }
   std::vector<double>& data() { return data_; }
 
+  /// Reshape in place, reusing the existing allocation when it is large
+  /// enough (the GEMM engine's per-call scratch buffers rely on this to
+  /// stay allocation-free across products).  Element values after a
+  /// shape change are unspecified — callers must overwrite them.
+  void resize(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(rows * cols);
+  }
+
   [[nodiscard]] Matrix transposed() const {
     Matrix t(cols_, rows_);
     for (std::size_t r = 0; r < rows_; ++r) {

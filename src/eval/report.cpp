@@ -99,6 +99,31 @@ std::string render_fault_tolerance(const std::string& title,
   return os.str();
 }
 
+std::string render_operand_cache(const std::string& title, const OperandCacheSummary& s) {
+  const std::uint64_t lookups = s.hits + s.misses;
+  const double hit_rate =
+      lookups > 0 ? static_cast<double>(s.hits) / static_cast<double>(lookups) : 0.0;
+  const double occupancy = s.capacity_bytes > 0
+                               ? static_cast<double>(s.resident_bytes) /
+                                     static_cast<double>(s.capacity_bytes)
+                               : 0.0;
+  Table t({"counter", "value", ""});
+  t.add_row({"lookups", std::to_string(lookups), ""});
+  t.add_row({"hit rate", Table::pct(hit_rate), ascii_bar(hit_rate, 24)});
+  t.add_row({"misses", std::to_string(s.misses), ""});
+  t.add_row({"invalidations", std::to_string(s.invalidations), ""});
+  t.add_row({"evictions", std::to_string(s.evictions), ""});
+  t.add_row({"entries", std::to_string(s.entries), ""});
+  t.add_row({"resident", Table::num(static_cast<double>(s.resident_bytes) / (1024.0 * 1024.0), 1) +
+                             " MiB / " +
+                             Table::num(static_cast<double>(s.capacity_bytes) / (1024.0 * 1024.0), 1) +
+                             " MiB",
+             ascii_bar(std::min(occupancy, 1.0), 24)});
+  std::ostringstream os;
+  os << "== " << title << " ==\n" << t.to_string();
+  return os.str();
+}
+
 std::string to_csv(const std::vector<std::string>& header,
                    const std::vector<std::vector<double>>& rows) {
   std::ostringstream os;

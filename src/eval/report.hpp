@@ -5,6 +5,7 @@
 // directly from bench output.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -55,5 +56,21 @@ struct FaultRateRow {
 /// mode, with an ASCII bar over the cosine accuracy column.
 std::string render_fault_tolerance(const std::string& title,
                                    const std::vector<FaultRateRow>& rows);
+
+/// Weight-stationary operand-cache counters (bench/perf_weight_cache,
+/// DESIGN.md §10): plain data so eval stays independent of the nn
+/// library — copy the fields out of nn::OperandCacheStats.
+struct OperandCacheSummary {
+  std::uint64_t hits{};
+  std::uint64_t misses{};
+  std::uint64_t evictions{};
+  std::uint64_t invalidations{};
+  std::uint64_t resident_bytes{};
+  std::uint64_t capacity_bytes{};
+  std::uint64_t entries{};
+};
+
+/// Render the cache scoreboard (hit rate bar, occupancy, churn).
+std::string render_operand_cache(const std::string& title, const OperandCacheSummary& s);
 
 }  // namespace pdac::eval

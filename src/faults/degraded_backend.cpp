@@ -1,6 +1,7 @@
 #include "faults/degraded_backend.hpp"
 
 #include <algorithm>
+#include <utility>
 #include <vector>
 
 #include "common/require.hpp"
@@ -10,61 +11,113 @@
 namespace pdac::faults {
 
 DegradedBackend::DegradedBackend(const LaneBank& bank, DegradedBackendConfig cfg)
-    : bank_(bank), cfg_(cfg), pool_(std::make_unique<ThreadPool>(cfg.threads)) {
+    : bank_(bank),
+      cfg_(cfg),
+      pool_(std::make_unique<ThreadPool>(cfg.threads)),
+      cache_(cfg.cache) {
   PDAC_REQUIRE(cfg_.array_rows >= 1 && cfg_.array_cols >= 1,
                "DegradedBackend: array dimensions must be positive");
 }
 
-Matrix DegradedBackend::matmul(const Matrix& a, const Matrix& b) {
-  PDAC_REQUIRE(a.cols() == b.rows(), "DegradedBackend: inner dimensions must agree");
+std::vector<std::size_t> DegradedBackend::surviving_channels() const {
   // Snapshot the usable channels once per product: the self-test fences
   // lanes between matmuls, not inside one.
   std::vector<std::size_t> channels;
   for (std::size_t ch = 0; ch < bank_.wavelengths(); ++ch) {
     if (!bank_.lane(0, ch).fenced && !bank_.lane(1, ch).fenced) channels.push_back(ch);
   }
+  return channels;
+}
+
+Matrix DegradedBackend::matmul(const Matrix& a, const Matrix& b) {
+  PDAC_REQUIRE(a.cols() == b.rows(), "DegradedBackend: inner dimensions must agree");
+  std::vector<std::size_t> channels = surviving_channels();
+  if (channels.empty()) return Matrix(a.rows(), b.cols());
+  const ptc::PreparedOperand pb = prepare_b(b, std::move(channels));
+  return run_prepared(a, pb);
+}
+
+Matrix DegradedBackend::matmul_cached(const Matrix& a, const Matrix& b,
+                                      const nn::WeightHandle& weight) {
+  PDAC_REQUIRE(a.cols() == b.rows(), "DegradedBackend: inner dimensions must agree");
+  std::vector<std::size_t> channels = surviving_channels();
   if (channels.empty()) return Matrix(a.rows(), b.cols());
 
-  const double a_scale = converters::max_abs_scale(a.data());
-  const double b_scale = converters::max_abs_scale(b.data());
-  Matrix an(a.rows(), a.cols());
-  for (std::size_t i = 0; i < a.size(); ++i) an.data()[i] = a.data()[i] / a_scale;
+  std::shared_ptr<const ptc::PreparedOperand> pb =
+      cache_.lookup(weight.id, weight.version, bank_.epoch());
+  if (pb != nullptr && pb->channels != channels) {
+    // The epoch matched but the packing did not — a fence was applied
+    // directly to a lane without bump_epoch().  Refuse the entry.
+    cache_.erase(weight.id);
+    pb = nullptr;
+  }
+  if (pb == nullptr) {
+    pb = std::make_shared<const ptc::PreparedOperand>(prepare_b(b, std::move(channels)));
+    cache_.insert(weight.id, weight.version, pb);
+  }
+  return run_prepared(a, *pb);
+}
+
+ptc::PreparedOperand DegradedBackend::prepare_b(const Matrix& b,
+                                                std::vector<std::size_t> channels) {
+  ptc::PreparedOperand pb;
+  pb.rows = b.rows();
+  pb.cols = b.cols();
+  pb.scale = converters::max_abs_scale(b.data());
+  pb.epoch = bank_.epoch();
+  pb.channels = std::move(channels);
+
+  const std::size_t k = b.rows();
+  const std::size_t nl = pb.channels.size();
+
+  // Transpose + normalize, then encode through the *specific lane
+  // devices* that carry each element: position p in a reduction rides
+  // channel p mod nl on the y rail (B side).  Each column is encoded
+  // once and broadcast across every tile that uses it.
   Matrix bt = b.transposed();
-  for (auto& v : bt.data()) v /= b_scale;
+  for (auto& v : bt.data()) v /= pb.scale;
+  pb.encoded = Matrix(bt.rows(), k);
+  pool_->parallel_for(bt.rows(), [&](std::size_t begin, std::size_t end, std::size_t) {
+    for (std::size_t r = begin; r < end; ++r) {
+      const auto src = bt.row(r);
+      auto dst = pb.encoded.row(r);
+      for (std::size_t p = 0; p < k; ++p) {
+        dst[p] = bank_.encode(1, pb.channels[p % nl], src[p]);
+      }
+    }
+  });
+  return pb;
+}
 
+Matrix DegradedBackend::run_prepared(const Matrix& a, const ptc::PreparedOperand& pb) {
   const std::size_t k = a.cols();
-  const std::size_t nl = channels.size();
+  const std::size_t nl = pb.channels.size();
 
-  // Amortized encoding through the *specific lane devices* that carry
-  // each element: position p in a reduction rides channel p mod nl, on
-  // the x rail for A elements and the y rail for B elements.  Each row /
-  // column is encoded once and broadcast across every tile that uses it
-  // (the serial path encoded it once per output element).
-  Matrix ae(an.rows(), k);
-  Matrix be(bt.rows(), k);
-  pool_->parallel_for(an.rows() + bt.rows(),
-                      [&](std::size_t begin, std::size_t end, std::size_t) {
-                        for (std::size_t r = begin; r < end; ++r) {
-                          const bool a_side = r < an.rows();
-                          const std::size_t row = a_side ? r : r - an.rows();
-                          const auto src = a_side ? an.row(row) : bt.row(row);
-                          auto dst = a_side ? ae.row(row) : be.row(row);
-                          for (std::size_t p = 0; p < k; ++p) {
-                            dst[p] = bank_.encode(a_side ? 0 : 1, channels[p % nl], src[p]);
-                          }
-                        }
-                      });
+  // A-side pipeline through the x-rail lanes, fresh every product.
+  const double a_scale = converters::max_abs_scale(a.data());
+  Matrix an(a.rows(), k);
+  for (std::size_t i = 0; i < a.size(); ++i) an.data()[i] = a.data()[i] / a_scale;
+  Matrix ae(a.rows(), k);
+  pool_->parallel_for(a.rows(), [&](std::size_t begin, std::size_t end, std::size_t) {
+    for (std::size_t r = begin; r < end; ++r) {
+      const auto src = an.row(r);
+      auto dst = ae.row(r);
+      for (std::size_t p = 0; p < k; ++p) {
+        dst[p] = bank_.encode(0, pb.channels[p % nl], src[p]);
+      }
+    }
+  });
 
-  Matrix c(a.rows(), b.cols());
-  const double rescale = a_scale * b_scale;
+  Matrix c(a.rows(), pb.cols);
+  const double rescale = a_scale * pb.scale;
   const std::vector<ptc::Tile> tiles =
-      ptc::partition_tiles(a.rows(), b.cols(), cfg_.array_rows, cfg_.array_cols);
+      ptc::partition_tiles(a.rows(), pb.cols, cfg_.array_rows, cfg_.array_cols);
   ptc::for_each_tile(*pool_, tiles, [&](std::size_t t, std::size_t) {
     const ptc::Tile& tile = tiles[t];
     for (std::size_t i = tile.row0; i < tile.row0 + tile.rows; ++i) {
       const auto x = ae.row(i);
       for (std::size_t j = tile.col0; j < tile.col0 + tile.cols; ++j) {
-        const auto y = be.row(j);
+        const auto y = pb.encoded.row(j);
         // Ascending p is the serial chunk order (base, then in-chunk
         // lane), so the accumulation is bit-identical to the serial path.
         double acc = 0.0;
@@ -73,7 +126,7 @@ Matrix DegradedBackend::matmul(const Matrix& a, const Matrix& b) {
       }
     }
   });
-  count_events(a.rows(), k, b.cols(), nl);
+  count_events(a.rows(), k, pb.cols, nl);
   return c;
 }
 

@@ -14,10 +14,19 @@
 // The bank is referenced, not owned: the injector keeps mutating it
 // between matmuls, so the degradation the model sees tracks the fault
 // timeline with no copying.
+//
+// Weight-stationary reuse (DESIGN.md §10): matmul_cached keeps prepared
+// B-side encodings in an operand cache, validated against TWO freshness
+// signals — the bank's epoch (bumped by the injector, self-test re-trim
+// and production trim) and a per-product snapshot of the surviving
+// channel packing (which catches fences applied directly to lanes
+// without an epoch bump).  A mismatch on either forces a re-encode, so
+// decode loops never run a token through pre-fault encodings.
 #pragma once
 
 #include <cstddef>
 #include <memory>
+#include <vector>
 
 #include "common/thread_pool.hpp"
 #include "faults/lane_bank.hpp"
@@ -35,6 +44,8 @@ struct DegradedBackendConfig {
   /// products), so workers share the bank safely; results are
   /// bit-identical at any thread count.
   std::size_t threads{1};
+  /// Weight-stationary operand cache for matmul_cached products.
+  nn::OperandCacheConfig cache{};
 };
 
 class DegradedBackend final : public nn::GemmBackend {
@@ -45,17 +56,37 @@ class DegradedBackend final : public nn::GemmBackend {
   /// the accelerator is offline: the result is all zeros and no events
   /// are counted — callers see the outage in both accuracy and cycles.
   [[nodiscard]] Matrix matmul(const Matrix& a, const Matrix& b) override;
+
+  /// Same product with the B-side encoding cached across calls; results
+  /// are bit-identical to matmul(a, b) under the current bank state.
+  [[nodiscard]] Matrix matmul_cached(const Matrix& a, const Matrix& b,
+                                     const nn::WeightHandle& weight) override;
+
   [[nodiscard]] std::string name() const override { return "photonic-degraded"; }
 
   [[nodiscard]] const LaneBank& bank() const { return bank_; }
+  [[nodiscard]] const nn::OperandCache* operand_cache() const override { return &cache_; }
+  [[nodiscard]] nn::OperandCache& cache() { return cache_; }
 
  private:
+  /// Usable channels under the current fence state, in packing order.
+  [[nodiscard]] std::vector<std::size_t> surviving_channels() const;
+
+  /// B-side pipeline through the lane devices: scale, transpose,
+  /// normalize, per-lane encode.  `channels` fixes the packing.
+  [[nodiscard]] ptc::PreparedOperand prepare_b(const Matrix& b,
+                                               std::vector<std::size_t> channels);
+
+  /// A-side pipeline + tile-parallel reduction against a prepared B.
+  [[nodiscard]] Matrix run_prepared(const Matrix& a, const ptc::PreparedOperand& pb);
+
   void count_events(std::size_t m, std::size_t k, std::size_t n,
                     std::size_t usable_channels);
 
   const LaneBank& bank_;
   DegradedBackendConfig cfg_;
   std::unique_ptr<ThreadPool> pool_;
+  nn::OperandCache cache_;
 };
 
 }  // namespace pdac::faults

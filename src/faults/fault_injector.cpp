@@ -36,11 +36,13 @@ void FaultInjector::advance_to(std::uint64_t step) {
   const double droop = schedule_.cfg.laser_droop_per_step;
   const std::vector<double> no_weight_delta(static_cast<std::size_t>(bank_.bits()), 0.0);
 
+  bool mutated = false;
   for (std::uint64_t s = now_ + 1; s <= step; ++s) {
     while (next_event_ < schedule_.events.size() &&
            schedule_.events[next_event_].step <= s) {
       apply(schedule_.events[next_event_]);
       ++next_event_;
+      mutated = true;
     }
     if (walk_sigma > 0.0) {
       for (std::size_t i = 0; i < bank_.lanes(); ++i) {
@@ -49,6 +51,7 @@ void FaultInjector::advance_to(std::uint64_t step) {
                                                walk_rng_.gaussian(0.0, walk_sigma));
         }
       }
+      mutated = true;
     }
     if (droop > 0.0) {
       laser_scale_ *= 1.0 - droop;
@@ -57,9 +60,13 @@ void FaultInjector::advance_to(std::uint64_t step) {
         ln.hook.carrier_scale = laser_scale_;
         ln.model.set_fault_hook(ln.hook);
       }
+      mutated = true;
     }
   }
   now_ = step;
+  // Any lane-state write invalidates encodings prepared against this
+  // bank (DESIGN.md §10).
+  if (mutated) bank_.bump_epoch();
 }
 
 void FaultInjector::apply(const FaultEvent& ev) {

@@ -10,6 +10,7 @@ void production_trim(LaneBank& bank) {
   for (std::size_t i = 0; i < bank.lanes(); ++i) {
     core::trim_pdac(bank.lane(i).model);
   }
+  bank.bump_epoch();  // trimmed devices encode differently
 }
 
 LaneBank::LaneBank(const LaneBankConfig& cfg) : cfg_(cfg), quant_(cfg.pdac.bits) {

@@ -70,6 +70,16 @@ class LaneBank {
   [[nodiscard]] std::size_t usable_channels() const;
   [[nodiscard]] std::size_t fenced_lanes() const;
 
+  /// Encode-state epoch: a monotonic stamp every mutator of lane state
+  /// (fault injection, re-trim/recalibration, production trim, fencing)
+  /// bumps, so prepared-operand caches built against this bank can
+  /// detect stale encodings (DESIGN.md §10).  Code that mutates lanes
+  /// directly through lane() must call bump_epoch() afterwards; the
+  /// degraded backend additionally snapshots channel packing per product
+  /// as a belt-and-braces check against missed fence bumps.
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+  void bump_epoch() { ++epoch_; }
+
   [[nodiscard]] const LaneBankConfig& config() const { return cfg_; }
   [[nodiscard]] const converters::Quantizer& quantizer() const { return quant_; }
 
@@ -77,6 +87,7 @@ class LaneBank {
   LaneBankConfig cfg_;
   converters::Quantizer quant_;
   std::vector<Lane> lanes_;
+  std::uint64_t epoch_{0};
 };
 
 }  // namespace pdac::faults

@@ -38,6 +38,7 @@ SelfTestReport run_self_test(LaneBank& bank, const SelfTestConfig& cfg) {
   PDAC_REQUIRE(cfg.screen_probes >= 2, "run_self_test: need at least 2 screen probes");
   SelfTestReport report;
   report.lanes.reserve(bank.lanes());
+  const std::size_t fenced_before = bank.fenced_lanes();
 
   for (std::size_t i = 0; i < bank.lanes(); ++i) {
     Lane& lane = bank.lane(i);
@@ -80,6 +81,10 @@ SelfTestReport run_self_test(LaneBank& bank, const SelfTestConfig& cfg) {
     }
     report.lanes.push_back(out);
   }
+  // Re-trims rewrite TIA weights (even reverted fits probe through the
+  // correction port) and fresh fences change channel packing: either
+  // way, encodings prepared against this bank are stale (DESIGN.md §10).
+  if (report.retrims > 0 || bank.fenced_lanes() != fenced_before) bank.bump_epoch();
   return report;
 }
 

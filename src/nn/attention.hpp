@@ -4,6 +4,12 @@
 // dynamic–dynamic Q·Kᵀ and A·V products, and the output projection) run
 // through the backend, so on the photonic backends every score and every
 // context vector passes through simulated modulators and DDots.
+//
+// Weight-stationary split (DESIGN.md §10): the four projections are
+// Linear layers, so their weights are registered with the backend's
+// operand cache and their encodings are reused across forwards.  The
+// Q·Kᵀ and A·V products multiply two *activations* — fresh every token
+// by construction — and deliberately go through the uncached matmul.
 #pragma once
 
 #include <vector>

@@ -8,11 +8,26 @@ Matrix ReferenceBackend::matmul(const Matrix& a, const Matrix& b) {
 }
 
 PhotonicBackend::PhotonicBackend(std::unique_ptr<core::ModulatorDriver> driver,
-                                 ptc::GemmConfig cfg)
-    : driver_(std::move(driver)), gemm_(*driver_, cfg) {}
+                                 ptc::GemmConfig cfg, OperandCacheConfig cache_cfg)
+    : driver_(std::move(driver)), gemm_(*driver_, cfg), cache_(cache_cfg) {}
 
 Matrix PhotonicBackend::matmul(const Matrix& a, const Matrix& b) {
   ptc::GemmResult r = gemm_.multiply(a, b);
+  events_ += r.events;
+  return std::move(r.c);
+}
+
+Matrix PhotonicBackend::matmul_cached(const Matrix& a, const Matrix& b,
+                                      const WeightHandle& weight) {
+  // The driver (and therefore the encode LUT and lane mask) is fixed at
+  // construction, so the encoder epoch is a constant 0 here — entries
+  // only go stale when the weight's contents change.
+  std::shared_ptr<const ptc::PreparedOperand> pb = cache_.lookup(weight.id, weight.version, 0);
+  if (pb == nullptr) {
+    pb = std::make_shared<const ptc::PreparedOperand>(gemm_.prepare_b(b));
+    cache_.insert(weight.id, weight.version, pb);
+  }
+  ptc::GemmResult r = gemm_.multiply_prepared(a, *pb);
   events_ += r.events;
   return std::move(r.c);
 }
@@ -23,12 +38,14 @@ std::unique_ptr<GemmBackend> make_reference_backend() {
   return std::make_unique<ReferenceBackend>();
 }
 
-std::unique_ptr<GemmBackend> make_photonic_pdac_backend(int bits, ptc::GemmConfig cfg) {
-  return std::make_unique<PhotonicBackend>(core::make_pdac_driver(bits), cfg);
+std::unique_ptr<GemmBackend> make_photonic_pdac_backend(int bits, ptc::GemmConfig cfg,
+                                                        OperandCacheConfig cache_cfg) {
+  return std::make_unique<PhotonicBackend>(core::make_pdac_driver(bits), cfg, cache_cfg);
 }
 
-std::unique_ptr<GemmBackend> make_photonic_ideal_dac_backend(int bits, ptc::GemmConfig cfg) {
-  return std::make_unique<PhotonicBackend>(core::make_ideal_dac_driver(bits), cfg);
+std::unique_ptr<GemmBackend> make_photonic_ideal_dac_backend(int bits, ptc::GemmConfig cfg,
+                                                             OperandCacheConfig cache_cfg) {
+  return std::make_unique<PhotonicBackend>(core::make_ideal_dac_driver(bits), cfg, cache_cfg);
 }
 
 }  // namespace pdac::nn

@@ -11,6 +11,13 @@
 // parallel_gemm_config) to spread tile simulation across cores — results
 // are bit-identical at any thread count, so accuracy experiments can
 // always run wide.
+//
+// Weight-stationary execution (DESIGN.md §10): layers route products
+// against *static* operands through matmul_cached with a WeightHandle,
+// letting backends reuse a prepared (transposed/normalized/encoded)
+// B-side across forwards — identical results, one prepare pass instead
+// of one per token.  Activation×activation products (attention scores
+// and context) keep using plain matmul and are never cached.
 #pragma once
 
 #include <memory>
@@ -18,6 +25,7 @@
 
 #include "common/matrix.hpp"
 #include "core/modulator_driver.hpp"
+#include "nn/operand_cache.hpp"
 #include "ptc/event_counter.hpp"
 #include "ptc/gemm_engine.hpp"
 
@@ -28,7 +36,21 @@ class GemmBackend {
   virtual ~GemmBackend() = default;
 
   [[nodiscard]] virtual Matrix matmul(const Matrix& a, const Matrix& b) = 0;
+
+  /// Product whose B operand is a registered weight (stable identity +
+  /// content version).  Backends with an operand cache reuse prepared
+  /// encodings across calls; results are bit-identical to matmul(a, b).
+  /// The default simply forwards, so reference execution is unchanged.
+  [[nodiscard]] virtual Matrix matmul_cached(const Matrix& a, const Matrix& b,
+                                             const WeightHandle&) {
+    return matmul(a, b);
+  }
+
   [[nodiscard]] virtual std::string name() const = 0;
+
+  /// The backend's operand cache, for stats reporting (nullptr when the
+  /// backend does not cache).
+  [[nodiscard]] virtual const OperandCache* operand_cache() const { return nullptr; }
 
   [[nodiscard]] const ptc::EventCounter& events() const { return events_; }
   void reset_events() { events_ = {}; }
@@ -45,27 +67,37 @@ class ReferenceBackend final : public GemmBackend {
 };
 
 /// Execution through the simulated photonic tensor core; owns its
-/// modulator driver.
+/// modulator driver and an operand cache for weight-stationary reuse
+/// (the driver is immutable after construction, so cached encodings
+/// only go stale when a weight's contents change).
 class PhotonicBackend final : public GemmBackend {
  public:
-  PhotonicBackend(std::unique_ptr<core::ModulatorDriver> driver, ptc::GemmConfig cfg);
+  PhotonicBackend(std::unique_ptr<core::ModulatorDriver> driver, ptc::GemmConfig cfg,
+                  OperandCacheConfig cache_cfg = {});
 
   [[nodiscard]] Matrix matmul(const Matrix& a, const Matrix& b) override;
+  [[nodiscard]] Matrix matmul_cached(const Matrix& a, const Matrix& b,
+                                     const WeightHandle& weight) override;
   [[nodiscard]] std::string name() const override;
 
   [[nodiscard]] const core::ModulatorDriver& driver() const { return *driver_; }
+  [[nodiscard]] const OperandCache* operand_cache() const override { return &cache_; }
+  [[nodiscard]] OperandCache& cache() { return cache_; }
 
  private:
   std::unique_ptr<core::ModulatorDriver> driver_;
   ptc::PhotonicGemm gemm_;
+  OperandCache cache_;
 };
 
 /// Convenience factories for the three standard configurations.
 std::unique_ptr<GemmBackend> make_reference_backend();
 std::unique_ptr<GemmBackend> make_photonic_pdac_backend(int bits,
-                                                        ptc::GemmConfig cfg = {});
+                                                        ptc::GemmConfig cfg = {},
+                                                        OperandCacheConfig cache_cfg = {});
 std::unique_ptr<GemmBackend> make_photonic_ideal_dac_backend(int bits,
-                                                             ptc::GemmConfig cfg = {});
+                                                             ptc::GemmConfig cfg = {},
+                                                             OperandCacheConfig cache_cfg = {});
 
 /// GemmConfig with the tile dispatch widened to `threads` simulation
 /// workers (0 = auto-detect); hand the result to the photonic factories

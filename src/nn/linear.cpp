@@ -1,5 +1,6 @@
 #include "nn/linear.hpp"
 
+#include <atomic>
 #include <cmath>
 
 #include "common/require.hpp"
@@ -7,20 +8,42 @@
 
 namespace pdac::nn {
 
+std::uint64_t Linear::next_stamp() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
 Linear::Linear(std::size_t in_features, std::size_t out_features)
-    : weight_(in_features, out_features), bias_(out_features, 0.0) {
+    : weight_(in_features, out_features),
+      bias_(out_features, 0.0),
+      id_(next_stamp()),
+      version_(next_stamp()) {
   PDAC_REQUIRE(in_features >= 1 && out_features >= 1, "Linear: features must be positive");
+}
+
+Linear::Linear(const Linear& other)
+    : weight_(other.weight_),
+      bias_(other.bias_),
+      id_(next_stamp()),
+      version_(next_stamp()) {}
+
+Linear& Linear::operator=(const Linear& other) {
+  weight_ = other.weight_;
+  bias_ = other.bias_;
+  version_ = next_stamp();  // keep our identity; contents changed
+  return *this;
 }
 
 void Linear::init_random(Rng& rng) {
   const double bound = std::sqrt(6.0 / static_cast<double>(weight_.rows() + weight_.cols()));
   for (auto& w : weight_.data()) w = rng.uniform(-bound, bound);
   for (auto& b : bias_) b = rng.uniform(-0.01, 0.01);
+  version_ = next_stamp();
 }
 
 Matrix Linear::forward(const Matrix& x, GemmBackend& backend) const {
   PDAC_REQUIRE(x.cols() == weight_.rows(), "Linear: input width mismatch");
-  Matrix y = backend.matmul(x, weight_);
+  Matrix y = backend.matmul_cached(x, weight_, weight_handle());
   add_bias(y, bias_);
   return y;
 }

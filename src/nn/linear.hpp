@@ -12,9 +12,28 @@ namespace pdac::nn {
 /// y = x·W + b, with W ∈ (in × out).  Weights are owned by the layer;
 /// execution is delegated to the backend so the same layer runs on the
 /// reference or photonic cores.
+///
+/// Weight registration (DESIGN.md §10): every layer carries a globally
+/// unique weight id plus a content version that is bumped whenever the
+/// weights may have changed (mutable weight() access, re-init).
+/// forward() hands both to the backend as a WeightHandle, which is what
+/// lets photonic backends reuse the prepared encoding of W across
+/// tokens.  Holding the reference returned by weight() across forwards
+/// and mutating it later is outside the contract — re-take the accessor
+/// after mutating.
 class Linear {
  public:
   Linear(std::size_t in_features, std::size_t out_features);
+
+  /// Copies get a fresh identity: two layers must never share a cache
+  /// slot once their weights can diverge.  (Moves keep the identity —
+  /// the moved-from layer is dead; if it is revived, its first mutable
+  /// access separates the versions again.)
+  Linear(const Linear& other);
+  Linear& operator=(const Linear& other);
+  Linear(Linear&&) noexcept = default;
+  Linear& operator=(Linear&&) noexcept = default;
+  ~Linear() = default;
 
   /// Xavier-style random initialization (synthetic pre-trained weights).
   void init_random(Rng& rng);
@@ -24,14 +43,28 @@ class Linear {
   [[nodiscard]] std::size_t in_features() const { return weight_.rows(); }
   [[nodiscard]] std::size_t out_features() const { return weight_.cols(); }
 
-  Matrix& weight() { return weight_; }
+  /// Mutable access assumes mutation: the content version is bumped so
+  /// cached encodings of the old contents are invalidated.
+  Matrix& weight() {
+    version_ = next_stamp();
+    return weight_;
+  }
   [[nodiscard]] const Matrix& weight() const { return weight_; }
   std::vector<double>& bias() { return bias_; }
   [[nodiscard]] const std::vector<double>& bias() const { return bias_; }
 
+  /// Identity + content version the backends key their operand caches by.
+  [[nodiscard]] WeightHandle weight_handle() const { return {id_, version_}; }
+
  private:
+  /// Process-wide unique stamp (atomic counter, never 0) — used for both
+  /// ids and versions so no two (id, version) pairs ever collide.
+  static std::uint64_t next_stamp();
+
   Matrix weight_;
   std::vector<double> bias_;
+  std::uint64_t id_;
+  std::uint64_t version_;
 };
 
 }  // namespace pdac::nn

@@ -1,0 +1,77 @@
+#include "nn/operand_cache.hpp"
+
+#include <utility>
+
+#include "common/require.hpp"
+
+namespace pdac::nn {
+
+OperandCache::OperandCache(OperandCacheConfig cfg) : cfg_(cfg) {}
+
+std::shared_ptr<const ptc::PreparedOperand> OperandCache::lookup(std::uint64_t id,
+                                                                 std::uint64_t version,
+                                                                 std::uint64_t epoch) {
+  if (!cfg_.enabled || id == 0) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  const auto it = index_.find(id);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  Entry& e = *it->second;
+  if (e.version != version || e.op->epoch != epoch) {
+    // Stale contents or stale encoder state: the entry must never be
+    // served again, so erase it on the spot.
+    ++stats_.invalidations;
+    drop(it->second);
+    ++stats_.misses;
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  ++stats_.hits;
+  return e.op;
+}
+
+void OperandCache::insert(std::uint64_t id, std::uint64_t version,
+                          std::shared_ptr<const ptc::PreparedOperand> op) {
+  PDAC_REQUIRE(op != nullptr, "OperandCache: cannot insert a null operand");
+  if (!cfg_.enabled || id == 0) return;
+  const auto it = index_.find(id);
+  if (it != index_.end()) drop(it->second);  // one live version per weight
+
+  const std::size_t bytes = op->bytes();
+  lru_.push_front(Entry{id, version, std::move(op), bytes});
+  index_[id] = lru_.begin();
+  stats_.resident_bytes += bytes;
+  stats_.entries = lru_.size();
+
+  while (stats_.resident_bytes > cfg_.capacity_bytes && !lru_.empty()) {
+    ++stats_.evictions;
+    drop(std::prev(lru_.end()));
+  }
+}
+
+void OperandCache::erase(std::uint64_t id) {
+  const auto it = index_.find(id);
+  if (it == index_.end()) return;
+  ++stats_.invalidations;
+  drop(it->second);
+}
+
+void OperandCache::clear() {
+  lru_.clear();
+  index_.clear();
+  stats_.resident_bytes = 0;
+  stats_.entries = 0;
+}
+
+void OperandCache::drop(std::list<Entry>::iterator it) {
+  stats_.resident_bytes -= it->bytes;
+  index_.erase(it->id);
+  lru_.erase(it);
+  stats_.entries = lru_.size();
+}
+
+}  // namespace pdac::nn

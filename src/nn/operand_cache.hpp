@@ -1,0 +1,101 @@
+// operand_cache.hpp — byte-capacity LRU cache of prepared (weight-
+// stationary) GEMM operands.
+//
+// LLM inference reuses every weight matrix once per token (§II-A1), so
+// the B-side prepare pass — scale, transpose, normalize, LUT-encode —
+// is pure amortizable work (DESIGN.md §10).  This cache maps a weight's
+// identity to its ptc::PreparedOperand so decode loops and accuracy
+// sweeps prepare once and run many.
+//
+// Keys carry three pieces of freshness state, all checked on lookup:
+//   * id       — stable identity of the weight tensor (Linear assigns a
+//                globally unique stamp at construction);
+//   * version  — bumped whenever the weight's *contents* may have
+//                changed (mutable access, re-init);
+//   * epoch    — the encoder state (driver trim / fault / lane state)
+//                the entry was prepared under; the caller passes the
+//                current epoch and any mismatch invalidates the entry.
+// A lookup that fails any check erases the entry (counted as an
+// invalidation) and reports a miss, so stale encodings can never be
+// returned.  Eviction is least-recently-used by resident bytes.
+//
+// Not thread-safe: backends own one cache each and are driven from one
+// thread (the GEMM engine parallelizes internally).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+
+#include "ptc/gemm_engine.hpp"
+
+namespace pdac::nn {
+
+/// Identity + content-version pair a layer hands to the backend with
+/// every cacheable product (Linear::weight_handle()).
+struct WeightHandle {
+  std::uint64_t id{0};       ///< stable weight identity (0 = uncacheable)
+  std::uint64_t version{0};  ///< content stamp, bumped on mutable access
+};
+
+struct OperandCacheConfig {
+  std::size_t capacity_bytes{256ull << 20};  ///< LRU eviction threshold
+  bool enabled{true};  ///< false = every lookup misses, nothing is stored
+};
+
+struct OperandCacheStats {
+  std::uint64_t hits{0};
+  std::uint64_t misses{0};
+  std::uint64_t evictions{0};      ///< entries dropped by capacity pressure
+  std::uint64_t invalidations{0};  ///< entries dropped as stale (version/epoch)
+  std::uint64_t resident_bytes{0};
+  std::uint64_t entries{0};
+};
+
+class OperandCache {
+ public:
+  explicit OperandCache(OperandCacheConfig cfg = {});
+
+  /// The prepared operand for (id, version) under `epoch`, or nullptr.
+  /// A stored entry whose version or epoch mismatches is erased before
+  /// the miss is reported — stale encodings never escape.
+  [[nodiscard]] std::shared_ptr<const ptc::PreparedOperand> lookup(std::uint64_t id,
+                                                                   std::uint64_t version,
+                                                                   std::uint64_t epoch);
+
+  /// Store a freshly prepared operand, evicting LRU entries over the
+  /// byte capacity.  An operand larger than the whole capacity is not
+  /// retained (counted as an immediate eviction).  id 0 is reserved for
+  /// uncacheable products and ignored.
+  void insert(std::uint64_t id, std::uint64_t version,
+              std::shared_ptr<const ptc::PreparedOperand> op);
+
+  /// Drop one weight's entry if present (counted as an invalidation) —
+  /// for staleness the caller detects out-of-band, e.g. a lane-packing
+  /// change that did not bump the epoch.
+  void erase(std::uint64_t id);
+
+  /// Drop everything (stats are kept; resident bytes/entries reset).
+  void clear();
+
+  [[nodiscard]] const OperandCacheStats& stats() const { return stats_; }
+  [[nodiscard]] const OperandCacheConfig& config() const { return cfg_; }
+
+ private:
+  struct Entry {
+    std::uint64_t id;
+    std::uint64_t version;
+    std::shared_ptr<const ptc::PreparedOperand> op;
+    std::size_t bytes;
+  };
+
+  void drop(std::list<Entry>::iterator it);
+
+  OperandCacheConfig cfg_;
+  OperandCacheStats stats_;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
+};
+
+}  // namespace pdac::nn

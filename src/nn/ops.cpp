@@ -54,9 +54,12 @@ void add_inplace(Matrix& a, const Matrix& b) {
 
 void add_bias(Matrix& m, std::span<const double> bias) {
   PDAC_REQUIRE(bias.size() == m.cols(), "add_bias: bias must match column count");
-  for (std::size_t r = 0; r < m.rows(); ++r) {
-    auto row = m.row(r);
-    for (std::size_t c = 0; c < row.size(); ++c) row[c] += bias[c];
+  // Single flat pass over the backend result, no temporaries — this runs
+  // once per Linear::forward, m=1 in decode loops.
+  double* p = m.data().data();
+  const std::size_t cols = m.cols();
+  for (std::size_t r = 0; r < m.rows(); ++r, p += cols) {
+    for (std::size_t c = 0; c < cols; ++c) p[c] += bias[c];
   }
 }
 

@@ -1,11 +1,9 @@
 #include "ptc/gemm_engine.hpp"
 
 #include <algorithm>
-#include <vector>
 
 #include "common/require.hpp"
 #include "converters/quantizer.hpp"
-#include "ptc/tile_scheduler.hpp"
 
 namespace pdac::ptc {
 
@@ -15,76 +13,96 @@ PhotonicGemm::PhotonicGemm(const core::ModulatorDriver& driver, GemmConfig cfg)
       pool_(std::make_unique<ThreadPool>(cfg.threads)) {
   PDAC_REQUIRE(cfg_.array_rows >= 1 && cfg_.array_cols >= 1,
                "PhotonicGemm: array dimensions must be positive");
+  worker_ddots_.reserve(pool_->size());
+  for (std::size_t w = 0; w < pool_->size(); ++w) {
+    worker_ddots_.push_back(engine_.make_worker_ddot());
+  }
 }
 
 GemmResult PhotonicGemm::multiply(const Matrix& a, const Matrix& b) const {
-  PDAC_REQUIRE(a.cols() == b.rows(), "PhotonicGemm: inner dimensions must agree");
-  const double a_scale = converters::max_abs_scale(a.data());
-  const double b_scale = converters::max_abs_scale(b.data());
-  const std::size_t k = a.cols();
+  return multiply_prepared(a, prepare_b(b));
+}
 
-  // Normalize operands into the modulators' (−1, 1) domain.
-  Matrix an(a.rows(), a.cols());
-  for (std::size_t i = 0; i < a.size(); ++i) an.data()[i] = a.data()[i] / a_scale;
-  // Keep B column-major-friendly by transposing once.
-  Matrix bt = b.transposed();
-  for (auto& v : bt.data()) v /= b_scale;
+PreparedOperand PhotonicGemm::prepare_b(const Matrix& b, std::uint64_t epoch) const {
+  PreparedOperand pb;
+  pb.rows = b.rows();
+  pb.cols = b.cols();
+  pb.scale = converters::max_abs_scale(b.data());
+  pb.epoch = epoch;
 
-  // Amortized encoding: every A row and B column goes through the shared
-  // encode LUT exactly once, the software mirror of the hardware
-  // broadcasting one modulated operand across a whole tile.  Rows are
-  // disjoint, so the encode sweep itself is tile-parallel too.
-  Matrix ae(an.rows(), k);
-  Matrix be(bt.rows(), k);
-  pool_->parallel_for(an.rows() + bt.rows(),
+  // Keep B column-major-friendly by transposing once, then normalize
+  // into the modulators' (−1, 1) domain.
+  norm_scratch_.resize(b.cols(), b.rows());
+  for (std::size_t r = 0; r < b.rows(); ++r) {
+    for (std::size_t c = 0; c < b.cols(); ++c) norm_scratch_(c, r) = b(r, c) / pb.scale;
+  }
+
+  // Amortized encoding: every B column goes through the shared encode
+  // LUT exactly once, the software mirror of the hardware broadcasting
+  // one modulated operand across a whole tile.  Rows are disjoint, so
+  // the encode sweep is tile-parallel; encode() is a pure LUT lookup,
+  // so the partitioning cannot change a single bit.
+  pb.encoded = Matrix(norm_scratch_.rows(), norm_scratch_.cols());
+  pool_->parallel_for(norm_scratch_.rows(),
                       [&](std::size_t begin, std::size_t end, std::size_t) {
                         for (std::size_t r = begin; r < end; ++r) {
-                          if (r < an.rows()) {
-                            engine_.encode_span(an.row(r), ae.row(r));
-                          } else {
-                            engine_.encode_span(bt.row(r - an.rows()), be.row(r - an.rows()));
-                          }
+                          engine_.encode_span(norm_scratch_.row(r), pb.encoded.row(r));
                         }
                       });
+  return pb;
+}
+
+GemmResult PhotonicGemm::multiply_prepared(const Matrix& a, const PreparedOperand& b) const {
+  PDAC_REQUIRE(a.cols() == b.rows, "PhotonicGemm: inner dimensions must agree");
+  const double a_scale = converters::max_abs_scale(a.data());
+  const std::size_t k = a.cols();
+
+  // A-side pipeline (normalize + encode), into per-engine scratch.
+  norm_scratch_.resize(a.rows(), k);
+  for (std::size_t i = 0; i < a.size(); ++i) norm_scratch_.data()[i] = a.data()[i] / a_scale;
+  encode_scratch_.resize(a.rows(), k);
+  const Matrix& ae = encode_scratch_;
+  pool_->parallel_for(a.rows(), [&](std::size_t begin, std::size_t end, std::size_t) {
+    for (std::size_t r = begin; r < end; ++r) {
+      engine_.encode_span(norm_scratch_.row(r), encode_scratch_.row(r));
+    }
+  });
 
   GemmResult res;
   res.a_scale = a_scale;
-  res.b_scale = b_scale;
-  res.c = Matrix(a.rows(), b.cols());
-  const double rescale = a_scale * b_scale;
+  res.b_scale = b.scale;
+  res.c = Matrix(a.rows(), b.cols);
+  const double rescale = a_scale * b.scale;
 
-  const std::vector<Tile> tiles =
-      partition_tiles(a.rows(), b.cols(), cfg_.array_rows, cfg_.array_cols);
+  partition_tiles_into(a.rows(), b.cols, cfg_.array_rows, cfg_.array_cols, tile_scratch_);
+  const std::vector<Tile>& tiles = tile_scratch_;
   const std::size_t chunks = (k + engine_.active_wavelengths() - 1) / engine_.active_wavelengths();
-
-  // One Ddot per worker slot: device objects are never shared mutably.
-  std::vector<Ddot> worker_ddots;
-  worker_ddots.reserve(pool_->size());
-  for (std::size_t w = 0; w < pool_->size(); ++w) worker_ddots.push_back(engine_.make_worker_ddot());
 
   // Per-tile counters land in tile-index slots and are folded in index
   // order after the join, so accounting is deterministic at any thread
   // count (the numerics are deterministic element-wise anyway).
-  std::vector<EventCounter> tile_events(tiles.size());
+  event_scratch_.assign(tiles.size(), EventCounter{});
 
   for_each_tile(*pool_, tiles, [&](std::size_t t, std::size_t worker) {
     const Tile& tile = tiles[t];
-    const Ddot& ddot = worker_ddots[worker];
+    const Ddot& ddot = worker_ddots_[worker];
     EventCounter reduction;  // detection / ddot_ops / macs from the dots run
     for (std::size_t i = tile.row0; i < tile.row0 + tile.rows; ++i) {
       for (std::size_t j = tile.col0; j < tile.col0 + tile.cols; ++j) {
-        res.c(i, j) = engine_.dot_preencoded(ae.row(i), be.row(j), &reduction, &ddot) * rescale;
+        res.c(i, j) = engine_.dot_preencoded(ae.row(i), b.encoded.row(j), &reduction, &ddot) * rescale;
       }
     }
     // Broadcast-amortization contract (see header): modulation, ADC and
-    // cycle occupancy are tile-step quantities, not per-dot ones.
+    // cycle occupancy are tile-step quantities, not per-dot ones.  The
+    // hardware modulates B columns per tile step even when the simulator
+    // reuses a prepared encoding, so the charge is unconditional.
     reduction.modulation_events = (tile.rows + tile.cols) * k;
     reduction.adc_events = tile.rows * tile.cols;
     reduction.cycles = chunks;
-    tile_events[t] = reduction;
+    event_scratch_[t] = reduction;
   });
 
-  for (const EventCounter& ev : tile_events) res.events += ev;
+  for (const EventCounter& ev : event_scratch_) res.events += ev;
   return res;
 }
 

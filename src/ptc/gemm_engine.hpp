@@ -30,16 +30,50 @@
 // equal field-for-field — a property the tests pin.  With a 1×1 array
 // the tile contract degenerates to exactly the standalone per-dot
 // convention ((1+1)·k = 2·k).
+//
+// Weight-stationary split (DESIGN.md §10): prepare_b() runs the whole
+// B-side pipeline (max-abs scale, transpose, normalize, LUT-encode) once
+// and returns a PreparedOperand; multiply_prepared() consumes it and is
+// bit-identical to multiply() — numerics AND event counts — while
+// skipping every B-side pass.  LLM weights are static across tokens, so
+// decode loops prepare each weight matrix once and run it many times.
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "common/matrix.hpp"
 #include "common/thread_pool.hpp"
 #include "ptc/dot_engine.hpp"
 #include "ptc/event_counter.hpp"
+#include "ptc/tile_scheduler.hpp"
 
 namespace pdac::ptc {
+
+/// The B operand of C = A·B, fully prepared for the photonic array:
+/// transposed into row-major columns, max-abs-normalized and pushed
+/// through the encode LUT.  Reusing one across products is valid only
+/// while the encoder state it was built under is unchanged — `epoch`
+/// records that state (driver/trim/lane epoch, owner-defined) so caches
+/// can refuse stale encodings.
+struct PreparedOperand {
+  Matrix encoded;         ///< (n × k) encoded, normalized Bᵀ
+  double scale{1.0};      ///< max-abs scale divided out before encoding
+  std::size_t rows{0};    ///< source b.rows() (= k, the reduction length)
+  std::size_t cols{0};    ///< source b.cols() (= n)
+  std::uint64_t epoch{0}; ///< encoder state stamp it was encoded under
+  /// Lane-packing snapshot for degraded execution (faults layer): the
+  /// usable channel each reduction position rides.  Empty on the healthy
+  /// path, where packing is fixed by the engine's lane mask.
+  std::vector<std::size_t> channels;
+
+  /// Resident size, for byte-capacity cache accounting.
+  [[nodiscard]] std::size_t bytes() const {
+    return sizeof(PreparedOperand) + encoded.size() * sizeof(double) +
+           channels.size() * sizeof(std::size_t);
+  }
+};
 
 struct GemmConfig {
   DotEngineConfig dot{};
@@ -66,8 +100,22 @@ class PhotonicGemm {
   /// DDot-reduce tile-parallel, rescale.  Attaches the executed event
   /// counts (== count_events for the same shape).  Not reentrant: call
   /// from one thread at a time per engine (the engine parallelizes
-  /// internally).
+  /// internally and reuses per-engine scratch buffers across calls).
   [[nodiscard]] GemmResult multiply(const Matrix& a, const Matrix& b) const;
+
+  /// Run the B-side pipeline once: scale, transpose, normalize, encode.
+  /// `epoch` stamps the encoder state (driver/trim/lane epoch) the
+  /// operand was built under; the engine itself is immutable after
+  /// construction, so 0 is fine when the caller tracks no epochs.
+  [[nodiscard]] PreparedOperand prepare_b(const Matrix& b, std::uint64_t epoch = 0) const;
+
+  /// C = A·prepared-B, skipping every B-side pass.  Bit-identical to
+  /// multiply(a, b) for the same B — numerics and event counts alike:
+  /// the counts model the hardware, which still modulates B columns per
+  /// tile step (the DPTC array is dynamically operated); preparation
+  /// only removes *simulator* work.  Same reentrancy contract as
+  /// multiply().
+  [[nodiscard]] GemmResult multiply_prepared(const Matrix& a, const PreparedOperand& b) const;
 
   /// Analytic event counts for an (m×k)·(k×n) product on the configured
   /// array, without running numerics — the workload tracer uses this for
@@ -84,6 +132,17 @@ class PhotonicGemm {
   GemmConfig cfg_;
   PhotonicDotEngine engine_;
   std::unique_ptr<ThreadPool> pool_;
+
+  // Per-engine scratch, reused across multiply calls so steady-state
+  // products allocate nothing but their output (the documented
+  // "not reentrant" contract is what makes this safe).  worker_ddots_
+  // holds one device instance per worker slot, built once — Ddot
+  // evaluation is const, so reuse cannot perturb numerics.
+  std::vector<Ddot> worker_ddots_;
+  mutable Matrix norm_scratch_;
+  mutable Matrix encode_scratch_;
+  mutable std::vector<Tile> tile_scratch_;
+  mutable std::vector<EventCounter> event_scratch_;
 };
 
 }  // namespace pdac::ptc

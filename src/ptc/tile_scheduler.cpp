@@ -8,18 +8,24 @@ namespace pdac::ptc {
 
 std::vector<Tile> partition_tiles(std::size_t m, std::size_t n, std::size_t tile_rows,
                                   std::size_t tile_cols) {
-  PDAC_REQUIRE(tile_rows >= 1 && tile_cols >= 1, "partition_tiles: tile dims must be positive");
   std::vector<Tile> tiles;
-  if (m == 0 || n == 0) return tiles;
-  tiles.reserve(((m + tile_rows - 1) / tile_rows) * ((n + tile_cols - 1) / tile_cols));
+  partition_tiles_into(m, n, tile_rows, tile_cols, tiles);
+  return tiles;
+}
+
+void partition_tiles_into(std::size_t m, std::size_t n, std::size_t tile_rows,
+                          std::size_t tile_cols, std::vector<Tile>& out) {
+  PDAC_REQUIRE(tile_rows >= 1 && tile_cols >= 1, "partition_tiles: tile dims must be positive");
+  out.clear();
+  if (m == 0 || n == 0) return;
+  out.reserve(((m + tile_rows - 1) / tile_rows) * ((n + tile_cols - 1) / tile_cols));
   for (std::size_t i0 = 0; i0 < m; i0 += tile_rows) {
     const std::size_t h = std::min(tile_rows, m - i0);
     for (std::size_t j0 = 0; j0 < n; j0 += tile_cols) {
       const std::size_t w = std::min(tile_cols, n - j0);
-      tiles.push_back(Tile{i0, j0, h, w});
+      out.push_back(Tile{i0, j0, h, w});
     }
   }
-  return tiles;
 }
 
 void for_each_tile(ThreadPool& pool, const std::vector<Tile>& tiles,

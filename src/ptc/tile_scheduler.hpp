@@ -37,6 +37,11 @@ struct Tile {
 [[nodiscard]] std::vector<Tile> partition_tiles(std::size_t m, std::size_t n,
                                                 std::size_t tile_rows, std::size_t tile_cols);
 
+/// Same partition written into `out` (cleared first), so per-engine
+/// scratch can reuse its allocation across repeated products.
+void partition_tiles_into(std::size_t m, std::size_t n, std::size_t tile_rows,
+                          std::size_t tile_cols, std::vector<Tile>& out);
+
 /// Dispatch `body(tile_index, worker)` over every tile on the pool.
 /// Workers receive disjoint contiguous runs of the tile list (static
 /// partition), so per-worker device state needs no locking; per-tile
