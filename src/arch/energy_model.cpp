@@ -124,6 +124,27 @@ units::Energy recalibration_energy(const RecalibrationCost& cost, const LtConfig
   return units::joules(probes + retrims + remaps);
 }
 
+units::Energy event_energy(const ptc::EventCounter& events, const LtConfig& cfg,
+                           const PowerParams& params, int bits, SystemVariant variant) {
+  PDAC_REQUIRE(bits >= 2 && bits <= 16, "event_energy: bits in [2, 16]");
+  const double f = cfg.clock.hertz();
+  const double n_mod = static_cast<double>(cfg.modulator_channels());
+  const double e_mod =
+      variant == SystemVariant::kDacBased
+          ? dac_unit_power(params, bits).watts() / f +
+                controller_power(params, bits).watts() / (n_mod * f)
+          : pdac_unit_power(params, bits).watts() / f;
+  const double e_adc = adc_unit_power(params, bits).watts() / f;
+  const units::Power p_static = laser_power(params, bits) + params.thermal_tuning +
+                                receiver_digital_power(params, bits);
+  // The counter's cycles are occupancy on one array, so the static term
+  // is charged over exactly that wall time.
+  const double joules = static_cast<double>(events.modulation_events) * e_mod +
+                        static_cast<double>(events.adc_events) * e_adc +
+                        p_static.watts() * static_cast<double>(events.cycles) / f;
+  return units::joules(joules);
+}
+
 EnergyComparison compare_energy(const nn::WorkloadTrace& trace, const LtConfig& cfg,
                                 const PowerParams& params, int bits) {
   return EnergyComparison{

@@ -31,6 +31,7 @@
 #include "arch/power_params.hpp"
 #include "common/units.hpp"
 #include "nn/workload_trace.hpp"
+#include "ptc/event_counter.hpp"
 
 namespace pdac::arch {
 
@@ -106,5 +107,15 @@ struct RecalibrationCost {
 units::Energy recalibration_energy(const RecalibrationCost& cost, const LtConfig& cfg,
                                    const PowerParams& params, int bits,
                                    SystemVariant variant);
+
+/// Price a raw functional-simulator event counter (ptc::EventCounter)
+/// under the same per-event rates evaluate_energy uses: modulations at
+/// the variant's conversion energy, ADC samples at the readout energy,
+/// and static power over the counter's occupancy cycles.  This is how
+/// the ABFT guard's overhead stays honest — the checksum-lane charge and
+/// every recovery re-run (faults::HealthSnapshot's checksum_events /
+/// retry_events) are priced with exactly the data path's rates.
+units::Energy event_energy(const ptc::EventCounter& events, const LtConfig& cfg,
+                           const PowerParams& params, int bits, SystemVariant variant);
 
 }  // namespace pdac::arch

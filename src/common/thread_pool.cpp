@@ -2,8 +2,26 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <stdexcept>
 
 namespace pdac {
+
+namespace {
+// The pool currently running a parallel_for body on this thread.  A body
+// that calls parallel_for again — on this pool or any other — would
+// deadlock (this pool: the job slot is occupied) or silently oversubscribe
+// (another pool: workers × workers threads); both are caller bugs the
+// guard turns into an immediate, testable error.
+thread_local const ThreadPool* t_active_pool = nullptr;
+
+struct ActivePoolGuard {
+  const ThreadPool* prev;
+  explicit ActivePoolGuard(const ThreadPool* pool) : prev(t_active_pool) {
+    t_active_pool = pool;
+  }
+  ~ActivePoolGuard() { t_active_pool = prev; }
+};
+}  // namespace
 
 std::size_t ThreadPool::default_threads() {
   if (const char* env = std::getenv("PDAC_GEMM_THREADS")) {
@@ -55,6 +73,7 @@ void ThreadPool::worker_loop(std::size_t worker) {
     }
     if (worker >= parts) continue;  // narrow job: this worker sat out
     try {
+      ActivePoolGuard guard(this);
       run_range(*body, n, parts, worker);
     } catch (...) {
       std::lock_guard<std::mutex> lk(mu_);
@@ -68,9 +87,14 @@ void ThreadPool::worker_loop(std::size_t worker) {
 }
 
 void ThreadPool::parallel_for(std::size_t n, const RangeBody& body) {
+  if (t_active_pool != nullptr) {
+    throw std::logic_error(
+        "ThreadPool::parallel_for: nested call from inside a parallel_for body");
+  }
   if (n == 0) return;
   const std::size_t parts = std::min(size(), n);
   if (parts <= 1) {
+    ActivePoolGuard guard(this);
     body(0, n, 0);
     return;
   }
@@ -86,6 +110,7 @@ void ThreadPool::parallel_for(std::size_t n, const RangeBody& body) {
 
   std::exception_ptr caller_error;
   try {
+    ActivePoolGuard guard(this);
     run_range(body, n, parts, 0);
   } catch (...) {
     caller_error = std::current_exception();

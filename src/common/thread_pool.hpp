@@ -43,7 +43,9 @@ class ThreadPool {
   /// Run `body` over [0, n) split into min(size(), n) contiguous ranges.
   /// Blocks until every range finished; the first exception thrown by any
   /// range is rethrown here after all workers drained.  Not reentrant:
-  /// one parallel_for at a time per pool.
+  /// one parallel_for at a time per pool, and a body that calls
+  /// parallel_for again — on this pool or any other — throws
+  /// std::logic_error instead of deadlocking or oversubscribing.
   void parallel_for(std::size_t n, const RangeBody& body);
 
   /// Pool width used for threads == 0: the PDAC_GEMM_THREADS environment

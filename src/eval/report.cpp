@@ -86,13 +86,16 @@ std::string render_scoreboard(const std::string& title, const std::vector<Scored
 
 std::string render_fault_tolerance(const std::string& title,
                                    const std::vector<FaultRateRow>& rows) {
-  Table t({"fault rate", "dead", "recovered", "throughput", "cosine", "", "recal energy"});
+  Table t({"fault rate", "dead", "recovered", "throughput", "cosine", "", "recal energy",
+           "detect lat"});
   for (const auto& r : rows) {
     t.add_row({Table::pct(r.fault_rate), std::to_string(r.lanes_dead),
                std::to_string(r.lanes_recovered), Table::pct(r.throughput_scale),
                Table::num(r.cosine_accuracy, 4),
                ascii_bar(std::max(0.0, r.cosine_accuracy), 24),
-               Table::num(r.recal_energy_uj, 3) + " uJ"});
+               Table::num(r.recal_energy_uj, 3) + " uJ",
+               r.detect_latency_tiles < 0.0 ? "-"
+                                            : Table::num(r.detect_latency_tiles, 1) + " tiles"});
   }
   std::ostringstream os;
   os << "== " << title << " ==\n" << t.to_string();
@@ -119,6 +122,39 @@ std::string render_operand_cache(const std::string& title, const OperandCacheSum
                              Table::num(static_cast<double>(s.capacity_bytes) / (1024.0 * 1024.0), 1) +
                              " MiB",
              ascii_bar(std::min(occupancy, 1.0), 24)});
+  std::ostringstream os;
+  os << "== " << title << " ==\n" << t.to_string();
+  return os.str();
+}
+
+std::string render_abft_guard(const std::string& title, const AbftGuardSummary& s) {
+  const double mismatch_rate =
+      s.tiles_checked > 0
+          ? static_cast<double>(s.mismatched_tiles) / static_cast<double>(s.tiles_checked)
+          : 0.0;
+  const double guard_uj = s.checksum_energy_uj + s.retry_energy_uj;
+  const double overhead =
+      s.data_energy_uj > 0.0 ? guard_uj / s.data_energy_uj : 0.0;
+  Table t({"counter", "value", ""});
+  t.add_row({"products verified", std::to_string(s.products), ""});
+  t.add_row({"tiles verified", std::to_string(s.tiles_checked), ""});
+  t.add_row({"tile mismatch rate", Table::pct(mismatch_rate, 3),
+             ascii_bar(std::min(mismatch_rate, 1.0), 24)});
+  t.add_row({"detections (products)", std::to_string(s.detections), ""});
+  t.add_row({"mean detect latency",
+             s.detections > 0 ? Table::num(s.mean_detection_latency, 1) + " tiles" : "-", ""});
+  t.add_row({"worst residual / band",
+             Table::num(s.worst_residual, 3) + " / " + Table::num(s.worst_tolerance, 3), ""});
+  t.add_rule();
+  t.add_row({"retries", std::to_string(s.retries), ""});
+  t.add_row({"re-trims", std::to_string(s.retrims), ""});
+  t.add_row({"fences", std::to_string(s.fences), ""});
+  t.add_row({"unrecovered", std::to_string(s.unrecovered), ""});
+  t.add_rule();
+  t.add_row({"checksum-lane energy", Table::num(s.checksum_energy_uj, 3) + " uJ", ""});
+  t.add_row({"recovery re-run energy", Table::num(s.retry_energy_uj, 3) + " uJ", ""});
+  t.add_row({"guard overhead vs data", Table::pct(overhead, 2),
+             ascii_bar(std::min(overhead, 1.0), 24)});
   std::ostringstream os;
   os << "== " << title << " ==\n" << t.to_string();
   return os.str();

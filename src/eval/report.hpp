@@ -50,6 +50,9 @@ struct FaultRateRow {
   double throughput_scale{};   ///< degraded vs healthy effective throughput
   double cosine_accuracy{};    ///< encoder-layer output vs fp64 reference
   double recal_energy_uj{};    ///< detection + recovery + remap energy [µJ]
+  /// Mean tiles scanned before corruption surfaced (ABFT guard;
+  /// negative = not measured for this mode, column renders as "-").
+  double detect_latency_tiles{-1.0};
 };
 
 /// Render the accuracy-vs-fault-rate table for one detection/recovery
@@ -72,5 +75,30 @@ struct OperandCacheSummary {
 
 /// Render the cache scoreboard (hit rate bar, occupancy, churn).
 std::string render_operand_cache(const std::string& title, const OperandCacheSummary& s);
+
+/// ABFT guard health rollup (bench/abl_abft_overhead, DESIGN.md §12):
+/// plain data so eval stays independent of the faults library — copy the
+/// fields out of faults::HealthSnapshot / nn::GuardStats and price the
+/// event counters with arch::event_energy.
+struct AbftGuardSummary {
+  std::size_t products{};
+  std::size_t tiles_checked{};
+  std::size_t mismatched_tiles{};
+  std::size_t detections{};        ///< products with ≥ 1 mismatched tile
+  std::size_t retries{};
+  std::size_t retrims{};
+  std::size_t fences{};
+  std::size_t unrecovered{};
+  double mean_detection_latency{}; ///< tiles scanned before first mismatch
+  double worst_residual{};
+  double worst_tolerance{};
+  double checksum_energy_uj{};     ///< spare checksum-lane charge [µJ]
+  double retry_energy_uj{};        ///< recovery re-run charge [µJ]
+  double data_energy_uj{};         ///< data-path charge, for overhead % [µJ]
+};
+
+/// Render the guard scoreboard: verification volume, mismatch rate bar,
+/// recovery-ladder counts and the energy overhead split.
+std::string render_abft_guard(const std::string& title, const AbftGuardSummary& s);
 
 }  // namespace pdac::eval

@@ -1,0 +1,23 @@
+#include "faults/escalation.hpp"
+
+namespace pdac::faults {
+
+GuardAction EscalationPolicy::next(const EscalationState& state) const {
+  if (state.retries < cfg_.max_retries) return GuardAction::kRetry;
+  if (state.retrims < cfg_.max_retrims) return GuardAction::kRetrim;
+  if (cfg_.allow_fence && state.fences < 1) return GuardAction::kFence;
+  return GuardAction::kGiveUp;
+}
+
+std::string to_string(GuardAction action) {
+  switch (action) {
+    case GuardAction::kAccept: return "accept";
+    case GuardAction::kRetry: return "retry";
+    case GuardAction::kRetrim: return "retrim";
+    case GuardAction::kFence: return "fence";
+    case GuardAction::kGiveUp: return "give-up";
+  }
+  return "?";
+}
+
+}  // namespace pdac::faults

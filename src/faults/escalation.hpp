@@ -1,0 +1,75 @@
+// escalation.hpp — bounded recovery ladder for ABFT guard mismatches.
+//
+// When the checksum guard (ptc/abft.hpp) flags a tile, something between
+// the modulators and the ADC produced a sum the controller's digital
+// reference disagrees with.  The right response depends on the fault
+// class, which the controller cannot observe directly — so the policy
+// walks a fixed ladder from cheapest to most drastic, spending each rung
+// at most a configured number of times per product:
+//
+//   kRetry   re-encode and re-run the tile through the live lanes.
+//            Clears transients (SEU-class glitches) for the cost of one
+//            tile step; persistent faults fail again immediately.
+//   kRetrim  targeted self-test over the lanes the product actually
+//            uses (faults/self_test.hpp): drift-class faults (bias walk,
+//            TIA gain steps) calibrate out, and the guard's golden
+//            references are re-snapshotted to the freshly trusted state.
+//   kFence   the self-test fenced what it could not fix — re-pack the
+//            reduction onto the surviving channels and re-run the
+//            product degraded (fewer channels, more chunks, honest
+//            event charge).
+//   kGiveUp  ladder exhausted; the product is returned best-effort and
+//            the health monitor records it as unrecovered.
+//
+// The policy is a pure function of the per-product EscalationState, so
+// recovery is deterministic and unit-testable without hardware.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "faults/self_test.hpp"
+
+namespace pdac::faults {
+
+enum class GuardAction {
+  kAccept,  ///< tile verified; nothing to do
+  kRetry,
+  kRetrim,
+  kFence,
+  kGiveUp,
+};
+
+struct EscalationConfig {
+  std::size_t max_retries{1};  ///< retry rungs per product
+  std::size_t max_retrims{1};  ///< targeted self-test rungs per product
+  bool allow_fence{true};      ///< permit the degraded re-run rung
+  /// BIST configuration for the kRetrim rung.
+  SelfTestConfig self_test{};
+};
+
+/// Rungs already burned while recovering the current product.
+struct EscalationState {
+  std::size_t retries{0};
+  std::size_t retrims{0};
+  std::size_t fences{0};  ///< degraded re-runs (at most 1 is ever useful)
+};
+
+class EscalationPolicy {
+ public:
+  explicit EscalationPolicy(EscalationConfig cfg = {}) : cfg_(cfg) {}
+
+  /// Next rung for a still-mismatching tile given what was already
+  /// spent.  Deterministic: retry while retries remain, then re-trim,
+  /// then fence, then give up.
+  [[nodiscard]] GuardAction next(const EscalationState& state) const;
+
+  [[nodiscard]] const EscalationConfig& config() const { return cfg_; }
+
+ private:
+  EscalationConfig cfg_;
+};
+
+std::string to_string(GuardAction action);
+
+}  // namespace pdac::faults

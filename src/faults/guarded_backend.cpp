@@ -1,0 +1,464 @@
+#include "faults/guarded_backend.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/math_utils.hpp"
+#include "common/require.hpp"
+#include "converters/quantizer.hpp"
+
+namespace pdac::faults {
+
+GuardedBackend::GuardedBackend(LaneBank& bank, GuardedBackendConfig cfg)
+    : bank_(bank),
+      cfg_(cfg),
+      pool_(std::make_unique<ThreadPool>(cfg.threads)),
+      cache_(cfg.cache),
+      policy_(cfg.escalation) {
+  PDAC_REQUIRE(cfg_.array_rows >= 1 && cfg_.array_cols >= 1,
+               "GuardedBackend: array dimensions must be positive");
+  cfg_.guard.enabled = true;  // detection is the point of this backend
+  recalibrate();              // construction is a trusted calibration point
+}
+
+void GuardedBackend::recalibrate() {
+  const std::int32_t max_code = bank_.quantizer().max_code();
+  const std::size_t codes = static_cast<std::size_t>(max_code) * 2 + 1;
+  golden_.assign(bank_.lanes(), std::vector<double>(codes, 0.0));
+  for (std::size_t l = 0; l < bank_.lanes(); ++l) {
+    const Lane& lane = bank_.lane(l);
+    for (std::size_t ci = 0; ci < codes; ++ci) {
+      const auto code = static_cast<std::int32_t>(static_cast<std::int64_t>(ci) - max_code);
+      golden_[l][ci] = lane.model.encode_code(code);
+    }
+  }
+  golden_epoch_ = bank_.epoch();
+}
+
+void GuardedBackend::attach_storm(FaultInjector* injector, std::uint64_t steps_per_tile) {
+  storm_ = injector;
+  storm_steps_per_tile_ = injector != nullptr ? steps_per_tile : 0;
+  storm_clock_ = injector != nullptr ? injector->step() : 0;
+}
+
+double GuardedBackend::golden_encode(std::size_t rail, std::size_t channel, double r) const {
+  const converters::Quantizer& quant = bank_.quantizer();
+  const std::int32_t code = quant.encode(math::clamp_unit(r));
+  return golden_[rail * bank_.wavelengths() + channel]
+                [static_cast<std::size_t>(code + quant.max_code())];
+}
+
+std::vector<std::size_t> GuardedBackend::surviving_channels() const {
+  std::vector<std::size_t> channels;
+  for (std::size_t ch = 0; ch < bank_.wavelengths(); ++ch) {
+    if (!bank_.lane(0, ch).fenced && !bank_.lane(1, ch).fenced) channels.push_back(ch);
+  }
+  return channels;
+}
+
+std::vector<std::size_t> GuardedBackend::implicated_lanes(
+    const std::vector<std::size_t>& channels) const {
+  // Both rails of every channel the packing uses: a reduction element on
+  // channel ch touches the x-rail lane (A side) and the y-rail lane (B
+  // side), and the guard cannot tell the rails apart from one residual.
+  std::vector<std::size_t> lanes;
+  lanes.reserve(channels.size() * LaneBank::kRails);
+  for (std::size_t rail = 0; rail < LaneBank::kRails; ++rail) {
+    for (const std::size_t ch : channels) lanes.push_back(rail * bank_.wavelengths() + ch);
+  }
+  return lanes;
+}
+
+ptc::PreparedOperand GuardedBackend::prepare_b(const Matrix& b,
+                                               std::vector<std::size_t> channels) const {
+  ptc::PreparedOperand pb;
+  pb.rows = b.rows();
+  pb.cols = b.cols();
+  pb.scale = converters::max_abs_scale(b.data());
+  pb.epoch = bank_.epoch();
+  pb.channels = std::move(channels);
+
+  const std::size_t k = b.rows();
+  const std::size_t nl = pb.channels.size();
+
+  // Dual encode: data through the lanes' CURRENT state, references
+  // through the GOLDEN snapshot.  On healthy hardware the two LUTs are
+  // bit-identical, so the guard's clean residual is pure reassociation.
+  Matrix bt = b.transposed();
+  for (double& v : bt.data()) v /= pb.scale;
+  pb.encoded = Matrix(bt.rows(), k);
+  pb.reference = Matrix(bt.rows(), k);
+  pool_->parallel_for(bt.rows(), [&](std::size_t begin, std::size_t end, std::size_t) {
+    for (std::size_t r = begin; r < end; ++r) {
+      const auto src = bt.row(r);
+      auto cur = pb.encoded.row(r);
+      auto gold = pb.reference.row(r);
+      for (std::size_t p = 0; p < k; ++p) {
+        const std::size_t ch = pb.channels[p % nl];
+        cur[p] = bank_.encode(1, ch, src[p]);
+        gold[p] = golden_encode(1, ch, src[p]);
+      }
+    }
+  });
+
+  // Checksum stripes over the golden reference (one row per array-width
+  // column stripe), cached with the operand.
+  pb.checksum_stripe = cfg_.array_cols;
+  const std::size_t stripes = (pb.cols + cfg_.array_cols - 1) / cfg_.array_cols;
+  pb.checksum = Matrix(stripes, k);
+  std::fill(pb.checksum.data().begin(), pb.checksum.data().end(), 0.0);
+  for (std::size_t j = 0; j < pb.cols; ++j) {
+    const auto src = pb.reference.row(j);
+    const auto dst = pb.checksum.row(j / cfg_.array_cols);
+    for (std::size_t p = 0; p < k; ++p) dst[p] += src[p];
+  }
+  return pb;
+}
+
+std::shared_ptr<const ptc::PreparedOperand> GuardedBackend::obtain_b(
+    const Matrix& b, const nn::WeightHandle* weight) {
+  std::vector<std::size_t> channels = surviving_channels();
+  if (weight == nullptr) {
+    return std::make_shared<const ptc::PreparedOperand>(prepare_b(b, std::move(channels)));
+  }
+  std::shared_ptr<const ptc::PreparedOperand> pb =
+      cache_.lookup(weight->id, weight->version, bank_.epoch());
+  if (pb != nullptr && pb->channels != channels) {
+    // Epoch matched but the packing did not: a fence landed without a
+    // bump_epoch().  Refuse the entry (same belt-and-braces check as
+    // DegradedBackend).
+    cache_.erase(weight->id);
+    pb = nullptr;
+  }
+  if (pb == nullptr) {
+    pb = std::make_shared<const ptc::PreparedOperand>(prepare_b(b, std::move(channels)));
+    cache_.insert(weight->id, weight->version, pb);
+  }
+  return pb;
+}
+
+Matrix GuardedBackend::matmul(const Matrix& a, const Matrix& b) {
+  PDAC_REQUIRE(a.cols() == b.rows(), "GuardedBackend: inner dimensions must agree");
+  if (bank_.usable_channels() == 0) return Matrix(a.rows(), b.cols());
+  return run_guarded(a, b, obtain_b(b, nullptr), nullptr);
+}
+
+Matrix GuardedBackend::matmul_cached(const Matrix& a, const Matrix& b,
+                                     const nn::WeightHandle& weight) {
+  PDAC_REQUIRE(a.cols() == b.rows(), "GuardedBackend: inner dimensions must agree");
+  if (bank_.usable_channels() == 0) return Matrix(a.rows(), b.cols());
+  return run_guarded(a, b, obtain_b(b, &weight), &weight);
+}
+
+ptc::TileCheck GuardedBackend::run_tile(const ptc::Tile& tile, std::size_t t, const Matrix& ae,
+                                        const Matrix& ae_gold, const Matrix& xsum,
+                                        const Matrix& bdata, const ptc::PreparedOperand& pb,
+                                        double rescale, Matrix& c) const {
+  const std::size_t k = ae.cols();
+  std::vector<double> rsum(tile.rows, 0.0);
+  std::vector<double> csum(tile.cols, 0.0);
+  for (std::size_t i = tile.row0; i < tile.row0 + tile.rows; ++i) {
+    const auto x = ae.row(i);
+    for (std::size_t j = tile.col0; j < tile.col0 + tile.cols; ++j) {
+      const auto y = bdata.row(j);
+      // Ascending p matches the serial chunk order (and DegradedBackend),
+      // so accumulation is bit-identical across thread counts and to a
+      // post-fence degraded re-run.
+      double acc = 0.0;
+      for (std::size_t p = 0; p < k; ++p) acc += x[p] * y[p];
+      c(i, j) = acc * rescale;
+      rsum[i - tile.row0] += acc;
+      csum[j - tile.col0] += acc;
+    }
+  }
+
+  ptc::TileCheck check;
+  check.tile = t;
+  const double mag = static_cast<double>(k);
+  const double tol_row = ptc::guard_tolerance(cfg_.guard, k, tile.cols, mag);
+  const double tol_col = ptc::guard_tolerance(cfg_.guard, k, tile.rows, mag);
+  const auto note = [&check](double residual, double tol) {
+    // NaN residuals (a dead PD can NaN a sum) must read as mismatches,
+    // never as "inside the band".
+    if (std::isnan(residual) || residual > check.worst_residual) {
+      check.worst_residual = residual;
+      check.tolerance = tol;
+    }
+    if (std::isnan(residual) || residual > tol) check.ok = false;
+  };
+  // Row lanes: Σ_j tile(i,j) vs ⟨golden x′_i, cached golden Σ_j y′_j⟩.
+  const auto ysum = pb.checksum.row(tile.col0 / pb.checksum_stripe);
+  for (std::size_t i = tile.row0; i < tile.row0 + tile.rows; ++i) {
+    const auto xr = ae_gold.row(i);
+    double ref = 0.0;
+    for (std::size_t p = 0; p < k; ++p) ref += xr[p] * ysum[p];
+    note(std::abs(rsum[i - tile.row0] - ref), tol_row);
+  }
+  // Column lanes: Σ_i tile(i,j) vs ⟨golden Σ_i x′_i, golden y′_j⟩.
+  const auto xs = xsum.row(tile.row0 / cfg_.array_rows);
+  for (std::size_t j = tile.col0; j < tile.col0 + tile.cols; ++j) {
+    const auto yr = pb.reference.row(j);
+    double ref = 0.0;
+    for (std::size_t p = 0; p < k; ++p) ref += xs[p] * yr[p];
+    note(std::abs(csum[j - tile.col0] - ref), tol_col);
+  }
+  return check;
+}
+
+std::size_t GuardedBackend::fence_diverged_lanes(const std::vector<std::size_t>& channels) {
+  // Full calibration-table readback against the golden snapshot: the
+  // escalation endpoint can afford to probe every code, which makes the
+  // fence decision exact — a lane is fenced iff its transfer diverged
+  // from the state the references were calibrated under.
+  const std::int32_t max_code = bank_.quantizer().max_code();
+  const std::size_t codes = static_cast<std::size_t>(max_code) * 2 + 1;
+  std::size_t fenced = 0;
+  std::size_t probes = 0;
+  for (const std::size_t flat : implicated_lanes(channels)) {
+    Lane& lane = bank_.lane(flat);
+    if (lane.fenced) continue;
+    bool diverged = false;
+    for (std::size_t ci = 0; ci < codes; ++ci) {
+      const auto code = static_cast<std::int32_t>(static_cast<std::int64_t>(ci) - max_code);
+      const double out = lane.model.encode_code(code);
+      ++probes;
+      if (!(out == golden_[flat][ci])) {  // NaN-safe inequality
+        diverged = true;
+        break;
+      }
+    }
+    if (diverged) {
+      lane.fenced = true;
+      ++fenced;
+      monitor_.record_implicated_lane(flat);
+    }
+  }
+  monitor_.record_probe_events(probes);
+  if (fenced > 0) bank_.bump_epoch();
+  return fenced;
+}
+
+ptc::EventCounter GuardedBackend::tile_events(const ptc::Tile& tile, std::size_t k,
+                                              std::size_t usable_channels) const {
+  // Mirrors PhotonicGemm's broadcast-amortized tile-step contract with
+  // the reduction chunked over the surviving wavelengths.
+  ptc::EventCounter ev;
+  const std::size_t chunks = (k + usable_channels - 1) / usable_channels;
+  ev.modulation_events = (tile.rows + tile.cols) * k;
+  ev.ddot_ops = tile.rows * tile.cols * chunks;
+  ev.detection_events = tile.rows * tile.cols * chunks;
+  ev.macs = tile.rows * tile.cols * k;
+  ev.adc_events = tile.rows * tile.cols;
+  ev.cycles = chunks;
+  return ev;
+}
+
+Matrix GuardedBackend::run_guarded(const Matrix& a, const Matrix& b,
+                                   std::shared_ptr<const ptc::PreparedOperand> pb,
+                                   const nn::WeightHandle* weight) {
+  const std::size_t m = a.rows();
+  const std::size_t k = a.cols();
+  const std::size_t n = pb->cols;
+
+  // A-side pipeline: normalize once, then dual-encode (current + golden)
+  // under the operand's channel packing.
+  const double a_scale = converters::max_abs_scale(a.data());
+  Matrix an(m, k);
+  for (std::size_t i = 0; i < a.size(); ++i) an.data()[i] = a.data()[i] / a_scale;
+  Matrix ae(m, k);
+  Matrix ae_gold(m, k);
+  Matrix xsum;
+  const std::size_t row_stripes = (m + cfg_.array_rows - 1) / cfg_.array_rows;
+  const auto encode_a = [&](const std::vector<std::size_t>& channels) {
+    const std::size_t nl = channels.size();
+    pool_->parallel_for(m, [&](std::size_t begin, std::size_t end, std::size_t) {
+      for (std::size_t r = begin; r < end; ++r) {
+        const auto src = an.row(r);
+        auto cur = ae.row(r);
+        auto gold = ae_gold.row(r);
+        for (std::size_t p = 0; p < k; ++p) {
+          const std::size_t ch = channels[p % nl];
+          cur[p] = bank_.encode(0, ch, src[p]);
+          gold[p] = golden_encode(0, ch, src[p]);
+        }
+      }
+    });
+    // A row-stripe checksums over the golden encodes.
+    xsum.resize(row_stripes, k);
+    std::fill(xsum.data().begin(), xsum.data().end(), 0.0);
+    for (std::size_t i = 0; i < m; ++i) {
+      const auto src = ae_gold.row(i);
+      const auto dst = xsum.row(i / cfg_.array_rows);
+      for (std::size_t p = 0; p < k; ++p) dst[p] += src[p];
+    }
+  };
+  encode_a(pb->channels);
+
+  Matrix c(m, n);
+  const double rescale = a_scale * pb->scale;
+  const std::vector<ptc::Tile> tiles =
+      ptc::partition_tiles(m, n, cfg_.array_rows, cfg_.array_cols);
+  std::vector<ptc::TileCheck> checks(tiles.size());
+
+  ptc::GuardOutcome outcome;
+  outcome.enabled = true;
+  outcome.tiles_checked = tiles.size();
+
+  // Data-side B encodings: the cached/prepared matrix on the fast path; a
+  // live copy is materialized only when a storm or a repair makes the
+  // prepared encodes stale.
+  const Matrix* bdata = &pb->encoded;
+  Matrix be_live;
+  Matrix bn;  // normalized B, lazily built for live re-encodes
+  const auto ensure_bn = [&] {
+    if (bn.size() != 0) return;
+    bn = b.transposed();
+    for (double& v : bn.data()) v /= pb->scale;
+  };
+  const auto reencode_b_cols = [&](std::size_t col0, std::size_t cols,
+                                   const std::vector<std::size_t>& channels) {
+    ensure_bn();
+    if (be_live.size() == 0) {
+      be_live = pb->encoded;
+      bdata = &be_live;
+    }
+    const std::size_t nl = channels.size();
+    for (std::size_t j = col0; j < col0 + cols; ++j) {
+      const auto src = bn.row(j);
+      auto dst = be_live.row(j);
+      for (std::size_t p = 0; p < k; ++p) dst[p] = bank_.encode(1, channels[p % nl], src[p]);
+    }
+  };
+  const auto reencode_a_rows = [&](std::size_t row0, std::size_t rows,
+                                   const std::vector<std::size_t>& channels) {
+    const std::size_t nl = channels.size();
+    for (std::size_t i = row0; i < row0 + rows; ++i) {
+      const auto src = an.row(i);
+      auto dst = ae.row(i);
+      for (std::size_t p = 0; p < k; ++p) dst[p] = bank_.encode(0, channels[p % nl], src[p]);
+    }
+  };
+
+  // ---- initial pass -------------------------------------------------
+  const bool storm = storm_ != nullptr && storm_steps_per_tile_ > 0;
+  if (storm) {
+    // Serialized tile timeline: the injector's clock advances before
+    // every tile step, and each step re-encodes its operand slices
+    // through the live lanes (the hardware modulates per tile step
+    // anyway), so a fault landing between tiles corrupts exactly the
+    // tiles after it.
+    for (std::size_t t = 0; t < tiles.size(); ++t) {
+      storm_clock_ += storm_steps_per_tile_;
+      storm_->advance_to(storm_clock_);
+      reencode_a_rows(tiles[t].row0, tiles[t].rows, pb->channels);
+      reencode_b_cols(tiles[t].col0, tiles[t].cols, pb->channels);
+      checks[t] = run_tile(tiles[t], t, ae, ae_gold, xsum, *bdata, *pb, rescale, c);
+    }
+  } else {
+    const Matrix& bd = *bdata;
+    ptc::for_each_tile(*pool_, tiles, [&](std::size_t t, std::size_t) {
+      checks[t] = run_tile(tiles[t], t, ae, ae_gold, xsum, bd, *pb, rescale, c);
+    });
+  }
+  {
+    const std::size_t nl = pb->channels.size();
+    const std::size_t chunks = (k + nl - 1) / nl;
+    for (const ptc::Tile& tile : tiles) {
+      events_ += tile_events(tile, k, nl);
+      outcome.checksum_events += ptc::checksum_lane_events(tile.rows, tile.cols, k, chunks);
+    }
+  }
+
+  std::vector<std::size_t> bad;
+  for (std::size_t t = 0; t < tiles.size(); ++t) {
+    const ptc::TileCheck& check = checks[t];
+    if (!check.ok) bad.push_back(t);
+    if (std::isnan(check.worst_residual) || check.worst_residual > outcome.worst_residual) {
+      outcome.worst_residual = check.worst_residual;
+      outcome.worst_tolerance = check.tolerance;
+    }
+  }
+  outcome.mismatched_tiles = bad.size();
+  if (!bad.empty()) outcome.first_mismatch = bad.front();
+
+  // ---- escalation ladder -------------------------------------------
+  EscalationState state;
+  while (!bad.empty()) {
+    const GuardAction action = policy_.next(state);
+    monitor_.record_action(action);
+    if (action == GuardAction::kGiveUp) break;
+
+    bool repacked = false;
+    switch (action) {
+      case GuardAction::kRetry:
+        ++state.retries;
+        break;
+      case GuardAction::kRetrim: {
+        ++state.retrims;
+        const SelfTestReport report =
+            run_self_test(bank_, implicated_lanes(pb->channels), policy_.config().self_test);
+        monitor_.record_self_test(report);
+        recalibrate();  // post-self-test lane state is trusted
+        repacked = true;
+        break;
+      }
+      case GuardAction::kFence: {
+        ++state.fences;
+        fence_diverged_lanes(pb->channels);
+        repacked = true;
+        break;
+      }
+      default:
+        break;
+    }
+
+    if (repacked) {
+      std::vector<std::size_t> channels = surviving_channels();
+      if (channels.empty()) {
+        // Every channel fenced mid-recovery: the accelerator is offline.
+        // Zero result, mirroring DegradedBackend's outage contract.
+        monitor_.record_action(GuardAction::kGiveUp);
+        monitor_.record_product(outcome);
+        return Matrix(m, n);
+      }
+      // Re-prepare against the repaired/repacked bank: fresh current +
+      // golden encodings and checksum stripes; refresh the cache so the
+      // next product starts warm again.
+      pb = std::make_shared<const ptc::PreparedOperand>(prepare_b(b, std::move(channels)));
+      if (weight != nullptr) cache_.insert(weight->id, weight->version, pb);
+      encode_a(pb->channels);
+      be_live = Matrix();
+      bn = Matrix();
+      bdata = &pb->encoded;
+    }
+
+    // Re-run the mismatching tiles through the live lanes.
+    const std::size_t nl = pb->channels.size();
+    const std::size_t chunks = (k + nl - 1) / nl;
+    for (const std::size_t t : bad) {
+      const ptc::Tile& tile = tiles[t];
+      if (!repacked) {
+        // Retry rung: re-encode just this tile's operand slices, the
+        // hardware cost the rung actually pays.
+        reencode_a_rows(tile.row0, tile.rows, pb->channels);
+        reencode_b_cols(tile.col0, tile.cols, pb->channels);
+      }
+      checks[t] = run_tile(tile, t, ae, ae_gold, xsum, *bdata, *pb, rescale, c);
+      const ptc::EventCounter ev = tile_events(tile, k, nl);
+      events_ += ev;
+      monitor_.record_retry_events(ev);
+      outcome.checksum_events += ptc::checksum_lane_events(tile.rows, tile.cols, k, chunks);
+    }
+    std::vector<std::size_t> still_bad;
+    for (const std::size_t t : bad) {
+      if (!checks[t].ok) still_bad.push_back(t);
+    }
+    bad = std::move(still_bad);
+  }
+
+  monitor_.record_product(outcome);
+  return c;
+}
+
+}  // namespace pdac::faults

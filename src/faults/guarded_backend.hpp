@@ -1,0 +1,172 @@
+// guarded_backend.hpp — ABFT checksum-guarded GEMM execution over a
+// live (mutable, possibly mid-product-faulting) lane bank.
+//
+// DegradedBackend runs honestly on a *known*-degraded bank; this backend
+// closes the window before the knowing: it detects silent corruption
+// in-band, at tile granularity, and drives the faults::EscalationPolicy
+// ladder until the product verifies or the ladder is exhausted.
+//
+// Trust model (DESIGN.md §12).  The controller snapshots every lane's
+// full encode table at calibration time — construction, and again after
+// each escalation self-test, the only points hardware state is verified
+// trustworthy.  Data always encodes through the lanes' CURRENT state;
+// checksum references are digital predictions from the GOLDEN snapshot.
+// On healthy hardware the two are bit-identical LUTs, so the residual is
+// pure floating-point reassociation and the noise-calibrated band
+// (ptc::guard_tolerance) yields provably ~0 false positives; any fault
+// that perturbs an encode — stuck MRR, dead PD bit, TIA gain step, bias
+// walk — diverges current from golden and lands orders of magnitude
+// outside the band in the first tile it touches.  Crucially this also
+// catches faults striking BEFORE a product starts: re-deriving the
+// reference from the live state would corrupt both sides identically.
+//
+// Mid-product fault storms: attach_storm() hooks a FaultInjector whose
+// clock advances `steps_per_tile` before every tile step, so faults land
+// between tiles of one product exactly like the hardware timeline.  With
+// a storm attached the tile loop serializes and re-encodes each tile's
+// operand slices through the live lanes per step (the hardware modulates
+// per tile step anyway); without one, operands are pre-encoded once per
+// product and the loop is tile-parallel — bit-identical, since lane
+// state cannot change mid-product.
+//
+// Recovery (escalation.hpp): mismatching tiles are re-run per the ladder
+// — retry (re-encode + re-run), targeted self-test + re-trim of the
+// lanes the product uses (then golden re-snapshot + operand re-prepare),
+// fence + full degraded re-run on the surviving channels — bounded per
+// product, with every rung, probe and re-executed event recorded in the
+// HealthMonitor.  events() carries the data-path work actually executed
+// (including recovery re-runs); the pure checksum-lane charge stays
+// separate in the monitor so arch::event_energy can price both honestly.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "faults/escalation.hpp"
+#include "faults/fault_injector.hpp"
+#include "faults/health_monitor.hpp"
+#include "faults/lane_bank.hpp"
+#include "nn/backend.hpp"
+#include "ptc/abft.hpp"
+#include "ptc/tile_scheduler.hpp"
+
+namespace pdac::faults {
+
+struct GuardedBackendConfig {
+  /// Tile geometry (matches ptc::GemmConfig).
+  std::size_t array_rows{8};
+  std::size_t array_cols{8};
+  /// Simulation workers for the storm-free tile dispatch (same semantics
+  /// as ptc::GemmConfig::threads); results are bit-identical at any
+  /// value.  Storm runs serialize regardless.
+  std::size_t threads{1};
+  /// Weight-stationary operand cache for matmul_cached products.
+  nn::OperandCacheConfig cache{};
+  /// Checksum guard band; `enabled` is forced on (that is the point of
+  /// this backend).  Leave noise_sigma 0 on the deterministic lane path.
+  ptc::GuardConfig guard{};
+  /// Recovery ladder bounds + the targeted self-test's BIST config.
+  EscalationConfig escalation{};
+};
+
+class GuardedBackend final : public nn::GemmBackend {
+ public:
+  explicit GuardedBackend(LaneBank& bank, GuardedBackendConfig cfg = {});
+
+  /// Guarded product: every tile verified against the golden references,
+  /// mismatches recovered through the escalation ladder.  With every
+  /// channel fenced the accelerator is offline (all-zero result, no
+  /// events), mirroring DegradedBackend.
+  [[nodiscard]] Matrix matmul(const Matrix& a, const Matrix& b) override;
+
+  /// Same product with the prepared B side (current + golden encodings
+  /// and checksum stripes) cached across calls, invalidated by the
+  /// bank's epoch and by channel-packing changes.
+  [[nodiscard]] Matrix matmul_cached(const Matrix& a, const Matrix& b,
+                                     const nn::WeightHandle& weight) override;
+
+  [[nodiscard]] std::string name() const override { return "photonic-guarded"; }
+  [[nodiscard]] const nn::OperandCache* operand_cache() const override { return &cache_; }
+  [[nodiscard]] nn::OperandCache& cache() { return cache_; }
+
+  /// Re-snapshot the golden encode tables from the bank's current state.
+  /// Call after any *trusted* recalibration (production trim, scheduled
+  /// self-test); the backend calls it itself after escalation
+  /// self-tests.  Never call on unverified state — golden would then
+  /// bless the fault.
+  void recalibrate();
+
+  /// Drive `injector` forward by `steps_per_tile` before every tile
+  /// step, so scheduled faults strike mid-product.  The injector must
+  /// target this backend's bank.  Pass nullptr to detach.
+  void attach_storm(FaultInjector* injector, std::uint64_t steps_per_tile);
+
+  [[nodiscard]] const LaneBank& bank() const { return bank_; }
+  [[nodiscard]] const HealthMonitor& monitor() const { return monitor_; }
+  [[nodiscard]] HealthMonitor& monitor() { return monitor_; }
+  [[nodiscard]] const EscalationPolicy& policy() const { return policy_; }
+  [[nodiscard]] const GuardedBackendConfig& config() const { return cfg_; }
+
+ private:
+  [[nodiscard]] std::vector<std::size_t> surviving_channels() const;
+  [[nodiscard]] double golden_encode(std::size_t rail, std::size_t channel, double r) const;
+
+  /// Full guarded pipeline for one product (shared by both matmul
+  /// entry points); `pb` must have been prepared against the current
+  /// epoch/packing.
+  [[nodiscard]] Matrix run_guarded(const Matrix& a, const Matrix& b,
+                                   std::shared_ptr<const ptc::PreparedOperand> pb,
+                                   const nn::WeightHandle* weight);
+
+  /// Prepare B: current-state encoding (data), golden encoding
+  /// (reference) and its checksum stripes, channel packing, epoch stamp.
+  [[nodiscard]] ptc::PreparedOperand prepare_b(const Matrix& b,
+                                               std::vector<std::size_t> channels) const;
+
+  /// Cache-aware prepare (nullptr weight = uncached).
+  [[nodiscard]] std::shared_ptr<const ptc::PreparedOperand> obtain_b(
+      const Matrix& b, const nn::WeightHandle* weight);
+
+  /// Compute + verify one tile: data dots from `ae` (current A encodes)
+  /// × `bdata` (current B encodes), references from `ae_gold` /
+  /// `pb.reference` / the cached checksum stripes.  Writes the rescaled
+  /// outputs into `c` and returns the verdict.
+  [[nodiscard]] ptc::TileCheck run_tile(const ptc::Tile& tile, std::size_t t, const Matrix& ae,
+                                        const Matrix& ae_gold, const Matrix& xsum,
+                                        const Matrix& bdata, const ptc::PreparedOperand& pb,
+                                        double rescale, Matrix& c) const;
+
+  /// kFence rung: full calibration-table readback of the implicated
+  /// lanes against the golden snapshot, fencing every lane that has
+  /// diverged.  Returns the number of lanes fenced (epoch is bumped iff
+  /// > 0); probe charges land in the health monitor.
+
+  std::size_t fence_diverged_lanes(const std::vector<std::size_t>& channels);
+
+  [[nodiscard]] ptc::EventCounter tile_events(const ptc::Tile& tile, std::size_t k,
+                                              std::size_t usable_channels) const;
+
+  /// Flat lane indices (both rails) of the channels in `channels`.
+  [[nodiscard]] std::vector<std::size_t> implicated_lanes(
+      const std::vector<std::size_t>& channels) const;
+
+  LaneBank& bank_;
+  GuardedBackendConfig cfg_;
+  std::unique_ptr<ThreadPool> pool_;
+  nn::OperandCache cache_;
+  EscalationPolicy policy_;
+  HealthMonitor monitor_;
+
+  /// Golden encode tables: per flat lane, output amplitude for every
+  /// signed quantizer code (index code + max_code).
+  std::vector<std::vector<double>> golden_;
+  std::uint64_t golden_epoch_{0};  ///< bank epoch golden_ was snapped at
+
+  FaultInjector* storm_{nullptr};
+  std::uint64_t storm_steps_per_tile_{0};
+  std::uint64_t storm_clock_{0};
+};
+
+}  // namespace pdac::faults

@@ -1,0 +1,57 @@
+#include "faults/health_monitor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pdac::faults {
+
+void HealthMonitor::record_product(const ptc::GuardOutcome& outcome) {
+  if (!outcome.enabled) return;
+  ++snap_.products;
+  snap_.tiles_checked += outcome.tiles_checked;
+  snap_.mismatched_tiles += outcome.mismatched_tiles;
+  snap_.checksum_events += outcome.checksum_events;
+  if (outcome.mismatched_tiles > 0) {
+    ++snap_.detections;
+    snap_.detection_latency_tiles += outcome.first_mismatch + 1;
+  }
+  if (std::isnan(outcome.worst_residual) || outcome.worst_residual > snap_.worst_residual) {
+    snap_.worst_residual = outcome.worst_residual;
+    snap_.worst_tolerance = outcome.worst_tolerance;
+  }
+}
+
+void HealthMonitor::record_action(GuardAction action) {
+  switch (action) {
+    case GuardAction::kAccept: break;
+    case GuardAction::kRetry: ++snap_.retries; break;
+    case GuardAction::kRetrim: ++snap_.retrims; break;
+    case GuardAction::kFence: ++snap_.fences; break;
+    case GuardAction::kGiveUp: ++snap_.unrecovered; break;
+  }
+}
+
+void HealthMonitor::record_self_test(const SelfTestReport& report) {
+  snap_.probe_events += report.probe_events;
+  for (const LaneOutcome& lane : report.lanes) {
+    if (lane.verdict == LaneVerdict::kHealthy) continue;
+    // Already-fenced lanes are reported dead without being screened —
+    // that is old news, not a fresh implication.
+    if (!lane.retrimmed && lane.screen_error_before == 0.0) continue;
+    if (snap_.lane_mismatches.size() <= lane.lane) {
+      snap_.lane_mismatches.resize(lane.lane + 1, 0);
+    }
+    ++snap_.lane_mismatches[lane.lane];
+  }
+}
+
+void HealthMonitor::record_retry_events(const ptc::EventCounter& events) {
+  snap_.retry_events += events;
+}
+
+void HealthMonitor::record_implicated_lane(std::size_t lane) {
+  if (snap_.lane_mismatches.size() <= lane) snap_.lane_mismatches.resize(lane + 1, 0);
+  ++snap_.lane_mismatches[lane];
+}
+
+}  // namespace pdac::faults

@@ -34,13 +34,20 @@ double screen_lane(const Lane& lane, const converters::Quantizer& quant,
 }  // namespace
 
 SelfTestReport run_self_test(LaneBank& bank, const SelfTestConfig& cfg) {
+  std::vector<std::size_t> all(bank.lanes());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  return run_self_test(bank, all, cfg);
+}
+
+SelfTestReport run_self_test(LaneBank& bank, const std::vector<std::size_t>& lanes,
+                             const SelfTestConfig& cfg) {
   PDAC_REQUIRE(cfg.error_budget > 0.0, "run_self_test: error budget must be positive");
   PDAC_REQUIRE(cfg.screen_probes >= 2, "run_self_test: need at least 2 screen probes");
   SelfTestReport report;
-  report.lanes.reserve(bank.lanes());
+  report.lanes.reserve(lanes.size());
   const std::size_t fenced_before = bank.fenced_lanes();
 
-  for (std::size_t i = 0; i < bank.lanes(); ++i) {
+  for (const std::size_t i : lanes) {
     Lane& lane = bank.lane(i);
     LaneOutcome out;
     out.lane = i;

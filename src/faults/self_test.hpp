@@ -68,6 +68,14 @@ struct SelfTestReport {
 /// Already-fenced lanes are reported dead without burning probes.
 SelfTestReport run_self_test(LaneBank& bank, const SelfTestConfig& cfg = {});
 
+/// Targeted BIST over a subset of flat lane indices — the escalation
+/// ladder's re-trim rung screens only the lanes a mismatching product
+/// actually used instead of the whole bank.  Same per-lane behaviour and
+/// epoch semantics as the full run; duplicate indices are screened once
+/// per occurrence (callers pass unique sets).
+SelfTestReport run_self_test(LaneBank& bank, const std::vector<std::size_t>& lanes,
+                             const SelfTestConfig& cfg = {});
+
 std::string to_string(LaneVerdict verdict);
 
 }  // namespace pdac::faults

@@ -1,5 +1,7 @@
 #include "nn/backend.hpp"
 
+#include <cmath>
+
 namespace pdac::nn {
 
 Matrix ReferenceBackend::matmul(const Matrix& a, const Matrix& b) {
@@ -11,9 +13,22 @@ PhotonicBackend::PhotonicBackend(std::unique_ptr<core::ModulatorDriver> driver,
                                  ptc::GemmConfig cfg, OperandCacheConfig cache_cfg)
     : driver_(std::move(driver)), gemm_(*driver_, cfg), cache_(cache_cfg) {}
 
+void PhotonicBackend::fold_guard(const ptc::GuardOutcome& outcome) {
+  if (!outcome.enabled) return;
+  ++guard_.products;
+  guard_.tiles_checked += outcome.tiles_checked;
+  guard_.mismatched_tiles += outcome.mismatched_tiles;
+  guard_.checksum_events += outcome.checksum_events;
+  if (std::isnan(outcome.worst_residual) || outcome.worst_residual > guard_.worst_residual) {
+    guard_.worst_residual = outcome.worst_residual;
+    guard_.worst_tolerance = outcome.worst_tolerance;
+  }
+}
+
 Matrix PhotonicBackend::matmul(const Matrix& a, const Matrix& b) {
   ptc::GemmResult r = gemm_.multiply(a, b);
   events_ += r.events;
+  fold_guard(r.guard);
   return std::move(r.c);
 }
 
@@ -29,6 +44,20 @@ Matrix PhotonicBackend::matmul_cached(const Matrix& a, const Matrix& b,
   }
   ptc::GemmResult r = gemm_.multiply_prepared(a, *pb);
   events_ += r.events;
+  fold_guard(r.guard);
+  if (r.guard.enabled && !r.guard.clean()) {
+    // The driver is immutable, so current and golden encodings coincide
+    // and a guarded mismatch can only mean the cached operand's memory
+    // was corrupted after insertion.  Repair: drop the entry, re-prepare
+    // from the source weight and rerun once (honestly re-charged).
+    ++guard_.cache_repairs;
+    cache_.erase(weight.id);
+    pb = std::make_shared<const ptc::PreparedOperand>(gemm_.prepare_b(b));
+    cache_.insert(weight.id, weight.version, pb);
+    r = gemm_.multiply_prepared(a, *pb);
+    events_ += r.events;
+    fold_guard(r.guard);
+  }
   return std::move(r.c);
 }
 

@@ -31,6 +31,21 @@
 
 namespace pdac::nn {
 
+/// Aggregated ABFT guard verdicts across every product a backend ran
+/// with GemmConfig::guard enabled (DESIGN.md §12).  On the immutable
+/// PhotonicBackend driver a mismatch can only mean a corrupted cached
+/// operand, which matmul_cached auto-repairs (re-prepare + rerun once,
+/// counted in cache_repairs).
+struct GuardStats {
+  std::size_t products{0};
+  std::size_t tiles_checked{0};
+  std::size_t mismatched_tiles{0};
+  std::size_t cache_repairs{0};
+  double worst_residual{0.0};
+  double worst_tolerance{0.0};
+  ptc::EventCounter checksum_events;  ///< spare checksum-lane charge
+};
+
 class GemmBackend {
  public:
   virtual ~GemmBackend() = default;
@@ -51,6 +66,10 @@ class GemmBackend {
   /// The backend's operand cache, for stats reporting (nullptr when the
   /// backend does not cache).
   [[nodiscard]] virtual const OperandCache* operand_cache() const { return nullptr; }
+
+  /// Aggregated ABFT guard verdicts (nullptr when the backend never
+  /// guards — the reference backend, or a photonic one with guard off).
+  [[nodiscard]] virtual const GuardStats* guard_stats() const { return nullptr; }
 
   [[nodiscard]] const ptc::EventCounter& events() const { return events_; }
   void reset_events() { events_ = {}; }
@@ -83,11 +102,17 @@ class PhotonicBackend final : public GemmBackend {
   [[nodiscard]] const core::ModulatorDriver& driver() const { return *driver_; }
   [[nodiscard]] const OperandCache* operand_cache() const override { return &cache_; }
   [[nodiscard]] OperandCache& cache() { return cache_; }
+  [[nodiscard]] const GuardStats* guard_stats() const override {
+    return gemm_.config().guard.enabled ? &guard_ : nullptr;
+  }
 
  private:
+  void fold_guard(const ptc::GuardOutcome& outcome);
+
   std::unique_ptr<core::ModulatorDriver> driver_;
   ptc::PhotonicGemm gemm_;
   OperandCache cache_;
+  GuardStats guard_;
 };
 
 /// Convenience factories for the three standard configurations.
@@ -105,6 +130,18 @@ std::unique_ptr<GemmBackend> make_photonic_ideal_dac_backend(int bits,
 [[nodiscard]] inline ptc::GemmConfig parallel_gemm_config(std::size_t threads,
                                                           ptc::GemmConfig cfg = {}) {
   cfg.threads = threads;
+  return cfg;
+}
+
+/// GemmConfig with the ABFT checksum guard switched on (abft.hpp) —
+/// every product verifies its tiles against digital references and the
+/// verdicts surface through GemmBackend::guard_stats().  Pass a
+/// noise-calibrated band (ptc::calibrate_guard_sigma) when the dot
+/// engine runs with ADC readout or detector noise enabled.
+[[nodiscard]] inline ptc::GemmConfig guarded_gemm_config(ptc::GuardConfig guard = {},
+                                                         ptc::GemmConfig cfg = {}) {
+  guard.enabled = true;
+  cfg.guard = guard;
   return cfg;
 }
 

@@ -1,0 +1,68 @@
+#include "ptc/abft.hpp"
+
+#include <algorithm>
+#include <cfloat>
+#include <cmath>
+
+#include "common/require.hpp"
+#include "ptc/dot_engine.hpp"
+#include "ptc/noise_analysis.hpp"
+
+namespace pdac::ptc {
+
+double guard_tolerance(const GuardConfig& cfg, std::size_t k, std::size_t fan, double mag) {
+  PDAC_REQUIRE(cfg.noise_zscore >= 0.0 && cfg.noise_sigma >= 0.0 && cfg.fp_slack >= 0.0,
+               "guard_tolerance: band parameters must be non-negative");
+  const double terms = static_cast<double>(fan + 1);
+  const double fp = cfg.fp_slack * DBL_EPSILON * static_cast<double>(k) * terms *
+                    std::max(std::abs(mag), 1.0);
+  const double noise = cfg.noise_zscore * cfg.noise_sigma * std::sqrt(terms);
+  return fp + noise;
+}
+
+double calibrate_guard_sigma(const DotEngineConfig& dot, std::size_t k) {
+  double variance = 0.0;
+
+  if (dot.adc_readout) {
+    // apply_adc digitizes each raw dot over full scale 2·fs (fs defaults
+    // to the reduction length); one LSB is 2·fs / 2^bits and the
+    // quantization noise of a rounding converter is step/√12.
+    const double fs = dot.adc_full_scale > 0.0 ? dot.adc_full_scale : static_cast<double>(k);
+    const double step = 2.0 * fs / static_cast<double>(1u << dot.adc_bits);
+    variance += step * step / 12.0;
+  }
+
+  const auto& pd = dot.pd_noise;
+  if (pd.enabled && (pd.thermal_noise_std > 0.0 || pd.shot_noise_scale > 0.0)) {
+    // Measure the per-chunk detection noise the way the SNR bench does,
+    // then stretch it over the ⌈k/λ⌉ chunks a length-k reduction takes.
+    SnrConfig snr;
+    snr.wavelengths = dot.wavelengths;
+    snr.noise = pd;
+    const SnrReport rep = measure_ddot_snr(snr);
+    const std::size_t nl = std::max<std::size_t>(dot.wavelengths, 1);
+    const double chunks = std::ceil(static_cast<double>(std::max<std::size_t>(k, 1)) /
+                                    static_cast<double>(nl));
+    variance += rep.noise_rms * rep.noise_rms * chunks;
+  }
+
+  return std::sqrt(variance);
+}
+
+EventCounter checksum_lane_events(std::size_t h, std::size_t w, std::size_t k,
+                                  std::size_t chunks) {
+  EventCounter ev;
+  // One extra A row and one extra B column modulated per tile step; the
+  // h + w checksum outputs are detected, reduced and digitized like data
+  // lanes.  The spare row/column computes inside the same tile step, so
+  // occupancy cycles are unchanged.
+  ev.modulation_events = 2 * k;
+  ev.adc_events = h + w;
+  ev.ddot_ops = (h + w) * chunks;
+  ev.detection_events = (h + w) * chunks;
+  ev.macs = (h + w) * k;
+  ev.cycles = 0;
+  return ev;
+}
+
+}  // namespace pdac::ptc

@@ -1,0 +1,129 @@
+// abft.hpp — algorithm-based fault tolerance for the photonic GEMM path:
+// checksum lanes, noise-calibrated tolerance bands, per-tile verdicts.
+//
+// Analog compute fails silently: a stuck MRR, dead receive PD or stepped
+// TIA gain that strikes *between* scheduled self-tests corrupts every
+// reduction it touches with no error flag anywhere (the hazard
+// Al-Qadasi et al. flag for deep photonic pipelines, and that Mirage
+// counters with digital residue checks around analog MACs).  The guard
+// closes that window in-band, at tile granularity:
+//
+//   * every prepared B operand carries one checksum column per
+//     array-width column stripe — the digital sum of the stripe's
+//     encoded columns, Σ_j y′_j, computed by the controller at prepare
+//     time and cached with the operand;
+//   * every A operand gets one checksum row per array-height row stripe
+//     (Σ_i x′_i), rebuilt with the per-product A-side encode pass;
+//   * each H×W output tile is augmented with its checksum lane outputs:
+//     row lane r_i = ⟨x′_i, Σ_j y′_j⟩ and column lane c_j = ⟨Σ_i x′_i,
+//     y′_j⟩, and the digitized data outputs are summed against them —
+//     Σ_j tile(i,j) must equal r_i and Σ_i tile(i,j) must equal c_j
+//     within a tolerance band.
+//
+// Modeling note (DESIGN.md §12): the physical array runs the checksum
+// lanes through one spare DDot row + column per tile step — the event
+// charge below — while the *reference* side of the comparison is the
+// controller's digital prediction from the operand amplitudes it
+// calibrated.  The simulator computes the checksum-lane outputs in the
+// amplitude domain (sums of encoded amplitudes, i.e. an ideal checksum
+// modulator) rather than re-encoding a value-domain checksum column:
+// encoding Σ_j b_j through the arccos-approximating P-DAC would fold the
+// encoder's documented 8.5 % nonlinearity into every comparison and the
+// band would have to swallow it, blinding the guard to exactly the
+// faults it exists to catch.  With amplitude-domain checksums the
+// fault-free residual is pure floating-point reassociation (≲ 1e−13
+// relative) plus — when enabled — ADC readout quantization and detector
+// noise, all of which guard_tolerance covers with provable headroom, so
+// the false-positive rate on clean hardware is ~0 by construction while
+// a latched modulator or dead PD bit lands orders of magnitude outside
+// the band.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "ptc/event_counter.hpp"
+
+namespace pdac::converters {
+class Quantizer;
+}
+
+namespace pdac::ptc {
+
+struct DotEngineConfig;
+
+/// Guard knobs; aggregate-initializable so configs stay declarative.
+struct GuardConfig {
+  /// Master switch: off = the engine computes and charges nothing extra
+  /// and results are bit-for-bit the unguarded ones.
+  bool enabled{false};
+  /// Multiplier on `noise_sigma` — the statistical half of the band.
+  /// 8σ keeps the clean false-positive probability below ~1e−15 per
+  /// comparison even for Gaussian-tailed noise.
+  double noise_zscore{8.0};
+  /// Per-dot readout noise sigma in raw (pre-rescale) dot units.  Leave
+  /// 0 for the deterministic simulator path; calibrate_guard_sigma()
+  /// derives it from the ADC step and the measured PD noise floor when
+  /// either is active.
+  double noise_sigma{0.0};
+  /// Multiplier on the machine-epsilon reassociation bound — the
+  /// deterministic half of the band.  The default is ~100× the worst
+  /// residual observed over millions of clean tiles; a genuine stuck
+  /// lane overshoots it by 6+ orders of magnitude.
+  double fp_slack{64.0};
+};
+
+/// Tolerance band for one checksum comparison: `fan` digitized dot
+/// products of length k summed against the digital reference, where
+/// `mag` bounds the magnitude of the individual raw dot values involved.
+/// Deterministic term: fp_slack · ε · k · (fan+1) · max(mag, 1); noise
+/// term: zscore · noise_sigma · √(fan+1).
+[[nodiscard]] double guard_tolerance(const GuardConfig& cfg, std::size_t k, std::size_t fan,
+                                     double mag);
+
+/// Noise-calibrated default sigma for a dot engine: the ADC readout's
+/// quantization noise (step/√12 in raw dot units, when adc_readout is
+/// on) plus the photodetector noise floor (per-chunk sigma × √chunks,
+/// when pd_noise is active) for reductions of length k.  Returns 0 for
+/// the fully deterministic path — the band then collapses to the
+/// floating-point term and the comparison is exact to reassociation.
+[[nodiscard]] double calibrate_guard_sigma(const DotEngineConfig& dot, std::size_t k);
+
+/// Verdict for one guarded tile.
+struct TileCheck {
+  std::size_t tile{0};        ///< tile index in scheduler order
+  bool ok{true};              ///< every row/column comparison inside the band
+  double worst_residual{0.0}; ///< largest |analog sum − digital reference|
+  double tolerance{0.0};      ///< band at the worst comparison's site
+};
+
+/// Aggregated guard outcome of one product (GemmResult::guard).  The
+/// checksum-lane charge is kept in its own counter so the data-path
+/// events stay field-for-field identical to the unguarded product —
+/// callers fold `checksum_events` into their energy accounting
+/// explicitly (arch::event_energy prices it).
+struct GuardOutcome {
+  bool enabled{false};
+  std::size_t tiles_checked{0};
+  std::size_t mismatched_tiles{0};
+  /// First mismatched tile in scheduler order (detection site);
+  /// SIZE_MAX when every tile verified.
+  std::size_t first_mismatch{static_cast<std::size_t>(-1)};
+  double worst_residual{0.0};
+  double worst_tolerance{0.0};
+  /// Checksum-lane charge: per H×W tile step one extra A row and one
+  /// extra B column are modulated (2·k events), the H+W checksum lane
+  /// outputs are digitized and their DDots reduced; the lanes ride a
+  /// spare array row/column inside the same tile step, so they add no
+  /// occupancy cycles.
+  EventCounter checksum_events;
+
+  [[nodiscard]] bool clean() const { return mismatched_tiles == 0; }
+};
+
+/// Checksum-lane events for one h×w tile of reduction length k chunked
+/// over `chunks` WDM passes — the documented extra charge per tile.
+[[nodiscard]] EventCounter checksum_lane_events(std::size_t h, std::size_t w, std::size_t k,
+                                                std::size_t chunks);
+
+}  // namespace pdac::ptc

@@ -1,6 +1,7 @@
 #include "ptc/gemm_engine.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/require.hpp"
 #include "converters/quantizer.hpp"
@@ -49,11 +50,33 @@ PreparedOperand PhotonicGemm::prepare_b(const Matrix& b, std::uint64_t epoch) co
                           engine_.encode_span(norm_scratch_.row(r), pb.encoded.row(r));
                         }
                       });
+
+  // ABFT column checksums (abft.hpp): one digital sum of the encoded
+  // columns per array-width stripe, cached with the operand so guarded
+  // runs pay the O(n·k) sums once per prepare, not once per product.
+  if (cfg_.guard.enabled) {
+    pb.checksum_stripe = cfg_.array_cols;
+    const std::size_t stripes = (pb.cols + cfg_.array_cols - 1) / cfg_.array_cols;
+    pb.checksum = Matrix(stripes, pb.rows);
+    std::fill(pb.checksum.data().begin(), pb.checksum.data().end(), 0.0);
+    for (std::size_t j = 0; j < pb.cols; ++j) {
+      const auto src = pb.encoded.row(j);
+      const auto dst = pb.checksum.row(j / cfg_.array_cols);
+      for (std::size_t p = 0; p < pb.rows; ++p) dst[p] += src[p];
+    }
+  }
   return pb;
 }
 
 GemmResult PhotonicGemm::multiply_prepared(const Matrix& a, const PreparedOperand& b) const {
   PDAC_REQUIRE(a.cols() == b.rows, "PhotonicGemm: inner dimensions must agree");
+  const bool guarded = cfg_.guard.enabled;
+  if (guarded) {
+    PDAC_REQUIRE(b.checksum_stripe == cfg_.array_cols &&
+                     b.checksum.rows() == (b.cols + cfg_.array_cols - 1) / cfg_.array_cols,
+                 "PhotonicGemm: guarded execution needs an operand prepared under the same "
+                 "guarded config (prepare_b with guard.enabled)");
+  }
   const double a_scale = converters::max_abs_scale(a.data());
   const std::size_t k = a.cols();
 
@@ -83,13 +106,43 @@ GemmResult PhotonicGemm::multiply_prepared(const Matrix& a, const PreparedOperan
   // count (the numerics are deterministic element-wise anyway).
   event_scratch_.assign(tiles.size(), EventCounter{});
 
+  // Guard setup: build the A row-stripe checksums (Σ_i x′_i per
+  // array_rows-high stripe) once per product.  References compare
+  // against the *golden* encodings — b.reference when the operand
+  // carries a calibration-state snapshot (faults layer), b.encoded
+  // otherwise (the immutable healthy path, where they coincide).
+  const Matrix& bref = (guarded && b.reference.size() > 0) ? b.reference : b.encoded;
+  if (guarded) {
+    const std::size_t row_stripes = (a.rows() + cfg_.array_rows - 1) / cfg_.array_rows;
+    xsum_scratch_.resize(row_stripes, k);
+    std::fill(xsum_scratch_.data().begin(), xsum_scratch_.data().end(), 0.0);
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+      const auto src = ae.row(i);
+      const auto dst = xsum_scratch_.row(i / cfg_.array_rows);
+      for (std::size_t p = 0; p < k; ++p) dst[p] += src[p];
+    }
+    check_scratch_.assign(tiles.size(), TileCheck{});
+  }
+
   for_each_tile(*pool_, tiles, [&](std::size_t t, std::size_t worker) {
     const Tile& tile = tiles[t];
     const Ddot& ddot = worker_ddots_[worker];
     EventCounter reduction;  // detection / ddot_ops / macs from the dots run
+    // Raw (pre-rescale) tile sums for the checksum comparison; tiny and
+    // tile-local, so the allocation stays off the unguarded path.
+    std::vector<double> rsum, csum;
+    if (guarded) {
+      rsum.assign(tile.rows, 0.0);
+      csum.assign(tile.cols, 0.0);
+    }
     for (std::size_t i = tile.row0; i < tile.row0 + tile.rows; ++i) {
       for (std::size_t j = tile.col0; j < tile.col0 + tile.cols; ++j) {
-        res.c(i, j) = engine_.dot_preencoded(ae.row(i), b.encoded.row(j), &reduction, &ddot) * rescale;
+        const double raw = engine_.dot_preencoded(ae.row(i), b.encoded.row(j), &reduction, &ddot);
+        res.c(i, j) = raw * rescale;
+        if (guarded) {
+          rsum[i - tile.row0] += raw;
+          csum[j - tile.col0] += raw;
+        }
       }
     }
     // Broadcast-amortization contract (see header): modulation, ADC and
@@ -100,9 +153,63 @@ GemmResult PhotonicGemm::multiply_prepared(const Matrix& a, const PreparedOperan
     reduction.adc_events = tile.rows * tile.cols;
     reduction.cycles = chunks;
     event_scratch_[t] = reduction;
+
+    if (guarded) {
+      TileCheck check;
+      check.tile = t;
+      // The deterministic band scales with the raw dot magnitudes, which
+      // |x′·y′| ≤ 1 per element bounds by k.
+      const double mag = static_cast<double>(k);
+      const double tol_row = guard_tolerance(cfg_.guard, k, tile.cols, mag);
+      const double tol_col = guard_tolerance(cfg_.guard, k, tile.rows, mag);
+      const auto note = [&check](double residual, double tol) {
+        // NaN residuals must read as mismatches, never as "in band".
+        if (std::isnan(residual) || residual > check.worst_residual) {
+          check.worst_residual = residual;
+          check.tolerance = tol;
+        }
+        if (std::isnan(residual) || residual > tol) check.ok = false;
+      };
+      // Row lanes: Σ_j tile(i,j) vs ⟨golden x′_i, cached Σ_j y′_j⟩.
+      const auto ysum = b.checksum.row(tile.col0 / cfg_.array_cols);
+      for (std::size_t i = tile.row0; i < tile.row0 + tile.rows; ++i) {
+        const auto xr = ae.row(i);
+        double ref = 0.0;
+        for (std::size_t p = 0; p < k; ++p) ref += xr[p] * ysum[p];
+        note(std::abs(rsum[i - tile.row0] - ref), tol_row);
+      }
+      // Column lanes: Σ_i tile(i,j) vs ⟨Σ_i x′_i, golden y′_j⟩.
+      const auto xsum = xsum_scratch_.row(tile.row0 / cfg_.array_rows);
+      for (std::size_t j = tile.col0; j < tile.col0 + tile.cols; ++j) {
+        const auto yr = bref.row(j);
+        double ref = 0.0;
+        for (std::size_t p = 0; p < k; ++p) ref += xsum[p] * yr[p];
+        note(std::abs(csum[j - tile.col0] - ref), tol_col);
+      }
+      check_scratch_[t] = check;
+    }
   });
 
   for (const EventCounter& ev : event_scratch_) res.events += ev;
+
+  if (guarded) {
+    res.guard.enabled = true;
+    res.guard.tiles_checked = tiles.size();
+    for (std::size_t t = 0; t < tiles.size(); ++t) {
+      const TileCheck& check = check_scratch_[t];
+      if (!check.ok) {
+        ++res.guard.mismatched_tiles;
+        if (res.guard.first_mismatch == static_cast<std::size_t>(-1)) res.guard.first_mismatch = t;
+      }
+      // NaN-safe fold: a NaN tile residual must stick as the product's
+      // worst, not vanish under an ordinary comparison.
+      if (std::isnan(check.worst_residual) || check.worst_residual > res.guard.worst_residual) {
+        res.guard.worst_residual = check.worst_residual;
+        res.guard.worst_tolerance = check.tolerance;
+      }
+      res.guard.checksum_events += checksum_lane_events(tiles[t].rows, tiles[t].cols, k, chunks);
+    }
+  }
   return res;
 }
 

@@ -37,6 +37,15 @@
 // bit-identical to multiply() — numerics AND event counts — while
 // skipping every B-side pass.  LLM weights are static across tokens, so
 // decode loops prepare each weight matrix once and run it many times.
+//
+// ABFT guard (DESIGN.md §12, abft.hpp): with GemmConfig::guard enabled,
+// prepare_b additionally builds one checksum column per array-width
+// column stripe (cached with the operand) and multiply_prepared runs the
+// checksum lanes alongside every tile, comparing the digitized tile sums
+// against the digital references inside a noise-calibrated band.  The
+// data path is untouched — numerics and EventCounter stay bit-identical
+// to the unguarded product — and the checksum-lane charge is reported
+// separately in GemmResult::guard.checksum_events.
 #pragma once
 
 #include <cstdint>
@@ -45,6 +54,7 @@
 
 #include "common/matrix.hpp"
 #include "common/thread_pool.hpp"
+#include "ptc/abft.hpp"
 #include "ptc/dot_engine.hpp"
 #include "ptc/event_counter.hpp"
 #include "ptc/tile_scheduler.hpp"
@@ -68,9 +78,23 @@ struct PreparedOperand {
   /// path, where packing is fixed by the engine's lane mask.
   std::vector<std::size_t> channels;
 
+  /// ABFT checksum stripes (abft.hpp): row s is the digital sum of the
+  /// encoded columns in column-stripe s, Σ_j encoded.row(j), where
+  /// stripes are `checksum_stripe` columns wide (the preparing config's
+  /// array_cols).  Built by prepare_b under a guarded config and cached
+  /// with the operand; empty when prepared unguarded.
+  Matrix checksum;
+  std::size_t checksum_stripe{0};
+  /// Golden (calibration-state) encoding of the operand for guarded
+  /// execution when the live encoder may have drifted from the state the
+  /// references were calibrated under (faults::GuardedBackend).  Empty on
+  /// the healthy ptc path, where `encoded` doubles as the reference.
+  Matrix reference;
+
   /// Resident size, for byte-capacity cache accounting.
   [[nodiscard]] std::size_t bytes() const {
-    return sizeof(PreparedOperand) + encoded.size() * sizeof(double) +
+    return sizeof(PreparedOperand) +
+           (encoded.size() + checksum.size() + reference.size()) * sizeof(double) +
            channels.size() * sizeof(std::size_t);
   }
 };
@@ -83,6 +107,10 @@ struct GemmConfig {
   /// 0 = auto (PDAC_GEMM_THREADS env var or hardware concurrency).
   /// Results are bit-identical at any value.
   std::size_t threads{1};
+  /// ABFT checksum guard (abft.hpp).  Off by default; when enabled the
+  /// data path and its EventCounter stay bit-identical and the verdicts
+  /// plus checksum-lane charge land in GemmResult::guard.
+  GuardConfig guard{};
 };
 
 struct GemmResult {
@@ -90,6 +118,7 @@ struct GemmResult {
   EventCounter events;
   double a_scale{1.0};
   double b_scale{1.0};
+  GuardOutcome guard;  ///< per-product ABFT verdicts; enabled=false when unguarded
 };
 
 class PhotonicGemm {
@@ -143,6 +172,8 @@ class PhotonicGemm {
   mutable Matrix encode_scratch_;
   mutable std::vector<Tile> tile_scratch_;
   mutable std::vector<EventCounter> event_scratch_;
+  mutable Matrix xsum_scratch_;               // guarded path: A row-stripe checksums
+  mutable std::vector<TileCheck> check_scratch_;
 };
 
 }  // namespace pdac::ptc

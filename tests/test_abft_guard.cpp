@@ -1,0 +1,344 @@
+// Tests for the ABFT checksum guard on the ptc GEMM path: tolerance
+// bands, checksum-lane event contract, bit-identity of the guarded data
+// path, zero false positives on clean hardware, and detection of
+// corrupted prepared operands (the PhotonicBackend cache-repair story).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/require.hpp"
+#include "nn/backend.hpp"
+#include "ptc/abft.hpp"
+#include "ptc/gemm_engine.hpp"
+
+namespace {
+
+using namespace pdac;
+using namespace pdac::ptc;
+
+void expect_events_equal(const EventCounter& a, const EventCounter& b) {
+  EXPECT_EQ(a.modulation_events, b.modulation_events);
+  EXPECT_EQ(a.detection_events, b.detection_events);
+  EXPECT_EQ(a.adc_events, b.adc_events);
+  EXPECT_EQ(a.ddot_ops, b.ddot_ops);
+  EXPECT_EQ(a.macs, b.macs);
+  EXPECT_EQ(a.cycles, b.cycles);
+}
+
+TEST(GuardTolerance, DeterministicBandScalesWithProblemSize) {
+  GuardConfig cfg;
+  cfg.noise_sigma = 0.0;
+  const double base = guard_tolerance(cfg, 64, 8, 64.0);
+  EXPECT_GT(base, 0.0);
+  // Linear in k, fan+1 and mag.
+  EXPECT_DOUBLE_EQ(guard_tolerance(cfg, 128, 8, 64.0), 2.0 * base);
+  EXPECT_DOUBLE_EQ(guard_tolerance(cfg, 64, 17, 64.0), 2.0 * base);
+  EXPECT_DOUBLE_EQ(guard_tolerance(cfg, 64, 8, 128.0), 2.0 * base);
+  // mag below 1 clamps to 1 (absolute floor for near-zero dots).
+  EXPECT_DOUBLE_EQ(guard_tolerance(cfg, 64, 8, 0.25), guard_tolerance(cfg, 64, 8, 1.0));
+}
+
+TEST(GuardTolerance, NoiseTermAddsInQuadratureFan) {
+  GuardConfig cfg;
+  cfg.noise_sigma = 0.01;
+  cfg.noise_zscore = 8.0;
+  cfg.fp_slack = 0.0;  // isolate the statistical half
+  const double band = guard_tolerance(cfg, 64, 8, 64.0);
+  EXPECT_DOUBLE_EQ(band, 8.0 * 0.01 * std::sqrt(9.0));
+}
+
+TEST(GuardTolerance, RejectsNegativeParameters) {
+  GuardConfig cfg;
+  cfg.noise_sigma = -1.0;
+  EXPECT_THROW((void)guard_tolerance(cfg, 8, 8, 1.0), PreconditionError);
+}
+
+TEST(CalibrateGuardSigma, DeterministicPathIsExactlyZero) {
+  DotEngineConfig dot;  // no ADC readout, no PD noise
+  EXPECT_EQ(calibrate_guard_sigma(dot, 256), 0.0);
+}
+
+TEST(CalibrateGuardSigma, AdcReadoutContributesQuantizationNoise) {
+  DotEngineConfig dot;
+  dot.adc_readout = true;
+  dot.adc_bits = 8;
+  const std::size_t k = 64;
+  const double sigma = calibrate_guard_sigma(dot, k);
+  // Full scale defaults to k: one LSB is 2k/2^bits, noise step/sqrt(12).
+  const double step = 2.0 * static_cast<double>(k) / 256.0;
+  EXPECT_NEAR(sigma, step / std::sqrt(12.0), 1e-12);
+  // More bits, less noise.
+  dot.adc_bits = 12;
+  EXPECT_LT(calibrate_guard_sigma(dot, k), sigma);
+}
+
+TEST(ChecksumLaneEvents, MatchesDocumentedContract) {
+  // One spare A row + one spare B column per tile step: 2k modulations,
+  // h+w extra outputs detected/reduced/digitized, zero extra cycles.
+  const EventCounter ev = checksum_lane_events(8, 4, 64, 8);
+  EXPECT_EQ(ev.modulation_events, 2u * 64u);
+  EXPECT_EQ(ev.adc_events, 12u);
+  EXPECT_EQ(ev.ddot_ops, 12u * 8u);
+  EXPECT_EQ(ev.detection_events, 12u * 8u);
+  EXPECT_EQ(ev.macs, 12u * 64u);
+  EXPECT_EQ(ev.cycles, 0u);
+}
+
+TEST(AbftGuard, GuardedMultiplyIsBitIdenticalToUnguarded) {
+  // The tentpole invariant: enabling the guard must not change a single
+  // output bit or a single data-path event — the checksum lanes ride a
+  // spare row/column and their charge is reported separately.
+  const auto drv = core::make_pdac_driver(8);
+  GemmConfig plain;
+  plain.array_rows = 8;
+  plain.array_cols = 4;
+  const PhotonicGemm unguarded(*drv, plain);
+  GemmConfig guarded_cfg = plain;
+  guarded_cfg.guard.enabled = true;
+  const PhotonicGemm guarded(*drv, guarded_cfg);
+
+  Rng rng(7);
+  const Matrix a = Matrix::random_gaussian(13, 22, rng);
+  const Matrix b = Matrix::random_gaussian(22, 9, rng);
+  const GemmResult plain_res = unguarded.multiply(a, b);
+  const GemmResult guard_res = guarded.multiply(a, b);
+
+  ASSERT_EQ(plain_res.c.size(), guard_res.c.size());
+  for (std::size_t i = 0; i < plain_res.c.size(); ++i) {
+    EXPECT_EQ(plain_res.c.data()[i], guard_res.c.data()[i]) << "element " << i;
+  }
+  expect_events_equal(plain_res.events, guard_res.events);
+
+  EXPECT_FALSE(plain_res.guard.enabled);
+  EXPECT_TRUE(guard_res.guard.enabled);
+  EXPECT_TRUE(guard_res.guard.clean());
+  EXPECT_GT(guard_res.guard.tiles_checked, 0u);
+  EXPECT_GT(guard_res.guard.checksum_events.modulation_events, 0u);
+  // The clean residual is pure fp reassociation, far inside the band.
+  EXPECT_LT(guard_res.guard.worst_residual, guard_res.guard.worst_tolerance);
+}
+
+TEST(AbftGuard, GuardedPathBitIdenticalAtAnyThreadCount) {
+  const auto drv = core::make_pdac_driver(8);
+  GemmConfig base;
+  base.array_rows = 8;
+  base.array_cols = 8;
+  base.guard.enabled = true;
+  Rng rng(9);
+  const Matrix a = Matrix::random_gaussian(17, 33, rng);
+  const Matrix b = Matrix::random_gaussian(33, 19, rng);
+
+  GemmConfig serial_cfg = base;
+  serial_cfg.threads = 1;
+  const PhotonicGemm serial(*drv, serial_cfg);
+  const GemmResult ref = serial.multiply(a, b);
+  ASSERT_TRUE(ref.guard.clean());
+
+  for (std::size_t threads : {std::size_t{2}, std::size_t{5}}) {
+    GemmConfig cfg = base;
+    cfg.threads = threads;
+    const PhotonicGemm wide(*drv, cfg);
+    const GemmResult res = wide.multiply(a, b);
+    for (std::size_t i = 0; i < ref.c.size(); ++i) {
+      EXPECT_EQ(res.c.data()[i], ref.c.data()[i]) << threads << " threads, element " << i;
+    }
+    expect_events_equal(res.events, ref.events);
+    EXPECT_TRUE(res.guard.clean());
+    EXPECT_EQ(res.guard.tiles_checked, ref.guard.tiles_checked);
+    EXPECT_DOUBLE_EQ(res.guard.worst_residual, ref.guard.worst_residual);
+  }
+}
+
+TEST(AbftGuard, PreparedPathMatchesMultiplyBitIdentically) {
+  const auto drv = core::make_pdac_driver(8);
+  GemmConfig cfg;
+  cfg.guard.enabled = true;
+  const PhotonicGemm gemm(*drv, cfg);
+  Rng rng(11);
+  const Matrix a = Matrix::random_gaussian(10, 24, rng);
+  const Matrix b = Matrix::random_gaussian(24, 12, rng);
+
+  const GemmResult direct = gemm.multiply(a, b);
+  const PreparedOperand pb = gemm.prepare_b(b);
+  EXPECT_GT(pb.checksum.size(), 0u);
+  EXPECT_EQ(pb.checksum_stripe, cfg.array_cols);
+  const GemmResult prepared = gemm.multiply_prepared(a, pb);
+
+  for (std::size_t i = 0; i < direct.c.size(); ++i) {
+    EXPECT_EQ(prepared.c.data()[i], direct.c.data()[i]);
+  }
+  expect_events_equal(prepared.events, direct.events);
+  EXPECT_TRUE(prepared.guard.clean());
+  EXPECT_EQ(prepared.guard.tiles_checked, direct.guard.tiles_checked);
+}
+
+TEST(AbftGuard, GuardedRunRejectsUnguardedOperand) {
+  const auto drv = core::make_pdac_driver(8);
+  GemmConfig plain;
+  const PhotonicGemm unguarded(*drv, plain);
+  GemmConfig guarded_cfg;
+  guarded_cfg.guard.enabled = true;
+  const PhotonicGemm guarded(*drv, guarded_cfg);
+  Rng rng(3);
+  const Matrix a = Matrix::random_gaussian(4, 8, rng);
+  const Matrix b = Matrix::random_gaussian(8, 4, rng);
+  // An operand prepared without checksums cannot be verified.
+  const PreparedOperand pb = unguarded.prepare_b(b);
+  EXPECT_THROW((void)guarded.multiply_prepared(a, pb), PreconditionError);
+}
+
+TEST(AbftGuard, ZeroFalsePositivesOverTenThousandCleanTiles) {
+  // The acceptance gate: the band must never flag healthy hardware.
+  // 8×8 tiles over 80×80 outputs = 100 tiles per product; 101 seeds of
+  // varying shape push the verified-tile count past 10k.
+  const auto drv = core::make_pdac_driver(8);
+  GemmConfig cfg;
+  cfg.guard.enabled = true;
+  const PhotonicGemm gemm(*drv, cfg);
+  std::size_t tiles = 0;
+  std::size_t mismatched = 0;
+  double worst_margin = 0.0;
+  for (std::uint64_t seed = 1; tiles < 10000; ++seed) {
+    Rng rng(seed);
+    // Ragged shapes included: edge tiles exercise the fan-dependent band.
+    const std::size_t m = 73 + (seed % 16);
+    const std::size_t n = 73 + ((seed * 5) % 16);
+    const std::size_t k = 8 + (seed % 9);
+    const Matrix a = Matrix::random_gaussian(m, k, rng);
+    const Matrix b = Matrix::random_gaussian(k, n, rng);
+    const GemmResult res = gemm.multiply(a, b);
+    tiles += res.guard.tiles_checked;
+    mismatched += res.guard.mismatched_tiles;
+    if (res.guard.worst_tolerance > 0.0) {
+      worst_margin = std::max(worst_margin, res.guard.worst_residual / res.guard.worst_tolerance);
+    }
+  }
+  EXPECT_GE(tiles, 10000u);
+  EXPECT_EQ(mismatched, 0u);
+  // Not merely "no false positive" but comfortably so: the observed
+  // clean residual stays well under half the band.
+  EXPECT_LT(worst_margin, 0.5);
+}
+
+TEST(AbftGuard, NoisyReadoutPathStaysCleanWithCalibratedBand) {
+  // With ADC readout on, the digitized tile sums differ from the digital
+  // references by real quantization noise; calibrate_guard_sigma must
+  // widen the band exactly enough to absorb it.
+  const auto drv = core::make_pdac_driver(8);
+  GemmConfig cfg;
+  cfg.dot.adc_readout = true;
+  cfg.dot.adc_bits = 10;
+  cfg.guard.enabled = true;
+  cfg.guard.noise_sigma = calibrate_guard_sigma(cfg.dot, 48);
+  ASSERT_GT(cfg.guard.noise_sigma, 0.0);
+  const PhotonicGemm gemm(*drv, cfg);
+  std::size_t mismatched = 0;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed);
+    const Matrix a = Matrix::random_gaussian(16, 48, rng);
+    const Matrix b = Matrix::random_gaussian(48, 16, rng);
+    const GemmResult res = gemm.multiply(a, b);
+    mismatched += res.guard.mismatched_tiles;
+    EXPECT_GT(res.guard.worst_residual, 0.0);  // quantization is visible…
+  }
+  EXPECT_EQ(mismatched, 0u);  // …but inside the calibrated band
+}
+
+TEST(AbftGuard, CorruptedPreparedColumnIsDetectedAndLocalized) {
+  // Corrupt one cached encoded column after prepare: the row checksum
+  // lanes (whose reference stripes were summed at prepare time) flag
+  // exactly the tiles whose column range covers the corrupted column.
+  const auto drv = core::make_pdac_driver(8);
+  GemmConfig cfg;
+  cfg.array_rows = 8;
+  cfg.array_cols = 8;
+  cfg.guard.enabled = true;
+  const PhotonicGemm gemm(*drv, cfg);
+  Rng rng(21);
+  const Matrix a = Matrix::random_gaussian(24, 16, rng);  // 3 row stripes
+  const Matrix b = Matrix::random_gaussian(16, 24, rng);  // 3 col stripes
+
+  PreparedOperand pb = gemm.prepare_b(b);
+  const std::size_t bad_col = 13;  // column stripe 1
+  pb.encoded.row(bad_col)[3] += 0.25;  // one flipped amplitude
+
+  const GemmResult res = gemm.multiply_prepared(a, pb);
+  EXPECT_FALSE(res.guard.clean());
+  // Tiles are row-major over a 3×3 grid; column stripe 1 owns tile
+  // indices {1, 4, 7}, so detection fires at tile 1 and nowhere outside
+  // the stripe.
+  EXPECT_EQ(res.guard.mismatched_tiles, 3u);
+  EXPECT_EQ(res.guard.first_mismatch, 1u);
+  // A genuine corruption lands far outside the band, not marginally.
+  EXPECT_GT(res.guard.worst_residual, 100.0 * res.guard.worst_tolerance);
+}
+
+TEST(AbftGuard, NanInCorruptedOperandIsNeverInBand) {
+  // A dead PD can NaN an analog sum; NaN must read as a mismatch (a
+  // plain residual > tol comparison would silently pass it).
+  const auto drv = core::make_pdac_driver(8);
+  GemmConfig cfg;
+  cfg.guard.enabled = true;
+  const PhotonicGemm gemm(*drv, cfg);
+  Rng rng(5);
+  const Matrix a = Matrix::random_gaussian(8, 12, rng);
+  const Matrix b = Matrix::random_gaussian(12, 8, rng);
+  PreparedOperand pb = gemm.prepare_b(b);
+  pb.encoded.row(2)[0] = std::numeric_limits<double>::quiet_NaN();
+  const GemmResult res = gemm.multiply_prepared(a, pb);
+  EXPECT_FALSE(res.guard.clean());
+  EXPECT_TRUE(std::isnan(res.guard.worst_residual));
+}
+
+TEST(AbftGuard, PhotonicBackendSurfacesGuardStats) {
+  nn::PhotonicBackend unguarded(core::make_pdac_driver(8), ptc::GemmConfig{});
+  EXPECT_EQ(unguarded.guard_stats(), nullptr);
+
+  nn::PhotonicBackend backend(core::make_pdac_driver(8), nn::guarded_gemm_config());
+  Rng rng(13);
+  const Matrix a = Matrix::random_gaussian(9, 16, rng);
+  const Matrix b = Matrix::random_gaussian(16, 9, rng);
+  (void)backend.matmul(a, b);
+  (void)backend.matmul(a, b);
+  const nn::GuardStats* stats = backend.guard_stats();
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->products, 2u);
+  EXPECT_GT(stats->tiles_checked, 0u);
+  EXPECT_EQ(stats->mismatched_tiles, 0u);
+  EXPECT_EQ(stats->cache_repairs, 0u);
+  EXPECT_GT(stats->checksum_events.macs, 0u);
+}
+
+TEST(AbftGuard, PhotonicBackendAutoRepairsCorruptedCacheEntry) {
+  // On the immutable driver a guarded mismatch can only mean the cached
+  // operand's memory was corrupted after insertion; matmul_cached must
+  // detect it, drop the entry, re-prepare and return the clean result.
+  nn::PhotonicBackend backend(core::make_pdac_driver(8), nn::guarded_gemm_config());
+  Rng rng(17);
+  const Matrix a = Matrix::random_gaussian(8, 16, rng);
+  const Matrix b = Matrix::random_gaussian(16, 8, rng);
+  const nn::WeightHandle w{42, 1};
+
+  const Matrix clean = backend.matmul_cached(a, b, w);
+
+  // Flip a bit in the cached operand behind the backend's back.
+  auto pb = backend.cache().lookup(w.id, w.version, 0);
+  ASSERT_NE(pb, nullptr);
+  const_cast<ptc::PreparedOperand*>(pb.get())->encoded.row(4)[2] += 0.5;
+
+  const Matrix repaired = backend.matmul_cached(a, b, w);
+  const nn::GuardStats* stats = backend.guard_stats();
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->cache_repairs, 1u);
+  EXPECT_GT(stats->mismatched_tiles, 0u);
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    EXPECT_EQ(repaired.data()[i], clean.data()[i]) << "element " << i;
+  }
+  // The repaired entry serves the next product cleanly with no new repair.
+  const Matrix again = backend.matmul_cached(a, b, w);
+  EXPECT_EQ(backend.guard_stats()->cache_repairs, 1u);
+  for (std::size_t i = 0; i < clean.size(); ++i) EXPECT_EQ(again.data()[i], clean.data()[i]);
+}
+
+}  // namespace

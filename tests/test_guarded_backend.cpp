@@ -1,0 +1,372 @@
+// Tests for the ABFT-guarded GEMM backend over a live lane bank:
+// bit-identity to the degraded backend on clean hardware, zero false
+// positives, in-band detection of silent faults (pre-product and
+// mid-product storms), the retry → re-trim → fence escalation ladder,
+// and the operand-cache epoch interplay.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/require.hpp"
+#include "common/stats.hpp"
+#include "faults/degraded_backend.hpp"
+#include "faults/fault_injector.hpp"
+#include "faults/guarded_backend.hpp"
+#include "faults/self_test.hpp"
+
+namespace {
+
+using namespace pdac;
+
+faults::LaneBankConfig small_bank_config(std::uint64_t seed = 5) {
+  faults::LaneBankConfig cfg;
+  cfg.pdac.bits = 8;
+  cfg.wavelengths = 4;
+  cfg.variation.tia_gain_sigma = 0.01;
+  cfg.variation.bias_sigma = 0.002;
+  cfg.variation.vpi_drift_sigma = 0.005;
+  cfg.variation.seed = seed;
+  return cfg;
+}
+
+faults::FaultSchedule one_event(std::size_t lanes, faults::FaultEvent ev,
+                                std::uint64_t horizon = 8) {
+  faults::FaultSchedule sched;
+  sched.cfg.lanes = lanes;
+  sched.cfg.bits = 8;
+  sched.cfg.horizon_steps = horizon;
+  sched.events.push_back(ev);
+  return sched;
+}
+
+faults::FaultEvent stuck_mrr(std::size_t lane, std::uint64_t step = 1) {
+  faults::FaultEvent ev;
+  ev.step = step;
+  ev.lane = lane;
+  ev.kind = faults::FaultKind::kStuckMrr;
+  ev.magnitude = 0.4;
+  return ev;
+}
+
+void expect_matrices_equal(const Matrix& got, const Matrix& want) {
+  ASSERT_EQ(got.rows(), want.rows());
+  ASSERT_EQ(got.cols(), want.cols());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(got.data()[i], want.data()[i]) << "element " << i;
+  }
+}
+
+void expect_events_equal(const ptc::EventCounter& a, const ptc::EventCounter& b) {
+  EXPECT_EQ(a.modulation_events, b.modulation_events);
+  EXPECT_EQ(a.detection_events, b.detection_events);
+  EXPECT_EQ(a.adc_events, b.adc_events);
+  EXPECT_EQ(a.ddot_ops, b.ddot_ops);
+  EXPECT_EQ(a.macs, b.macs);
+  EXPECT_EQ(a.cycles, b.cycles);
+}
+
+TEST(GuardedBackend, CleanBankBitIdenticalToDegradedBackend) {
+  // On healthy hardware the guard must be pure observation: the data
+  // path (same per-lane encodes, same ascending-p accumulation) and the
+  // data-path events match DegradedBackend bit for bit / field for
+  // field, and every tile verifies.
+  faults::LaneBank bank(small_bank_config());
+  faults::production_trim(bank);
+  faults::GuardedBackend guarded(bank);
+  faults::DegradedBackend degraded(bank);
+  Rng rng(3);
+  const Matrix a = Matrix::random_gaussian(13, 18, rng, 0.0, 1.0);
+  const Matrix b = Matrix::random_gaussian(18, 11, rng, 0.0, 1.0);
+
+  const Matrix g = guarded.matmul(a, b);
+  const Matrix d = degraded.matmul(a, b);
+  expect_matrices_equal(g, d);
+  expect_events_equal(guarded.events(), degraded.events());
+
+  const faults::HealthSnapshot& snap = guarded.monitor().snapshot();
+  EXPECT_EQ(snap.products, 1u);
+  EXPECT_EQ(snap.detections, 0u);
+  EXPECT_EQ(snap.mismatched_tiles, 0u);
+  EXPECT_GT(snap.tiles_checked, 0u);
+  EXPECT_GT(snap.checksum_events.modulation_events, 0u);
+  EXPECT_LT(snap.worst_residual, snap.worst_tolerance);
+}
+
+TEST(GuardedBackend, CleanRunBitIdenticalAtAnyThreadCount) {
+  Rng rng(7);
+  const Matrix a = Matrix::random_gaussian(17, 20, rng, 0.0, 1.0);
+  const Matrix b = Matrix::random_gaussian(20, 13, rng, 0.0, 1.0);
+
+  faults::LaneBank ref_bank(small_bank_config());
+  faults::production_trim(ref_bank);
+  faults::GuardedBackend serial(ref_bank);
+  const Matrix want = serial.matmul(a, b);
+
+  for (std::size_t threads : {std::size_t{2}, std::size_t{4}}) {
+    faults::LaneBank bank(small_bank_config());
+    faults::production_trim(bank);
+    faults::GuardedBackendConfig cfg;
+    cfg.threads = threads;
+    faults::GuardedBackend wide(bank, cfg);
+    expect_matrices_equal(wide.matmul(a, b), want);
+    expect_events_equal(wide.events(), serial.events());
+    EXPECT_EQ(wide.monitor().snapshot().detections, 0u);
+  }
+}
+
+TEST(GuardedBackend, CachedProductBitIdenticalAndServedFromCache) {
+  faults::LaneBank bank(small_bank_config());
+  faults::production_trim(bank);
+  faults::GuardedBackend backend(bank);
+  Rng rng(9);
+  const Matrix a = Matrix::random_gaussian(9, 16, rng, 0.0, 1.0);
+  const Matrix b = Matrix::random_gaussian(16, 9, rng, 0.0, 1.0);
+  const nn::WeightHandle w{11, 1};
+
+  const Matrix uncached = backend.matmul(a, b);
+  const Matrix first = backend.matmul_cached(a, b, w);
+  const Matrix second = backend.matmul_cached(a, b, w);
+  expect_matrices_equal(first, uncached);
+  expect_matrices_equal(second, uncached);
+  EXPECT_EQ(backend.cache().stats().misses, 1u);
+  EXPECT_EQ(backend.cache().stats().hits, 1u);
+  EXPECT_EQ(backend.monitor().snapshot().detections, 0u);
+}
+
+TEST(GuardedBackend, ZeroFalsePositivesOverTenThousandCleanTiles) {
+  // Acceptance gate on the live-bank path: golden snapshots and current
+  // lane state coincide on healthy hardware, so ≥ 10k verified tiles
+  // across many shapes must produce zero detections.
+  faults::LaneBank bank(small_bank_config());
+  faults::production_trim(bank);
+  faults::GuardedBackend backend(bank);
+  std::size_t products = 0;
+  for (std::uint64_t seed = 1; backend.monitor().snapshot().tiles_checked < 10000; ++seed) {
+    Rng rng(seed);
+    const std::size_t k = 6 + (seed % 7);
+    const Matrix a = Matrix::random_gaussian(77 + (seed % 8), k, rng, 0.0, 1.0);
+    const Matrix b = Matrix::random_gaussian(k, 77 + ((seed * 3) % 8), rng, 0.0, 1.0);
+    (void)backend.matmul(a, b);
+    ++products;
+  }
+  const faults::HealthSnapshot& snap = backend.monitor().snapshot();
+  EXPECT_GE(snap.tiles_checked, 10000u);
+  EXPECT_EQ(snap.mismatched_tiles, 0u);
+  EXPECT_EQ(snap.detections, 0u);
+  EXPECT_EQ(snap.products, products);
+  EXPECT_LT(snap.worst_residual, 0.5 * snap.worst_tolerance);
+}
+
+TEST(GuardedBackend, PreProductStuckMrrDetectedAndRecovered) {
+  // A fault that lands BETWEEN products silently corrupts the next one:
+  // data encodes through the stuck lane while the references come from
+  // the golden snapshot, so detection fires in the first pass, the
+  // ladder climbs retry → re-trim (self-test fences the dead lane), and
+  // the re-run on survivors matches a degraded product bit for bit.
+  faults::LaneBank bank(small_bank_config());
+  faults::production_trim(bank);
+  faults::GuardedBackend backend(bank);
+  faults::FaultInjector injector(bank, one_event(bank.lanes(), stuck_mrr(3)));
+  injector.advance_to(8);
+
+  Rng rng(5);
+  const Matrix a = Matrix::random_gaussian(16, 16, rng, 0.0, 1.0);
+  const Matrix b = Matrix::random_gaussian(16, 16, rng, 0.0, 1.0);
+  const Matrix got = backend.matmul(a, b);
+
+  const faults::HealthSnapshot& snap = backend.monitor().snapshot();
+  EXPECT_EQ(snap.detections, 1u);
+  EXPECT_GT(snap.mismatched_tiles, 0u);
+  EXPECT_EQ(snap.retries, 1u);   // retry re-runs through the still-stuck lane
+  EXPECT_EQ(snap.retrims, 1u);   // the self-test rung then fences it
+  EXPECT_EQ(snap.unrecovered, 0u);
+  EXPECT_GT(snap.probe_events, 0u);
+  ASSERT_GT(snap.lane_mismatches.size(), 3u);
+  EXPECT_GE(snap.lane_mismatches[3], 1u);
+  EXPECT_TRUE(bank.lane(3).fenced);
+  EXPECT_GT(snap.retry_events.macs, 0u);
+
+  // Recovered output is a faithful degraded product, not best-effort
+  // garbage: bit-identical to DegradedBackend on the recovered bank and
+  // numerically close to the exact reference.
+  faults::DegradedBackend degraded(bank);
+  expect_matrices_equal(got, degraded.matmul(a, b));
+  const auto err = stats::compare(got.data(), matmul_reference(a, b).data());
+  EXPECT_GT(err.cosine, 0.99);
+}
+
+TEST(GuardedBackend, DeadPdBitIsDetectedAndRecovered) {
+  faults::LaneBank bank(small_bank_config());
+  faults::production_trim(bank);
+  faults::GuardedBackend backend(bank);
+  faults::FaultEvent ev;
+  ev.step = 1;
+  ev.lane = 5;  // y rail of channel 1
+  ev.kind = faults::FaultKind::kDeadPd;
+  ev.bit = 7;  // MSB: every negative code loses its largest weight
+  faults::FaultInjector injector(bank, one_event(bank.lanes(), ev));
+  injector.advance_to(8);
+
+  Rng rng(19);
+  const Matrix a = Matrix::random_gaussian(16, 12, rng, 0.0, 1.0);
+  const Matrix b = Matrix::random_gaussian(12, 16, rng, 0.0, 1.0);
+  const Matrix got = backend.matmul(a, b);
+
+  const faults::HealthSnapshot& snap = backend.monitor().snapshot();
+  EXPECT_EQ(snap.detections, 1u);
+  EXPECT_EQ(snap.unrecovered, 0u);
+  EXPECT_TRUE(bank.lane(5).fenced);
+  const auto err = stats::compare(got.data(), matmul_reference(a, b).data());
+  EXPECT_GT(err.cosine, 0.99);
+}
+
+TEST(GuardedBackend, FenceRungMatchesDegradedRerunBitIdentically) {
+  // Ladder clamped to the fence rung: the golden-table readback must
+  // fence exactly the diverged lane, attribute it in the monitor, bump
+  // the epoch, and the guarded re-run on the survivors must equal a
+  // DegradedBackend product on the post-fence bank bit for bit.
+  faults::LaneBank bank(small_bank_config());
+  faults::production_trim(bank);
+  faults::GuardedBackendConfig cfg;
+  cfg.escalation.max_retries = 0;
+  cfg.escalation.max_retrims = 0;
+  cfg.escalation.allow_fence = true;
+  faults::GuardedBackend backend(bank, cfg);
+  faults::FaultInjector injector(bank, one_event(bank.lanes(), stuck_mrr(3)));
+  injector.advance_to(8);
+  const std::uint64_t epoch_before = bank.epoch();
+
+  Rng rng(23);
+  const Matrix a = Matrix::random_gaussian(12, 16, rng, 0.0, 1.0);
+  const Matrix b = Matrix::random_gaussian(16, 12, rng, 0.0, 1.0);
+  const Matrix got = backend.matmul(a, b);
+
+  const faults::HealthSnapshot& snap = backend.monitor().snapshot();
+  EXPECT_EQ(snap.retries, 0u);
+  EXPECT_EQ(snap.retrims, 0u);
+  EXPECT_EQ(snap.fences, 1u);
+  EXPECT_EQ(snap.unrecovered, 0u);
+  EXPECT_GT(snap.probe_events, 0u);
+  EXPECT_TRUE(bank.lane(3).fenced);
+  // Only the diverged lane is fenced — healthy implicated lanes survive
+  // the readback untouched.
+  EXPECT_EQ(bank.fenced_lanes(), 1u);
+  ASSERT_GT(snap.lane_mismatches.size(), 3u);
+  EXPECT_EQ(snap.lane_mismatches[3], 1u);
+  EXPECT_GT(bank.epoch(), epoch_before);
+
+  faults::DegradedBackend degraded(bank);
+  expect_matrices_equal(got, degraded.matmul(a, b));
+}
+
+TEST(GuardedBackend, ExhaustedLadderReturnsBestEffortAndCountsUnrecovered) {
+  faults::LaneBank bank(small_bank_config());
+  faults::production_trim(bank);
+  faults::GuardedBackendConfig cfg;
+  cfg.escalation.max_retries = 0;
+  cfg.escalation.max_retrims = 0;
+  cfg.escalation.allow_fence = false;  // every rung disabled
+  faults::GuardedBackend backend(bank, cfg);
+  faults::FaultInjector injector(bank, one_event(bank.lanes(), stuck_mrr(2)));
+  injector.advance_to(8);
+
+  Rng rng(29);
+  const Matrix a = Matrix::random_gaussian(8, 12, rng, 0.0, 1.0);
+  const Matrix b = Matrix::random_gaussian(12, 8, rng, 0.0, 1.0);
+  const Matrix got = backend.matmul(a, b);
+
+  const faults::HealthSnapshot& snap = backend.monitor().snapshot();
+  EXPECT_EQ(snap.detections, 1u);
+  EXPECT_EQ(snap.unrecovered, 1u);
+  EXPECT_FALSE(bank.lane(2).fenced);  // nothing was allowed to act
+  // Best-effort output is returned (not zeroed) — the caller sees the
+  // corruption through the monitor, not through a silent blank.
+  double max_abs = 0.0;
+  for (double v : got.data()) max_abs = std::max(max_abs, std::abs(v));
+  EXPECT_GT(max_abs, 0.0);
+}
+
+TEST(GuardedBackend, StormDetectsMidProductFaultInAffectedTile) {
+  // A storm advances the injector's clock before every tile step, so a
+  // fault scheduled at step S strikes between tiles: every tile before
+  // it verifies, detection fires exactly at the first tile encoded after
+  // the strike, and the ladder still recovers the product.
+  faults::LaneBank bank(small_bank_config());
+  faults::production_trim(bank);
+  faults::GuardedBackend backend(bank);
+  const std::uint64_t fault_step = 42;
+  faults::FaultInjector injector(bank,
+                                 one_event(bank.lanes(), stuck_mrr(3, fault_step), 256));
+  backend.attach_storm(&injector, 1);
+
+  Rng rng(31);
+  // 80×80 outputs on the 8×8 array: 100 serialized tile steps.
+  const Matrix a = Matrix::random_gaussian(80, 16, rng, 0.0, 1.0);
+  const Matrix b = Matrix::random_gaussian(16, 80, rng, 0.0, 1.0);
+  const Matrix got = backend.matmul(a, b);
+
+  const faults::HealthSnapshot& snap = backend.monitor().snapshot();
+  EXPECT_EQ(snap.products, 1u);
+  EXPECT_EQ(snap.detections, 1u);
+  // The clock reads t+1 before tile t, so step 42 lands before tile 41 —
+  // detection latency is the 42 tiles scanned up to and including it.
+  EXPECT_DOUBLE_EQ(snap.mean_detection_latency(), static_cast<double>(fault_step));
+  // Tiles before the strike stayed clean; everything after mismatched.
+  EXPECT_EQ(snap.mismatched_tiles, 100u - (fault_step - 1));
+  EXPECT_EQ(snap.unrecovered, 0u);
+  EXPECT_TRUE(bank.lane(3).fenced);
+
+  const auto err = stats::compare(got.data(), matmul_reference(a, b).data());
+  EXPECT_GT(err.cosine, 0.99);
+}
+
+TEST(GuardedBackend, EpochBumpInvalidatesCachedOperandAndGuardStillFires) {
+  // Weight-stationary interplay: the injector's epoch bump forces a
+  // re-prepare (no stale encodings escape the cache), and because the
+  // golden snapshot predates the fault, the freshly prepared product is
+  // still caught and recovered.
+  faults::LaneBank bank(small_bank_config());
+  faults::production_trim(bank);
+  faults::GuardedBackend backend(bank);
+  Rng rng(37);
+  const Matrix a = Matrix::random_gaussian(12, 16, rng, 0.0, 1.0);
+  const Matrix b = Matrix::random_gaussian(16, 12, rng, 0.0, 1.0);
+  const nn::WeightHandle w{7, 1};
+
+  (void)backend.matmul_cached(a, b, w);  // miss + insert
+  (void)backend.matmul_cached(a, b, w);  // hit
+  EXPECT_EQ(backend.cache().stats().hits, 1u);
+  EXPECT_EQ(backend.monitor().snapshot().detections, 0u);
+
+  faults::FaultInjector injector(bank, one_event(bank.lanes(), stuck_mrr(1)));
+  injector.advance_to(8);  // mutates lanes AND bumps the bank epoch
+
+  const Matrix recovered = backend.matmul_cached(a, b, w);
+  EXPECT_GE(backend.cache().stats().invalidations, 1u);
+  const faults::HealthSnapshot& snap = backend.monitor().snapshot();
+  EXPECT_EQ(snap.detections, 1u);
+  EXPECT_EQ(snap.unrecovered, 0u);
+  const auto err = stats::compare(recovered.data(), matmul_reference(a, b).data());
+  EXPECT_GT(err.cosine, 0.99);
+
+  // Recovery re-warmed the cache against the repaired bank: the next
+  // product hits and verifies cleanly.
+  const std::uint64_t hits_before = backend.cache().stats().hits;
+  const Matrix again = backend.matmul_cached(a, b, w);
+  EXPECT_EQ(backend.cache().stats().hits, hits_before + 1);
+  EXPECT_EQ(backend.monitor().snapshot().detections, 1u);
+  expect_matrices_equal(again, recovered);
+}
+
+TEST(GuardedBackend, FullyFencedBankIsAnOutage) {
+  faults::LaneBank bank(small_bank_config());
+  for (std::size_t i = 0; i < bank.lanes(); ++i) bank.lane(i).fenced = true;
+  bank.bump_epoch();
+  faults::GuardedBackend backend(bank);
+  const Matrix out = backend.matmul(Matrix(2, 4), Matrix(4, 2));
+  for (double v : out.data()) EXPECT_EQ(v, 0.0);
+  EXPECT_EQ(backend.events().cycles, 0u);
+  EXPECT_EQ(backend.monitor().snapshot().products, 0u);
+}
+
+}  // namespace

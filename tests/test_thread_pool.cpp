@@ -91,4 +91,102 @@ TEST(ThreadPool, ReusableAcrossManyJobs) {
 
 TEST(ThreadPool, DefaultThreadsPositive) { EXPECT_GE(ThreadPool::default_threads(), 1u); }
 
+TEST(ThreadPool, ZeroSizeRangeNeverInvokesBody) {
+  ThreadPool pool(4);
+  bool invoked = false;
+  pool.parallel_for(0, [&](std::size_t, std::size_t, std::size_t) { invoked = true; });
+  EXPECT_FALSE(invoked);
+  // And the pool stays usable for real jobs afterwards.
+  std::atomic<int> ran{0};
+  pool.parallel_for(5, [&](std::size_t begin, std::size_t end, std::size_t) {
+    ran.fetch_add(static_cast<int>(end - begin));
+  });
+  EXPECT_EQ(ran.load(), 5);
+}
+
+TEST(ThreadPool, PropagatesExceptionFromRetryInsideBody) {
+  // The ABFT escalation ladder re-runs tiles from inside worker bodies;
+  // if such a retry throws, the exception must surface at the
+  // parallel_for call site, not vanish or crash a worker thread.
+  ThreadPool pool(4);
+  auto retry_tile = [](std::size_t i) {
+    if (i == 73) throw std::runtime_error("retry exhausted");
+  };
+  auto run = [&] {
+    pool.parallel_for(100, [&](std::size_t begin, std::size_t end, std::size_t) {
+      for (std::size_t i = begin; i < end; ++i) retry_tile(i);
+    });
+  };
+  EXPECT_THROW(run(), std::runtime_error);
+  // The pool must drain cleanly and accept the re-run.
+  std::atomic<int> ran{0};
+  pool.parallel_for(100, [&](std::size_t begin, std::size_t end, std::size_t) {
+    ran.fetch_add(static_cast<int>(end - begin));
+  });
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPool, RejectsNestedCallOnSamePool) {
+  ThreadPool pool(4);
+  auto nested = [&] {
+    pool.parallel_for(8, [&](std::size_t, std::size_t, std::size_t) {
+      pool.parallel_for(2, [](std::size_t, std::size_t, std::size_t) {});
+    });
+  };
+  EXPECT_THROW(nested(), std::logic_error);
+  // Usable after the rejected job.
+  std::atomic<int> ran{0};
+  pool.parallel_for(4, [&](std::size_t begin, std::size_t end, std::size_t) {
+    ran.fetch_add(static_cast<int>(end - begin));
+  });
+  EXPECT_EQ(ran.load(), 4);
+}
+
+TEST(ThreadPool, RejectsNestedCallAcrossPools) {
+  // Nesting into a *different* pool would silently oversubscribe
+  // (workers × workers threads); it is rejected just the same.
+  ThreadPool outer(2);
+  ThreadPool inner(2);
+  auto nested = [&] {
+    outer.parallel_for(4, [&](std::size_t, std::size_t, std::size_t) {
+      inner.parallel_for(2, [](std::size_t, std::size_t, std::size_t) {});
+    });
+  };
+  EXPECT_THROW(nested(), std::logic_error);
+}
+
+TEST(ThreadPool, RejectsNestedCallOnInlinePath) {
+  // A size-1 pool runs bodies inline on the caller thread; the nested
+  // guard must hold there too.
+  ThreadPool pool(1);
+  auto nested = [&] {
+    pool.parallel_for(3, [&](std::size_t, std::size_t, std::size_t) {
+      pool.parallel_for(1, [](std::size_t, std::size_t, std::size_t) {});
+    });
+  };
+  EXPECT_THROW(nested(), std::logic_error);
+  std::size_t covered = 0;
+  pool.parallel_for(3, [&](std::size_t begin, std::size_t end, std::size_t) {
+    covered += end - begin;
+  });
+  EXPECT_EQ(covered, 3u);
+}
+
+TEST(ThreadPool, SequentialCallsAfterNestedRejectionStayHealthy) {
+  ThreadPool pool(4);
+  for (int rep = 0; rep < 3; ++rep) {
+    EXPECT_THROW(pool.parallel_for(8,
+                                   [&](std::size_t, std::size_t, std::size_t) {
+                                     pool.parallel_for(
+                                         1, [](std::size_t, std::size_t, std::size_t) {});
+                                   }),
+                 std::logic_error);
+    std::atomic<int> ran{0};
+    pool.parallel_for(16, [&](std::size_t begin, std::size_t end, std::size_t) {
+      ran.fetch_add(static_cast<int>(end - begin));
+    });
+    EXPECT_EQ(ran.load(), 16);
+  }
+}
+
 }  // namespace
