@@ -1,0 +1,327 @@
+// perf_kernel — fused flat-array kernel vs the device-graph path on the
+// GEMM hot loop (DESIGN.md §13), measured as decode throughput.
+//
+// Replays BERT-base KV-cache decode (the perf_weight_cache trace) on the
+// full-optics + ADC configuration twice — once with
+// ptc::ExecutionPath::kKernel (the fused coefficient-table kernel), once
+// with kDeviceGraph (every chunk staged through the WdmField/device
+// objects) — and reports tokens/s for each.  The kernel's contract is
+// exactness, so the bench GATES on bit-identity, not just speed:
+//   * clean decode: kernel output == device-graph output (memcmp) and
+//     every EventCounter field equal;
+//   * ABFT-guarded decode: same, plus identical guard verdicts;
+//   * fault storm: GuardedBackend under a mid-product storm with the
+//     faults-layer coefficient table (lane_table.hpp) on vs off —
+//     bit-identical outputs, events and health verdicts.
+// Any divergence exits non-zero, so CI fails on a bit-identity
+// regression.  In full mode the kernel must additionally clear the >=3x
+// tokens/s acceptance bar.
+//
+// Writes machine-readable BENCH_kernel.json (default: repository root).
+//
+// Usage:
+//   perf_kernel             # full BERT-base shapes, 3x gate enforced
+//   perf_kernel --smoke     # tiny shapes, identity gates only
+//   perf_kernel --layers N  # override the layer count
+//   perf_kernel --out FILE  # JSON destination
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+#include "faults/degraded_backend.hpp"
+#include "faults/fault_injector.hpp"
+#include "faults/guarded_backend.hpp"
+#include "nn/backend.hpp"
+#include "nn/linear.hpp"
+#include "nn/ops.hpp"
+
+#ifndef PDAC_REPO_ROOT
+#define PDAC_REPO_ROOT "."
+#endif
+
+namespace {
+
+using namespace pdac;
+
+struct DecodeShapes {
+  std::size_t d_model, heads, d_ff, context;
+  [[nodiscard]] std::size_t d_head() const { return d_model / heads; }
+};
+
+struct DecodeLayer {
+  nn::Linear q, k, v, o, up, down;
+  std::vector<Matrix> kh_t;  ///< per head: (d_head × context), already Kᵀ
+  std::vector<Matrix> vh;    ///< per head: (context × d_head)
+
+  DecodeLayer(const DecodeShapes& s, Rng& rng)
+      : q(s.d_model, s.d_model),
+        k(s.d_model, s.d_model),
+        v(s.d_model, s.d_model),
+        o(s.d_model, s.d_model),
+        up(s.d_model, s.d_ff),
+        down(s.d_ff, s.d_model) {
+    q.init_random(rng);
+    k.init_random(rng);
+    v.init_random(rng);
+    o.init_random(rng);
+    up.init_random(rng);
+    down.init_random(rng);
+    for (std::size_t h = 0; h < s.heads; ++h) {
+      kh_t.push_back(Matrix::random_gaussian(s.d_head(), s.context, rng, 0.0, 0.5));
+      vh.push_back(Matrix::random_gaussian(s.context, s.d_head(), rng, 0.0, 0.5));
+    }
+  }
+};
+
+Matrix head_slice(const Matrix& m, std::size_t h, std::size_t dh) {
+  Matrix out(m.rows(), dh);
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t c = 0; c < dh; ++c) out(r, c) = m(r, h * dh + c);
+  }
+  return out;
+}
+
+Matrix decode_token(const Matrix& x0, const std::vector<DecodeLayer>& layers,
+                    const DecodeShapes& s, nn::GemmBackend& backend) {
+  Matrix x = x0;
+  const std::size_t dh = s.d_head();
+  for (const DecodeLayer& layer : layers) {
+    const Matrix q = layer.q.forward(x, backend);
+    (void)layer.k.forward(x, backend);
+    (void)layer.v.forward(x, backend);
+
+    Matrix context(1, s.d_model);
+    for (std::size_t h = 0; h < s.heads; ++h) {
+      const Matrix qh = head_slice(q, h, dh);
+      Matrix scores = backend.matmul(qh, layer.kh_t[h]);
+      nn::scale_inplace(scores, 1.0 / std::sqrt(static_cast<double>(dh)));
+      nn::softmax_rows(scores);
+      const Matrix ctx_h = backend.matmul(scores, layer.vh[h]);
+      for (std::size_t c = 0; c < dh; ++c) context(0, h * dh + c) = ctx_h(0, c);
+    }
+    x = layer.o.forward(context, backend);
+
+    Matrix hidden = layer.up.forward(x, backend);
+    nn::gelu(hidden);
+    x = layer.down.forward(hidden, backend);
+  }
+  return x;
+}
+
+/// Median-of-N per-token wall time with a warm operand cache (one
+/// untimed warmup token fills it and pages the weights in).
+double time_tokens(const Matrix& x0, const std::vector<DecodeLayer>& layers,
+                   const DecodeShapes& s, nn::GemmBackend& backend, std::size_t iters,
+                   Matrix* out) {
+  (void)decode_token(x0, layers, s, backend);  // warmup + cache fill
+  std::vector<double> ms(iters);
+  for (std::size_t i = 0; i < iters; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    *out = decode_token(x0, layers, s, backend);
+    const auto t1 = std::chrono::steady_clock::now();
+    ms[i] = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  }
+  std::sort(ms.begin(), ms.end());
+  return ms[ms.size() / 2];
+}
+
+bool bit_identical(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  return std::memcmp(a.data().data(), b.data().data(), a.size() * sizeof(double)) == 0;
+}
+
+bool events_equal(const ptc::EventCounter& a, const ptc::EventCounter& b) {
+  return a.modulation_events == b.modulation_events &&
+         a.detection_events == b.detection_events && a.adc_events == b.adc_events &&
+         a.ddot_ops == b.ddot_ops && a.macs == b.macs && a.cycles == b.cycles;
+}
+
+/// The hot-path configuration the kernel targets: full optics + ADC.
+ptc::GemmConfig hot_config(ptc::ExecutionPath path) {
+  ptc::GemmConfig cfg;
+  cfg.dot.use_full_optics = true;
+  cfg.dot.adc_readout = true;
+  cfg.path = path;
+  return cfg;
+}
+
+/// Mid-product fault storm: GuardedBackend with the faults-layer
+/// coefficient table on vs off must be bit-identical through detection,
+/// escalation and re-prepare.  Returns true when every bit matches.
+bool storm_identity() {
+  Rng rng(77);
+  const Matrix a = Matrix::random_gaussian(24, 40, rng, 0.0, 1.0);
+  const Matrix b = Matrix::random_gaussian(40, 20, rng, 0.0, 1.0);
+
+  const auto run = [&](bool use_table, Matrix* out, ptc::EventCounter* ev,
+                       faults::HealthSnapshot* snap) {
+    faults::LaneBankConfig bc;
+    bc.pdac.bits = 8;
+    bc.wavelengths = 6;
+    bc.variation.tia_gain_sigma = 0.01;
+    bc.variation.bias_sigma = 0.002;
+    bc.variation.seed = 21;
+    faults::LaneBank bank(bc);
+    faults::production_trim(bank);
+
+    faults::FaultSchedule sched;
+    sched.cfg.lanes = bank.lanes();
+    sched.cfg.bits = 8;
+    sched.cfg.horizon_steps = 16;
+    faults::FaultEvent stuck;
+    stuck.step = 2;
+    stuck.lane = 3;
+    stuck.kind = faults::FaultKind::kStuckMrr;
+    stuck.magnitude = 0.5;
+    sched.events.push_back(stuck);
+    faults::FaultEvent tia;
+    tia.step = 4;
+    tia.lane = 8;
+    tia.kind = faults::FaultKind::kTiaGainStep;
+    tia.magnitude = 1.4;
+    tia.bit = 3;
+    sched.events.push_back(tia);
+
+    faults::GuardedBackendConfig cfg;
+    cfg.use_lane_table = use_table;
+    faults::GuardedBackend backend(bank, cfg);
+    faults::FaultInjector injector(bank, sched);
+    backend.attach_storm(&injector, 1);
+    *out = backend.matmul(a, b);
+    *ev = backend.events();
+    *snap = backend.monitor().snapshot();
+  };
+
+  Matrix c_on, c_off;
+  ptc::EventCounter ev_on, ev_off;
+  faults::HealthSnapshot snap_on, snap_off;
+  run(true, &c_on, &ev_on, &snap_on);
+  run(false, &c_off, &ev_off, &snap_off);
+  return bit_identical(c_on, c_off) && events_equal(ev_on, ev_off) &&
+         snap_on.detections == snap_off.detections &&
+         snap_on.mismatched_tiles == snap_off.mismatched_tiles &&
+         snap_on.worst_residual == snap_off.worst_residual;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pdac;
+
+  bool smoke = false;
+  std::size_t layer_override = 0;
+  std::string out_path = std::string(PDAC_REPO_ROOT) + "/BENCH_kernel.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--layers") == 0 && i + 1 < argc) {
+      layer_override = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    }
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) out_path = argv[++i];
+  }
+
+  const DecodeShapes shapes = smoke ? DecodeShapes{64, 4, 256, 16}
+                                    : DecodeShapes{768, 12, 3072, 128};
+  const std::size_t n_layers = layer_override != 0 ? layer_override : (smoke ? 2 : 12);
+  const std::size_t iters = 3;
+
+  std::printf("perf_kernel — fused kernel vs device graph, %s mode\n", smoke ? "smoke" : "full");
+  std::printf("model: d_model=%zu heads=%zu d_ff=%zu context=%zu layers=%zu "
+              "(full optics + ADC, threads=1)\n\n",
+              shapes.d_model, shapes.heads, shapes.d_ff, shapes.context, n_layers);
+
+  Rng rng(42);
+  std::vector<DecodeLayer> layers;
+  layers.reserve(n_layers);
+  for (std::size_t l = 0; l < n_layers; ++l) layers.emplace_back(shapes, rng);
+  const Matrix x0 = Matrix::random_gaussian(1, shapes.d_model, rng, 0.0, 0.5);
+
+  nn::OperandCacheConfig cache_cfg;
+  cache_cfg.capacity_bytes = 2ull << 30;
+
+  // ---- clean decode: device graph vs kernel -------------------------
+  nn::PhotonicBackend device_backend(core::make_pdac_driver(8),
+                                     hot_config(ptc::ExecutionPath::kDeviceGraph), cache_cfg);
+  nn::PhotonicBackend kernel_backend(core::make_pdac_driver(8),
+                                     hot_config(ptc::ExecutionPath::kKernel), cache_cfg);
+
+  Matrix device_out, kernel_out;
+  const double device_ms = time_tokens(x0, layers, shapes, device_backend, iters, &device_out);
+  device_backend.reset_events();
+  (void)decode_token(x0, layers, shapes, device_backend);
+  const ptc::EventCounter device_ev = device_backend.events();
+
+  const double kernel_ms = time_tokens(x0, layers, shapes, kernel_backend, iters, &kernel_out);
+  kernel_backend.reset_events();
+  (void)decode_token(x0, layers, shapes, kernel_backend);
+  const ptc::EventCounter kernel_ev = kernel_backend.events();
+
+  const double speedup = kernel_ms > 0.0 ? device_ms / kernel_ms : 0.0;
+  const bool clean_identical =
+      bit_identical(kernel_out, device_out) && events_equal(kernel_ev, device_ev);
+
+  // ---- ABFT-guarded decode ------------------------------------------
+  nn::PhotonicBackend device_guarded(
+      core::make_pdac_driver(8),
+      nn::guarded_gemm_config({}, hot_config(ptc::ExecutionPath::kDeviceGraph)), cache_cfg);
+  nn::PhotonicBackend kernel_guarded(
+      core::make_pdac_driver(8),
+      nn::guarded_gemm_config({}, hot_config(ptc::ExecutionPath::kKernel)), cache_cfg);
+  const Matrix dg_out = decode_token(x0, layers, shapes, device_guarded);
+  const Matrix kg_out = decode_token(x0, layers, shapes, kernel_guarded);
+  const nn::GuardStats* dg = device_guarded.guard_stats();
+  const nn::GuardStats* kg = kernel_guarded.guard_stats();
+  const bool guarded_identical =
+      bit_identical(kg_out, dg_out) && events_equal(kernel_guarded.events(), device_guarded.events()) &&
+      dg != nullptr && kg != nullptr && kg->tiles_checked == dg->tiles_checked &&
+      kg->mismatched_tiles == dg->mismatched_tiles && kg->worst_residual == dg->worst_residual;
+
+  // ---- fault storm (faults-layer coefficient table) -----------------
+  const bool storm_identical = storm_identity();
+
+  std::printf("device graph per-token: %.2f ms  (%.2f tok/s)\n", device_ms, 1000.0 / device_ms);
+  std::printf("fused kernel per-token: %.2f ms  (%.2f tok/s)\n", kernel_ms, 1000.0 / kernel_ms);
+  std::printf("kernel speedup:         %.2fx\n", speedup);
+  std::printf("bit-identical (clean):  %s\n", clean_identical ? "yes" : "NO");
+  std::printf("bit-identical (guard):  %s\n", guarded_identical ? "yes" : "NO");
+  std::printf("bit-identical (storm):  %s\n\n", storm_identical ? "yes" : "NO");
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"kernel\",\n  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
+  std::fprintf(f, "  \"model\": {\"d_model\": %zu, \"heads\": %zu, \"d_ff\": %zu, "
+               "\"context\": %zu, \"layers\": %zu},\n",
+               shapes.d_model, shapes.heads, shapes.d_ff, shapes.context, n_layers);
+  std::fprintf(f, "  \"device_graph_ms_per_token\": %.3f,\n  \"kernel_ms_per_token\": %.3f,\n",
+               device_ms, kernel_ms);
+  std::fprintf(f, "  \"device_graph_tokens_per_s\": %.3f,\n  \"kernel_tokens_per_s\": %.3f,\n",
+               1000.0 / device_ms, 1000.0 / kernel_ms);
+  std::fprintf(f, "  \"speedup\": %.3f,\n", speedup);
+  std::fprintf(f, "  \"bit_identical_clean\": %s,\n", clean_identical ? "true" : "false");
+  std::fprintf(f, "  \"bit_identical_guarded\": %s,\n", guarded_identical ? "true" : "false");
+  std::fprintf(f, "  \"bit_identical_storm\": %s\n}\n", storm_identical ? "true" : "false");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (!clean_identical || !guarded_identical || !storm_identical) {
+    std::fprintf(stderr, "FAIL: kernel path diverged from the device-graph/model baseline\n");
+    return 1;
+  }
+  // >=3x tokens/s is the acceptance bar at full BERT-base shapes; smoke
+  // shapes are too small for a stable ratio and only gate identity.
+  if (!smoke && speedup < 3.0) {
+    std::fprintf(stderr, "FAIL: kernel speedup %.2fx below the 3x acceptance bar\n", speedup);
+    return 1;
+  }
+  return 0;
+}

@@ -29,8 +29,16 @@ std::vector<std::size_t> DegradedBackend::surviving_channels() const {
   return channels;
 }
 
+double DegradedBackend::encode_lane(std::size_t rail, std::size_t channel, double r) const {
+  // Stale table (epoch moved since the entry ensure()) falls back to the
+  // live model: a missed ensure() costs speed, never correctness.
+  if (cfg_.use_lane_table && table_.fresh(bank_)) return table_.encode(rail, channel, r);
+  return bank_.encode(rail, channel, r);
+}
+
 Matrix DegradedBackend::matmul(const Matrix& a, const Matrix& b) {
   PDAC_REQUIRE(a.cols() == b.rows(), "DegradedBackend: inner dimensions must agree");
+  if (cfg_.use_lane_table) table_.ensure(bank_);
   std::vector<std::size_t> channels = surviving_channels();
   if (channels.empty()) return Matrix(a.rows(), b.cols());
   const ptc::PreparedOperand pb = prepare_b(b, std::move(channels));
@@ -40,6 +48,7 @@ Matrix DegradedBackend::matmul(const Matrix& a, const Matrix& b) {
 Matrix DegradedBackend::matmul_cached(const Matrix& a, const Matrix& b,
                                       const nn::WeightHandle& weight) {
   PDAC_REQUIRE(a.cols() == b.rows(), "DegradedBackend: inner dimensions must agree");
+  if (cfg_.use_lane_table) table_.ensure(bank_);
   std::vector<std::size_t> channels = surviving_channels();
   if (channels.empty()) return Matrix(a.rows(), b.cols());
 
@@ -82,7 +91,7 @@ ptc::PreparedOperand DegradedBackend::prepare_b(const Matrix& b,
       const auto src = bt.row(r);
       auto dst = pb.encoded.row(r);
       for (std::size_t p = 0; p < k; ++p) {
-        dst[p] = bank_.encode(1, pb.channels[p % nl], src[p]);
+        dst[p] = encode_lane(1, pb.channels[p % nl], src[p]);
       }
     }
   });
@@ -103,7 +112,7 @@ Matrix DegradedBackend::run_prepared(const Matrix& a, const ptc::PreparedOperand
       const auto src = an.row(r);
       auto dst = ae.row(r);
       for (std::size_t p = 0; p < k; ++p) {
-        dst[p] = bank_.encode(0, pb.channels[p % nl], src[p]);
+        dst[p] = encode_lane(0, pb.channels[p % nl], src[p]);
       }
     }
   });

@@ -30,6 +30,7 @@
 
 #include "common/thread_pool.hpp"
 #include "faults/lane_bank.hpp"
+#include "faults/lane_table.hpp"
 #include "nn/backend.hpp"
 
 namespace pdac::faults {
@@ -46,6 +47,10 @@ struct DegradedBackendConfig {
   std::size_t threads{1};
   /// Weight-stationary operand cache for matmul_cached products.
   nn::OperandCacheConfig cache{};
+  /// Serve per-lane encodes from an epoch-keyed coefficient table
+  /// (lane_table.hpp) instead of evaluating the lane model per element.
+  /// Bit-identical either way (a test pins it); off only for A/B checks.
+  bool use_lane_table{true};
 };
 
 class DegradedBackend final : public nn::GemmBackend {
@@ -72,6 +77,10 @@ class DegradedBackend final : public nn::GemmBackend {
   /// Usable channels under the current fence state, in packing order.
   [[nodiscard]] std::vector<std::size_t> surviving_channels() const;
 
+  /// Per-lane encode through the coefficient table (when enabled and
+  /// fresh) or the lane model — bit-identical values either way.
+  [[nodiscard]] double encode_lane(std::size_t rail, std::size_t channel, double r) const;
+
   /// B-side pipeline through the lane devices: scale, transpose,
   /// normalize, per-lane encode.  `channels` fixes the packing.
   [[nodiscard]] ptc::PreparedOperand prepare_b(const Matrix& b,
@@ -87,6 +96,9 @@ class DegradedBackend final : public nn::GemmBackend {
   DegradedBackendConfig cfg_;
   std::unique_ptr<ThreadPool> pool_;
   nn::OperandCache cache_;
+  /// Current-state lane coefficients, rebuilt on LaneBank epoch bumps at
+  /// product entry (the injector mutates between products, never inside).
+  LaneEncodeTable table_;
 };
 
 }  // namespace pdac::faults

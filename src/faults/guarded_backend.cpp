@@ -49,6 +49,14 @@ double GuardedBackend::golden_encode(std::size_t rail, std::size_t channel, doub
                 [static_cast<std::size_t>(code + quant.max_code())];
 }
 
+double GuardedBackend::encode_current(std::size_t rail, std::size_t channel, double r) const {
+  // Falls back to the live model whenever the table is stale (a rung just
+  // moved the epoch and ensure() has not run yet), so a missed ensure()
+  // can cost speed but never correctness.
+  if (cfg_.use_lane_table && table_.fresh(bank_)) return table_.encode(rail, channel, r);
+  return bank_.encode(rail, channel, r);
+}
+
 std::vector<std::size_t> GuardedBackend::surviving_channels() const {
   std::vector<std::size_t> channels;
   for (std::size_t ch = 0; ch < bank_.wavelengths(); ++ch) {
@@ -96,7 +104,7 @@ ptc::PreparedOperand GuardedBackend::prepare_b(const Matrix& b,
       auto gold = pb.reference.row(r);
       for (std::size_t p = 0; p < k; ++p) {
         const std::size_t ch = pb.channels[p % nl];
-        cur[p] = bank_.encode(1, ch, src[p]);
+        cur[p] = encode_current(1, ch, src[p]);
         gold[p] = golden_encode(1, ch, src[p]);
       }
     }
@@ -141,6 +149,7 @@ std::shared_ptr<const ptc::PreparedOperand> GuardedBackend::obtain_b(
 Matrix GuardedBackend::matmul(const Matrix& a, const Matrix& b) {
   PDAC_REQUIRE(a.cols() == b.rows(), "GuardedBackend: inner dimensions must agree");
   if (bank_.usable_channels() == 0) return Matrix(a.rows(), b.cols());
+  if (cfg_.use_lane_table) table_.ensure(bank_);
   return run_guarded(a, b, obtain_b(b, nullptr), nullptr);
 }
 
@@ -148,6 +157,7 @@ Matrix GuardedBackend::matmul_cached(const Matrix& a, const Matrix& b,
                                      const nn::WeightHandle& weight) {
   PDAC_REQUIRE(a.cols() == b.rows(), "GuardedBackend: inner dimensions must agree");
   if (bank_.usable_channels() == 0) return Matrix(a.rows(), b.cols());
+  if (cfg_.use_lane_table) table_.ensure(bank_);
   return run_guarded(a, b, obtain_b(b, &weight), &weight);
 }
 
@@ -279,7 +289,7 @@ Matrix GuardedBackend::run_guarded(const Matrix& a, const Matrix& b,
         auto gold = ae_gold.row(r);
         for (std::size_t p = 0; p < k; ++p) {
           const std::size_t ch = channels[p % nl];
-          cur[p] = bank_.encode(0, ch, src[p]);
+          cur[p] = encode_current(0, ch, src[p]);
           gold[p] = golden_encode(0, ch, src[p]);
         }
       }
@@ -424,7 +434,10 @@ Matrix GuardedBackend::run_guarded(const Matrix& a, const Matrix& b,
       }
       // Re-prepare against the repaired/repacked bank: fresh current +
       // golden encodings and checksum stripes; refresh the cache so the
-      // next product starts warm again.
+      // next product starts warm again.  The rung moved the epoch, so
+      // re-ensure the coefficient table first (we are between parallel
+      // regions here).
+      if (cfg_.use_lane_table) table_.ensure(bank_);
       pb = std::make_shared<const ptc::PreparedOperand>(prepare_b(b, std::move(channels)));
       if (weight != nullptr) cache_.insert(weight->id, weight->version, pb);
       encode_a(pb->channels);

@@ -48,6 +48,7 @@
 #include "faults/fault_injector.hpp"
 #include "faults/health_monitor.hpp"
 #include "faults/lane_bank.hpp"
+#include "faults/lane_table.hpp"
 #include "nn/backend.hpp"
 #include "ptc/abft.hpp"
 #include "ptc/tile_scheduler.hpp"
@@ -69,6 +70,13 @@ struct GuardedBackendConfig {
   ptc::GuardConfig guard{};
   /// Recovery ladder bounds + the targeted self-test's BIST config.
   EscalationConfig escalation{};
+  /// Serve the product-level CURRENT-state encodes (prepare_b, encode_a)
+  /// from an epoch-keyed coefficient table (lane_table.hpp) instead of
+  /// evaluating lane models per element.  Bit-identical either way.
+  /// Per-tile storm/retry re-encodes always go through the live models:
+  /// under sustained mutation the table would rebuild per tile, costing
+  /// more than the handful of encodes it would serve.
+  bool use_lane_table{true};
 };
 
 class GuardedBackend final : public nn::GemmBackend {
@@ -112,6 +120,11 @@ class GuardedBackend final : public nn::GemmBackend {
  private:
   [[nodiscard]] std::vector<std::size_t> surviving_channels() const;
   [[nodiscard]] double golden_encode(std::size_t rail, std::size_t channel, double r) const;
+
+  /// CURRENT-state encode for the product-level batch paths: the lane
+  /// table when enabled and fresh, the live lane model otherwise.
+  /// Bit-identical values either way.
+  [[nodiscard]] double encode_current(std::size_t rail, std::size_t channel, double r) const;
 
   /// Full guarded pipeline for one product (shared by both matmul
   /// entry points); `pb` must have been prepared against the current
@@ -163,6 +176,10 @@ class GuardedBackend final : public nn::GemmBackend {
   /// signed quantizer code (index code + max_code).
   std::vector<std::vector<double>> golden_;
   std::uint64_t golden_epoch_{0};  ///< bank epoch golden_ was snapped at
+
+  /// Current-state lane coefficients for prepare_b/encode_a; re-ensured
+  /// at product entry and after every ladder rung that moves the epoch.
+  LaneEncodeTable table_;
 
   FaultInjector* storm_{nullptr};
   std::uint64_t storm_steps_per_tile_{0};

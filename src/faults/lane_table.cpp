@@ -1,0 +1,32 @@
+#include "faults/lane_table.hpp"
+
+#include "common/math_utils.hpp"
+
+namespace pdac::faults {
+
+void LaneEncodeTable::ensure(const LaneBank& bank) {
+  if (fresh(bank)) return;
+  quant_ = bank.quantizer();
+  wavelengths_ = bank.wavelengths();
+  const std::int32_t max_code = quant_.max_code();
+  codes_ = static_cast<std::size_t>(max_code) * 2 + 1;
+  table_.resize(bank.lanes() * codes_);
+  for (std::size_t l = 0; l < bank.lanes(); ++l) {
+    const Lane& lane = bank.lane(l);
+    double* row = table_.data() + l * codes_;
+    for (std::size_t ci = 0; ci < codes_; ++ci) {
+      const auto code = static_cast<std::int32_t>(static_cast<std::int64_t>(ci) - max_code);
+      row[ci] = lane.model.encode_code(code);
+    }
+  }
+  epoch_ = bank.epoch();
+  built_ = true;
+}
+
+double LaneEncodeTable::encode(std::size_t rail, std::size_t channel, double r) const {
+  const std::int32_t code = quant_.encode(math::clamp_unit(r));
+  return table_[(rail * wavelengths_ + channel) * codes_ +
+                static_cast<std::size_t>(code + quant_.max_code())];
+}
+
+}  // namespace pdac::faults

@@ -1,0 +1,60 @@
+// lane_table.hpp — epoch-keyed flat coefficient table over a LaneBank's
+// encoders (the faults-layer counterpart of ptc/kernel.hpp's snapshot).
+//
+// LaneBank::encode is a pure function of the quantized code: it clamps,
+// quantizes, and evaluates the lane's PerturbedPdacModel transfer at that
+// code.  A bank with W wavelengths therefore collapses into a flat
+// (2W · codes) table of doubles — the same closed form GuardedBackend's
+// golden snapshot already exploits — turning every hot-path encode from a
+// multi-segment model evaluation into one LUT load, bit-identical by
+// construction.
+//
+// Unlike the golden snapshot (which must stay pinned at the last trusted
+// calibration point), this table tracks the bank's CURRENT state: it is
+// rebuilt whenever the bank's epoch moves, so injected faults, re-trims
+// and recalibrations are never served stale.  The same caveat as every
+// epoch consumer applies (lane_bank.hpp): code that mutates lanes
+// directly through lane() must bump_epoch() afterwards.
+//
+// Thread safety: ensure() mutates and must be called between parallel
+// regions (backends call it at product entry and after every in-product
+// mutation point); encode() is const and safe to call concurrently once
+// the table is fresh.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "converters/quantizer.hpp"
+#include "faults/lane_bank.hpp"
+
+namespace pdac::faults {
+
+class LaneEncodeTable {
+ public:
+  /// Rebuild from `bank` iff stale (never built, epoch moved, or bank
+  /// geometry changed).  O(lanes · codes) when it rebuilds, O(1) when
+  /// fresh — one decode token amortizes it after a single epoch bump.
+  void ensure(const LaneBank& bank);
+
+  [[nodiscard]] bool fresh(const LaneBank& bank) const {
+    return built_ && epoch_ == bank.epoch() && wavelengths_ == bank.wavelengths() &&
+           table_.size() == bank.lanes() * codes_;
+  }
+
+  /// LUT-backed equivalent of LaneBank::encode(rail, channel, r) —
+  /// bit-identical to the model evaluation it caches.
+  [[nodiscard]] double encode(std::size_t rail, std::size_t channel, double r) const;
+
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+
+ private:
+  std::vector<double> table_;  ///< lane-major: flat_lane · codes + (code + max_code)
+  converters::Quantizer quant_{8};
+  std::size_t wavelengths_{0};
+  std::size_t codes_{0};
+  std::uint64_t epoch_{0};
+  bool built_{false};
+};
+
+}  // namespace pdac::faults

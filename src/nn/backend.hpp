@@ -133,6 +133,17 @@ std::unique_ptr<GemmBackend> make_photonic_ideal_dac_backend(int bits,
   return cfg;
 }
 
+/// GemmConfig pinned to the device-graph execution path: every dot runs
+/// through the full WdmField/device-object chain instead of the fused
+/// flat-array kernel (ptc/kernel.hpp).  Results are bit-identical to the
+/// default kernel path — use this to cross-check the kernel against the
+/// authoritative device simulation, or when instrumenting the device
+/// objects themselves.
+[[nodiscard]] inline ptc::GemmConfig device_graph_gemm_config(ptc::GemmConfig cfg = {}) {
+  cfg.path = ptc::ExecutionPath::kDeviceGraph;
+  return cfg;
+}
+
 /// GemmConfig with the ABFT checksum guard switched on (abft.hpp) —
 /// every product verifies its tiles against digital references and the
 /// verdicts surface through GemmBackend::guard_stats().  Pass a

@@ -13,8 +13,7 @@ Photodetector::Photodetector(PhotodetectorConfig cfg) : cfg_(cfg) {
 }
 
 double Photodetector::detect(const WdmField& field) const {
-  return responsivity_scale_ * cfg_.responsivity * field.total_intensity() +
-         cfg_.dark_current;
+  return detect_intensity(field.total_intensity());
 }
 
 void Photodetector::derate(double responsivity_scale) {

@@ -36,6 +36,16 @@ class Photodetector {
   /// Deterministic detection: R·total_intensity + dark current.
   [[nodiscard]] double detect(const WdmField& field) const;
 
+  /// Closed-form transfer accessors for fused execution (ptc/kernel.hpp):
+  /// detection is gain·I + dark with gain = responsivity_scale·responsivity.
+  /// detect_intensity(field.total_intensity()) == detect(field) bit-for-bit.
+  [[nodiscard]] double effective_responsivity() const {
+    return responsivity_scale_ * cfg_.responsivity;
+  }
+  [[nodiscard]] double detect_intensity(double total_intensity) const {
+    return effective_responsivity() * total_intensity + cfg_.dark_current;
+  }
+
   /// Detection with the configured noise processes, drawn from `rng`.
   [[nodiscard]] double detect_noisy(const WdmField& field, Rng& rng) const;
 

@@ -4,6 +4,14 @@
 
 namespace pdac::ptc {
 
+namespace {
+
+void resize_field(photonics::WdmField& f, std::size_t channels) {
+  if (f.channels() != channels) f.amplitudes().resize(channels);
+}
+
+}  // namespace
+
 Ddot::Ddot()
     : ps_(photonics::PhaseShifter::minus_90()),
       dc_(photonics::DirectionalCoupler::fifty_fifty()),
@@ -22,28 +30,76 @@ DdotReading Ddot::compute(const photonics::DualRail& rails) const {
   return DdotReading{pd_plus_.detect(coupled.upper), pd_minus_.detect(coupled.lower)};
 }
 
+DdotReading Ddot::compute(const photonics::DualRail& rails, DdotScratch& scratch) const {
+  PDAC_REQUIRE(rails.upper.channels() == rails.lower.channels(),
+               "Ddot: rails must carry the same channel count");
+  const std::size_t n = rails.upper.channels();
+  resize_field(scratch.shifted, n);
+  resize_field(scratch.coupled.upper, n);
+  resize_field(scratch.coupled.lower, n);
+  // Same per-channel device evaluations as the allocating overload: the
+  // upper rail passes through untouched, so coupling directly against the
+  // source upper amplitudes skips only a verbatim copy.
+  auto& sh = scratch.shifted.amplitudes();
+  auto& cu = scratch.coupled.upper.amplitudes();
+  auto& cl = scratch.coupled.lower.amplitudes();
+  const auto& up = rails.upper.amplitudes();
+  const auto& lo = rails.lower.amplitudes();
+  for (std::size_t ch = 0; ch < n; ++ch) sh[ch] = ps_.apply(lo[ch]);
+  for (std::size_t ch = 0; ch < n; ++ch) {
+    const auto [u, l] = dc_.couple(up[ch], sh[ch]);
+    cu[ch] = u;
+    cl[ch] = l;
+  }
+  return DdotReading{pd_plus_.detect(scratch.coupled.upper),
+                     pd_minus_.detect(scratch.coupled.lower)};
+}
+
 DdotReading Ddot::compute_masked(const photonics::DualRail& rails,
                                  std::span<const std::uint8_t> mask) const {
+  DdotScratch scratch;
+  return compute_masked(rails, mask, scratch);
+}
+
+DdotReading Ddot::compute_masked(const photonics::DualRail& rails,
+                                 std::span<const std::uint8_t> mask,
+                                 DdotScratch& scratch) const {
   PDAC_REQUIRE(mask.size() >= rails.upper.channels(),
                "Ddot: mask must cover every rail channel");
-  photonics::DualRail fenced{photonics::WdmField(rails.upper.channels()),
-                             photonics::WdmField(rails.lower.channels())};
-  for (std::size_t ch = 0; ch < rails.upper.channels(); ++ch) {
-    if (mask[ch] == 0u) continue;
-    fenced.upper.set_amplitude(ch, rails.upper.amplitude(ch));
-    fenced.lower.set_amplitude(ch, rails.lower.amplitude(ch));
+  const std::size_t n = rails.upper.channels();
+  resize_field(scratch.rails.upper, n);
+  resize_field(scratch.rails.lower, rails.lower.channels());
+  auto& up = scratch.rails.upper.amplitudes();
+  auto& lo = scratch.rails.lower.amplitudes();
+  for (std::size_t ch = 0; ch < n; ++ch) {
+    if (mask[ch] == 0u) {
+      up[ch] = photonics::Complex{0.0, 0.0};
+      lo[ch] = photonics::Complex{0.0, 0.0};
+    } else {
+      up[ch] = rails.upper.amplitude(ch);
+      lo[ch] = rails.lower.amplitude(ch);
+    }
   }
-  return compute(fenced);
+  return compute(scratch.rails, scratch);
 }
 
 DdotReading Ddot::compute(std::span<const double> x, std::span<const double> y) const {
+  DdotScratch scratch;
+  return compute(x, y, scratch);
+}
+
+DdotReading Ddot::compute(std::span<const double> x, std::span<const double> y,
+                          DdotScratch& scratch) const {
   PDAC_REQUIRE(x.size() == y.size(), "Ddot: operand length mismatch");
-  photonics::DualRail rails{photonics::WdmField(x.size()), photonics::WdmField(y.size())};
+  resize_field(scratch.rails.upper, x.size());
+  resize_field(scratch.rails.lower, y.size());
+  auto& up = scratch.rails.upper.amplitudes();
+  auto& lo = scratch.rails.lower.amplitudes();
   for (std::size_t i = 0; i < x.size(); ++i) {
-    rails.upper.set_amplitude(i, photonics::Complex{x[i], 0.0});
-    rails.lower.set_amplitude(i, photonics::Complex{y[i], 0.0});
+    up[i] = photonics::Complex{x[i], 0.0};
+    lo[i] = photonics::Complex{y[i], 0.0};
   }
-  return compute(rails);
+  return compute(scratch.rails, scratch);
 }
 
 DdotReading Ddot::compute_noisy(const photonics::DualRail& rails, Rng& rng) const {

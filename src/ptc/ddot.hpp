@@ -34,6 +34,17 @@ struct DdotReading {
   [[nodiscard]] double value() const { return i_plus - i_minus; }
 };
 
+/// Reusable staging buffers for the allocation-free compute overloads.
+/// The fields are resized on first use and reused across calls, so a tile
+/// loop that keeps one scratch per worker performs no per-dot allocation.
+/// Numerics are bit-identical to the scratch-free overloads (the same
+/// device evaluations run in the same order; only the storage is reused).
+struct DdotScratch {
+  photonics::DualRail rails;    ///< operand staging for the span/masked entries
+  photonics::WdmField shifted;  ///< y rail after the phase shifter
+  photonics::DualRail coupled;  ///< both rails after the coupler
+};
+
 class Ddot {
  public:
   Ddot();
@@ -44,6 +55,9 @@ class Ddot {
 
   /// Run the optical datapath on already-modulated operand rails.
   [[nodiscard]] DdotReading compute(const photonics::DualRail& rails) const;
+  /// Same datapath staged through caller scratch: no allocation per call.
+  [[nodiscard]] DdotReading compute(const photonics::DualRail& rails,
+                                    DdotScratch& scratch) const;
 
   /// Masked variant for graceful degradation: channels whose mask entry
   /// is zero are not driven (their modulators are dead or fenced off) and
@@ -51,14 +65,29 @@ class Ddot {
   /// rail channel count.
   [[nodiscard]] DdotReading compute_masked(const photonics::DualRail& rails,
                                            std::span<const std::uint8_t> mask) const;
+  /// Masked variant applying the mask in-place into caller scratch — no
+  /// zero-filled rail rebuild per call.
+  [[nodiscard]] DdotReading compute_masked(const photonics::DualRail& rails,
+                                           std::span<const std::uint8_t> mask,
+                                           DdotScratch& scratch) const;
 
   /// Convenience: build rails from real per-channel amplitudes (ideal
   /// modulators) and compute.  Spans must have equal length ≤ channels.
   [[nodiscard]] DdotReading compute(std::span<const double> x,
                                     std::span<const double> y) const;
+  /// Same, staged through caller scratch (no allocation per dot).
+  [[nodiscard]] DdotReading compute(std::span<const double> x, std::span<const double> y,
+                                    DdotScratch& scratch) const;
 
   /// Noisy detection variant drawing from `rng`.
   [[nodiscard]] DdotReading compute_noisy(const photonics::DualRail& rails, Rng& rng) const;
+
+  /// Closed-form transfer accessors: the fused kernel (kernel.hpp)
+  /// snapshots the effective real-valued transfer from these devices.
+  [[nodiscard]] const photonics::PhaseShifter& phase_shifter() const { return ps_; }
+  [[nodiscard]] const photonics::DirectionalCoupler& coupler() const { return dc_; }
+  [[nodiscard]] const photonics::Photodetector& pd_plus() const { return pd_plus_; }
+  [[nodiscard]] const photonics::Photodetector& pd_minus() const { return pd_minus_; }
 
  private:
   photonics::PhaseShifter ps_;

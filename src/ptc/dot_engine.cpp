@@ -106,7 +106,8 @@ double PhotonicDotEngine::dot(std::span<const double> x, std::span<const double>
 }
 
 double PhotonicDotEngine::dot_preencoded(std::span<const double> xe, std::span<const double> ye,
-                                         EventCounter* ev, const Ddot* ddot) const {
+                                         EventCounter* ev, const Ddot* ddot,
+                                         DdotScratch* scratch) const {
   PDAC_REQUIRE(xe.size() == ye.size(), "PhotonicDotEngine: operand length mismatch");
   const std::size_t n = xe.size();
   const std::size_t nl = active_lanes_.size();
@@ -116,14 +117,30 @@ double PhotonicDotEngine::dot_preencoded(std::span<const double> xe, std::span<c
   for (std::size_t base = 0; base < n; base += nl) {
     const std::size_t len = std::min(nl, n - base);
     if (cfg_.use_full_optics) {
-      photonics::DualRail rails{photonics::WdmField(cfg_.wavelengths),
-                                photonics::WdmField(cfg_.wavelengths)};
-      for (std::size_t i = 0; i < len; ++i) {
-        const std::size_t ch = active_lanes_[i];
-        rails.upper.set_amplitude(ch, photonics::Complex{xe[base + i], 0.0});
-        rails.lower.set_amplitude(ch, photonics::Complex{ye[base + i], 0.0});
+      if (scratch != nullptr) {
+        // Caller-owned rails: overwrite every channel (inactive ones back
+        // to exact +0) instead of constructing fresh fields per chunk —
+        // the same amplitudes the allocating path stages.
+        auto& up = scratch->rails.upper.amplitudes();
+        auto& lo = scratch->rails.lower.amplitudes();
+        up.assign(cfg_.wavelengths, photonics::Complex{0.0, 0.0});
+        lo.assign(cfg_.wavelengths, photonics::Complex{0.0, 0.0});
+        for (std::size_t i = 0; i < len; ++i) {
+          const std::size_t ch = active_lanes_[i];
+          up[ch] = photonics::Complex{xe[base + i], 0.0};
+          lo[ch] = photonics::Complex{ye[base + i], 0.0};
+        }
+        acc += dev.compute(scratch->rails, *scratch).value();
+      } else {
+        photonics::DualRail rails{photonics::WdmField(cfg_.wavelengths),
+                                  photonics::WdmField(cfg_.wavelengths)};
+        for (std::size_t i = 0; i < len; ++i) {
+          const std::size_t ch = active_lanes_[i];
+          rails.upper.set_amplitude(ch, photonics::Complex{xe[base + i], 0.0});
+          rails.lower.set_amplitude(ch, photonics::Complex{ye[base + i], 0.0});
+        }
+        acc += dev.compute(rails).value();
       }
-      acc += dev.compute(rails).value();
     } else {
       for (std::size_t i = 0; i < len; ++i) {
         acc += xe[base + i] * ye[base + i];

@@ -72,9 +72,12 @@ class PhotonicDotEngine {
   /// caller, which knows the broadcast geometry.  The optional `ddot`
   /// lets each worker thread reduce through its own device instance;
   /// numerics are identical to dot() on the pre-image operands.
+  /// The optional `scratch` stages the full-optics rails in caller-owned
+  /// buffers so the device-graph path performs no per-dot allocation
+  /// (bit-identical either way; pass one scratch per worker).
   [[nodiscard]] double dot_preencoded(std::span<const double> xe, std::span<const double> ye,
-                                      EventCounter* ev = nullptr,
-                                      const Ddot* ddot = nullptr) const;
+                                      EventCounter* ev = nullptr, const Ddot* ddot = nullptr,
+                                      DdotScratch* scratch = nullptr) const;
 
   /// Encode a span of normalized values through the memoized driver LUT
   /// (out.size() must equal in.size()).  Pure and safe to call from
@@ -84,6 +87,10 @@ class PhotonicDotEngine {
   /// A fresh Ddot configured like this engine's own — worker threads use
   /// one each so device objects are never shared mutably.
   [[nodiscard]] Ddot make_worker_ddot() const;
+
+  /// The engine's own device chain — what the fused kernel (kernel.hpp)
+  /// snapshots its coefficient table from.
+  [[nodiscard]] const Ddot& ddot() const { return ddot_; }
 
   /// Encoded amplitude for a normalized value (memoized driver output).
   [[nodiscard]] double encode(double r) const;

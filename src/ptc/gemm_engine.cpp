@@ -11,6 +11,7 @@ namespace pdac::ptc {
 PhotonicGemm::PhotonicGemm(const core::ModulatorDriver& driver, GemmConfig cfg)
     : cfg_(cfg),
       engine_(driver, cfg.dot),
+      kernel_(engine_),
       pool_(std::make_unique<ThreadPool>(cfg.threads)) {
   PDAC_REQUIRE(cfg_.array_rows >= 1 && cfg_.array_cols >= 1,
                "PhotonicGemm: array dimensions must be positive");
@@ -18,6 +19,7 @@ PhotonicGemm::PhotonicGemm(const core::ModulatorDriver& driver, GemmConfig cfg)
   for (std::size_t w = 0; w < pool_->size(); ++w) {
     worker_ddots_.push_back(engine_.make_worker_ddot());
   }
+  worker_scratch_.resize(pool_->size());
 }
 
 GemmResult PhotonicGemm::multiply(const Matrix& a, const Matrix& b) const {
@@ -124,9 +126,9 @@ GemmResult PhotonicGemm::multiply_prepared(const Matrix& a, const PreparedOperan
     check_scratch_.assign(tiles.size(), TileCheck{});
   }
 
+  const bool use_kernel = cfg_.path == ExecutionPath::kKernel;
   for_each_tile(*pool_, tiles, [&](std::size_t t, std::size_t worker) {
     const Tile& tile = tiles[t];
-    const Ddot& ddot = worker_ddots_[worker];
     EventCounter reduction;  // detection / ddot_ops / macs from the dots run
     // Raw (pre-rescale) tile sums for the checksum comparison; tiny and
     // tile-local, so the allocation stays off the unguarded path.
@@ -135,13 +137,23 @@ GemmResult PhotonicGemm::multiply_prepared(const Matrix& a, const PreparedOperan
       rsum.assign(tile.rows, 0.0);
       csum.assign(tile.cols, 0.0);
     }
-    for (std::size_t i = tile.row0; i < tile.row0 + tile.rows; ++i) {
-      for (std::size_t j = tile.col0; j < tile.col0 + tile.cols; ++j) {
-        const double raw = engine_.dot_preencoded(ae.row(i), b.encoded.row(j), &reduction, &ddot);
-        res.c(i, j) = raw * rescale;
-        if (guarded) {
-          rsum[i - tile.row0] += raw;
-          csum[j - tile.col0] += raw;
+    if (use_kernel) {
+      // Fused flat-array kernel: the whole tile in one pass, raw sums
+      // accumulated in the same order as the device-graph loop below.
+      kernel_.run_tile(tile, ae, b.encoded, rescale, res.c, &reduction,
+                       guarded ? rsum.data() : nullptr, guarded ? csum.data() : nullptr);
+    } else {
+      const Ddot& ddot = worker_ddots_[worker];
+      DdotScratch& scratch = worker_scratch_[worker];
+      for (std::size_t i = tile.row0; i < tile.row0 + tile.rows; ++i) {
+        for (std::size_t j = tile.col0; j < tile.col0 + tile.cols; ++j) {
+          const double raw =
+              engine_.dot_preencoded(ae.row(i), b.encoded.row(j), &reduction, &ddot, &scratch);
+          res.c(i, j) = raw * rescale;
+          if (guarded) {
+            rsum[i - tile.row0] += raw;
+            csum[j - tile.col0] += raw;
+          }
         }
       }
     }

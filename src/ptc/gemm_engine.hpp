@@ -57,9 +57,20 @@
 #include "ptc/abft.hpp"
 #include "ptc/dot_engine.hpp"
 #include "ptc/event_counter.hpp"
+#include "ptc/kernel.hpp"
 #include "ptc/tile_scheduler.hpp"
 
 namespace pdac::ptc {
+
+/// Which implementation executes the tile reductions (DESIGN.md §13).
+/// Both produce bit-identical results — numerics AND event counts, clean
+/// or guarded, at any thread count (a fuzz-pinned contract):
+///   kKernel      — the fused flat-array kernel (kernel.hpp), coefficient
+///                  tables snapshotted at engine construction; the
+///                  production hot path.
+///   kDeviceGraph — every chunk staged through the device objects
+///                  (Ddot); the authoritative physical reference.
+enum class ExecutionPath { kKernel, kDeviceGraph };
 
 /// The B operand of C = A·B, fully prepared for the photonic array:
 /// transposed into row-major columns, max-abs-normalized and pushed
@@ -111,6 +122,9 @@ struct GemmConfig {
   /// data path and its EventCounter stay bit-identical and the verdicts
   /// plus checksum-lane charge land in GemmResult::guard.
   GuardConfig guard{};
+  /// Tile-reduction implementation; kKernel by default (bit-identical to
+  /// kDeviceGraph, several times faster on the full-optics path).
+  ExecutionPath path{ExecutionPath::kKernel};
 };
 
 struct GemmResult {
@@ -160,14 +174,17 @@ class PhotonicGemm {
  private:
   GemmConfig cfg_;
   PhotonicDotEngine engine_;
+  FusedKernel kernel_;  ///< coefficient snapshot of engine_'s datapath
   std::unique_ptr<ThreadPool> pool_;
 
   // Per-engine scratch, reused across multiply calls so steady-state
   // products allocate nothing but their output (the documented
   // "not reentrant" contract is what makes this safe).  worker_ddots_
   // holds one device instance per worker slot, built once — Ddot
-  // evaluation is const, so reuse cannot perturb numerics.
+  // evaluation is const, so reuse cannot perturb numerics; worker
+  // scratch stages the device-graph rails allocation-free per worker.
   std::vector<Ddot> worker_ddots_;
+  mutable std::vector<DdotScratch> worker_scratch_;
   mutable Matrix norm_scratch_;
   mutable Matrix encode_scratch_;
   mutable std::vector<Tile> tile_scratch_;

@@ -1,0 +1,109 @@
+// kernel.hpp — fused amplitude-domain compute kernel for the GEMM hot
+// path (DESIGN.md §13).
+//
+// The device graph (Ddot: phase shifter → coupler → balanced detectors)
+// is the authoritative physical model, but its inner loop carries costs
+// that exist only in software: WdmField construction per chunk, complex
+// arithmetic on purely real operand amplitudes, and per-element dispatch
+// through device objects.  P-DAC's own contribution is replacing exact
+// per-element machinery with a cheap closed form; the same move applies
+// here.  At construction the kernel snapshots each lane's effective
+// real-valued transfer — phase-shifter factor, coupler split (t, j·κ),
+// PD responsivity×scale and dark current, with fenced lanes dropped from
+// the packing — into a flat per-lane coefficient table, then executes
+// encode → couple → detect → differential readout for whole tiles as one
+// pass over contiguous double arrays.
+//
+// Bit-identity contract (fuzz-pinned by tests/test_kernel.cpp): the
+// kernel replays the device graph's exact floating-point operation
+// sequence — the naive complex-multiply expansions the library evaluates
+// (including the ps_re·0.0-style terms that keep signed zeros honest),
+// per-chunk intensity sums in ascending channel order, detector affine
+// transfer, per-chunk differential accumulation, and the same ADC
+// round-trip — so outputs AND event counts equal the device-graph path
+// bit for bit at any thread count, clean or degraded.  Inactive (fenced
+// or past-the-ragged-edge) channels contribute exactly +0.0 to both
+// photocurrents in the device graph, and every partial intensity sum is
+// non-negative, so skipping them cannot change a single bit.
+//
+// Staleness: a kernel is a snapshot.  PhotonicGemm's engine is immutable
+// after construction, so its kernel never goes stale; the faults layer,
+// whose lane transfers mutate, keys its own coefficient tables on the
+// LaneBank epoch instead (faults/lane_table.hpp).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "ptc/ddot.hpp"
+#include "ptc/dot_engine.hpp"
+#include "ptc/event_counter.hpp"
+#include "ptc/tile_scheduler.hpp"
+
+namespace pdac::ptc {
+
+/// Effective real-amplitude transfer of one DDot lane, exactly as the
+/// device graph evaluates it on (x, 0)/(y, 0) operand amplitudes.
+struct LaneTransfer {
+  double ps_re{};  ///< phase-shifter factor, real part
+  double ps_im{};  ///< phase-shifter factor, imaginary part
+  double t{};      ///< coupler transmission
+  double jk_re{};  ///< j·κ as the coupler evaluates it, real part
+  double jk_im{};  ///< j·κ, imaginary part (= κ)
+};
+
+/// Affine transfer of the balanced detector pair: I± = gain±·ΣI + dark±.
+struct DetectorTransfer {
+  double gain_plus{1.0};
+  double dark_plus{0.0};
+  double gain_minus{1.0};
+  double dark_minus{0.0};
+};
+
+class FusedKernel {
+ public:
+  /// Snapshot an engine's whole datapath: device transfers from its Ddot,
+  /// lane packing from its lane mask, ADC behavior from its config.
+  explicit FusedKernel(const PhotonicDotEngine& engine);
+
+  /// Snapshot a standalone device chain (unit tests, custom devices).
+  FusedKernel(const Ddot& ddot, const DotEngineConfig& cfg);
+
+  /// Fused dot over pre-encoded amplitudes; bit-identical to
+  /// PhotonicDotEngine::dot_preencoded, event charges included
+  /// (detection/ddot per chunk, macs per element — modulation, ADC
+  /// samples and cycles stay the caller's tile-level charge).
+  [[nodiscard]] double dot(std::span<const double> xe, std::span<const double> ye,
+                           EventCounter* ev = nullptr) const;
+
+  /// One whole output tile in a single pass: every (i, j) dot of
+  /// ae[tile rows] × be[tile cols], ADC-rounded, rescaled into `c`.
+  /// When `rsum`/`csum` are non-null (ABFT-guarded products) the raw
+  /// post-ADC dot values are accumulated per tile row/column in the same
+  /// order as the device-graph loop.  `ev` receives the reduction events
+  /// of every dot executed.
+  void run_tile(const Tile& tile, const Matrix& ae, const Matrix& be, double rescale,
+                Matrix& c, EventCounter* ev = nullptr, double* rsum = nullptr,
+                double* csum = nullptr) const;
+
+  [[nodiscard]] std::size_t active_wavelengths() const { return lanes_.size(); }
+  [[nodiscard]] const std::vector<LaneTransfer>& lane_table() const { return lanes_; }
+  [[nodiscard]] const DetectorTransfer& detector() const { return det_; }
+
+ private:
+  [[nodiscard]] double reduce(std::span<const double> xe, std::span<const double> ye) const;
+  [[nodiscard]] double apply_adc(double acc, std::size_t n) const;
+
+  /// One coefficient row per active (un-fenced) wavelength, in packing
+  /// order — the flat table the inner loop streams.
+  std::vector<LaneTransfer> lanes_;
+  DetectorTransfer det_{};
+  bool full_optics_{false};
+  bool adc_{false};
+  int adc_bits_{8};
+  double adc_full_scale_{0.0};
+};
+
+}  // namespace pdac::ptc

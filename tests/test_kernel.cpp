@@ -1,0 +1,413 @@
+// Tests for the fused flat-array compute kernel (ptc/kernel.hpp) and its
+// supporting coefficient tables: the kernel must match the device-graph
+// path BIT FOR BIT — outputs and event counts — across custom device
+// chains, ragged edges, fenced lanes, derated detectors, ADC settings,
+// guard on/off, any thread count, and (for the faults-layer table)
+// mid-product fault storms.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "converters/electrical_adc.hpp"
+#include "faults/degraded_backend.hpp"
+#include "faults/fault_injector.hpp"
+#include "faults/guarded_backend.hpp"
+#include "faults/lane_table.hpp"
+#include "ptc/ddot.hpp"
+#include "ptc/dot_engine.hpp"
+#include "ptc/gemm_engine.hpp"
+#include "ptc/kernel.hpp"
+
+namespace {
+
+using namespace pdac;
+using namespace pdac::ptc;
+
+void expect_bit_identical(const Matrix& a, const Matrix& b) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  EXPECT_EQ(std::memcmp(a.data().data(), b.data().data(), a.size() * sizeof(double)), 0);
+}
+
+void expect_events_equal(const EventCounter& a, const EventCounter& b) {
+  EXPECT_EQ(a.modulation_events, b.modulation_events);
+  EXPECT_EQ(a.detection_events, b.detection_events);
+  EXPECT_EQ(a.adc_events, b.adc_events);
+  EXPECT_EQ(a.ddot_ops, b.ddot_ops);
+  EXPECT_EQ(a.macs, b.macs);
+  EXPECT_EQ(a.cycles, b.cycles);
+}
+
+/// Authoritative reference for the standalone kernel: the device-graph
+/// reduction exactly as PhotonicDotEngine::dot_preencoded stages it —
+/// fresh WdmField rails per chunk, Ddot::compute, ADC round-trip.
+double device_dot(const Ddot& ddot, const DotEngineConfig& cfg, std::span<const double> xe,
+                  std::span<const double> ye) {
+  std::vector<std::size_t> active;
+  for (std::size_t ch = 0; ch < cfg.wavelengths; ++ch) {
+    if (cfg.lane_mask.empty() || cfg.lane_mask[ch] != 0u) active.push_back(ch);
+  }
+  const std::size_t nl = active.size();
+  double acc = 0.0;
+  for (std::size_t base = 0; base < xe.size(); base += nl) {
+    const std::size_t len = std::min(nl, xe.size() - base);
+    if (cfg.use_full_optics) {
+      photonics::DualRail rails{photonics::WdmField(cfg.wavelengths),
+                                photonics::WdmField(cfg.wavelengths)};
+      for (std::size_t i = 0; i < len; ++i) {
+        rails.upper.set_amplitude(active[i], photonics::Complex{xe[base + i], 0.0});
+        rails.lower.set_amplitude(active[i], photonics::Complex{ye[base + i], 0.0});
+      }
+      acc += ddot.compute(rails).value();
+    } else {
+      for (std::size_t i = 0; i < len; ++i) acc += xe[base + i] * ye[base + i];
+    }
+  }
+  if (!cfg.adc_readout) return acc;
+  const double fs = cfg.adc_full_scale > 0.0
+                        ? cfg.adc_full_scale
+                        : static_cast<double>(std::max<std::size_t>(xe.size(), 1));
+  converters::ElectricalAdcConfig ac;
+  ac.bits = cfg.adc_bits;
+  ac.v_ref = fs;
+  return converters::ElectricalAdc(ac).sample_to_voltage(acc);
+}
+
+/// A deliberately non-default device chain: off-nominal phase, an
+/// imbalanced coupler, mismatched/derated detectors with dark current.
+Ddot custom_ddot() {
+  photonics::PhotodetectorConfig pp;
+  pp.responsivity = 0.9;
+  pp.dark_current = 3e-4;
+  photonics::PhotodetectorConfig pm;
+  pm.responsivity = 0.85;
+  pm.dark_current = 1e-4;
+  photonics::Photodetector pd_plus(pp);
+  pd_plus.derate(0.8);  // TIA/radiation derating on one receive side
+  return Ddot(photonics::PhaseShifter(-1.41), photonics::DirectionalCoupler(0.6), pd_plus,
+              photonics::Photodetector(pm));
+}
+
+TEST(FusedKernel, MatchesCustomDeviceChainBitForBit) {
+  // The closed-form snapshot must replay an arbitrary (imbalanced,
+  // derated, dark-current-carrying) device chain exactly — including
+  // ragged final chunks and fenced-lane packing.
+  const Ddot ddot = custom_ddot();
+  Rng rng(17);
+  for (const bool adc : {false, true}) {
+    for (const double fs : {0.0, 3.7}) {
+      DotEngineConfig cfg;
+      cfg.wavelengths = 5;
+      cfg.use_full_optics = true;
+      cfg.adc_readout = adc;
+      cfg.adc_full_scale = fs;
+      cfg.lane_mask = {1, 0, 1, 1, 0};  // two fenced lanes -> packing holes
+      const FusedKernel kernel(ddot, cfg);
+      ASSERT_EQ(kernel.active_wavelengths(), 3u);
+      for (std::size_t n : {1u, 2u, 3u, 7u, 23u}) {
+        const auto xe = rng.uniform_vector(n, -1.0, 1.0);
+        const auto ye = rng.uniform_vector(n, -1.0, 1.0);
+        EXPECT_EQ(kernel.dot(xe, ye), device_dot(ddot, cfg, xe, ye))
+            << "n=" << n << " adc=" << adc << " fs=" << fs;
+      }
+    }
+  }
+}
+
+TEST(FusedKernel, NonOpticsPathMatchesFlatReduction) {
+  const Ddot ddot;  // irrelevant on the algebraic path
+  DotEngineConfig cfg;
+  cfg.wavelengths = 8;
+  cfg.use_full_optics = false;
+  cfg.adc_readout = true;
+  const FusedKernel kernel(ddot, cfg);
+  Rng rng(23);
+  const auto xe = rng.uniform_vector(19, -1.0, 1.0);
+  const auto ye = rng.uniform_vector(19, -1.0, 1.0);
+  EXPECT_EQ(kernel.dot(xe, ye), device_dot(ddot, cfg, xe, ye));
+}
+
+TEST(FusedKernel, EventChargesMatchDotPreencoded) {
+  const auto drv = core::make_pdac_driver(8);
+  DotEngineConfig cfg;
+  cfg.wavelengths = 4;
+  cfg.use_full_optics = true;
+  const PhotonicDotEngine engine(*drv, cfg);
+  const FusedKernel kernel(engine);
+  Rng rng(31);
+  for (std::size_t n : {1u, 4u, 9u, 17u}) {
+    std::vector<double> xe(n), ye(n);
+    const auto x = rng.uniform_vector(n, -1.0, 1.0);
+    const auto y = rng.uniform_vector(n, -1.0, 1.0);
+    engine.encode_span(x, xe);
+    engine.encode_span(y, ye);
+    EventCounter kev, dev_ev;
+    const double got = kernel.dot(xe, ye, &kev);
+    const double want = engine.dot_preencoded(xe, ye, &dev_ev);
+    EXPECT_EQ(got, want) << "n=" << n;
+    expect_events_equal(kev, dev_ev);
+  }
+}
+
+TEST(FusedKernel, DdotScratchOverloadsBitIdentical) {
+  // The allocation-free Ddot overloads (satellite of the kernel work)
+  // must match the allocating ones bit for bit, including masked
+  // execution and scratch reuse across differently-shaped calls.
+  const Ddot ddot = custom_ddot();
+  Rng rng(41);
+  DdotScratch scratch;
+  for (std::size_t n : {6u, 3u, 6u, 1u}) {  // shrink then regrow the scratch
+    photonics::DualRail rails{photonics::WdmField(n), photonics::WdmField(n)};
+    std::vector<std::uint8_t> mask(n, 1);
+    for (std::size_t ch = 0; ch < n; ++ch) {
+      rails.upper.set_amplitude(ch, photonics::Complex{rng.uniform(-1.0, 1.0), 0.0});
+      rails.lower.set_amplitude(ch, photonics::Complex{rng.uniform(-1.0, 1.0), 0.0});
+      if (rng.integer(0, 2) == 0) mask[ch] = 0;
+    }
+    const DdotReading plain = ddot.compute(rails);
+    const DdotReading staged = ddot.compute(rails, scratch);
+    EXPECT_EQ(plain.i_plus, staged.i_plus);
+    EXPECT_EQ(plain.i_minus, staged.i_minus);
+
+    const DdotReading masked = ddot.compute_masked(rails, mask);
+    const DdotReading masked_staged = ddot.compute_masked(rails, mask, scratch);
+    EXPECT_EQ(masked.i_plus, masked_staged.i_plus);
+    EXPECT_EQ(masked.i_minus, masked_staged.i_minus);
+
+    const auto xs = rng.uniform_vector(n, -1.0, 1.0);
+    const auto ys = rng.uniform_vector(n, -1.0, 1.0);
+    const DdotReading span_plain = ddot.compute(xs, ys);
+    const DdotReading span_staged = ddot.compute(xs, ys, scratch);
+    EXPECT_EQ(span_plain.i_plus, span_staged.i_plus);
+    EXPECT_EQ(span_plain.i_minus, span_staged.i_minus);
+  }
+}
+
+/// One fuzz draw of a GEMM configuration (shape, wavelengths, lane
+/// holes, optics/ADC/guard switches, array geometry, thread count).
+struct FuzzCase {
+  std::size_t m, k, n;
+  GemmConfig cfg;
+};
+
+FuzzCase draw_case(Rng& rng) {
+  FuzzCase fc;
+  fc.m = static_cast<std::size_t>(rng.integer(1, 20));
+  fc.k = static_cast<std::size_t>(rng.integer(1, 33));
+  fc.n = static_cast<std::size_t>(rng.integer(1, 20));
+  fc.cfg.dot.wavelengths = static_cast<std::size_t>(rng.integer(1, 8));
+  fc.cfg.dot.use_full_optics = rng.integer(0, 1) == 1;
+  fc.cfg.dot.adc_readout = rng.integer(0, 1) == 1;
+  fc.cfg.dot.adc_full_scale = rng.integer(0, 1) == 1 ? 2.5 : 0.0;
+  if (fc.cfg.dot.wavelengths > 1 && rng.integer(0, 1) == 1) {
+    fc.cfg.dot.lane_mask.assign(fc.cfg.dot.wavelengths, 1);
+    // Punch holes but keep at least one lane alive.
+    for (std::size_t ch = 1; ch < fc.cfg.dot.wavelengths; ++ch) {
+      if (rng.integer(0, 2) == 0) fc.cfg.dot.lane_mask[ch] = 0;
+    }
+  }
+  fc.cfg.array_rows = static_cast<std::size_t>(rng.integer(1, 8));
+  fc.cfg.array_cols = static_cast<std::size_t>(rng.integer(1, 8));
+  fc.cfg.threads = static_cast<std::size_t>(rng.integer(1, 4));
+  fc.cfg.guard.enabled = rng.integer(0, 1) == 1;
+  return fc;
+}
+
+TEST(KernelGemmEquivalence, FuzzMultiplyBitIdentical) {
+  // The tentpole contract: across random shapes, wavelength counts,
+  // lane-mask holes, optics/ADC settings, guard on/off and thread
+  // counts, the kernel path and the device-graph path produce the same
+  // bits — outputs, every EventCounter field, and the guard verdicts.
+  const auto drv = core::make_pdac_driver(8);
+  Rng rng(2026);
+  for (int trial = 0; trial < 40; ++trial) {
+    FuzzCase fc = draw_case(rng);
+    fc.cfg.path = ExecutionPath::kKernel;
+    const PhotonicGemm kernel_gemm(*drv, fc.cfg);
+    fc.cfg.path = ExecutionPath::kDeviceGraph;
+    const PhotonicGemm device_gemm(*drv, fc.cfg);
+
+    const Matrix a = Matrix::random_gaussian(fc.m, fc.k, rng, 0.0, 1.0);
+    const Matrix b = Matrix::random_gaussian(fc.k, fc.n, rng, 0.0, 1.0);
+    const GemmResult kr = kernel_gemm.multiply(a, b);
+    const GemmResult dr = device_gemm.multiply(a, b);
+
+    expect_bit_identical(kr.c, dr.c);
+    expect_events_equal(kr.events, dr.events);
+    expect_events_equal(kr.events, kernel_gemm.count_events(fc.m, fc.k, fc.n));
+    EXPECT_EQ(kr.guard.enabled, dr.guard.enabled);
+    EXPECT_EQ(kr.guard.tiles_checked, dr.guard.tiles_checked);
+    EXPECT_EQ(kr.guard.mismatched_tiles, dr.guard.mismatched_tiles);
+    EXPECT_EQ(kr.guard.first_mismatch, dr.guard.first_mismatch);
+    EXPECT_EQ(kr.guard.worst_residual, dr.guard.worst_residual);
+    EXPECT_EQ(kr.guard.worst_tolerance, dr.guard.worst_tolerance);
+    // Clean-run guard verdicts: with ADC off the residual is pure
+    // reassociation and must sit inside the band.  (With ADC on and no
+    // calibrated noise band, quantization legitimately trips the guard —
+    // identically on both paths, which the checks above already pin.)
+    if (fc.cfg.guard.enabled && !fc.cfg.dot.adc_readout) {
+      EXPECT_EQ(kr.guard.mismatched_tiles, 0u) << "trial " << trial;
+    }
+  }
+}
+
+TEST(KernelGemmEquivalence, PreparedPathBitIdentical) {
+  // Weight-stationary products must hold the same contract: one
+  // PreparedOperand consumed by both paths yields the same bits.
+  const auto drv = core::make_pdac_driver(8);
+  GemmConfig cfg;
+  cfg.dot.wavelengths = 4;
+  cfg.dot.use_full_optics = true;
+  cfg.dot.adc_readout = true;
+  cfg.array_rows = 3;
+  cfg.array_cols = 5;
+  cfg.guard.enabled = true;
+  cfg.path = ExecutionPath::kKernel;
+  const PhotonicGemm kernel_gemm(*drv, cfg);
+  cfg.path = ExecutionPath::kDeviceGraph;
+  const PhotonicGemm device_gemm(*drv, cfg);
+
+  Rng rng(7);
+  const Matrix a = Matrix::random_gaussian(11, 21, rng, 0.0, 1.0);
+  const Matrix b = Matrix::random_gaussian(21, 13, rng, 0.0, 1.0);
+  const PreparedOperand pb = kernel_gemm.prepare_b(b);
+  const GemmResult kr = kernel_gemm.multiply_prepared(a, pb);
+  const GemmResult dr = device_gemm.multiply_prepared(a, pb);
+  const GemmResult full = kernel_gemm.multiply(a, b);
+  expect_bit_identical(kr.c, dr.c);
+  expect_bit_identical(kr.c, full.c);
+  expect_events_equal(kr.events, dr.events);
+  expect_events_equal(kr.events, full.events);
+}
+
+// ---------------------------------------------------------------------
+// faults-layer coefficient table (faults/lane_table.hpp)
+
+faults::LaneBankConfig bank_config(std::uint64_t seed = 11) {
+  faults::LaneBankConfig cfg;
+  cfg.pdac.bits = 8;
+  cfg.wavelengths = 4;
+  cfg.variation.tia_gain_sigma = 0.01;
+  cfg.variation.bias_sigma = 0.002;
+  cfg.variation.vpi_drift_sigma = 0.005;
+  cfg.variation.seed = seed;
+  return cfg;
+}
+
+faults::FaultSchedule storm_schedule(std::size_t lanes) {
+  // A mixed storm: stuck modulator, TIA gain step and a derated receive
+  // PD landing at different steps of one product.
+  faults::FaultSchedule sched;
+  sched.cfg.lanes = lanes;
+  sched.cfg.bits = 8;
+  sched.cfg.horizon_steps = 16;
+  faults::FaultEvent stuck;
+  stuck.step = 1;
+  stuck.lane = 2;
+  stuck.kind = faults::FaultKind::kStuckMrr;
+  stuck.magnitude = 0.4;
+  sched.events.push_back(stuck);
+  faults::FaultEvent tia;
+  tia.step = 3;
+  tia.lane = 5;
+  tia.kind = faults::FaultKind::kTiaGainStep;
+  tia.magnitude = 1.3;
+  tia.bit = 2;
+  sched.events.push_back(tia);
+  faults::FaultEvent pd;
+  pd.step = 5;
+  pd.lane = 1;
+  pd.kind = faults::FaultKind::kDegradedPd;
+  pd.magnitude = 0.7;
+  sched.events.push_back(pd);
+  return sched;
+}
+
+TEST(LaneEncodeTable, MatchesBankEncodesAcrossMutations) {
+  faults::LaneBank bank(bank_config());
+  faults::production_trim(bank);
+  faults::LaneEncodeTable table;
+  table.ensure(bank);
+  ASSERT_TRUE(table.fresh(bank));
+
+  const auto sweep = [&] {
+    for (std::size_t rail = 0; rail < faults::LaneBank::kRails; ++rail) {
+      for (std::size_t ch = 0; ch < bank.wavelengths(); ++ch) {
+        for (double r : {-1.0, -0.73, -0.2, 0.0, 0.31, 0.99, 1.0, 1.7}) {
+          ASSERT_EQ(table.encode(rail, ch, r), bank.encode(rail, ch, r))
+              << "rail=" << rail << " ch=" << ch << " r=" << r;
+        }
+      }
+    }
+  };
+  sweep();
+
+  // An injected fault bumps the epoch: the table must report stale, and
+  // after re-ensure() serve the *faulted* transfer.
+  faults::FaultInjector injector(bank, storm_schedule(bank.lanes()));
+  injector.advance_to(6);
+  EXPECT_FALSE(table.fresh(bank));
+  table.ensure(bank);
+  ASSERT_TRUE(table.fresh(bank));
+  sweep();
+}
+
+TEST(LaneEncodeTable, DegradedBackendTableOnOffBitIdentical) {
+  faults::LaneBank bank(bank_config());
+  faults::production_trim(bank);
+  // Degrade the bank first (fault + a fence) so the packing has a hole.
+  faults::FaultInjector injector(bank, storm_schedule(bank.lanes()));
+  injector.advance_to(4);
+  bank.lane(0, 3).fenced = true;
+  bank.bump_epoch();
+
+  faults::DegradedBackendConfig on;
+  faults::DegradedBackendConfig off;
+  off.use_lane_table = false;
+  faults::DegradedBackend with_table(bank, on);
+  faults::DegradedBackend without(bank, off);
+
+  Rng rng(3);
+  const Matrix a = Matrix::random_gaussian(12, 19, rng, 0.0, 1.0);
+  const Matrix b = Matrix::random_gaussian(19, 10, rng, 0.0, 1.0);
+  expect_bit_identical(with_table.matmul(a, b), without.matmul(a, b));
+  const nn::WeightHandle w{3, 1};
+  expect_bit_identical(with_table.matmul_cached(a, b, w), without.matmul_cached(a, b, w));
+  expect_events_equal(with_table.events(), without.events());
+}
+
+TEST(LaneEncodeTable, GuardedStormTableOnOffBitIdentical) {
+  // Two identically seeded banks under the same mid-product storm: the
+  // guarded pipeline (detection, escalation ladder, re-prepares) must
+  // behave bit-identically whether current-state encodes come from the
+  // table or the live models.
+  Rng rng(9);
+  const Matrix a = Matrix::random_gaussian(14, 22, rng, 0.0, 1.0);
+  const Matrix b = Matrix::random_gaussian(22, 12, rng, 0.0, 1.0);
+
+  const auto run = [&](bool use_table, Matrix* out) {
+    faults::LaneBank bank(bank_config());
+    faults::production_trim(bank);
+    faults::GuardedBackendConfig cfg;
+    cfg.use_lane_table = use_table;
+    faults::GuardedBackend backend(bank, cfg);
+    faults::FaultInjector injector(bank, storm_schedule(bank.lanes()));
+    backend.attach_storm(&injector, 1);
+    *out = backend.matmul(a, b);
+    return std::make_pair(backend.events(), backend.monitor().snapshot());
+  };
+
+  Matrix with_table, without;
+  const auto [ev_on, snap_on] = run(true, &with_table);
+  const auto [ev_off, snap_off] = run(false, &without);
+  expect_bit_identical(with_table, without);
+  expect_events_equal(ev_on, ev_off);
+  EXPECT_EQ(snap_on.products, snap_off.products);
+  EXPECT_EQ(snap_on.detections, snap_off.detections);
+  EXPECT_EQ(snap_on.mismatched_tiles, snap_off.mismatched_tiles);
+  EXPECT_EQ(snap_on.worst_residual, snap_off.worst_residual);
+}
+
+}  // namespace
