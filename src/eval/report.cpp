@@ -160,6 +160,45 @@ std::string render_abft_guard(const std::string& title, const AbftGuardSummary& 
   return os.str();
 }
 
+std::string render_serving(const std::string& title, const ServingSummary& s) {
+  const auto share = [&](std::size_t part) {
+    return s.requests > 0 ? static_cast<double>(part) / static_cast<double>(s.requests) : 0.0;
+  };
+  Table t({"counter", "value", ""});
+  t.add_row({"requests", std::to_string(s.requests), ""});
+  t.add_row({"completed", std::to_string(s.completed), ascii_bar(share(s.completed), 24)});
+  t.add_row({"shed", std::to_string(s.shed), ascii_bar(share(s.shed), 24)});
+  t.add_row({"failed", std::to_string(s.failed), ascii_bar(share(s.failed), 24)});
+  t.add_row({"tokens (goodput)",
+             std::to_string(s.tokens) + " (" + std::to_string(s.goodput_tokens) + ")", ""});
+  t.add_row({"makespan", std::to_string(s.makespan_cycles) + " cyc", ""});
+  t.add_rule();
+  t.add_row({"token gap p50 / p99",
+             Table::num(s.p50_token_gap, 1) + " / " + Table::num(s.p99_token_gap, 1) + " cyc",
+             ""});
+  t.add_row({"request latency p50 / p99",
+             Table::num(s.p50_request_latency, 1) + " / " + Table::num(s.p99_request_latency, 1) +
+                 " cyc",
+             ""});
+  t.add_row({"pool energy", Table::num(s.energy_uj, 3) + " uJ", ""});
+  t.add_row({"goodput per joule", Table::num(s.goodput_per_joule, 1) + " tok/J", ""});
+  t.add_row({"throttled products", std::to_string(s.throttled_products), ""});
+  std::ostringstream os;
+  os << "== " << title << " ==\n" << t.to_string();
+  if (!s.backends.empty()) {
+    Table bt({"backend", "tokens", "products", "util", "health", "fences", "unrec", "state"});
+    for (std::size_t i = 0; i < s.backends.size(); ++i) {
+      const ServingBackendRow& row = s.backends[i];
+      bt.add_row({"#" + std::to_string(i), std::to_string(row.tokens),
+                  std::to_string(row.products), Table::pct(row.utilization),
+                  Table::num(row.final_health, 3), std::to_string(row.fences),
+                  std::to_string(row.unrecovered), row.alive ? "alive" : "offline"});
+    }
+    os << bt.to_string();
+  }
+  return os.str();
+}
+
 std::string to_csv(const std::vector<std::string>& header,
                    const std::vector<std::vector<double>>& rows) {
   std::ostringstream os;

@@ -101,4 +101,40 @@ struct AbftGuardSummary {
 /// recovery-ladder counts and the energy overhead split.
 std::string render_abft_guard(const std::string& title, const AbftGuardSummary& s);
 
+/// One backend of the serving pool (bench/perf_serving, DESIGN.md §14):
+/// plain data so eval stays independent of the serve library.
+struct ServingBackendRow {
+  std::size_t tokens{};
+  std::size_t products{};
+  double utilization{};     ///< busy cycles / makespan
+  double final_health{};    ///< guard-aware placement score at the end
+  bool alive{true};
+  std::size_t fences{};
+  std::size_t unrecovered{};
+};
+
+/// Continuous-batching serving rollup: verdict accounting, latency
+/// percentiles, goodput and its energy price.
+struct ServingSummary {
+  std::size_t requests{};
+  std::size_t completed{};
+  std::size_t shed{};
+  std::size_t failed{};
+  std::size_t tokens{};            ///< all tokens emitted
+  std::size_t goodput_tokens{};    ///< tokens of completed requests
+  std::uint64_t makespan_cycles{};
+  double p50_token_gap{};          ///< inter-token latency [cycles]
+  double p99_token_gap{};
+  double p50_request_latency{};    ///< arrival → completion [cycles]
+  double p99_request_latency{};
+  double energy_uj{};              ///< pool total (data + guard + recovery)
+  double goodput_per_joule{};      ///< completed tokens per joule
+  std::size_t throttled_products{};///< run with a clamped re-trim ladder
+  std::vector<ServingBackendRow> backends;
+};
+
+/// Render the serving scoreboard: verdict reconciliation, latency
+/// percentiles, goodput-per-joule, and the per-backend placement split.
+std::string render_serving(const std::string& title, const ServingSummary& s);
+
 }  // namespace pdac::eval

@@ -10,7 +10,8 @@
 
 namespace pdac::faults {
 
-GuardedBackend::GuardedBackend(LaneBank& bank, GuardedBackendConfig cfg)
+GuardedBackend::GuardedBackend(LaneBank& bank, GuardedBackendConfig cfg,
+                               HealthMonitor* shared_monitor)
     : bank_(bank),
       cfg_(cfg),
       pool_(std::make_unique<ThreadPool>(cfg.threads)),
@@ -19,7 +20,8 @@ GuardedBackend::GuardedBackend(LaneBank& bank, GuardedBackendConfig cfg)
   PDAC_REQUIRE(cfg_.array_rows >= 1 && cfg_.array_cols >= 1,
                "GuardedBackend: array dimensions must be positive");
   cfg_.guard.enabled = true;  // detection is the point of this backend
-  recalibrate();              // construction is a trusted calibration point
+  if (shared_monitor != nullptr) monitor_ = shared_monitor;
+  recalibrate();  // construction is a trusted calibration point
 }
 
 void GuardedBackend::recalibrate() {
@@ -111,15 +113,19 @@ ptc::PreparedOperand GuardedBackend::prepare_b(const Matrix& b,
   });
 
   // Checksum stripes over the golden reference (one row per array-width
-  // column stripe), cached with the operand.
+  // column stripe), cached with the operand.  The column-only cheap mode
+  // never runs the row lanes these stripes feed, so it skips building
+  // them — half the guard's prepare work and cache bytes.
   pb.checksum_stripe = cfg_.array_cols;
-  const std::size_t stripes = (pb.cols + cfg_.array_cols - 1) / cfg_.array_cols;
-  pb.checksum = Matrix(stripes, k);
-  std::fill(pb.checksum.data().begin(), pb.checksum.data().end(), 0.0);
-  for (std::size_t j = 0; j < pb.cols; ++j) {
-    const auto src = pb.reference.row(j);
-    const auto dst = pb.checksum.row(j / cfg_.array_cols);
-    for (std::size_t p = 0; p < k; ++p) dst[p] += src[p];
+  if (!cfg_.guard.column_only) {
+    const std::size_t stripes = (pb.cols + cfg_.array_cols - 1) / cfg_.array_cols;
+    pb.checksum = Matrix(stripes, k);
+    std::fill(pb.checksum.data().begin(), pb.checksum.data().end(), 0.0);
+    for (std::size_t j = 0; j < pb.cols; ++j) {
+      const auto src = pb.reference.row(j);
+      const auto dst = pb.checksum.row(j / cfg_.array_cols);
+      for (std::size_t p = 0; p < k; ++p) dst[p] += src[p];
+    }
   }
   return pb;
 }
@@ -164,7 +170,8 @@ Matrix GuardedBackend::matmul_cached(const Matrix& a, const Matrix& b,
 ptc::TileCheck GuardedBackend::run_tile(const ptc::Tile& tile, std::size_t t, const Matrix& ae,
                                         const Matrix& ae_gold, const Matrix& xsum,
                                         const Matrix& bdata, const ptc::PreparedOperand& pb,
-                                        double rescale, Matrix& c) const {
+                                        double rescale, Matrix& c,
+                                        const std::vector<DotUpset>* upsets) const {
   const std::size_t k = ae.cols();
   std::vector<double> rsum(tile.rows, 0.0);
   std::vector<double> csum(tile.cols, 0.0);
@@ -177,6 +184,13 @@ ptc::TileCheck GuardedBackend::run_tile(const ptc::Tile& tile, std::size_t t, co
       // post-fence degraded re-run.
       double acc = 0.0;
       for (std::size_t p = 0; p < k; ++p) acc += x[p] * y[p];
+      if (upsets != nullptr) {
+        // Transient detector glitches land on the raw accumulator, so
+        // the checksum lanes see the corrupted value too.
+        for (const DotUpset& u : *upsets) {
+          if (u.row == i && u.col == j) acc += u.delta;
+        }
+      }
       c(i, j) = acc * rescale;
       rsum[i - tile.row0] += acc;
       csum[j - tile.col0] += acc;
@@ -197,13 +211,27 @@ ptc::TileCheck GuardedBackend::run_tile(const ptc::Tile& tile, std::size_t t, co
     }
     if (std::isnan(residual) || residual > tol) check.ok = false;
   };
+  // Out-of-band lane bookkeeping for single-error correction: one bad
+  // row lane × one bad column lane pinpoints the corrupted element.
+  std::size_t bad_rows = 0, bad_cols = 0;
+  std::size_t sec_row = 0, sec_col = 0;
+  double row_delta = 0.0, col_delta = 0.0;
   // Row lanes: Σ_j tile(i,j) vs ⟨golden x′_i, cached golden Σ_j y′_j⟩.
-  const auto ysum = pb.checksum.row(tile.col0 / pb.checksum_stripe);
-  for (std::size_t i = tile.row0; i < tile.row0 + tile.rows; ++i) {
-    const auto xr = ae_gold.row(i);
-    double ref = 0.0;
-    for (std::size_t p = 0; p < k; ++p) ref += xr[p] * ysum[p];
-    note(std::abs(rsum[i - tile.row0] - ref), tol_row);
+  // The column-only cheap mode skips them (and their spare-lane charge).
+  if (!cfg_.guard.column_only) {
+    const auto ysum = pb.checksum.row(tile.col0 / pb.checksum_stripe);
+    for (std::size_t i = tile.row0; i < tile.row0 + tile.rows; ++i) {
+      const auto xr = ae_gold.row(i);
+      double ref = 0.0;
+      for (std::size_t p = 0; p < k; ++p) ref += xr[p] * ysum[p];
+      const double res = rsum[i - tile.row0] - ref;
+      note(std::abs(res), tol_row);
+      if (std::isnan(res) || std::abs(res) > tol_row) {
+        ++bad_rows;
+        sec_row = i;
+        row_delta = res;
+      }
+    }
   }
   // Column lanes: Σ_i tile(i,j) vs ⟨golden Σ_i x′_i, golden y′_j⟩.
   const auto xs = xsum.row(tile.row0 / cfg_.array_rows);
@@ -211,7 +239,26 @@ ptc::TileCheck GuardedBackend::run_tile(const ptc::Tile& tile, std::size_t t, co
     const auto yr = pb.reference.row(j);
     double ref = 0.0;
     for (std::size_t p = 0; p < k; ++p) ref += xs[p] * yr[p];
-    note(std::abs(csum[j - tile.col0] - ref), tol_col);
+    const double res = csum[j - tile.col0] - ref;
+    note(std::abs(res), tol_col);
+    if (std::isnan(res) || std::abs(res) > tol_col) {
+      ++bad_cols;
+      sec_col = j;
+      col_delta = res;
+    }
+  }
+
+  // Single-error correction: both residuals estimate the same raw
+  // accumulator error, so when they agree (within both bands) the
+  // element at the intersection is corrected digitally and no escalation
+  // rung fires.  Lane-class faults corrupt whole encode rows/columns and
+  // never present this signature, so they still escalate.
+  if (!check.ok && cfg_.guard.sec_correction && !cfg_.guard.column_only && bad_rows == 1 &&
+      bad_cols == 1 && std::isfinite(row_delta) && std::isfinite(col_delta) &&
+      std::abs(row_delta - col_delta) <= tol_row + tol_col) {
+    c(sec_row, sec_col) -= row_delta * rescale;
+    check.ok = true;
+    check.corrected = 1;
   }
   return check;
 }
@@ -241,10 +288,10 @@ std::size_t GuardedBackend::fence_diverged_lanes(const std::vector<std::size_t>&
     if (diverged) {
       lane.fenced = true;
       ++fenced;
-      monitor_.record_implicated_lane(flat);
+      monitor_->record_implicated_lane(flat);
     }
   }
-  monitor_.record_probe_events(probes);
+  monitor_->record_probe_events(probes);
   if (fenced > 0) bank_.bump_epoch();
   return fenced;
 }
@@ -350,6 +397,12 @@ Matrix GuardedBackend::run_guarded(const Matrix& a, const Matrix& b,
     }
   };
 
+  // Transient upsets strike the initial pass only — a retry (or the SEC
+  // correction that obviates it) sees clean hardware.
+  const std::vector<DotUpset> upsets = std::move(pending_upsets_);
+  pending_upsets_.clear();
+  const std::vector<DotUpset>* initial_upsets = upsets.empty() ? nullptr : &upsets;
+
   // ---- initial pass -------------------------------------------------
   const bool storm = storm_ != nullptr && storm_steps_per_tile_ > 0;
   if (storm) {
@@ -363,12 +416,13 @@ Matrix GuardedBackend::run_guarded(const Matrix& a, const Matrix& b,
       storm_->advance_to(storm_clock_);
       reencode_a_rows(tiles[t].row0, tiles[t].rows, pb->channels);
       reencode_b_cols(tiles[t].col0, tiles[t].cols, pb->channels);
-      checks[t] = run_tile(tiles[t], t, ae, ae_gold, xsum, *bdata, *pb, rescale, c);
+      checks[t] = run_tile(tiles[t], t, ae, ae_gold, xsum, *bdata, *pb, rescale, c,
+                           initial_upsets);
     }
   } else {
     const Matrix& bd = *bdata;
     ptc::for_each_tile(*pool_, tiles, [&](std::size_t t, std::size_t) {
-      checks[t] = run_tile(tiles[t], t, ae, ae_gold, xsum, bd, *pb, rescale, c);
+      checks[t] = run_tile(tiles[t], t, ae, ae_gold, xsum, bd, *pb, rescale, c, initial_upsets);
     });
   }
   {
@@ -376,7 +430,8 @@ Matrix GuardedBackend::run_guarded(const Matrix& a, const Matrix& b,
     const std::size_t chunks = (k + nl - 1) / nl;
     for (const ptc::Tile& tile : tiles) {
       events_ += tile_events(tile, k, nl);
-      outcome.checksum_events += ptc::checksum_lane_events(tile.rows, tile.cols, k, chunks);
+      outcome.checksum_events += ptc::checksum_lane_events(tile.rows, tile.cols, k, chunks,
+                                                           cfg_.guard.column_only);
     }
   }
 
@@ -384,6 +439,7 @@ Matrix GuardedBackend::run_guarded(const Matrix& a, const Matrix& b,
   for (std::size_t t = 0; t < tiles.size(); ++t) {
     const ptc::TileCheck& check = checks[t];
     if (!check.ok) bad.push_back(t);
+    outcome.tiles_corrected += check.corrected;
     if (std::isnan(check.worst_residual) || check.worst_residual > outcome.worst_residual) {
       outcome.worst_residual = check.worst_residual;
       outcome.worst_tolerance = check.tolerance;
@@ -396,7 +452,7 @@ Matrix GuardedBackend::run_guarded(const Matrix& a, const Matrix& b,
   EscalationState state;
   while (!bad.empty()) {
     const GuardAction action = policy_.next(state);
-    monitor_.record_action(action);
+    monitor_->record_action(action);
     if (action == GuardAction::kGiveUp) break;
 
     bool repacked = false;
@@ -408,7 +464,7 @@ Matrix GuardedBackend::run_guarded(const Matrix& a, const Matrix& b,
         ++state.retrims;
         const SelfTestReport report =
             run_self_test(bank_, implicated_lanes(pb->channels), policy_.config().self_test);
-        monitor_.record_self_test(report);
+        monitor_->record_self_test(report);
         recalibrate();  // post-self-test lane state is trusted
         repacked = true;
         break;
@@ -428,8 +484,8 @@ Matrix GuardedBackend::run_guarded(const Matrix& a, const Matrix& b,
       if (channels.empty()) {
         // Every channel fenced mid-recovery: the accelerator is offline.
         // Zero result, mirroring DegradedBackend's outage contract.
-        monitor_.record_action(GuardAction::kGiveUp);
-        monitor_.record_product(outcome);
+        monitor_->record_action(GuardAction::kGiveUp);
+        monitor_->record_product(outcome);
         return Matrix(m, n);
       }
       // Re-prepare against the repaired/repacked bank: fresh current +
@@ -458,10 +514,12 @@ Matrix GuardedBackend::run_guarded(const Matrix& a, const Matrix& b,
         reencode_b_cols(tile.col0, tile.cols, pb->channels);
       }
       checks[t] = run_tile(tile, t, ae, ae_gold, xsum, *bdata, *pb, rescale, c);
+      outcome.tiles_corrected += checks[t].corrected;
       const ptc::EventCounter ev = tile_events(tile, k, nl);
       events_ += ev;
-      monitor_.record_retry_events(ev);
-      outcome.checksum_events += ptc::checksum_lane_events(tile.rows, tile.cols, k, chunks);
+      monitor_->record_retry_events(ev);
+      outcome.checksum_events += ptc::checksum_lane_events(tile.rows, tile.cols, k, chunks,
+                                                           cfg_.guard.column_only);
     }
     std::vector<std::size_t> still_bad;
     for (const std::size_t t : bad) {
@@ -470,7 +528,7 @@ Matrix GuardedBackend::run_guarded(const Matrix& a, const Matrix& b,
     bad = std::move(still_bad);
   }
 
-  monitor_.record_product(outcome);
+  monitor_->record_product(outcome);
   return c;
 }
 

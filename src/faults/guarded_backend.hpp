@@ -79,9 +79,24 @@ struct GuardedBackendConfig {
   bool use_lane_table{true};
 };
 
+/// A transient single-dot upset: an SEU-class glitch that corrupts one
+/// detector readout of the *next* product's initial pass by `delta` (raw
+/// accumulator units).  Cleared after that pass, so a retry re-run — or
+/// the SEC correction that makes the retry unnecessary — sees clean
+/// hardware.  Output coordinates are global (row, col) of the product.
+struct DotUpset {
+  std::size_t row{0};
+  std::size_t col{0};
+  double delta{0.0};
+};
+
 class GuardedBackend final : public nn::GemmBackend {
  public:
-  explicit GuardedBackend(LaneBank& bank, GuardedBackendConfig cfg = {});
+  /// `shared_monitor` (optional) replaces the backend's own monitor so a
+  /// fleet of backends can attribute into one rollup; HealthMonitor is
+  /// internally synchronized, so concurrent products reconcile exactly.
+  explicit GuardedBackend(LaneBank& bank, GuardedBackendConfig cfg = {},
+                          HealthMonitor* shared_monitor = nullptr);
 
   /// Guarded product: every tile verified against the golden references,
   /// mismatches recovered through the escalation ladder.  With every
@@ -111,9 +126,21 @@ class GuardedBackend final : public nn::GemmBackend {
   /// target this backend's bank.  Pass nullptr to detach.
   void attach_storm(FaultInjector* injector, std::uint64_t steps_per_tile);
 
+  /// Queue a transient single-dot upset for the next product (test and
+  /// storm-bench hook for the SEC-correction path).
+  void inject_dot_upset(DotUpset upset) { pending_upsets_.push_back(upset); }
+
+  /// Swap the recovery ladder's bounds at runtime — the serving layer's
+  /// re-trim budget throttles a backend by handing it a ladder with
+  /// max_retrims = 0 until the budget refills.
+  void set_escalation(const EscalationConfig& escalation) {
+    cfg_.escalation = escalation;
+    policy_ = EscalationPolicy(escalation);
+  }
+
   [[nodiscard]] const LaneBank& bank() const { return bank_; }
-  [[nodiscard]] const HealthMonitor& monitor() const { return monitor_; }
-  [[nodiscard]] HealthMonitor& monitor() { return monitor_; }
+  [[nodiscard]] const HealthMonitor& monitor() const { return *monitor_; }
+  [[nodiscard]] HealthMonitor& monitor() { return *monitor_; }
   [[nodiscard]] const EscalationPolicy& policy() const { return policy_; }
   [[nodiscard]] const GuardedBackendConfig& config() const { return cfg_; }
 
@@ -145,11 +172,15 @@ class GuardedBackend final : public nn::GemmBackend {
   /// Compute + verify one tile: data dots from `ae` (current A encodes)
   /// × `bdata` (current B encodes), references from `ae_gold` /
   /// `pb.reference` / the cached checksum stripes.  Writes the rescaled
-  /// outputs into `c` and returns the verdict.
+  /// outputs into `c` and returns the verdict.  `upsets` (nullable) are
+  /// the transient dot glitches of the initial pass; single-element
+  /// corruptions whose row×column residuals intersect are corrected
+  /// digitally in place when GuardConfig::sec_correction is on.
   [[nodiscard]] ptc::TileCheck run_tile(const ptc::Tile& tile, std::size_t t, const Matrix& ae,
                                         const Matrix& ae_gold, const Matrix& xsum,
                                         const Matrix& bdata, const ptc::PreparedOperand& pb,
-                                        double rescale, Matrix& c) const;
+                                        double rescale, Matrix& c,
+                                        const std::vector<DotUpset>* upsets = nullptr) const;
 
   /// kFence rung: full calibration-table readback of the implicated
   /// lanes against the golden snapshot, fencing every lane that has
@@ -170,7 +201,9 @@ class GuardedBackend final : public nn::GemmBackend {
   std::unique_ptr<ThreadPool> pool_;
   nn::OperandCache cache_;
   EscalationPolicy policy_;
-  HealthMonitor monitor_;
+  HealthMonitor own_monitor_;
+  HealthMonitor* monitor_{&own_monitor_};  ///< shared fleet monitor when set
+  std::vector<DotUpset> pending_upsets_;   ///< consumed by the next product
 
   /// Golden encode tables: per flat lane, output amplitude for every
   /// signed quantizer code (index code + max_code).

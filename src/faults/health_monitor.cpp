@@ -7,9 +7,11 @@ namespace pdac::faults {
 
 void HealthMonitor::record_product(const ptc::GuardOutcome& outcome) {
   if (!outcome.enabled) return;
+  std::lock_guard<std::mutex> lk(mu_);
   ++snap_.products;
   snap_.tiles_checked += outcome.tiles_checked;
   snap_.mismatched_tiles += outcome.mismatched_tiles;
+  snap_.sec_corrections += outcome.tiles_corrected;
   snap_.checksum_events += outcome.checksum_events;
   if (outcome.mismatched_tiles > 0) {
     ++snap_.detections;
@@ -22,16 +24,23 @@ void HealthMonitor::record_product(const ptc::GuardOutcome& outcome) {
 }
 
 void HealthMonitor::record_action(GuardAction action) {
-  switch (action) {
-    case GuardAction::kAccept: break;
-    case GuardAction::kRetry: ++snap_.retries; break;
-    case GuardAction::kRetrim: ++snap_.retrims; break;
-    case GuardAction::kFence: ++snap_.fences; break;
-    case GuardAction::kGiveUp: ++snap_.unrecovered; break;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    switch (action) {
+      case GuardAction::kAccept: return;
+      case GuardAction::kRetry: ++snap_.retries; break;
+      case GuardAction::kRetrim: ++snap_.retrims; break;
+      case GuardAction::kFence: ++snap_.fences; break;
+      case GuardAction::kGiveUp: ++snap_.unrecovered; break;
+    }
   }
+  // Outside the lock: a listener is free to read snapshots or drive the
+  // backend without deadlocking.
+  if (listener_) listener_(action);
 }
 
 void HealthMonitor::record_self_test(const SelfTestReport& report) {
+  std::lock_guard<std::mutex> lk(mu_);
   snap_.probe_events += report.probe_events;
   for (const LaneOutcome& lane : report.lanes) {
     if (lane.verdict == LaneVerdict::kHealthy) continue;
@@ -46,12 +55,29 @@ void HealthMonitor::record_self_test(const SelfTestReport& report) {
 }
 
 void HealthMonitor::record_retry_events(const ptc::EventCounter& events) {
+  std::lock_guard<std::mutex> lk(mu_);
   snap_.retry_events += events;
 }
 
+void HealthMonitor::record_probe_events(std::size_t probes) {
+  std::lock_guard<std::mutex> lk(mu_);
+  snap_.probe_events += probes;
+}
+
 void HealthMonitor::record_implicated_lane(std::size_t lane) {
+  std::lock_guard<std::mutex> lk(mu_);
   if (snap_.lane_mismatches.size() <= lane) snap_.lane_mismatches.resize(lane + 1, 0);
   ++snap_.lane_mismatches[lane];
+}
+
+HealthSnapshot HealthMonitor::snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return snap_;
+}
+
+void HealthMonitor::reset() {
+  std::lock_guard<std::mutex> lk(mu_);
+  snap_ = HealthSnapshot{};
 }
 
 }  // namespace pdac::faults

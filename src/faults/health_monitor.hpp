@@ -9,9 +9,19 @@
 // is the pure guard charge (spare row/column lanes), retry_events is the
 // data-path work re-executed by recovery — arch::event_energy prices
 // both, and eval::report renders the summary.
+//
+// Concurrency: every record_* entry point is internally synchronized, so
+// one monitor can be shared by several guarded backends running products
+// in parallel (the serving pool's fleet rollup) and the counts reconcile
+// exactly.  snapshot() returns a coherent copy taken under the same
+// lock.  The action listener is invoked outside the lock, on the
+// recording thread — listeners that touch shared state synchronize
+// themselves.
 #pragma once
 
 #include <cstddef>
+#include <functional>
+#include <mutex>
 #include <vector>
 
 #include "faults/escalation.hpp"
@@ -25,6 +35,9 @@ struct HealthSnapshot {
   std::size_t detections{0};        ///< products with ≥ 1 mismatched tile
   std::size_t tiles_checked{0};
   std::size_t mismatched_tiles{0};
+  /// Tiles repaired in place by single-error correction: detected and
+  /// fixed digitally from the checksum residual, no recovery rung spent.
+  std::size_t sec_corrections{0};
   std::size_t retries{0};
   std::size_t retrims{0};
   std::size_t fences{0};            ///< degraded re-runs taken
@@ -51,12 +64,26 @@ struct HealthSnapshot {
                            : static_cast<double>(detection_latency_tiles) /
                                  static_cast<double>(detections);
   }
+  /// Total lane implications across the bank — the guard-aware placement
+  /// signal: how often escalation pinned blame on this backend's lanes.
+  [[nodiscard]] std::size_t total_lane_mismatches() const {
+    std::size_t total = 0;
+    for (const std::size_t n : lane_mismatches) total += n;
+    return total;
+  }
 };
 
 class HealthMonitor {
  public:
+  /// Notification for every recovery rung recorded (kRetry/kRetrim/
+  /// kFence/kGiveUp; kAccept is never reported) — the serving scheduler
+  /// subscribes to debit re-trim budgets and age health scores the
+  /// moment escalation fires, instead of polling snapshots.
+  using ActionListener = std::function<void(GuardAction)>;
+
   /// Fold one product's guard verdicts (tiles checked, mismatches,
-  /// detection site, checksum-lane charge) into the running totals.
+  /// corrections, detection site, checksum-lane charge) into the running
+  /// totals.
   void record_product(const ptc::GuardOutcome& outcome);
 
   /// Record a recovery rung taken for a mismatching tile.
@@ -72,16 +99,24 @@ class HealthMonitor {
 
   /// Calibration probes burned outside a SelfTestReport (the fence
   /// rung's golden-table readback).
-  void record_probe_events(std::size_t probes) { snap_.probe_events += probes; }
+  void record_probe_events(std::size_t probes);
 
   /// Attribute a mismatch to one flat lane (fence-rung divergence).
   void record_implicated_lane(std::size_t lane);
 
-  [[nodiscard]] const HealthSnapshot& snapshot() const { return snap_; }
-  void reset() { snap_ = HealthSnapshot{}; }
+  /// Replace the action listener (empty = none).  Not synchronized
+  /// against in-flight record_action calls — install before sharing the
+  /// monitor across threads.
+  void set_action_listener(ActionListener listener) { listener_ = std::move(listener); }
+
+  /// Coherent copy of the running totals.
+  [[nodiscard]] HealthSnapshot snapshot() const;
+  void reset();
 
  private:
+  mutable std::mutex mu_;
   HealthSnapshot snap_;
+  ActionListener listener_;
 };
 
 }  // namespace pdac::faults

@@ -34,6 +34,15 @@ std::shared_ptr<const ptc::PreparedOperand> OperandCache::lookup(std::uint64_t i
   return e.op;
 }
 
+bool OperandCache::contains(std::uint64_t id, std::uint64_t version,
+                            std::uint64_t epoch) const {
+  if (!cfg_.enabled || id == 0) return false;
+  const auto it = index_.find(id);
+  if (it == index_.end()) return false;
+  const Entry& e = *it->second;
+  return e.version == version && e.op->epoch == epoch;
+}
+
 void OperandCache::insert(std::uint64_t id, std::uint64_t version,
                           std::shared_ptr<const ptc::PreparedOperand> op) {
   PDAC_REQUIRE(op != nullptr, "OperandCache: cannot insert a null operand");

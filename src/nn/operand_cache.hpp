@@ -71,6 +71,13 @@ class OperandCache {
   void insert(std::uint64_t id, std::uint64_t version,
               std::shared_ptr<const ptc::PreparedOperand> op);
 
+  /// Pure residency probe for placement affinity (serve::BackendPool):
+  /// true iff (id, version) is resident and fresh under `epoch`.  No LRU
+  /// reordering, no stats mutation, no stale-entry eviction — the
+  /// scheduler may probe many backends without perturbing any of them.
+  [[nodiscard]] bool contains(std::uint64_t id, std::uint64_t version,
+                              std::uint64_t epoch) const;
+
   /// Drop one weight's entry if present (counted as an invalidation) —
   /// for staleness the caller detects out-of-band, e.g. a lane-packing
   /// change that did not bump the epoch.

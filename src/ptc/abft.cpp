@@ -50,17 +50,19 @@ double calibrate_guard_sigma(const DotEngineConfig& dot, std::size_t k) {
 }
 
 EventCounter checksum_lane_events(std::size_t h, std::size_t w, std::size_t k,
-                                  std::size_t chunks) {
+                                  std::size_t chunks, bool column_only) {
   EventCounter ev;
   // One extra A row and one extra B column modulated per tile step; the
   // h + w checksum outputs are detected, reduced and digitized like data
   // lanes.  The spare row/column computes inside the same tile step, so
-  // occupancy cycles are unchanged.
-  ev.modulation_events = 2 * k;
-  ev.adc_events = h + w;
-  ev.ddot_ops = (h + w) * chunks;
-  ev.detection_events = (h + w) * chunks;
-  ev.macs = (h + w) * k;
+  // occupancy cycles are unchanged.  Column-only mode keeps just the
+  // spare A row (Σ_i x′_i) and its w column-lane outputs.
+  const std::size_t lanes = column_only ? w : h + w;
+  ev.modulation_events = (column_only ? 1 : 2) * k;
+  ev.adc_events = lanes;
+  ev.ddot_ops = lanes * chunks;
+  ev.detection_events = lanes * chunks;
+  ev.macs = lanes * k;
   ev.cycles = 0;
   return ev;
 }

@@ -71,6 +71,18 @@ struct GuardConfig {
   /// residual observed over millions of clean tiles; a genuine stuck
   /// lane overshoots it by 6+ orders of magnitude.
   double fp_slack{64.0};
+  /// Cheap guard mode: run only the column checksum lanes (the spare A
+  /// row, Σ_i x′_i).  Halves the guard's extra MACs, DDots and ADC
+  /// samples and still localizes corruption to a column stripe, at the
+  /// price of losing row localization — and with it single-error
+  /// correction, which needs the row×column intersection.
+  bool column_only{false};
+  /// Single-error correction (faults::GuardedBackend): when exactly one
+  /// row lane and exactly one column lane mismatch and their residuals
+  /// agree, the corrupted element is pinpointed at the intersection and
+  /// corrected digitally from the checksum residual — no escalation rung
+  /// fires.  Ignored under column_only (no row lanes to intersect).
+  bool sec_correction{true};
 };
 
 /// Tolerance band for one checksum comparison: `fan` digitized dot
@@ -95,6 +107,9 @@ struct TileCheck {
   bool ok{true};              ///< every row/column comparison inside the band
   double worst_residual{0.0}; ///< largest |analog sum − digital reference|
   double tolerance{0.0};      ///< band at the worst comparison's site
+  /// Elements repaired in place by single-error correction; a corrected
+  /// tile reads ok (its residual stays recorded for diagnostics).
+  std::size_t corrected{0};
 };
 
 /// Aggregated guard outcome of one product (GemmResult::guard).  The
@@ -111,11 +126,15 @@ struct GuardOutcome {
   std::size_t first_mismatch{static_cast<std::size_t>(-1)};
   double worst_residual{0.0};
   double worst_tolerance{0.0};
+  /// Tiles repaired in place by single-error correction: detected, not
+  /// counted as mismatched (no recovery rung ran).
+  std::size_t tiles_corrected{0};
   /// Checksum-lane charge: per H×W tile step one extra A row and one
   /// extra B column are modulated (2·k events), the H+W checksum lane
   /// outputs are digitized and their DDots reduced; the lanes ride a
   /// spare array row/column inside the same tile step, so they add no
-  /// occupancy cycles.
+  /// occupancy cycles.  Under column_only, only the spare A row runs
+  /// (k modulations, W outputs) — the halved charge.
   EventCounter checksum_events;
 
   [[nodiscard]] bool clean() const { return mismatched_tiles == 0; }
@@ -123,7 +142,9 @@ struct GuardOutcome {
 
 /// Checksum-lane events for one h×w tile of reduction length k chunked
 /// over `chunks` WDM passes — the documented extra charge per tile.
+/// `column_only` drops the row lanes (the spare B column and its h
+/// outputs), halving the guard MACs and ADC samples.
 [[nodiscard]] EventCounter checksum_lane_events(std::size_t h, std::size_t w, std::size_t k,
-                                                std::size_t chunks);
+                                                std::size_t chunks, bool column_only = false);
 
 }  // namespace pdac::ptc

@@ -1,0 +1,78 @@
+#include "serve/backend_pool.hpp"
+
+#include "common/require.hpp"
+
+namespace pdac::serve {
+
+BackendPool::BackendPool(const BackendPoolConfig& cfg) : cfg_(cfg) {
+  PDAC_REQUIRE(cfg_.backends > 0, "BackendPool: need at least one backend");
+  clamped_escalation_ = cfg_.guarded.escalation;
+  clamped_escalation_.max_retrims = 0;
+  slots_.reserve(cfg_.backends);
+  for (std::size_t i = 0; i < cfg_.backends; ++i) {
+    Slot slot;
+    slot.bank = std::make_unique<faults::LaneBank>(cfg_.bank);
+    // Production trim before the guard snapshots golden state, exactly
+    // like a part leaving the fab (lane_bank.hpp); identical seeds and
+    // identical trims keep the slots bit-identical.
+    faults::production_trim(*slot.bank);
+    slot.backend = std::make_unique<faults::GuardedBackend>(*slot.bank, cfg_.guarded);
+    if (cfg_.retrim_budget == 0) {
+      slot.backend->set_escalation(clamped_escalation_);
+      slot.clamped = true;
+    }
+    slots_.push_back(std::move(slot));
+  }
+}
+
+void BackendPool::attach_storm(std::size_t i, const faults::FaultSchedule& schedule,
+                               std::uint64_t steps_per_tile) {
+  Slot& slot = slots_.at(i);
+  slot.injector = std::make_unique<faults::FaultInjector>(*slot.bank, schedule);
+  slot.backend->attach_storm(slot.injector.get(), steps_per_tile);
+}
+
+double BackendPool::health_score(std::size_t i) const {
+  const Slot& slot = slots_.at(i);
+  const std::size_t usable = slot.bank->usable_channels();
+  if (usable == 0) return 0.0;
+  const double capacity =
+      static_cast<double>(usable) / static_cast<double>(slot.bank->wavelengths());
+  const faults::HealthSnapshot snap = slot.backend->monitor().snapshot();
+  const HealthScoreConfig& h = cfg_.health;
+  const double penalty =
+      h.lane_mismatch_weight * static_cast<double>(snap.total_lane_mismatches()) +
+      h.fence_weight * static_cast<double>(snap.fences) +
+      h.unrecovered_weight * static_cast<double>(snap.unrecovered) +
+      h.detection_weight * static_cast<double>(snap.detections);
+  return capacity / (1.0 + penalty);
+}
+
+void BackendPool::begin_product(std::size_t i, std::uint64_t now) {
+  Slot& slot = slots_.at(i);
+  if (cfg_.retrim_budget > 0 && now >= slot.window_start &&
+      now - slot.window_start >= cfg_.retrim_window) {
+    // Window rollover refills the budget.  Windows are anchored to use,
+    // not to a global tick: an idle backend simply starts a fresh
+    // window at its next product.
+    slot.window_start = now;
+    slot.retrims_spent = 0;
+  }
+  const bool clamp = slot.retrims_spent >= cfg_.retrim_budget;
+  if (clamp != slot.clamped) {
+    slot.backend->set_escalation(clamp ? clamped_escalation_ : cfg_.guarded.escalation);
+    slot.clamped = clamp;
+  }
+  if (slot.clamped) ++throttled_products_;
+}
+
+void BackendPool::end_product(std::size_t i, std::size_t retrims_spent) {
+  slots_.at(i).retrims_spent += retrims_spent;
+}
+
+std::size_t BackendPool::retrims_left(std::size_t i) const {
+  const Slot& slot = slots_.at(i);
+  return slot.retrims_spent >= cfg_.retrim_budget ? 0 : cfg_.retrim_budget - slot.retrims_spent;
+}
+
+}  // namespace pdac::serve

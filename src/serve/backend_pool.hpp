@@ -1,0 +1,114 @@
+// backend_pool.hpp — a fleet of checksum-guarded photonic backends for
+// the continuous-batching serving engine (DESIGN.md §14).
+//
+// Every slot is an identically-fabricated accelerator: its own LaneBank
+// (same fabrication seed — bit-identical encodes at fault rate 0), its
+// own GuardedBackend with a weight-stationary operand cache, and
+// optionally its own FaultInjector storm advanced per tile step.  The
+// pool layers two serving-side policies on top of the guard:
+//
+//  * Guard-aware health scores.  health_score() folds each backend's
+//    HealthMonitor attribution — lane implications from escalation
+//    self-tests, fences taken, unrecovered products, detections — with
+//    its surviving channel capacity into one placement signal.  The
+//    scheduler steers work toward clean backends proportionally, so a
+//    chronically-implicated array serves less traffic instead of
+//    stalling the whole batch.
+//
+//  * A re-trim budget.  Targeted self-tests are the expensive rung
+//    (probe charges scale with implicated lanes), so each backend gets
+//    `retrim_budget` re-trims per `retrim_window` virtual cycles.  When
+//    a slot exhausts its window budget the pool clamps its escalation
+//    ladder to max_retrims = 0 — the ladder then jumps retry → fence —
+//    and restores the full ladder when the window rolls over.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "faults/fault_injector.hpp"
+#include "faults/fault_schedule.hpp"
+#include "faults/guarded_backend.hpp"
+#include "faults/lane_bank.hpp"
+
+namespace pdac::serve {
+
+/// Shape of the guard-aware placement score (see health_score()).
+struct HealthScoreConfig {
+  double lane_mismatch_weight{0.30};  ///< per lane implication
+  double fence_weight{1.0};           ///< per degraded re-run taken
+  double unrecovered_weight{2.0};     ///< per best-effort (given-up) product
+  double detection_weight{0.10};      ///< per product with a caught mismatch
+};
+
+struct BackendPoolConfig {
+  std::size_t backends{2};
+  /// Fabrication draw shared by every slot: identical seeds give
+  /// identical lane physics, the basis of the pool's bit-identity.
+  faults::LaneBankConfig bank{};
+  faults::GuardedBackendConfig guarded{};
+  HealthScoreConfig health{};
+  /// Re-trims each backend may spend per budget window (0 = never
+  /// re-trim: the ladder always skips straight from retry to fence).
+  std::size_t retrim_budget{2};
+  std::uint64_t retrim_window{4096};  ///< window length [virtual cycles]
+};
+
+class BackendPool {
+ public:
+  explicit BackendPool(const BackendPoolConfig& cfg);
+
+  [[nodiscard]] std::size_t size() const { return slots_.size(); }
+  [[nodiscard]] faults::GuardedBackend& backend(std::size_t i) { return *slots_.at(i).backend; }
+  [[nodiscard]] const faults::GuardedBackend& backend(std::size_t i) const {
+    return *slots_.at(i).backend;
+  }
+  [[nodiscard]] const faults::LaneBank& bank(std::size_t i) const { return *slots_.at(i).bank; }
+
+  /// Attach a per-slot fault storm (the injector is owned by the pool
+  /// and advanced `steps_per_tile` before every tile the slot runs).
+  void attach_storm(std::size_t i, const faults::FaultSchedule& schedule,
+                    std::uint64_t steps_per_tile);
+
+  /// A slot with every channel fenced is offline and can take no work.
+  [[nodiscard]] bool alive(std::size_t i) const { return bank(i).usable_channels() > 0; }
+
+  /// Guard-aware placement score in [0, 1]: surviving-capacity fraction
+  /// shrunk by the monitor's blame attribution.  0 means offline.
+  [[nodiscard]] double health_score(std::size_t i) const;
+
+  /// Window bookkeeping before a product: rolls the re-trim window over
+  /// when `now` has left it and clamps/restores the slot's escalation
+  /// ladder according to the remaining budget.
+  void begin_product(std::size_t i, std::uint64_t now);
+
+  /// Debit the re-trims a product actually spent.
+  void end_product(std::size_t i, std::size_t retrims_spent);
+
+  /// Re-trims the slot may still spend in the current window.
+  [[nodiscard]] std::size_t retrims_left(std::size_t i) const;
+  /// True while the slot's ladder is clamped to max_retrims = 0.
+  [[nodiscard]] bool throttled(std::size_t i) const { return slots_.at(i).clamped; }
+  /// Products run with a clamped ladder (budget-exhaustion pressure).
+  [[nodiscard]] std::size_t throttled_products() const { return throttled_products_; }
+
+  [[nodiscard]] const BackendPoolConfig& config() const { return cfg_; }
+
+ private:
+  struct Slot {
+    std::unique_ptr<faults::LaneBank> bank;
+    std::unique_ptr<faults::GuardedBackend> backend;
+    std::unique_ptr<faults::FaultInjector> injector;
+    std::uint64_t window_start{0};
+    std::size_t retrims_spent{0};
+    bool clamped{false};
+  };
+
+  BackendPoolConfig cfg_;
+  faults::EscalationConfig clamped_escalation_;  ///< full ladder, max_retrims = 0
+  std::vector<Slot> slots_;
+  std::size_t throttled_products_{0};
+};
+
+}  // namespace pdac::serve

@@ -1,0 +1,39 @@
+#include "serve/request.hpp"
+
+#include <cstring>
+
+namespace pdac::serve {
+
+std::uint64_t fnv1a(std::span<const double> values, std::uint64_t h) {
+  for (const double v : values) {
+    unsigned char bytes[sizeof(double)];
+    std::memcpy(bytes, &v, sizeof(double));
+    for (const unsigned char b : bytes) {
+      h ^= b;
+      h *= 1099511628211ull;
+    }
+  }
+  return h;
+}
+
+std::string to_string(Verdict verdict) {
+  switch (verdict) {
+    case Verdict::kPending: return "pending";
+    case Verdict::kCompleted: return "completed";
+    case Verdict::kShed: return "shed";
+    case Verdict::kFailed: return "failed";
+  }
+  return "?";
+}
+
+std::string to_string(ShedReason reason) {
+  switch (reason) {
+    case ShedReason::kNone: return "none";
+    case ShedReason::kQueueFull: return "queue-full";
+    case ShedReason::kAdmissionDeadline: return "admission-deadline";
+    case ShedReason::kDeadlineMissed: return "deadline-missed";
+  }
+  return "?";
+}
+
+}  // namespace pdac::serve

@@ -1,0 +1,73 @@
+// request.hpp — request/verdict types for the continuous-batching
+// serving engine (DESIGN.md §14).
+//
+// A request is one independent decode stream: it arrives at a virtual
+// time, carries a prompt (charged as prefill time), asks for a fixed
+// number of decode tokens, and may carry a deadline.  The engine owes
+// every admitted request a *terminal* verdict — completed, shed or
+// failed — and the accounting below is how that promise is audited:
+// completed + shed + failed must equal the submitted count, always.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace pdac::serve {
+
+/// Terminal state of one request.  kPending never survives a run.
+enum class Verdict {
+  kPending,    ///< not yet resolved (in queue or in flight)
+  kCompleted,  ///< every requested token produced
+  kShed,       ///< load-shed with an explicit reason, never served further
+  kFailed,     ///< hardware gave up (ladder exhausted / pool offline)
+};
+
+/// Why a shed request was shed.
+enum class ShedReason {
+  kNone,
+  kQueueFull,          ///< bounded admission queue was at capacity
+  kAdmissionDeadline,  ///< deadline provably unmeetable at admission
+  kDeadlineMissed,     ///< deadline expired while queued / between tokens
+};
+
+/// One independent decode request (engine input).
+struct Request {
+  std::uint64_t id{0};
+  std::uint64_t arrival{0};       ///< virtual-time arrival [cycles]
+  std::size_t model{0};           ///< weight-set index (cache affinity key)
+  std::size_t prompt_len{0};      ///< prefill tokens (time charge only)
+  std::size_t decode_tokens{1};   ///< tokens to produce
+  std::uint64_t deadline{0};      ///< absolute cycles; 0 = none
+  /// Current activation row (d_model wide), unit max-abs normalized —
+  /// per-request normalization is what makes a request's numerics
+  /// independent of its batchmates (the bit-identity contract).
+  std::vector<double> activation;
+};
+
+/// Terminal record of one request (engine output).
+struct RequestRecord {
+  Verdict verdict{Verdict::kPending};
+  ShedReason shed_reason{ShedReason::kNone};
+  std::size_t tokens_done{0};
+  std::uint64_t admitted_at{0};
+  std::uint64_t first_token_at{0};  ///< 0 if no token was produced
+  std::uint64_t finished_at{0};     ///< time of the terminal verdict
+  bool late{false};                 ///< completed after its deadline
+  /// FNV-1a digest chained over the raw bytes of every emitted token
+  /// row — the per-request bit-identity witness against the
+  /// single-backend reference.
+  std::uint64_t digest{14695981039346656037ull};
+  /// Tokens served per pool slot (index = backend), for placement audits.
+  std::vector<std::size_t> tokens_by_backend;
+};
+
+/// Chain `values` into an FNV-1a-64 digest (byte-wise over the doubles).
+[[nodiscard]] std::uint64_t fnv1a(std::span<const double> values, std::uint64_t h);
+
+std::string to_string(Verdict verdict);
+std::string to_string(ShedReason reason);
+
+}  // namespace pdac::serve

@@ -1,0 +1,59 @@
+#include "serve/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/require.hpp"
+#include "common/rng.hpp"
+
+namespace pdac::serve {
+
+bool normalize_unit_max(std::vector<double>& row) {
+  double m = 0.0;
+  for (const double v : row) m = std::max(m, std::abs(v));
+  if (m == 0.0 || !std::isfinite(m)) return false;
+  // x/m hits exactly ±1.0 at the peak element, so any batch of such
+  // rows has max-abs scale exactly 1.0 and per-row quantization cannot
+  // depend on batchmates.
+  for (double& v : row) v /= m;
+  return true;
+}
+
+std::vector<Request> generate_workload(const WorkloadConfig& cfg) {
+  PDAC_REQUIRE(cfg.requests > 0 && cfg.d_model > 0, "generate_workload: empty workload");
+  PDAC_REQUIRE(cfg.models > 0, "generate_workload: need at least one weight set");
+  PDAC_REQUIRE(cfg.prompt_min <= cfg.prompt_max && cfg.decode_min <= cfg.decode_max,
+               "generate_workload: degenerate length ranges");
+  PDAC_REQUIRE(cfg.mean_interarrival > 0.0, "generate_workload: arrival rate must be positive");
+
+  Rng rng(cfg.seed);
+  std::vector<Request> reqs;
+  reqs.reserve(cfg.requests);
+  double clock = 0.0;
+  for (std::size_t i = 0; i < cfg.requests; ++i) {
+    // Exponential inter-arrival gaps = Poisson arrivals.
+    clock += -cfg.mean_interarrival * std::log(1.0 - rng.uniform(0.0, 1.0));
+    Request r;
+    r.id = i;
+    r.arrival = static_cast<std::uint64_t>(clock);
+    r.model = static_cast<std::size_t>(rng.integer(0, static_cast<std::int64_t>(cfg.models) - 1));
+    r.prompt_len = static_cast<std::size_t>(
+        rng.integer(static_cast<std::int64_t>(cfg.prompt_min),
+                    static_cast<std::int64_t>(cfg.prompt_max)));
+    r.decode_tokens = static_cast<std::size_t>(
+        rng.integer(static_cast<std::int64_t>(cfg.decode_min),
+                    static_cast<std::int64_t>(cfg.decode_max)));
+    if (cfg.deadline_slack > 0.0) {
+      const double span = cfg.deadline_slack * static_cast<double>(r.decode_tokens) *
+                          static_cast<double>(cfg.nominal_token_cycles);
+      r.deadline = r.arrival + static_cast<std::uint64_t>(span);
+    }
+    do {
+      r.activation = rng.gaussian_vector(cfg.d_model, 0.0, 1.0);
+    } while (!normalize_unit_max(r.activation));
+    reqs.push_back(std::move(r));
+  }
+  return reqs;
+}
+
+}  // namespace pdac::serve

@@ -1,0 +1,45 @@
+// workload.hpp — synthetic serving traffic for the continuous-batching
+// engine: Poisson arrivals, mixed prompt/decode lengths, optional
+// per-request deadlines, unit max-abs activation rows.
+//
+// Everything is drawn from one seeded Rng, so a workload is a pure
+// function of its config — the engine/reference bit-identity gate and
+// the fault-rate sweeps all replay the identical request stream.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/request.hpp"
+
+namespace pdac::serve {
+
+struct WorkloadConfig {
+  std::size_t requests{32};
+  /// Mean inter-arrival gap [cycles]; arrivals are a Poisson process
+  /// (exponential gaps), rounded to whole cycles.
+  double mean_interarrival{64.0};
+  std::size_t d_model{48};
+  std::size_t models{1};      ///< weight sets requests are spread over
+  std::size_t prompt_min{4};
+  std::size_t prompt_max{32};
+  std::size_t decode_min{4};
+  std::size_t decode_max{12};
+  /// Deadline = arrival + slack · decode_tokens · nominal_token_cycles;
+  /// 0 disables deadlines entirely.
+  double deadline_slack{0.0};
+  std::uint64_t nominal_token_cycles{64};
+  std::uint64_t seed{1};
+};
+
+/// Generate the request stream, sorted by arrival time, ids 0..n-1.
+/// Every activation row is Gaussian, renormalized so its largest-
+/// magnitude element is exactly ±1.0 — the per-request scale contract
+/// that keeps batched execution bit-identical to solo execution.
+[[nodiscard]] std::vector<Request> generate_workload(const WorkloadConfig& cfg);
+
+/// Renormalize `row` to unit max-abs in place (exact ±1.0 at the peak).
+/// Returns false when the row is all zero (left untouched).
+bool normalize_unit_max(std::vector<double>& row);
+
+}  // namespace pdac::serve

@@ -144,6 +144,38 @@ TEST(OperandCache, HitMissAndVersionInvalidation) {
   EXPECT_EQ(cache.lookup(1, 1, 0), nullptr);
 }
 
+TEST(OperandCache, ContainsIsAPureProbe) {
+  nn::OperandCacheConfig cfg;
+  const std::size_t one = dummy_operand(64, 0)->bytes();
+  cfg.capacity_bytes = 2 * one;
+  nn::OperandCache cache(cfg);
+  cache.insert(1, 1, dummy_operand(64, /*epoch=*/5));
+  cache.insert(2, 1, dummy_operand(64, /*epoch=*/5));
+
+  EXPECT_TRUE(cache.contains(1, 1, 5));
+  EXPECT_FALSE(cache.contains(1, 2, 5));  // stale content version
+  EXPECT_FALSE(cache.contains(1, 1, 6));  // stale encoder epoch
+  EXPECT_FALSE(cache.contains(3, 1, 5));  // never inserted
+  EXPECT_FALSE(cache.contains(0, 1, 5));  // id 0 is uncacheable
+
+  // No stats mutation and no stale-entry eviction: the scheduler probes
+  // without perturbing the cache.
+  const nn::OperandCacheStats before = cache.stats();
+  for (int i = 0; i < 8; ++i) (void)cache.contains(1, 2, 5);
+  EXPECT_EQ(cache.stats().hits, before.hits);
+  EXPECT_EQ(cache.stats().misses, before.misses);
+  EXPECT_EQ(cache.stats().invalidations, before.invalidations);
+  EXPECT_EQ(cache.stats().entries, 2u);
+
+  // No LRU refresh either: probing entry 1 must not save it from
+  // eviction — a lookup() would have.
+  EXPECT_TRUE(cache.contains(1, 1, 5));
+  cache.insert(3, 1, dummy_operand(64, 5));  // evicts 1, still least recent
+  EXPECT_FALSE(cache.contains(1, 1, 5));
+  EXPECT_TRUE(cache.contains(2, 1, 5));
+  EXPECT_TRUE(cache.contains(3, 1, 5));
+}
+
 TEST(OperandCache, EpochInvalidation) {
   nn::OperandCache cache;
   cache.insert(7, 1, dummy_operand(4, /*epoch=*/3));
