@@ -208,6 +208,7 @@ int main(int argc, char** argv) {
   summary.misses = cs.misses;
   summary.evictions = cs.evictions;
   summary.invalidations = cs.invalidations;
+  summary.oversized_rejects = cs.oversized_rejects;
   summary.resident_bytes = cs.resident_bytes;
   summary.capacity_bytes = backend.operand_cache()->config().capacity_bytes;
   summary.entries = cs.entries;
@@ -234,11 +235,13 @@ int main(int argc, char** argv) {
                identical ? "true" : "false");
   std::fprintf(f,
                "  \"cache\": {\"hits\": %llu, \"misses\": %llu, \"evictions\": %llu, "
-               "\"invalidations\": %llu, \"resident_bytes\": %llu, \"entries\": %llu}\n}\n",
+               "\"invalidations\": %llu, \"oversized_rejects\": %llu, "
+               "\"resident_bytes\": %llu, \"entries\": %llu}\n}\n",
                static_cast<unsigned long long>(cs.hits),
                static_cast<unsigned long long>(cs.misses),
                static_cast<unsigned long long>(cs.evictions),
                static_cast<unsigned long long>(cs.invalidations),
+               static_cast<unsigned long long>(cs.oversized_rejects),
                static_cast<unsigned long long>(cs.resident_bytes),
                static_cast<unsigned long long>(cs.entries));
   std::fclose(f);

@@ -1,0 +1,170 @@
+#include "common/simd.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define PDAC_SIMD_X86 1
+#else
+#define PDAC_SIMD_X86 0
+#endif
+
+namespace pdac::simd {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Portable tier: 4-way unrolled with independent partial sums.  The loop
+// bodies are written so -O2/-O3 autovectorization takes them on any
+// baseline ISA (SSE2/NEON); with no vector unit they are still ~4-way
+// ILP.  The horizontal fold (a0+a1)+(a2+a3) and trailing scalar tail are
+// the fixed reassociation policy shared with the AVX2 tier's fold.
+// ---------------------------------------------------------------------------
+
+double dot_portable(const double* x, const double* y, std::size_t n) {
+  double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+  std::size_t p = 0;
+  for (; p + 4 <= n; p += 4) {
+    a0 += x[p + 0] * y[p + 0];
+    a1 += x[p + 1] * y[p + 1];
+    a2 += x[p + 2] * y[p + 2];
+    a3 += x[p + 3] * y[p + 3];
+  }
+  double acc = (a0 + a1) + (a2 + a3);
+  for (; p < n; ++p) acc += x[p] * y[p];
+  return acc;
+}
+
+double dot_self_portable(const double* x, std::size_t n) {
+  double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+  std::size_t p = 0;
+  for (; p + 4 <= n; p += 4) {
+    a0 += x[p + 0] * x[p + 0];
+    a1 += x[p + 1] * x[p + 1];
+    a2 += x[p + 2] * x[p + 2];
+    a3 += x[p + 3] * x[p + 3];
+  }
+  double acc = (a0 + a1) + (a2 + a3);
+  for (; p < n; ++p) acc += x[p] * x[p];
+  return acc;
+}
+
+void dot4_portable(const double* x, const double* const y[4], std::size_t n,
+                   double out[4]) {
+  for (int b = 0; b < 4; ++b) out[b] = dot_portable(x, y[b], n);
+}
+
+#if PDAC_SIMD_X86
+
+// ---------------------------------------------------------------------------
+// AVX2+FMA tier.  Compiled with per-function target attributes so the
+// translation unit builds under the portable baseline flags; only ever
+// called after __builtin_cpu_supports confirms both features.
+// ---------------------------------------------------------------------------
+
+__attribute__((target("avx2,fma")))
+double hfold(__m256d v) {
+  alignas(32) double lane[4];
+  _mm256_store_pd(lane, v);
+  return (lane[0] + lane[1]) + (lane[2] + lane[3]);
+}
+
+__attribute__((target("avx2,fma")))
+double dot_avx2(const double* x, const double* y, std::size_t n) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  std::size_t p = 0;
+  for (; p + 8 <= n; p += 8) {
+    acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(x + p), _mm256_loadu_pd(y + p), acc0);
+    acc1 = _mm256_fmadd_pd(_mm256_loadu_pd(x + p + 4), _mm256_loadu_pd(y + p + 4), acc1);
+  }
+  if (p + 4 <= n) {
+    acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(x + p), _mm256_loadu_pd(y + p), acc0);
+    p += 4;
+  }
+  double acc = hfold(_mm256_add_pd(acc0, acc1));
+  for (; p < n; ++p) acc += x[p] * y[p];
+  return acc;
+}
+
+__attribute__((target("avx2,fma")))
+double dot_self_avx2(const double* x, std::size_t n) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  std::size_t p = 0;
+  for (; p + 8 <= n; p += 8) {
+    const __m256d v0 = _mm256_loadu_pd(x + p);
+    const __m256d v1 = _mm256_loadu_pd(x + p + 4);
+    acc0 = _mm256_fmadd_pd(v0, v0, acc0);
+    acc1 = _mm256_fmadd_pd(v1, v1, acc1);
+  }
+  if (p + 4 <= n) {
+    const __m256d v0 = _mm256_loadu_pd(x + p);
+    acc0 = _mm256_fmadd_pd(v0, v0, acc0);
+    p += 4;
+  }
+  double acc = hfold(_mm256_add_pd(acc0, acc1));
+  for (; p < n; ++p) acc += x[p] * x[p];
+  return acc;
+}
+
+__attribute__((target("avx2,fma")))
+void dot4_avx2(const double* x, const double* const y[4], std::size_t n,
+               double out[4]) {
+  __m256d acc[4] = {_mm256_setzero_pd(), _mm256_setzero_pd(),
+                    _mm256_setzero_pd(), _mm256_setzero_pd()};
+  std::size_t p = 0;
+  for (; p + 4 <= n; p += 4) {
+    const __m256d xv = _mm256_loadu_pd(x + p);
+    acc[0] = _mm256_fmadd_pd(xv, _mm256_loadu_pd(y[0] + p), acc[0]);
+    acc[1] = _mm256_fmadd_pd(xv, _mm256_loadu_pd(y[1] + p), acc[1]);
+    acc[2] = _mm256_fmadd_pd(xv, _mm256_loadu_pd(y[2] + p), acc[2]);
+    acc[3] = _mm256_fmadd_pd(xv, _mm256_loadu_pd(y[3] + p), acc[3]);
+  }
+  for (int b = 0; b < 4; ++b) {
+    double s = hfold(acc[b]);
+    for (std::size_t q = p; q < n; ++q) s += x[q] * y[b][q];
+    out[b] = s;
+  }
+}
+
+bool detect_avx2_fma() {
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+}
+
+#else
+
+bool detect_avx2_fma() { return false; }
+
+#endif  // PDAC_SIMD_X86
+
+const bool g_avx2 = detect_avx2_fma();
+
+}  // namespace
+
+const char* active_isa() { return g_avx2 ? "avx2+fma" : "portable"; }
+
+bool has_fast_path() { return g_avx2; }
+
+double dot(const double* x, const double* y, std::size_t n) {
+#if PDAC_SIMD_X86
+  if (g_avx2) return dot_avx2(x, y, n);
+#endif
+  return dot_portable(x, y, n);
+}
+
+double dot_self(const double* x, std::size_t n) {
+#if PDAC_SIMD_X86
+  if (g_avx2) return dot_self_avx2(x, n);
+#endif
+  return dot_self_portable(x, n);
+}
+
+void dot4(const double* x, const double* const y[4], std::size_t n, double out[4]) {
+#if PDAC_SIMD_X86
+  if (g_avx2) {
+    dot4_avx2(x, y, n, out);
+    return;
+  }
+#endif
+  dot4_portable(x, y, n, out);
+}
+
+}  // namespace pdac::simd

@@ -1,0 +1,49 @@
+// simd.hpp — feature-detected SIMD dot-product primitives for the fused
+// kernel's fast tier (DESIGN.md §13).
+//
+// The fused kernel's scalar tier is bit-exact against the device graph
+// and therefore pinned to its exact floating-point operation sequence —
+// one serial accumulation chain per rail, no reassociation.  The fast
+// tier (ptc::ExecutionPath::kKernelSimd) trades that pin for speed: it
+// reduces with explicit 4/8-wide blocking, which reassociates the sums
+// into independent partial accumulators.  These primitives are that
+// blocking, kept in one place so the reassociation policy is uniform:
+//
+//   * on x86-64 with AVX2+FMA (detected at runtime, compiled via
+//     per-function target attributes so the base build stays portable):
+//     two 4-wide fused-multiply-add chains, horizontally folded as
+//     (l0+l1)+(l2+l3) after the main loop, scalar tail;
+//   * everywhere else: an explicitly 4-way-unrolled scalar loop with
+//     four independent partial sums — the shape autovectorizers take at
+//     -O2/-O3 with baseline SSE2/NEON — folded the same way.
+//
+// Either way the result differs from the single-chain reference only by
+// floating-point reassociation (and FMA's skipped intermediate
+// roundings), i.e. by O(ε·n·|x|·|y|) — exactly the error family the
+// ABFT guard band (ptc::guard_tolerance) is calibrated to absorb.  The
+// dispatch is deterministic per machine: identical inputs give identical
+// bits run-to-run; only cross-ISA runs may differ, and only in-band.
+#pragma once
+
+#include <cstddef>
+
+namespace pdac::simd {
+
+/// Name of the instruction set the primitives dispatch to on this
+/// machine ("avx2+fma" or "portable") — for bench/report provenance.
+[[nodiscard]] const char* active_isa();
+
+/// True when the AVX2+FMA path is live (x86 with runtime support).
+[[nodiscard]] bool has_fast_path();
+
+/// Blocked dot product Σ_p x[p]·y[p] (reassociated; see header).
+[[nodiscard]] double dot(const double* x, const double* y, std::size_t n);
+
+/// Blocked Σ_p x[p]² — the quadratic-form row/column terms.
+[[nodiscard]] double dot_self(const double* x, std::size_t n);
+
+/// Four dots sharing one x row: out[b] = Σ_p x[p]·y[b][p].  One load of
+/// x feeds all four columns, the fast tier's tile-blocking shape.
+void dot4(const double* x, const double* const y[4], std::size_t n, double out[4]);
+
+}  // namespace pdac::simd

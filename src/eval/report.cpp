@@ -116,6 +116,7 @@ std::string render_operand_cache(const std::string& title, const OperandCacheSum
   t.add_row({"misses", std::to_string(s.misses), ""});
   t.add_row({"invalidations", std::to_string(s.invalidations), ""});
   t.add_row({"evictions", std::to_string(s.evictions), ""});
+  t.add_row({"oversized rejects", std::to_string(s.oversized_rejects), ""});
   t.add_row({"entries", std::to_string(s.entries), ""});
   t.add_row({"resident", Table::num(static_cast<double>(s.resident_bytes) / (1024.0 * 1024.0), 1) +
                              " MiB / " +

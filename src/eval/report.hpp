@@ -68,6 +68,7 @@ struct OperandCacheSummary {
   std::uint64_t misses{};
   std::uint64_t evictions{};
   std::uint64_t invalidations{};
+  std::uint64_t oversized_rejects{};
   std::uint64_t resident_bytes{};
   std::uint64_t capacity_bytes{};
   std::uint64_t entries{};

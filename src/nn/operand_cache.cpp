@@ -47,10 +47,19 @@ void OperandCache::insert(std::uint64_t id, std::uint64_t version,
                           std::shared_ptr<const ptc::PreparedOperand> op) {
   PDAC_REQUIRE(op != nullptr, "OperandCache: cannot insert a null operand");
   if (!cfg_.enabled || id == 0) return;
+
+  // An operand that exceeds the whole capacity can never survive the
+  // eviction loop below — admitting it would flush every resident entry
+  // and then drop the newcomer itself, a full cache wipe for nothing.
+  // Reject it before touching any resident state.
+  const std::size_t bytes = op->bytes();
+  if (bytes > cfg_.capacity_bytes) {
+    ++stats_.oversized_rejects;
+    return;
+  }
+
   const auto it = index_.find(id);
   if (it != index_.end()) drop(it->second);  // one live version per weight
-
-  const std::size_t bytes = op->bytes();
   lru_.push_front(Entry{id, version, std::move(op), bytes});
   index_[id] = lru_.begin();
   stats_.resident_bytes += bytes;

@@ -49,6 +49,7 @@ struct OperandCacheStats {
   std::uint64_t misses{0};
   std::uint64_t evictions{0};      ///< entries dropped by capacity pressure
   std::uint64_t invalidations{0};  ///< entries dropped as stale (version/epoch)
+  std::uint64_t oversized_rejects{0};  ///< inserts refused as larger than capacity
   std::uint64_t resident_bytes{0};
   std::uint64_t entries{0};
 };
@@ -65,9 +66,11 @@ class OperandCache {
                                                                    std::uint64_t epoch);
 
   /// Store a freshly prepared operand, evicting LRU entries over the
-  /// byte capacity.  An operand larger than the whole capacity is not
-  /// retained (counted as an immediate eviction).  id 0 is reserved for
-  /// uncacheable products and ignored.
+  /// byte capacity.  An operand larger than the whole capacity can never
+  /// be served from residency, so it is rejected up front — residents
+  /// are left untouched and the refusal is counted in
+  /// stats().oversized_rejects.  id 0 is reserved for uncacheable
+  /// products and ignored.
   void insert(std::uint64_t id, std::uint64_t version,
               std::shared_ptr<const ptc::PreparedOperand> op);
 

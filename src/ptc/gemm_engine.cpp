@@ -126,7 +126,7 @@ GemmResult PhotonicGemm::multiply_prepared(const Matrix& a, const PreparedOperan
     check_scratch_.assign(tiles.size(), TileCheck{});
   }
 
-  const bool use_kernel = cfg_.path == ExecutionPath::kKernel;
+  const ExecutionPath path = cfg_.path;
   for_each_tile(*pool_, tiles, [&](std::size_t t, std::size_t worker) {
     const Tile& tile = tiles[t];
     EventCounter reduction;  // detection / ddot_ops / macs from the dots run
@@ -137,11 +137,16 @@ GemmResult PhotonicGemm::multiply_prepared(const Matrix& a, const PreparedOperan
       rsum.assign(tile.rows, 0.0);
       csum.assign(tile.cols, 0.0);
     }
-    if (use_kernel) {
+    if (path == ExecutionPath::kKernel) {
       // Fused flat-array kernel: the whole tile in one pass, raw sums
       // accumulated in the same order as the device-graph loop below.
       kernel_.run_tile(tile, ae, b.encoded, rescale, res.c, &reduction,
                        guarded ? rsum.data() : nullptr, guarded ? csum.data() : nullptr);
+    } else if (path == ExecutionPath::kKernelSimd) {
+      // SIMD fast tier: tolerance-banded vs the scalar kernel, event
+      // charges identical; the guard below runs on it unchanged.
+      kernel_.run_tile_fast(tile, ae, b.encoded, rescale, res.c, &reduction,
+                            guarded ? rsum.data() : nullptr, guarded ? csum.data() : nullptr);
     } else {
       const Ddot& ddot = worker_ddots_[worker];
       DdotScratch& scratch = worker_scratch_[worker];

@@ -63,14 +63,22 @@
 namespace pdac::ptc {
 
 /// Which implementation executes the tile reductions (DESIGN.md §13).
-/// Both produce bit-identical results — numerics AND event counts, clean
-/// or guarded, at any thread count (a fuzz-pinned contract):
 ///   kKernel      — the fused flat-array kernel (kernel.hpp), coefficient
-///                  tables snapshotted at engine construction; the
-///                  production hot path.
+///                  tables snapshotted at engine construction; bit-exact
+///                  against the device graph — numerics AND event counts,
+///                  clean or guarded, at any thread count (a fuzz-pinned
+///                  contract) — and the accuracy reference.
+///   kKernelSimd  — the kernel's SIMD fast tier: explicit 4/8-wide
+///                  blocking (common/simd.hpp, AVX2+FMA when the CPU has
+///                  it) over the same coefficient snapshot.  Arithmetic
+///                  order changes, device semantics do not: event counts
+///                  stay field-for-field equal to kKernel, outputs sit
+///                  within the ABFT reassociation band (guard_tolerance)
+///                  of the scalar tier, and the ABFT guard itself runs
+///                  unchanged on top.  The production hot path.
 ///   kDeviceGraph — every chunk staged through the device objects
 ///                  (Ddot); the authoritative physical reference.
-enum class ExecutionPath { kKernel, kDeviceGraph };
+enum class ExecutionPath { kKernel, kDeviceGraph, kKernelSimd };
 
 /// The B operand of C = A·B, fully prepared for the photonic array:
 /// transposed into row-major columns, max-abs-normalized and pushed

@@ -1,8 +1,10 @@
 #include "ptc/kernel.hpp"
 
 #include <algorithm>
+#include <vector>
 
 #include "common/require.hpp"
+#include "common/simd.hpp"
 #include "converters/electrical_adc.hpp"
 
 namespace pdac::ptc {
@@ -225,6 +227,100 @@ void FusedKernel::run_tile(const Tile& tile, const Matrix& ae, const Matrix& be,
     // dot by dot — equal because every dot charges the same chunk count.
     const std::size_t nl = lanes_.size();
     const std::uint64_t chunks = (k + nl - 1) / nl;
+    const std::uint64_t dots =
+        static_cast<std::uint64_t>(tile.rows) * static_cast<std::uint64_t>(tile.cols);
+    ev->detection_events += dots * chunks;
+    ev->ddot_ops += dots * chunks;
+    ev->macs += dots * static_cast<std::uint64_t>(k);
+  }
+}
+
+void FusedKernel::run_tile_fast(const Tile& tile, const Matrix& ae, const Matrix& be,
+                                double rescale, Matrix& c, EventCounter* ev, double* rsum,
+                                double* csum) const {
+  const std::size_t k = ae.cols();
+  PDAC_REQUIRE(be.cols() == k, "FusedKernel: operand reduction lengths must agree");
+  converters::ElectricalAdcConfig ac;
+  ac.bits = adc_bits_;
+  ac.v_ref = adc_full_scale_ > 0.0 ? adc_full_scale_
+                                   : static_cast<double>(std::max<std::size_t>(k, 1));
+  const converters::ElectricalAdc adc(ac);
+  const std::size_t nl = lanes_.size();
+  const std::uint64_t chunks = (k + nl - 1) / nl;
+
+  // Closed quadratic form of the full-optics physics.  Every lane shares
+  // one coefficient row (the constructor assigns the same LaneTransfer to
+  // all active wavelengths — a class invariant), so the per-element rail
+  // intensities collapse algebraically:
+  //
+  //   sp_e = ½[t²·x² + κ²·|f|²·y² − 2tκ·ps_im·x·y]
+  //   sm_e = ½[κ²·x² + t²·|f|²·y² + 2tκ·ps_im·x·y]      |f|² = ps_re²+ps_im²
+  //
+  //   g₊·Σsp − g₋·Σsm + chunks·(d₊ − d₋)
+  //     = cxx·Σx² + cyy·Σy² + cxy·Σxy + dark
+  //
+  // with cxx = ½(g₊t² − g₋κ²), cyy = ½|f|²(g₊κ² − g₋t²),
+  // cxy = −tκ·ps_im·(g₊ + g₋), dark = chunks·(d₊ − d₋).  The whole tile
+  // then reduces to plain dot products: Σx² once per row, Σy² once per
+  // column, Σxy per output — all vectorized through common/simd.hpp.
+  double cxx = 0.0;
+  double cyy = 0.0;
+  double cxy = 0.0;
+  double dark = 0.0;
+  // Σy² per tile column, hoisted once per tile (full optics only).  The
+  // tiny tile-local allocation (≤ array_cols doubles) is the price of
+  // not recomputing column norms per row.
+  std::vector<double> syy;
+  if (full_optics_) {
+    const LaneTransfer& ln = lanes_.front();
+    const double f2 = ln.ps_re * ln.ps_re + ln.ps_im * ln.ps_im;
+    const double t2 = ln.t * ln.t;
+    const double k2 = ln.jk_im * ln.jk_im;
+    cxx = 0.5 * (det_.gain_plus * t2 - det_.gain_minus * k2);
+    cyy = 0.5 * f2 * (det_.gain_plus * k2 - det_.gain_minus * t2);
+    cxy = -ln.t * ln.jk_im * ln.ps_im * (det_.gain_plus + det_.gain_minus);
+    dark = static_cast<double>(chunks) * (det_.dark_plus - det_.dark_minus);
+    syy.resize(tile.cols);
+    for (std::size_t j = 0; j < tile.cols; ++j) {
+      syy[j] = simd::dot_self(be.row(tile.col0 + j).data(), k);
+    }
+  }
+
+  constexpr std::size_t kBlock = 4;
+  const std::size_t col_end = tile.col0 + tile.cols;
+  for (std::size_t i = tile.row0; i < tile.row0 + tile.rows; ++i) {
+    const double* x = ae.row(i).data();
+    const double sxx = full_optics_ ? simd::dot_self(x, k) : 0.0;
+    std::size_t j = tile.col0;
+    for (; j + kBlock <= col_end; j += kBlock) {
+      const double* ys[kBlock];
+      for (std::size_t b = 0; b < kBlock; ++b) ys[b] = be.row(j + b).data();
+      double sxy[kBlock];
+      simd::dot4(x, ys, k, sxy);
+      for (std::size_t b = 0; b < kBlock; ++b) {
+        double r = full_optics_
+                       ? cxx * sxx + cyy * syy[j + b - tile.col0] + cxy * sxy[b] + dark
+                       : sxy[b];
+        if (adc_) r = adc.sample_to_voltage(r);
+        c(i, j + b) = r * rescale;
+        if (rsum != nullptr) rsum[i - tile.row0] += r;
+        if (csum != nullptr) csum[j + b - tile.col0] += r;
+      }
+    }
+    for (; j < col_end; ++j) {
+      const double sxy = simd::dot(x, be.row(j).data(), k);
+      double r = full_optics_ ? cxx * sxx + cyy * syy[j - tile.col0] + cxy * sxy + dark
+                              : sxy;
+      if (adc_) r = adc.sample_to_voltage(r);
+      c(i, j) = r * rescale;
+      if (rsum != nullptr) rsum[i - tile.row0] += r;
+      if (csum != nullptr) csum[j - tile.col0] += r;
+    }
+  }
+  if (ev != nullptr) {
+    // Field-for-field identical to run_tile: the tier changes arithmetic
+    // order, not device semantics — the analog machine still performs
+    // dots·chunks detections and dots·k MACs.
     const std::uint64_t dots =
         static_cast<std::uint64_t>(tile.rows) * static_cast<std::uint64_t>(tile.cols);
     ev->detection_events += dots * chunks;

@@ -88,6 +88,18 @@ class FusedKernel {
                 Matrix& c, EventCounter* ev = nullptr, double* rsum = nullptr,
                 double* csum = nullptr) const;
 
+  /// SIMD fast tier of run_tile (ExecutionPath::kKernelSimd).  Same
+  /// signature, same event charges field for field, same rsum/csum
+  /// accumulation order — but tolerance-banded instead of bit-exact:
+  /// the reduction is reassociated through common/simd.hpp blocking and,
+  /// under full optics, the per-element physics is collapsed into its
+  /// closed quadratic form (see the derivation in kernel.cpp), so raw
+  /// values differ from the scalar tier by O(ε·k·|x||y|) — inside the
+  /// ABFT guard band that multiply_prepared applies unchanged.
+  void run_tile_fast(const Tile& tile, const Matrix& ae, const Matrix& be, double rescale,
+                     Matrix& c, EventCounter* ev = nullptr, double* rsum = nullptr,
+                     double* csum = nullptr) const;
+
   [[nodiscard]] std::size_t active_wavelengths() const { return lanes_.size(); }
   [[nodiscard]] const std::vector<LaneTransfer>& lane_table() const { return lanes_; }
   [[nodiscard]] const DetectorTransfer& detector() const { return det_; }

@@ -26,7 +26,11 @@ struct EdfKey {
 };
 
 [[nodiscard]] EdfKey edf_key(const Request& r) {
-  return {r.deadline == 0 ? kNever : r.deadline, r.arrival, r.id};
+  // Request::kNoDeadline is already the maximum cycle count, so
+  // deadline-free requests sort last with no sentinel translation — and
+  // a real deadline of 0 (t=0 arrival, tight slack) stays a deadline.
+  static_assert(Request::kNoDeadline == kNever);
+  return {r.deadline, r.arrival, r.id};
 }
 
 }  // namespace
@@ -177,7 +181,7 @@ ServingReport ServingEngine::run(const std::vector<Request>& requests) {
       st[q].last_emit = finish;
       st[q].ready_at = finish;
       if (st[q].tokens_done == requests[q].decode_tokens) {
-        rec.late = requests[q].deadline != 0 && finish > requests[q].deadline;
+        rec.late = requests[q].has_deadline() && finish > requests[q].deadline;
         finalize(q, Verdict::kCompleted, ShedReason::kNone, finish);
         rep.goodput_tokens += st[q].tokens_done;
         rep.request_latencies.push_back(finish - requests[q].arrival);
@@ -195,7 +199,7 @@ ServingReport ServingEngine::run(const std::vector<Request>& requests) {
         finalize(q, Verdict::kShed, ShedReason::kQueueFull, now);
         continue;
       }
-      if (r.deadline != 0 && est_token_cycles > 0.0) {
+      if (r.has_deadline() && est_token_cycles > 0.0) {
         const double eta = static_cast<double>(now) +
                            static_cast<double>(prefill_charge(r)) +
                            static_cast<double>(r.decode_tokens) * est_token_cycles;
@@ -217,8 +221,16 @@ ServingReport ServingEngine::run(const std::vector<Request>& requests) {
       best_score = std::max(best_score, score[b]);
     }
 
+    // Degenerate pool — every backend scoring 0 (all fenced mid-storm):
+    // placement must stall *explicitly*.  The proportional cap below
+    // divides by best_score, and running it here would be 0/0 → NaN →
+    // llround, which is UB.  With placement skipped, step 3 either
+    // advances time to the next event or fails the stranded requests
+    // with an explicit verdict.
+    const bool placeable = best_score > 0.0 && std::isfinite(best_score);
+
     bool dispatched = false;
-    for (std::size_t b = 0; b < pool_n && best_score > 0.0; ++b) {
+    for (std::size_t b = 0; placeable && b < pool_n; ++b) {
       if (busy[b] > now) continue;
       if (score[b] <= 0.0 || score[b] < cfg_.health_floor * best_score) continue;
       const std::size_t cap = std::min(
@@ -234,7 +246,7 @@ ServingReport ServingEngine::run(const std::vector<Request>& requests) {
       for (std::size_t q = 0; q < n; ++q) {
         if (rep.records[q].verdict != Verdict::kPending || !st[q].admitted) continue;
         if (st[q].ready_at > now) continue;
-        if (requests[q].deadline != 0 && now > requests[q].deadline) {
+        if (requests[q].has_deadline() && now > requests[q].deadline) {
           finalize(q, Verdict::kShed, ShedReason::kDeadlineMissed, now);
           continue;
         }

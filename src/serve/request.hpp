@@ -11,6 +11,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <span>
 #include <string>
 #include <vector>
@@ -35,12 +36,22 @@ enum class ShedReason {
 
 /// One independent decode request (engine input).
 struct Request {
+  /// No-deadline sentinel.  Deliberately the *maximum* cycle count, so
+  /// every real deadline — including a tight one landing at cycle 0 for
+  /// a t=0 arrival — stays distinguishable from "no deadline" and sorts
+  /// before it under EDF.  (The previous sentinel was 0, which a t=0
+  /// request with sub-cycle slack could collide with, silently becoming
+  /// deadline-free.)
+  static constexpr std::uint64_t kNoDeadline = std::numeric_limits<std::uint64_t>::max();
+
   std::uint64_t id{0};
   std::uint64_t arrival{0};       ///< virtual-time arrival [cycles]
   std::size_t model{0};           ///< weight-set index (cache affinity key)
   std::size_t prompt_len{0};      ///< prefill tokens (time charge only)
   std::size_t decode_tokens{1};   ///< tokens to produce
-  std::uint64_t deadline{0};      ///< absolute cycles; 0 = none
+  std::uint64_t deadline{kNoDeadline};  ///< absolute cycles; kNoDeadline = none
+
+  [[nodiscard]] bool has_deadline() const { return deadline != kNoDeadline; }
   /// Current activation row (d_model wide), unit max-abs normalized —
   /// per-request normalization is what makes a request's numerics
   /// independent of its batchmates (the bit-identity contract).

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/require.hpp"
 #include "common/rng.hpp"
@@ -19,6 +20,11 @@ bool normalize_unit_max(std::vector<double>& row) {
   return true;
 }
 
+double interarrival_gap(double mean, double u) {
+  u = std::clamp(u, 0.0, std::nextafter(1.0, 0.0));
+  return -mean * std::log(1.0 - u);
+}
+
 std::vector<Request> generate_workload(const WorkloadConfig& cfg) {
   PDAC_REQUIRE(cfg.requests > 0 && cfg.d_model > 0, "generate_workload: empty workload");
   PDAC_REQUIRE(cfg.models > 0, "generate_workload: need at least one weight set");
@@ -32,7 +38,10 @@ std::vector<Request> generate_workload(const WorkloadConfig& cfg) {
   double clock = 0.0;
   for (std::size_t i = 0; i < cfg.requests; ++i) {
     // Exponential inter-arrival gaps = Poisson arrivals.
-    clock += -cfg.mean_interarrival * std::log(1.0 - rng.uniform(0.0, 1.0));
+    clock += interarrival_gap(cfg.mean_interarrival, rng.uniform(0.0, 1.0));
+    PDAC_REQUIRE(std::isfinite(clock) &&
+                     clock < static_cast<double>(std::numeric_limits<std::uint64_t>::max()),
+                 "generate_workload: arrival clock overflowed the cycle counter");
     Request r;
     r.id = i;
     r.arrival = static_cast<std::uint64_t>(clock);
@@ -46,7 +55,12 @@ std::vector<Request> generate_workload(const WorkloadConfig& cfg) {
     if (cfg.deadline_slack > 0.0) {
       const double span = cfg.deadline_slack * static_cast<double>(r.decode_tokens) *
                           static_cast<double>(cfg.nominal_token_cycles);
-      r.deadline = r.arrival + static_cast<std::uint64_t>(span);
+      // Round up, never down: truncation used to turn a sub-cycle span
+      // at t=0 into deadline 0 — the old no-deadline sentinel — making
+      // the tightest requests silently deadline-free.  A granted
+      // deadline is always at least one cycle past arrival.
+      r.deadline =
+          r.arrival + std::max<std::uint64_t>(1, static_cast<std::uint64_t>(std::ceil(span)));
     }
     do {
       r.activation = rng.gaussian_vector(cfg.d_model, 0.0, 1.0);

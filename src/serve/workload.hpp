@@ -42,4 +42,13 @@ struct WorkloadConfig {
 /// Returns false when the row is all zero (left untouched).
 bool normalize_unit_max(std::vector<double>& row);
 
+/// One exponential inter-arrival gap [cycles] from a uniform draw:
+/// −mean·log(1−u), with u clamped strictly below 1.0 first.
+/// std::uniform_real_distribution is allowed to return its upper bound
+/// (and libstdc++ occasionally does), which would make the gap
+/// log(0) = +inf and the later uint64 cast of the arrival clock UB —
+/// the clamp caps that one pathological draw at a large finite gap and
+/// leaves every other draw's value bit-identical to the raw formula.
+[[nodiscard]] double interarrival_gap(double mean, double u);
+
 }  // namespace pdac::serve

@@ -6,10 +6,14 @@
 // mid-product fault storms.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <cstring>
+#include <limits>
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/simd.hpp"
 #include "converters/electrical_adc.hpp"
 #include "faults/degraded_backend.hpp"
 #include "faults/fault_injector.hpp"
@@ -280,6 +284,182 @@ TEST(KernelGemmEquivalence, PreparedPathBitIdentical) {
   expect_bit_identical(kr.c, full.c);
   expect_events_equal(kr.events, dr.events);
   expect_events_equal(kr.events, full.events);
+}
+
+// ---------------------------------------------------------------------
+// SIMD fast tier (ExecutionPath::kKernelSimd, common/simd.hpp)
+
+/// Tolerance band for one SIMD-tier output element vs the scalar kernel,
+/// in the rescaled output domain — the ABFT machinery reused as the
+/// identity gate: fp reassociation term for a single dot (fan = 1,
+/// mag ≤ k) plus the calibrated ADC quantization sigma, which covers the
+/// ≤1-LSB code divergence two in-band raw values can straddle.
+double simd_band(const GemmConfig& cfg, std::size_t k, double rescale) {
+  GuardConfig g;  // default fp_slack / zscore
+  g.noise_sigma = calibrate_guard_sigma(cfg.dot, k);
+  return rescale * guard_tolerance(g, k, 1, static_cast<double>(k));
+}
+
+void expect_within_band(const Matrix& simd, const Matrix& scalar, double band,
+                        int trial = -1) {
+  ASSERT_EQ(simd.rows(), scalar.rows());
+  ASSERT_EQ(simd.cols(), scalar.cols());
+  for (std::size_t i = 0; i < simd.size(); ++i) {
+    const double d = std::abs(simd.data()[i] - scalar.data()[i]);
+    ASSERT_LE(d, band) << "element " << i << " trial " << trial;
+  }
+}
+
+TEST(KernelSimdTier, PrimitivesMatchNaiveReduction) {
+  // The simd wrapper's blocked dots vs single-chain references, across
+  // lengths hitting every tail shape (0, sub-block, block+tail).
+  Rng rng(57);
+  for (const std::size_t n : {0u, 1u, 3u, 4u, 5u, 7u, 8u, 9u, 16u, 33u, 100u}) {
+    const auto x = rng.uniform_vector(n, -1.0, 1.0);
+    std::vector<std::vector<double>> ys;
+    for (int b = 0; b < 4; ++b) ys.push_back(rng.uniform_vector(n, -1.0, 1.0));
+    const auto naive = [&](const std::vector<double>& y) {
+      double acc = 0.0;
+      for (std::size_t p = 0; p < n; ++p) acc += x[p] * y[p];
+      return acc;
+    };
+    const double band = 64.0 * std::numeric_limits<double>::epsilon() *
+                        static_cast<double>(std::max<std::size_t>(n, 1));
+    EXPECT_NEAR(simd::dot(x.data(), ys[0].data(), n), naive(ys[0]), band);
+    EXPECT_NEAR(simd::dot_self(x.data(), n), [&] {
+      double acc = 0.0;
+      for (std::size_t p = 0; p < n; ++p) acc += x[p] * x[p];
+      return acc;
+    }(), band);
+    const double* yp[4] = {ys[0].data(), ys[1].data(), ys[2].data(), ys[3].data()};
+    double out[4];
+    simd::dot4(x.data(), yp, n, out);
+    for (int b = 0; b < 4; ++b) EXPECT_NEAR(out[b], naive(ys[b]), band) << "n=" << n;
+  }
+}
+
+TEST(KernelSimdTier, FuzzWithinToleranceBandOfScalarKernel) {
+  // The fast-tier contract, fuzzed across the same case space as the
+  // scalar tier's bit-identity gate: random shapes (ragged edges
+  // included), wavelength counts, lane-mask holes, optics/ADC settings,
+  // guard on/off and thread counts.  Outputs sit inside the ABFT-derived
+  // band; event counts match the scalar tier — and count_events —
+  // field for field.
+  const auto drv = core::make_pdac_driver(8);
+  Rng rng(4071);
+  for (int trial = 0; trial < 40; ++trial) {
+    FuzzCase fc = draw_case(rng);
+    fc.cfg.path = ExecutionPath::kKernel;
+    const PhotonicGemm scalar_gemm(*drv, fc.cfg);
+    fc.cfg.path = ExecutionPath::kKernelSimd;
+    const PhotonicGemm simd_gemm(*drv, fc.cfg);
+
+    const Matrix a = Matrix::random_gaussian(fc.m, fc.k, rng, 0.0, 1.0);
+    const Matrix b = Matrix::random_gaussian(fc.k, fc.n, rng, 0.0, 1.0);
+    const GemmResult sr = scalar_gemm.multiply(a, b);
+    const GemmResult vr = simd_gemm.multiply(a, b);
+
+    EXPECT_EQ(vr.a_scale, sr.a_scale);
+    EXPECT_EQ(vr.b_scale, sr.b_scale);
+    expect_within_band(vr.c, sr.c, simd_band(fc.cfg, fc.k, sr.a_scale * sr.b_scale), trial);
+    expect_events_equal(vr.events, sr.events);
+    expect_events_equal(vr.events, simd_gemm.count_events(fc.m, fc.k, fc.n));
+    EXPECT_EQ(vr.guard.enabled, sr.guard.enabled);
+    EXPECT_EQ(vr.guard.tiles_checked, sr.guard.tiles_checked);
+    EXPECT_EQ(vr.guard.checksum_events.macs, sr.guard.checksum_events.macs);
+    // Clean guarded runs with ADC off: the fast tier's reassociation is
+    // exactly what guard_tolerance's fp term budgets for, so the guard
+    // must stay silent on it.
+    if (fc.cfg.guard.enabled && !fc.cfg.dot.adc_readout) {
+      EXPECT_EQ(vr.guard.mismatched_tiles, 0u) << "trial " << trial;
+    }
+  }
+}
+
+TEST(KernelSimdTier, RaggedColumnTailsStayInBand) {
+  // Deterministic sweep of the block/tail seams the 4-wide column
+  // blocking creates: n below, at, and straddling the block width, on
+  // the full-optics + ADC hot configuration with multiple workers.
+  const auto drv = core::make_pdac_driver(8);
+  GemmConfig cfg;
+  cfg.dot.wavelengths = 3;
+  cfg.dot.use_full_optics = true;
+  cfg.dot.adc_readout = true;
+  cfg.array_rows = 3;
+  cfg.array_cols = 5;
+  cfg.threads = 2;
+  Rng rng(83);
+  for (const std::size_t n : {1u, 3u, 4u, 5u, 6u, 8u, 11u}) {
+    cfg.path = ExecutionPath::kKernel;
+    const PhotonicGemm scalar_gemm(*drv, cfg);
+    cfg.path = ExecutionPath::kKernelSimd;
+    const PhotonicGemm simd_gemm(*drv, cfg);
+    const Matrix a = Matrix::random_gaussian(5, 13, rng, 0.0, 1.0);
+    const Matrix b = Matrix::random_gaussian(13, n, rng, 0.0, 1.0);
+    const GemmResult sr = scalar_gemm.multiply(a, b);
+    const GemmResult vr = simd_gemm.multiply(a, b);
+    expect_within_band(vr.c, sr.c, simd_band(cfg, 13, sr.a_scale * sr.b_scale));
+    expect_events_equal(vr.events, sr.events);
+  }
+}
+
+TEST(KernelSimdTier, PreparedPathMatchesMultiply) {
+  // Weight-stationary products on the fast tier: one PreparedOperand,
+  // multiply vs prepare+multiply_prepared — bit-identical to each other
+  // (same tier, same code path) with equal events.
+  const auto drv = core::make_pdac_driver(8);
+  GemmConfig cfg;
+  cfg.dot.wavelengths = 4;
+  cfg.dot.use_full_optics = true;
+  cfg.dot.adc_readout = true;
+  cfg.guard.enabled = true;
+  cfg.path = ExecutionPath::kKernelSimd;
+  const PhotonicGemm simd_gemm(*drv, cfg);
+
+  Rng rng(7);
+  const Matrix a = Matrix::random_gaussian(11, 21, rng, 0.0, 1.0);
+  const Matrix b = Matrix::random_gaussian(21, 13, rng, 0.0, 1.0);
+  const PreparedOperand pb = simd_gemm.prepare_b(b);
+  const GemmResult split = simd_gemm.multiply_prepared(a, pb);
+  const GemmResult fused = simd_gemm.multiply(a, b);
+  expect_bit_identical(split.c, fused.c);
+  expect_events_equal(split.events, fused.events);
+}
+
+TEST(KernelSimdTier, GuardCatchesCorruptionIdenticallyToScalar) {
+  // The storm-facing half of the contract: the ABFT guard rides the
+  // fast tier unchanged.  A latched element in the encoded operand
+  // (checksums already built — the prepared-state corruption the guard
+  // exists for) must be flagged by both tiers, at the same tile.
+  const auto drv = core::make_pdac_driver(8);
+  GemmConfig cfg;
+  cfg.dot.wavelengths = 4;
+  cfg.dot.use_full_optics = true;
+  cfg.guard.enabled = true;
+  cfg.array_rows = 4;
+  cfg.array_cols = 4;
+
+  Rng rng(19);
+  const Matrix a = Matrix::random_gaussian(8, 16, rng, 0.0, 1.0);
+  const Matrix b = Matrix::random_gaussian(16, 12, rng, 0.0, 1.0);
+
+  cfg.path = ExecutionPath::kKernel;
+  const PhotonicGemm scalar_gemm(*drv, cfg);
+  cfg.path = ExecutionPath::kKernelSimd;
+  const PhotonicGemm simd_gemm(*drv, cfg);
+
+  PreparedOperand pb = scalar_gemm.prepare_b(b);
+  pb.encoded(5, 3) += 0.75;  // silent corruption after checksum build
+
+  const GemmResult sr = scalar_gemm.multiply_prepared(a, pb);
+  const GemmResult vr = simd_gemm.multiply_prepared(a, pb);
+  EXPECT_GT(sr.guard.mismatched_tiles, 0u);
+  EXPECT_GT(vr.guard.mismatched_tiles, 0u);
+  EXPECT_EQ(vr.guard.mismatched_tiles, sr.guard.mismatched_tiles);
+  EXPECT_EQ(vr.guard.first_mismatch, sr.guard.first_mismatch);
+  // The corruption's residual dwarfs the tiers' reassociation delta.
+  EXPECT_NEAR(vr.guard.worst_residual, sr.guard.worst_residual,
+              1e-6 * std::max(1.0, sr.guard.worst_residual));
 }
 
 // ---------------------------------------------------------------------

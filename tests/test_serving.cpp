@@ -117,6 +117,90 @@ TEST(Serving, DeadlinesScaleWithDecodeLength) {
   }
 }
 
+TEST(Serving, InterarrivalGapIsFiniteAtTheUniformUpperBound) {
+  // std::uniform_real_distribution may return its upper bound; the raw
+  // formula −mean·log(1−u) then yields +inf and the uint64 cast of the
+  // arrival clock is UB.  The clamp caps that draw at a large finite
+  // gap and leaves every other draw bit-identical to the raw formula.
+  const double worst = serve::interarrival_gap(64.0, 1.0);
+  EXPECT_TRUE(std::isfinite(worst));
+  EXPECT_GT(worst, 0.0);
+  EXPECT_EQ(serve::interarrival_gap(64.0, 0.0), 0.0);
+  EXPECT_EQ(serve::interarrival_gap(10.0, 0.5), -10.0 * std::log(0.5));
+  EXPECT_EQ(serve::interarrival_gap(10.0, 0.875), -10.0 * std::log(1.0 - 0.875));
+  // The clamped gap still dominates every in-range draw (monotonicity).
+  EXPECT_GE(worst, serve::interarrival_gap(64.0, 0.999999));
+}
+
+TEST(Serving, TightDeadlineAtTimeZeroStaysADeadline) {
+  // Regression: deadline 0 used to be the no-deadline sentinel, so a
+  // t=0 arrival whose sub-cycle span truncated to 0 silently became
+  // deadline-free and was served at leisure.  Now the sentinel is
+  // Request::kNoDeadline and granted deadlines round *up*.
+  serve::WorkloadConfig wl = small_workload(16);
+  wl.mean_interarrival = 0.25;    // burst at t≈0, several arrivals at 0
+  wl.deadline_slack = 0.001;      // sub-cycle spans: ceil must kick in
+  wl.nominal_token_cycles = 1;
+  const auto reqs = serve::generate_workload(wl);
+  ASSERT_EQ(reqs.front().arrival, 0u);  // the colliding case is present
+  for (const serve::Request& r : reqs) {
+    EXPECT_TRUE(r.has_deadline());
+    EXPECT_GT(r.deadline, r.arrival);  // at least one cycle of slack
+  }
+
+  // End to end: impossible deadlines must shed (or finish late) — never
+  // complete on time as if no deadline existed.
+  auto models = make_models(2, wl.d_model, 17);
+  serve::BackendPool pool(serve_pool_config(2));
+  serve::ServingEngine engine(pool, models, {});
+  const serve::ServingReport rep = engine.run(reqs);
+  expect_all_terminal(rep, reqs.size());
+  for (const serve::RequestRecord& rec : rep.records) {
+    if (rec.verdict == serve::Verdict::kCompleted) {
+      EXPECT_TRUE(rec.late);
+    }
+  }
+}
+
+TEST(Serving, AllFencedPoolStallsPlacementAndFailsExplicitly) {
+  // Degenerate placement: every backend scores 0 once its lanes fence.
+  // The proportional batch cap divides by best_score, so this pins the
+  // explicit stall guard (0/0 → NaN → llround would be UB — the UBSan
+  // CI job enforces that it can never come back) and the engine's
+  // promise of terminal verdicts from a fully dead pool.
+  serve::WorkloadConfig wl = small_workload(8);
+  const auto reqs = serve::generate_workload(wl);
+  auto models = make_models(2, wl.d_model, 17);
+
+  serve::BackendPool pool(serve_pool_config(2));
+  for (std::size_t b = 0; b < pool.size(); ++b) {
+    faults::FaultScheduleConfig kill;
+    kill.lanes = pool.bank(b).lanes();
+    kill.bits = 8;
+    kill.horizon_steps = 2;
+    faults::FaultSchedule sched;
+    sched.cfg = kill;
+    for (std::size_t lane = 0; lane < kill.lanes; ++lane) {
+      faults::FaultEvent ev;
+      ev.step = 0;
+      ev.lane = lane;
+      ev.kind = faults::FaultKind::kStuckMrr;
+      ev.magnitude = 0.4;
+      sched.events.push_back(ev);
+    }
+    pool.attach_storm(b, sched, 1);
+  }
+
+  serve::ServingEngine engine(pool, models, {});
+  const serve::ServingReport rep = engine.run(reqs);
+  expect_all_terminal(rep, reqs.size());
+  EXPECT_EQ(rep.completed, 0u);
+  EXPECT_GT(rep.failed, 0u);
+  for (std::size_t b = 0; b < pool.size(); ++b) {
+    EXPECT_EQ(pool.health_score(b), 0.0);  // the degenerate case really hit
+  }
+}
+
 TEST(Serving, PercentileIsNearestRankWithInterpolation) {
   EXPECT_EQ(serve::percentile({}, 50.0), 0.0);
   EXPECT_EQ(serve::percentile({7}, 99.0), 7.0);

@@ -207,14 +207,37 @@ TEST(OperandCache, LruEvictionByBytes) {
   EXPECT_LE(cache.stats().resident_bytes, cfg.capacity_bytes);
 }
 
-TEST(OperandCache, OversizedOperandIsNotRetained) {
+TEST(OperandCache, OversizedOperandIsRejectedUpFront) {
   nn::OperandCacheConfig cfg;
   cfg.capacity_bytes = 64;  // smaller than any real operand
   nn::OperandCache cache(cfg);
   cache.insert(1, 1, dummy_operand(1024, 0));
   EXPECT_EQ(cache.stats().entries, 0u);
   EXPECT_EQ(cache.stats().resident_bytes, 0u);
-  EXPECT_EQ(cache.stats().evictions, 1u);
+  // Refused before touching the LRU list — not admitted-then-evicted.
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  EXPECT_EQ(cache.stats().oversized_rejects, 1u);
+}
+
+TEST(OperandCache, OversizedInsertLeavesResidentsUntouched) {
+  nn::OperandCacheConfig cfg;
+  const std::size_t one = dummy_operand(64, 0)->bytes();
+  cfg.capacity_bytes = 2 * one;
+  nn::OperandCache cache(cfg);
+  cache.insert(1, 1, dummy_operand(64, 0));
+  cache.insert(2, 1, dummy_operand(64, 0));
+  const std::uint64_t resident = cache.stats().resident_bytes;
+
+  // The regression: this insert used to flush both residents AND the
+  // newcomer — a full cache wipe for an operand that can never fit.
+  cache.insert(3, 1, dummy_operand(1024, 0));
+  EXPECT_EQ(cache.stats().oversized_rejects, 1u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  EXPECT_EQ(cache.stats().entries, 2u);
+  EXPECT_EQ(cache.stats().resident_bytes, resident);
+  EXPECT_NE(cache.lookup(1, 1, 0), nullptr);
+  EXPECT_NE(cache.lookup(2, 1, 0), nullptr);
+  EXPECT_EQ(cache.lookup(3, 1, 0), nullptr);
 }
 
 TEST(OperandCache, DisabledCacheStoresNothing) {
