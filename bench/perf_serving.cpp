@@ -83,6 +83,14 @@ serve::BackendPoolConfig pool_config(std::size_t backends) {
   cfg.guarded.array_cols = 8;
   cfg.retrim_budget = 2;
   cfg.retrim_window = 2048;
+  // Route the pool's tile dots through the fastest numeric tier the
+  // fabricated lanes support (quant → simd → kernel, DESIGN.md §15).
+  // Perturbed physical lanes are never on the quantizer grid, so this
+  // resolves to the SIMD tier on wide hosts and the scalar kernel
+  // otherwise; the solo-replay reference below is built from the same
+  // config, so the bit-identity gate judges the selected tier itself.
+  faults::LaneBank probe(cfg.bank);
+  cfg.guarded.path = faults::auto_execution_path(probe);
   return cfg;
 }
 

@@ -6,9 +6,18 @@
 
 #include "common/math_utils.hpp"
 #include "common/require.hpp"
+#include "common/simd.hpp"
 #include "converters/quantizer.hpp"
 
 namespace pdac::faults {
+
+ptc::ExecutionPath auto_execution_path(const LaneBank& bank) {
+  LaneEncodeTable table;
+  table.ensure(bank);
+  if (table.quant_available()) return ptc::ExecutionPath::kKernelQuant;
+  if (simd::has_fast_path()) return ptc::ExecutionPath::kKernelSimd;
+  return ptc::ExecutionPath::kKernel;
+}
 
 GuardedBackend::GuardedBackend(LaneBank& bank, GuardedBackendConfig cfg,
                                HealthMonitor* shared_monitor)
@@ -59,6 +68,11 @@ double GuardedBackend::encode_current(std::size_t rail, std::size_t channel, dou
   return bank_.encode(rail, channel, r);
 }
 
+bool GuardedBackend::quant_live() const {
+  return cfg_.path == ptc::ExecutionPath::kKernelQuant && cfg_.use_lane_table &&
+         table_.fresh(bank_) && table_.quant_available();
+}
+
 std::vector<std::size_t> GuardedBackend::surviving_channels() const {
   std::vector<std::size_t> channels;
   for (std::size_t ch = 0; ch < bank_.wavelengths(); ++ch) {
@@ -99,6 +113,11 @@ ptc::PreparedOperand GuardedBackend::prepare_b(const Matrix& b,
   for (double& v : bt.data()) v /= pb.scale;
   pb.encoded = Matrix(bt.rows(), k);
   pb.reference = Matrix(bt.rows(), k);
+  // Integer-tier staging: when the quant tier is live, the lane table
+  // also hands out the int16 code behind every current-state amplitude
+  // (decode(code) == encoded bitwise on an on-grid bank).
+  const bool quant = quant_live();
+  if (quant) pb.qcodes.resize(bt.rows(), k);
   pool_->parallel_for(bt.rows(), [&](std::size_t begin, std::size_t end, std::size_t) {
     for (std::size_t r = begin; r < end; ++r) {
       const auto src = bt.row(r);
@@ -108,6 +127,12 @@ ptc::PreparedOperand GuardedBackend::prepare_b(const Matrix& b,
         const std::size_t ch = pb.channels[p % nl];
         cur[p] = encode_current(1, ch, src[p]);
         gold[p] = golden_encode(1, ch, src[p]);
+      }
+      if (quant) {
+        auto qrow = pb.qcodes.row(r);
+        for (std::size_t p = 0; p < k; ++p) {
+          qrow[p] = table_.encode_code(1, pb.channels[p % nl], src[p]);
+        }
       }
     }
   });
@@ -171,8 +196,19 @@ ptc::TileCheck GuardedBackend::run_tile(const ptc::Tile& tile, std::size_t t, co
                                         const Matrix& ae_gold, const Matrix& xsum,
                                         const Matrix& bdata, const ptc::PreparedOperand& pb,
                                         double rescale, Matrix& c,
-                                        const std::vector<DotUpset>* upsets) const {
+                                        const std::vector<DotUpset>* upsets,
+                                        const CodeMatrix* qae) const {
   const std::size_t k = ae.cols();
+  // Numeric tier for the data dots (cfg_.path).  The integer tier needs
+  // the staged codes on BOTH sides and the prepared (not live-re-encoded)
+  // B data — the caller certifies that by passing `qae`; `&bdata ==
+  // &pb.encoded` re-checks the B side.  Checksum references below always
+  // stay double-precision golden dots, whatever the data tier.
+  const bool quant_tile = qae != nullptr && pb.qcodes.cols() == k &&
+                          pb.qcodes.rows() == pb.encoded.rows() && &bdata == &pb.encoded;
+  const bool simd_tile = !quant_tile && cfg_.path != ptc::ExecutionPath::kKernel;
+  const std::int32_t mc = bank_.quantizer().max_code();
+  const double mc2 = static_cast<double>(mc) * static_cast<double>(mc);
   std::vector<double> rsum(tile.rows, 0.0);
   std::vector<double> csum(tile.cols, 0.0);
   for (std::size_t i = tile.row0; i < tile.row0 + tile.rows; ++i) {
@@ -181,9 +217,19 @@ ptc::TileCheck GuardedBackend::run_tile(const ptc::Tile& tile, std::size_t t, co
       const auto y = bdata.row(j);
       // Ascending p matches the serial chunk order (and DegradedBackend),
       // so accumulation is bit-identical across thread counts and to a
-      // post-fence degraded re-run.
+      // post-fence degraded re-run.  The fast tiers reassociate (SIMD)
+      // or round exactly once (quant: Σ codes / max_code², exact int64
+      // sum) — both inside the guard band the verdicts are judged by.
       double acc = 0.0;
-      for (std::size_t p = 0; p < k; ++p) acc += x[p] * y[p];
+      if (quant_tile) {
+        acc = static_cast<double>(
+                  simd::dot_i16(qae->row(i).data(), pb.qcodes.row(j).data(), k, mc)) /
+              mc2;
+      } else if (simd_tile) {
+        acc = simd::dot(x.data(), y.data(), k);
+      } else {
+        for (std::size_t p = 0; p < k; ++p) acc += x[p] * y[p];
+      }
       if (upsets != nullptr) {
         // Transient detector glitches land on the raw accumulator, so
         // the checksum lanes see the corrupted value too.
@@ -325,10 +371,13 @@ Matrix GuardedBackend::run_guarded(const Matrix& a, const Matrix& b,
   for (std::size_t i = 0; i < a.size(); ++i) an.data()[i] = a.data()[i] / a_scale;
   Matrix ae(m, k);
   Matrix ae_gold(m, k);
+  CodeMatrix qae;  // A-side int16 codes, staged only when the quant tier is live
   Matrix xsum;
   const std::size_t row_stripes = (m + cfg_.array_rows - 1) / cfg_.array_rows;
   const auto encode_a = [&](const std::vector<std::size_t>& channels) {
     const std::size_t nl = channels.size();
+    const bool quant = quant_live() && pb->qcodes.cols() == k;
+    if (quant) qae.resize(m, k);
     pool_->parallel_for(m, [&](std::size_t begin, std::size_t end, std::size_t) {
       for (std::size_t r = begin; r < end; ++r) {
         const auto src = an.row(r);
@@ -338,6 +387,12 @@ Matrix GuardedBackend::run_guarded(const Matrix& a, const Matrix& b,
           const std::size_t ch = channels[p % nl];
           cur[p] = encode_current(0, ch, src[p]);
           gold[p] = golden_encode(0, ch, src[p]);
+        }
+        if (quant) {
+          auto qrow = qae.row(r);
+          for (std::size_t p = 0; p < k; ++p) {
+            qrow[p] = table_.encode_code(0, channels[p % nl], src[p]);
+          }
         }
       }
     });
@@ -421,8 +476,12 @@ Matrix GuardedBackend::run_guarded(const Matrix& a, const Matrix& b,
     }
   } else {
     const Matrix& bd = *bdata;
+    // The staged codes ride along iff the quant tier certified this
+    // product (qae sized by encode_a); run_tile re-checks per tile.
+    const CodeMatrix* qa = qae.rows() == m ? &qae : nullptr;
     ptc::for_each_tile(*pool_, tiles, [&](std::size_t t, std::size_t) {
-      checks[t] = run_tile(tiles[t], t, ae, ae_gold, xsum, bd, *pb, rescale, c, initial_upsets);
+      checks[t] = run_tile(tiles[t], t, ae, ae_gold, xsum, bd, *pb, rescale, c, initial_upsets,
+                           qa);
     });
   }
   {

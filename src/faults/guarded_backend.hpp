@@ -77,7 +77,29 @@ struct GuardedBackendConfig {
   /// under sustained mutation the table would rebuild per tile, costing
   /// more than the handful of encodes it would serve.
   bool use_lane_table{true};
+  /// Numeric tier for the tile data dots (DESIGN.md §15).
+  ///   kKernel      — serial scalar accumulation (default): bit-identical
+  ///                  to DegradedBackend's re-run, the reference contract.
+  ///   kKernelSimd  — blocked double dots (common/simd.hpp): in-band
+  ///                  reassociation, same verdict machinery.
+  ///   kKernelQuant — exact int16-code dots, served from the lane
+  ///                  table's quant view when it is fresh AND every lane
+  ///                  is on the quantizer grid; any tile the
+  ///                  precondition cannot certify (off-grid lanes,
+  ///                  storm/retry live re-encodes, stale table) falls
+  ///                  back to the blocked double dots — the tier
+  ///                  degrades, the product stays live.
+  /// Checksum references are double-precision golden dots in every tier,
+  /// so detection semantics never change.
+  ptc::ExecutionPath path{ptc::ExecutionPath::kKernel};
 };
+
+/// The quant → simd → kernel ladder resolved against a live bank: the
+/// integer tier iff the bank's whole encode table sits on the quantizer
+/// grid (physical perturbed lanes practically never do), the SIMD tier
+/// iff the CPU has the wide path, the scalar kernel otherwise.  The
+/// faults-layer mirror of nn::fastest_gemm_config.
+[[nodiscard]] ptc::ExecutionPath auto_execution_path(const LaneBank& bank);
 
 /// A transient single-dot upset: an SEU-class glitch that corrupts one
 /// detector readout of the *next* product's initial pass by `delta` (raw
@@ -169,6 +191,13 @@ class GuardedBackend final : public nn::GemmBackend {
   [[nodiscard]] std::shared_ptr<const ptc::PreparedOperand> obtain_b(
       const Matrix& b, const nn::WeightHandle* weight);
 
+  /// True when the integer tier can serve this product right now:
+  /// quant path requested, lane table enabled + fresh, every lane
+  /// on-grid.  Evaluated per product (and re-evaluated after ladder
+  /// rungs), so the tier can only engage when its exactness
+  /// precondition is certified against the CURRENT bank state.
+  [[nodiscard]] bool quant_live() const;
+
   /// Compute + verify one tile: data dots from `ae` (current A encodes)
   /// × `bdata` (current B encodes), references from `ae_gold` /
   /// `pb.reference` / the cached checksum stripes.  Writes the rescaled
@@ -176,11 +205,17 @@ class GuardedBackend final : public nn::GemmBackend {
   /// the transient dot glitches of the initial pass; single-element
   /// corruptions whose row×column residuals intersect are corrected
   /// digitally in place when GuardConfig::sec_correction is on.
+  /// `qae` (nullable) carries the A-side int16 codes matching `ae`; the
+  /// integer tier runs only when it is non-null AND pb.qcodes matches
+  /// `bdata` — callers pass nullptr for any tile whose operands were
+  /// re-encoded live (storm/retry), dropping that tile to the double
+  /// tier of cfg_.path.
   [[nodiscard]] ptc::TileCheck run_tile(const ptc::Tile& tile, std::size_t t, const Matrix& ae,
                                         const Matrix& ae_gold, const Matrix& xsum,
                                         const Matrix& bdata, const ptc::PreparedOperand& pb,
                                         double rescale, Matrix& c,
-                                        const std::vector<DotUpset>* upsets = nullptr) const;
+                                        const std::vector<DotUpset>* upsets = nullptr,
+                                        const CodeMatrix* qae = nullptr) const;
 
   /// kFence rung: full calibration-table readback of the implicated
   /// lanes against the golden snapshot, fencing every lane that has

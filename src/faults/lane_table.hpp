@@ -46,15 +46,40 @@ class LaneEncodeTable {
   /// bit-identical to the model evaluation it caches.
   [[nodiscard]] double encode(std::size_t rail, std::size_t channel, double r) const;
 
+  /// Integer-tier view (DESIGN.md §15), rebuilt with the double table on
+  /// every epoch move: each lane column is additionally snapped onto the
+  /// quantizer grid where possible (amplitude == decode(code) bit for
+  /// bit) and stored as int16 codes.  quant_available() reports whether
+  /// EVERY lane is on-grid — the precondition for serving integer-dot
+  /// execution from this table.  Perturbed physical lanes (fabrication
+  /// variation, analog faults) are never exactly on-grid, so guarded and
+  /// degraded paths simply see `false` and stay on the double tables —
+  /// the tier degrades to the double path, never goes stale.
+  [[nodiscard]] bool quant_available() const { return built_ && quant_ok_; }
+
+  /// Per-lane grid verdict (flat lane index), for diagnostics/tests.
+  [[nodiscard]] bool lane_on_grid(std::size_t flat) const {
+    return built_ && lane_on_grid_[flat] != 0u;
+  }
+
+  /// int16-code equivalent of encode(): the code whose decode is the
+  /// amplitude encode() returns.  Only valid when quant_available().
+  [[nodiscard]] std::int16_t encode_code(std::size_t rail, std::size_t channel,
+                                         double r) const;
+
+  [[nodiscard]] const converters::Quantizer& quantizer() const { return quant_; }
   [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
 
  private:
   std::vector<double> table_;  ///< lane-major: flat_lane · codes + (code + max_code)
+  std::vector<std::int16_t> qtable_;      ///< int16 snap of table_ (valid per-lane)
+  std::vector<std::uint8_t> lane_on_grid_;  ///< per flat lane: whole column on-grid
   converters::Quantizer quant_{8};
   std::size_t wavelengths_{0};
   std::size_t codes_{0};
   std::uint64_t epoch_{0};
   bool built_{false};
+  bool quant_ok_{false};
 };
 
 }  // namespace pdac::faults

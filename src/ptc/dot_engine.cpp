@@ -37,8 +37,13 @@ PhotonicDotEngine::PhotonicDotEngine(const core::ModulatorDriver& driver, DotEng
   // whole encoder transfer curve fits in a (2^b − 1)-entry table.
   const std::int32_t mc = quant_.max_code();
   encode_lut_.resize(static_cast<std::size_t>(2 * mc + 1));
+  on_quant_grid_ = true;
   for (std::int32_t c = -mc; c <= mc; ++c) {
-    encode_lut_[static_cast<std::size_t>(c + mc)] = driver_.encode(quant_.decode(c));
+    const double amp = driver_.encode(quant_.decode(c));
+    encode_lut_[static_cast<std::size_t>(c + mc)] = amp;
+    // Exact-grid probe for the integer tier: the amplitude must BE the
+    // code's decode, bit for bit, for every code.
+    if (amp != quant_.decode(c)) on_quant_grid_ = false;
   }
 }
 
@@ -52,6 +57,18 @@ double PhotonicDotEngine::encode(double r) const {
 void PhotonicDotEngine::encode_span(std::span<const double> in, std::span<double> out) const {
   PDAC_REQUIRE(in.size() == out.size(), "PhotonicDotEngine: encode_span size mismatch");
   for (std::size_t i = 0; i < in.size(); ++i) out[i] = encode(in[i]);
+}
+
+void PhotonicDotEngine::encode_span(std::span<const double> in, std::span<double> out,
+                                    std::span<std::int16_t> codes) const {
+  PDAC_REQUIRE(in.size() == out.size() && in.size() == codes.size(),
+               "PhotonicDotEngine: encode_span size mismatch");
+  const std::int32_t mc = quant_.max_code();
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const std::int32_t code = quant_.encode(math::clamp_unit(in[i]));
+    out[i] = encode_lut_[static_cast<std::size_t>(code + mc)];
+    codes[i] = static_cast<std::int16_t>(code);
+  }
 }
 
 double PhotonicDotEngine::apply_adc(double acc, std::size_t n, EventCounter* ev) const {

@@ -15,6 +15,10 @@ PhotonicGemm::PhotonicGemm(const core::ModulatorDriver& driver, GemmConfig cfg)
       pool_(std::make_unique<ThreadPool>(cfg.threads)) {
   PDAC_REQUIRE(cfg_.array_rows >= 1 && cfg_.array_cols >= 1,
                "PhotonicGemm: array dimensions must be positive");
+  PDAC_REQUIRE(cfg_.path != ExecutionPath::kKernelQuant || kernel_.quant_ready(),
+               "PhotonicGemm: kKernelQuant requires a driver whose encode transfer lies "
+               "exactly on the quantizer grid (core::BitTrueDacDriver); use "
+               "nn::fastest_gemm_config to auto-select a valid path");
   worker_ddots_.reserve(pool_->size());
   for (std::size_t w = 0; w < pool_->size(); ++w) {
     worker_ddots_.push_back(engine_.make_worker_ddot());
@@ -46,10 +50,17 @@ PreparedOperand PhotonicGemm::prepare_b(const Matrix& b, std::uint64_t epoch) co
   // the encode sweep is tile-parallel; encode() is a pure LUT lookup,
   // so the partitioning cannot change a single bit.
   pb.encoded = Matrix(norm_scratch_.rows(), norm_scratch_.cols());
+  const bool quant = cfg_.path == ExecutionPath::kKernelQuant;
+  if (quant) pb.qcodes.resize(norm_scratch_.rows(), norm_scratch_.cols());
   pool_->parallel_for(norm_scratch_.rows(),
                       [&](std::size_t begin, std::size_t end, std::size_t) {
                         for (std::size_t r = begin; r < end; ++r) {
-                          engine_.encode_span(norm_scratch_.row(r), pb.encoded.row(r));
+                          if (quant) {
+                            engine_.encode_span(norm_scratch_.row(r), pb.encoded.row(r),
+                                                pb.qcodes.row(r));
+                          } else {
+                            engine_.encode_span(norm_scratch_.row(r), pb.encoded.row(r));
+                          }
                         }
                       });
 
@@ -79,17 +90,30 @@ GemmResult PhotonicGemm::multiply_prepared(const Matrix& a, const PreparedOperan
                  "PhotonicGemm: guarded execution needs an operand prepared under the same "
                  "guarded config (prepare_b with guard.enabled)");
   }
+  const bool quant = cfg_.path == ExecutionPath::kKernelQuant;
+  if (quant) {
+    PDAC_REQUIRE(b.qcodes.rows() == b.cols && b.qcodes.cols() == b.rows,
+                 "PhotonicGemm: quant execution needs an operand prepared under the quant "
+                 "path (prepare_b with ExecutionPath::kKernelQuant)");
+  }
   const double a_scale = converters::max_abs_scale(a.data());
   const std::size_t k = a.cols();
 
-  // A-side pipeline (normalize + encode), into per-engine scratch.
+  // A-side pipeline (normalize + encode), into per-engine scratch; the
+  // quant path captures each element's code alongside its amplitude.
   norm_scratch_.resize(a.rows(), k);
   for (std::size_t i = 0; i < a.size(); ++i) norm_scratch_.data()[i] = a.data()[i] / a_scale;
   encode_scratch_.resize(a.rows(), k);
   const Matrix& ae = encode_scratch_;
+  if (quant) qcode_scratch_.resize(a.rows(), k);
   pool_->parallel_for(a.rows(), [&](std::size_t begin, std::size_t end, std::size_t) {
     for (std::size_t r = begin; r < end; ++r) {
-      engine_.encode_span(norm_scratch_.row(r), encode_scratch_.row(r));
+      if (quant) {
+        engine_.encode_span(norm_scratch_.row(r), encode_scratch_.row(r),
+                            qcode_scratch_.row(r));
+      } else {
+        engine_.encode_span(norm_scratch_.row(r), encode_scratch_.row(r));
+      }
     }
   });
 
@@ -147,6 +171,12 @@ GemmResult PhotonicGemm::multiply_prepared(const Matrix& a, const PreparedOperan
       // charges identical; the guard below runs on it unchanged.
       kernel_.run_tile_fast(tile, ae, b.encoded, rescale, res.c, &reduction,
                             guarded ? rsum.data() : nullptr, guarded ? csum.data() : nullptr);
+    } else if (path == ExecutionPath::kKernelQuant) {
+      // Integer tier: the same quadratic form over exact int16 code dots
+      // (run_tile_quant); the guard below still compares the raw sums
+      // against the double references, band unchanged.
+      kernel_.run_tile_quant(tile, qcode_scratch_, b.qcodes, rescale, res.c, &reduction,
+                             guarded ? rsum.data() : nullptr, guarded ? csum.data() : nullptr);
     } else {
       const Ddot& ddot = worker_ddots_[worker];
       DdotScratch& scratch = worker_scratch_[worker];

@@ -76,9 +76,21 @@ namespace pdac::ptc {
 ///                  within the ABFT reassociation band (guard_tolerance)
 ///                  of the scalar tier, and the ABFT guard itself runs
 ///                  unchanged on top.  The production hot path.
+///   kKernelQuant — the kernel's integer tier (DESIGN.md §15): operands
+///                  carried as int16 quantizer codes and the quadratic
+///                  form reduced with EXACT int16×int16→int64 dots
+///                  (common/simd.hpp), scale + dark applied once at
+///                  readout.  Requires an on-grid encode LUT
+///                  (FusedKernel::quant_ready — e.g. the
+///                  core::BitTrueDacDriver engine); construction rejects
+///                  the path otherwise.  Event counts stay
+///                  field-for-field equal to kKernel, outputs sit in the
+///                  same guard band as kKernelSimd, and the integer sums
+///                  are ISA-independent.  Quarter the operand bytes per
+///                  tile of the double tiers.
 ///   kDeviceGraph — every chunk staged through the device objects
 ///                  (Ddot); the authoritative physical reference.
-enum class ExecutionPath { kKernel, kDeviceGraph, kKernelSimd };
+enum class ExecutionPath { kKernel, kDeviceGraph, kKernelSimd, kKernelQuant };
 
 /// The B operand of C = A·B, fully prepared for the photonic array:
 /// transposed into row-major columns, max-abs-normalized and pushed
@@ -110,11 +122,18 @@ struct PreparedOperand {
   /// the healthy ptc path, where `encoded` doubles as the reference.
   Matrix reference;
 
+  /// Integer-tier operand form (ExecutionPath::kKernelQuant): the
+  /// quantizer code of every encoded element, built by prepare_b under a
+  /// quant-path config.  On-grid, decode(qcodes) == encoded bitwise —
+  /// the codes are the same operand at a quarter the bytes.  Empty when
+  /// prepared under a double-tier config.
+  CodeMatrix qcodes;
+
   /// Resident size, for byte-capacity cache accounting.
   [[nodiscard]] std::size_t bytes() const {
     return sizeof(PreparedOperand) +
            (encoded.size() + checksum.size() + reference.size()) * sizeof(double) +
-           channels.size() * sizeof(std::size_t);
+           qcodes.size() * sizeof(std::int16_t) + channels.size() * sizeof(std::size_t);
   }
 };
 
@@ -195,6 +214,7 @@ class PhotonicGemm {
   mutable std::vector<DdotScratch> worker_scratch_;
   mutable Matrix norm_scratch_;
   mutable Matrix encode_scratch_;
+  mutable CodeMatrix qcode_scratch_;  // quant path: A-side operand codes
   mutable std::vector<Tile> tile_scratch_;
   mutable std::vector<EventCounter> event_scratch_;
   mutable Matrix xsum_scratch_;               // guarded path: A row-stripe checksums

@@ -64,7 +64,12 @@ void reduce_block(const LaneTransfer* lanes, std::size_t nl, const DetectorTrans
 }  // namespace
 
 FusedKernel::FusedKernel(const PhotonicDotEngine& engine)
-    : FusedKernel(engine.ddot(), engine.config()) {}
+    : FusedKernel(engine.ddot(), engine.config()) {
+  // The integer tier is certified per engine, not per device chain: only
+  // the engine knows whether its encode LUT sits on the quantizer grid.
+  quant_ready_ = engine.encode_on_quant_grid();
+  max_code_ = engine.quantizer().max_code();
+}
 
 FusedKernel::FusedKernel(const Ddot& ddot, const DotEngineConfig& cfg) {
   PDAC_REQUIRE(cfg.wavelengths >= 1, "FusedKernel: at least one wavelength");
@@ -321,6 +326,94 @@ void FusedKernel::run_tile_fast(const Tile& tile, const Matrix& ae, const Matrix
     // Field-for-field identical to run_tile: the tier changes arithmetic
     // order, not device semantics — the analog machine still performs
     // dots·chunks detections and dots·k MACs.
+    const std::uint64_t dots =
+        static_cast<std::uint64_t>(tile.rows) * static_cast<std::uint64_t>(tile.cols);
+    ev->detection_events += dots * chunks;
+    ev->ddot_ops += dots * chunks;
+    ev->macs += dots * static_cast<std::uint64_t>(k);
+  }
+}
+
+void FusedKernel::run_tile_quant(const Tile& tile, const CodeMatrix& aq, const CodeMatrix& bq,
+                                 double rescale, Matrix& c, EventCounter* ev, double* rsum,
+                                 double* csum) const {
+  PDAC_REQUIRE(quant_ready_,
+               "FusedKernel: run_tile_quant needs an on-grid encode LUT (quant_ready)");
+  const std::size_t k = aq.cols();
+  PDAC_REQUIRE(bq.cols() == k, "FusedKernel: operand reduction lengths must agree");
+  converters::ElectricalAdcConfig ac;
+  ac.bits = adc_bits_;
+  ac.v_ref = adc_full_scale_ > 0.0 ? adc_full_scale_
+                                   : static_cast<double>(std::max<std::size_t>(k, 1));
+  const converters::ElectricalAdc adc(ac);
+  const std::size_t nl = lanes_.size();
+  const std::uint64_t chunks = (k + nl - 1) / nl;
+
+  // Same quadratic form as run_tile_fast (see the derivation there), but
+  // with the amplitude sums carried as exact integer sums over codes:
+  // on-grid, x = cx/mc and y = cy/mc bitwise, so
+  //   Σx² = Σcx²/mc², Σy² = Σcy²/mc², Σxy = Σcx·cy/mc²
+  // with the integer numerators computed exactly (|Σcx·cy| ≤ k·mc² ≪ 2⁵³
+  // also makes the int64→double conversion exact) — each sum then costs
+  // ONE division instead of a k-term floating accumulation chain.
+  const std::int32_t mc = max_code_;
+  const double mc2 = static_cast<double>(mc) * static_cast<double>(mc);
+  double cxx = 0.0;
+  double cyy = 0.0;
+  double cxy = 0.0;
+  double dark = 0.0;
+  std::vector<double> syy;  // Σy² per tile column, hoisted (full optics)
+  if (full_optics_) {
+    const LaneTransfer& ln = lanes_.front();
+    const double f2 = ln.ps_re * ln.ps_re + ln.ps_im * ln.ps_im;
+    const double t2 = ln.t * ln.t;
+    const double k2 = ln.jk_im * ln.jk_im;
+    cxx = 0.5 * (det_.gain_plus * t2 - det_.gain_minus * k2);
+    cyy = 0.5 * f2 * (det_.gain_plus * k2 - det_.gain_minus * t2);
+    cxy = -ln.t * ln.jk_im * ln.ps_im * (det_.gain_plus + det_.gain_minus);
+    dark = static_cast<double>(chunks) * (det_.dark_plus - det_.dark_minus);
+    syy.resize(tile.cols);
+    for (std::size_t j = 0; j < tile.cols; ++j) {
+      syy[j] =
+          static_cast<double>(simd::dot_self_i16(bq.row(tile.col0 + j).data(), k, mc)) / mc2;
+    }
+  }
+
+  constexpr std::size_t kBlock = 4;
+  const std::size_t col_end = tile.col0 + tile.cols;
+  for (std::size_t i = tile.row0; i < tile.row0 + tile.rows; ++i) {
+    const std::int16_t* x = aq.row(i).data();
+    const double sxx =
+        full_optics_ ? static_cast<double>(simd::dot_self_i16(x, k, mc)) / mc2 : 0.0;
+    std::size_t j = tile.col0;
+    for (; j + kBlock <= col_end; j += kBlock) {
+      const std::int16_t* ys[kBlock];
+      for (std::size_t b = 0; b < kBlock; ++b) ys[b] = bq.row(j + b).data();
+      std::int64_t ixy[kBlock];
+      simd::dot4_i16(x, ys, k, mc, ixy);
+      for (std::size_t b = 0; b < kBlock; ++b) {
+        const double sxy = static_cast<double>(ixy[b]) / mc2;
+        double r = full_optics_ ? cxx * sxx + cyy * syy[j + b - tile.col0] + cxy * sxy + dark
+                                : sxy;
+        if (adc_) r = adc.sample_to_voltage(r);
+        c(i, j + b) = r * rescale;
+        if (rsum != nullptr) rsum[i - tile.row0] += r;
+        if (csum != nullptr) csum[j + b - tile.col0] += r;
+      }
+    }
+    for (; j < col_end; ++j) {
+      const double sxy = static_cast<double>(simd::dot_i16(x, bq.row(j).data(), k, mc)) / mc2;
+      double r = full_optics_ ? cxx * sxx + cyy * syy[j - tile.col0] + cxy * sxy + dark : sxy;
+      if (adc_) r = adc.sample_to_voltage(r);
+      c(i, j) = r * rescale;
+      if (rsum != nullptr) rsum[i - tile.row0] += r;
+      if (csum != nullptr) csum[j - tile.col0] += r;
+    }
+  }
+  if (ev != nullptr) {
+    // Field-for-field identical to run_tile: the tier changes the number
+    // representation, not device semantics — the analog machine still
+    // performs dots·chunks detections and dots·k MACs.
     const std::uint64_t dots =
         static_cast<std::uint64_t>(tile.rows) * static_cast<std::uint64_t>(tile.cols);
     ev->detection_events += dots * chunks;

@@ -33,6 +33,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -100,6 +101,29 @@ class FusedKernel {
                      Matrix& c, EventCounter* ev = nullptr, double* rsum = nullptr,
                      double* csum = nullptr) const;
 
+  /// Integer tier of run_tile (ExecutionPath::kKernelQuant, DESIGN.md
+  /// §15).  Operands are int16 quantizer codes; valid only when
+  /// quant_ready() — the engine's encode LUT lies bitwise on the
+  /// quantizer grid, so an encoded amplitude IS code/max_code and every
+  /// Σx², Σy², Σxy of the quadratic form is an EXACT integer sum
+  /// (common/simd.hpp dot_i16 family, int16×int16 → int64).  The scale
+  /// 1/max_code² and the dark-current term are applied once in double at
+  /// readout, so each raw value carries a single rounding instead of the
+  /// double tiers' per-element chains — the same O(ε·k) reassociation
+  /// family the guard band absorbs.  Event charges, ADC round-trip and
+  /// rsum/csum order are field-for-field identical to run_tile; the
+  /// integer sums themselves are ISA-independent (exact), so this tier's
+  /// raw values are identical bits on every machine.
+  void run_tile_quant(const Tile& tile, const CodeMatrix& aq, const CodeMatrix& bq,
+                      double rescale, Matrix& c, EventCounter* ev = nullptr,
+                      double* rsum = nullptr, double* csum = nullptr) const;
+
+  /// True when run_tile_quant is usable: the kernel was snapshotted from
+  /// an engine whose encode LUT is exactly the quantizer grid (e.g. a
+  /// core::BitTrueDacDriver engine).  Off-grid drivers (ideal DAC,
+  /// P-DAC) leave this false and callers fall back to the double tiers.
+  [[nodiscard]] bool quant_ready() const { return quant_ready_; }
+
   [[nodiscard]] std::size_t active_wavelengths() const { return lanes_.size(); }
   [[nodiscard]] const std::vector<LaneTransfer>& lane_table() const { return lanes_; }
   [[nodiscard]] const DetectorTransfer& detector() const { return det_; }
@@ -116,6 +140,10 @@ class FusedKernel {
   bool adc_{false};
   int adc_bits_{8};
   double adc_full_scale_{0.0};
+  /// Integer-tier state: certified on-grid encode LUT + the operand
+  /// quantizer's max code (code → amplitude is code/max_code_).
+  bool quant_ready_{false};
+  std::int32_t max_code_{127};
 };
 
 }  // namespace pdac::ptc

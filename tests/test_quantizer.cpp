@@ -98,6 +98,34 @@ TEST(QuantizeVector, RoundTripWithinHalfStep) {
   }
 }
 
+TEST(Quantizer, NegativeZeroEncodesToZero) {
+  const Quantizer q(8);
+  EXPECT_EQ(q.encode(-0.0), 0);
+  EXPECT_EQ(q.quantize(-0.0), 0.0);
+  EXPECT_EQ(q.decode(0), 0.0);
+}
+
+TEST(Quantizer, SnapToCodeAcceptsExactlyTheGrid) {
+  const Quantizer q(8);
+  for (std::int32_t c = -q.max_code(); c <= q.max_code(); ++c) {
+    std::int32_t code = -1;
+    EXPECT_TRUE(q.snap_to_code(q.decode(c), &code)) << "code " << c;
+    EXPECT_EQ(code, c);
+  }
+  // Midpoints between grid points, out-of-range values and NaN are all
+  // off-grid — the integer tier's precondition must reject them.
+  EXPECT_FALSE(q.snap_to_code(0.5 * (q.decode(3) + q.decode(4)), nullptr));
+  EXPECT_FALSE(q.snap_to_code(2.0, nullptr));
+  EXPECT_FALSE(q.snap_to_code(-1.0000001, nullptr));
+  EXPECT_FALSE(q.snap_to_code(std::nan(""), nullptr));
+  // ±1 and -0.0 are grid points (max code / zero).
+  std::int32_t code = 0;
+  EXPECT_TRUE(q.snap_to_code(1.0, &code));
+  EXPECT_EQ(code, q.max_code());
+  EXPECT_TRUE(q.snap_to_code(-0.0, &code));
+  EXPECT_EQ(code, 0);
+}
+
 // --- property sweep over bit widths -----------------------------------------
 class QuantizerRoundTrip : public ::testing::TestWithParam<int> {};
 
@@ -106,6 +134,20 @@ TEST_P(QuantizerRoundTrip, EveryCodeSurvivesDecodeEncode) {
   for (std::int32_t c = -q.max_code(); c <= q.max_code(); ++c) {
     EXPECT_EQ(q.encode(q.decode(c)), c) << "code " << c;
   }
+}
+
+TEST_P(QuantizerRoundTrip, SymmetricSaturationAtMaxCode) {
+  const Quantizer q(GetParam());
+  // ±(2^(b−1)−1): symmetric two's-complement-style range, no −2^(b−1).
+  EXPECT_EQ(q.max_code(), (1 << (GetParam() - 1)) - 1);
+  EXPECT_EQ(q.encode(1.0), q.max_code());
+  EXPECT_EQ(q.encode(-1.0), -q.max_code());
+  EXPECT_EQ(q.encode(1e9), q.max_code());
+  EXPECT_EQ(q.encode(-1e9), -q.max_code());
+  // One representable step inside the clamp boundary still rounds up to
+  // the saturated code.
+  EXPECT_EQ(q.encode(1.0 - 0.25 * q.step()), q.max_code());
+  EXPECT_EQ(q.encode(-1.0 + 0.25 * q.step()), -q.max_code());
 }
 
 TEST_P(QuantizerRoundTrip, QuantizationErrorBoundedByHalfStep) {
@@ -118,6 +160,6 @@ TEST_P(QuantizerRoundTrip, QuantizationErrorBoundedByHalfStep) {
 }
 
 INSTANTIATE_TEST_SUITE_P(BitWidths, QuantizerRoundTrip,
-                         ::testing::Values(2, 3, 4, 6, 8, 10, 12, 16));
+                         ::testing::Values(2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 16));
 
 }  // namespace
