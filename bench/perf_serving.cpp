@@ -91,6 +91,14 @@ serve::BackendPoolConfig pool_config(std::size_t backends) {
   // config, so the bit-identity gate judges the selected tier itself.
   faults::LaneBank probe(cfg.bank);
   cfg.guarded.path = faults::auto_execution_path(probe);
+  // Quarantine/readmission (DESIGN.md §16): inert at fault rate 0 (no
+  // trigger ever fires, so the identity gate is untouched) and active
+  // in the storm sweep, where chronically-implicated backends leave
+  // rotation and earn their way back through canary probes.
+  cfg.quarantine.enabled = true;
+  cfg.quarantine.unrecovered_products = 2;
+  cfg.quarantine.fence_events = 3;
+  cfg.quarantine.probe_backoff = 256;
   return cfg;
 }
 
@@ -141,6 +149,9 @@ eval::ServingSummary summarize(const serve::ServingReport& rep, std::size_t requ
   s.goodput_per_joule =
       energy_uj > 0.0 ? static_cast<double>(rep.goodput_tokens) / (energy_uj * 1e-6) : 0.0;
   s.throttled_products = rep.throttled_products;
+  s.quarantines = rep.quarantines;
+  s.readmissions = rep.readmissions;
+  s.canary_probes = rep.canary_probes;
   for (const serve::BackendServeStats& b : rep.backends) {
     eval::ServingBackendRow row;
     row.tokens = b.tokens;
@@ -150,8 +161,11 @@ eval::ServingSummary summarize(const serve::ServingReport& rep, std::size_t requ
                                        : 0.0;
     row.final_health = b.final_health;
     row.alive = b.alive;
+    row.quarantined = b.quarantined;
     row.fences = b.health.fences;
     row.unrecovered = b.health.unrecovered;
+    row.drifting_lanes = b.drift.drifting;
+    row.excursion_lanes = b.drift.excursions;
     s.backends.push_back(row);
   }
   return s;
@@ -303,12 +317,13 @@ int main(int argc, char** argv) {
                  "\"p50_token_gap\": %.1f, \"p99_token_gap\": %.1f,\n            "
                  "\"p50_request_latency\": %.1f, \"p99_request_latency\": %.1f,\n"
                  "            \"energy_uj\": %.4f, \"goodput_per_joule\": %.1f, "
-                 "\"throttled_products\": %zu, \"reconciled\": %s}",
+                 "\"throttled_products\": %zu,\n            \"quarantines\": %zu, "
+                 "\"readmissions\": %zu, \"canary_probes\": %zu, \"reconciled\": %s}",
                  i == 0 ? "" : ",\n            ", row.fault_rate, row.s.completed, row.s.shed,
                  row.s.failed, row.s.goodput_tokens, row.s.p50_token_gap, row.s.p99_token_gap,
                  row.s.p50_request_latency, row.s.p99_request_latency, row.s.energy_uj,
-                 row.s.goodput_per_joule, row.s.throttled_products,
-                 row.reconciled ? "true" : "false");
+                 row.s.goodput_per_joule, row.s.throttled_products, row.s.quarantines,
+                 row.s.readmissions, row.s.canary_probes, row.reconciled ? "true" : "false");
   }
   std::fprintf(f, "],\n  \"pass\": %s\n}\n", all_pass ? "true" : "false");
   std::fclose(f);

@@ -148,9 +148,15 @@ std::string render_abft_guard(const std::string& title, const AbftGuardSummary& 
              Table::num(s.worst_residual, 3) + " / " + Table::num(s.worst_tolerance, 3), ""});
   t.add_rule();
   t.add_row({"retries", std::to_string(s.retries), ""});
-  t.add_row({"re-trims", std::to_string(s.retrims), ""});
+  t.add_row({"re-trims (proactive)", std::to_string(s.retrims) + " (" +
+                                         std::to_string(s.proactive_retrims) + ")",
+             ""});
+  t.add_row({"re-trims governed", std::to_string(s.governed_retrims), ""});
   t.add_row({"fences", std::to_string(s.fences), ""});
   t.add_row({"unrecovered", std::to_string(s.unrecovered), ""});
+  t.add_row({"drift tiles absorbed", std::to_string(s.drift_tiles), ""});
+  t.add_row({"worst drift ratio",
+             s.drift_tiles > 0 ? Table::num(s.worst_drift_ratio, 2) + "x band" : "-", ""});
   t.add_rule();
   t.add_row({"checksum-lane energy", Table::num(s.checksum_energy_uj, 3) + " uJ", ""});
   t.add_row({"recovery re-run energy", Table::num(s.retry_energy_uj, 3) + " uJ", ""});
@@ -184,16 +190,26 @@ std::string render_serving(const std::string& title, const ServingSummary& s) {
   t.add_row({"pool energy", Table::num(s.energy_uj, 3) + " uJ", ""});
   t.add_row({"goodput per joule", Table::num(s.goodput_per_joule, 1) + " tok/J", ""});
   t.add_row({"throttled products", std::to_string(s.throttled_products), ""});
+  t.add_row({"quarantines / readmits",
+             std::to_string(s.quarantines) + " / " + std::to_string(s.readmissions), ""});
+  t.add_row({"canary probes", std::to_string(s.canary_probes), ""});
   std::ostringstream os;
   os << "== " << title << " ==\n" << t.to_string();
   if (!s.backends.empty()) {
-    Table bt({"backend", "tokens", "products", "util", "health", "fences", "unrec", "state"});
+    Table bt({"backend", "tokens", "products", "util", "health", "fences", "unrec", "drift",
+              "state"});
     for (std::size_t i = 0; i < s.backends.size(); ++i) {
       const ServingBackendRow& row = s.backends[i];
+      const std::string state = !row.alive        ? "offline"
+                                : row.quarantined ? "quarantined"
+                                                  : "alive";
       bt.add_row({"#" + std::to_string(i), std::to_string(row.tokens),
                   std::to_string(row.products), Table::pct(row.utilization),
                   Table::num(row.final_health, 3), std::to_string(row.fences),
-                  std::to_string(row.unrecovered), row.alive ? "alive" : "offline"});
+                  std::to_string(row.unrecovered),
+                  std::to_string(row.drifting_lanes) + "/" +
+                      std::to_string(row.excursion_lanes),
+                  state});
     }
     os << bt.to_string();
   }

@@ -90,6 +90,13 @@ struct AbftGuardSummary {
   std::size_t retrims{};
   std::size_t fences{};
   std::size_t unrecovered{};
+  /// Drift-hysteresis policy state (DESIGN.md §16): absorbed in-band
+  /// tiles, the split of re-trims fired proactively by the drift
+  /// tracker, and re-trims the windowed governor refused.
+  std::size_t drift_tiles{};
+  std::size_t proactive_retrims{};
+  std::size_t governed_retrims{};
+  double worst_drift_ratio{};
   double mean_detection_latency{}; ///< tiles scanned before first mismatch
   double worst_residual{};
   double worst_tolerance{};
@@ -110,8 +117,11 @@ struct ServingBackendRow {
   double utilization{};     ///< busy cycles / makespan
   double final_health{};    ///< guard-aware placement score at the end
   bool alive{true};
+  bool quarantined{false};  ///< still in probation at run end
   std::size_t fences{};
   std::size_t unrecovered{};
+  std::size_t drifting_lanes{};   ///< drift tracker: in-band wander
+  std::size_t excursion_lanes{};  ///< drift tracker: re-trim warranted
 };
 
 /// Continuous-batching serving rollup: verdict accounting, latency
@@ -131,6 +141,10 @@ struct ServingSummary {
   double energy_uj{};              ///< pool total (data + guard + recovery)
   double goodput_per_joule{};      ///< completed tokens per joule
   std::size_t throttled_products{};///< run with a clamped re-trim ladder
+  /// Quarantine/readmission activity (BackendPool, DESIGN.md §16).
+  std::size_t quarantines{};
+  std::size_t readmissions{};
+  std::size_t canary_probes{};
   std::vector<ServingBackendRow> backends;
 };
 

@@ -1,0 +1,97 @@
+#include "faults/drift_tracker.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace pdac::faults {
+
+DriftTracker::DriftTracker(DriftTrackerConfig cfg) : cfg_(cfg) {
+  PDAC_REQUIRE(cfg_.alpha > 0.0 && cfg_.alpha <= 1.0, "DriftTracker: alpha in (0, 1]");
+  PDAC_REQUIRE(cfg_.drift_level > 0.0 && cfg_.excursion_level > cfg_.drift_level,
+               "DriftTracker: need 0 < drift_level < excursion_level");
+  PDAC_REQUIRE(cfg_.sample_cap >= cfg_.excursion_level,
+               "DriftTracker: sample_cap must reach the excursion threshold");
+}
+
+void DriftTracker::resize(std::size_t lanes) { level_.resize(lanes, 0.0); }
+
+double DriftTracker::clamp_sample(double sample) const {
+  // NaN (a dead PD can NaN a residual) is maximal evidence, not zero.
+  if (std::isnan(sample)) return cfg_.sample_cap;
+  return std::clamp(sample, 0.0, cfg_.sample_cap);
+}
+
+void DriftTracker::fold(std::size_t lane, double sample) {
+  if (lane >= level_.size()) level_.resize(lane + 1, 0.0);
+  level_[lane] = (1.0 - cfg_.alpha) * level_[lane] + cfg_.alpha * sample;
+}
+
+void DriftTracker::observe_residual(const std::vector<std::size_t>& lanes, double ratio) {
+  const double sample = clamp_sample(ratio);
+  for (const std::size_t lane : lanes) fold(lane, sample);
+  ++residual_samples_;
+}
+
+void DriftTracker::observe_probe(std::size_t lane, double excess) {
+  fold(lane, clamp_sample(excess));
+  ++probe_samples_;
+}
+
+void DriftTracker::reset() {
+  // Levels only: the sample counters are cumulative telemetry (how much
+  // evidence ever fed the tracker) and survive recalibration.
+  std::fill(level_.begin(), level_.end(), 0.0);
+}
+
+double DriftTracker::level(std::size_t lane) const {
+  return lane < level_.size() ? level_[lane] : 0.0;
+}
+
+DriftState DriftTracker::state(std::size_t lane) const {
+  const double l = level(lane);
+  if (l < cfg_.drift_level) return DriftState::kClean;
+  if (l < cfg_.excursion_level) return DriftState::kDrifting;
+  return DriftState::kExcursion;
+}
+
+bool DriftTracker::any_excursion() const {
+  for (const double l : level_) {
+    if (l >= cfg_.excursion_level) return true;
+  }
+  return false;
+}
+
+std::size_t DriftTracker::excursion_lanes() const {
+  std::size_t n = 0;
+  for (const double l : level_) n += l >= cfg_.excursion_level ? 1 : 0;
+  return n;
+}
+
+DriftSnapshot DriftTracker::snapshot() const {
+  DriftSnapshot snap;
+  snap.lanes = level_.size();
+  snap.residual_samples = residual_samples_;
+  snap.probe_samples = probe_samples_;
+  for (std::size_t l = 0; l < level_.size(); ++l) {
+    switch (state(l)) {
+      case DriftState::kClean: ++snap.clean; break;
+      case DriftState::kDrifting: ++snap.drifting; break;
+      case DriftState::kExcursion: ++snap.excursions; break;
+    }
+    snap.worst_level = std::max(snap.worst_level, level_[l]);
+  }
+  return snap;
+}
+
+std::string_view to_string(DriftState state) {
+  switch (state) {
+    case DriftState::kClean: return "clean";
+    case DriftState::kDrifting: return "drifting";
+    case DriftState::kExcursion: return "excursion";
+  }
+  return "?";
+}
+
+}  // namespace pdac::faults

@@ -1,0 +1,115 @@
+// drift_tracker.hpp — per-lane EWMA drift estimation for the hysteresis
+// recovery policy (DESIGN.md §16).
+//
+// The ABFT guard gives a binary verdict per tile; continuous drift (bias
+// walk, slow thermal wander) needs a *graded* signal so the controller
+// can tell "lane is wandering but still sub-accuracy" from "lane needs a
+// re-trim now" without burning calibration probes to find out.  The
+// tracker folds two cheap evidence streams into one exponentially
+// weighted moving average per lane:
+//
+//   * guard residuals — after every guarded product, the worst
+//     residual/tolerance ratio is attributed to the lanes the product's
+//     channel packing used.  Clean products observe ratios ≪ 1 and decay
+//     the average; in-band drift observes ratios in (1, drift_band];
+//     excursions observe capped large ratios.  One residual cannot name
+//     the lane, so the observation lands on every implicated lane — the
+//     same attribution granularity HealthMonitor::lane_mismatches uses.
+//   * self-test probe samples — per-lane screen errors, normalized as
+//     over-budget excess max(0, err/budget − 1) so a healthy lane's
+//     intrinsic encoder nonlinearity (≈ budget-sized by construction)
+//     reads as ~0 instead of polluting the average.
+//
+// Classification is a pure threshold read on the EWMA level:
+//   level < drift_level      → kClean
+//   level < excursion_level  → kDrifting   (absorb, keep watching)
+//   otherwise                → kExcursion  (re-trim when the governor allows)
+//
+// reset() re-zeros every lane and is called from trusted recalibration
+// points (GuardedBackend::recalibrate): after a golden re-snapshot the
+// residual stream measures divergence from the *new* trusted state, so
+// carrying the old levels forward would double-charge repaired drift and
+// immediately re-trigger the proactive rung.
+//
+// Not internally synchronized: one tracker rides one GuardedBackend,
+// which runs one product at a time (observation happens between the
+// guarded passes, never inside the tile-parallel region).
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+namespace pdac::faults {
+
+struct DriftTrackerConfig {
+  /// EWMA weight of the newest observation (level ← (1−α)·level + α·x).
+  double alpha{0.25};
+  /// Levels below this read kClean.
+  double drift_level{0.5};
+  /// Levels at or above this read kExcursion; between the two, kDrifting.
+  double excursion_level{3.0};
+  /// Observations are clamped to this (NaN too): one wild residual must
+  /// not take ~log(cap)/α products to decay back out of the average.
+  double sample_cap{64.0};
+};
+
+enum class DriftState {
+  kClean,     ///< tracking noise, no evidence of wander
+  kDrifting,  ///< sub-accuracy wander inside the hysteresis band
+  kExcursion, ///< drift crossed the band; targeted re-trim is warranted
+};
+
+/// Coherent read of the tracker for reports and placement decisions.
+struct DriftSnapshot {
+  std::size_t lanes{0};
+  std::size_t clean{0};
+  std::size_t drifting{0};
+  std::size_t excursions{0};
+  double worst_level{0.0};
+  std::size_t residual_samples{0};  ///< guard-residual observations folded
+  std::size_t probe_samples{0};     ///< self-test probe observations folded
+};
+
+class DriftTracker {
+ public:
+  explicit DriftTracker(DriftTrackerConfig cfg = {});
+
+  /// Grow (or shrink) to `lanes` levels; existing levels are preserved,
+  /// new lanes start clean.
+  void resize(std::size_t lanes);
+
+  /// Fold one product's worst residual/tolerance ratio into every
+  /// implicated lane's average.  Out-of-range lane indices grow the
+  /// tracker (first observation sizes it).
+  void observe_residual(const std::vector<std::size_t>& lanes, double ratio);
+
+  /// Fold one self-test probe sample for one lane, already normalized as
+  /// over-budget excess (see header comment).
+  void observe_probe(std::size_t lane, double excess);
+
+  /// Re-zero every level — call at trusted recalibration points only.
+  /// The cumulative sample counters survive (telemetry, not state).
+  void reset();
+
+  [[nodiscard]] std::size_t lanes() const { return level_.size(); }
+  [[nodiscard]] double level(std::size_t lane) const;
+  [[nodiscard]] DriftState state(std::size_t lane) const;
+  [[nodiscard]] bool any_excursion() const;
+  [[nodiscard]] std::size_t excursion_lanes() const;
+  [[nodiscard]] DriftSnapshot snapshot() const;
+  [[nodiscard]] const DriftTrackerConfig& config() const { return cfg_; }
+
+ private:
+  void fold(std::size_t lane, double sample);
+  [[nodiscard]] double clamp_sample(double sample) const;
+
+  DriftTrackerConfig cfg_;
+  std::vector<double> level_;
+  std::size_t residual_samples_{0};
+  std::size_t probe_samples_{0};
+};
+
+std::string_view to_string(DriftState state);
+
+}  // namespace pdac::faults

@@ -2,9 +2,9 @@
 
 namespace pdac::faults {
 
-GuardAction EscalationPolicy::next(const EscalationState& state) const {
+GuardAction EscalationPolicy::next(const EscalationState& state, bool retrim_available) const {
   if (state.retries < cfg_.max_retries) return GuardAction::kRetry;
-  if (state.retrims < cfg_.max_retrims) return GuardAction::kRetrim;
+  if (retrim_available && state.retrims < cfg_.max_retrims) return GuardAction::kRetrim;
   if (cfg_.allow_fence && state.fences < 1) return GuardAction::kFence;
   return GuardAction::kGiveUp;
 }

@@ -46,6 +46,25 @@ struct EscalationConfig {
   bool allow_fence{true};      ///< permit the degraded re-run rung
   /// BIST configuration for the kRetrim rung.
   SelfTestConfig self_test{};
+
+  // -- drift-hysteresis governor (DESIGN.md §16) ----------------------
+  /// Re-trim *proactively* at product entry when the backend's
+  /// DriftTracker reports an excursion lane — recovery fires off the
+  /// critical tile path, before the guard has to catch anything.  Off by
+  /// default: the reactive ladder alone reproduces pre-drift behavior.
+  bool proactive_retrim{false};
+  /// Products that must pass after any re-trim before a *proactive*
+  /// re-trim may fire again — the hysteresis dwell that stops oscillating
+  /// drift from re-trimming every product.  Reactive (ladder) re-trims
+  /// are never cooldown-blocked: a guard mismatch is real now.
+  std::size_t retrim_cooldown_products{0};
+  /// Windowed re-trim governor over proactive AND reactive re-trims: at
+  /// most `window_retrims` re-trims per `window_products` products; once
+  /// spent, the ladder falls through to fence/give-up and proactive
+  /// requests are deferred (HealthSnapshot::governed_retrims counts
+  /// both).  window_products == 0 disables the governor.
+  std::size_t window_retrims{0};
+  std::size_t window_products{0};
 };
 
 /// Rungs already burned while recovering the current product.
@@ -61,8 +80,12 @@ class EscalationPolicy {
 
   /// Next rung for a still-mismatching tile given what was already
   /// spent.  Deterministic: retry while retries remain, then re-trim,
-  /// then fence, then give up.
-  [[nodiscard]] GuardAction next(const EscalationState& state) const;
+  /// then fence, then give up.  `retrim_available` is the windowed
+  /// governor's verdict (guarded_backend.hpp): false skips the re-trim
+  /// rung exactly like an exhausted max_retrims, so the ladder degrades
+  /// instead of stalling.
+  [[nodiscard]] GuardAction next(const EscalationState& state,
+                                 bool retrim_available = true) const;
 
   [[nodiscard]] const EscalationConfig& config() const { return cfg_; }
 

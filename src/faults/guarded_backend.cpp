@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <utility>
 
 #include "common/math_utils.hpp"
@@ -25,11 +26,13 @@ GuardedBackend::GuardedBackend(LaneBank& bank, GuardedBackendConfig cfg,
       cfg_(cfg),
       pool_(std::make_unique<ThreadPool>(cfg.threads)),
       cache_(cfg.cache),
-      policy_(cfg.escalation) {
+      policy_(cfg.escalation),
+      tracker_(cfg.drift) {
   PDAC_REQUIRE(cfg_.array_rows >= 1 && cfg_.array_cols >= 1,
                "GuardedBackend: array dimensions must be positive");
   cfg_.guard.enabled = true;  // detection is the point of this backend
   if (shared_monitor != nullptr) monitor_ = shared_monitor;
+  tracker_.resize(bank_.lanes());
   recalibrate();  // construction is a trusted calibration point
 }
 
@@ -45,6 +48,92 @@ void GuardedBackend::recalibrate() {
     }
   }
   golden_epoch_ = bank_.epoch();
+  // Golden re-snapshot is a trusted point: residuals now measure
+  // divergence from the NEW state, so the accumulated drift levels are
+  // repaid — carrying them forward would re-trigger the proactive rung
+  // against evidence the re-trim just erased.
+  tracker_.reset();
+}
+
+void GuardedBackend::roll_retrim_window() {
+  const EscalationConfig& e = cfg_.escalation;
+  if (e.window_products == 0) return;
+  if (products_run_ - window_start_product_ >= e.window_products) {
+    // Advance by whole window lengths: the budget refills exactly at the
+    // boundary multiple, however long the backend idled past it.
+    window_start_product_ +=
+        ((products_run_ - window_start_product_) / e.window_products) * e.window_products;
+    window_retrims_spent_ = 0;
+  }
+}
+
+bool GuardedBackend::retrim_allowed() const {
+  const EscalationConfig& e = cfg_.escalation;
+  return e.window_products == 0 || window_retrims_spent_ < e.window_retrims;
+}
+
+void GuardedBackend::note_retrim() {
+  ++window_retrims_spent_;
+  last_retrim_product_ = products_run_;
+  retrimmed_ever_ = true;
+}
+
+void GuardedBackend::observe_probes(const SelfTestReport& report) {
+  const double budget = policy_.config().self_test.error_budget;
+  if (budget <= 0.0) return;
+  for (const LaneOutcome& lane : report.lanes) {
+    // Already-fenced lanes are reported dead without being screened:
+    // no measurement, no sample.
+    if (lane.verdict == LaneVerdict::kDead && !lane.retrimmed &&
+        lane.screen_error_before == 0.0) {
+      continue;
+    }
+    // Over-budget excess: a healthy lane's intrinsic encoder error sits
+    // near (below) the budget by construction, so it reads ~0 here.
+    tracker_.observe_probe(lane.lane, std::max(0.0, lane.screen_error_after / budget - 1.0));
+  }
+}
+
+void GuardedBackend::maybe_proactive_retrim() {
+  const EscalationConfig& e = cfg_.escalation;
+  if (!e.proactive_retrim || e.max_retrims == 0) return;  // serving clamp gates this too
+  if (!tracker_.any_excursion()) return;
+  if (bank_.usable_channels() == 0) return;
+  if (e.retrim_cooldown_products > 0 && retrimmed_ever_ &&
+      products_run_ - last_retrim_product_ < e.retrim_cooldown_products) {
+    // Hysteresis dwell: keep absorbing and watching; re-check next
+    // product.  Deliberately not counted as governed — the dwell is the
+    // policy working, not the budget refusing.
+    return;
+  }
+  if (!retrim_allowed()) {
+    monitor_->record_governed_retrim();
+    return;
+  }
+  const SelfTestReport report =
+      run_self_test(bank_, implicated_lanes(surviving_channels()), e.self_test);
+  monitor_->record_self_test(report);
+  monitor_->record_action(GuardAction::kRetrim);
+  monitor_->record_proactive_retrim();
+  observe_probes(report);
+  note_retrim();
+  recalibrate();  // post-self-test lane state is trusted
+}
+
+void GuardedBackend::product_entry() {
+  ++products_run_;
+  roll_retrim_window();
+  maybe_proactive_retrim();
+}
+
+void GuardedBackend::force_retrim() {
+  const SelfTestReport report =
+      run_self_test(bank_, implicated_lanes(surviving_channels()), policy_.config().self_test);
+  monitor_->record_self_test(report);
+  monitor_->record_action(GuardAction::kRetrim);
+  observe_probes(report);
+  note_retrim();
+  recalibrate();
 }
 
 void GuardedBackend::attach_storm(FaultInjector* injector, std::uint64_t steps_per_tile) {
@@ -180,6 +269,7 @@ std::shared_ptr<const ptc::PreparedOperand> GuardedBackend::obtain_b(
 Matrix GuardedBackend::matmul(const Matrix& a, const Matrix& b) {
   PDAC_REQUIRE(a.cols() == b.rows(), "GuardedBackend: inner dimensions must agree");
   if (bank_.usable_channels() == 0) return Matrix(a.rows(), b.cols());
+  product_entry();  // may re-trim (and bump the epoch) before obtain_b
   if (cfg_.use_lane_table) table_.ensure(bank_);
   return run_guarded(a, b, obtain_b(b, nullptr), nullptr);
 }
@@ -188,6 +278,7 @@ Matrix GuardedBackend::matmul_cached(const Matrix& a, const Matrix& b,
                                      const nn::WeightHandle& weight) {
   PDAC_REQUIRE(a.cols() == b.rows(), "GuardedBackend: inner dimensions must agree");
   if (bank_.usable_channels() == 0) return Matrix(a.rows(), b.cols());
+  product_entry();
   if (cfg_.use_lane_table) table_.ensure(bank_);
   return run_guarded(a, b, obtain_b(b, &weight), &weight);
 }
@@ -248,17 +339,28 @@ ptc::TileCheck GuardedBackend::run_tile(const ptc::Tile& tile, std::size_t t, co
   const double mag = static_cast<double>(k);
   const double tol_row = ptc::guard_tolerance(cfg_.guard, k, tile.cols, mag);
   const double tol_col = ptc::guard_tolerance(cfg_.guard, k, tile.rows, mag);
-  const auto note = [&check](double residual, double tol) {
-    // NaN residuals (a dead PD can NaN a sum) must read as mismatches,
-    // never as "inside the band".
+  // Hysteresis band (DESIGN.md §16): three verdict zones per comparison.
+  //   res ≤ tol             clean
+  //   tol < res ≤ band·tol  drift — absorbed (recorded, no escalation)
+  //   res > band·tol        excursion — mismatch, the ladder fires
+  // band == 1 collapses the middle zone and reproduces the pre-drift
+  // verdicts bit-for-bit.  NaN is always a mismatch, never "in band".
+  const double band = std::max(1.0, cfg_.guard.drift_band);
+  const auto note = [&check, band](double residual, double tol) {
     if (std::isnan(residual) || residual > check.worst_residual) {
       check.worst_residual = residual;
       check.tolerance = tol;
     }
-    if (std::isnan(residual) || residual > tol) check.ok = false;
+    if (std::isnan(residual) || residual > band * tol) {
+      check.ok = false;
+    } else if (residual > tol) {
+      check.drift_ratio = std::max(check.drift_ratio, residual / tol);
+    }
   };
   // Out-of-band lane bookkeeping for single-error correction: one bad
   // row lane × one bad column lane pinpoints the corrupted element.
+  // "Bad" is judged at the *outer* band edge, so lanes drifting inside
+  // the band cannot blur a hard strike's single-error signature.
   std::size_t bad_rows = 0, bad_cols = 0;
   std::size_t sec_row = 0, sec_col = 0;
   double row_delta = 0.0, col_delta = 0.0;
@@ -272,7 +374,7 @@ ptc::TileCheck GuardedBackend::run_tile(const ptc::Tile& tile, std::size_t t, co
       for (std::size_t p = 0; p < k; ++p) ref += xr[p] * ysum[p];
       const double res = rsum[i - tile.row0] - ref;
       note(std::abs(res), tol_row);
-      if (std::isnan(res) || std::abs(res) > tol_row) {
+      if (std::isnan(res) || std::abs(res) > band * tol_row) {
         ++bad_rows;
         sec_row = i;
         row_delta = res;
@@ -287,7 +389,7 @@ ptc::TileCheck GuardedBackend::run_tile(const ptc::Tile& tile, std::size_t t, co
     for (std::size_t p = 0; p < k; ++p) ref += xs[p] * yr[p];
     const double res = csum[j - tile.col0] - ref;
     note(std::abs(res), tol_col);
-    if (std::isnan(res) || std::abs(res) > tol_col) {
+    if (std::isnan(res) || std::abs(res) > band * tol_col) {
       ++bad_cols;
       sec_col = j;
       col_delta = res;
@@ -298,10 +400,14 @@ ptc::TileCheck GuardedBackend::run_tile(const ptc::Tile& tile, std::size_t t, co
   // accumulator error, so when they agree (within both bands) the
   // element at the intersection is corrected digitally and no escalation
   // rung fires.  Lane-class faults corrupt whole encode rows/columns and
-  // never present this signature, so they still escalate.
+  // never present this signature, so they still escalate.  The agreement
+  // window widens with the hysteresis band: a strike landing on lanes
+  // drifting mid-band sees each delta contaminated by up to band·tol of
+  // absorbed wander, and the correction may carry that much of it into
+  // the element — bounded by exactly the error the band already admits.
   if (!check.ok && cfg_.guard.sec_correction && !cfg_.guard.column_only && bad_rows == 1 &&
       bad_cols == 1 && std::isfinite(row_delta) && std::isfinite(col_delta) &&
-      std::abs(row_delta - col_delta) <= tol_row + tol_col) {
+      std::abs(row_delta - col_delta) <= band * (tol_row + tol_col)) {
     c(sec_row, sec_col) -= row_delta * rescale;
     check.ok = true;
     check.corrected = 1;
@@ -507,10 +613,44 @@ Matrix GuardedBackend::run_guarded(const Matrix& a, const Matrix& b,
   outcome.mismatched_tiles = bad.size();
   if (!bad.empty()) outcome.first_mismatch = bad.front();
 
+  // Aggregate the final verdicts' absorbed-drift evidence (re-runs
+  // overwrite their tile's check, so this reflects what the product
+  // actually returned).
+  const auto tally_drift = [&checks, &outcome] {
+    for (const ptc::TileCheck& check : checks) {
+      if (check.drift_ratio > 0.0) ++outcome.drift_tiles;
+      outcome.worst_drift_ratio = std::max(outcome.worst_drift_ratio, check.drift_ratio);
+    }
+  };
+
+  // Drift-evidence feed: one graded sample per product — the worst
+  // residual/tolerance ratio of the initial pass — attributed to every
+  // lane the packing used (one residual cannot name the lane).  Clean
+  // products feed ratios ≪ 1 and decay the EWMA; in-band drift feeds
+  // (1, band]; excursions feed capped large ratios.
+  {
+    double ratio = 0.0;
+    for (const ptc::TileCheck& check : checks) {
+      if (std::isnan(check.worst_residual)) {
+        ratio = std::numeric_limits<double>::quiet_NaN();
+        break;
+      }
+      if (check.tolerance > 0.0) ratio = std::max(ratio, check.worst_residual / check.tolerance);
+    }
+    tracker_.observe_residual(implicated_lanes(pb->channels), ratio);
+  }
+
   // ---- escalation ladder -------------------------------------------
   EscalationState state;
   while (!bad.empty()) {
-    const GuardAction action = policy_.next(state);
+    // The windowed governor can veto the re-trim rung: the ladder then
+    // degrades past it (retry → fence) instead of stalling, and the veto
+    // is visible as a governed re-trim.
+    const bool retrim_ok = retrim_allowed();
+    const GuardAction action = policy_.next(state, retrim_ok);
+    if (!retrim_ok && policy_.next(state, true) == GuardAction::kRetrim) {
+      monitor_->record_governed_retrim();
+    }
     monitor_->record_action(action);
     if (action == GuardAction::kGiveUp) break;
 
@@ -524,6 +664,8 @@ Matrix GuardedBackend::run_guarded(const Matrix& a, const Matrix& b,
         const SelfTestReport report =
             run_self_test(bank_, implicated_lanes(pb->channels), policy_.config().self_test);
         monitor_->record_self_test(report);
+        observe_probes(report);
+        note_retrim();
         recalibrate();  // post-self-test lane state is trusted
         repacked = true;
         break;
@@ -544,6 +686,7 @@ Matrix GuardedBackend::run_guarded(const Matrix& a, const Matrix& b,
         // Every channel fenced mid-recovery: the accelerator is offline.
         // Zero result, mirroring DegradedBackend's outage contract.
         monitor_->record_action(GuardAction::kGiveUp);
+        tally_drift();
         monitor_->record_product(outcome);
         return Matrix(m, n);
       }
@@ -587,6 +730,7 @@ Matrix GuardedBackend::run_guarded(const Matrix& a, const Matrix& b,
     bad = std::move(still_bad);
   }
 
+  tally_drift();
   monitor_->record_product(outcome);
   return c;
 }

@@ -44,6 +44,7 @@
 #include <vector>
 
 #include "common/thread_pool.hpp"
+#include "faults/drift_tracker.hpp"
 #include "faults/escalation.hpp"
 #include "faults/fault_injector.hpp"
 #include "faults/health_monitor.hpp"
@@ -68,8 +69,14 @@ struct GuardedBackendConfig {
   /// Checksum guard band; `enabled` is forced on (that is the point of
   /// this backend).  Leave noise_sigma 0 on the deterministic lane path.
   ptc::GuardConfig guard{};
-  /// Recovery ladder bounds + the targeted self-test's BIST config.
+  /// Recovery ladder bounds + the targeted self-test's BIST config —
+  /// including the drift-hysteresis governor knobs (proactive_retrim,
+  /// retrim_cooldown_products, window_retrims/window_products).
   EscalationConfig escalation{};
+  /// Per-lane EWMA drift estimation (drift_tracker.hpp): thresholds for
+  /// the clean / drifting / excursion classification the proactive
+  /// re-trim rung and the serving quarantine policy read.
+  DriftTrackerConfig drift{};
   /// Serve the product-level CURRENT-state encodes (prepare_b, encode_a)
   /// from an epoch-keyed coefficient table (lane_table.hpp) instead of
   /// evaluating lane models per element.  Bit-identical either way.
@@ -152,6 +159,14 @@ class GuardedBackend final : public nn::GemmBackend {
   /// storm-bench hook for the SEC-correction path).
   void inject_dot_upset(DotUpset upset) { pending_upsets_.push_back(upset); }
 
+  /// Unconditional targeted re-trim: self-test every surviving lane,
+  /// re-snapshot golden, reset the drift tracker.  The serving pool's
+  /// probation path calls this when a canary probe comes back unclean —
+  /// recovery runs off the serving path, so it deliberately bypasses the
+  /// cooldown and window governor (it still burns honest probe charges
+  /// into the monitor, and counts as a re-trim).
+  void force_retrim();
+
   /// Swap the recovery ladder's bounds at runtime — the serving layer's
   /// re-trim budget throttles a backend by handing it a ladder with
   /// max_retrims = 0 until the budget refills.
@@ -165,8 +180,32 @@ class GuardedBackend final : public nn::GemmBackend {
   [[nodiscard]] HealthMonitor& monitor() { return *monitor_; }
   [[nodiscard]] const EscalationPolicy& policy() const { return policy_; }
   [[nodiscard]] const GuardedBackendConfig& config() const { return cfg_; }
+  [[nodiscard]] const DriftTracker& drift() const { return tracker_; }
+  [[nodiscard]] DriftTracker& drift() { return tracker_; }
+  /// Guarded products run (the governor's product clock).
+  [[nodiscard]] std::size_t products_run() const { return products_run_; }
 
  private:
+  /// Per-product governor bookkeeping at matmul entry: advance the
+  /// product clock, roll the re-trim window at its exact boundary, and
+  /// fire the proactive re-trim when the drift tracker reports an
+  /// excursion and the cooldown + window allow it.
+  void product_entry();
+  void maybe_proactive_retrim();
+  /// Roll window_start_product_ forward by whole window lengths so the
+  /// budget resets exactly at boundary multiples.
+  void roll_retrim_window();
+  /// Windowed governor verdict: may a re-trim (ladder or proactive) be
+  /// spent right now?
+  [[nodiscard]] bool retrim_allowed() const;
+  /// Debit one re-trim against the window and start the cooldown dwell.
+  void note_retrim();
+  /// Feed per-lane screen errors into the drift tracker as over-budget
+  /// excess — before recalibrate() resets the levels, so the samples are
+  /// at least counted (snapshot telemetry) and detect-only self-tests
+  /// leave graded evidence behind.
+  void observe_probes(const SelfTestReport& report);
+
   [[nodiscard]] std::vector<std::size_t> surviving_channels() const;
   [[nodiscard]] double golden_encode(std::size_t rail, std::size_t channel, double r) const;
 
@@ -252,6 +291,17 @@ class GuardedBackend final : public nn::GemmBackend {
   FaultInjector* storm_{nullptr};
   std::uint64_t storm_steps_per_tile_{0};
   std::uint64_t storm_clock_{0};
+
+  /// Per-lane EWMA drift levels (DESIGN.md §16); reset at every trusted
+  /// recalibration point alongside the golden snapshot.
+  DriftTracker tracker_;
+  // Re-trim governor state (survives set_escalation ladder swaps — the
+  // serving clamp changes bounds, not history).
+  std::size_t products_run_{0};
+  std::size_t window_start_product_{0};
+  std::size_t window_retrims_spent_{0};
+  std::size_t last_retrim_product_{0};
+  bool retrimmed_ever_{false};
 };
 
 }  // namespace pdac::faults

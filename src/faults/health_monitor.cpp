@@ -21,6 +21,19 @@ void HealthMonitor::record_product(const ptc::GuardOutcome& outcome) {
     snap_.worst_residual = outcome.worst_residual;
     snap_.worst_tolerance = outcome.worst_tolerance;
   }
+  snap_.drift_tiles += outcome.drift_tiles;
+  if (outcome.drift_tiles > 0) ++snap_.drift_products;
+  snap_.worst_drift_ratio = std::max(snap_.worst_drift_ratio, outcome.worst_drift_ratio);
+}
+
+void HealthMonitor::record_proactive_retrim() {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++snap_.proactive_retrims;
+}
+
+void HealthMonitor::record_governed_retrim() {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++snap_.governed_retrims;
 }
 
 void HealthMonitor::record_action(GuardAction action) {

@@ -42,6 +42,18 @@ struct HealthSnapshot {
   std::size_t retrims{0};
   std::size_t fences{0};            ///< degraded re-runs taken
   std::size_t unrecovered{0};       ///< products returned best-effort
+  /// Tiles whose verdict absorbed in-band drift (GuardConfig::drift_band)
+  /// and products containing at least one such tile — watched wander, no
+  /// rung spent (DESIGN.md §16).
+  std::size_t drift_tiles{0};
+  std::size_t drift_products{0};
+  double worst_drift_ratio{0.0};    ///< largest absorbed residual/tolerance
+  /// Re-trims fired at product entry by the drift tracker's excursion
+  /// signal (counted inside `retrims` too — this splits out the cause).
+  std::size_t proactive_retrims{0};
+  /// Re-trims the ladder or the proactive rung *wanted* but the windowed
+  /// governor (EscalationConfig::window_retrims) refused.
+  std::size_t governed_retrims{0};
   std::size_t probe_events{0};      ///< self-test probes burned by escalation
   /// Σ over detecting products of (first mismatched tile index + 1):
   /// how many tiles were scanned before corruption surfaced.
@@ -103,6 +115,13 @@ class HealthMonitor {
 
   /// Attribute a mismatch to one flat lane (fence-rung divergence).
   void record_implicated_lane(std::size_t lane);
+
+  /// Mark the most recent re-trim as proactively fired by the drift
+  /// tracker (call right after record_action(kRetrim)).
+  void record_proactive_retrim();
+
+  /// A re-trim request the windowed governor refused.
+  void record_governed_retrim();
 
   /// Replace the action listener (empty = none).  Not synchronized
   /// against in-flight record_action calls — install before sharing the

@@ -83,6 +83,19 @@ struct GuardConfig {
   /// corrected digitally from the checksum residual — no escalation rung
   /// fires.  Ignored under column_only (no row lanes to intersect).
   bool sec_correction{true};
+  /// Hysteresis band for continuous drift (DESIGN.md §16): a residual in
+  /// (tolerance, drift_band·tolerance] is *absorbed* — recorded as a
+  /// drift observation (TileCheck::drift_ratio, GuardOutcome::
+  /// drift_tiles, the faults::DriftTracker feed) but not counted as a
+  /// mismatch, so no escalation rung fires for sub-accuracy wander.
+  /// Only residuals beyond drift_band·tolerance (and NaNs, always) are
+  /// excursions that mismatch.  The band is the explicit degraded-
+  /// quality-vs-recovery-energy knob: output corruption it can admit is
+  /// bounded by drift_band·tolerance — still reassociation-scale for
+  /// the defaults, orders of magnitude under accuracy-relevant error.
+  /// 1.0 (the default) collapses the band and reproduces the pre-drift
+  /// verdicts bit-for-bit.  Values < 1 read as 1.
+  double drift_band{1.0};
 };
 
 /// Tolerance band for one checksum comparison: `fan` digitized dot
@@ -110,6 +123,11 @@ struct TileCheck {
   /// Elements repaired in place by single-error correction; a corrected
   /// tile reads ok (its residual stays recorded for diagnostics).
   std::size_t corrected{0};
+  /// Worst residual/tolerance ratio of the comparisons that landed in
+  /// the hysteresis band (GuardConfig::drift_band) — in (1, drift_band].
+  /// 0 when every comparison was inside the base tolerance.  A tile with
+  /// drift_ratio > 0 and ok == true was absorbed, not escalated.
+  double drift_ratio{0.0};
 };
 
 /// Aggregated guard outcome of one product (GemmResult::guard).  The
@@ -129,6 +147,11 @@ struct GuardOutcome {
   /// Tiles repaired in place by single-error correction: detected, not
   /// counted as mismatched (no recovery rung ran).
   std::size_t tiles_corrected{0};
+  /// Tiles whose final verdict absorbed at least one in-band drift
+  /// comparison (TileCheck::drift_ratio > 0): watched, not escalated.
+  std::size_t drift_tiles{0};
+  /// Largest absorbed residual/tolerance ratio across the product.
+  double worst_drift_ratio{0.0};
   /// Checksum-lane charge: per H×W tile step one extra A row and one
   /// extra B column are modulated (2·k events), the H+W checksum lane
   /// outputs are digitized and their DDots reduced; the lanes ride a

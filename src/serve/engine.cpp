@@ -213,11 +213,17 @@ ServingReport ServingEngine::run(const std::vector<Request>& requests) {
       rep.records[q].admitted_at = now;
     }
 
+    // 1b. Quarantine housekeeping: probation triggers and due canary
+    //     probes run before placement sees the scores, so a backend that
+    //     just crossed its drift threshold takes no further work.
+    pool_.tick(now);
+
     // 2. Placement: health-proportional batch caps over the free slots.
+    //    Quarantined slots score 0 — probation means no serving work.
     double best_score = 0.0;
     std::vector<double> score(pool_n, 0.0);
     for (std::size_t b = 0; b < pool_n; ++b) {
-      score[b] = pool_.health_score(b);
+      score[b] = pool_.in_rotation(b) ? pool_.health_score(b) : 0.0;
       best_score = std::max(best_score, score[b]);
     }
 
@@ -299,6 +305,10 @@ ServingReport ServingEngine::run(const std::vector<Request>& requests) {
     for (std::size_t b = 0; b < pool_n; ++b) {
       if (busy[b] > now) next = std::min(next, busy[b]);
     }
+    // Pending canary probes are events too: a fully-quarantined pool
+    // waits for its probes (and the readmission they can earn) instead
+    // of failing the queue.
+    next = std::min(next, pool_.next_probe_at());
     if (next != kNever && next > now) {
       now = next;
     } else if (!dispatched) {
@@ -313,12 +323,17 @@ ServingReport ServingEngine::run(const std::vector<Request>& requests) {
 
   PDAC_REQUIRE(rep.reconciled(n), "ServingEngine: verdicts failed to reconcile");
   rep.throttled_products = pool_.throttled_products();
+  rep.quarantines = pool_.quarantines();
+  rep.readmissions = pool_.readmissions();
+  rep.canary_probes = pool_.canary_probes();
   for (std::size_t b = 0; b < pool_n; ++b) {
     BackendServeStats& bs = rep.backends[b];
     bs.alive = pool_.alive(b);
+    bs.quarantined = pool_.quarantined(b);
     bs.final_health = pool_.health_score(b);
     bs.events = pool_.backend(b).events();
     bs.health = pool_.backend(b).monitor().snapshot();
+    bs.drift = pool_.backend(b).drift().snapshot();
   }
   return rep;
 }

@@ -65,9 +65,11 @@ struct BackendServeStats {
   std::size_t tokens{0};
   std::uint64_t busy_cycles{0};
   bool alive{true};
+  bool quarantined{false};           ///< still in probation at run end
   double final_health{0.0};
   ptc::EventCounter events;          ///< data-path events (incl. recovery re-runs)
   faults::HealthSnapshot health;     ///< final monitor snapshot
+  faults::DriftSnapshot drift;       ///< final drift-tracker snapshot
 };
 
 struct ServingReport {
@@ -80,6 +82,10 @@ struct ServingReport {
   std::uint64_t makespan{0};       ///< last terminal verdict [cycles]
   std::size_t products{0};
   std::size_t throttled_products{0};  ///< run with a clamped (no-re-trim) ladder
+  /// Quarantine/readmission activity (BackendPool::tick, DESIGN.md §16).
+  std::size_t quarantines{0};
+  std::size_t readmissions{0};
+  std::size_t canary_probes{0};
   /// Inter-token gaps (first gap is measured from arrival) [cycles].
   std::vector<std::uint64_t> token_gaps;
   /// Arrival → completion latency of completed requests [cycles].

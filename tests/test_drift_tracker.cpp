@@ -1,0 +1,175 @@
+// Tests for the per-lane EWMA drift tracker (faults/drift_tracker.hpp):
+// the graded signal behind the hysteresis recovery policy (DESIGN.md
+// §16).  Pure state-machine tests — classification thresholds, sample
+// clamping, the reset-at-recalibration contract, and the cumulative
+// telemetry counters.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/require.hpp"
+#include "faults/drift_tracker.hpp"
+
+namespace {
+
+using namespace pdac;
+using faults::DriftSnapshot;
+using faults::DriftState;
+using faults::DriftTracker;
+using faults::DriftTrackerConfig;
+
+TEST(DriftTracker, StartsCleanWithZeroLevels) {
+  DriftTracker t;
+  t.resize(4);
+  ASSERT_EQ(t.lanes(), 4u);
+  for (std::size_t lane = 0; lane < 4; ++lane) {
+    EXPECT_EQ(t.level(lane), 0.0);
+    EXPECT_EQ(t.state(lane), DriftState::kClean);
+  }
+  EXPECT_FALSE(t.any_excursion());
+  const DriftSnapshot snap = t.snapshot();
+  EXPECT_EQ(snap.lanes, 4u);
+  EXPECT_EQ(snap.clean, 4u);
+  EXPECT_EQ(snap.drifting, 0u);
+  EXPECT_EQ(snap.excursions, 0u);
+  EXPECT_EQ(snap.worst_level, 0.0);
+  EXPECT_EQ(snap.residual_samples, 0u);
+  EXPECT_EQ(snap.probe_samples, 0u);
+}
+
+TEST(DriftTracker, EwmaFoldsTowardTheSampleAtAlpha) {
+  DriftTracker t;  // alpha 0.25
+  t.resize(2);
+  t.observe_residual({0}, 2.0);
+  EXPECT_DOUBLE_EQ(t.level(0), 0.5);   // 0.75·0 + 0.25·2
+  EXPECT_EQ(t.level(1), 0.0);          // untouched lane stays clean
+  t.observe_residual({0}, 2.0);
+  EXPECT_DOUBLE_EQ(t.level(0), 0.75 * 0.5 + 0.25 * 2.0);
+  // A sustained constant ratio converges to it: the EWMA is a level
+  // estimator, not an integrator.
+  for (int i = 0; i < 64; ++i) t.observe_residual({0}, 2.0);
+  EXPECT_NEAR(t.level(0), 2.0, 1e-6);
+}
+
+TEST(DriftTracker, ClassificationThresholdsAreHalfOpen) {
+  // state() reads:  level < drift_level → clean;  level < excursion_level
+  // → drifting;  otherwise excursion.  Drive the level to each boundary
+  // with alpha = 1 so one observation IS the level.
+  DriftTrackerConfig cfg;
+  cfg.alpha = 1.0;
+  cfg.drift_level = 0.5;
+  cfg.excursion_level = 3.0;
+  DriftTracker t(cfg);
+  t.observe_residual({0}, 0.49999);
+  EXPECT_EQ(t.state(0), DriftState::kClean);
+  t.observe_residual({0}, 0.5);  // exactly at drift_level: no longer clean
+  EXPECT_EQ(t.state(0), DriftState::kDrifting);
+  t.observe_residual({0}, 2.999);
+  EXPECT_EQ(t.state(0), DriftState::kDrifting);
+  t.observe_residual({0}, 3.0);  // exactly at excursion_level: excursion
+  EXPECT_EQ(t.state(0), DriftState::kExcursion);
+  EXPECT_TRUE(t.any_excursion());
+  EXPECT_EQ(t.excursion_lanes(), 1u);
+}
+
+TEST(DriftTracker, SamplesClampToCapAndNanIsMaximalEvidence) {
+  DriftTracker t;  // sample_cap 64, alpha 0.25
+  t.resize(2);
+  // A wild-but-finite residual folds the cap, not the raw value …
+  t.observe_residual({0}, 1e12);
+  EXPECT_DOUBLE_EQ(t.level(0), 0.25 * 64.0);
+  // … and NaN (a dead PD can NaN a residual) counts as the cap too —
+  // silently dropping it would hide the most broken lanes.
+  t.observe_residual({1}, std::numeric_limits<double>::quiet_NaN());
+  EXPECT_DOUBLE_EQ(t.level(1), 0.25 * 64.0);
+  EXPECT_EQ(t.state(1), DriftState::kExcursion);
+  // Negative samples clamp at zero instead of pulling the level down.
+  DriftTracker neg;
+  neg.observe_residual({0}, 5.0);
+  const double before = neg.level(0);
+  neg.observe_residual({0}, -100.0);
+  EXPECT_DOUBLE_EQ(neg.level(0), 0.75 * before);
+}
+
+TEST(DriftTracker, ResetClearsLevelsButKeepsSampleTelemetry) {
+  DriftTracker t;
+  t.observe_residual({0, 1}, 10.0);
+  t.observe_probe(2, 4.0);
+  ASSERT_GT(t.level(0), 0.0);
+  ASSERT_GT(t.level(2), 0.0);
+  t.reset();
+  for (std::size_t lane = 0; lane < t.lanes(); ++lane) {
+    EXPECT_EQ(t.level(lane), 0.0);
+    EXPECT_EQ(t.state(lane), DriftState::kClean);
+  }
+  // The cumulative counters are telemetry (how much evidence ever fed
+  // the tracker), not state — recalibration must not erase them.
+  const DriftSnapshot snap = t.snapshot();
+  EXPECT_EQ(snap.residual_samples, 1u);
+  EXPECT_EQ(snap.probe_samples, 1u);
+}
+
+TEST(DriftTracker, ResidualLandsOnEveryImplicatedLaneProbeOnOne) {
+  DriftTracker t;
+  t.resize(4);
+  // One residual cannot name the lane: it lands on every implicated one
+  // but counts as a single sample.
+  t.observe_residual({0, 2, 3}, 4.0);
+  EXPECT_DOUBLE_EQ(t.level(0), 1.0);
+  EXPECT_EQ(t.level(1), 0.0);
+  EXPECT_DOUBLE_EQ(t.level(2), 1.0);
+  EXPECT_DOUBLE_EQ(t.level(3), 1.0);
+  EXPECT_EQ(t.snapshot().residual_samples, 1u);
+  // A probe sample is per-lane evidence.
+  t.observe_probe(1, 8.0);
+  EXPECT_DOUBLE_EQ(t.level(1), 2.0);
+  EXPECT_EQ(t.snapshot().probe_samples, 1u);
+}
+
+TEST(DriftTracker, OutOfRangeObservationGrowsTheTracker) {
+  DriftTracker t;
+  EXPECT_EQ(t.lanes(), 0u);
+  t.observe_probe(5, 1.0);
+  EXPECT_EQ(t.lanes(), 6u);
+  EXPECT_DOUBLE_EQ(t.level(5), 0.25);
+  // resize() preserves existing levels and reading past the end is a
+  // clean zero, never UB.
+  t.resize(8);
+  EXPECT_DOUBLE_EQ(t.level(5), 0.25);
+  EXPECT_EQ(t.level(7), 0.0);
+  EXPECT_EQ(t.level(100), 0.0);
+  EXPECT_EQ(t.state(100), DriftState::kClean);
+}
+
+TEST(DriftTracker, SnapshotCountsEveryClass) {
+  DriftTrackerConfig cfg;
+  cfg.alpha = 1.0;
+  DriftTracker t(cfg);
+  t.resize(3);
+  t.observe_residual({1}, 1.0);   // drifting
+  t.observe_residual({2}, 10.0);  // excursion
+  const DriftSnapshot snap = t.snapshot();
+  EXPECT_EQ(snap.clean, 1u);
+  EXPECT_EQ(snap.drifting, 1u);
+  EXPECT_EQ(snap.excursions, 1u);
+  EXPECT_DOUBLE_EQ(snap.worst_level, 10.0);
+  EXPECT_EQ(faults::to_string(t.state(0)), "clean");
+  EXPECT_EQ(faults::to_string(t.state(1)), "drifting");
+  EXPECT_EQ(faults::to_string(t.state(2)), "excursion");
+}
+
+TEST(DriftTracker, ConfigPreconditionsAreEnforced) {
+  DriftTrackerConfig bad_alpha;
+  bad_alpha.alpha = 0.0;
+  EXPECT_THROW(DriftTracker{bad_alpha}, PreconditionError);
+  DriftTrackerConfig inverted;
+  inverted.drift_level = 3.0;
+  inverted.excursion_level = 0.5;
+  EXPECT_THROW(DriftTracker{inverted}, PreconditionError);
+  DriftTrackerConfig short_cap;
+  short_cap.sample_cap = 1.0;  // below excursion_level: excursions unreachable
+  EXPECT_THROW(DriftTracker{short_cap}, PreconditionError);
+}
+
+}  // namespace
