@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <span>
 #include <utility>
 
 #include "common/math_utils.hpp"
@@ -11,6 +12,21 @@
 #include "converters/quantizer.hpp"
 
 namespace pdac::faults {
+
+namespace {
+
+/// Raw running max-abs (the fold inside converters::max_abs_scale,
+/// without the all-zero → 1.0 collapse), so appended deltas can be
+/// checked against the exact bound the scale was derived from.  The fold
+/// ignores NaN on either side, so it is order-independent — b and bᵀ
+/// storage orders yield the same bits.
+double raw_abs_max(std::span<const double> values) {
+  double m = 0.0;
+  for (const double v : values) m = std::max(m, std::abs(v));
+  return m;
+}
+
+}  // namespace
 
 ptc::ExecutionPath auto_execution_path(const LaneBank& bank) {
   LaneEncodeTable table;
@@ -26,6 +42,7 @@ GuardedBackend::GuardedBackend(LaneBank& bank, GuardedBackendConfig cfg,
       cfg_(cfg),
       pool_(std::make_unique<ThreadPool>(cfg.threads)),
       cache_(cfg.cache),
+      kv_cache_(cfg.kv_cache),
       policy_(cfg.escalation),
       tracker_(cfg.drift) {
   PDAC_REQUIRE(cfg_.array_rows >= 1 && cfg_.array_cols >= 1,
@@ -185,20 +202,29 @@ std::vector<std::size_t> GuardedBackend::implicated_lanes(
 
 ptc::PreparedOperand GuardedBackend::prepare_b(const Matrix& b,
                                                std::vector<std::size_t> channels) const {
+  return prepare_b_src(BSource{&b, nullptr}, std::move(channels));
+}
+
+ptc::PreparedOperand GuardedBackend::prepare_b_src(const BSource& bsrc,
+                                                   std::vector<std::size_t> channels) const {
+  // Stage Bᵀ normalized whichever orientation the caller holds: the max
+  // fold is order-independent and transposition only reorders the same
+  // doubles, so both routes are bit-identical to prepare_b of B.
+  Matrix bt = bsrc.bt != nullptr ? *bsrc.bt : bsrc.b->transposed();
   ptc::PreparedOperand pb;
-  pb.rows = b.rows();
-  pb.cols = b.cols();
-  pb.scale = converters::max_abs_scale(b.data());
+  pb.rows = bt.cols();
+  pb.cols = bt.rows();
+  pb.abs_max = raw_abs_max(bt.data());
+  pb.scale = pb.abs_max > 0.0 ? pb.abs_max : 1.0;
   pb.epoch = bank_.epoch();
   pb.channels = std::move(channels);
 
-  const std::size_t k = b.rows();
+  const std::size_t k = pb.rows;
   const std::size_t nl = pb.channels.size();
 
   // Dual encode: data through the lanes' CURRENT state, references
   // through the GOLDEN snapshot.  On healthy hardware the two LUTs are
   // bit-identical, so the guard's clean residual is pure reassociation.
-  Matrix bt = b.transposed();
   for (double& v : bt.data()) v /= pb.scale;
   pb.encoded = Matrix(bt.rows(), k);
   pb.reference = Matrix(bt.rows(), k);
@@ -266,12 +292,189 @@ std::shared_ptr<const ptc::PreparedOperand> GuardedBackend::obtain_b(
   return pb;
 }
 
+bool GuardedBackend::append_kv_cols(ptc::PreparedOperand& pb, const Matrix& kv) const {
+  // kv = Bᵀ source (n × k): rows [pb.cols, kv.rows()) are the new output
+  // columns.  This axis never pads, so every matrix must sit exactly at
+  // the logical shape; any structural surprise means the entry is not
+  // ours to extend.
+  if (pb.rows == 0 || pb.rows != kv.cols() || pb.cols > kv.rows()) return false;
+  const std::size_t k = pb.rows;
+  const std::size_t old_n = pb.cols;
+  const std::size_t new_n = kv.rows();
+  if (pb.encoded.rows() != old_n || pb.encoded.cols() != k) return false;
+  if (pb.reference.rows() != old_n || pb.reference.cols() != k) return false;
+  const bool quant = quant_live();
+  if (quant) {
+    if (pb.qcodes.rows() != old_n || pb.qcodes.cols() != k) return false;
+  } else if (pb.qcodes.size() > 0) {
+    return false;
+  }
+  const std::size_t old_stripes = (old_n + cfg_.array_cols - 1) / cfg_.array_cols;
+  if (cfg_.guard.column_only) {
+    if (pb.checksum.size() > 0) return false;
+  } else {
+    if (pb.checksum_stripe != cfg_.array_cols || pb.checksum.rows() != old_stripes ||
+        pb.checksum.cols() != k) {
+      return false;
+    }
+  }
+  if (new_n == old_n) return true;
+  // Scale stability: the resident scale must still bound the delta, or
+  // every already-encoded element would renormalize — a rebuild.
+  // `!(dmax <= abs_max)` keeps NaN on the rebuild side.
+  double dmax = 0.0;
+  for (std::size_t j = old_n; j < new_n; ++j) {
+    dmax = std::max(dmax, raw_abs_max(kv.row(j)));
+  }
+  if (!(dmax <= pb.abs_max)) return false;
+
+  const std::size_t nl = pb.channels.size();
+  pb.encoded.resize(new_n, k);
+  pb.reference.resize(new_n, k);
+  if (quant) pb.qcodes.resize(new_n, k);
+  for (std::size_t j = old_n; j < new_n; ++j) {
+    const auto src = kv.row(j);
+    auto cur = pb.encoded.row(j);
+    auto gold = pb.reference.row(j);
+    for (std::size_t p = 0; p < k; ++p) {
+      const double v = src[p] / pb.scale;
+      const std::size_t ch = pb.channels[p % nl];
+      cur[p] = encode_current(1, ch, v);
+      gold[p] = golden_encode(1, ch, v);
+    }
+    if (quant) {
+      auto qrow = pb.qcodes.row(j);
+      for (std::size_t p = 0; p < k; ++p) {
+        qrow[p] = table_.encode_code(1, pb.channels[p % nl], src[p] / pb.scale);
+      }
+    }
+  }
+  if (!cfg_.guard.column_only) {
+    // Continue the running stripe sums in the same ascending-j order a
+    // fresh prepare uses, so the accumulated doubles match bitwise.
+    const std::size_t new_stripes = (new_n + cfg_.array_cols - 1) / cfg_.array_cols;
+    pb.checksum.resize(new_stripes, k);
+    for (std::size_t s = old_stripes; s < new_stripes; ++s) {
+      const auto row = pb.checksum.row(s);
+      for (std::size_t p = 0; p < k; ++p) row[p] = 0.0;
+    }
+    for (std::size_t j = old_n; j < new_n; ++j) {
+      const auto src = pb.reference.row(j);
+      const auto dst = pb.checksum.row(j / cfg_.array_cols);
+      for (std::size_t p = 0; p < k; ++p) dst[p] += src[p];
+    }
+  }
+  pb.cols = new_n;
+  return true;
+}
+
+bool GuardedBackend::append_kv_rows(ptc::PreparedOperand& pb, const Matrix& kv) const {
+  // kv = B source (k × n): rows [pb.rows, kv.rows()) extend the
+  // reduction axis — one new COLUMN of every encoded/reference/checksum
+  // row, written into geometrically padded column capacity (the physical
+  // matrices may be wider than pb.rows; consumers read spans bounded by
+  // the logical k).
+  if (pb.cols == 0 || pb.cols != kv.cols() || pb.rows > kv.rows()) return false;
+  const std::size_t n = pb.cols;
+  const std::size_t old_k = pb.rows;
+  const std::size_t new_k = kv.rows();
+  if (pb.encoded.rows() != n || pb.encoded.cols() < old_k) return false;
+  if (pb.reference.rows() != n || pb.reference.cols() != pb.encoded.cols()) return false;
+  const bool quant = quant_live();
+  if (quant) {
+    if (pb.qcodes.rows() != n || pb.qcodes.cols() != pb.encoded.cols()) return false;
+  } else if (pb.qcodes.size() > 0) {
+    return false;
+  }
+  const std::size_t stripes = (n + cfg_.array_cols - 1) / cfg_.array_cols;
+  if (cfg_.guard.column_only) {
+    if (pb.checksum.size() > 0) return false;
+  } else {
+    if (pb.checksum_stripe != cfg_.array_cols || pb.checksum.rows() != stripes ||
+        pb.checksum.cols() != pb.encoded.cols()) {
+      return false;
+    }
+  }
+  if (new_k == old_k) return true;
+  double dmax = 0.0;
+  for (std::size_t r = old_k; r < new_k; ++r) {
+    dmax = std::max(dmax, raw_abs_max(kv.row(r)));
+  }
+  if (!(dmax <= pb.abs_max)) return false;
+
+  const std::size_t nl = pb.channels.size();
+  ptc::grow_col_capacity(pb.encoded, new_k);
+  ptc::grow_col_capacity(pb.reference, new_k);
+  if (quant) ptc::grow_col_capacity(pb.qcodes, new_k);
+  for (std::size_t j = 0; j < n; ++j) {
+    const auto cur = pb.encoded.row(j);
+    const auto gold = pb.reference.row(j);
+    for (std::size_t p = old_k; p < new_k; ++p) {
+      const double v = kv(p, j) / pb.scale;
+      // Channel packing is a function of the absolute reduction
+      // position p, so appended positions pack exactly as a fresh
+      // prepare would pack them.
+      const std::size_t ch = pb.channels[p % nl];
+      cur[p] = encode_current(1, ch, v);
+      gold[p] = golden_encode(1, ch, v);
+    }
+    if (quant) {
+      const auto qrow = pb.qcodes.row(j);
+      for (std::size_t p = old_k; p < new_k; ++p) {
+        qrow[p] = table_.encode_code(1, pb.channels[p % nl], kv(p, j) / pb.scale);
+      }
+    }
+  }
+  if (!cfg_.guard.column_only) {
+    ptc::grow_col_capacity(pb.checksum, new_k);
+    // Fresh stripe positions start from exact zero (capacity padding is
+    // unspecified), then accumulate in the fresh prepare's ascending-j
+    // order.
+    for (std::size_t s = 0; s < stripes; ++s) {
+      const auto row = pb.checksum.row(s);
+      for (std::size_t p = old_k; p < new_k; ++p) row[p] = 0.0;
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+      const auto src = pb.reference.row(j);
+      const auto dst = pb.checksum.row(j / cfg_.array_cols);
+      for (std::size_t p = old_k; p < new_k; ++p) dst[p] += src[p];
+    }
+  }
+  pb.rows = new_k;
+  return true;
+}
+
+std::shared_ptr<const ptc::PreparedOperand> GuardedBackend::obtain_kv(
+    const BSource& src, const nn::KvHandle& handle) {
+  std::vector<std::size_t> channels = surviving_channels();
+  std::shared_ptr<ptc::PreparedOperand> pb = kv_cache_.lookup(handle.id);
+  if (pb != nullptr) {
+    // Epoch + packing must both hold (the same belt-and-braces pair as
+    // obtain_b): any re-trim, fence, or repack since the entry was
+    // stamped means its encodings and golden references describe a bank
+    // that no longer exists — appends must not bridge that.
+    const bool current = pb->epoch == bank_.epoch() && pb->channels == channels;
+    const bool appended =
+        current && (handle.axis == nn::KvAxis::kCols ? append_kv_cols(*pb, *src.bt)
+                                                     : append_kv_rows(*pb, *src.b));
+    if (appended) {
+      kv_cache_.record_append();
+      kv_cache_.updated(handle.id);
+      return pb;
+    }
+    kv_cache_.record_rebuild();
+  }
+  pb = std::make_shared<ptc::PreparedOperand>(prepare_b_src(src, std::move(channels)));
+  kv_cache_.insert(handle.id, pb);
+  return pb;
+}
+
 Matrix GuardedBackend::matmul(const Matrix& a, const Matrix& b) {
   PDAC_REQUIRE(a.cols() == b.rows(), "GuardedBackend: inner dimensions must agree");
   if (bank_.usable_channels() == 0) return Matrix(a.rows(), b.cols());
   product_entry();  // may re-trim (and bump the epoch) before obtain_b
   if (cfg_.use_lane_table) table_.ensure(bank_);
-  return run_guarded(a, b, obtain_b(b, nullptr), nullptr);
+  return run_guarded(a, BSource{&b, nullptr}, obtain_b(b, nullptr), nullptr);
 }
 
 Matrix GuardedBackend::matmul_cached(const Matrix& a, const Matrix& b,
@@ -280,7 +483,25 @@ Matrix GuardedBackend::matmul_cached(const Matrix& a, const Matrix& b,
   if (bank_.usable_channels() == 0) return Matrix(a.rows(), b.cols());
   product_entry();
   if (cfg_.use_lane_table) table_.ensure(bank_);
-  return run_guarded(a, b, obtain_b(b, &weight), &weight);
+  return run_guarded(a, BSource{&b, nullptr}, obtain_b(b, &weight), &weight);
+}
+
+Matrix GuardedBackend::matmul_kv(const Matrix& a, const Matrix& kv,
+                                 const nn::KvHandle& handle) {
+  const bool cols_axis = handle.axis == nn::KvAxis::kCols;
+  PDAC_REQUIRE(a.cols() == (cols_axis ? kv.cols() : kv.rows()),
+               "GuardedBackend: inner dimensions must agree");
+  const std::size_t n = cols_axis ? kv.rows() : kv.cols();
+  if (bank_.usable_channels() == 0) return Matrix(a.rows(), n);
+  product_entry();
+  if (cfg_.use_lane_table) table_.ensure(bank_);
+  BSource src;
+  if (cols_axis) {
+    src.bt = &kv;  // the history IS Bᵀ — no transposed copy
+  } else {
+    src.b = &kv;
+  }
+  return run_guarded(a, src, obtain_kv(src, handle), nullptr, &handle);
 }
 
 ptc::TileCheck GuardedBackend::run_tile(const ptc::Tile& tile, std::size_t t, const Matrix& ae,
@@ -295,7 +516,11 @@ ptc::TileCheck GuardedBackend::run_tile(const ptc::Tile& tile, std::size_t t, co
   // B data — the caller certifies that by passing `qae`; `&bdata ==
   // &pb.encoded` re-checks the B side.  Checksum references below always
   // stay double-precision golden dots, whatever the data tier.
-  const bool quant_tile = qae != nullptr && pb.qcodes.cols() == k &&
+  // `>= k` + physical-shape mirror rather than `== k`: rows-axis KV
+  // appends pad the column capacity, and the dots below take k
+  // explicitly, so the padded tail is never read.
+  const bool quant_tile = qae != nullptr && pb.qcodes.cols() >= k &&
+                          pb.qcodes.cols() == pb.encoded.cols() &&
                           pb.qcodes.rows() == pb.encoded.rows() && &bdata == &pb.encoded;
   const bool simd_tile = !quant_tile && cfg_.path != ptc::ExecutionPath::kKernel;
   const std::int32_t mc = bank_.quantizer().max_code();
@@ -463,9 +688,10 @@ ptc::EventCounter GuardedBackend::tile_events(const ptc::Tile& tile, std::size_t
   return ev;
 }
 
-Matrix GuardedBackend::run_guarded(const Matrix& a, const Matrix& b,
+Matrix GuardedBackend::run_guarded(const Matrix& a, const BSource& bsrc,
                                    std::shared_ptr<const ptc::PreparedOperand> pb,
-                                   const nn::WeightHandle* weight) {
+                                   const nn::WeightHandle* weight,
+                                   const nn::KvHandle* kv) {
   const std::size_t m = a.rows();
   const std::size_t k = a.cols();
   const std::size_t n = pb->cols;
@@ -482,7 +708,9 @@ Matrix GuardedBackend::run_guarded(const Matrix& a, const Matrix& b,
   const std::size_t row_stripes = (m + cfg_.array_rows - 1) / cfg_.array_rows;
   const auto encode_a = [&](const std::vector<std::size_t>& channels) {
     const std::size_t nl = channels.size();
-    const bool quant = quant_live() && pb->qcodes.cols() == k;
+    // qcodes may carry padded column capacity past the logical k
+    // (rows-axis KV appends) — `>=` certifies the staged prefix.
+    const bool quant = quant_live() && pb->qcodes.cols() >= k;
     if (quant) qae.resize(m, k);
     pool_->parallel_for(m, [&](std::size_t begin, std::size_t end, std::size_t) {
       for (std::size_t r = begin; r < end; ++r) {
@@ -531,7 +759,7 @@ Matrix GuardedBackend::run_guarded(const Matrix& a, const Matrix& b,
   Matrix bn;  // normalized B, lazily built for live re-encodes
   const auto ensure_bn = [&] {
     if (bn.size() != 0) return;
-    bn = b.transposed();
+    bn = bsrc.bt != nullptr ? *bsrc.bt : bsrc.b->transposed();
     for (double& v : bn.data()) v /= pb->scale;
   };
   const auto reencode_b_cols = [&](std::size_t col0, std::size_t cols,
@@ -696,8 +924,16 @@ Matrix GuardedBackend::run_guarded(const Matrix& a, const Matrix& b,
       // re-ensure the coefficient table first (we are between parallel
       // regions here).
       if (cfg_.use_lane_table) table_.ensure(bank_);
-      pb = std::make_shared<const ptc::PreparedOperand>(prepare_b(b, std::move(channels)));
-      if (weight != nullptr) cache_.insert(weight->id, weight->version, pb);
+      auto rebuilt =
+          std::make_shared<ptc::PreparedOperand>(prepare_b_src(bsrc, std::move(channels)));
+      if (weight != nullptr) cache_.insert(weight->id, weight->version, rebuilt);
+      if (kv != nullptr) {
+        // The resident KV entry described the pre-escalation bank; the
+        // next decode step appends onto this rebuilt one instead.
+        kv_cache_.insert(kv->id, rebuilt);
+        kv_cache_.record_rebuild();
+      }
+      pb = rebuilt;
       encode_a(pb->channels);
       be_live = Matrix();
       bn = Matrix();

@@ -66,6 +66,10 @@ struct GuardedBackendConfig {
   std::size_t threads{1};
   /// Weight-stationary operand cache for matmul_cached products.
   nn::OperandCacheConfig cache{};
+  /// KV-stationary prepared-operand cache for matmul_kv products
+  /// (DESIGN.md §17): per-sequence growing operands, appended in place
+  /// while the bank's epoch and packing hold, rebuilt otherwise.
+  nn::KvPreparedCacheConfig kv_cache{};
   /// Checksum guard band; `enabled` is forced on (that is the point of
   /// this backend).  Leave noise_sigma 0 on the deterministic lane path.
   ptc::GuardConfig guard{};
@@ -139,9 +143,23 @@ class GuardedBackend final : public nn::GemmBackend {
   [[nodiscard]] Matrix matmul_cached(const Matrix& a, const Matrix& b,
                                      const nn::WeightHandle& weight) override;
 
+  /// Guarded product against a GROWING operand (DESIGN.md §17).  While
+  /// the bank's epoch and channel packing hold, the resident prepared
+  /// operand (current + golden encodings, qcodes, checksum stripes) is
+  /// extended in place with just the new kv rows; an epoch bump — any
+  /// re-trim or fence — or a packing/scale/tier change forces a full
+  /// rebuild, so appends can never bridge a recalibration.  Outputs,
+  /// events, and guard verdicts are bit-identical to the unprepared
+  /// matmul at every length; an escalation mid-product rebuilds the
+  /// resident entry like matmul_cached refreshes the weight cache.
+  [[nodiscard]] Matrix matmul_kv(const Matrix& a, const Matrix& kv,
+                                 const nn::KvHandle& handle) override;
+  void release_kv(std::uint64_t id) override { kv_cache_.erase(id); }
+
   [[nodiscard]] std::string name() const override { return "photonic-guarded"; }
   [[nodiscard]] const nn::OperandCache* operand_cache() const override { return &cache_; }
   [[nodiscard]] nn::OperandCache& cache() { return cache_; }
+  [[nodiscard]] const nn::KvPreparedCache* kv_cache() const override { return &kv_cache_; }
 
   /// Re-snapshot the golden encode tables from the bank's current state.
   /// Call after any *trusted* recalibration (production trim, scheduled
@@ -214,21 +232,52 @@ class GuardedBackend final : public nn::GemmBackend {
   /// Bit-identical values either way.
   [[nodiscard]] double encode_current(std::size_t rail, std::size_t channel, double r) const;
 
-  /// Full guarded pipeline for one product (shared by both matmul
-  /// entry points); `pb` must have been prepared against the current
-  /// epoch/packing.
-  [[nodiscard]] Matrix run_guarded(const Matrix& a, const Matrix& b,
+  /// The B operand's source matrix in whichever orientation the caller
+  /// holds it: exactly one of `b` (B itself, k × n) or `bt` (Bᵀ, n × k —
+  /// the KV score path, where the history IS the transpose) is non-null.
+  /// run_guarded and the prepare/rebuild paths read through this so the
+  /// kv path never materializes a transposed copy of the history.
+  struct BSource {
+    const Matrix* b{nullptr};
+    const Matrix* bt{nullptr};
+  };
+
+  /// Full guarded pipeline for one product (shared by all matmul entry
+  /// points); `pb` must have been prepared against the current
+  /// epoch/packing.  `kv` (nullable) names the resident KV entry to
+  /// refresh should an escalation rung rebuild the operand.
+  [[nodiscard]] Matrix run_guarded(const Matrix& a, const BSource& src,
                                    std::shared_ptr<const ptc::PreparedOperand> pb,
-                                   const nn::WeightHandle* weight);
+                                   const nn::WeightHandle* weight,
+                                   const nn::KvHandle* kv = nullptr);
 
   /// Prepare B: current-state encoding (data), golden encoding
   /// (reference) and its checksum stripes, channel packing, epoch stamp.
   [[nodiscard]] ptc::PreparedOperand prepare_b(const Matrix& b,
                                                std::vector<std::size_t> channels) const;
+  /// Same pipeline reading through either orientation; bit-identical to
+  /// prepare_b of the equivalent B.
+  [[nodiscard]] ptc::PreparedOperand prepare_b_src(const BSource& src,
+                                                   std::vector<std::size_t> channels) const;
 
   /// Cache-aware prepare (nullptr weight = uncached).
   [[nodiscard]] std::shared_ptr<const ptc::PreparedOperand> obtain_b(
       const Matrix& b, const nn::WeightHandle* weight);
+
+  /// KV-cache-aware prepare: append to the resident entry when the
+  /// epoch/packing still hold and the engine-side preconditions pass,
+  /// rebuild (counted) otherwise.
+  [[nodiscard]] std::shared_ptr<const ptc::PreparedOperand> obtain_kv(
+      const BSource& src, const nn::KvHandle& handle);
+
+  /// Guarded in-place appends (DESIGN.md §17): dual-encode only the new
+  /// kv rows, extend qcodes when the quant tier is live, and continue
+  /// the golden checksum stripes in the exact fp order of a fresh
+  /// prepare.  kCols = new output columns (kv = Bᵀ source); kRows = the
+  /// reduction axis grows (kv = B), into padded column capacity.
+  /// Return false when the entry cannot be extended — caller rebuilds.
+  [[nodiscard]] bool append_kv_cols(ptc::PreparedOperand& pb, const Matrix& kv) const;
+  [[nodiscard]] bool append_kv_rows(ptc::PreparedOperand& pb, const Matrix& kv) const;
 
   /// True when the integer tier can serve this product right now:
   /// quant path requested, lane table enabled + fresh, every lane
@@ -274,6 +323,7 @@ class GuardedBackend final : public nn::GemmBackend {
   GuardedBackendConfig cfg_;
   std::unique_ptr<ThreadPool> pool_;
   nn::OperandCache cache_;
+  nn::KvPreparedCache kv_cache_;
   EscalationPolicy policy_;
   HealthMonitor own_monitor_;
   HealthMonitor* monitor_{&own_monitor_};  ///< shared fleet monitor when set

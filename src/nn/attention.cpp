@@ -25,13 +25,13 @@ void MultiHeadAttention::init_random(Rng& rng) {
   o_.init_random(rng);
 }
 
-Matrix MultiHeadAttention::head_slice(const Matrix& m, std::size_t h) const {
+void MultiHeadAttention::head_slice_into(const Matrix& m, std::size_t h,
+                                         Matrix& dst) const {
   const std::size_t dh = d_head();
-  Matrix s(m.rows(), dh);
+  dst.resize(m.rows(), dh);
   for (std::size_t r = 0; r < m.rows(); ++r) {
-    for (std::size_t c = 0; c < dh; ++c) s(r, c) = m(r, h * dh + c);
+    for (std::size_t c = 0; c < dh; ++c) dst(r, c) = m(r, h * dh + c);
   }
-  return s;
 }
 
 Matrix MultiHeadAttention::forward(const Matrix& x, GemmBackend& backend) const {
@@ -44,20 +44,91 @@ Matrix MultiHeadAttention::forward(const Matrix& x, GemmBackend& backend) const 
   const std::size_t dh = d_head();
   Matrix context(seq, d_model_);
   for (std::size_t h = 0; h < heads_; ++h) {
-    const Matrix qh = head_slice(q, h);
-    const Matrix kh = head_slice(k, h);
-    const Matrix vh = head_slice(v, h);
+    head_slice_into(q, h, qh_scratch_);
+    head_slice_into(k, h, kh_scratch_);
+    head_slice_into(v, h, vh_scratch_);
+    kht_scratch_.resize(dh, seq);
+    for (std::size_t r = 0; r < seq; ++r) {
+      for (std::size_t c = 0; c < dh; ++c) kht_scratch_(c, r) = kh_scratch_(r, c);
+    }
 
     // Dynamic–dynamic products: scores = Qh·Khᵀ / sqrt(dh), then A·Vh.
-    Matrix scores = backend.matmul(qh, kh.transposed());
+    Matrix scores = backend.matmul(qh_scratch_, kht_scratch_);
     scale_inplace(scores, 1.0 / std::sqrt(static_cast<double>(dh)));
     softmax_rows(scores);
-    const Matrix ctx_h = backend.matmul(scores, vh);
+    const Matrix ctx_h = backend.matmul(scores, vh_scratch_);
 
     for (std::size_t r = 0; r < seq; ++r) {
       for (std::size_t c = 0; c < dh; ++c) context(r, h * dh + c) = ctx_h(r, c);
     }
   }
+  return o_.forward(context, backend);
+}
+
+AttentionKvState MultiHeadAttention::make_kv_state() const {
+  AttentionKvState kv;
+  kv.k_heads.assign(heads_, Matrix(0, d_head()));
+  kv.v_heads.assign(heads_, Matrix(0, d_head()));
+  kv.score_handles.reserve(heads_);
+  kv.ctx_handles.reserve(heads_);
+  for (std::size_t h = 0; h < heads_; ++h) {
+    kv.score_handles.push_back(KvHandle{next_kv_id(), KvAxis::kCols});
+    kv.ctx_handles.push_back(KvHandle{next_kv_id(), KvAxis::kRows});
+  }
+  return kv;
+}
+
+void MultiHeadAttention::release_kv_state(const AttentionKvState& kv,
+                                          GemmBackend& backend) {
+  for (const KvHandle& handle : kv.score_handles) backend.release_kv(handle.id);
+  for (const KvHandle& handle : kv.ctx_handles) backend.release_kv(handle.id);
+}
+
+Matrix MultiHeadAttention::forward_decode(const Matrix& x, GemmBackend& backend,
+                                          AttentionKvState& kv,
+                                          KvDecodeMode mode) const {
+  PDAC_REQUIRE(x.rows() == 1 && x.cols() == d_model_,
+               "forward_decode: expected one (1 × d_model) token");
+  PDAC_REQUIRE(kv.k_heads.size() == heads_ && kv.v_heads.size() == heads_,
+               "forward_decode: KV state head count mismatch");
+  const Matrix q = q_.forward(x, backend);
+  const Matrix k = k_.forward(x, backend);
+  const Matrix v = v_.forward(x, backend);
+
+  const std::size_t dh = d_head();
+  const std::size_t t = kv.tokens + 1;
+  Matrix context(1, d_model_);
+  for (std::size_t h = 0; h < heads_; ++h) {
+    // Append this token's K/V rows to the head's history (cols constant,
+    // so resize preserves the existing rows).
+    Matrix& kh = kv.k_heads[h];
+    Matrix& vh = kv.v_heads[h];
+    kh.resize(t, dh);
+    vh.resize(t, dh);
+    for (std::size_t c = 0; c < dh; ++c) {
+      kh(t - 1, c) = k(0, h * dh + c);
+      vh(t - 1, c) = v(0, h * dh + c);
+    }
+    head_slice_into(q, h, qh_scratch_);
+
+    Matrix scores;
+    if (mode == KvDecodeMode::kPrepared) {
+      scores = backend.matmul_kv(qh_scratch_, kh, kv.score_handles[h]);
+    } else {
+      kht_scratch_.resize(dh, t);
+      for (std::size_t r = 0; r < t; ++r) {
+        for (std::size_t c = 0; c < dh; ++c) kht_scratch_(c, r) = kh(r, c);
+      }
+      scores = backend.matmul(qh_scratch_, kht_scratch_);
+    }
+    scale_inplace(scores, 1.0 / std::sqrt(static_cast<double>(dh)));
+    softmax_rows(scores);
+    const Matrix ctx_h = mode == KvDecodeMode::kPrepared
+                             ? backend.matmul_kv(scores, vh, kv.ctx_handles[h])
+                             : backend.matmul(scores, vh);
+    for (std::size_t c = 0; c < dh; ++c) context(0, h * dh + c) = ctx_h(0, c);
+  }
+  kv.tokens = t;
   return o_.forward(context, backend);
 }
 

@@ -9,7 +9,22 @@
 // Linear layers, so their weights are registered with the backend's
 // operand cache and their encodings are reused across forwards.  The
 // Q·Kᵀ and A·V products multiply two *activations* — fresh every token
-// by construction — and deliberately go through the uncached matmul.
+// by construction — and in full-sequence forward() go through the
+// uncached matmul.
+//
+// Decode path (DESIGN.md §17): forward_decode processes ONE new token
+// against per-head K/V histories held in an AttentionKvState.  The
+// histories are append-only, so the dynamic products route through
+// backend.matmul_kv with per-head KvHandles — caching backends extend a
+// resident prepared encoding in place instead of re-preparing the whole
+// history each step.  KvDecodeMode::kUnprepared forces the plain matmul
+// baseline for bit-identity gating.
+//
+// Thread-safety: forward/forward_decode reuse per-instance scratch
+// buffers (head slices, Kᵀ staging) to avoid per-head reallocation, so a
+// MultiHeadAttention instance must not run forwards concurrently — give
+// each concurrent caller its own instance, as the serving engine gives
+// each backend its own model replica.
 #pragma once
 
 #include <vector>
@@ -21,6 +36,24 @@
 
 namespace pdac::nn {
 
+/// How forward_decode executes the dynamic score/context products.
+enum class KvDecodeMode {
+  kUnprepared,  ///< plain backend.matmul each step (O(t) prepare baseline)
+  kPrepared,    ///< backend.matmul_kv against resident prepared operands
+};
+
+/// Per-sequence decode state: each head's K/V history plus the KvHandles
+/// naming the two growing operands (scores over K, context over V) to
+/// the backend.  Create via MultiHeadAttention::make_kv_state(); retire
+/// via release_kv_state() so caching backends drop residency.
+struct AttentionKvState {
+  std::vector<Matrix> k_heads;  ///< per head: (tokens × d_head)
+  std::vector<Matrix> v_heads;  ///< per head: (tokens × d_head)
+  std::vector<KvHandle> score_handles;  ///< axis kCols, operand = K
+  std::vector<KvHandle> ctx_handles;    ///< axis kRows, operand = V
+  std::size_t tokens{0};
+};
+
 class MultiHeadAttention {
  public:
   MultiHeadAttention(std::size_t d_model, std::size_t heads);
@@ -29,6 +62,20 @@ class MultiHeadAttention {
 
   /// x: (seq × d_model) → (seq × d_model).
   [[nodiscard]] Matrix forward(const Matrix& x, GemmBackend& backend) const;
+
+  /// One decode step: x is the NEW token's activation (1 × d_model).
+  /// Appends this token's per-head K/V rows to `kv`, attends over the
+  /// whole history, and returns the (1 × d_model) output.  Outputs and
+  /// backend events are bit-identical across modes at every length.
+  [[nodiscard]] Matrix forward_decode(const Matrix& x, GemmBackend& backend,
+                                      AttentionKvState& kv,
+                                      KvDecodeMode mode = KvDecodeMode::kPrepared) const;
+
+  /// Fresh decode state with process-unique KV handles for every head.
+  [[nodiscard]] AttentionKvState make_kv_state() const;
+
+  /// Drop the state's resident prepared operands from the backend.
+  static void release_kv_state(const AttentionKvState& kv, GemmBackend& backend);
 
   [[nodiscard]] std::size_t d_model() const { return d_model_; }
   [[nodiscard]] std::size_t heads() const { return heads_; }
@@ -40,12 +87,17 @@ class MultiHeadAttention {
   Linear& o_proj() { return o_; }
 
  private:
-  /// Slice head h (columns [h·d_head, (h+1)·d_head)) out of a projection.
-  [[nodiscard]] Matrix head_slice(const Matrix& m, std::size_t h) const;
+  /// Slice head h (columns [h·d_head, (h+1)·d_head)) of m into `dst`.
+  void head_slice_into(const Matrix& m, std::size_t h, Matrix& dst) const;
 
   std::size_t d_model_;
   std::size_t heads_;
   Linear q_, k_, v_, o_;
+
+  // Reusable per-head scratch (see thread-safety note above): slice
+  // destinations and the Kᵀ staging buffer, resized in place instead of
+  // reallocated per head per step.
+  mutable Matrix qh_scratch_, kh_scratch_, vh_scratch_, kht_scratch_;
 };
 
 }  // namespace pdac::nn

@@ -36,8 +36,10 @@ Matrix ReferenceBackend::matmul(const Matrix& a, const Matrix& b) {
 }
 
 PhotonicBackend::PhotonicBackend(std::unique_ptr<core::ModulatorDriver> driver,
-                                 ptc::GemmConfig cfg, OperandCacheConfig cache_cfg)
-    : driver_(std::move(driver)), gemm_(*driver_, cfg), cache_(cache_cfg) {}
+                                 ptc::GemmConfig cfg, OperandCacheConfig cache_cfg,
+                                 KvPreparedCacheConfig kv_cfg)
+    : driver_(std::move(driver)), gemm_(*driver_, cfg), cache_(cache_cfg),
+      kv_cache_(kv_cfg) {}
 
 void PhotonicBackend::fold_guard(const ptc::GuardOutcome& outcome) {
   if (!outcome.enabled) return;
@@ -80,6 +82,49 @@ Matrix PhotonicBackend::matmul_cached(const Matrix& a, const Matrix& b,
     cache_.erase(weight.id);
     pb = std::make_shared<const ptc::PreparedOperand>(gemm_.prepare_b(b));
     cache_.insert(weight.id, weight.version, pb);
+    r = gemm_.multiply_prepared(a, *pb);
+    events_ += r.events;
+    fold_guard(r.guard);
+  }
+  return std::move(r.c);
+}
+
+std::shared_ptr<ptc::PreparedOperand> PhotonicBackend::obtain_kv(
+    const Matrix& kv, const KvHandle& handle) {
+  // Driver immutable → encoder epoch is a constant 0, exactly as in
+  // matmul_cached; residency only goes stale through the engine-side
+  // append preconditions (scale outgrown, shrink, tier mismatch).
+  std::shared_ptr<ptc::PreparedOperand> pb = kv_cache_.lookup(handle.id);
+  if (pb != nullptr) {
+    const bool appended = handle.axis == KvAxis::kCols
+                              ? gemm_.append_bt_rows(*pb, kv)
+                              : gemm_.append_b_rows(*pb, kv);
+    if (appended) {
+      kv_cache_.record_append();
+      kv_cache_.updated(handle.id);
+      return pb;
+    }
+    kv_cache_.record_rebuild();
+  }
+  pb = std::make_shared<ptc::PreparedOperand>(
+      handle.axis == KvAxis::kCols ? gemm_.prepare_bt(kv) : gemm_.prepare_b(kv));
+  kv_cache_.insert(handle.id, pb);
+  return pb;
+}
+
+Matrix PhotonicBackend::matmul_kv(const Matrix& a, const Matrix& kv,
+                                  const KvHandle& handle) {
+  std::shared_ptr<ptc::PreparedOperand> pb = obtain_kv(kv, handle);
+  ptc::GemmResult r = gemm_.multiply_prepared(a, *pb);
+  events_ += r.events;
+  fold_guard(r.guard);
+  if (r.guard.enabled && !r.guard.clean()) {
+    // Same repair as matmul_cached: the driver is immutable, so a
+    // guarded mismatch can only mean the resident operand's memory was
+    // corrupted — drop it, rebuild from the source history, rerun once.
+    ++guard_.cache_repairs;
+    kv_cache_.erase(handle.id);
+    pb = obtain_kv(kv, handle);
     r = gemm_.multiply_prepared(a, *pb);
     events_ += r.events;
     fold_guard(r.guard);

@@ -18,6 +18,14 @@
 // B-side across forwards — identical results, one prepare pass instead
 // of one per token.  Activation×activation products (attention scores
 // and context) keep using plain matmul and are never cached.
+//
+// KV-stationary execution (DESIGN.md §17): decode-phase attention's
+// dynamic operands (K, V) are not static, but they only ever GROW —
+// one row per token.  matmul_kv takes a KvHandle naming the growing
+// operand and its axis; caching backends keep the prepared encoding
+// resident (KvPreparedCache) and extend it in place with the ptc
+// append operations, turning the per-token prepare cost from O(t) to
+// O(1) while staying bit-identical to the from-scratch build.
 #pragma once
 
 #include <memory>
@@ -25,6 +33,7 @@
 
 #include "common/matrix.hpp"
 #include "core/modulator_driver.hpp"
+#include "nn/kv_cache.hpp"
 #include "nn/operand_cache.hpp"
 #include "ptc/event_counter.hpp"
 #include "ptc/gemm_engine.hpp"
@@ -61,11 +70,32 @@ class GemmBackend {
     return matmul(a, b);
   }
 
+  /// Product against a GROWING dynamic operand (decode-phase K or V).
+  /// `kv` holds the full history so far; `handle` names the sequence and
+  /// the growth axis (kCols: C = a·kvᵀ, scores; kRows: C = a·kv,
+  /// context).  The caller promises rows already passed under this id
+  /// are unchanged — backends may then serve the product from a resident
+  /// prepared operand extended in place (bit-identical to from-scratch).
+  /// The default computes the product directly, so reference execution
+  /// and non-caching backends need no KV awareness.
+  [[nodiscard]] virtual Matrix matmul_kv(const Matrix& a, const Matrix& kv,
+                                         const KvHandle& handle) {
+    return handle.axis == KvAxis::kCols ? matmul(a, kv.transposed())
+                                        : matmul(a, kv);
+  }
+
+  /// Retire a sequence's resident KV state (no-op without a cache).
+  virtual void release_kv(std::uint64_t /*id*/) {}
+
   [[nodiscard]] virtual std::string name() const = 0;
 
   /// The backend's operand cache, for stats reporting (nullptr when the
   /// backend does not cache).
   [[nodiscard]] virtual const OperandCache* operand_cache() const { return nullptr; }
+
+  /// The backend's KV prepared-operand cache (nullptr when the backend
+  /// serves matmul_kv without caching).
+  [[nodiscard]] virtual const KvPreparedCache* kv_cache() const { return nullptr; }
 
   /// Aggregated ABFT guard verdicts (nullptr when the backend never
   /// guards — the reference backend, or a photonic one with guard off).
@@ -92,26 +122,40 @@ class ReferenceBackend final : public GemmBackend {
 class PhotonicBackend final : public GemmBackend {
  public:
   PhotonicBackend(std::unique_ptr<core::ModulatorDriver> driver, ptc::GemmConfig cfg,
-                  OperandCacheConfig cache_cfg = {});
+                  OperandCacheConfig cache_cfg = {},
+                  KvPreparedCacheConfig kv_cfg = {});
 
   [[nodiscard]] Matrix matmul(const Matrix& a, const Matrix& b) override;
   [[nodiscard]] Matrix matmul_cached(const Matrix& a, const Matrix& b,
                                      const WeightHandle& weight) override;
+  /// KV products through the prepared path: fresh sequences prepare once
+  /// (prepare_bt for kCols — no transpose copy — or prepare_b for kRows);
+  /// later steps extend the resident operand in place via append_bt_rows /
+  /// append_b_rows.  An append the engine refuses (scale outgrown,
+  /// shrink, tier mismatch) falls back to a counted rebuild.  Outputs and
+  /// events are bit-identical to the unprepared default at every length.
+  [[nodiscard]] Matrix matmul_kv(const Matrix& a, const Matrix& kv,
+                                 const KvHandle& handle) override;
+  void release_kv(std::uint64_t id) override { kv_cache_.erase(id); }
   [[nodiscard]] std::string name() const override;
 
   [[nodiscard]] const core::ModulatorDriver& driver() const { return *driver_; }
   [[nodiscard]] const OperandCache* operand_cache() const override { return &cache_; }
   [[nodiscard]] OperandCache& cache() { return cache_; }
+  [[nodiscard]] const KvPreparedCache* kv_cache() const override { return &kv_cache_; }
   [[nodiscard]] const GuardStats* guard_stats() const override {
     return gemm_.config().guard.enabled ? &guard_ : nullptr;
   }
 
  private:
   void fold_guard(const ptc::GuardOutcome& outcome);
+  [[nodiscard]] std::shared_ptr<ptc::PreparedOperand> obtain_kv(
+      const Matrix& kv, const KvHandle& handle);
 
   std::unique_ptr<core::ModulatorDriver> driver_;
   ptc::PhotonicGemm gemm_;
   OperandCache cache_;
+  KvPreparedCache kv_cache_;
   GuardStats guard_;
 };
 

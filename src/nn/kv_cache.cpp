@@ -1,0 +1,95 @@
+#include "nn/kv_cache.hpp"
+
+#include <atomic>
+#include <utility>
+
+namespace pdac::nn {
+
+std::uint64_t next_kv_id() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+KvPreparedCache::KvPreparedCache(KvPreparedCacheConfig cfg) : cfg_(cfg) {}
+
+std::shared_ptr<ptc::PreparedOperand> KvPreparedCache::lookup(
+    std::uint64_t id) {
+  if (!cfg_.enabled || id == 0) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  const auto it = index_.find(id);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++stats_.hits;
+  return it->second->op;
+}
+
+void KvPreparedCache::insert(std::uint64_t id,
+                             std::shared_ptr<ptc::PreparedOperand> op) {
+  if (!cfg_.enabled || id == 0 || op == nullptr) return;
+  erase(id);
+  const std::size_t bytes = op->bytes();
+  if (bytes > cfg_.capacity_bytes) {
+    ++stats_.oversized_rejects;
+    return;
+  }
+  lru_.push_front(Entry{id, std::move(op), bytes});
+  index_[id] = lru_.begin();
+  stats_.resident_bytes += bytes;
+  stats_.entries = lru_.size();
+  evict_over_capacity();
+}
+
+void KvPreparedCache::updated(std::uint64_t id) {
+  const auto it = index_.find(id);
+  if (it == index_.end()) return;
+  Entry& e = *it->second;
+  const std::size_t bytes = e.op->bytes();
+  stats_.resident_bytes += bytes;
+  stats_.resident_bytes -= e.bytes;
+  e.bytes = bytes;
+  if (bytes > cfg_.capacity_bytes) {
+    // Grown past the whole cache: evict it outright, like an oversized
+    // insert — keeping it would pin the cache at one entry forever.
+    ++stats_.oversized_rejects;
+    drop(it->second);
+    return;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  evict_over_capacity();
+}
+
+void KvPreparedCache::erase(std::uint64_t id) {
+  const auto it = index_.find(id);
+  if (it == index_.end()) return;
+  ++stats_.invalidations;
+  drop(it->second);
+}
+
+void KvPreparedCache::clear() {
+  stats_.invalidations += lru_.size();
+  lru_.clear();
+  index_.clear();
+  stats_.resident_bytes = 0;
+  stats_.entries = 0;
+}
+
+void KvPreparedCache::drop(std::list<Entry>::iterator it) {
+  stats_.resident_bytes -= it->bytes;
+  index_.erase(it->id);
+  lru_.erase(it);
+  stats_.entries = lru_.size();
+}
+
+void KvPreparedCache::evict_over_capacity() {
+  while (stats_.resident_bytes > cfg_.capacity_bytes && !lru_.empty()) {
+    ++stats_.evictions;
+    drop(std::prev(lru_.end()));
+  }
+}
+
+}  // namespace pdac::nn

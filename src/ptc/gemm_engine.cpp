@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 
 #include "common/require.hpp"
 #include "converters/quantizer.hpp"
@@ -30,20 +31,23 @@ GemmResult PhotonicGemm::multiply(const Matrix& a, const Matrix& b) const {
   return multiply_prepared(a, prepare_b(b));
 }
 
-PreparedOperand PhotonicGemm::prepare_b(const Matrix& b, std::uint64_t epoch) const {
-  PreparedOperand pb;
-  pb.rows = b.rows();
-  pb.cols = b.cols();
-  pb.scale = converters::max_abs_scale(b.data());
-  pb.epoch = epoch;
+namespace {
 
-  // Keep B column-major-friendly by transposing once, then normalize
-  // into the modulators' (−1, 1) domain.
-  norm_scratch_.resize(b.cols(), b.rows());
-  for (std::size_t r = 0; r < b.rows(); ++r) {
-    for (std::size_t c = 0; c < b.cols(); ++c) norm_scratch_(c, r) = b(r, c) / pb.scale;
-  }
+/// The max-abs fold of converters::max_abs_scale without its all-zero
+/// fallback — the raw running maximum PreparedOperand::abs_max records so
+/// appends can prove the fresh scale would come out bitwise identical.
+/// std::max ignores NaN whichever side it lands on, so the fold is
+/// order-independent — prepare_b and prepare_bt see the same value over
+/// the transposed element order.
+double raw_abs_max(std::span<const double> values) {
+  double m = 0.0;
+  for (const double v : values) m = std::max(m, std::abs(v));
+  return m;
+}
 
+}  // namespace
+
+void PhotonicGemm::finish_prepare(PreparedOperand& pb) const {
   // Amortized encoding: every B column goes through the shared encode
   // LUT exactly once, the software mirror of the hardware broadcasting
   // one modulated operand across a whole tile.  Rows are disjoint, so
@@ -67,6 +71,9 @@ PreparedOperand PhotonicGemm::prepare_b(const Matrix& b, std::uint64_t epoch) co
   // ABFT column checksums (abft.hpp): one digital sum of the encoded
   // columns per array-width stripe, cached with the operand so guarded
   // runs pay the O(n·k) sums once per prepare, not once per product.
+  // Accumulation runs in ascending column order — the order the append
+  // paths continue, which is what makes incremental checksum extension
+  // floating-point-identical to this fresh build.
   if (cfg_.guard.enabled) {
     pb.checksum_stripe = cfg_.array_cols;
     const std::size_t stripes = (pb.cols + cfg_.array_cols - 1) / cfg_.array_cols;
@@ -78,7 +85,192 @@ PreparedOperand PhotonicGemm::prepare_b(const Matrix& b, std::uint64_t epoch) co
       for (std::size_t p = 0; p < pb.rows; ++p) dst[p] += src[p];
     }
   }
+}
+
+PreparedOperand PhotonicGemm::prepare_b(const Matrix& b, std::uint64_t epoch) const {
+  PreparedOperand pb;
+  pb.rows = b.rows();
+  pb.cols = b.cols();
+  pb.abs_max = raw_abs_max(b.data());
+  pb.scale = pb.abs_max > 0.0 ? pb.abs_max : 1.0;  // == converters::max_abs_scale
+  pb.epoch = epoch;
+
+  // Keep B column-major-friendly by transposing once, then normalize
+  // into the modulators' (−1, 1) domain.
+  norm_scratch_.resize(b.cols(), b.rows());
+  for (std::size_t r = 0; r < b.rows(); ++r) {
+    for (std::size_t c = 0; c < b.cols(); ++c) norm_scratch_(c, r) = b(r, c) / pb.scale;
+  }
+  finish_prepare(pb);
   return pb;
+}
+
+PreparedOperand PhotonicGemm::prepare_bt(const Matrix& bt, std::uint64_t epoch) const {
+  PreparedOperand pb;
+  pb.rows = bt.cols();
+  pb.cols = bt.rows();
+  pb.abs_max = raw_abs_max(bt.data());
+  pb.scale = pb.abs_max > 0.0 ? pb.abs_max : 1.0;
+  pb.epoch = epoch;
+
+  // Already in Bᵀ orientation: normalize straight into the staging
+  // buffer.  Same per-element divide as prepare_b, same multiset under
+  // the max-abs fold, so the result is bitwise the prepare_b of the
+  // transposed source.
+  norm_scratch_.resize(bt.rows(), bt.cols());
+  for (std::size_t i = 0; i < bt.size(); ++i) {
+    norm_scratch_.data()[i] = bt.data()[i] / pb.scale;
+  }
+  finish_prepare(pb);
+  return pb;
+}
+
+bool PhotonicGemm::append_bt_rows(PreparedOperand& pb, const Matrix& bt,
+                                  std::uint64_t epoch) const {
+  const bool quant = cfg_.path == ExecutionPath::kKernelQuant;
+  // Refuse anything the bit-identity proof does not cover: stale epoch,
+  // shrunk/mismatched source, faults-layer operands (channel packing and
+  // golden references are GuardedBackend's to extend), an operand whose
+  // reduction axis was ever padded (mixed-axis growth), or tier/guard
+  // staging that disagrees with this engine's config.
+  if (pb.epoch != epoch || !pb.channels.empty() || pb.reference.size() > 0) return false;
+  if (pb.rows == 0 || pb.rows != bt.cols() || pb.cols > bt.rows()) return false;
+  if (pb.encoded.rows() != pb.cols || pb.encoded.cols() != pb.rows) return false;
+  if (quant) {
+    if (pb.qcodes.rows() != pb.cols || pb.qcodes.cols() != pb.rows) return false;
+  } else if (pb.qcodes.size() > 0) {
+    return false;
+  }
+  if (cfg_.guard.enabled) {
+    if (pb.checksum_stripe != cfg_.array_cols || pb.checksum.cols() != pb.rows) return false;
+  } else if (pb.checksum.size() > 0) {
+    return false;
+  }
+  const std::size_t old_n = pb.cols;
+  const std::size_t new_n = bt.rows();
+  if (new_n == old_n) return true;
+
+  // Scale stability: the fresh prepare of the full source folds the new
+  // elements into the max — bit-identity needs them at or under the
+  // recorded raw max.  NaN-safe: !(x <= y) also rejects NaN deltas.
+  double dmax = 0.0;
+  for (std::size_t j = old_n; j < new_n; ++j) {
+    dmax = std::max(dmax, raw_abs_max(bt.row(j)));
+  }
+  if (!(dmax <= pb.abs_max)) return false;
+
+  const std::size_t k = pb.rows;
+  const std::size_t delta = new_n - old_n;
+  norm_scratch_.resize(delta, k);
+  for (std::size_t r = 0; r < delta; ++r) {
+    const auto src = bt.row(old_n + r);
+    const auto dst = norm_scratch_.row(r);
+    for (std::size_t p = 0; p < k; ++p) dst[p] = src[p] / pb.scale;
+  }
+
+  // Row append: Matrix::resize preserves every existing row when the
+  // column count is unchanged, so only the new rows are encoded.
+  pb.encoded.resize(new_n, k);
+  if (quant) pb.qcodes.resize(new_n, k);
+  pool_->parallel_for(delta, [&](std::size_t begin, std::size_t end, std::size_t) {
+    for (std::size_t r = begin; r < end; ++r) {
+      if (quant) {
+        engine_.encode_span(norm_scratch_.row(r), pb.encoded.row(old_n + r),
+                            pb.qcodes.row(old_n + r));
+      } else {
+        engine_.encode_span(norm_scratch_.row(r), pb.encoded.row(old_n + r));
+      }
+    }
+  });
+
+  if (cfg_.guard.enabled) {
+    // Continue the per-stripe running sums exactly where the fresh build
+    // would: existing stripe rows already hold the ascending-j partial
+    // sums through old_n, new stripe rows start from zero.
+    const std::size_t stripes = (new_n + cfg_.array_cols - 1) / cfg_.array_cols;
+    const std::size_t old_stripes = pb.checksum.rows();
+    pb.checksum.resize(stripes, k);
+    for (std::size_t s = old_stripes; s < stripes; ++s) {
+      const auto row = pb.checksum.row(s);
+      std::fill(row.begin(), row.end(), 0.0);
+    }
+    for (std::size_t j = old_n; j < new_n; ++j) {
+      const auto src = pb.encoded.row(j);
+      const auto dst = pb.checksum.row(j / cfg_.array_cols);
+      for (std::size_t p = 0; p < k; ++p) dst[p] += src[p];
+    }
+  }
+  pb.cols = new_n;
+  return true;
+}
+
+bool PhotonicGemm::append_b_rows(PreparedOperand& pb, const Matrix& b,
+                                 std::uint64_t epoch) const {
+  const bool quant = cfg_.path == ExecutionPath::kKernelQuant;
+  if (pb.epoch != epoch || !pb.channels.empty() || pb.reference.size() > 0) return false;
+  if (pb.rows == 0 || pb.cols == 0 || pb.cols != b.cols() || pb.rows > b.rows()) return false;
+  if (pb.encoded.rows() != pb.cols || pb.encoded.cols() < pb.rows) return false;
+  if (quant && (pb.qcodes.rows() != pb.cols || pb.qcodes.cols() != pb.encoded.cols())) {
+    return false;
+  }
+  if (!quant && pb.qcodes.size() > 0) return false;
+  if (cfg_.guard.enabled &&
+      (pb.checksum_stripe != cfg_.array_cols || pb.checksum.cols() != pb.encoded.cols())) {
+    return false;
+  }
+  if (!cfg_.guard.enabled && pb.checksum.size() > 0) return false;
+  const std::size_t old_k = pb.rows;
+  const std::size_t new_k = b.rows();
+  if (new_k == old_k) return true;
+
+  double dmax = 0.0;
+  for (std::size_t r = old_k; r < new_k; ++r) {
+    dmax = std::max(dmax, raw_abs_max(b.row(r)));
+  }
+  if (!(dmax <= pb.abs_max)) return false;
+
+  const std::size_t n = pb.cols;
+  const std::size_t delta = new_k - old_k;
+  // The reduction axis lives along matrix columns: appends land in
+  // physical column capacity grown geometrically, with consumers bounded
+  // by the logical length (PreparedOperand shape contract).
+  grow_col_capacity(pb.encoded, new_k);
+  if (quant) grow_col_capacity(pb.qcodes, new_k);
+
+  // Stage the new elements of each Bᵀ row (n rows × delta new columns).
+  norm_scratch_.resize(n, delta);
+  for (std::size_t j = 0; j < n; ++j) {
+    const auto dst = norm_scratch_.row(j);
+    for (std::size_t p = 0; p < delta; ++p) dst[p] = b(old_k + p, j) / pb.scale;
+  }
+  pool_->parallel_for(n, [&](std::size_t begin, std::size_t end, std::size_t) {
+    for (std::size_t r = begin; r < end; ++r) {
+      const auto enc = pb.encoded.row(r).subspan(old_k, delta);
+      if (quant) {
+        engine_.encode_span(norm_scratch_.row(r), enc, pb.qcodes.row(r).subspan(old_k, delta));
+      } else {
+        engine_.encode_span(norm_scratch_.row(r), enc);
+      }
+    }
+  });
+
+  if (cfg_.guard.enabled) {
+    // New checksum columns only: each is a fresh ascending-j sum over its
+    // stripe, the exact order finish_prepare uses — the old columns'
+    // sums are untouched.
+    grow_col_capacity(pb.checksum, new_k);
+    for (std::size_t s = 0; s < pb.checksum.rows(); ++s) {
+      const auto row = pb.checksum.row(s);
+      for (std::size_t p = old_k; p < new_k; ++p) row[p] = 0.0;
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+      const auto src = pb.encoded.row(j);
+      const auto dst = pb.checksum.row(j / cfg_.array_cols);
+      for (std::size_t p = old_k; p < new_k; ++p) dst[p] += src[p];
+    }
+  }
+  pb.rows = new_k;
+  return true;
 }
 
 GemmResult PhotonicGemm::multiply_prepared(const Matrix& a, const PreparedOperand& b) const {
@@ -92,7 +284,10 @@ GemmResult PhotonicGemm::multiply_prepared(const Matrix& a, const PreparedOperan
   }
   const bool quant = cfg_.path == ExecutionPath::kKernelQuant;
   if (quant) {
-    PDAC_REQUIRE(b.qcodes.rows() == b.cols && b.qcodes.cols() == b.rows,
+    // >= on the reduction axis: appended operands may carry physical
+    // column-capacity padding past the logical length (PreparedOperand
+    // shape contract); every kernel loop below is bounded by b.rows.
+    PDAC_REQUIRE(b.qcodes.rows() == b.cols && b.qcodes.cols() >= b.rows,
                  "PhotonicGemm: quant execution needs an operand prepared under the quant "
                  "path (prepare_b with ExecutionPath::kKernelQuant)");
   }
@@ -182,8 +377,10 @@ GemmResult PhotonicGemm::multiply_prepared(const Matrix& a, const PreparedOperan
       DdotScratch& scratch = worker_scratch_[worker];
       for (std::size_t i = tile.row0; i < tile.row0 + tile.rows; ++i) {
         for (std::size_t j = tile.col0; j < tile.col0 + tile.cols; ++j) {
-          const double raw =
-              engine_.dot_preencoded(ae.row(i), b.encoded.row(j), &reduction, &ddot, &scratch);
+          // first(k) strips any column-capacity padding off the prepared
+          // row — the device path takes equal-length spans.
+          const double raw = engine_.dot_preencoded(ae.row(i), b.encoded.row(j).first(k),
+                                                    &reduction, &ddot, &scratch);
           res.c(i, j) = raw * rescale;
           if (guarded) {
             rsum[i - tile.row0] += raw;

@@ -48,8 +48,10 @@
 // separately in GemmResult::guard.checksum_events.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/matrix.hpp"
@@ -98,9 +100,24 @@ enum class ExecutionPath { kKernel, kDeviceGraph, kKernelSimd, kKernelQuant };
 /// while the encoder state it was built under is unchanged — `epoch`
 /// records that state (driver/trim/lane epoch, owner-defined) so caches
 /// can refuse stale encodings.
+///
+/// Logical vs physical shape (KV appends, DESIGN.md §17): `rows`/`cols`
+/// are the LOGICAL source dimensions.  `encoded`/`reference`/`qcodes`
+/// always hold exactly `cols` rows, but may carry more physical columns
+/// than `rows` — append_b_rows pads column capacity geometrically so a
+/// growing reduction axis (the KV context operand, one V row per decode
+/// token) re-lays-out O(log t) times instead of every token.  Every
+/// consumer reads row spans bounded by the logical reduction length, so
+/// the padding is never touched by numerics, events or guard verdicts.
 struct PreparedOperand {
-  Matrix encoded;         ///< (n × k) encoded, normalized Bᵀ
+  Matrix encoded;         ///< (n × ≥k) encoded, normalized Bᵀ
   double scale{1.0};      ///< max-abs scale divided out before encoding
+  /// Raw max-abs of every source element folded so far.  `scale` alone
+  /// cannot arbitrate appends: an all-zero operand gets the fallback
+  /// scale 1.0, indistinguishable from a genuine max of 1.0.  An append
+  /// is bit-identical to a fresh prepare iff the new elements' max-abs
+  /// stays ≤ this (the fresh scale would then come out bitwise equal).
+  double abs_max{0.0};
   std::size_t rows{0};    ///< source b.rows() (= k, the reduction length)
   std::size_t cols{0};    ///< source b.cols() (= n)
   std::uint64_t epoch{0}; ///< encoder state stamp it was encoded under
@@ -129,13 +146,31 @@ struct PreparedOperand {
   /// prepared under a double-tier config.
   CodeMatrix qcodes;
 
-  /// Resident size, for byte-capacity cache accounting.
+  /// Resident size, for byte-capacity cache accounting.  Counts physical
+  /// storage, so column-capacity padding is charged to the caches too.
   [[nodiscard]] std::size_t bytes() const {
     return sizeof(PreparedOperand) +
            (encoded.size() + checksum.size() + reference.size()) * sizeof(double) +
            qcodes.size() * sizeof(std::int16_t) + channels.size() * sizeof(std::size_t);
   }
 };
+
+/// Grow `m`'s physical column capacity to at least `cols` while keeping
+/// every existing row's contents in place (Matrix::resize only preserves
+/// rows when the column count is unchanged).  Geometric doubling keeps a
+/// reduction axis growing one column per decode token amortized O(1) per
+/// element.  New columns are zero-filled.
+template <typename M>
+void grow_col_capacity(M& m, std::size_t cols) {
+  if (m.cols() >= cols) return;
+  M wide(m.rows(), std::max(cols, m.cols() * 2));
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    const auto src = m.row(r);
+    const auto dst = wide.row(r);
+    for (std::size_t p = 0; p < src.size(); ++p) dst[p] = src[p];
+  }
+  m = std::move(wide);
+}
 
 struct GemmConfig {
   DotEngineConfig dot{};
@@ -179,6 +214,37 @@ class PhotonicGemm {
   /// construction, so 0 is fine when the caller tracks no epochs.
   [[nodiscard]] PreparedOperand prepare_b(const Matrix& b, std::uint64_t epoch = 0) const;
 
+  /// prepare_b from an already-transposed source: `bt` is Bᵀ (n × k).
+  /// Bit-identical to prepare_b(bt.transposed()) — the scale folds the
+  /// same element multiset and every element goes through the same
+  /// normalize + LUT ops — without materializing the transpose.  The KV
+  /// scores operand (B = Kᵀ) hands its K cache straight in.
+  [[nodiscard]] PreparedOperand prepare_bt(const Matrix& bt, std::uint64_t epoch = 0) const;
+
+  /// Append-only extension of a prepared operand along the OUTPUT axis
+  /// (new B columns = new rows of Bᵀ): encodes only rows
+  /// [pb.cols, bt.rows()) of `bt` and extends the checksum stripes and
+  /// quant staging in the exact accumulation order a fresh prepare uses,
+  /// so the result is bit-identical to prepare_bt(bt, epoch) — including
+  /// every downstream output, event count and guard verdict.  Returns
+  /// false (operand untouched) whenever that identity cannot be
+  /// guaranteed — epoch moved, shape shrank or mismatched, the new
+  /// elements' max-abs exceeds pb.abs_max (the fresh scale would differ),
+  /// or the operand carries faults-layer state (channel packing /
+  /// golden reference, which GuardedBackend extends itself) — and the
+  /// caller must rebuild from scratch.
+  [[nodiscard]] bool append_bt_rows(PreparedOperand& pb, const Matrix& bt,
+                                    std::uint64_t epoch = 0) const;
+
+  /// Append-only extension along the REDUCTION axis (new B rows = new
+  /// rows of `b`, the KV context operand growing one V row per token):
+  /// encodes rows [pb.rows, b.rows()) into padded column capacity
+  /// (grow_col_capacity) and extends each checksum stripe's new columns
+  /// in fresh-prepare order.  Same bit-identity contract and rebuild
+  /// triggers as append_bt_rows.
+  [[nodiscard]] bool append_b_rows(PreparedOperand& pb, const Matrix& b,
+                                   std::uint64_t epoch = 0) const;
+
   /// C = A·prepared-B, skipping every B-side pass.  Bit-identical to
   /// multiply(a, b) for the same B — numerics and event counts alike:
   /// the counts model the hardware, which still modulates B columns per
@@ -199,6 +265,11 @@ class PhotonicGemm {
   [[nodiscard]] const PhotonicDotEngine& engine() const { return engine_; }
 
  private:
+  /// Shared tail of prepare_b/prepare_bt: LUT-encode norm_scratch_ (the
+  /// normalized Bᵀ staged by the caller) into pb and build the checksum
+  /// stripes under a guarded config.
+  void finish_prepare(PreparedOperand& pb) const;
+
   GemmConfig cfg_;
   PhotonicDotEngine engine_;
   FusedKernel kernel_;  ///< coefficient snapshot of engine_'s datapath

@@ -188,7 +188,10 @@ void FusedKernel::run_tile(const Tile& tile, const Matrix& ae, const Matrix& be,
                            double rescale, Matrix& c, EventCounter* ev, double* rsum,
                            double* csum) const {
   const std::size_t k = ae.cols();
-  PDAC_REQUIRE(be.cols() == k, "FusedKernel: operand reduction lengths must agree");
+  // >=: prepared operands may pad the reduction axis with physical
+  // column capacity (PreparedOperand shape contract); every loop here
+  // is bounded by the A-side k, so padding is never read.
+  PDAC_REQUIRE(be.cols() >= k, "FusedKernel: operand reduction lengths must agree");
   // The reduction length is fixed across the tile, so the ADC (whose
   // behavior depends only on bits and full scale) is built once instead
   // of per dot — identical round-trip, hoisted construction.
@@ -244,7 +247,10 @@ void FusedKernel::run_tile_fast(const Tile& tile, const Matrix& ae, const Matrix
                                 double rescale, Matrix& c, EventCounter* ev, double* rsum,
                                 double* csum) const {
   const std::size_t k = ae.cols();
-  PDAC_REQUIRE(be.cols() == k, "FusedKernel: operand reduction lengths must agree");
+  // >=: prepared operands may pad the reduction axis with physical
+  // column capacity (PreparedOperand shape contract); every loop here
+  // is bounded by the A-side k, so padding is never read.
+  PDAC_REQUIRE(be.cols() >= k, "FusedKernel: operand reduction lengths must agree");
   converters::ElectricalAdcConfig ac;
   ac.bits = adc_bits_;
   ac.v_ref = adc_full_scale_ > 0.0 ? adc_full_scale_
@@ -340,7 +346,7 @@ void FusedKernel::run_tile_quant(const Tile& tile, const CodeMatrix& aq, const C
   PDAC_REQUIRE(quant_ready_,
                "FusedKernel: run_tile_quant needs an on-grid encode LUT (quant_ready)");
   const std::size_t k = aq.cols();
-  PDAC_REQUIRE(bq.cols() == k, "FusedKernel: operand reduction lengths must agree");
+  PDAC_REQUIRE(bq.cols() >= k, "FusedKernel: operand reduction lengths must agree");
   converters::ElectricalAdcConfig ac;
   ac.bits = adc_bits_;
   ac.v_ref = adc_full_scale_ > 0.0 ? adc_full_scale_

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/require.hpp"
+#include "nn/ops.hpp"
 #include "serve/workload.hpp"
 
 namespace pdac::serve {
@@ -12,6 +13,40 @@ namespace pdac::serve {
 namespace {
 
 constexpr std::uint64_t kNever = std::numeric_limits<std::uint64_t>::max();
+
+/// KV handle ids for request `rid`: derived from the request identity
+/// (not allocated), so the engine and run_reference present the same
+/// growing-operand identity to their backends, and a token landing on a
+/// different backend mid-sequence still names the same sequence.  The
+/// high-bit offset keeps them disjoint from nn::next_kv_id allocations.
+constexpr std::uint64_t kKvIdBase = 1ull << 32;
+[[nodiscard]] nn::KvHandle score_handle(std::uint64_t rid) {
+  return {kKvIdBase + rid * 2, nn::KvAxis::kCols};
+}
+[[nodiscard]] nn::KvHandle ctx_handle(std::uint64_t rid) {
+  return {kKvIdBase + rid * 2 + 1, nn::KvAxis::kRows};
+}
+
+/// One KV-attention step on `backend`: append the normalized output row
+/// `y` to the request's history `kv`, then scores = y·Kᵀ (kCols),
+/// softmax(scores/√d), context = scores·K (kRows).  Returns the
+/// (1 × d) context row.  History rows are unit max-abs, so the resident
+/// operands' scale is a stable 1.0 and healthy-path appends never
+/// rebuild on scale.
+[[nodiscard]] Matrix kv_attend(faults::GuardedBackend& backend, std::uint64_t rid,
+                               Matrix& kv, const std::vector<double>& y) {
+  const std::size_t d = y.size();
+  const std::size_t t = kv.cols() == d ? kv.rows() : 0;
+  if (kv.cols() != d) kv = Matrix(0, d);
+  kv.resize(t + 1, d);  // cols constant: resize preserves the history rows
+  std::copy(y.begin(), y.end(), kv.row(t).begin());
+  Matrix a(1, d);
+  std::copy(y.begin(), y.end(), a.row(0).begin());
+  Matrix scores = backend.matmul_kv(a, kv, score_handle(rid));
+  nn::scale_inplace(scores, 1.0 / std::sqrt(static_cast<double>(d)));
+  nn::softmax_rows(scores);
+  return backend.matmul_kv(scores, kv, ctx_handle(rid));
+}
 
 /// EDF key: deadline (none sorts last), then arrival, then id.
 struct EdfKey {
@@ -64,6 +99,7 @@ ServingReport ServingEngine::run(const std::vector<Request>& requests) {
 
   struct ReqState {
     std::vector<double> x;        ///< current activation (unit max-abs)
+    Matrix kv{0, 0};              ///< KV history (kv_attention requests)
     std::size_t tokens_done{0};
     std::uint64_t ready_at{0};    ///< in flight until this time
     std::uint64_t last_emit{0};   ///< previous token time (or arrival)
@@ -100,6 +136,14 @@ ServingReport ServingEngine::run(const std::vector<Request>& requests) {
     rec.verdict = v;
     rec.shed_reason = reason;
     rec.finished_at = t;
+    if (requests[q].kv_attention) {
+      // Sequence retirement: drop the resident prepared operands on
+      // every backend that might hold them.
+      for (std::size_t b = 0; b < pool_n; ++b) {
+        pool_.backend(b).release_kv(score_handle(requests[q].id).id);
+        pool_.backend(b).release_kv(ctx_handle(requests[q].id).id);
+      }
+    }
     if (st[q].admitted) --occupancy;
     --open;
     switch (v) {
@@ -130,6 +174,22 @@ ServingReport ServingEngine::run(const std::vector<Request>& requests) {
     const faults::HealthSnapshot snap0 = be.monitor().snapshot();
     const std::uint64_t cyc0 = be.events().cycles;
     const Matrix c = be.matmul_cached(a, lin.weight(), lin.weight_handle());
+    // Per-request KV attention products, in deterministic row order and
+    // inside the product's timing window, so the incremental-vs-rebuild
+    // cost difference lands in service time.  The normalized output row
+    // is staged here (it both extends the history and seeds the next
+    // token); rows that fail normalization skip their KV step.
+    std::vector<std::vector<double>> ynorm(batch.size());
+    std::vector<Matrix> kvctx(batch.size());
+    std::vector<char> row_ok(batch.size(), 1);
+    for (std::size_t r = 0; r < batch.size(); ++r) {
+      const std::size_t q = batch[r];
+      ynorm[r].assign(c.row(r).begin(), c.row(r).end());
+      row_ok[r] = normalize_unit_max(ynorm[r]) ? 1 : 0;
+      if (row_ok[r] == 1 && requests[q].kv_attention) {
+        kvctx[r] = kv_attend(be, requests[q].id, st[q].kv, ynorm[r]);
+      }
+    }
     const faults::HealthSnapshot snap1 = be.monitor().snapshot();
     const std::uint64_t cyc1 = be.events().cycles;
     pool_.end_product(b, snap1.retrims - snap0.retrims);
@@ -165,12 +225,16 @@ ServingReport ServingEngine::run(const std::vector<Request>& requests) {
       }
       RequestRecord& rec = rep.records[q];
       rec.digest = fnv1a(c.row(r), rec.digest);  // digest the raw row
-      std::vector<double> y(c.row(r).begin(), c.row(r).end());
-      if (!normalize_unit_max(y)) {
+      if (kvctx[r].size() > 0) {
+        // KV witness: the context row seen through the incremental
+        // prepared path chains in after the projection row.
+        rec.digest = fnv1a(kvctx[r].row(0), rec.digest);
+      }
+      if (row_ok[r] == 0) {
         finalize(q, Verdict::kFailed, ShedReason::kNone, finish);
         continue;
       }
-      st[q].x = std::move(y);
+      st[q].x = std::move(ynorm[r]);
       ++st[q].tokens_done;
       ++rec.tokens_done;
       ++rec.tokens_by_backend[b];
@@ -334,6 +398,9 @@ ServingReport ServingEngine::run(const std::vector<Request>& requests) {
     bs.events = pool_.backend(b).events();
     bs.health = pool_.backend(b).monitor().snapshot();
     bs.drift = pool_.backend(b).drift().snapshot();
+    if (const nn::KvPreparedCache* kv = pool_.backend(b).kv_cache(); kv != nullptr) {
+      bs.kv = kv->stats();
+    }
   }
   return rep;
 }
@@ -349,18 +416,31 @@ std::vector<RequestRecord> run_reference(const std::vector<Request>& requests,
     RequestRecord& rec = records[q];
     std::vector<double> x = r.activation;
     Matrix a(1, x.size());
+    Matrix kv(0, 0);
     rec.verdict = Verdict::kCompleted;
     for (std::size_t t = 0; t < r.decode_tokens; ++t) {
       std::copy(x.begin(), x.end(), a.row(0).begin());
       const Matrix c = backend.matmul_cached(a, lin.weight(), lin.weight_handle());
       rec.digest = fnv1a(c.row(0), rec.digest);
       std::vector<double> y(c.row(0).begin(), c.row(0).end());
-      if (!normalize_unit_max(y)) {
+      const bool ok = normalize_unit_max(y);
+      if (ok && r.kv_attention) {
+        // Identical KV step and digest chaining to run_batch: same
+        // handle ids, same product order, so the engine's incremental
+        // path must reproduce these bits exactly.
+        const Matrix ctx = kv_attend(backend, r.id, kv, y);
+        rec.digest = fnv1a(ctx.row(0), rec.digest);
+      }
+      if (!ok) {
         rec.verdict = Verdict::kFailed;
         break;
       }
       x = std::move(y);
       ++rec.tokens_done;
+    }
+    if (r.kv_attention) {
+      backend.release_kv(score_handle(r.id).id);
+      backend.release_kv(ctx_handle(r.id).id);
     }
   }
   return records;

@@ -29,6 +29,20 @@
 // of batch composition, and the engine's per-request token digests are
 // bit-identical to run_reference()'s solo replay at fault rate 0 —
 // continuous batching is numerically invisible.
+//
+// KV attention (DESIGN.md §17): requests with `kv_attention` run two
+// extra per-token products against their growing history of normalized
+// output rows — scores = y·Kᵀ (axis kCols) and context =
+// softmax(scores)·K (axis kRows) — through the serving backend's
+// matmul_kv.  A request's KV handles are derived from its id, so the
+// SAME growing operand identity is presented to whichever backend the
+// scheduler lands the token on: a backend holding a current resident
+// entry appends one row; one that re-trimmed, got quarantined, or never
+// saw the request rebuilds from the full history — bit-identically.
+// The context rows chain into the request digest, and KV products bill
+// into the same product timing window as the projection, so the
+// incremental win (and the rebuild cost under escalation) is visible in
+// service time.
 #pragma once
 
 #include <cstdint>
@@ -70,6 +84,7 @@ struct BackendServeStats {
   ptc::EventCounter events;          ///< data-path events (incl. recovery re-runs)
   faults::HealthSnapshot health;     ///< final monitor snapshot
   faults::DriftSnapshot drift;       ///< final drift-tracker snapshot
+  nn::KvPreparedCacheStats kv;       ///< KV prepared-operand residency/appends
 };
 
 struct ServingReport {

@@ -50,6 +50,14 @@ struct Request {
   std::size_t prompt_len{0};      ///< prefill tokens (time charge only)
   std::size_t decode_tokens{1};   ///< tokens to produce
   std::uint64_t deadline{kNoDeadline};  ///< absolute cycles; kNoDeadline = none
+  /// Opt-in decode-phase KV attention (DESIGN.md §17): each token also
+  /// runs scores = y·Kᵀ and context = softmax(scores)·K against the
+  /// request's growing history of normalized output rows, routed through
+  /// the backend's matmul_kv so healthy backends append their resident
+  /// prepared operands in place (quarantined/re-trimmed ones rebuild).
+  /// The context row chains into the digest, so the engine-vs-reference
+  /// bit-identity witness covers the incremental KV path too.
+  bool kv_attention{false};
 
   [[nodiscard]] bool has_deadline() const { return deadline != kNoDeadline; }
   /// Current activation row (d_model wide), unit max-abs normalized —
